@@ -1,0 +1,73 @@
+package fluentps
+
+// One benchmark per table and figure of the paper's evaluation section
+// (plus the two theorems and the design-choice ablations): each runs the
+// corresponding experiment from internal/experiments and reports its
+// headline numbers as custom benchmark metrics.
+//
+//	go test -bench=. -benchmem            # full paper-scale runs
+//	go test -short -bench=. -benchmem     # quick (~1s) configurations
+//
+// The same experiments are available interactively via cmd/fluentbench.
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/experiments"
+)
+
+// runExperiment executes one experiment per benchmark iteration (with the
+// default -benchtime these macro-benchmarks run exactly once) and logs the
+// report so `go test -bench -v` output doubles as the paper regeneration.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, ok := experiments.ByID(id)
+	if !ok {
+		b.Fatalf("experiment %q not registered", id)
+	}
+	opts := experiments.Options{Quick: testing.Short(), Seed: 1}
+	for i := 0; i < b.N; i++ {
+		rep, err := e.Run(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("%s: %s\n%s", e.ID, e.Title, rep.String())
+			reportHeadlines(b, rep)
+		}
+	}
+}
+
+// reportHeadlines surfaces numeric factors from the report notes as
+// benchmark metrics (e.g. "4.70x" → speedup_x).
+func reportHeadlines(b *testing.B, rep *experiments.Report) {
+	for _, note := range rep.Notes {
+		for _, tok := range strings.Fields(note) {
+			if strings.HasSuffix(tok, "x") {
+				if v, err := strconv.ParseFloat(strings.TrimSuffix(tok, "x"), 64); err == nil {
+					b.ReportMetric(v, "headline_x")
+					return
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkFig1SSPTableScalability(b *testing.B) { runExperiment(b, "fig1") }
+func BenchmarkFig6OverlapSync(b *testing.B)         { runExperiment(b, "fig6") }
+func BenchmarkFig7Scalability(b *testing.B)         { runExperiment(b, "fig7") }
+func BenchmarkFig8LazyVsSoftBarrier(b *testing.B)   { runExperiment(b, "fig8") }
+func BenchmarkFig9PSSPvsSSPDPRs(b *testing.B)       { runExperiment(b, "fig9") }
+func BenchmarkFig10SyncModels64(b *testing.B)       { runExperiment(b, "fig10") }
+func BenchmarkFig11SyncModels128(b *testing.B)      { runExperiment(b, "fig11") }
+func BenchmarkTableIIIConditions(b *testing.B)      { runExperiment(b, "tab3") }
+func BenchmarkTableIV(b *testing.B)                 { runExperiment(b, "tab4") }
+func BenchmarkTheorem1RegretBound(b *testing.B)     { runExperiment(b, "thm1") }
+func BenchmarkTheorem2DynamicPSSP(b *testing.B)     { runExperiment(b, "thm2") }
+func BenchmarkAblationBufferIndex(b *testing.B)     { runExperiment(b, "abl-buffer") }
+func BenchmarkAblationSignificance(b *testing.B)    { runExperiment(b, "abl-signif") }
+func BenchmarkAblationGaiaFilter(b *testing.B)      { runExperiment(b, "abl-gaia") }
+func BenchmarkAblationStalenessSweep(b *testing.B)  { runExperiment(b, "abl-staleness") }
+func BenchmarkAblationSlicing(b *testing.B)         { runExperiment(b, "abl-slicing") }

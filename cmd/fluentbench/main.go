@@ -1,0 +1,90 @@
+// Command fluentbench regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	fluentbench -list
+//	fluentbench -exp fig6
+//	fluentbench -exp all -quick
+//	fluentbench -exp tab4 -csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/experiments"
+)
+
+func main() {
+	var (
+		list  = flag.Bool("list", false, "list available experiments and exit")
+		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
+		quick = flag.Bool("quick", false, "reduced iteration counts (~1s per experiment)")
+		csv   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		out   = flag.String("out", "", "also write each experiment's tables as CSV files into this directory")
+		seed  = flag.Int64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, e := range experiments.All() {
+			fmt.Printf("  %-10s %s\n", e.ID, e.Title)
+		}
+		if *exp == "" && !*list {
+			fmt.Println("\nrun one with: fluentbench -exp <id>")
+		}
+		return
+	}
+
+	var toRun []*experiments.Experiment
+	if *exp == "all" {
+		toRun = experiments.All()
+	} else {
+		e, ok := experiments.ByID(*exp)
+		if !ok {
+			fmt.Fprintf(os.Stderr, "fluentbench: unknown experiment %q (use -list)\n", *exp)
+			os.Exit(2)
+		}
+		toRun = []*experiments.Experiment{e}
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed}
+	for _, e := range toRun {
+		fmt.Printf("== %s: %s\n", e.ID, e.Title)
+		fmt.Printf("   paper: %s\n\n", e.Paper)
+		start := time.Now()
+		rep, err := e.Run(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fluentbench: %s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		if *csv {
+			for _, t := range rep.Tables {
+				fmt.Println(t.CSV())
+			}
+			for _, n := range rep.Notes {
+				fmt.Println("#", n)
+			}
+		} else {
+			fmt.Print(rep.String())
+		}
+		if *out != "" {
+			if err := os.MkdirAll(*out, 0o755); err != nil {
+				fmt.Fprintf(os.Stderr, "fluentbench: %v\n", err)
+				os.Exit(1)
+			}
+			for i, t := range rep.Tables {
+				name := fmt.Sprintf("%s_%d.csv", e.ID, i)
+				if err := os.WriteFile(filepath.Join(*out, name), []byte(t.CSV()), 0o644); err != nil {
+					fmt.Fprintf(os.Stderr, "fluentbench: %v\n", err)
+					os.Exit(1)
+				}
+			}
+		}
+		fmt.Printf("\n   (%s in %.1fs)\n\n", e.ID, time.Since(start).Seconds())
+	}
+}

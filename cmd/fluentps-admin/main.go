@@ -1,0 +1,119 @@
+// Command fluentps-admin operates on a live FluentPS TCP cluster:
+// inspect per-shard synchronization state, switch a shard's
+// synchronization model at runtime, or drive an elastic rebalance after a
+// membership change.
+//
+// Examples:
+//
+//	fluentps-admin -servers h1:7071,h2:7071 -workerAddrs h3:7081 stats
+//	fluentps-admin ... -rank 1 -sync pssp -staleness 3 -prob 0.5 set-cond
+//	fluentps-admin ... -decommission 1 rebalance
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+
+	"github.com/fluentps/fluentps/internal/clustercfg"
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func main() {
+	var flags clustercfg.Flags
+	rank := flag.Int("rank", 0, "target server rank (set-cond)")
+	listen := flag.String("listen", "127.0.0.1:0", "admin listen address (servers dial back here)")
+	decommission := flag.String("decommission", "", "comma-separated server ranks to drain (rebalance)")
+	flags.Register(flag.CommandLine)
+	flag.Parse()
+	cmd := flag.Arg(0)
+	if cmd == "" {
+		fmt.Fprintln(os.Stderr, "usage: fluentps-admin [flags] stats | set-cond | rebalance")
+		os.Exit(2)
+	}
+
+	cluster, err := flags.Cluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The admin joins as an extra worker id well past the real workers.
+	adminID := transport.Worker(cluster.Workers() + 100)
+	ep, err := transport.ListenTCP(adminID, *listen, cluster.Book())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+
+	switch cmd {
+	case "stats":
+		for m := range cluster.ServerAddrs {
+			st, err := core.QueryStats(ep, m)
+			if err != nil {
+				log.Fatalf("server %d: %v", m, err)
+			}
+			fmt.Printf("server %d: keys=%d V_train=%d progress=[%d,%d] count@round=%d buffered=%d pulls=%d pushes=%d DPRs=%d dropped=%d\n",
+				m, st.Keys, st.VTrain, st.MinProgress, st.MaxProgress,
+				st.CountAtRound, st.Buffered, st.Pulls, st.Pushes, st.DPRs, st.Dropped)
+		}
+
+	case "set-cond":
+		sync, err := flags.SyncConfig(cluster.Workers())
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec, ok := syncmodel.SpecOf(sync.Model)
+		if !ok {
+			log.Fatalf("model %s cannot travel over the wire", sync.Model)
+		}
+		if err := core.SetCondition(ep, *rank, spec); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("server %d now runs %s\n", *rank, sync.Model)
+
+	case "rebalance":
+		work, err := flags.Workload()
+		if err != nil {
+			log.Fatal(err)
+		}
+		sync, err := flags.SyncConfig(cluster.Workers())
+		if err != nil {
+			log.Fatal(err)
+		}
+		layout, old, err := sync.Slicing(work.Model, len(cluster.ServerAddrs))
+		if err != nil {
+			log.Fatal(err)
+		}
+		alive := make([]bool, len(cluster.ServerAddrs))
+		for i := range alive {
+			alive[i] = true
+		}
+		for _, tok := range strings.Split(*decommission, ",") {
+			if tok == "" {
+				continue
+			}
+			var r int
+			if _, err := fmt.Sscanf(tok, "%d", &r); err != nil || r < 0 || r >= len(alive) {
+				log.Fatalf("invalid decommission rank %q", tok)
+			}
+			alive[r] = false
+		}
+		next, err := keyrange.Rebalance(old, layout, alive)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("moving %d of %d keys…\n", keyrange.Moved(old, next), layout.NumKeys())
+		if err := core.Rebalance(ep, old, next); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("rebalance complete; restart workers with the new assignment")
+
+	default:
+		fmt.Fprintf(os.Stderr, "fluentps-admin: unknown command %q\n", cmd)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,62 @@
+// Command fluentps-scheduler runs the FluentPS liveness scheduler of a
+// real TCP cluster. Unlike PS-Lite's scheduler it carries no
+// synchronization state — it waits for the expected nodes to register and
+// then just tracks heartbeats.
+//
+// Example (2 servers, 2 workers on localhost):
+//
+//	fluentps-scheduler -scheduler 127.0.0.1:7070 \
+//	  -servers 127.0.0.1:7071,127.0.0.1:7072 \
+//	  -workerAddrs 127.0.0.1:7081,127.0.0.1:7082
+package main
+
+import (
+	"flag"
+	"log"
+
+	"github.com/fluentps/fluentps/internal/clustercfg"
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func main() {
+	var flags clustercfg.Flags
+	flags.Register(flag.CommandLine)
+	flag.Parse()
+
+	cluster, err := flags.Cluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	ep, err := transport.ListenTCP(transport.Scheduler(), cluster.SchedulerAddr, cluster.Book())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+
+	sched, err := core.NewScheduler(ep, len(cluster.ServerAddrs), cluster.Workers())
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The scheduler owns the key-space division (§III-A): it computes the
+	// slicing once and ships it to every node in the registration ack.
+	work, err := flags.Workload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sync, err := flags.SyncConfig(cluster.Workers())
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, assign, err := sync.Slicing(work.Model, len(cluster.ServerAddrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sched.DistributeAssignment(assign)
+	log.Printf("fluentps-scheduler: listening on %s, expecting %d servers and %d workers; distributing %d keys over %d servers",
+		ep.Addr(), len(cluster.ServerAddrs), cluster.Workers(), layout.NumKeys(), len(cluster.ServerAddrs))
+	if err := sched.Run(); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fluentps-scheduler: shut down")
+}

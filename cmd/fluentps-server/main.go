@@ -1,0 +1,87 @@
+// Command fluentps-server runs one FluentPS parameter-server node of a
+// real TCP cluster. Each server owns a shard of the model and controls
+// that shard's synchronization independently via its pull/push conditions
+// (overlap synchronization).
+//
+// Example (server rank 0 of 2):
+//
+//	fluentps-server -rank 0 -sync pssp -staleness 3 -prob 0.5 \
+//	  -scheduler 127.0.0.1:7070 \
+//	  -servers 127.0.0.1:7071,127.0.0.1:7072 \
+//	  -workerAddrs 127.0.0.1:7081,127.0.0.1:7082
+package main
+
+import (
+	"flag"
+	"log"
+
+	"github.com/fluentps/fluentps/internal/clustercfg"
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mathx"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func main() {
+	var flags clustercfg.Flags
+	rank := flag.Int("rank", 0, "this server's rank")
+	flags.Register(flag.CommandLine)
+	flag.Parse()
+
+	cluster, err := flags.Cluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *rank < 0 || *rank >= len(cluster.ServerAddrs) {
+		log.Fatalf("rank %d out of range for %d servers", *rank, len(cluster.ServerAddrs))
+	}
+	work, err := flags.Workload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sync, err := flags.SyncConfig(cluster.Workers())
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, assign, err := sync.Slicing(work.Model, len(cluster.ServerAddrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Every node derives the identical w0 from the shared seed.
+	w0 := make([]float64, work.Model.Dim())
+	work.Model.Init(mathx.RNG(work.Seed, "cluster.init"), w0)
+
+	ep, err := transport.ListenTCP(transport.Server(*rank), cluster.ServerAddrs[*rank], cluster.Book())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+
+	if err := core.RegisterAsync(ep); err != nil {
+		log.Fatal(err)
+	}
+	srv, err := core.NewServer(ep, core.ServerConfig{
+		Rank:       *rank,
+		NumWorkers: cluster.Workers(),
+		Layout:     layout,
+		Assignment: assign,
+		Model:      sync.Model,
+		Drain:      sync.Drain,
+		Init: func(k keyrange.Key, seg []float64) {
+			copy(seg, layout.Slice(w0, k))
+		},
+		Seed: work.Seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("fluentps-server[%d]: %d keys, model %s, drain %s, listening on %s",
+		*rank, len(srv.Keys()), sync.Model, sync.Drain, ep.Addr())
+	if err := srv.Run(); err != nil {
+		log.Fatal(err)
+	}
+	st := srv.Stats()
+	log.Printf("fluentps-server[%d]: done — pulls=%d pushes=%d DPRs=%d advances=%d",
+		*rank, st.Pulls, st.Pushes, st.DPRs, st.Advances)
+}

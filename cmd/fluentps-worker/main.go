@@ -1,0 +1,110 @@
+// Command fluentps-worker runs one data-parallel training worker of a
+// real TCP cluster: it registers with the scheduler, then iterates
+// Algorithm 1's worker loop — compute gradients on its data shard, sPush
+// the update, sPull the next parameters.
+//
+// Example (worker rank 1 of 2):
+//
+//	fluentps-worker -rank 1 -iters 500 \
+//	  -scheduler 127.0.0.1:7070 \
+//	  -servers 127.0.0.1:7071,127.0.0.1:7072 \
+//	  -workerAddrs 127.0.0.1:7081,127.0.0.1:7082
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"github.com/fluentps/fluentps/internal/clustercfg"
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mathx"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func main() {
+	var flags clustercfg.Flags
+	rank := flag.Int("rank", 0, "this worker's rank")
+	flags.Register(flag.CommandLine)
+	flag.Parse()
+
+	cluster, err := flags.Cluster()
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *rank < 0 || *rank >= cluster.Workers() {
+		log.Fatalf("rank %d out of range for %d workers", *rank, cluster.Workers())
+	}
+	work, err := flags.Workload()
+	if err != nil {
+		log.Fatal(err)
+	}
+	sync, err := flags.SyncConfig(cluster.Workers())
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, assign, err := sync.Slicing(work.Model, len(cluster.ServerAddrs))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	w0 := make([]float64, work.Model.Dim())
+	work.Model.Init(mathx.RNG(work.Seed, "cluster.init"), w0)
+
+	ep, err := transport.ListenTCP(transport.Worker(*rank), cluster.WorkerAddrs[*rank], cluster.Book())
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer ep.Close()
+
+	log.Printf("fluentps-worker[%d]: registering with scheduler", *rank)
+	fetched, err := core.RegisterAndFetch(ep, layout)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if fetched != nil {
+		if keyrange.Moved(assign, fetched) > 0 {
+			log.Printf("fluentps-worker[%d]: scheduler's key division differs from local flags; adopting the scheduler's", *rank)
+		}
+		assign = fetched // the scheduler's division is canonical
+	}
+	worker, err := core.NewWorker(ep, *rank, layout, assign)
+	if err != nil {
+		log.Fatal(err)
+	}
+	shard, err := work.Train.Shard(*rank, cluster.Workers())
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	opt := work.Opt()
+	params := append([]float64(nil), w0...)
+	grad := make([]float64, len(params))
+	delta := make([]float64, len(params))
+	rng := mathx.RNG(work.Seed, fmt.Sprintf("cluster.worker.%d", *rank))
+
+	log.Printf("fluentps-worker[%d]: training %s for %d iterations on %d examples",
+		*rank, work.Model.Name(), work.Iters, shard.Len())
+	for i := 0; i < work.Iters; i++ {
+		x, y := shard.Batch(rng, work.BatchSize)
+		work.Model.Gradient(params, x, y, grad)
+		opt.Delta(params, grad, delta)
+		if err := worker.SPush(i, delta); err != nil {
+			log.Fatal(err)
+		}
+		if i < work.Iters-1 {
+			if err := worker.SPull(i, params); err != nil {
+				log.Fatal(err)
+			}
+		}
+		if (i+1)%100 == 0 && work.Test != nil {
+			loss, acc := work.Model.Evaluate(params, work.Test)
+			log.Printf("fluentps-worker[%d]: iter %d loss=%.4f acc=%.4f", *rank, i+1, loss, acc)
+		}
+	}
+	if work.Test != nil {
+		loss, acc := work.Model.Evaluate(params, work.Test)
+		log.Printf("fluentps-worker[%d]: finished — loss=%.4f acc=%.4f", *rank, loss, acc)
+	}
+}

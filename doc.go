@@ -1,0 +1,24 @@
+// Package fluentps is a from-scratch Go reproduction of "FluentPS: A
+// Parameter Server Design with Low-frequency Synchronization for
+// Distributed Deep Learning" (Yao, Wu, Wang — IEEE CLUSTER 2019).
+//
+// The implementation lives under internal/: the condition-aware
+// synchronization engine (internal/syncmodel), the FluentPS system over a
+// real transport (internal/core, internal/transport), the PS-Lite-style
+// and SSPtable/Bösen-style baselines (internal/pslite, internal/ssptable),
+// the ML substrate (internal/dataset, internal/mlmodel,
+// internal/optimizer), a deterministic discrete-event cluster simulator
+// (internal/sim), and one experiment per paper table/figure
+// (internal/experiments).
+//
+// Entry points:
+//
+//	cmd/fluentbench         — regenerate any paper table/figure
+//	cmd/fluentps-scheduler  — run a real TCP cluster's scheduler
+//	cmd/fluentps-server     — run a real TCP parameter server
+//	cmd/fluentps-worker     — run a real TCP training worker
+//	examples/…              — runnable API walkthroughs
+//
+// See README.md for a tour, DESIGN.md for the system inventory, and
+// EXPERIMENTS.md for paper-vs-measured results.
+package fluentps

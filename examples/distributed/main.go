@@ -1,0 +1,162 @@
+// Distributed: a complete FluentPS cluster over real TCP sockets —
+// scheduler, 2 servers, 3 workers — in one process for easy reading. The
+// per-role code is exactly what cmd/fluentps-{scheduler,server,worker}
+// run as separate processes on separate machines.
+//
+//	go run ./examples/distributed
+package main
+
+import (
+	"fmt"
+	"log"
+	"sync"
+
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mathx"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+const (
+	servers = 2
+	workers = 3
+	iters   = 200
+)
+
+func main() {
+	train, test := dataset.CIFAR10Like(1)
+	model, err := mlmodel.NewSoftmax(train.Classes, train.Dim, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	layout, err := keyrange.EPSLayout(model.Layout().TotalDim(), 4*servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	assign, err := keyrange.EPS(layout, servers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	w0 := make([]float64, model.Dim())
+	model.Init(mathx.RNG(1, "cluster.init"), w0)
+
+	// Listen on ephemeral ports, then share the address book.
+	book := map[transport.NodeID]string{}
+	var endpoints []*transport.TCPEndpoint
+	listen := func(id transport.NodeID) *transport.TCPEndpoint {
+		ep, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		book[id] = ep.Addr()
+		endpoints = append(endpoints, ep)
+		return ep
+	}
+	schedEP := listen(transport.Scheduler())
+	serverEPs := make([]*transport.TCPEndpoint, servers)
+	for m := range serverEPs {
+		serverEPs[m] = listen(transport.Server(m))
+	}
+	workerEPs := make([]*transport.TCPEndpoint, workers)
+	for n := range workerEPs {
+		workerEPs[n] = listen(transport.Worker(n))
+	}
+	for _, ep := range endpoints {
+		for id, addr := range book {
+			ep.SetPeer(id, addr)
+		}
+	}
+	defer func() {
+		for _, ep := range endpoints {
+			ep.Close()
+		}
+	}()
+
+	// Scheduler.
+	sched, err := core.NewScheduler(schedEP, servers, workers)
+	if err != nil {
+		log.Fatal(err)
+	}
+	go sched.Run()
+
+	// Servers: announce, then serve (PSSP on every shard).
+	for m := 0; m < servers; m++ {
+		m := m
+		go func() {
+			if err := core.RegisterAsync(serverEPs[m]); err != nil {
+				log.Fatal(err)
+			}
+			srv, err := core.NewServer(serverEPs[m], core.ServerConfig{
+				Rank:       m,
+				NumWorkers: workers,
+				Layout:     layout,
+				Assignment: assign,
+				Model:      syncmodel.PSSPConst(2, 0.5),
+				Drain:      syncmodel.Lazy,
+				Init: func(k keyrange.Key, seg []float64) {
+					copy(seg, layout.Slice(w0, k))
+				},
+				Seed: 1,
+			})
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := srv.Run(); err != nil {
+				log.Fatal(err)
+			}
+		}()
+	}
+
+	// Workers.
+	var wg sync.WaitGroup
+	for n := 0; n < workers; n++ {
+		n := n
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if err := core.Register(workerEPs[n]); err != nil {
+				log.Fatal(err)
+			}
+			w, err := core.NewWorker(workerEPs[n], n, layout, assign)
+			if err != nil {
+				log.Fatal(err)
+			}
+			shard, err := train.Shard(n, workers)
+			if err != nil {
+				log.Fatal(err)
+			}
+			opt := &optimizer.SGD{LR: 0.1}
+			params := append([]float64(nil), w0...)
+			grad := make([]float64, len(params))
+			delta := make([]float64, len(params))
+			rng := mathx.RNG(1, fmt.Sprintf("cluster.worker.%d", n))
+			for i := 0; i < iters; i++ {
+				x, y := shard.Batch(rng, 32)
+				model.Gradient(params, x, y, grad)
+				opt.Delta(params, grad, delta)
+				if err := w.SPush(i, delta); err != nil {
+					log.Fatal(err)
+				}
+				if i < iters-1 {
+					if err := w.SPull(i, params); err != nil {
+						log.Fatal(err)
+					}
+				}
+			}
+			_, acc := model.Evaluate(params, test)
+			fmt.Printf("worker %d finished %d iterations over TCP — accuracy %.3f\n", n, iters, acc)
+		}()
+	}
+	wg.Wait()
+
+	// Shut the servers down cleanly.
+	for m := 0; m < servers; m++ {
+		_ = workerEPs[0].Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
+	}
+	_ = workerEPs[0].Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Scheduler()})
+	fmt.Println("cluster shut down")
+}

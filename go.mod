@@ -1,0 +1,3 @@
+module github.com/fluentps/fluentps
+
+go 1.22

@@ -1,0 +1,197 @@
+// Package clustercfg parses the shared command-line configuration of the
+// real-TCP deployment binaries (cmd/fluentps-scheduler, -server, -worker):
+// cluster topology, workload preset, and synchronization model. All three
+// binaries must be started with identical topology and workload flags.
+package clustercfg
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// Cluster describes topology: the scheduler address, every server's
+// address, and every worker's address (servers dial workers back to
+// deliver pull responses, so the full mesh must be known to all nodes).
+type Cluster struct {
+	SchedulerAddr string
+	ServerAddrs   []string
+	WorkerAddrs   []string
+}
+
+// Workers returns the cluster's worker count.
+func (c *Cluster) Workers() int { return len(c.WorkerAddrs) }
+
+// Book builds the full address book.
+func (c *Cluster) Book() map[transport.NodeID]string {
+	book := map[transport.NodeID]string{
+		transport.Scheduler(): c.SchedulerAddr,
+	}
+	for m, addr := range c.ServerAddrs {
+		book[transport.Server(m)] = addr
+	}
+	for n, addr := range c.WorkerAddrs {
+		book[transport.Worker(n)] = addr
+	}
+	return book
+}
+
+// Workload bundles the model, data, and training hyper-parameters.
+type Workload struct {
+	Model       mlmodel.Model
+	Train, Test *dataset.Dataset
+	Opt         func() optimizer.Optimizer
+	BatchSize   int
+	Iters       int
+	Seed        int64
+}
+
+// Sync is the chosen synchronization configuration.
+type Sync struct {
+	Model  syncmodel.Model
+	Drain  syncmodel.DrainPolicy
+	UseEPS bool
+}
+
+// Flags holds the raw flag values; call Parse after flag.Parse.
+type Flags struct {
+	Scheduler string
+	Servers   string
+	WorkerStr string
+
+	Dataset string
+	Net     string
+	Sync    string
+	S       int
+	C       float64
+	Drain   string
+	EPS     bool
+
+	Batch int
+	Iters int
+	LR    float64
+	Seed  int64
+}
+
+// Register installs the shared flags on the given FlagSet.
+func (f *Flags) Register(fs *flag.FlagSet) {
+	fs.StringVar(&f.Scheduler, "scheduler", "127.0.0.1:7070", "scheduler listen/dial address")
+	fs.StringVar(&f.Servers, "servers", "127.0.0.1:7071", "comma-separated server addresses (rank order)")
+	fs.StringVar(&f.WorkerStr, "workerAddrs", "127.0.0.1:7081,127.0.0.1:7082", "comma-separated worker addresses (rank order)")
+	fs.StringVar(&f.Dataset, "dataset", "cifar10", "dataset preset: cifar10 | cifar100")
+	fs.StringVar(&f.Net, "model", "softmax", "model preset: softmax | mlp")
+	fs.StringVar(&f.Sync, "sync", "ssp", "sync model: bsp | asp | ssp | pssp | pssp-dyn | dsps | drop")
+	fs.IntVar(&f.S, "staleness", 3, "staleness threshold s (ssp/pssp/dsps)")
+	fs.Float64Var(&f.C, "prob", 0.5, "PSSP blocking probability / dynamic α / drop quorum fraction")
+	fs.StringVar(&f.Drain, "drain", "lazy", "DPR drain policy: lazy | soft")
+	fs.BoolVar(&f.EPS, "eps", true, "use Elastic Parameter Slicing")
+	fs.IntVar(&f.Batch, "batch", 32, "per-worker minibatch size")
+	fs.IntVar(&f.Iters, "iters", 200, "training iterations per worker")
+	fs.Float64Var(&f.LR, "lr", 0.1, "learning rate")
+	fs.Int64Var(&f.Seed, "seed", 1, "deterministic seed")
+}
+
+// Cluster materializes the topology.
+func (f *Flags) Cluster() (*Cluster, error) {
+	servers := strings.Split(f.Servers, ",")
+	if len(servers) == 0 || servers[0] == "" {
+		return nil, fmt.Errorf("clustercfg: at least one server address required")
+	}
+	workers := strings.Split(f.WorkerStr, ",")
+	if len(workers) == 0 || workers[0] == "" {
+		return nil, fmt.Errorf("clustercfg: at least one worker address required")
+	}
+	return &Cluster{SchedulerAddr: f.Scheduler, ServerAddrs: servers, WorkerAddrs: workers}, nil
+}
+
+// Workload materializes the model/data preset.
+func (f *Flags) Workload() (*Workload, error) {
+	var train, test *dataset.Dataset
+	switch f.Dataset {
+	case "cifar10":
+		train, test = dataset.CIFAR10Like(f.Seed)
+	case "cifar100":
+		train, test = dataset.CIFAR100Like(f.Seed)
+	default:
+		return nil, fmt.Errorf("clustercfg: unknown dataset %q", f.Dataset)
+	}
+	var model mlmodel.Model
+	var err error
+	switch f.Net {
+	case "softmax":
+		model, err = mlmodel.NewSoftmax(train.Classes, train.Dim, nil)
+	case "mlp":
+		model, err = mlmodel.NewMLP(train.Dim, 64, train.Classes, nil)
+	default:
+		return nil, fmt.Errorf("clustercfg: unknown model %q", f.Net)
+	}
+	if err != nil {
+		return nil, err
+	}
+	lr := f.LR
+	return &Workload{
+		Model: model, Train: train, Test: test,
+		Opt:       func() optimizer.Optimizer { return &optimizer.SGD{LR: lr} },
+		BatchSize: f.Batch, Iters: f.Iters, Seed: f.Seed,
+	}, nil
+}
+
+// SyncConfig materializes the synchronization model.
+func (f *Flags) SyncConfig(workers int) (*Sync, error) {
+	var m syncmodel.Model
+	switch f.Sync {
+	case "bsp":
+		m = syncmodel.BSP()
+	case "asp":
+		m = syncmodel.ASP()
+	case "ssp":
+		m = syncmodel.SSP(f.S)
+	case "pssp":
+		m = syncmodel.PSSPConst(f.S, f.C)
+	case "pssp-dyn":
+		m = syncmodel.PSSPDynamic(f.S, f.C)
+	case "dsps":
+		m = syncmodel.DSPS(syncmodel.DSPSConfig{Initial: f.S, Min: 1, Max: 4 * f.S})
+	case "drop":
+		nt := int(f.C * float64(workers))
+		if nt < 1 {
+			nt = 1
+		}
+		m = syncmodel.DropStragglers(nt)
+	default:
+		return nil, fmt.Errorf("clustercfg: unknown sync model %q", f.Sync)
+	}
+	var drain syncmodel.DrainPolicy
+	switch f.Drain {
+	case "lazy":
+		drain = syncmodel.Lazy
+	case "soft":
+		drain = syncmodel.SoftBarrier
+	default:
+		return nil, fmt.Errorf("clustercfg: unknown drain policy %q", f.Drain)
+	}
+	return &Sync{Model: m, Drain: drain, UseEPS: f.EPS}, nil
+}
+
+// Slicing returns the communication layout and assignment for the cluster.
+func (s *Sync) Slicing(model mlmodel.Model, servers int) (*keyrange.Layout, *keyrange.Assignment, error) {
+	layout := model.Layout()
+	if s.UseEPS {
+		var err error
+		layout, err = keyrange.EPSLayout(layout.TotalDim(), 4*servers)
+		if err != nil {
+			return nil, nil, err
+		}
+		assign, err := keyrange.EPS(layout, servers)
+		return layout, assign, err
+	}
+	assign, err := keyrange.DefaultSlicing(layout, servers)
+	return layout, assign, err
+}

@@ -1,0 +1,116 @@
+package clustercfg
+
+import (
+	"flag"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func parse(t *testing.T, args ...string) *Flags {
+	t.Helper()
+	var f Flags
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	f.Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatal(err)
+	}
+	return &f
+}
+
+func TestClusterTopology(t *testing.T) {
+	f := parse(t,
+		"-scheduler", "h0:1",
+		"-servers", "h1:1,h2:2",
+		"-workerAddrs", "h3:3,h4:4,h5:5",
+	)
+	c, err := f.Cluster()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Workers() != 3 || len(c.ServerAddrs) != 2 {
+		t.Fatalf("topology %d workers / %d servers", c.Workers(), len(c.ServerAddrs))
+	}
+	book := c.Book()
+	if book[transport.Scheduler()] != "h0:1" {
+		t.Error("scheduler address wrong")
+	}
+	if book[transport.Server(1)] != "h2:2" || book[transport.Worker(2)] != "h5:5" {
+		t.Errorf("book wrong: %v", book)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := parse(t, "-servers", "").Cluster(); err == nil {
+		t.Error("empty servers accepted")
+	}
+	if _, err := parse(t, "-workerAddrs", "").Cluster(); err == nil {
+		t.Error("empty workers accepted")
+	}
+}
+
+func TestWorkloadPresets(t *testing.T) {
+	for _, ds := range []string{"cifar10", "cifar100"} {
+		for _, m := range []string{"softmax", "mlp"} {
+			f := parse(t, "-dataset", ds, "-model", m)
+			w, err := f.Workload()
+			if err != nil {
+				t.Fatalf("%s/%s: %v", ds, m, err)
+			}
+			if w.Model.Dim() == 0 || w.Train.Len() == 0 {
+				t.Errorf("%s/%s produced empty workload", ds, m)
+			}
+		}
+	}
+	if _, err := parse(t, "-dataset", "mnist").Workload(); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+	if _, err := parse(t, "-model", "transformer").Workload(); err == nil {
+		t.Error("unknown model accepted")
+	}
+}
+
+func TestSyncPresets(t *testing.T) {
+	for _, s := range []string{"bsp", "asp", "ssp", "pssp", "pssp-dyn", "dsps", "drop"} {
+		f := parse(t, "-sync", s)
+		sync, err := f.SyncConfig(8)
+		if err != nil {
+			t.Fatalf("%s: %v", s, err)
+		}
+		if sync.Model.Pull == nil || sync.Model.Push == nil {
+			t.Errorf("%s produced incomplete model", s)
+		}
+	}
+	if _, err := parse(t, "-sync", "magic").SyncConfig(8); err == nil {
+		t.Error("unknown sync accepted")
+	}
+	if _, err := parse(t, "-drain", "eager").SyncConfig(8); err == nil {
+		t.Error("unknown drain accepted")
+	}
+}
+
+func TestSlicing(t *testing.T) {
+	f := parse(t)
+	w, err := f.Workload()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, eps := range []bool{true, false} {
+		sync := &Sync{UseEPS: eps}
+		layout, assign, err := sync.Slicing(w.Model, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if layout.TotalDim() != w.Model.Dim() {
+			t.Errorf("eps=%v: layout covers %d of %d params", eps, layout.TotalDim(), w.Model.Dim())
+		}
+		if assign.NumServers() != 3 {
+			t.Errorf("eps=%v: %d servers", eps, assign.NumServers())
+		}
+		if eps {
+			if imb := assign.Imbalance(layout); imb > 1.05 {
+				t.Errorf("EPS imbalance %.3f", imb)
+			}
+		}
+	}
+}

@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// TestAsyncPushDoesNotBlock: Algorithm 1's worker sends pushes without
+// waiting (line 4); a handle resolves the acks later.
+func TestAsyncPushDoesNotBlock(t *testing.T) {
+	net, srv, layout, assign := testServer(t, syncmodel.ASP(), syncmodel.Lazy, 1)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+
+	h, err := w.SPushAsync(0, make([]float64, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if st := srv.Stats(); st.Pushes != 1 {
+		t.Errorf("pushes = %d", st.Pushes)
+	}
+}
+
+// TestAsyncPullOverlapsAcrossShards: with two shards under different
+// conditions, the pull handle resolves only when BOTH answered — the fast
+// shard's response arrives while the slow shard still holds its DPR
+// (overlap synchronization, §III-D).
+func TestAsyncPullOverlapsAcrossShards(t *testing.T) {
+	layout := keyrange.MustLayout([]int{3, 4})
+	assign := keyrange.FromServerOf([]int{0, 1}, 2)
+	net := transport.NewChanNetwork(64)
+
+	start := func(rank int, model syncmodel.Model) *Server {
+		srv, err := NewServer(net.Endpoint(transport.Server(rank)), ServerConfig{
+			Rank:       rank,
+			NumWorkers: 2,
+			Layout:     layout,
+			Assignment: assign,
+			Model:      model,
+			Drain:      syncmodel.Lazy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Run()
+		return srv
+	}
+	// Shard 0: ASP (answers instantly). Shard 1: BSP (delays until the
+	// round closes).
+	start(0, syncmodel.ASP())
+	srv1 := start(1, syncmodel.BSP())
+	t.Cleanup(func() {
+		ep := net.Endpoint(transport.Worker(60))
+		for m := 0; m < 2; m++ {
+			_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
+		}
+		ep.Close()
+	})
+
+	w0, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Close()
+	w1, err := NewWorker(net.Endpoint(transport.Worker(1)), 1, layout, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w1.Close()
+
+	if err := w0.SPush(0, make([]float64, layout.TotalDim())); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, layout.TotalDim())
+	h, err := w0.SPullAsync(0, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Give the fast shard time to answer; the handle must still be
+	// pending because the BSP shard has buffered its half.
+	deadline := time.Now().Add(time.Second)
+	for srv1.Stats().DPRs == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("BSP shard never buffered the pull")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	done := make(chan error, 1)
+	go func() { done <- h.Wait() }()
+	select {
+	case <-done:
+		t.Fatal("pull resolved although the BSP shard is still blocked")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Worker 1's push closes the BSP shard's round; the handle resolves.
+	if err := w1.SPush(0, make([]float64, layout.TotalDim())); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pull never resolved after the round closed")
+	}
+}

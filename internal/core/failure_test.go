@@ -1,0 +1,91 @@
+package core
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// TestWorkerTimeoutOnDeadServer: a pull that can never be answered (the
+// round never closes) fails with ErrTimeout instead of hanging forever.
+func TestWorkerTimeoutOnDeadServer(t *testing.T) {
+	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	w.SetTimeout(50 * time.Millisecond)
+
+	if err := w.SPush(0, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	// Worker 1 never pushes: the BSP round stays open and the pull is
+	// buffered indefinitely — the timeout must fire.
+	start := time.Now()
+	err = w.SPull(0, make([]float64, 5))
+	if !errors.Is(err, ErrTimeout) {
+		t.Fatalf("SPull error = %v, want ErrTimeout", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("timeout took %v", elapsed)
+	}
+}
+
+// TestWorkerSurvivesNoTimeoutByDefault: without SetTimeout the same pull
+// waits, and completes once the round closes.
+func TestWorkerNoTimeoutByDefault(t *testing.T) {
+	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
+	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w1, _ := NewWorker(net.Endpoint(transport.Worker(1)), 1, layout, assign)
+	defer w0.Close()
+	defer w1.Close()
+
+	if err := w0.SPush(0, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w0.SPull(0, make([]float64, 5)) }()
+	time.Sleep(80 * time.Millisecond) // longer than the other test's timeout
+	select {
+	case err := <-done:
+		t.Fatalf("pull returned early: %v", err)
+	default:
+	}
+	if err := w1.SPush(0, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pull never completed")
+	}
+}
+
+// TestWorkerErrorsWhenOwnEndpointCloses: closing the worker's endpoint
+// fails outstanding requests promptly.
+func TestWorkerErrorsWhenOwnEndpointCloses(t *testing.T) {
+	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
+	w, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	if err := w.SPush(0, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- w.SPull(0, make([]float64, 5)) }()
+	time.Sleep(20 * time.Millisecond)
+	w.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Fatal("pull succeeded after endpoint close")
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("pull hung after endpoint close")
+	}
+}

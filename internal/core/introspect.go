@@ -1,0 +1,101 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// ShardState is the synchronization state a server exposes — the paper's
+// SetcondPull/SetcondPush interfaces "expose details of the
+// synchronization state, e.g., the progress of fastest/slowest worker,
+// the number of workers that have pushed gradients in a specified
+// iteration", so that developers can build conditions (and operators can
+// watch a live cluster).
+type ShardState struct {
+	VTrain       int
+	MinProgress  int
+	MaxProgress  int
+	CountAtRound int // workers that already pushed the current round
+	Buffered     int // DPRs currently waiting
+	Pulls        int
+	Pushes       int
+	DPRs         int
+	Dropped      int
+	Keys         int
+}
+
+// encode packs the state for the wire.
+func (st ShardState) encode() []float64 {
+	return []float64{
+		float64(st.VTrain), float64(st.MinProgress), float64(st.MaxProgress),
+		float64(st.CountAtRound), float64(st.Buffered),
+		float64(st.Pulls), float64(st.Pushes), float64(st.DPRs),
+		float64(st.Dropped), float64(st.Keys),
+	}
+}
+
+func decodeShardState(vals []float64) (ShardState, error) {
+	if len(vals) != 10 {
+		return ShardState{}, fmt.Errorf("core: stats payload has %d values, want 10", len(vals))
+	}
+	return ShardState{
+		VTrain:       int(vals[0]),
+		MinProgress:  int(vals[1]),
+		MaxProgress:  int(vals[2]),
+		CountAtRound: int(vals[3]),
+		Buffered:     int(vals[4]),
+		Pulls:        int(vals[5]),
+		Pushes:       int(vals[6]),
+		DPRs:         int(vals[7]),
+		Dropped:      int(vals[8]),
+		Keys:         int(vals[9]),
+	}, nil
+}
+
+// handleStats answers a MsgStats query from the server's message loop
+// (where touching the controller is safe).
+func (s *Server) handleStats(msg *transport.Message) error {
+	stats := s.ctrl.Stats()
+	state := ShardState{
+		VTrain:       s.ctrl.VTrain(),
+		MinProgress:  s.ctrl.MinProgress(),
+		MaxProgress:  s.ctrl.MaxProgress(),
+		CountAtRound: s.ctrl.CountAt(s.ctrl.VTrain()),
+		Buffered:     s.ctrl.Buffered(),
+		Pulls:        stats.Pulls,
+		Pushes:       stats.Pushes,
+		DPRs:         stats.DPRs,
+		Dropped:      stats.DroppedPushes,
+		Keys:         len(s.keys),
+	}
+	resp := &transport.Message{
+		Type: transport.MsgStatsResp,
+		To:   msg.From,
+		Seq:  msg.Seq,
+		Vals: state.encode(),
+	}
+	// Stats are advisory: an unreachable inquirer must not take the
+	// server down.
+	_ = s.ep.Send(resp)
+	return nil
+}
+
+// QueryStats fetches a live server's synchronization state from an admin
+// endpoint (one not used by a Worker's receive loop).
+func QueryStats(ep transport.Endpoint, server int) (ShardState, error) {
+	msg := &transport.Message{Type: transport.MsgStats, To: transport.Server(server), Seq: 7}
+	if err := ep.Send(msg); err != nil {
+		return ShardState{}, err
+	}
+	for {
+		resp, err := ep.Recv()
+		if err != nil {
+			return ShardState{}, err
+		}
+		if resp.Type != transport.MsgStatsResp {
+			continue // tolerate stray traffic on shared admin endpoints
+		}
+		return decodeShardState(resp.Vals)
+	}
+}

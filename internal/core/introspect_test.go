@@ -1,0 +1,70 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func TestQueryStatsReflectsLiveState(t *testing.T) {
+	net, _, layout, assign := testServer(t, syncmodel.SSP(1), syncmodel.Lazy, 2)
+	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	defer w0.Close()
+	admin := net.Endpoint(transport.Worker(7))
+	defer admin.Close()
+
+	st, err := QueryStats(admin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.VTrain != 0 || st.Pushes != 0 || st.MinProgress != -1 {
+		t.Fatalf("fresh state %+v", st)
+	}
+	if st.Keys == 0 {
+		t.Error("server reports no keys")
+	}
+
+	// One push + one passing pull, then a blocked pull.
+	if err := w0.SPush(0, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w0.SPull(0, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	if err := w0.SPush(1, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	go w0.SPull(1, make([]float64, 5)) // blocks under SSP(1)
+
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		st, err = QueryStats(admin, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Buffered == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(time.Millisecond)
+	}
+	if st.Buffered != 1 || st.DPRs != 1 {
+		t.Fatalf("state after block %+v", st)
+	}
+	if st.MaxProgress != 1 || st.Pushes != 2 || st.Pulls != 2 {
+		t.Fatalf("progress state %+v", st)
+	}
+	if st.CountAtRound != 1 {
+		t.Fatalf("CountAtRound = %d, want 1 (only worker 0 pushed round 0)", st.CountAtRound)
+	}
+}
+
+func TestDecodeShardStateValidation(t *testing.T) {
+	if _, err := decodeShardState([]float64{1, 2, 3}); err == nil {
+		t.Error("short payload accepted")
+	}
+}

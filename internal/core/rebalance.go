@@ -1,0 +1,213 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// Elastic rebalancing: the EPS capability the paper claims for membership
+// changes ("when the number of servers changes, EPS can also rebalance the
+// workloads among the alive servers"). An admin computes a new key
+// assignment, broadcasts it to every server, and each server migrates its
+// departing segments directly to their new owners; a server acknowledges
+// once it has both sent all departures and received all arrivals.
+//
+// The protocol requires quiescence: no pushes or pulls may be in flight
+// while segments move (run it between training phases, or after pausing
+// workers). Round counters (V_train) are per-shard and are intentionally
+// left untouched — after a quiesced rebalance every shard sits at the same
+// round, so the invariants of Algorithm 1 carry over.
+
+// encodeAssignment packs an assignment as [numServers, serverOf...].
+func encodeAssignment(a *keyrange.Assignment) []float64 {
+	out := make([]float64, 1+a.NumKeys())
+	out[0] = float64(a.NumServers())
+	for k := 0; k < a.NumKeys(); k++ {
+		out[1+k] = float64(a.ServerOf(keyrange.Key(k)))
+	}
+	return out
+}
+
+// decodeAssignment unpacks encodeAssignment's payload for a known layout.
+func decodeAssignment(layout *keyrange.Layout, vals []float64) (*keyrange.Assignment, error) {
+	if len(vals) != 1+layout.NumKeys() {
+		return nil, fmt.Errorf("core: assignment payload has %d values, want %d",
+			len(vals), 1+layout.NumKeys())
+	}
+	servers := int(vals[0])
+	serverOf := make([]int, layout.NumKeys())
+	for k := range serverOf {
+		s := int(vals[1+k])
+		if s < 0 || s >= servers {
+			return nil, fmt.Errorf("core: key %d assigned to invalid server %d of %d", k, s, servers)
+		}
+		serverOf[k] = s
+	}
+	return keyrange.FromServerOf(serverOf, servers), nil
+}
+
+// Rebalance drives a quiesced elastic rebalance from an admin endpoint:
+// it broadcasts the new assignment to every server in the *union* of the
+// old and new server sets and waits for every server that owns keys
+// before or after the change to acknowledge. The caller is responsible
+// for quiescence and for telling workers about the new assignment
+// (Worker.SetAssignment).
+func Rebalance(admin transport.Endpoint, old, next *keyrange.Assignment) error {
+	if old.NumKeys() != next.NumKeys() {
+		return fmt.Errorf("core: assignments cover different key spaces (%d vs %d keys)",
+			old.NumKeys(), next.NumKeys())
+	}
+	servers := old.NumServers()
+	if next.NumServers() > servers {
+		servers = next.NumServers()
+	}
+	payload := encodeAssignment(next)
+	involved := map[int]bool{}
+	for k := 0; k < old.NumKeys(); k++ {
+		involved[old.ServerOf(keyrange.Key(k))] = true
+		involved[next.ServerOf(keyrange.Key(k))] = true
+	}
+	for m := 0; m < servers; m++ {
+		if !involved[m] {
+			continue
+		}
+		msg := &transport.Message{
+			Type: transport.MsgRebalance,
+			To:   transport.Server(m),
+			Seq:  uint64(m),
+			Vals: payload,
+		}
+		if err := admin.Send(msg); err != nil {
+			return fmt.Errorf("core: rebalance broadcast to server %d: %w", m, err)
+		}
+	}
+	acked := map[transport.NodeID]bool{}
+	for len(acked) < len(involved) {
+		msg, err := admin.Recv()
+		if err != nil {
+			return fmt.Errorf("core: await rebalance acks: %w", err)
+		}
+		if msg.Type != transport.MsgRebalanceAck {
+			continue // stray traffic on the admin endpoint
+		}
+		acked[msg.From] = true
+	}
+	return nil
+}
+
+// rebalanceState tracks an in-progress migration on a server.
+type rebalanceState struct {
+	next *keyrange.Assignment
+	// expect counts arrivals still owed to this server; early MsgMigrate
+	// (arriving before MsgRebalance) are buffered in early.
+	expect int
+	early  []*transport.Message
+	admin  transport.NodeID
+}
+
+// handleRebalance processes the admin's broadcast: send departures, then
+// absorb (possibly already-buffered) arrivals.
+func (s *Server) handleRebalance(msg *transport.Message) error {
+	next, err := decodeAssignment(s.cfg.Layout, msg.Vals)
+	if err != nil {
+		return fmt.Errorf("core: server %d rebalance: %w", s.cfg.Rank, err)
+	}
+	st := s.reb
+	if st == nil {
+		st = &rebalanceState{}
+		s.reb = st
+	}
+	st.next = next
+	st.admin = msg.From
+
+	// Departures: keys owned now whose new owner is someone else.
+	for _, k := range append([]keyrange.Key(nil), s.shard.Keys()...) {
+		newOwner := next.ServerOf(k)
+		if newOwner == s.cfg.Rank {
+			continue
+		}
+		vals, err := s.shard.RemoveKey(k)
+		if err != nil {
+			return err
+		}
+		out := &transport.Message{
+			Type: transport.MsgMigrate,
+			To:   transport.Server(newOwner),
+			Keys: []keyrange.Key{k},
+			Vals: vals,
+		}
+		if err := s.ep.Send(out); err != nil {
+			return fmt.Errorf("core: server %d migrate key %d: %w", s.cfg.Rank, k, err)
+		}
+	}
+	// Arrivals: keys newly owned.
+	owned := map[keyrange.Key]bool{}
+	for _, k := range s.shard.Keys() {
+		owned[k] = true
+	}
+	st.expect = 0
+	for _, k := range next.KeysOf(s.cfg.Rank) {
+		if !owned[k] {
+			st.expect++
+		}
+	}
+	// Absorb migrations that raced ahead of the broadcast.
+	early := st.early
+	st.early = nil
+	for _, m := range early {
+		if err := s.handleMigrate(m); err != nil {
+			return err
+		}
+	}
+	return s.maybeFinishRebalance()
+}
+
+func (s *Server) handleMigrate(msg *transport.Message) error {
+	st := s.reb
+	if st == nil || st.next == nil {
+		// The admin's broadcast has not reached us yet; buffer.
+		if st == nil {
+			st = &rebalanceState{}
+			s.reb = st
+		}
+		st.early = append(st.early, msg)
+		return nil
+	}
+	if len(msg.Keys) != 1 {
+		return fmt.Errorf("core: server %d: migrate message carries %d keys", s.cfg.Rank, len(msg.Keys))
+	}
+	if err := s.shard.AddKey(msg.Keys[0], msg.Vals); err != nil {
+		return fmt.Errorf("core: server %d absorb key %d: %w", s.cfg.Rank, msg.Keys[0], err)
+	}
+	st.expect--
+	return s.maybeFinishRebalance()
+}
+
+func (s *Server) maybeFinishRebalance() error {
+	st := s.reb
+	if st == nil || st.next == nil || st.expect > 0 {
+		return nil
+	}
+	// Adopt the new assignment and serve from the rebalanced shard.
+	s.cfg.Assignment = st.next
+	s.keys = st.next.KeysOf(s.cfg.Rank)
+	ack := &transport.Message{Type: transport.MsgRebalanceAck, To: st.admin}
+	s.reb = nil
+	if err := s.ep.Send(ack); err != nil {
+		return fmt.Errorf("core: server %d rebalance ack: %w", s.cfg.Rank, err)
+	}
+	return nil
+}
+
+// SetAssignment points the worker at a rebalanced key assignment. The
+// caller must guarantee no requests are in flight.
+func (w *Worker) SetAssignment(next *keyrange.Assignment) {
+	w.assign = next
+	w.servers = next.NumServers()
+	w.keysPerServer = make([][]keyrange.Key, w.servers)
+	for m := 0; m < w.servers; m++ {
+		w.keysPerServer[m] = next.KeysOf(m)
+	}
+}

@@ -1,0 +1,228 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// startRebalanceCluster wires M servers over an in-process network with a
+// known initial parameter pattern (segment of key k filled with k+1).
+func startRebalanceCluster(t *testing.T, layout *keyrange.Layout, assign *keyrange.Assignment, workers int) (*transport.ChanNetwork, []*Server) {
+	t.Helper()
+	net := transport.NewChanNetwork(256)
+	servers := make([]*Server, assign.NumServers())
+	for m := 0; m < assign.NumServers(); m++ {
+		srv, err := NewServer(net.Endpoint(transport.Server(m)), ServerConfig{
+			Rank:       m,
+			NumWorkers: workers,
+			Layout:     layout,
+			Assignment: assign,
+			Model:      syncmodel.ASP(),
+			Drain:      syncmodel.Lazy,
+			Init: func(k keyrange.Key, seg []float64) {
+				for i := range seg {
+					seg[i] = float64(k + 1)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		servers[m] = srv
+		go srv.Run()
+	}
+	t.Cleanup(func() {
+		ep := net.Endpoint(transport.Worker(90))
+		for m := range servers {
+			_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
+		}
+		ep.Close()
+	})
+	return net, servers
+}
+
+// pullAll fetches the full model through a fresh worker and returns it.
+func pullAll(t *testing.T, net *transport.ChanNetwork, rank int, layout *keyrange.Layout, assign *keyrange.Assignment) []float64 {
+	t.Helper()
+	w, err := NewWorker(net.Endpoint(transport.Worker(rank)), rank, layout, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	params := make([]float64, layout.TotalDim())
+	if err := w.SPull(0, params); err != nil {
+		t.Fatal(err)
+	}
+	return params
+}
+
+func expectPattern(t *testing.T, layout *keyrange.Layout, params []float64) {
+	t.Helper()
+	for k := 0; k < layout.NumKeys(); k++ {
+		seg := layout.Slice(params, keyrange.Key(k))
+		for i, v := range seg {
+			if v != float64(k+1) {
+				t.Fatalf("key %d scalar %d = %v, want %d (data lost in migration)", k, i, v, k+1)
+			}
+		}
+	}
+}
+
+func TestRebalanceDecommissionPreservesData(t *testing.T) {
+	layout := keyrange.MustLayout([]int{4, 6, 2, 8, 5})
+	old, err := keyrange.EPS(layout, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := startRebalanceCluster(t, layout, old, 1)
+
+	// Decommission server 1: its keys migrate to servers 0 and 2.
+	next, err := keyrange.Rebalance(old, layout, []bool{true, false, true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	admin := net.Endpoint(transport.Worker(50))
+	defer admin.Close()
+	if err := Rebalance(admin, old, next); err != nil {
+		t.Fatal(err)
+	}
+	// Nothing may remain on the decommissioned server.
+	if keys := next.KeysOf(1); len(keys) != 0 {
+		t.Fatalf("server 1 still owns %v", keys)
+	}
+	// The full model, read under the new assignment, is intact.
+	params := pullAll(t, net, 0, layout, next)
+	expectPattern(t, layout, params)
+}
+
+func TestRebalanceScaleUpPreservesData(t *testing.T) {
+	layout := keyrange.MustLayout([]int{4, 6, 2, 8, 5, 3, 7})
+	old, err := keyrange.EPS(layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net, _ := startRebalanceCluster(t, layout, old, 1)
+
+	next, err := keyrange.ScaleUp(old, layout, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyrange.Moved(old, next) == 0 {
+		t.Fatal("scale-up moved nothing; test is vacuous")
+	}
+	// The two new servers must exist before the rebalance broadcast.
+	for m := 2; m < 4; m++ {
+		srv, err := NewServer(net.Endpoint(transport.Server(m)), ServerConfig{
+			Rank:       m,
+			NumWorkers: 1,
+			Layout:     layout,
+			Assignment: keyrange.FromServerOf(make([]int, layout.NumKeys()), 4), // owns nothing yet
+			Model:      syncmodel.ASP(),
+			Drain:      syncmodel.Lazy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Run()
+	}
+	// The freshly created empty servers were configured to own key 0 via
+	// the zero assignment; strip it so they start truly empty.
+	// (FromServerOf(zeros, 4) maps every key to server 0, so servers 2-3
+	// constructed with it own nothing — NewServer takes KeysOf(rank).)
+
+	admin := net.Endpoint(transport.Worker(51))
+	defer admin.Close()
+	if err := Rebalance(admin, old, next); err != nil {
+		t.Fatal(err)
+	}
+	loads := next.Loads(layout)
+	for m, ld := range loads {
+		if ld == 0 {
+			t.Errorf("server %d has no load after scale-up", m)
+		}
+	}
+	params := pullAll(t, net, 0, layout, next)
+	expectPattern(t, layout, params)
+}
+
+func TestRebalanceTrainingContinuesAfterwards(t *testing.T) {
+	layout := keyrange.MustLayout([]int{3, 3, 3})
+	old, _ := keyrange.EPS(layout, 3)
+	net, servers := startRebalanceCluster(t, layout, old, 1)
+
+	// Train a little before the change.
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	delta := make([]float64, layout.TotalDim())
+	for i := range delta {
+		delta[i] = 1
+	}
+	if err := w.SPush(0, delta); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, layout.TotalDim())
+	if err := w.SPull(0, params); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiesced rebalance away from server 2, then keep pushing.
+	next, _ := keyrange.Rebalance(old, layout, []bool{true, true, false})
+	admin := net.Endpoint(transport.Worker(52))
+	defer admin.Close()
+	if err := Rebalance(admin, old, next); err != nil {
+		t.Fatal(err)
+	}
+	w.SetAssignment(next)
+	if err := w.SPush(1, delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SPull(1, params); err != nil {
+		t.Fatal(err)
+	}
+	// Initial pattern + two pushed deltas (N=1 so scale 1 each).
+	for k := 0; k < layout.NumKeys(); k++ {
+		seg := layout.Slice(params, keyrange.Key(k))
+		want := float64(k+1) + 2
+		for i, v := range seg {
+			if v != want {
+				t.Fatalf("key %d scalar %d = %v, want %v", k, i, v, want)
+			}
+		}
+	}
+	// The decommissioned server's stats stay quiet post-rebalance.
+	_ = servers
+}
+
+func TestRebalanceValidation(t *testing.T) {
+	layoutA := keyrange.MustLayout([]int{1, 2})
+	layoutB := keyrange.MustLayout([]int{1, 2, 3})
+	a, _ := keyrange.EPS(layoutA, 2)
+	b, _ := keyrange.EPS(layoutB, 2)
+	net := transport.NewChanNetwork(4)
+	admin := net.Endpoint(transport.Worker(0))
+	defer admin.Close()
+	if err := Rebalance(admin, a, b); err == nil {
+		t.Error("mismatched key spaces accepted")
+	}
+}
+
+func TestScaleUpValidation(t *testing.T) {
+	layout := keyrange.MustLayout([]int{1, 2, 3})
+	a, _ := keyrange.EPS(layout, 3)
+	if _, err := keyrange.ScaleUp(a, layout, 2); err == nil {
+		t.Error("shrinking via ScaleUp accepted")
+	}
+	same, err := keyrange.ScaleUp(a, layout, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if keyrange.Moved(a, same) != 0 {
+		t.Error("no-op scale-up moved keys")
+	}
+}

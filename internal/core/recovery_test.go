@@ -1,0 +1,131 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// TestCheckpointRecovery: a server is checkpointed, killed, and replaced
+// by a new process restored from the checkpoint; training state survives.
+func TestCheckpointRecovery(t *testing.T) {
+	layout := keyrange.MustLayout([]int{2, 3})
+	assign, _ := keyrange.EPS(layout, 1)
+	net := transport.NewChanNetwork(64)
+	cfg := ServerConfig{
+		Rank:       0,
+		NumWorkers: 1,
+		Layout:     layout,
+		Assignment: assign,
+		Model:      syncmodel.ASP(),
+		Drain:      syncmodel.Lazy,
+		Init: func(k keyrange.Key, seg []float64) {
+			for i := range seg {
+				seg[i] = 1
+			}
+		},
+	}
+	srv, err := NewServer(net.Endpoint(transport.Server(0)), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Run()
+
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	delta := []float64{1, 1, 2, 2, 2}
+	if err := w.SPush(0, delta); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, 5)
+	if err := w.SPull(0, params); err != nil {
+		t.Fatal(err)
+	}
+
+	// Quiesced checkpoint, then crash.
+	var ckpt bytes.Buffer
+	if err := srv.SaveShard(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	shutdown := net.Endpoint(transport.Worker(40))
+	if err := shutdown.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(0)}); err != nil {
+		t.Fatal(err)
+	}
+	shutdown.Close()
+	srvEP := net.Endpoint(transport.Server(0))
+	srvEP.Close() // release the endpoint id for the replacement
+
+	// Replacement restores from the checkpoint — Init is ignored.
+	cfg.Init = func(k keyrange.Key, seg []float64) {
+		for i := range seg {
+			seg[i] = -999
+		}
+	}
+	replacement, err := NewServerFromCheckpoint(net.Endpoint(transport.Server(0)), cfg, &ckpt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go replacement.Run()
+	t.Cleanup(func() {
+		ep := net.Endpoint(transport.Worker(41))
+		_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(0)})
+		ep.Close()
+	})
+
+	// The worker sees the pre-crash state (init 1 + delta, not -999) and
+	// training continues.
+	if err := w.SPull(0, params); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 2, 3, 3, 3}
+	for i := range want {
+		if params[i] != want[i] {
+			t.Fatalf("restored params %v, want %v", params, want)
+		}
+	}
+	if err := w.SPush(0, delta); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.SPull(0, params); err != nil {
+		t.Fatal(err)
+	}
+	if params[0] != 3 {
+		t.Fatalf("post-recovery training broken: %v", params)
+	}
+}
+
+func TestNewServerFromCheckpointValidatesKeys(t *testing.T) {
+	layout := keyrange.MustLayout([]int{2, 3})
+	net := transport.NewChanNetwork(16)
+
+	// Checkpoint a server owning ALL keys…
+	full, _ := keyrange.EPS(layout, 1)
+	donor, err := NewServer(net.Endpoint(transport.Server(0)), ServerConfig{
+		Rank: 0, NumWorkers: 1, Layout: layout, Assignment: full,
+		Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt bytes.Buffer
+	if err := donor.SaveShard(&ckpt); err != nil {
+		t.Fatal(err)
+	}
+	net.Endpoint(transport.Server(0)).Close()
+
+	// …and try to restore it into a server that owns only half.
+	half, _ := keyrange.EPS(layout, 2)
+	_, err = NewServerFromCheckpoint(net.Endpoint(transport.Server(0)), ServerConfig{
+		Rank: 0, NumWorkers: 1, Layout: layout, Assignment: half,
+		Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
+	}, &ckpt)
+	if err == nil {
+		t.Error("mismatched checkpoint accepted")
+	}
+}

@@ -1,0 +1,207 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// Scheduler is FluentPS's reduced-role coordinator. Unlike PS-Lite's
+// scheduler it carries no synchronization state at all — the paper
+// offloads synchronization onto servers. What remains is membership
+// (waiting for the expected node count to register) and liveness
+// (tracking heartbeats).
+type Scheduler struct {
+	ep      transport.Endpoint
+	servers int
+	workers int
+	// assign, when set via DistributeAssignment, is the canonical key
+	// assignment shipped to every node in its registration ack (§III-A:
+	// the scheduler "divides the whole key space into several key
+	// ranges").
+	assign *keyrange.Assignment
+
+	mu         sync.Mutex
+	registered map[transport.NodeID]bool
+	lastSeen   map[transport.NodeID]time.Time
+	pending    []*transport.Message // registrations awaiting quorum
+}
+
+// NewScheduler builds a scheduler expecting the given cluster shape over
+// an endpoint whose id must be transport.Scheduler().
+func NewScheduler(ep transport.Endpoint, servers, workers int) (*Scheduler, error) {
+	if got, want := ep.ID(), transport.Scheduler(); got != want {
+		return nil, fmt.Errorf("core: endpoint id %s is not the scheduler id", got)
+	}
+	if servers < 1 || workers < 1 {
+		return nil, fmt.Errorf("core: cluster needs ≥1 server and ≥1 worker, got %d/%d", servers, workers)
+	}
+	return &Scheduler{
+		ep:         ep,
+		servers:    servers,
+		workers:    workers,
+		registered: make(map[transport.NodeID]bool),
+		lastSeen:   make(map[transport.NodeID]time.Time),
+	}, nil
+}
+
+// DistributeAssignment makes the scheduler the source of truth for the
+// key space: every registration ack will carry this assignment, and
+// RegisterAndFetch on servers/workers returns it — so only the scheduler
+// needs the slicing configuration. Call before Run.
+func (s *Scheduler) DistributeAssignment(a *keyrange.Assignment) {
+	s.assign = a
+}
+
+// Run serves registration and heartbeat messages until the endpoint
+// closes or a shutdown message arrives.
+func (s *Scheduler) Run() error {
+	for {
+		msg, err := s.ep.Recv()
+		if err != nil {
+			if err == transport.ErrClosed {
+				return nil
+			}
+			return fmt.Errorf("core: scheduler recv: %w", err)
+		}
+		switch msg.Type {
+		case transport.MsgRegister:
+			if err := s.handleRegister(msg); err != nil {
+				return err
+			}
+		case transport.MsgHeartbeat:
+			s.mu.Lock()
+			s.lastSeen[msg.From] = time.Now()
+			s.mu.Unlock()
+		case transport.MsgShutdown:
+			return nil
+		}
+	}
+}
+
+func (s *Scheduler) handleRegister(msg *transport.Message) error {
+	s.mu.Lock()
+	s.registered[msg.From] = true
+	s.lastSeen[msg.From] = time.Now()
+	s.pending = append(s.pending, msg)
+	complete := len(s.registered) >= s.servers+s.workers
+	var toAck []*transport.Message
+	if complete {
+		toAck = s.pending
+		s.pending = nil
+	}
+	s.mu.Unlock()
+	for _, reg := range toAck {
+		ack := &transport.Message{Type: transport.MsgRegisterAck, To: reg.From, Seq: reg.Seq}
+		if s.assign != nil {
+			ack.Vals = encodeAssignment(s.assign)
+		}
+		if err := s.ep.Send(ack); err != nil {
+			return fmt.Errorf("core: scheduler ack %s: %w", reg.From, err)
+		}
+	}
+	return nil
+}
+
+// RegisterAndFetch registers the node, blocks until the cluster
+// assembles, and returns the canonical key assignment the scheduler
+// distributes (nil if the scheduler was not given one). layout must be
+// the model's communication layout so the payload can be validated.
+func RegisterAndFetch(ep transport.Endpoint, layout *keyrange.Layout) (*keyrange.Assignment, error) {
+	msg := &transport.Message{Type: transport.MsgRegister, To: transport.Scheduler()}
+	if err := ep.Send(msg); err != nil {
+		return nil, fmt.Errorf("core: register %s: %w", ep.ID(), err)
+	}
+	for {
+		resp, err := ep.Recv()
+		if err != nil {
+			return nil, fmt.Errorf("core: await registration ack: %w", err)
+		}
+		if resp.Type != transport.MsgRegisterAck {
+			return nil, fmt.Errorf("core: unexpected %s before registration ack", resp.Type)
+		}
+		if len(resp.Vals) == 0 {
+			return nil, nil
+		}
+		return decodeAssignment(layout, resp.Vals)
+	}
+}
+
+// Alive returns the nodes whose last heartbeat (or registration) is within
+// the given window.
+func (s *Scheduler) Alive(window time.Duration) []transport.NodeID {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cutoff := time.Now().Add(-window)
+	var out []transport.NodeID
+	for id, ts := range s.lastSeen {
+		if ts.After(cutoff) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// StartHeartbeats sends MsgHeartbeat to the scheduler every interval
+// until stop is closed; the returned channel closes when the loop exits.
+// Send failures stop the loop (the endpoint is gone; the scheduler will
+// notice the silence through Alive's window).
+func StartHeartbeats(ep transport.Endpoint, interval time.Duration, stop <-chan struct{}) <-chan struct{} {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		ticker := time.NewTicker(interval)
+		defer ticker.Stop()
+		for {
+			select {
+			case <-stop:
+				return
+			case <-ticker.C:
+				msg := &transport.Message{Type: transport.MsgHeartbeat, To: transport.Scheduler()}
+				if err := ep.Send(msg); err != nil {
+					return
+				}
+			}
+		}
+	}()
+	return done
+}
+
+// RegisterAsync announces the node to the scheduler without waiting for
+// the quorum confirmation. Servers use this: they must already be serving
+// when the scheduler releases the workers, so they register and
+// immediately enter their Run loop (which ignores the eventual ack).
+func RegisterAsync(ep transport.Endpoint) error {
+	msg := &transport.Message{Type: transport.MsgRegister, To: transport.Scheduler()}
+	if err := ep.Send(msg); err != nil {
+		return fmt.Errorf("core: register %s: %w", ep.ID(), err)
+	}
+	return nil
+}
+
+// Register is the client half of registration: it announces id to the
+// scheduler and blocks until the scheduler confirms the full cluster has
+// assembled. Workers call it before training; servers should use
+// RegisterAsync followed by Run instead, so early worker traffic finds
+// them already serving.
+func Register(ep transport.Endpoint) error {
+	seq := uint64(time.Now().UnixNano())
+	msg := &transport.Message{Type: transport.MsgRegister, To: transport.Scheduler(), Seq: seq}
+	if err := ep.Send(msg); err != nil {
+		return fmt.Errorf("core: register %s: %w", ep.ID(), err)
+	}
+	for {
+		resp, err := ep.Recv()
+		if err != nil {
+			return fmt.Errorf("core: await registration ack: %w", err)
+		}
+		if resp.Type == transport.MsgRegisterAck {
+			return nil
+		}
+		// Anything else arriving this early is a protocol violation.
+		return fmt.Errorf("core: unexpected %s before registration ack", resp.Type)
+	}
+}

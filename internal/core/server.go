@@ -1,0 +1,308 @@
+// Package core is the FluentPS system itself: parameter-server nodes,
+// workers with sPush/sPull operations, and a liveness scheduler, wired
+// over any transport (in-process channels or TCP).
+//
+// The design follows the paper directly:
+//
+//   - Every server owns one parameter shard and one condition-aware
+//     synchronization controller (internal/syncmodel — Algorithm 1). There
+//     is no central synchronization scheduler; servers advance their
+//     shards' V_train independently, which is what makes push and pull
+//     processes of different shards overlap (§III-D).
+//   - Workers push scaled updates and pull fresh parameters per shard,
+//     tagging both with their progress. A pull blocks the worker only for
+//     the shards whose pull condition rejects it.
+//   - The scheduler only monitors liveness and confirms membership; it is
+//     not on the synchronization path.
+package core
+
+import (
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// ServerConfig configures one FluentPS server node.
+type ServerConfig struct {
+	// Rank is this server's index in [0, NumServers).
+	Rank int
+	// NumWorkers is N, the number of workers pushing to this server.
+	NumWorkers int
+	// Layout and Assignment define the global key space and which keys
+	// this server owns.
+	Layout     *keyrange.Layout
+	Assignment *keyrange.Assignment
+	// Model and Drain select the shard's synchronization behaviour. The
+	// zero Model is invalid; use syncmodel constructors (BSP, SSP, …).
+	Model syncmodel.Model
+	Drain syncmodel.DrainPolicy
+	// Init, if non-nil, initializes the shard's parameter segments (all
+	// servers and workers must agree on w0).
+	Init func(k keyrange.Key, seg []float64)
+	// Seed drives probabilistic pull conditions deterministically.
+	Seed int64
+}
+
+// Server is one FluentPS parameter-server node. Run processes messages
+// until the endpoint closes or a shutdown message arrives.
+type Server struct {
+	cfg   ServerConfig
+	ep    transport.Endpoint
+	shard *kvstore.Shard
+	ctrl  *syncmodel.Controller
+	keys  []keyrange.Key
+
+	mu    sync.Mutex
+	stats syncmodel.Stats
+
+	// reb tracks an in-progress elastic rebalance (rebalance.go).
+	reb *rebalanceState
+}
+
+// SaveShard checkpoints the server's parameter shard to w. Call it only
+// while the server is quiesced (no in-flight pushes or pulls) — e.g.
+// between training phases or after workers stopped; the snapshot contains
+// the shard segments and update counters, restorable via
+// NewServerFromCheckpoint.
+func (s *Server) SaveShard(w io.Writer) error { return s.shard.Save(w) }
+
+// NewServerFromCheckpoint builds a replacement server whose shard state
+// comes from a checkpoint written by SaveShard, instead of cfg.Init. The
+// checkpoint's keys must match the assignment's keys for cfg.Rank. The
+// synchronization controller starts fresh; resume training from a
+// quiesced round boundary (workers restart their progress counters).
+func NewServerFromCheckpoint(ep transport.Endpoint, cfg ServerConfig, r io.Reader) (*Server, error) {
+	srv, err := NewServer(ep, cfg)
+	if err != nil {
+		return nil, err
+	}
+	shard, err := kvstore.LoadShard(r, cfg.Layout)
+	if err != nil {
+		return nil, err
+	}
+	want := cfg.Assignment.KeysOf(cfg.Rank)
+	got := shard.Keys()
+	if len(want) != len(got) {
+		return nil, fmt.Errorf("core: checkpoint has %d keys, assignment gives server %d %d",
+			len(got), cfg.Rank, len(want))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			return nil, fmt.Errorf("core: checkpoint key %d does not match assignment key %d", got[i], want[i])
+		}
+	}
+	srv.shard = shard
+	return srv, nil
+}
+
+// NewServer builds a server over the given endpoint. The endpoint's id
+// must be transport.Server(cfg.Rank).
+func NewServer(ep transport.Endpoint, cfg ServerConfig) (*Server, error) {
+	if cfg.Model.Pull == nil || cfg.Model.Push == nil {
+		return nil, fmt.Errorf("core: server %d has no synchronization model", cfg.Rank)
+	}
+	if cfg.NumWorkers <= 0 {
+		return nil, fmt.Errorf("core: server %d configured with %d workers", cfg.Rank, cfg.NumWorkers)
+	}
+	if got, want := ep.ID(), transport.Server(cfg.Rank); got != want {
+		return nil, fmt.Errorf("core: endpoint id %s does not match server rank %d", got, cfg.Rank)
+	}
+	keys := cfg.Assignment.KeysOf(cfg.Rank)
+	s := &Server{
+		cfg:   cfg,
+		ep:    ep,
+		shard: kvstore.NewShard(cfg.Layout, keys, cfg.Init),
+		ctrl: syncmodel.New(cfg.NumWorkers, cfg.Model, cfg.Drain,
+			rand.New(rand.NewSource(cfg.Seed^int64(cfg.Rank+1)))),
+		keys: keys,
+	}
+	return s, nil
+}
+
+// Keys returns the keys this server owns.
+func (s *Server) Keys() []keyrange.Key { return s.keys }
+
+// Stats returns a snapshot of the shard's synchronization counters. It is
+// safe to call concurrently with Run; the snapshot is refreshed after
+// every handled message.
+func (s *Server) Stats() syncmodel.Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats
+}
+
+func (s *Server) snapshotStats() {
+	st := s.ctrl.Stats()
+	s.mu.Lock()
+	s.stats = st
+	s.mu.Unlock()
+}
+
+// Run processes requests until the endpoint closes or MsgShutdown
+// arrives. It is the server's single owning goroutine: controller and
+// shard are only touched here.
+func (s *Server) Run() error {
+	for {
+		msg, err := s.ep.Recv()
+		if err != nil {
+			if err == transport.ErrClosed {
+				return nil
+			}
+			return fmt.Errorf("core: server %d recv: %w", s.cfg.Rank, err)
+		}
+		switch msg.Type {
+		case transport.MsgPush:
+			if err := s.handlePush(msg); err != nil {
+				return err
+			}
+			s.snapshotStats()
+		case transport.MsgPull:
+			if err := s.handlePull(msg); err != nil {
+				return err
+			}
+			s.snapshotStats()
+		case transport.MsgSetCond:
+			if err := s.handleSetCond(msg); err != nil {
+				return err
+			}
+			s.snapshotStats()
+		case transport.MsgRebalance:
+			if err := s.handleRebalance(msg); err != nil {
+				return err
+			}
+		case transport.MsgMigrate:
+			if err := s.handleMigrate(msg); err != nil {
+				return err
+			}
+		case transport.MsgStats:
+			if err := s.handleStats(msg); err != nil {
+				return err
+			}
+		case transport.MsgShutdown:
+			return nil
+		default:
+			// Heartbeats and stray acks are ignored by servers.
+		}
+	}
+}
+
+func (s *Server) handlePush(msg *transport.Message) error {
+	worker := int(msg.From.Rank)
+	progress := int(msg.Progress)
+	apply, released := s.ctrl.OnPush(worker, progress)
+	if apply {
+		// Algorithm 1 line 15: w ← w + g/N, before draining pulls.
+		if err := s.shard.ApplyGradPayload(msg.Keys, msg.Vals, 1/float64(s.cfg.NumWorkers)); err != nil {
+			return fmt.Errorf("core: server %d apply push from %s: %w", s.cfg.Rank, msg.From, err)
+		}
+	}
+	ack := &transport.Message{Type: transport.MsgPushAck, To: msg.From, Seq: msg.Seq}
+	if err := s.ep.Send(ack); err != nil {
+		return fmt.Errorf("core: server %d ack push: %w", s.cfg.Rank, err)
+	}
+	for _, rel := range released {
+		if err := s.respondPull(rel.Token.(pullToken)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pullToken carries what the server needs to answer a delayed pull later.
+type pullToken struct {
+	from transport.NodeID
+	seq  uint64
+	keys []keyrange.Key
+}
+
+func (s *Server) handlePull(msg *transport.Message) error {
+	worker := int(msg.From.Rank)
+	progress := int(msg.Progress)
+	tok := pullToken{from: msg.From, seq: msg.Seq, keys: msg.Keys}
+	if s.ctrl.OnPull(worker, progress, tok) {
+		return s.respondPull(tok)
+	}
+	return nil // buffered as a DPR; answered by a later push
+}
+
+// handleSetCond swaps the shard's synchronization model at runtime (the
+// paper's flexibility claim: a model is just a pair of conditions, so
+// changing it is a message, not a restart). State — V_train, counts, the
+// DPR buffer — is preserved; pulls the new conditions admit are answered
+// immediately.
+func (s *Server) handleSetCond(msg *transport.Message) error {
+	spec, err := syncmodel.DecodeSpec(msg.Vals)
+	if err != nil {
+		return fmt.Errorf("core: server %d set-cond: %w", s.cfg.Rank, err)
+	}
+	model, err := spec.Build()
+	if err != nil {
+		return fmt.Errorf("core: server %d set-cond: %w", s.cfg.Rank, err)
+	}
+	released := s.ctrl.SetModel(model)
+	// The switch already happened; an unreachable admin must not take
+	// the server down with it.
+	ack := &transport.Message{Type: transport.MsgSetCondAck, To: msg.From, Seq: msg.Seq}
+	_ = s.ep.Send(ack)
+	for _, rel := range released {
+		if err := s.respondPull(rel.Token.(pullToken)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// SetCondition asks a server to switch its synchronization model at
+// runtime and waits for the acknowledgement. Call it from an endpoint
+// that is not concurrently used by a Worker's receive loop (e.g. an admin
+// endpoint).
+func SetCondition(ep transport.Endpoint, server int, spec syncmodel.Spec) error {
+	if _, err := spec.Build(); err != nil {
+		return err
+	}
+	msg := &transport.Message{
+		Type: transport.MsgSetCond,
+		To:   transport.Server(server),
+		Seq:  1,
+		Vals: spec.Encode(),
+	}
+	if err := ep.Send(msg); err != nil {
+		return err
+	}
+	resp, err := ep.Recv()
+	if err != nil {
+		return err
+	}
+	if resp.Type != transport.MsgSetCondAck {
+		return fmt.Errorf("core: unexpected %s in reply to set-cond", resp.Type)
+	}
+	return nil
+}
+
+func (s *Server) respondPull(tok pullToken) error {
+	keys := tok.keys
+	if len(keys) == 0 {
+		keys = s.keys
+	}
+	vals, err := s.shard.GatherShard(nil, keys)
+	if err != nil {
+		return fmt.Errorf("core: server %d gather for %s: %w", s.cfg.Rank, tok.from, err)
+	}
+	resp := &transport.Message{
+		Type: transport.MsgPullResp,
+		To:   tok.from,
+		Seq:  tok.seq,
+		Keys: keys,
+		Vals: vals,
+	}
+	if err := s.ep.Send(resp); err != nil {
+		return fmt.Errorf("core: server %d respond pull: %w", s.cfg.Rank, err)
+	}
+	return nil
+}

@@ -1,0 +1,76 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// TestRuntimeModelSwitch exercises the paper's runtime-flexibility claim
+// end to end over the transport: a worker blocked under SSP is released
+// the moment an admin switches the shard to ASP.
+func TestRuntimeModelSwitch(t *testing.T) {
+	net, srv, layout, assign := testServer(t, syncmodel.SSP(1), syncmodel.Lazy, 2)
+	w0, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w0.Close()
+
+	// Worker 0 runs ahead and blocks on its second pull.
+	if err := w0.SPush(0, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, 5)
+	if err := w0.SPull(0, params); err != nil {
+		t.Fatal(err)
+	}
+	if err := w0.SPush(1, make([]float64, 5)); err != nil {
+		t.Fatal(err)
+	}
+	blocked := make(chan error, 1)
+	go func() { blocked <- w0.SPull(1, params) }()
+	select {
+	case <-blocked:
+		t.Fatal("pull should be delayed under SSP(1)")
+	case <-time.After(50 * time.Millisecond):
+	}
+
+	// Admin switches the shard to ASP at runtime.
+	admin := net.Endpoint(transport.Worker(9))
+	defer admin.Close()
+	if err := SetCondition(admin, 0, syncmodel.Spec{Kind: syncmodel.KindASP}); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-blocked:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("blocked pull not released by the model switch")
+	}
+	if st := srv.Stats(); st.DPRs != 1 {
+		t.Errorf("DPRs = %d, want exactly the one pre-switch delay", st.DPRs)
+	}
+	// Post-switch, the worker free-runs.
+	for i := 2; i < 6; i++ {
+		if err := w0.SPush(i, make([]float64, 5)); err != nil {
+			t.Fatal(err)
+		}
+		if err := w0.SPull(i, params); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestSetConditionValidation(t *testing.T) {
+	net, _, _, _ := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 1)
+	admin := net.Endpoint(transport.Worker(8))
+	defer admin.Close()
+	if err := SetCondition(admin, 0, syncmodel.Spec{Kind: 99}); err == nil {
+		t.Error("invalid spec accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mathx"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// TestTCPEndToEndTraining runs a small but complete cluster — scheduler,
+// 2 servers, 3 workers — over real TCP sockets on localhost, exercising
+// registration, SSP synchronization with lazy drains, and convergence.
+func TestTCPEndToEndTraining(t *testing.T) {
+	if testing.Short() {
+		t.Skip("TCP integration test skipped in -short mode")
+	}
+	const (
+		servers = 2
+		workers = 3
+		iters   = 60
+	)
+	train, test := dataset.CIFAR10Like(41)
+	model, err := mlmodel.NewSoftmax(10, train.Dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	layout := model.Layout()
+	assign, err := keyrange.EPS(layout, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w0 := make([]float64, model.Dim())
+	model.Init(mathx.RNG(3, "init"), w0)
+
+	// Bring up all endpoints on ephemeral ports, then exchange the
+	// address book.
+	book := map[transport.NodeID]string{}
+	var eps []*transport.TCPEndpoint
+	listen := func(id transport.NodeID) *transport.TCPEndpoint {
+		ep, err := transport.ListenTCP(id, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		book[id] = ep.Addr()
+		eps = append(eps, ep)
+		return ep
+	}
+	schedEP := listen(transport.Scheduler())
+	serverEPs := make([]*transport.TCPEndpoint, servers)
+	for m := 0; m < servers; m++ {
+		serverEPs[m] = listen(transport.Server(m))
+	}
+	workerEPs := make([]*transport.TCPEndpoint, workers)
+	for n := 0; n < workers; n++ {
+		workerEPs[n] = listen(transport.Worker(n))
+	}
+	for _, ep := range eps {
+		for id, addr := range book {
+			ep.SetPeer(id, addr)
+		}
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	})
+
+	sched, err := NewScheduler(schedEP, servers, workers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go sched.Run()
+
+	errs := make(chan error, servers+workers+1)
+
+	// Servers: announce to the scheduler, then serve immediately so that
+	// workers released by the quorum find them ready.
+	for m := 0; m < servers; m++ {
+		go func(m int) {
+			errs <- func() error {
+				if err := RegisterAsync(serverEPs[m]); err != nil {
+					return fmt.Errorf("server %d register: %w", m, err)
+				}
+				srv, err := NewServer(serverEPs[m], ServerConfig{
+					Rank:       m,
+					NumWorkers: workers,
+					Layout:     layout,
+					Assignment: assign,
+					Model:      syncmodel.SSP(2),
+					Drain:      syncmodel.Lazy,
+					Init: func(k keyrange.Key, seg []float64) {
+						copy(seg, layout.Slice(w0, k))
+					},
+					Seed: 5,
+				})
+				if err != nil {
+					return err
+				}
+				return srv.Run()
+			}()
+		}(m)
+	}
+
+	// Workers: register, then train; the final accuracy check happens on
+	// worker 0's last parameter view.
+	var accMu sync.Mutex
+	finalAcc := -1.0
+	for n := 0; n < workers; n++ {
+		go func(n int) {
+			errs <- func() error {
+				if err := Register(workerEPs[n]); err != nil {
+					return fmt.Errorf("worker %d register: %w", n, err)
+				}
+				w, err := NewWorker(workerEPs[n], n, layout, assign)
+				if err != nil {
+					return err
+				}
+				shard, err := train.Shard(n, workers)
+				if err != nil {
+					return err
+				}
+				opt := &optimizer.SGD{LR: 0.1}
+				params := append([]float64(nil), w0...)
+				grad := make([]float64, len(params))
+				delta := make([]float64, len(params))
+				rng := mathx.RNG(5, fmt.Sprintf("tcp.worker.%d", n))
+				for i := 0; i < iters; i++ {
+					x, y := shard.Batch(rng, 16)
+					model.Gradient(params, x, y, grad)
+					opt.Delta(params, grad, delta)
+					if err := w.SPush(i, delta); err != nil {
+						return err
+					}
+					if i < iters-1 {
+						if err := w.SPull(i, params); err != nil {
+							return err
+						}
+					}
+				}
+				if n == 0 {
+					_, acc := model.Evaluate(params, test)
+					accMu.Lock()
+					finalAcc = acc
+					accMu.Unlock()
+				}
+				return nil
+			}()
+		}(n)
+	}
+
+	// Wait for the workers to finish, then shut the servers down.
+	for i := 0; i < workers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m := 0; m < servers; m++ {
+		if err := workerEPs[0].Send(&transport.Message{
+			Type: transport.MsgShutdown, To: transport.Server(m),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < servers; i++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	accMu.Lock()
+	defer accMu.Unlock()
+	if finalAcc < 0.4 {
+		t.Errorf("final accuracy over TCP = %.3f, want ≥ 0.4", finalAcc)
+	}
+}

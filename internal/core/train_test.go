@@ -1,0 +1,211 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+func baseClusterConfig(t *testing.T) ClusterConfig {
+	t.Helper()
+	train, test := dataset.CIFAR10Like(31)
+	model, err := mlmodel.NewSoftmax(10, train.Dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ClusterConfig{
+		Workers:      4,
+		Servers:      2,
+		Model:        model,
+		Train:        train,
+		Test:         test,
+		Sync:         syncmodel.BSP(),
+		Drain:        syncmodel.Lazy,
+		NewOptimizer: func() optimizer.Optimizer { return &optimizer.SGD{LR: 0.1} },
+		BatchSize:    16,
+		Iters:        120,
+		UseEPS:       true,
+		Seed:         7,
+	}
+}
+
+func TestRunConfigValidation(t *testing.T) {
+	mutations := []func(*ClusterConfig){
+		func(c *ClusterConfig) { c.Workers = 0 },
+		func(c *ClusterConfig) { c.Servers = 0 },
+		func(c *ClusterConfig) { c.Model = nil },
+		func(c *ClusterConfig) { c.Train = nil },
+		func(c *ClusterConfig) { c.BatchSize = 0 },
+		func(c *ClusterConfig) { c.Iters = 0 },
+		func(c *ClusterConfig) { c.NewOptimizer = nil },
+		func(c *ClusterConfig) { c.Sync = syncmodel.Model{}; c.SyncFor = nil },
+	}
+	for i, mutate := range mutations {
+		cfg := baseClusterConfig(t)
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestRunBSPTrainsToReasonableAccuracy(t *testing.T) {
+	cfg := baseClusterConfig(t)
+	cfg.Iters = 300
+	cfg.EvalEvery = 100
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.5 {
+		t.Errorf("final accuracy %.3f, want ≥ 0.5 after 300 BSP iterations", res.FinalAcc)
+	}
+	if len(res.History) != 3 {
+		t.Errorf("history has %d points, want 3", len(res.History))
+	}
+	// Under BSP every round closes with all workers: pushes = N·iters on
+	// each server.
+	for m, st := range res.ServerStats {
+		if st.Pushes != cfg.Workers*cfg.Iters {
+			t.Errorf("server %d pushes = %d, want %d", m, st.Pushes, cfg.Workers*cfg.Iters)
+		}
+		if st.Advances != cfg.Iters {
+			t.Errorf("server %d advances = %d, want %d", m, st.Advances, cfg.Iters)
+		}
+	}
+}
+
+func TestRunSyncModelsAllComplete(t *testing.T) {
+	for _, tc := range []struct {
+		name  string
+		model syncmodel.Model
+		drain syncmodel.DrainPolicy
+	}{
+		{"ASP", syncmodel.ASP(), syncmodel.Lazy},
+		{"SSP2-lazy", syncmodel.SSP(2), syncmodel.Lazy},
+		{"SSP2-soft", syncmodel.SSP(2), syncmodel.SoftBarrier},
+		{"PSSP", syncmodel.PSSPConst(2, 0.5), syncmodel.Lazy},
+		{"PSSP-dyn", syncmodel.PSSPDynamic(2, 0.6), syncmodel.SoftBarrier},
+		{"Drop", syncmodel.DropStragglers(3), syncmodel.Lazy},
+		{"DSPS", syncmodel.DSPS(syncmodel.DSPSConfig{Initial: 1, Min: 1, Max: 4}), syncmodel.Lazy},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := baseClusterConfig(t)
+			cfg.Sync = tc.model
+			cfg.Drain = tc.drain
+			res, err := Run(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.FinalAcc < 0.2 {
+				t.Errorf("accuracy %.3f suspiciously low for %s", res.FinalAcc, tc.name)
+			}
+		})
+	}
+}
+
+func TestRunPerServerModels(t *testing.T) {
+	// The paper's Figure 2 scenario: different shards under different
+	// models at the same time.
+	cfg := baseClusterConfig(t)
+	cfg.Servers = 3
+	cfg.SyncFor = func(m int) syncmodel.Model {
+		switch m {
+		case 0:
+			return syncmodel.SSP(2)
+		case 1:
+			return syncmodel.PSSPConst(2, 0.5)
+		default:
+			return syncmodel.DropStragglers(3)
+		}
+	}
+	cfg.Sync = syncmodel.Model{}
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.2 {
+		t.Errorf("mixed-model accuracy %.3f", res.FinalAcc)
+	}
+	if len(res.ServerStats) != 3 {
+		t.Fatalf("stats for %d servers", len(res.ServerStats))
+	}
+}
+
+func TestRunDefaultSlicingStillCorrect(t *testing.T) {
+	cfg := baseClusterConfig(t)
+	cfg.UseEPS = false
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.3 {
+		t.Errorf("accuracy %.3f under default slicing", res.FinalAcc)
+	}
+}
+
+func TestRunDeterministicAccuracyAcrossRepeats(t *testing.T) {
+	// BSP with fixed seeds is fully deterministic end-to-end even though
+	// goroutine interleaving differs: every round aggregates the same N
+	// deltas (order of float additions within a round can differ, but
+	// each server applies pushes in arrival order — so we only require
+	// accuracy to be very close, not bit-equal).
+	cfg := baseClusterConfig(t)
+	cfg.Iters = 100
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diff := a.FinalAcc - b.FinalAcc; diff > 0.05 || diff < -0.05 {
+		t.Errorf("BSP accuracy unstable across runs: %.3f vs %.3f", a.FinalAcc, b.FinalAcc)
+	}
+}
+
+func TestRunManyWorkersOneServer(t *testing.T) {
+	cfg := baseClusterConfig(t)
+	cfg.Workers = 8
+	cfg.Servers = 1
+	cfg.Iters = 60
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunMoreServersThanKeys(t *testing.T) {
+	cfg := baseClusterConfig(t)
+	cfg.Servers = 64 // far more servers than the layout has keys
+	cfg.Iters = 20
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunReportsWorkerTimes(t *testing.T) {
+	cfg := baseClusterConfig(t)
+	cfg.Iters = 80
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.WorkerTimes) != cfg.Workers {
+		t.Fatalf("times for %d workers, want %d", len(res.WorkerTimes), cfg.Workers)
+	}
+	for n, wt := range res.WorkerTimes {
+		if wt.Compute <= 0 {
+			t.Errorf("worker %d recorded no compute time", n)
+		}
+		if share := wt.SyncShare(); share < 0 || share > 1 {
+			t.Errorf("worker %d sync share %v out of [0,1]", n, share)
+		}
+	}
+	if (WorkerTimes{}).SyncShare() != 0 {
+		t.Error("zero worker times should have zero share")
+	}
+}

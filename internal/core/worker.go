@@ -1,0 +1,247 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// ErrTimeout is returned by SPush/SPull when a server does not answer
+// within the worker's configured timeout.
+var ErrTimeout = fmt.Errorf("core: request timed out")
+
+// Worker is a FluentPS client: it pushes updates for and pulls values of
+// the full model, splitting requests per server shard and reporting its
+// progress with every operation (the paper's sPush/sPull).
+//
+// A Worker is owned by one training goroutine; SPush/SPull must not be
+// called concurrently. Internally a receive loop routes responses to the
+// outstanding request, so slow shards only delay the operations that need
+// them.
+type Worker struct {
+	rank    int
+	ep      transport.Endpoint
+	layout  *keyrange.Layout
+	assign  *keyrange.Assignment
+	servers int
+
+	seq atomic.Uint64
+
+	// timeout bounds each outstanding request; zero waits forever. A
+	// delayed pull legitimately waits for stragglers, so when set it
+	// should comfortably exceed the slowest worker's round time.
+	timeout time.Duration
+
+	mu      sync.Mutex
+	waiting map[uint64]chan *transport.Message
+	recvErr error
+	done    chan struct{}
+
+	// keysPerServer caches each server's key list.
+	keysPerServer [][]keyrange.Key
+}
+
+// NewWorker builds a worker over the given endpoint, whose id must be
+// transport.Worker(rank).
+func NewWorker(ep transport.Endpoint, rank int, layout *keyrange.Layout, assign *keyrange.Assignment) (*Worker, error) {
+	if got, want := ep.ID(), transport.Worker(rank); got != want {
+		return nil, fmt.Errorf("core: endpoint id %s does not match worker rank %d", got, rank)
+	}
+	w := &Worker{
+		rank:    rank,
+		ep:      ep,
+		layout:  layout,
+		assign:  assign,
+		servers: assign.NumServers(),
+		waiting: make(map[uint64]chan *transport.Message),
+		done:    make(chan struct{}),
+	}
+	w.keysPerServer = make([][]keyrange.Key, w.servers)
+	for m := 0; m < w.servers; m++ {
+		w.keysPerServer[m] = assign.KeysOf(m)
+	}
+	go w.recvLoop()
+	return w, nil
+}
+
+// Rank returns the worker's index.
+func (w *Worker) Rank() int { return w.rank }
+
+// SetTimeout bounds every subsequent request; a server that does not
+// answer within d makes the operation fail with an error wrapping
+// ErrTimeout. Zero (the default) waits forever. Note that delayed pulls
+// are *supposed* to wait for stragglers — pick d well above the slowest
+// worker's expected round time.
+func (w *Worker) SetTimeout(d time.Duration) { w.timeout = d }
+
+func (w *Worker) recvLoop() {
+	for {
+		msg, err := w.ep.Recv()
+		if err != nil {
+			w.mu.Lock()
+			w.recvErr = err
+			for _, ch := range w.waiting {
+				close(ch)
+			}
+			w.waiting = map[uint64]chan *transport.Message{}
+			w.mu.Unlock()
+			close(w.done)
+			return
+		}
+		w.mu.Lock()
+		ch, ok := w.waiting[msg.Seq]
+		if ok {
+			delete(w.waiting, msg.Seq)
+		}
+		w.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+// expect registers interest in a response with the given seq.
+func (w *Worker) expect(seq uint64) chan *transport.Message {
+	ch := make(chan *transport.Message, 1)
+	w.mu.Lock()
+	w.waiting[seq] = ch
+	w.mu.Unlock()
+	return ch
+}
+
+func (w *Worker) await(ch chan *transport.Message) (*transport.Message, error) {
+	var timeoutC <-chan time.Time
+	if w.timeout > 0 {
+		timer := time.NewTimer(w.timeout)
+		defer timer.Stop()
+		timeoutC = timer.C
+	}
+	select {
+	case msg, ok := <-ch:
+		if !ok {
+			w.mu.Lock()
+			err := w.recvErr
+			w.mu.Unlock()
+			if err == transport.ErrClosed {
+				return nil, transport.ErrClosed
+			}
+			return nil, fmt.Errorf("core: worker %d connection lost: %w", w.rank, err)
+		}
+		return msg, nil
+	case <-timeoutC:
+		return nil, fmt.Errorf("core: worker %d: %w after %v", w.rank, ErrTimeout, w.timeout)
+	}
+}
+
+// Handle tracks an outstanding asynchronous operation; resolve it with
+// Wait — the paper's kv.wait(kv.sPull(...)) pattern.
+type Handle struct {
+	worker *Worker
+	chans  []chan *transport.Message
+	// params, when non-nil, receives scattered pull responses.
+	params []float64
+}
+
+// Wait blocks until every per-server response of the operation arrived
+// (Algorithm 1's kv.wait). For pulls it also scatters the responses into
+// the destination vector.
+func (h *Handle) Wait() error {
+	for _, ch := range h.chans {
+		resp, err := h.worker.await(ch)
+		if err != nil {
+			return err
+		}
+		if h.params != nil {
+			if err := kvstore.Scatter(h.worker.layout, h.params, resp.Keys, resp.Vals); err != nil {
+				return fmt.Errorf("core: worker %d scatter response: %w", h.worker.rank, err)
+			}
+		}
+	}
+	return nil
+}
+
+// SPushAsync sends the update delta (full model dimensionality) for
+// iteration progress — one message per server carrying that server's key
+// segments — and returns immediately. Algorithm 1's worker never waits
+// for push acknowledgements (line 4); wait on the handle only when you
+// need the delivery guarantee (e.g. before shutting down).
+func (w *Worker) SPushAsync(progress int, delta []float64) (*Handle, error) {
+	h := &Handle{worker: w}
+	for m := 0; m < w.servers; m++ {
+		keys := w.keysPerServer[m]
+		if len(keys) == 0 {
+			continue
+		}
+		seq := w.seq.Add(1)
+		h.chans = append(h.chans, w.expect(seq))
+		msg := &transport.Message{
+			Type:     transport.MsgPush,
+			To:       transport.Server(m),
+			Seq:      seq,
+			Progress: int32(progress),
+			Keys:     keys,
+			Vals:     kvstore.GatherInto(nil, w.layout, delta, keys),
+		}
+		if err := w.ep.Send(msg); err != nil {
+			return nil, fmt.Errorf("core: worker %d push to server %d: %w", w.rank, m, err)
+		}
+	}
+	return h, nil
+}
+
+// SPush is the synchronous form: push and wait for all acknowledgements,
+// so a returned nil error means every shard has received (and, per its
+// model, applied or dropped) the update.
+func (w *Worker) SPush(progress int, delta []float64) error {
+	h, err := w.SPushAsync(progress, delta)
+	if err != nil {
+		return err
+	}
+	return h.Wait()
+}
+
+// SPullAsync requests the parameters needed for iteration progress+1;
+// resolve with Wait, which scatters each shard's response into params.
+// Each shard answers independently once its pull condition admits the
+// request (possibly via the lazy pull buffer) — the overlap
+// synchronization of §III-D: an up-to-date shard answers immediately even
+// while another shard still waits for a straggler.
+func (w *Worker) SPullAsync(progress int, params []float64) (*Handle, error) {
+	h := &Handle{worker: w, params: params}
+	for m := 0; m < w.servers; m++ {
+		keys := w.keysPerServer[m]
+		if len(keys) == 0 {
+			continue
+		}
+		seq := w.seq.Add(1)
+		h.chans = append(h.chans, w.expect(seq))
+		msg := &transport.Message{
+			Type:     transport.MsgPull,
+			To:       transport.Server(m),
+			Seq:      seq,
+			Progress: int32(progress),
+			Keys:     keys,
+		}
+		if err := w.ep.Send(msg); err != nil {
+			return nil, fmt.Errorf("core: worker %d pull from server %d: %w", w.rank, m, err)
+		}
+	}
+	return h, nil
+}
+
+// SPull is the synchronous form of SPullAsync.
+func (w *Worker) SPull(progress int, params []float64) error {
+	h, err := w.SPullAsync(progress, params)
+	if err != nil {
+		return err
+	}
+	return h.Wait()
+}
+
+// Close tears down the worker's endpoint; outstanding operations fail.
+func (w *Worker) Close() error { return w.ep.Close() }

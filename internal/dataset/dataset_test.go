@@ -1,0 +1,284 @@
+package dataset
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/mathx"
+)
+
+func TestConfigValidate(t *testing.T) {
+	good := Config{Classes: 3, Dim: 4, TrainSize: 30, TestSize: 9, Separation: 2, NoiseStd: 1}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Classes: 1, Dim: 4, TrainSize: 30, TestSize: 9, Separation: 2, NoiseStd: 1},
+		{Classes: 3, Dim: 0, TrainSize: 30, TestSize: 9, Separation: 2, NoiseStd: 1},
+		{Classes: 3, Dim: 4, TrainSize: 2, TestSize: 9, Separation: 2, NoiseStd: 1},
+		{Classes: 3, Dim: 4, TrainSize: 30, TestSize: 2, Separation: 2, NoiseStd: 1},
+		{Classes: 3, Dim: 4, TrainSize: 30, TestSize: 9, Separation: 0, NoiseStd: 1},
+		{Classes: 3, Dim: 4, TrainSize: 30, TestSize: 9, Separation: 2, NoiseStd: -1},
+	}
+	for i, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+		if _, _, err := Synthetic(c); err == nil {
+			t.Errorf("Synthetic accepted bad config %d", i)
+		}
+	}
+}
+
+func TestSyntheticDeterministic(t *testing.T) {
+	cfg := Config{Classes: 5, Dim: 8, TrainSize: 100, TestSize: 25, Separation: 3, NoiseStd: 1, Seed: 7}
+	a1, b1, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, b2, _ := Synthetic(cfg)
+	for i := range a1.X {
+		for j := range a1.X[i] {
+			if a1.X[i][j] != a2.X[i][j] {
+				t.Fatal("train data not deterministic")
+			}
+		}
+	}
+	if b1.X[0][0] != b2.X[0][0] {
+		t.Fatal("test data not deterministic")
+	}
+	// Different seed changes data.
+	cfg.Seed = 8
+	a3, _, _ := Synthetic(cfg)
+	if a1.X[0][0] == a3.X[0][0] {
+		t.Error("different seeds produced identical data")
+	}
+	// Train and test streams differ.
+	if a1.X[0][0] == b1.X[0][0] {
+		t.Error("train and test share the same draw")
+	}
+}
+
+func TestSyntheticBalancedClasses(t *testing.T) {
+	cfg := Config{Classes: 4, Dim: 6, TrainSize: 100, TestSize: 40, Separation: 3, NoiseStd: 1, Seed: 1}
+	train, test, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	per, _ := train.Stats()
+	for c, n := range per {
+		if n != 25 {
+			t.Errorf("class %d has %d train examples, want 25", c, n)
+		}
+	}
+	per, _ = test.Stats()
+	for c, n := range per {
+		if n != 10 {
+			t.Errorf("class %d has %d test examples, want 10", c, n)
+		}
+	}
+}
+
+func TestSyntheticSeparationControlsDifficulty(t *testing.T) {
+	// With huge separation and tiny noise, nearest-center classification
+	// is essentially perfect; verify the geometry is as configured.
+	cfg := Config{Classes: 3, Dim: 10, TrainSize: 60, TestSize: 30, Separation: 50, NoiseStd: 0.1, Seed: 3}
+	train, _, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// All examples of one class are near each other (within a few noise
+	// stds) and far from other classes' examples.
+	var same, diff float64
+	var ns, nd int
+	for i := 0; i < train.Len(); i++ {
+		for j := i + 1; j < train.Len(); j++ {
+			d := 0.0
+			for k := range train.X[i] {
+				dd := train.X[i][k] - train.X[j][k]
+				d += dd * dd
+			}
+			d = math.Sqrt(d)
+			if train.Y[i] == train.Y[j] {
+				same += d
+				ns++
+			} else {
+				diff += d
+				nd++
+			}
+		}
+	}
+	if same/float64(ns) > diff/float64(nd)/10 {
+		t.Errorf("intra-class distance %.2f not far below inter-class %.2f",
+			same/float64(ns), diff/float64(nd))
+	}
+}
+
+func TestPresetsShape(t *testing.T) {
+	train, test := CIFAR10Like(1)
+	if train.Classes != 10 || train.Dim != 16 || test.Classes != 10 {
+		t.Errorf("CIFAR10Like shape wrong: %d classes × %d dims", train.Classes, train.Dim)
+	}
+	train100, _ := CIFAR100Like(1)
+	if train100.Classes != 100 {
+		t.Errorf("CIFAR100Like classes = %d", train100.Classes)
+	}
+}
+
+func TestModeStyleValidation(t *testing.T) {
+	base := Config{Classes: 4, Dim: 8, TrainSize: 40, TestSize: 8, Separation: 3, NoiseStd: 0.5}
+
+	ring := base
+	ring.Modes = 3
+	ring.ModeSpread = 1.5 // out of [0,1]
+	if err := ring.Validate(); err == nil {
+		t.Error("ModeSpread > 1 accepted")
+	}
+	ring.ModeSpread = 0.9
+	ring.Dim = 2
+	if err := ring.Validate(); err == nil {
+		t.Error("ring construction with Dim<3 accepted")
+	}
+
+	anti := base
+	anti.Style = StyleAntipodal
+	anti.Modes = 3
+	anti.ModeSpread = 0.5
+	if err := anti.Validate(); err == nil {
+		t.Error("antipodal with Modes != 2 accepted")
+	}
+	anti.Modes = 2
+	if err := anti.Validate(); err != nil {
+		t.Errorf("valid antipodal config rejected: %v", err)
+	}
+}
+
+func TestAntipodalModesAreOpposite(t *testing.T) {
+	// With zero noise and full spread, the two modes of a class must
+	// average near the class's linear center scaled by beta≈0 — i.e. the
+	// examples of the two modes sit symmetrically about the origin shift.
+	cfg := Config{Classes: 3, Dim: 8, TrainSize: 600, TestSize: 9,
+		Separation: 5, NoiseStd: 0, Modes: 2, ModeSpread: 1, Style: StyleAntipodal, Seed: 2}
+	train, _, err := Synthetic(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Group examples by (class, first-coordinate sign of deviation);
+	// within a class there must be exactly two distinct points, and they
+	// must be antipodal (sum ≈ 0 since beta = 0 at spread 1).
+	for c := 0; c < 3; c++ {
+		var a, b []float64
+		for i := range train.X {
+			if train.Y[i] != c {
+				continue
+			}
+			if a == nil {
+				a = train.X[i]
+				continue
+			}
+			if b == nil && train.X[i][0] != a[0] {
+				b = train.X[i]
+			}
+		}
+		if b == nil {
+			t.Fatalf("class %d has only one mode", c)
+		}
+		for j := range a {
+			if math.Abs(a[j]+b[j]) > 1e-9 {
+				t.Fatalf("class %d modes not antipodal at coord %d: %v vs %v", c, j, a[j], b[j])
+			}
+		}
+	}
+}
+
+func TestBatch(t *testing.T) {
+	train, _ := CIFAR10Like(2)
+	rng := mathx.RNG(5, "batch")
+	x, y := train.Batch(rng, 17)
+	if len(x) != 17 || len(y) != 17 {
+		t.Fatalf("batch sizes %d/%d", len(x), len(y))
+	}
+	for i := range y {
+		if y[i] < 0 || y[i] >= train.Classes {
+			t.Fatalf("label %d out of range", y[i])
+		}
+		if len(x[i]) != train.Dim {
+			t.Fatalf("example %d has dim %d", i, len(x[i]))
+		}
+	}
+	if x2, y2 := train.Batch(rng, 0); x2 != nil || y2 != nil {
+		t.Error("zero batch should be nil")
+	}
+	// Determinism with the same stream state.
+	ra, rb := mathx.RNG(9, "b"), mathx.RNG(9, "b")
+	xa, _ := train.Batch(ra, 5)
+	xb, _ := train.Batch(rb, 5)
+	for i := range xa {
+		if &xa[i][0] != &xb[i][0] {
+			t.Fatal("batch sampling not deterministic")
+		}
+	}
+}
+
+func TestShard(t *testing.T) {
+	train, _ := CIFAR10Like(3)
+	total := 7
+	sum := 0
+	for n := 0; n < total; n++ {
+		s, err := train.Shard(n, total)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += s.Len()
+		if s.Classes != train.Classes || s.Dim != train.Dim {
+			t.Error("shard metadata lost")
+		}
+	}
+	if sum != train.Len() {
+		t.Errorf("shards cover %d of %d examples", sum, train.Len())
+	}
+	if _, err := train.Shard(-1, total); err == nil {
+		t.Error("negative shard index accepted")
+	}
+	if _, err := train.Shard(7, 7); err == nil {
+		t.Error("out-of-range shard index accepted")
+	}
+	if _, err := train.Shard(0, 0); err == nil {
+		t.Error("zero total accepted")
+	}
+	tiny := &Dataset{X: [][]float64{{1}}, Y: []int{0}, Classes: 1, Dim: 1}
+	if _, err := tiny.Shard(1, 5); err == nil {
+		t.Error("empty shard accepted")
+	}
+}
+
+func TestLinReg(t *testing.T) {
+	d := LinReg(200, 10, 0.0, 4)
+	if len(d.X) != 200 || len(d.Y) != 200 || len(d.WStar) != 10 {
+		t.Fatal("wrong linreg shape")
+	}
+	// With zero noise y must equal ⟨w*, x⟩ exactly.
+	for i := range d.X {
+		dot := 0.0
+		for j := range d.X[i] {
+			dot += d.WStar[j] * d.X[i][j]
+		}
+		if math.Abs(dot-d.Y[i]) > 1e-12 {
+			t.Fatalf("example %d: y=%v, ⟨w*,x⟩=%v", i, d.Y[i], dot)
+		}
+	}
+	// Determinism.
+	d2 := LinReg(200, 10, 0.0, 4)
+	if d.Y[0] != d2.Y[0] {
+		t.Error("linreg not deterministic")
+	}
+}
+
+func TestLinRegPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("invalid linreg size should panic")
+		}
+	}()
+	LinReg(0, 5, 0, 1)
+}

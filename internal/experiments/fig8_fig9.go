@@ -1,0 +1,223 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/metrics"
+	"github.com/fluentps/fluentps/internal/sim"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig8",
+		Title: "Fig 8: accuracy vs time — soft barrier vs lazy execution (ResNet-56, 32 workers, SSP s=2)",
+		Paper: "Lazy execution is ~1.21× faster to finish and holds higher mid-training accuracy because released pulls return fresh parameters.",
+		Run:   runFig8,
+	})
+	register(&Experiment{
+		ID:    "fig9",
+		Title: "Fig 9: DPRs per 100 iterations — PSSP(s=3,c) vs regret-equivalent SSP(s′), soft barrier and lazy execution",
+		Paper: "PSSP cuts up to 97.1% of DPRs and 28.5% of time vs the regret-equivalent SSP under the soft barrier, and still ~70% under lazy execution.",
+		Run:   runFig9,
+	})
+}
+
+func runFig8(opts Options) (*Report, error) {
+	w := resNet56C10(opts.Seed)
+	workers := 32
+	nIters := iters(opts, 400, 60)
+	if opts.Quick {
+		workers = 8
+	}
+	w.lr = 0.05 // the regime where stale returns visibly cost accuracy
+	compute := gpuCompute(workers)
+	// Fig 8 targets the straggler regime where DPRs are frequent and the
+	// choice of what a released pull returns (fresh vs stale) matters.
+	compute.StraggleProb = 0.12
+	compute.StraggleFactor = 5
+	base := sim.Config{
+		Arch:         sim.ArchFluentPS,
+		Workers:      workers,
+		Servers:      8,
+		Model:        w.model,
+		Train:        w.train,
+		Test:         w.test,
+		Sync:         syncmodel.SSP(2),
+		UseEPS:       true,
+		NewOptimizer: w.momentum(),
+		BatchSize:    realBatch(workers),
+		Iters:        nIters,
+		Compute:      compute,
+		Net:          gpuNet(),
+		EvalEvery:    nIters / 16,
+		Seed:         opts.Seed,
+	}
+	soft := base
+	soft.Drain = syncmodel.SoftBarrier
+	lazy := base
+	lazy.Drain = syncmodel.Lazy
+
+	rs, err := sim.Run(soft)
+	if err != nil {
+		return nil, err
+	}
+	rl, err := sim.Run(lazy)
+	if err != nil {
+		return nil, err
+	}
+
+	rep := &Report{}
+	table := &metrics.Table{
+		Title:   "Fig 8 — accuracy vs time, SSP s=2 (sim seconds)",
+		Headers: []string{"time", "soft-barrier acc", "lazy acc"},
+	}
+	softSeries := &metrics.Series{Name: "soft-barrier"}
+	lazySeries := &metrics.Series{Name: "lazy"}
+	for _, p := range rs.History {
+		softSeries.Add(p.Time, p.Acc)
+	}
+	for _, p := range rl.History {
+		lazySeries.Add(p.Time, p.Acc)
+	}
+	// Sample both curves at the soft-barrier eval instants.
+	for _, p := range rs.History {
+		table.AddRow(metrics.F(p.Time), metrics.F(p.Acc), metrics.F(lazySeries.YAt(p.Time)))
+	}
+	rep.Tables = append(rep.Tables, table)
+	rep.Series = append(rep.Series, softSeries, lazySeries)
+	// The paper's 1.21× is time-to-accuracy. With a pure transfer-physics
+	// model both drains are rate-limited by the same stragglers, so wall
+	// times come out comparable; lazy's edge shows as higher accuracy at
+	// equal time and far fewer synchronization events (see EXPERIMENTS.md
+	// for the deviation discussion).
+	target := 0.97 * rs.FinalAcc
+	tSoft := timeToAcc(rs.History, target)
+	tLazy := timeToAcc(rl.History, target)
+	if tSoft > 0 && tLazy > 0 {
+		rep.Notef("time to %.3f accuracy: lazy %.1fs vs soft %.1fs — %.2fx (paper: 1.21x)",
+			target, tLazy, tSoft, tSoft/tLazy)
+	}
+	rep.Notef("final accuracy lazy %.3f vs soft %.3f", rl.FinalAcc, rs.FinalAcc)
+	rep.Notef("DPRs: lazy %d vs soft %d", rl.DPRs, rs.DPRs)
+	return rep, nil
+}
+
+// timeToAcc returns the first recorded time the accuracy reached target,
+// or -1 if it never did.
+func timeToAcc(history []sim.TimePoint, target float64) float64 {
+	for _, p := range history {
+		if p.Acc >= target {
+			return p.Time
+		}
+	}
+	return -1
+}
+
+// fig9Pairs are the paper's regret-equivalent pairs: PSSP(s=3,c) matches
+// SSP(s′ = s + 1/c − 1).
+var fig9Pairs = []struct {
+	label string
+	c     float64
+	sPrm  int
+}{
+	{"A/B", 1.0 / 2, 4},
+	{"C/D", 1.0 / 3, 5},
+	{"E/F", 1.0 / 5, 7},
+	{"G/H", 1.0 / 10, 12},
+}
+
+func runFig9(opts Options) (*Report, error) {
+	w := alexNetC10(opts.Seed)
+	workers := 64
+	nIters := iters(opts, 600, 60)
+	if opts.Quick {
+		workers = 16
+	}
+	pairs := fig9Pairs
+	if opts.Quick {
+		pairs = fig9Pairs[:2]
+	}
+
+	run := func(model syncmodel.Model, drain syncmodel.DrainPolicy) (*sim.Result, error) {
+		cfg := sim.Config{
+			Arch:         sim.ArchFluentPS,
+			Workers:      workers,
+			Servers:      1,
+			Model:        w.model,
+			Train:        w.train,
+			Test:         w.test,
+			Sync:         model,
+			Drain:        drain,
+			UseEPS:       true,
+			NewOptimizer: w.sgd(),
+			BatchSize:    realBatch(workers),
+			Iters:        nIters,
+			Compute:      cpuCompute(workers),
+			Net:          cpuNet(),
+			Seed:         opts.Seed,
+		}
+		return sim.Run(cfg)
+	}
+
+	rep := &Report{}
+	table := &metrics.Table{
+		Title:   "Fig 9 — DPRs per 100 iterations and total time (regret-equivalent pairs)",
+		Headers: []string{"pair", "drain", "PSSP dprs/100", "SSP dprs/100", "dpr-cut", "PSSP time", "SSP time", "time-cut"},
+	}
+	var bestDPRCut, bestTimeCut float64
+	for _, pair := range pairs {
+		for _, drain := range []syncmodel.DrainPolicy{syncmodel.SoftBarrier, syncmodel.Lazy} {
+			pssp, err := run(syncmodel.PSSPConst(3, pair.c), drain)
+			if err != nil {
+				return nil, err
+			}
+			ssp, err := run(syncmodel.SSP(pair.sPrm), drain)
+			if err != nil {
+				return nil, err
+			}
+			dprCut, timeCut := 0.0, 0.0
+			if ssp.DPRs > 0 {
+				dprCut = 1 - float64(pssp.DPRs)/float64(ssp.DPRs)
+			}
+			if ssp.TotalTime > 0 {
+				timeCut = 1 - pssp.TotalTime/ssp.TotalTime
+			}
+			if drain == syncmodel.SoftBarrier {
+				if dprCut > bestDPRCut {
+					bestDPRCut = dprCut
+				}
+				if timeCut > bestTimeCut {
+					bestTimeCut = timeCut
+				}
+			}
+			table.AddRow(pair.label, drain.String(),
+				fmt.Sprintf("%.1f", pssp.DPRsPer100Iters(nIters)),
+				fmt.Sprintf("%.1f", ssp.DPRsPer100Iters(nIters)),
+				metrics.Pct(dprCut),
+				metrics.F(pssp.TotalTime), metrics.F(ssp.TotalTime),
+				metrics.Pct(timeCut))
+		}
+	}
+	rep.Tables = append(rep.Tables, table)
+	rep.Notef("best DPR reduction under soft barrier: %s (paper: up to 97.1%%)", metrics.Pct(bestDPRCut))
+	rep.Notef("best time reduction under soft barrier: %s (paper: up to 28.5%%)", metrics.Pct(bestTimeCut))
+
+	// Under lazy execution regret-equivalent pairs genuinely produce
+	// equivalent DPR counts (that is what Theorem 1's equivalence means
+	// operationally), so the lazy-side saving the paper quotes is the
+	// equal-s comparison of Table IV: PSSP(s,c) vs SSP at the same s.
+	sspSameS, err := run(syncmodel.SSP(3), syncmodel.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	psspSameS, err := run(syncmodel.PSSPConst(3, fig9Pairs[0].c), syncmodel.Lazy)
+	if err != nil {
+		return nil, err
+	}
+	if sspSameS.DPRs > 0 {
+		rep.Notef("lazy, equal s=3: PSSP(c=1/2) cuts %s of SSP's DPRs (paper Table IV lazy rows: 25–75%%)",
+			metrics.Pct(1-float64(psspSameS.DPRs)/float64(sspSameS.DPRs)))
+	}
+	return rep, nil
+}

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/metrics"
+	"github.com/fluentps/fluentps/internal/sim"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "abl-gaia",
+		Title: "Ablation: Gaia-style significance filter (the paper's ref [37]) — wire volume vs accuracy",
+		Paper: "Gaia found >95% of updates insignificant (<1% relative change) and aggregates them before shipping; the paper's dynamic PSSP borrows its significance function.",
+		Run:   runAblGaia,
+	})
+}
+
+func runAblGaia(opts Options) (*Report, error) {
+	w := alexNetC10(opts.Seed)
+	workers := 16
+	nIters := iters(opts, 400, 60)
+	thresholds := []float64{0, 0.002, 0.01, 0.05}
+	if opts.Quick {
+		thresholds = []float64{0, 0.01}
+	}
+	rep := &Report{}
+	table := &metrics.Table{
+		Title:   "Gaia significance filter — SSP(s=3), lazy drains",
+		Headers: []string{"threshold", "bytes on wire", "skipped pushes", "final acc", "total time"},
+	}
+	var baseBytes int64
+	var bestCut float64
+	var accAtBestCut float64
+	for _, th := range thresholds {
+		cfg := sim.Config{
+			Arch:                  sim.ArchFluentPS,
+			Workers:               workers,
+			Servers:               2,
+			Model:                 w.model,
+			Train:                 w.train,
+			Test:                  w.test,
+			Sync:                  syncmodel.SSP(3),
+			Drain:                 syncmodel.Lazy,
+			UseEPS:                true,
+			SignificanceThreshold: th,
+			NewOptimizer:          w.sgd(),
+			BatchSize:             realBatch(workers),
+			Iters:                 nIters,
+			Compute:               cpuCompute(workers),
+			Net:                   cpuNet(),
+			Seed:                  opts.Seed,
+		}
+		res, err := sim.Run(cfg)
+		if err != nil {
+			return nil, err
+		}
+		if th == 0 {
+			baseBytes = res.BytesOnWire
+		}
+		table.AddRow(fmt.Sprintf("%.3g", th),
+			fmt.Sprint(res.BytesOnWire),
+			fmt.Sprint(res.SkippedPushes),
+			metrics.F(res.FinalAcc),
+			metrics.F(res.TotalTime))
+		if baseBytes > 0 && th > 0 {
+			if cut := 1 - float64(res.BytesOnWire)/float64(baseBytes); cut > bestCut {
+				bestCut = cut
+				accAtBestCut = res.FinalAcc
+			}
+		}
+	}
+	rep.Tables = append(rep.Tables, table)
+	rep.Notef("best wire-volume reduction: %s at final accuracy %.3f (Gaia: ≥95%% of updates insignificant)",
+		metrics.Pct(bestCut), accAtBestCut)
+	return rep, nil
+}

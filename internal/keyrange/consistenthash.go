@@ -1,0 +1,90 @@
+package keyrange
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// ConsistentHash assigns keys to servers via a hash ring with virtual
+// nodes — the partitioning mechanism the real PS-Lite uses underneath its
+// key ranges (Li et al., OSDI'14 §4.3), included here as a third slicing
+// strategy. Unlike DefaultSlicing it is insensitive to key *order*, and
+// unlike EPS it minimizes data movement when the server set changes: when
+// a server joins or leaves, only the keys on its arcs move.
+//
+// vnodes is the number of ring positions per server; more positions give
+// better balance at slightly higher lookup cost. Balance is by key count
+// (like PS-Lite), not scalar load — combine with EPSLayout re-keying when
+// scalar balance matters.
+func ConsistentHash(l *Layout, servers, vnodes int) (*Assignment, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("keyrange: need at least one server, got %d", servers)
+	}
+	if vnodes < 1 {
+		return nil, fmt.Errorf("keyrange: need at least one virtual node, got %d", vnodes)
+	}
+	ring := buildRing(servers, vnodes)
+	a := &Assignment{serverOf: make([]int, l.NumKeys()), servers: servers}
+	for k := 0; k < l.NumKeys(); k++ {
+		a.serverOf[k] = ring.owner(hashOf("key", uint64(k)))
+	}
+	return a, nil
+}
+
+type ringPoint struct {
+	pos    uint64
+	server int
+}
+
+type hashRing struct {
+	points []ringPoint
+}
+
+func buildRing(servers, vnodes int) *hashRing {
+	r := &hashRing{points: make([]ringPoint, 0, servers*vnodes)}
+	for s := 0; s < servers; s++ {
+		for v := 0; v < vnodes; v++ {
+			r.points = append(r.points, ringPoint{
+				pos:    hashOf("server", uint64(s)<<32|uint64(v)),
+				server: s,
+			})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].pos != r.points[j].pos {
+			return r.points[i].pos < r.points[j].pos
+		}
+		return r.points[i].server < r.points[j].server
+	})
+	return r
+}
+
+// owner returns the first ring point clockwise from h.
+func (r *hashRing) owner(h uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].pos >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].server
+}
+
+func hashOf(kind string, v uint64) uint64 {
+	h := fnv.New64a()
+	// fnv never returns an error.
+	_, _ = h.Write([]byte(kind))
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], v)
+	_, _ = h.Write(buf[:])
+	// FNV's avalanche on short structured inputs is weak; finish with a
+	// splitmix64 mix so ring positions spread uniformly.
+	return mix64(h.Sum64())
+}
+
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}

@@ -1,0 +1,84 @@
+package keyrange
+
+import (
+	"testing"
+)
+
+func manyKeysLayout(n int) *Layout {
+	sizes := make([]int, n)
+	for i := range sizes {
+		sizes[i] = 1
+	}
+	return MustLayout(sizes)
+}
+
+func TestConsistentHashValidation(t *testing.T) {
+	l := manyKeysLayout(10)
+	if _, err := ConsistentHash(l, 0, 16); err == nil {
+		t.Error("zero servers accepted")
+	}
+	if _, err := ConsistentHash(l, 2, 0); err == nil {
+		t.Error("zero vnodes accepted")
+	}
+}
+
+func TestConsistentHashCoversAllServersReasonably(t *testing.T) {
+	l := manyKeysLayout(4096)
+	a, err := ConsistentHash(l, 8, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	loads := a.Loads(l)
+	mean := l.TotalDim() / 8
+	for s, ld := range loads {
+		if ld == 0 {
+			t.Errorf("server %d owns nothing", s)
+		}
+		if ld > 2*mean || ld < mean/3 {
+			t.Errorf("server %d load %d far from mean %d", s, ld, mean)
+		}
+	}
+}
+
+func TestConsistentHashDeterministic(t *testing.T) {
+	l := manyKeysLayout(100)
+	a, _ := ConsistentHash(l, 4, 32)
+	b, _ := ConsistentHash(l, 4, 32)
+	if Moved(a, b) != 0 {
+		t.Error("ring not deterministic")
+	}
+}
+
+func TestConsistentHashMinimalMovementOnJoin(t *testing.T) {
+	l := manyKeysLayout(4096)
+	before, _ := ConsistentHash(l, 8, 64)
+	after, _ := ConsistentHash(l, 9, 64)
+	moved := Moved(before, after)
+	// Adding one of nine servers should move roughly 1/9 of keys; allow
+	// generous slack but require far less than a full reshuffle (compare:
+	// DefaultSlicing would move ~half the key space).
+	if moved > l.NumKeys()/3 {
+		t.Errorf("join moved %d of %d keys (ring should move ~1/9)", moved, l.NumKeys())
+	}
+	if moved == 0 {
+		t.Error("join moved nothing; new server is unused")
+	}
+	// Every moved key must have moved TO the new server (the defining
+	// minimal-movement property).
+	for k := 0; k < l.NumKeys(); k++ {
+		if before.ServerOf(Key(k)) != after.ServerOf(Key(k)) && after.ServerOf(Key(k)) != 8 {
+			t.Fatalf("key %d moved between old servers (%d→%d)",
+				k, before.ServerOf(Key(k)), after.ServerOf(Key(k)))
+		}
+	}
+}
+
+func TestConsistentHashMoreVnodesBalanceBetter(t *testing.T) {
+	l := manyKeysLayout(8192)
+	few, _ := ConsistentHash(l, 8, 4)
+	many, _ := ConsistentHash(l, 8, 256)
+	if !(many.Imbalance(l) < few.Imbalance(l)) {
+		t.Errorf("256 vnodes imbalance %.3f not below 4 vnodes %.3f",
+			many.Imbalance(l), few.Imbalance(l))
+	}
+}

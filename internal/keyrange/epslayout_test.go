@@ -1,0 +1,79 @@
+package keyrange
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEPSLayoutEvenRekey(t *testing.T) {
+	l, err := EPSLayout(1000, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumKeys() != 8 || l.TotalDim() != 1000 {
+		t.Fatalf("layout %d keys / %d dims", l.NumKeys(), l.TotalDim())
+	}
+	for k := 0; k < 8; k++ {
+		if l.KeySize(Key(k)) != 125 {
+			t.Errorf("key %d size %d, want 125", k, l.KeySize(Key(k)))
+		}
+	}
+}
+
+func TestEPSLayoutClampsParts(t *testing.T) {
+	l, err := EPSLayout(3, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l.NumKeys() != 3 {
+		t.Errorf("parts not clamped: %d keys", l.NumKeys())
+	}
+}
+
+func TestEPSLayoutValidation(t *testing.T) {
+	if _, err := EPSLayout(0, 4); err == nil {
+		t.Error("zero dims accepted")
+	}
+	if _, err := EPSLayout(10, 0); err == nil {
+		t.Error("zero parts accepted")
+	}
+}
+
+// Property: re-keying plus LPT assignment yields near-perfect balance —
+// the full EPS pipeline of the paper.
+func TestEPSRekeyPlusAssignIsBalanced(t *testing.T) {
+	f := func(dimRaw uint16, serversRaw uint8) bool {
+		dim := int(dimRaw)%100000 + 100
+		servers := int(serversRaw)%16 + 1
+		layout, err := EPSLayout(dim, 4*servers)
+		if err != nil {
+			return false
+		}
+		assign, err := EPS(layout, servers)
+		if err != nil {
+			return false
+		}
+		// With 4 near-equal keys per server, imbalance stays tiny.
+		return assign.Imbalance(layout) < 1.1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEPSLayoutOffsetsContiguous(t *testing.T) {
+	l, err := EPSLayout(103, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off := 0
+	for k := 0; k < l.NumKeys(); k++ {
+		if l.KeyOffset(Key(k)) != off {
+			t.Fatalf("key %d offset %d, want %d", k, l.KeyOffset(Key(k)), off)
+		}
+		off += l.KeySize(Key(k))
+	}
+	if off != 103 {
+		t.Fatalf("keys cover %d of 103", off)
+	}
+}

@@ -1,0 +1,37 @@
+package keyrange_test
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// EPS in two steps: re-key a skewed model into even ranges, then assign
+// them to servers — the load imbalance of PS-Lite's default slicing
+// disappears.
+func ExampleEPSLayout() {
+	// A model whose last key dominates (an AlexNet-style FC layer).
+	model := keyrange.MustLayout([]int{100, 100, 100, 700})
+
+	def, _ := keyrange.DefaultSlicing(model, 4)
+	fmt.Printf("default slicing imbalance: %.2f\n", def.Imbalance(model))
+
+	rekeyed, _ := keyrange.EPSLayout(model.TotalDim(), 8)
+	eps, _ := keyrange.EPS(rekeyed, 4)
+	fmt.Printf("EPS imbalance:             %.2f\n", eps.Imbalance(rekeyed))
+	// Output:
+	// default slicing imbalance: 2.80
+	// EPS imbalance:             1.00
+}
+
+// Rebalance moves only the keys a dead server owned.
+func ExampleRebalance() {
+	layout := keyrange.MustLayout([]int{10, 10, 10, 10})
+	old, _ := keyrange.EPS(layout, 4)
+	next, _ := keyrange.Rebalance(old, layout, []bool{true, true, true, false})
+	fmt.Println("keys moved:", keyrange.Moved(old, next))
+	fmt.Println("dead server keys:", len(next.KeysOf(3)))
+	// Output:
+	// keys moved: 1
+	// dead server keys: 0
+}

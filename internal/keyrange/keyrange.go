@@ -1,0 +1,341 @@
+// Package keyrange models the parameter key space of a parameter server
+// and the assignment of keys to server nodes.
+//
+// A model's parameters are a flat vector of scalars partitioned into keys;
+// each key owns one contiguous segment (typically one layer or one slice of
+// a layer), so key sizes are heterogeneous — convolutional layers are small
+// and fully-connected layers are enormous. How keys are assigned to servers
+// therefore determines server load balance.
+//
+// Two slicing strategies are provided:
+//
+//   - DefaultSlicing reproduces PS-Lite's default behaviour: the key space
+//     is range-partitioned into M contiguous ranges with an equal *number of
+//     keys* per range, ignoring key sizes. With realistic layer-size skew
+//     this concentrates most scalars on one server (the paper's motivation
+//     for EPS).
+//   - EPS is FluentPS's Elastic Parameter Slicing: keys are remapped so the
+//     *scalar load* is spread evenly across servers, and the assignment can
+//     be rebalanced when the set of alive servers changes.
+package keyrange
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Key identifies one parameter segment. Keys are dense: 0..NumKeys-1.
+type Key uint32
+
+// Layout describes the key space of a model: how many keys exist and how
+// many scalars each key owns. The scalar segments are laid out
+// contiguously in key order within the model's flat parameter vector.
+type Layout struct {
+	sizes   []int
+	offsets []int
+	total   int
+}
+
+// NewLayout builds a Layout from per-key scalar counts. Every size must be
+// positive.
+func NewLayout(sizes []int) (*Layout, error) {
+	if len(sizes) == 0 {
+		return nil, fmt.Errorf("keyrange: layout needs at least one key")
+	}
+	l := &Layout{
+		sizes:   append([]int(nil), sizes...),
+		offsets: make([]int, len(sizes)),
+	}
+	for i, s := range sizes {
+		if s <= 0 {
+			return nil, fmt.Errorf("keyrange: key %d has non-positive size %d", i, s)
+		}
+		l.offsets[i] = l.total
+		l.total += s
+	}
+	return l, nil
+}
+
+// MustLayout is NewLayout that panics on error; intended for tests and
+// static model definitions.
+func MustLayout(sizes []int) *Layout {
+	l, err := NewLayout(sizes)
+	if err != nil {
+		panic(err)
+	}
+	return l
+}
+
+// NumKeys returns the number of keys in the layout.
+func (l *Layout) NumKeys() int { return len(l.sizes) }
+
+// TotalDim returns the total number of scalars across all keys.
+func (l *Layout) TotalDim() int { return l.total }
+
+// KeySize returns the number of scalars owned by key k.
+func (l *Layout) KeySize(k Key) int { return l.sizes[k] }
+
+// KeyOffset returns the offset of key k's segment in the flat parameter
+// vector.
+func (l *Layout) KeyOffset(k Key) int { return l.offsets[k] }
+
+// Slice returns the sub-slice of a flat dim-TotalDim vector owned by key k.
+func (l *Layout) Slice(vec []float64, k Key) []float64 {
+	off := l.offsets[k]
+	return vec[off : off+l.sizes[k]]
+}
+
+// Assignment maps every key to a server in [0, NumServers).
+type Assignment struct {
+	serverOf []int
+	servers  int
+}
+
+// NumServers returns the number of servers the assignment targets.
+func (a *Assignment) NumServers() int { return a.servers }
+
+// NumKeys returns the number of keys in the assignment.
+func (a *Assignment) NumKeys() int { return len(a.serverOf) }
+
+// ServerOf returns the server responsible for key k.
+func (a *Assignment) ServerOf(k Key) int { return a.serverOf[k] }
+
+// KeysOf returns the keys assigned to server m, in ascending key order.
+func (a *Assignment) KeysOf(m int) []Key {
+	var ks []Key
+	for k, s := range a.serverOf {
+		if s == m {
+			ks = append(ks, Key(k))
+		}
+	}
+	return ks
+}
+
+// Loads returns the number of scalars each server is responsible for.
+func (a *Assignment) Loads(l *Layout) []int {
+	loads := make([]int, a.servers)
+	for k, s := range a.serverOf {
+		loads[s] += l.KeySize(Key(k))
+	}
+	return loads
+}
+
+// Imbalance returns max-load / mean-load across servers: 1.0 is perfectly
+// balanced. Servers with zero load still count toward the mean.
+func (a *Assignment) Imbalance(l *Layout) float64 {
+	loads := a.Loads(l)
+	maxLoad, sum := 0, 0
+	for _, ld := range loads {
+		sum += ld
+		if ld > maxLoad {
+			maxLoad = ld
+		}
+	}
+	if sum == 0 {
+		return 1
+	}
+	mean := float64(sum) / float64(len(loads))
+	return float64(maxLoad) / mean
+}
+
+// clone returns a deep copy of the assignment.
+func (a *Assignment) clone() *Assignment {
+	return &Assignment{serverOf: append([]int(nil), a.serverOf...), servers: a.servers}
+}
+
+// FromServerOf builds an assignment from an explicit key→server mapping
+// (used when an assignment crosses the wire). Entries must already be in
+// [0, servers); callers validate.
+func FromServerOf(serverOf []int, servers int) *Assignment {
+	return &Assignment{serverOf: append([]int(nil), serverOf...), servers: servers}
+}
+
+// DefaultSlicing reproduces PS-Lite's default key partitioning: contiguous
+// key ranges with an equal number of keys per server, regardless of key
+// sizes. It returns an error if servers < 1.
+func DefaultSlicing(l *Layout, servers int) (*Assignment, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("keyrange: need at least one server, got %d", servers)
+	}
+	a := &Assignment{serverOf: make([]int, l.NumKeys()), servers: servers}
+	n := l.NumKeys()
+	for k := 0; k < n; k++ {
+		// Same arithmetic PS-Lite uses to split [0, n) into `servers`
+		// near-equal contiguous ranges.
+		s := k * servers / n
+		if s >= servers {
+			s = servers - 1
+		}
+		a.serverOf[k] = s
+	}
+	return a, nil
+}
+
+// EPSLayout implements the re-keying half of Elastic Parameter Slicing:
+// the model's original (skew-prone) keys are remapped to `parts` new keys
+// of near-equal size spanning the same flat parameter space, "dividing the
+// model parameters evenly on all key ranges". Use several parts per server
+// so EPS (or Rebalance after membership changes) can spread them; parts is
+// clamped to totalDim.
+func EPSLayout(totalDim, parts int) (*Layout, error) {
+	if totalDim < 1 || parts < 1 {
+		return nil, fmt.Errorf("keyrange: invalid EPS re-keying (%d params into %d keys)", totalDim, parts)
+	}
+	if parts > totalDim {
+		parts = totalDim
+	}
+	sizes := make([]int, parts)
+	for i := range sizes {
+		lo := i * totalDim / parts
+		hi := (i + 1) * totalDim / parts
+		sizes[i] = hi - lo
+	}
+	return NewLayout(sizes)
+}
+
+// EPS implements the assignment half of Elastic Parameter Slicing: a
+// size-aware mapping of keys to servers that evens out scalar load. Keys
+// are placed largest-first onto the currently least-loaded server (LPT
+// scheduling), which guarantees a max load within 4/3 of optimal — exactly
+// balanced on an EPSLayout. It returns an error if servers < 1.
+func EPS(l *Layout, servers int) (*Assignment, error) {
+	if servers < 1 {
+		return nil, fmt.Errorf("keyrange: need at least one server, got %d", servers)
+	}
+	a := &Assignment{serverOf: make([]int, l.NumKeys()), servers: servers}
+	order := make([]Key, l.NumKeys())
+	for i := range order {
+		order[i] = Key(i)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		si, sj := l.KeySize(order[i]), l.KeySize(order[j])
+		if si != sj {
+			return si > sj
+		}
+		return order[i] < order[j] // deterministic tie-break
+	})
+	loads := make([]int, servers)
+	for _, k := range order {
+		best := 0
+		for s := 1; s < servers; s++ {
+			if loads[s] < loads[best] {
+				best = s
+			}
+		}
+		a.serverOf[k] = best
+		loads[best] += l.KeySize(k)
+	}
+	return a, nil
+}
+
+// Rebalance produces a new assignment after a membership change. alive must
+// have length a.NumServers(); keys on dead servers are moved to the alive
+// server with the smallest load, and keys on alive servers stay put (so
+// data movement is limited to what the failure forces). It returns an error
+// if no server is alive or alive has the wrong length.
+func Rebalance(a *Assignment, l *Layout, alive []bool) (*Assignment, error) {
+	if len(alive) != a.servers {
+		return nil, fmt.Errorf("keyrange: alive has %d entries for %d servers", len(alive), a.servers)
+	}
+	anyAlive := false
+	for _, ok := range alive {
+		anyAlive = anyAlive || ok
+	}
+	if !anyAlive {
+		return nil, fmt.Errorf("keyrange: cannot rebalance with zero alive servers")
+	}
+	out := a.clone()
+	loads := make([]int, a.servers)
+	var orphans []Key
+	for k, s := range a.serverOf {
+		if alive[s] {
+			loads[s] += l.KeySize(Key(k))
+		} else {
+			orphans = append(orphans, Key(k))
+		}
+	}
+	// Largest orphans first onto the least-loaded alive server.
+	sort.Slice(orphans, func(i, j int) bool {
+		si, sj := l.KeySize(orphans[i]), l.KeySize(orphans[j])
+		if si != sj {
+			return si > sj
+		}
+		return orphans[i] < orphans[j]
+	})
+	for _, k := range orphans {
+		best := -1
+		for s := 0; s < a.servers; s++ {
+			if !alive[s] {
+				continue
+			}
+			if best == -1 || loads[s] < loads[best] {
+				best = s
+			}
+		}
+		out.serverOf[k] = best
+		loads[best] += l.KeySize(k)
+	}
+	return out, nil
+}
+
+// ScaleUp produces an assignment over a larger server set: the key space
+// is unchanged, newServers ≥ a.NumServers(), and keys migrate greedily
+// from the currently most-loaded servers onto the new ones until every
+// new server is within one key of the mean load. Existing servers only
+// ever *lose* keys, keeping data movement one-directional.
+func ScaleUp(a *Assignment, l *Layout, newServers int) (*Assignment, error) {
+	if newServers < a.servers {
+		return nil, fmt.Errorf("keyrange: ScaleUp to %d servers from %d would shrink; use Rebalance",
+			newServers, a.servers)
+	}
+	out := &Assignment{serverOf: append([]int(nil), a.serverOf...), servers: newServers}
+	if newServers == a.servers {
+		return out, nil
+	}
+	loads := out.Loads(l)
+	mean := l.TotalDim() / newServers
+	for dst := a.servers; dst < newServers; dst++ {
+		for loads[dst] < mean {
+			// Take the smallest key that fits from the most-loaded server.
+			src := 0
+			for s := 1; s < a.servers; s++ {
+				if loads[s] > loads[src] {
+					src = s
+				}
+			}
+			best := -1
+			for k, owner := range out.serverOf {
+				if owner != src {
+					continue
+				}
+				if best == -1 || l.KeySize(Key(k)) < l.KeySize(Key(best)) {
+					best = k
+				}
+			}
+			if best == -1 {
+				break // source has no keys left
+			}
+			sz := l.KeySize(Key(best))
+			out.serverOf[best] = dst
+			loads[src] -= sz
+			loads[dst] += sz
+		}
+	}
+	return out, nil
+}
+
+// Moved counts the keys whose server differs between a and b; it reports
+// how much data movement a rebalance implies. The assignments must cover
+// the same key space.
+func Moved(a, b *Assignment) int {
+	if len(a.serverOf) != len(b.serverOf) {
+		panic("keyrange: Moved on assignments with different key spaces")
+	}
+	n := 0
+	for k := range a.serverOf {
+		if a.serverOf[k] != b.serverOf[k] {
+			n++
+		}
+	}
+	return n
+}

@@ -1,0 +1,155 @@
+package kvstore
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// Shard checkpointing: a compact binary snapshot of a shard's keys,
+// segments and update counters, so a long-running parameter server can be
+// stopped and resumed (or its state shipped to a replacement node). The
+// format is self-describing enough to be validated against the layout on
+// load.
+//
+// Layout (little-endian):
+//
+//	magic    uint32 ("FPSC")
+//	version  uint32
+//	numKeys  uint32
+//	per key: key uint32, updates uint64, size uint32, size × float64
+
+const (
+	checkpointMagic   = 0x46505343 // "FPSC"
+	checkpointVersion = 1
+)
+
+// Save writes the shard snapshot to w.
+func (s *Shard) Save(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	var scratch [8]byte
+	writeU32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	writeU64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := writeU32(checkpointMagic); err != nil {
+		return fmt.Errorf("kvstore: checkpoint: %w", err)
+	}
+	if err := writeU32(checkpointVersion); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(s.keys))); err != nil {
+		return err
+	}
+	for _, k := range s.keys {
+		if err := writeU32(uint32(k)); err != nil {
+			return err
+		}
+		if err := writeU64(s.updates[k]); err != nil {
+			return err
+		}
+		seg := s.data[k]
+		if err := writeU32(uint32(len(seg))); err != nil {
+			return err
+		}
+		for _, v := range seg {
+			if err := writeU64(math.Float64bits(v)); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// LoadShard reads a snapshot written by Save and validates it against the
+// layout (every key must exist and have the recorded size).
+func LoadShard(r io.Reader, layout *keyrange.Layout) (*Shard, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	magic, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: checkpoint header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("kvstore: bad checkpoint magic %#x", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("kvstore: unsupported checkpoint version %d", version)
+	}
+	numKeys, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(numKeys) > layout.NumKeys() {
+		return nil, fmt.Errorf("kvstore: checkpoint has %d keys, layout only %d", numKeys, layout.NumKeys())
+	}
+	s := &Shard{
+		layout:  layout,
+		data:    make(map[keyrange.Key][]float64, numKeys),
+		updates: make(map[keyrange.Key]uint64, numKeys),
+	}
+	for i := uint32(0); i < numKeys; i++ {
+		rawKey, err := readU32()
+		if err != nil {
+			return nil, fmt.Errorf("kvstore: checkpoint key %d: %w", i, err)
+		}
+		k := keyrange.Key(rawKey)
+		if int(rawKey) >= layout.NumKeys() {
+			return nil, fmt.Errorf("kvstore: checkpoint key %d outside layout", rawKey)
+		}
+		if _, dup := s.data[k]; dup {
+			return nil, fmt.Errorf("kvstore: checkpoint repeats key %d", rawKey)
+		}
+		updates, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		size, err := readU32()
+		if err != nil {
+			return nil, err
+		}
+		if int(size) != layout.KeySize(k) {
+			return nil, fmt.Errorf("kvstore: checkpoint key %d has size %d, layout says %d",
+				rawKey, size, layout.KeySize(k))
+		}
+		seg := make([]float64, size)
+		for j := range seg {
+			bits, err := readU64()
+			if err != nil {
+				return nil, fmt.Errorf("kvstore: checkpoint key %d values: %w", rawKey, err)
+			}
+			seg[j] = math.Float64frombits(bits)
+		}
+		s.data[k] = seg
+		s.updates[k] = updates
+		s.keys = append(s.keys, k)
+	}
+	sortKeys(s.keys)
+	return s, nil
+}

@@ -1,0 +1,135 @@
+package kvstore
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	layout := keyrange.MustLayout([]int{3, 5, 2, 7})
+	s := NewShard(layout, []keyrange.Key{0, 2, 3}, func(k keyrange.Key, seg []float64) {
+		for i := range seg {
+			seg[i] = float64(k)*100 + float64(i)
+		}
+	})
+	// Exercise update counters and special float values.
+	if err := s.ApplyGrad(2, []float64{math.Inf(1), -0.0}, 1); err != nil {
+		t.Fatal(err)
+	}
+	s.ApplyGrad(2, []float64{0, 0}, 1)
+
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadShard(&buf, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Keys()) != 3 {
+		t.Fatalf("restored %d keys", len(restored.Keys()))
+	}
+	for _, k := range s.Keys() {
+		want, _ := s.Segment(k)
+		got, err := restored.Segment(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range want {
+			if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+				t.Fatalf("key %d scalar %d: %v != %v", k, i, got[i], want[i])
+			}
+		}
+		if restored.Updates(k) != s.Updates(k) {
+			t.Errorf("key %d updates %d != %d", k, restored.Updates(k), s.Updates(k))
+		}
+	}
+	if !restored.Has(0) || restored.Has(1) {
+		t.Error("restored ownership wrong")
+	}
+}
+
+func TestCheckpointEmptyShard(t *testing.T) {
+	layout := keyrange.MustLayout([]int{3})
+	s := NewShard(layout, nil, nil)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadShard(&buf, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(restored.Keys()) != 0 {
+		t.Errorf("restored %d keys from empty shard", len(restored.Keys()))
+	}
+}
+
+func TestCheckpointRejectsCorruption(t *testing.T) {
+	layout := keyrange.MustLayout([]int{3, 5})
+	s := NewShard(layout, []keyrange.Key{0, 1}, nil)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xFF; return b }},
+		{"bad version", func(b []byte) []byte { b[4] = 99; return b }},
+		{"truncated", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"key out of layout", func(b []byte) []byte { b[12] = 200; return b }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			data := c.mutate(append([]byte(nil), good...))
+			if _, err := LoadShard(bytes.NewReader(data), layout); err == nil {
+				t.Error("corrupt checkpoint accepted")
+			}
+		})
+	}
+}
+
+func TestCheckpointWrongLayout(t *testing.T) {
+	layoutA := keyrange.MustLayout([]int{3, 5})
+	layoutB := keyrange.MustLayout([]int{4, 5}) // key 0 size differs
+	s := NewShard(layoutA, []keyrange.Key{0}, nil)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadShard(&buf, layoutB); err == nil {
+		t.Error("size-mismatched layout accepted")
+	}
+}
+
+func TestCheckpointRestoredShardIsUsable(t *testing.T) {
+	layout := keyrange.MustLayout([]int{2, 2})
+	s := NewShard(layout, []keyrange.Key{0, 1}, nil)
+	s.ApplyGrad(0, []float64{1, 1}, 1)
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := LoadShard(&buf, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Training continues on the restored shard.
+	if err := restored.ApplyGrad(0, []float64{1, 1}, 1); err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := restored.Segment(0)
+	if seg[0] != 2 {
+		t.Errorf("restored shard value %v, want 2", seg[0])
+	}
+	if restored.Updates(0) != 2 {
+		t.Errorf("updates = %d, want 2 (1 before + 1 after restore)", restored.Updates(0))
+	}
+}

@@ -1,0 +1,46 @@
+package kvstore
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// FuzzLoadShard: corrupted checkpoints must be rejected without panics or
+// unbounded allocation, and valid checkpoints must round-trip.
+func FuzzLoadShard(f *testing.F) {
+	layout := keyrange.MustLayout([]int{3, 5, 2})
+	s := NewShard(layout, []keyrange.Key{0, 2}, func(k keyrange.Key, seg []float64) {
+		for i := range seg {
+			seg[i] = float64(k) + float64(i)/10
+		}
+	})
+	var good bytes.Buffer
+	if err := s.Save(&good); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(good.Bytes())
+	f.Add([]byte{})
+	f.Add(good.Bytes()[:8])
+	f.Fuzz(func(t *testing.T, data []byte) {
+		restored, err := LoadShard(bytes.NewReader(data), layout)
+		if err != nil {
+			return
+		}
+		// Anything accepted must be internally consistent.
+		for _, k := range restored.Keys() {
+			seg, err := restored.Segment(k)
+			if err != nil {
+				t.Fatalf("restored shard lost key %d: %v", k, err)
+			}
+			if len(seg) != layout.KeySize(k) {
+				t.Fatalf("key %d has %d scalars, layout says %d", k, len(seg), layout.KeySize(k))
+			}
+		}
+		var out bytes.Buffer
+		if err := restored.Save(&out); err != nil {
+			t.Fatalf("re-save failed: %v", err)
+		}
+	})
+}

@@ -1,0 +1,222 @@
+// Package kvstore holds parameter state for servers and workers.
+//
+// A Shard is one server's slice of the global model: the segments of the
+// flat parameter vector belonging to the keys assigned to that server, with
+// per-key update counters. Shards are owned by a single goroutine (the
+// server's message loop or the simulator); they are deliberately unlocked.
+//
+// Gather and Scatter convert between a worker's flat model vector and the
+// concatenated per-key payloads that travel in push/pull messages.
+package kvstore
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mathx"
+)
+
+// Shard stores the parameter segments for one server's keys.
+type Shard struct {
+	layout  *keyrange.Layout
+	keys    []keyrange.Key
+	data    map[keyrange.Key][]float64
+	updates map[keyrange.Key]uint64
+}
+
+// NewShard creates a shard for the given keys. If init is non-nil it is
+// called once per key to fill the segment's initial values (e.g. to copy
+// w0); otherwise segments start at zero.
+func NewShard(layout *keyrange.Layout, keys []keyrange.Key, init func(k keyrange.Key, seg []float64)) *Shard {
+	s := &Shard{
+		layout:  layout,
+		keys:    append([]keyrange.Key(nil), keys...),
+		data:    make(map[keyrange.Key][]float64, len(keys)),
+		updates: make(map[keyrange.Key]uint64, len(keys)),
+	}
+	for _, k := range s.keys {
+		seg := make([]float64, layout.KeySize(k))
+		if init != nil {
+			init(k, seg)
+		}
+		s.data[k] = seg
+	}
+	return s
+}
+
+// Keys returns the keys this shard owns (shared slice; do not mutate).
+func (s *Shard) Keys() []keyrange.Key { return s.keys }
+
+// Dim returns the total number of scalars stored in the shard.
+func (s *Shard) Dim() int {
+	d := 0
+	for _, k := range s.keys {
+		d += s.layout.KeySize(k)
+	}
+	return d
+}
+
+// Has reports whether the shard owns key k.
+func (s *Shard) Has(k keyrange.Key) bool {
+	_, ok := s.data[k]
+	return ok
+}
+
+// Segment returns the live segment for key k. The caller must not hold the
+// returned slice across shard mutations it does not control; use ReadInto
+// for a copy.
+func (s *Shard) Segment(k keyrange.Key) ([]float64, error) {
+	seg, ok := s.data[k]
+	if !ok {
+		return nil, fmt.Errorf("kvstore: shard does not own key %d", k)
+	}
+	return seg, nil
+}
+
+// ReadInto copies key k's segment into dst and returns the number of
+// scalars copied. dst must be at least the key's size.
+func (s *Shard) ReadInto(k keyrange.Key, dst []float64) (int, error) {
+	seg, ok := s.data[k]
+	if !ok {
+		return 0, fmt.Errorf("kvstore: shard does not own key %d", k)
+	}
+	if len(dst) < len(seg) {
+		return 0, fmt.Errorf("kvstore: dst has %d slots for key %d of size %d", len(dst), k, len(seg))
+	}
+	return copy(dst, seg), nil
+}
+
+// ApplyGrad performs w_k += scale · grad for key k (Algorithm 1 line 15
+// uses scale = 1/N). grad must have exactly the key's size.
+func (s *Shard) ApplyGrad(k keyrange.Key, grad []float64, scale float64) error {
+	seg, ok := s.data[k]
+	if !ok {
+		return fmt.Errorf("kvstore: shard does not own key %d", k)
+	}
+	if len(grad) != len(seg) {
+		return fmt.Errorf("kvstore: gradient for key %d has %d scalars, want %d", k, len(grad), len(seg))
+	}
+	mathx.Axpy(scale, grad, seg)
+	s.updates[k]++
+	return nil
+}
+
+// Set overwrites key k's segment (used for rebalance handoff).
+func (s *Shard) Set(k keyrange.Key, vals []float64) error {
+	seg, ok := s.data[k]
+	if !ok {
+		return fmt.Errorf("kvstore: shard does not own key %d", k)
+	}
+	if len(vals) != len(seg) {
+		return fmt.Errorf("kvstore: values for key %d have %d scalars, want %d", k, len(vals), len(seg))
+	}
+	copy(seg, vals)
+	return nil
+}
+
+// Updates returns how many gradient applications key k has received.
+func (s *Shard) Updates(k keyrange.Key) uint64 { return s.updates[k] }
+
+// AddKey takes ownership of key k with the given segment contents (used
+// by elastic rebalancing when a segment migrates in). It is an error if
+// the shard already owns k or the values have the wrong size.
+func (s *Shard) AddKey(k keyrange.Key, vals []float64) error {
+	if _, ok := s.data[k]; ok {
+		return fmt.Errorf("kvstore: shard already owns key %d", k)
+	}
+	if len(vals) != s.layout.KeySize(k) {
+		return fmt.Errorf("kvstore: values for key %d have %d scalars, want %d",
+			k, len(vals), s.layout.KeySize(k))
+	}
+	s.data[k] = append([]float64(nil), vals...)
+	s.keys = append(s.keys, k)
+	sortKeys(s.keys)
+	return nil
+}
+
+// RemoveKey releases ownership of key k and returns its final segment
+// contents (used by elastic rebalancing when a segment migrates out).
+func (s *Shard) RemoveKey(k keyrange.Key) ([]float64, error) {
+	seg, ok := s.data[k]
+	if !ok {
+		return nil, fmt.Errorf("kvstore: shard does not own key %d", k)
+	}
+	delete(s.data, k)
+	delete(s.updates, k)
+	for i, key := range s.keys {
+		if key == k {
+			s.keys = append(s.keys[:i], s.keys[i+1:]...)
+			break
+		}
+	}
+	return seg, nil
+}
+
+func sortKeys(keys []keyrange.Key) {
+	for i := 1; i < len(keys); i++ {
+		for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+			keys[j], keys[j-1] = keys[j-1], keys[j]
+		}
+	}
+}
+
+// GatherInto appends the concatenation of vec's segments for keys to dst
+// and returns it; this is the payload layout of push/pull messages.
+func GatherInto(dst []float64, layout *keyrange.Layout, vec []float64, keys []keyrange.Key) []float64 {
+	for _, k := range keys {
+		dst = append(dst, layout.Slice(vec, k)...)
+	}
+	return dst
+}
+
+// Scatter writes a concatenated payload for keys back into vec's segments.
+// It returns an error if the payload length does not match the keys' total
+// size.
+func Scatter(layout *keyrange.Layout, vec []float64, keys []keyrange.Key, vals []float64) error {
+	off := 0
+	for _, k := range keys {
+		sz := layout.KeySize(k)
+		if off+sz > len(vals) {
+			return fmt.Errorf("kvstore: payload too short: %d scalars for keys totalling more", len(vals))
+		}
+		copy(layout.Slice(vec, k), vals[off:off+sz])
+		off += sz
+	}
+	if off != len(vals) {
+		return fmt.Errorf("kvstore: payload has %d scalars, keys consume %d", len(vals), off)
+	}
+	return nil
+}
+
+// GatherShard appends the shard's segments for keys (in the given order) to
+// dst — the server-side counterpart of GatherInto for pull responses.
+func (s *Shard) GatherShard(dst []float64, keys []keyrange.Key) ([]float64, error) {
+	for _, k := range keys {
+		seg, ok := s.data[k]
+		if !ok {
+			return nil, fmt.Errorf("kvstore: shard does not own key %d", k)
+		}
+		dst = append(dst, seg...)
+	}
+	return dst, nil
+}
+
+// ApplyGradPayload applies a concatenated gradient payload for keys with
+// the given scale — the server-side counterpart of Scatter for pushes.
+func (s *Shard) ApplyGradPayload(keys []keyrange.Key, vals []float64, scale float64) error {
+	off := 0
+	for _, k := range keys {
+		sz := s.layout.KeySize(k)
+		if off+sz > len(vals) {
+			return fmt.Errorf("kvstore: gradient payload too short")
+		}
+		if err := s.ApplyGrad(k, vals[off:off+sz], scale); err != nil {
+			return err
+		}
+		off += sz
+	}
+	if off != len(vals) {
+		return fmt.Errorf("kvstore: gradient payload has %d scalars, keys consume %d", len(vals), off)
+	}
+	return nil
+}

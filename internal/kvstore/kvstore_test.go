@@ -1,0 +1,212 @@
+package kvstore
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+func testLayout() *keyrange.Layout {
+	return keyrange.MustLayout([]int{2, 3, 4})
+}
+
+func TestNewShardZeroInit(t *testing.T) {
+	l := testLayout()
+	s := NewShard(l, []keyrange.Key{0, 2}, nil)
+	if s.Dim() != 6 {
+		t.Errorf("Dim = %d, want 6", s.Dim())
+	}
+	seg, err := s.Segment(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, v := range seg {
+		if v != 0 {
+			t.Errorf("zero init violated: %v", seg)
+		}
+	}
+	if !s.Has(0) || s.Has(1) {
+		t.Error("Has reports wrong ownership")
+	}
+}
+
+func TestNewShardCustomInit(t *testing.T) {
+	l := testLayout()
+	s := NewShard(l, []keyrange.Key{1}, func(k keyrange.Key, seg []float64) {
+		for i := range seg {
+			seg[i] = float64(k)*10 + float64(i)
+		}
+	})
+	seg, _ := s.Segment(1)
+	want := []float64{10, 11, 12}
+	for i := range want {
+		if seg[i] != want[i] {
+			t.Fatalf("init segment = %v, want %v", seg, want)
+		}
+	}
+}
+
+func TestApplyGrad(t *testing.T) {
+	l := testLayout()
+	s := NewShard(l, []keyrange.Key{0}, nil)
+	if err := s.ApplyGrad(0, []float64{4, 8}, 0.25); err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := s.Segment(0)
+	if seg[0] != 1 || seg[1] != 2 {
+		t.Errorf("ApplyGrad result %v, want [1 2]", seg)
+	}
+	if s.Updates(0) != 1 {
+		t.Errorf("Updates = %d, want 1", s.Updates(0))
+	}
+	if err := s.ApplyGrad(0, []float64{1}, 1); err == nil {
+		t.Error("wrong-size gradient should error")
+	}
+	if err := s.ApplyGrad(1, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("unowned key should error")
+	}
+}
+
+func TestReadIntoAndSet(t *testing.T) {
+	l := testLayout()
+	s := NewShard(l, []keyrange.Key{1}, nil)
+	if err := s.Set(1, []float64{7, 8, 9}); err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]float64, 3)
+	n, err := s.ReadInto(1, dst)
+	if err != nil || n != 3 {
+		t.Fatalf("ReadInto n=%d err=%v", n, err)
+	}
+	if dst[0] != 7 || dst[2] != 9 {
+		t.Errorf("ReadInto got %v", dst)
+	}
+	if _, err := s.ReadInto(1, make([]float64, 2)); err == nil {
+		t.Error("short dst should error")
+	}
+	if _, err := s.ReadInto(0, dst); err == nil {
+		t.Error("unowned key should error")
+	}
+	if err := s.Set(1, []float64{1}); err == nil {
+		t.Error("wrong-size Set should error")
+	}
+	if err := s.Set(0, []float64{1, 2}); err == nil {
+		t.Error("unowned Set should error")
+	}
+}
+
+func TestGatherScatterRoundTrip(t *testing.T) {
+	l := testLayout()
+	vec := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	keys := []keyrange.Key{0, 2}
+	payload := GatherInto(nil, l, vec, keys)
+	want := []float64{1, 2, 6, 7, 8, 9}
+	if len(payload) != len(want) {
+		t.Fatalf("payload = %v", payload)
+	}
+	for i := range want {
+		if payload[i] != want[i] {
+			t.Fatalf("payload = %v, want %v", payload, want)
+		}
+	}
+	dst := make([]float64, 9)
+	if err := Scatter(l, dst, keys, payload); err != nil {
+		t.Fatal(err)
+	}
+	wantVec := []float64{1, 2, 0, 0, 0, 6, 7, 8, 9}
+	for i := range wantVec {
+		if dst[i] != wantVec[i] {
+			t.Fatalf("scattered vec = %v, want %v", dst, wantVec)
+		}
+	}
+}
+
+func TestScatterErrors(t *testing.T) {
+	l := testLayout()
+	vec := make([]float64, 9)
+	if err := Scatter(l, vec, []keyrange.Key{0, 1}, []float64{1, 2}); err == nil {
+		t.Error("short payload should error")
+	}
+	if err := Scatter(l, vec, []keyrange.Key{0}, []float64{1, 2, 3}); err == nil {
+		t.Error("long payload should error")
+	}
+}
+
+func TestShardGatherAndApplyPayload(t *testing.T) {
+	l := testLayout()
+	s := NewShard(l, []keyrange.Key{0, 1}, nil)
+	if err := s.ApplyGradPayload([]keyrange.Key{0, 1}, []float64{1, 2, 3, 4, 5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	out, err := s.GatherShard(nil, []keyrange.Key{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{2, 4, 6, 8, 10}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("GatherShard = %v, want %v", out, want)
+		}
+	}
+	if _, err := s.GatherShard(nil, []keyrange.Key{2}); err == nil {
+		t.Error("gather of unowned key should error")
+	}
+	if err := s.ApplyGradPayload([]keyrange.Key{0}, []float64{1}, 1); err == nil {
+		t.Error("short gradient payload should error")
+	}
+	if err := s.ApplyGradPayload([]keyrange.Key{0}, []float64{1, 2, 3}, 1); err == nil {
+		t.Error("long gradient payload should error")
+	}
+}
+
+// Property: Gather∘Scatter is the identity on the covered segments and
+// never touches uncovered segments.
+func TestGatherScatterProperty(t *testing.T) {
+	f := func(raw []float64, pick uint8) bool {
+		sizes := []int{3, 1, 4, 2}
+		l := keyrange.MustLayout(sizes)
+		vec := make([]float64, l.TotalDim())
+		for i := range vec {
+			if i < len(raw) && !math.IsNaN(raw[i]) {
+				vec[i] = raw[i]
+			} else {
+				vec[i] = float64(i)
+			}
+		}
+		var keys []keyrange.Key
+		for k := 0; k < 4; k++ {
+			if pick&(1<<k) != 0 {
+				keys = append(keys, keyrange.Key(k))
+			}
+		}
+		payload := GatherInto(nil, l, vec, keys)
+		dst := make([]float64, l.TotalDim())
+		for i := range dst {
+			dst[i] = -1
+		}
+		if err := Scatter(l, dst, keys, payload); err != nil {
+			return false
+		}
+		covered := map[int]bool{}
+		for _, k := range keys {
+			off := l.KeyOffset(k)
+			for i := 0; i < l.KeySize(k); i++ {
+				covered[off+i] = true
+			}
+		}
+		for i := range dst {
+			if covered[i] && dst[i] != vec[i] {
+				return false
+			}
+			if !covered[i] && dst[i] != -1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

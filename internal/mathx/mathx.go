@@ -1,0 +1,207 @@
+// Package mathx provides small numeric helpers shared across the
+// repository: numerically stable activation functions, summary statistics,
+// and deterministic named random-number streams.
+//
+// Everything in this package is pure and allocation-conscious; hot paths
+// (softmax, dot products) are written to be inlinable and to reuse caller
+// buffers.
+package mathx
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// Sigmoid returns 1/(1+e^-x) computed in a numerically stable way for
+// large-magnitude inputs.
+func Sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Softmax writes the softmax of logits into out (which must have the same
+// length) and returns out. It subtracts the maximum logit before
+// exponentiating so the result is stable for large logits.
+func Softmax(logits, out []float64) []float64 {
+	if len(out) != len(logits) {
+		panic(fmt.Sprintf("mathx: softmax length mismatch %d != %d", len(out), len(logits)))
+	}
+	maxv := math.Inf(-1)
+	for _, v := range logits {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		out[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range out {
+		out[i] *= inv
+	}
+	return out
+}
+
+// Dot returns the inner product of a and b, which must have equal length.
+func Dot(a, b []float64) float64 {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("mathx: dot length mismatch %d != %d", len(a), len(b)))
+	}
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+// Norm2 returns the Euclidean norm of v.
+func Norm2(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+// Axpy computes y += alpha*x element-wise. x and y must have equal length.
+func Axpy(alpha float64, x, y []float64) {
+	if len(x) != len(y) {
+		panic(fmt.Sprintf("mathx: axpy length mismatch %d != %d", len(x), len(y)))
+	}
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+// Scale multiplies every element of v by alpha in place.
+func Scale(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// ArgMax returns the index of the largest element of v, or -1 if v is empty.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		return -1
+	}
+	best, bi := v[0], 0
+	for i, x := range v[1:] {
+		if x > best {
+			best, bi = x, i+1
+		}
+	}
+	return bi
+}
+
+// Clamp limits x to the closed interval [lo, hi].
+func Clamp(x, lo, hi float64) float64 {
+	if x < lo {
+		return lo
+	}
+	if x > hi {
+		return hi
+	}
+	return x
+}
+
+// RNG returns a deterministic random stream derived from a base seed and a
+// stream name. Distinct names yield independent streams, so simulator
+// components (compute noise, network noise, PSSP coin flips, data
+// shuffling) can each consume randomness without perturbing one another —
+// adding a draw in one component never changes another component's
+// sequence.
+func RNG(seed int64, name string) *rand.Rand {
+	h := fnv.New64a()
+	// fnv never returns an error.
+	_, _ = h.Write([]byte(name))
+	return rand.New(rand.NewSource(seed ^ int64(h.Sum64())))
+}
+
+// Summary holds basic descriptive statistics of a sample.
+type Summary struct {
+	N      int
+	Mean   float64
+	Std    float64
+	Min    float64
+	Max    float64
+	Median float64
+	P95    float64
+}
+
+// Summarize computes summary statistics of xs. It returns a zero Summary
+// for an empty sample.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: math.Inf(1), Max: math.Inf(-1)}
+	var sum float64
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(len(xs))
+	var ss float64
+	for _, x := range xs {
+		d := x - s.Mean
+		ss += d * d
+	}
+	if len(xs) > 1 {
+		s.Std = math.Sqrt(ss / float64(len(xs)-1))
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	s.Median = Quantile(sorted, 0.5)
+	s.P95 = Quantile(sorted, 0.95)
+	return s
+}
+
+// Quantile returns the q-th quantile (0 ≤ q ≤ 1) of an already-sorted
+// sample using linear interpolation between closest ranks.
+func Quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return math.NaN()
+	}
+	if len(sorted) == 1 {
+		return sorted[0]
+	}
+	pos := Clamp(q, 0, 1) * float64(len(sorted)-1)
+	lo := int(math.Floor(pos))
+	hi := int(math.Ceil(pos))
+	if lo == hi {
+		return sorted[lo]
+	}
+	frac := pos - float64(lo)
+	return sorted[lo]*(1-frac) + sorted[hi]*frac
+}
+
+// LogNormal draws a log-normally distributed value such that the result has
+// the given mean and the given coefficient of variation (std/mean). A cv of
+// zero returns mean exactly.
+func LogNormal(r *rand.Rand, mean, cv float64) float64 {
+	if mean <= 0 {
+		return 0
+	}
+	if cv <= 0 {
+		return mean
+	}
+	sigma2 := math.Log(1 + cv*cv)
+	mu := math.Log(mean) - sigma2/2
+	return math.Exp(mu + math.Sqrt(sigma2)*r.NormFloat64())
+}

@@ -1,0 +1,78 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestSeries(t *testing.T) {
+	s := &Series{Name: "acc"}
+	if s.Len() != 0 || s.Last() != 0 {
+		t.Error("empty series defaults wrong")
+	}
+	s.Add(1, 0.5)
+	s.Add(2, 0.7)
+	s.Add(4, 0.9)
+	if s.Len() != 3 || s.Last() != 0.9 {
+		t.Errorf("Len=%d Last=%v", s.Len(), s.Last())
+	}
+	cases := []struct{ x, want float64 }{
+		{0.5, 0.5}, // before first point: first Y
+		{1, 0.5},
+		{3, 0.7}, // step interpolation
+		{4, 0.9},
+		{10, 0.9},
+	}
+	for _, c := range cases {
+		if got := s.YAt(c.x); got != c.want {
+			t.Errorf("YAt(%v) = %v, want %v", c.x, got, c.want)
+		}
+	}
+	if (&Series{}).YAt(1) != 0 {
+		t.Error("empty YAt should be 0")
+	}
+}
+
+func TestTableString(t *testing.T) {
+	tb := &Table{
+		Title:   "demo",
+		Headers: []string{"name", "value"},
+	}
+	tb.AddRow("alpha", "1")
+	tb.AddRow("a-much-longer-name", "22")
+	out := tb.String()
+	if !strings.Contains(out, "demo") {
+		t.Error("title missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	// Columns align: every data line has "value" column at same offset.
+	hdrIdx := strings.Index(lines[1], "value")
+	if idx := strings.Index(lines[3], "1"); idx < hdrIdx {
+		t.Errorf("column misaligned:\n%s", out)
+	}
+	// Short rows must not panic.
+	tb.AddRow("only-one-cell")
+	_ = tb.String()
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := &Table{Headers: []string{"a", "b"}}
+	tb.AddRow("plain", `has,"comma"`)
+	csv := tb.CSV()
+	want := "a,b\nplain,\"has,\"\"comma\"\"\"\n"
+	if csv != want {
+		t.Errorf("CSV = %q, want %q", csv, want)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(0.123456) != "0.1235" {
+		t.Errorf("F = %q", F(0.123456))
+	}
+	if Pct(0.937) != "93.7%" {
+		t.Errorf("Pct = %q", Pct(0.937))
+	}
+}

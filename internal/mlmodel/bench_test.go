@@ -1,0 +1,54 @@
+package mlmodel
+
+import (
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/mathx"
+)
+
+func benchGradient(b *testing.B, m Model, train *dataset.Dataset, batch int) {
+	b.Helper()
+	params := make([]float64, m.Dim())
+	m.Init(mathx.RNG(1, "init"), params)
+	grad := make([]float64, m.Dim())
+	rng := mathx.RNG(2, "bench")
+	x, y := train.Batch(rng, batch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Gradient(params, x, y, grad)
+	}
+}
+
+func BenchmarkSoftmaxGradientB32(b *testing.B) {
+	train, _ := dataset.CIFAR10Like(1)
+	m, err := NewSoftmax(train.Classes, train.Dim, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGradient(b, m, train, 32)
+}
+
+func BenchmarkMLPGradientB32(b *testing.B) {
+	train, _ := dataset.CIFAR10Like(1)
+	m, err := NewMLP(train.Dim, 64, train.Classes, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchGradient(b, m, train, 32)
+}
+
+func BenchmarkSoftmaxEvaluate(b *testing.B) {
+	train, test := dataset.CIFAR10Like(1)
+	m, err := NewSoftmax(train.Classes, train.Dim, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	params := make([]float64, m.Dim())
+	m.Init(mathx.RNG(1, "init"), params)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Evaluate(params, test)
+	}
+}

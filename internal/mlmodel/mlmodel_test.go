@@ -1,0 +1,311 @@
+package mlmodel
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mathx"
+)
+
+// numericGradCheck compares the analytic gradient with central finite
+// differences on a handful of random coordinates.
+func numericGradCheck(t *testing.T, m Model, params []float64, x [][]float64, y []int) {
+	t.Helper()
+	grad := make([]float64, m.Dim())
+	m.Gradient(params, x, y, grad)
+
+	lossAt := func(p []float64) float64 {
+		tmp := make([]float64, m.Dim())
+		return m.Gradient(p, x, y, tmp)
+	}
+	const eps = 1e-5
+	rng := mathx.RNG(17, "gradcheck")
+	checked := 0
+	for tries := 0; tries < 200 && checked < 40; tries++ {
+		i := rng.Intn(m.Dim())
+		orig := params[i]
+		params[i] = orig + eps
+		up := lossAt(params)
+		params[i] = orig - eps
+		down := lossAt(params)
+		params[i] = orig
+		numeric := (up - down) / (2 * eps)
+		// Skip coordinates near a ReLU kink where finite differences lie.
+		if math.Abs(numeric-grad[i]) > 1e-4*(1+math.Abs(numeric)+math.Abs(grad[i])) {
+			t.Errorf("grad[%d] analytic %.8f vs numeric %.8f", i, grad[i], numeric)
+		}
+		checked++
+	}
+}
+
+func smallBatch(classes, dim, n int) (x [][]float64, y []int) {
+	rng := mathx.RNG(3, "batchgen")
+	x = make([][]float64, n)
+	y = make([]int, n)
+	for i := range x {
+		x[i] = make([]float64, dim)
+		for j := range x[i] {
+			x[i][j] = rng.NormFloat64()
+		}
+		y[i] = rng.Intn(classes)
+	}
+	return x, y
+}
+
+func TestSoftmaxGradientMatchesFiniteDifferences(t *testing.T) {
+	m, err := NewSoftmax(4, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, m.Dim())
+	m.Init(mathx.RNG(1, "init"), params)
+	// Perturb so biases are non-zero too.
+	rng := mathx.RNG(2, "perturb")
+	for i := range params {
+		params[i] += 0.3 * rng.NormFloat64()
+	}
+	x, y := smallBatch(4, 6, 8)
+	numericGradCheck(t, m, params, x, y)
+}
+
+func TestMLPGradientMatchesFiniteDifferences(t *testing.T) {
+	m, err := NewMLP(5, 7, 3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, m.Dim())
+	m.Init(mathx.RNG(1, "init"), params)
+	x, y := smallBatch(3, 5, 8)
+	numericGradCheck(t, m, params, x, y)
+}
+
+func TestSoftmaxConstructorValidation(t *testing.T) {
+	if _, err := NewSoftmax(1, 6, nil); err == nil {
+		t.Error("1-class softmax accepted")
+	}
+	if _, err := NewSoftmax(4, 0, nil); err == nil {
+		t.Error("0-dim softmax accepted")
+	}
+	wrong := keyrange.MustLayout([]int{5})
+	if _, err := NewSoftmax(4, 6, wrong); err == nil {
+		t.Error("mismatched layout accepted")
+	}
+	ok := keyrange.MustLayout([]int{4*6 + 4})
+	if _, err := NewSoftmax(4, 6, ok); err != nil {
+		t.Errorf("matching layout rejected: %v", err)
+	}
+}
+
+func TestMLPConstructorValidation(t *testing.T) {
+	if _, err := NewMLP(0, 5, 3, nil); err == nil {
+		t.Error("0-input MLP accepted")
+	}
+	if _, err := NewMLP(5, 0, 3, nil); err == nil {
+		t.Error("0-hidden MLP accepted")
+	}
+	if _, err := NewMLP(5, 4, 1, nil); err == nil {
+		t.Error("1-class MLP accepted")
+	}
+	wrong := keyrange.MustLayout([]int{3})
+	if _, err := NewMLP(5, 4, 3, wrong); err == nil {
+		t.Error("mismatched layout accepted")
+	}
+}
+
+func TestLayoutsCoverDim(t *testing.T) {
+	sm, _ := NewSoftmax(10, 32, nil)
+	if sm.Layout().TotalDim() != sm.Dim() {
+		t.Errorf("softmax layout %d != dim %d", sm.Layout().TotalDim(), sm.Dim())
+	}
+	mlp, _ := NewMLP(32, 48, 10, nil)
+	if mlp.Layout().TotalDim() != mlp.Dim() {
+		t.Errorf("mlp layout %d != dim %d", mlp.Layout().TotalDim(), mlp.Dim())
+	}
+}
+
+func TestSkewedLayoutShape(t *testing.T) {
+	l := SkewedLayout(1000, 8, 0.6)
+	if l.NumKeys() != 9 {
+		t.Fatalf("keys = %d, want 9", l.NumKeys())
+	}
+	if l.TotalDim() != 1000 {
+		t.Fatalf("total = %d", l.TotalDim())
+	}
+	big := l.KeySize(keyrange.Key(8))
+	if big != 600 {
+		t.Errorf("big key = %d, want 600", big)
+	}
+	// The big key dominates every small key.
+	for k := 0; k < 8; k++ {
+		if l.KeySize(keyrange.Key(k)) >= big {
+			t.Errorf("small key %d not smaller than big key", k)
+		}
+	}
+}
+
+func TestEvenLayoutShape(t *testing.T) {
+	l := EvenLayout(103, 10)
+	if l.NumKeys() != 10 || l.TotalDim() != 103 {
+		t.Fatalf("layout %d keys, %d total", l.NumKeys(), l.TotalDim())
+	}
+	for k := 0; k < 10; k++ {
+		if sz := l.KeySize(keyrange.Key(k)); sz < 10 || sz > 11 {
+			t.Errorf("key %d size %d not near-even", k, sz)
+		}
+	}
+}
+
+func TestLayoutHelpersPanic(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"even zero parts":   func() { EvenLayout(10, 0) },
+		"even too many":     func() { EvenLayout(3, 5) },
+		"skewed bad frac":   func() { SkewedLayout(100, 4, 1.5) },
+		"skewed tiny total": func() { SkewedLayout(5, 10, 0.5) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", name)
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+// trainCentralized runs single-node momentum SGD to verify the models can
+// actually learn the synthetic tasks — the foundation every accuracy
+// experiment rests on.
+func trainCentralized(m Model, train, test *dataset.Dataset, lr float64, iters, batch int) (acc float64) {
+	params := make([]float64, m.Dim())
+	m.Init(mathx.RNG(11, "init"), params)
+	grad := make([]float64, m.Dim())
+	vel := make([]float64, m.Dim())
+	rng := mathx.RNG(12, "sgd")
+	const mu = 0.9
+	for i := 0; i < iters; i++ {
+		x, y := train.Batch(rng, batch)
+		m.Gradient(params, x, y, grad)
+		for j := range vel {
+			vel[j] = mu*vel[j] + grad[j]
+			params[j] -= lr * vel[j]
+		}
+	}
+	_, acc = m.Evaluate(params, test)
+	return acc
+}
+
+func TestSoftmaxLearnsCIFAR10Like(t *testing.T) {
+	train, test := dataset.CIFAR10Like(21)
+	m, _ := NewSoftmax(10, train.Dim, nil)
+	acc := trainCentralized(m, train, test, 0.1, 2000, 64)
+	if acc < 0.65 {
+		t.Errorf("softmax accuracy %.3f, want ≥ 0.65 on the 10-class task", acc)
+	}
+	// The task is built so a linear model plateaus below the AlexNet
+	// regime: far from perfect.
+	if acc > 0.85 {
+		t.Errorf("softmax accuracy %.3f suspiciously high; the non-linear cap is broken", acc)
+	}
+}
+
+func TestMLPBeatsSoftmaxOnCIFAR10Like(t *testing.T) {
+	train, test := dataset.CIFAR10Like(21)
+	sm, _ := NewSoftmax(10, train.Dim, nil)
+	mlp, _ := NewMLP(train.Dim, 64, 10, nil)
+	accSm := trainCentralized(sm, train, test, 0.1, 2000, 64)
+	accMLP := trainCentralized(mlp, train, test, 0.03, 5000, 64)
+	if accMLP < accSm+0.05 {
+		t.Errorf("MLP accuracy %.3f not clearly above softmax %.3f; the ResNet proxy must be stronger", accMLP, accSm)
+	}
+	if accMLP < 0.85 {
+		t.Errorf("MLP accuracy %.3f, want ≥ 0.85", accMLP)
+	}
+}
+
+func TestEvaluateOnKnownParams(t *testing.T) {
+	// A softmax whose weights exactly encode the class centers should
+	// classify a well-separated dataset perfectly.
+	train, _, err := dataset.Synthetic(dataset.Config{
+		Classes: 3, Dim: 4, TrainSize: 30, TestSize: 30,
+		Separation: 100, NoiseStd: 0.01, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, _ := NewSoftmax(3, 4, nil)
+	params := make([]float64, m.Dim())
+	// Use one example per class as its row of W (nearest-center in
+	// disguise, valid at this separation).
+	for i := 0; i < train.Len(); i++ {
+		c := train.Y[i]
+		copy(params[c*4:(c+1)*4], train.X[i])
+	}
+	_, acc := m.Evaluate(params, train)
+	if acc != 1 {
+		t.Errorf("accuracy %.3f, want 1.0 at separation 100", acc)
+	}
+}
+
+func TestGradientPanicsOnWrongBuffer(t *testing.T) {
+	m, _ := NewSoftmax(3, 4, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("wrong-size grad buffer should panic")
+		}
+	}()
+	m.Gradient(make([]float64, m.Dim()), [][]float64{{1, 2, 3, 4}}, []int{0}, make([]float64, 3))
+}
+
+func TestSignificance(t *testing.T) {
+	if got := Significance([]float64{3, 4}, []float64{0, 0}); got != 1 {
+		t.Errorf("zero params significance = %v, want 1", got)
+	}
+	if got := Significance([]float64{3, 4}, []float64{5, 0}); got != 1 {
+		t.Errorf("significance = %v, want |g|/|w| = 1", got)
+	}
+	if got := Significance([]float64{0, 0}, []float64{5, 0}); got != 0 {
+		t.Errorf("zero grad significance = %v, want 0", got)
+	}
+}
+
+func TestLinRegGradAndClip(t *testing.T) {
+	m := LinReg{Dim: 3}
+	w := []float64{1, 0, -1}
+	x := []float64{2, 1, 0}
+	y := 1.0
+	grad := make([]float64, 3)
+	loss := m.ExampleGrad(w, x, y, grad)
+	// residual r = 2-1 = 1; loss = 0.5; grad = r*x = x
+	if math.Abs(loss-0.5) > 1e-12 {
+		t.Errorf("loss = %v, want 0.5", loss)
+	}
+	for i := range x {
+		if grad[i] != x[i] {
+			t.Errorf("grad = %v, want %v", grad, x)
+		}
+	}
+	// Clipping bounds the norm.
+	mc := LinReg{Dim: 3, ClipL: 1}
+	mc.ExampleGrad(w, x, y, grad)
+	if n := mathx.Norm2(grad); math.Abs(n-1) > 1e-12 {
+		t.Errorf("clipped norm = %v, want 1", n)
+	}
+	if got := m.ExampleLoss(w, x, y); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("ExampleLoss = %v", got)
+	}
+}
+
+func TestLinRegMeanLossAtWStarIsNoiseFloor(t *testing.T) {
+	d := dataset.LinReg(500, 8, 0.0, 9)
+	m := LinReg{Dim: 8}
+	if loss := m.MeanLoss(d.WStar, d); loss > 1e-20 {
+		t.Errorf("loss at w* = %v, want ~0 with zero noise", loss)
+	}
+	zero := make([]float64, 8)
+	if m.MeanLoss(zero, d) <= 0 {
+		t.Error("loss at 0 should be positive")
+	}
+}

@@ -1,0 +1,120 @@
+// Package optimizer turns gradients into parameter updates on the worker
+// side of the parameter server.
+//
+// In the PS architecture of Algorithm 1 the server applies w ← w + g/N,
+// so what workers push is not the raw gradient but the already-scaled
+// update delta = −lr·(…). An Optimizer therefore produces the delta a
+// worker pushes; stateful optimizers (momentum, LARS) keep their state
+// locally on the worker, exactly as the paper's Caffe workers do.
+package optimizer
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mathx"
+)
+
+// Optimizer converts a gradient into the update pushed to servers.
+type Optimizer interface {
+	// Name identifies the optimizer in experiment output.
+	Name() string
+	// Delta writes the parameter update (to be *added* to the model) into
+	// delta given the current parameters and gradient. All three slices
+	// have the model's full dimensionality.
+	Delta(params, grad, delta []float64)
+}
+
+// SGD is plain stochastic gradient descent: delta = −LR·grad.
+type SGD struct {
+	LR float64
+}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return fmt.Sprintf("sgd(lr=%g)", o.LR) }
+
+// Delta implements Optimizer.
+func (o *SGD) Delta(_, grad, delta []float64) {
+	for i, g := range grad {
+		delta[i] = -o.LR * g
+	}
+}
+
+// Momentum is SGD with heavyweight-ball momentum:
+// v ← Mu·v + grad; delta = −LR·v.
+type Momentum struct {
+	LR, Mu float64
+	vel    []float64
+}
+
+// Name implements Optimizer.
+func (o *Momentum) Name() string { return fmt.Sprintf("momentum(lr=%g,mu=%g)", o.LR, o.Mu) }
+
+// Delta implements Optimizer.
+func (o *Momentum) Delta(_, grad, delta []float64) {
+	if o.vel == nil {
+		o.vel = make([]float64, len(grad))
+	}
+	for i, g := range grad {
+		o.vel[i] = o.Mu*o.vel[i] + g
+		delta[i] = -o.LR * o.vel[i]
+	}
+}
+
+// LARS implements Layer-wise Adaptive Rate Scaling (You et al.), the
+// optimizer the paper uses for large-batch training. Each layer (here:
+// each parameter-server key) gets a local learning rate
+//
+//	local = Eta · ‖w_k‖ / (‖g_k‖ + WeightDecay·‖w_k‖)
+//
+// combined with momentum: v_k ← Mu·v_k + local·LR·(g_k + WeightDecay·w_k);
+// delta_k = −v_k. Layers whose weights or gradients are all-zero fall
+// back to the global rate.
+type LARS struct {
+	LR, Eta, Mu, WeightDecay float64
+	Layout                   *keyrange.Layout
+	vel                      []float64
+}
+
+// Name implements Optimizer.
+func (o *LARS) Name() string {
+	return fmt.Sprintf("lars(lr=%g,eta=%g,mu=%g,wd=%g)", o.LR, o.Eta, o.Mu, o.WeightDecay)
+}
+
+// Delta implements Optimizer.
+func (o *LARS) Delta(params, grad, delta []float64) {
+	if o.Layout == nil {
+		panic("optimizer: LARS requires a layout to define its layers")
+	}
+	if o.vel == nil {
+		o.vel = make([]float64, len(grad))
+	}
+	for k := 0; k < o.Layout.NumKeys(); k++ {
+		key := keyrange.Key(k)
+		off, sz := o.Layout.KeyOffset(key), o.Layout.KeySize(key)
+		w := params[off : off+sz]
+		g := grad[off : off+sz]
+		v := o.vel[off : off+sz]
+		d := delta[off : off+sz]
+
+		wn, gn := mathx.Norm2(w), mathx.Norm2(g)
+		local := 1.0
+		if wn > 0 && gn > 0 {
+			local = o.Eta * wn / (gn + o.WeightDecay*wn)
+		}
+		for i := range d {
+			v[i] = o.Mu*v[i] + local*o.LR*(g[i]+o.WeightDecay*w[i])
+			d[i] = -v[i]
+		}
+	}
+}
+
+// Reset clears stateful optimizer state; safe on stateless optimizers.
+func Reset(o Optimizer) {
+	switch t := o.(type) {
+	case *Momentum:
+		t.vel = nil
+	case *LARS:
+		t.vel = nil
+	}
+}

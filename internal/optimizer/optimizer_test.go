@@ -1,0 +1,169 @@
+package optimizer
+
+import (
+	"math"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mathx"
+)
+
+func TestSGDDelta(t *testing.T) {
+	o := &SGD{LR: 0.5}
+	grad := []float64{2, -4, 0}
+	delta := make([]float64, 3)
+	o.Delta(nil, grad, delta)
+	want := []float64{-1, 2, 0}
+	for i := range want {
+		if delta[i] != want[i] {
+			t.Fatalf("delta = %v, want %v", delta, want)
+		}
+	}
+	if o.Name() == "" {
+		t.Error("empty name")
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	o := &Momentum{LR: 1, Mu: 0.5}
+	grad := []float64{1}
+	delta := make([]float64, 1)
+	o.Delta(nil, grad, delta)
+	if delta[0] != -1 { // v = 1
+		t.Fatalf("first delta = %v, want -1", delta[0])
+	}
+	o.Delta(nil, grad, delta)
+	if delta[0] != -1.5 { // v = 0.5*1 + 1
+		t.Fatalf("second delta = %v, want -1.5", delta[0])
+	}
+	o.Delta(nil, grad, delta)
+	if delta[0] != -1.75 {
+		t.Fatalf("third delta = %v, want -1.75", delta[0])
+	}
+}
+
+func TestMomentumResetClearsState(t *testing.T) {
+	o := &Momentum{LR: 1, Mu: 0.9}
+	grad := []float64{1}
+	delta := make([]float64, 1)
+	o.Delta(nil, grad, delta)
+	o.Delta(nil, grad, delta)
+	Reset(o)
+	o.Delta(nil, grad, delta)
+	if delta[0] != -1 {
+		t.Fatalf("delta after reset = %v, want -1", delta[0])
+	}
+	// Reset on a stateless optimizer is a no-op, not a crash.
+	Reset(&SGD{LR: 1})
+}
+
+func TestLARSLayerwiseScaling(t *testing.T) {
+	// Two layers with very different weight/gradient norm ratios must get
+	// different effective rates.
+	layout := keyrange.MustLayout([]int{2, 2})
+	o := &LARS{LR: 1, Eta: 1, Mu: 0, WeightDecay: 0, Layout: layout}
+	params := []float64{10, 0 /* layer 0: |w|=10 */, 0.1, 0 /* layer 1: |w|=0.1 */}
+	grad := []float64{1, 0, 1, 0}
+	delta := make([]float64, 4)
+	o.Delta(params, grad, delta)
+	// local rate = |w|/|g|: layer0 → 10, layer1 → 0.1
+	if math.Abs(delta[0]+10) > 1e-12 {
+		t.Errorf("layer0 delta = %v, want -10", delta[0])
+	}
+	if math.Abs(delta[2]+0.1) > 1e-12 {
+		t.Errorf("layer1 delta = %v, want -0.1", delta[2])
+	}
+}
+
+func TestLARSZeroNormFallback(t *testing.T) {
+	layout := keyrange.MustLayout([]int{2})
+	o := &LARS{LR: 0.5, Eta: 1, Mu: 0, WeightDecay: 0, Layout: layout}
+	params := []float64{0, 0}
+	grad := []float64{2, 0}
+	delta := make([]float64, 2)
+	o.Delta(params, grad, delta)
+	// |w| = 0 → local rate falls back to 1 → delta = -LR·g
+	if delta[0] != -1 {
+		t.Errorf("fallback delta = %v, want -1", delta[0])
+	}
+}
+
+func TestLARSWeightDecayPullsTowardZero(t *testing.T) {
+	layout := keyrange.MustLayout([]int{1})
+	o := &LARS{LR: 1, Eta: 1, Mu: 0, WeightDecay: 0.1, Layout: layout}
+	params := []float64{4}
+	grad := []float64{0.0000001} // negligible gradient
+	delta := make([]float64, 1)
+	o.Delta(params, grad, delta)
+	if delta[0] >= 0 {
+		t.Errorf("weight decay should push a positive weight down, delta = %v", delta[0])
+	}
+}
+
+func TestLARSRequiresLayout(t *testing.T) {
+	o := &LARS{LR: 1, Eta: 1}
+	defer func() {
+		if recover() == nil {
+			t.Error("LARS without layout should panic")
+		}
+	}()
+	o.Delta([]float64{1}, []float64{1}, make([]float64, 1))
+}
+
+// All optimizers must minimize a simple quadratic f(w) = ½‖w − target‖².
+// SGD and momentum converge to the optimum; LARS — whose step size scales
+// with ‖w‖ by design — must at least shrink the loss by two orders of
+// magnitude (its layer-relative steps never vanish exactly, which is why
+// real LARS schedules decay the global rate).
+func TestOptimizersConvergeOnQuadratic(t *testing.T) {
+	layout := keyrange.MustLayout([]int{3, 2})
+	target := []float64{1, -2, 3, -4, 5}
+	loss := func(w []float64) float64 {
+		var s float64
+		for j := range w {
+			d := w[j] - target[j]
+			s += d * d
+		}
+		return s / 2
+	}
+	run := func(o Optimizer) []float64 {
+		w := make([]float64, 5)
+		grad := make([]float64, 5)
+		delta := make([]float64, 5)
+		for i := 0; i < 2000; i++ {
+			for j := range grad {
+				grad[j] = w[j] - target[j]
+			}
+			o.Delta(w, grad, delta)
+			mathx.Axpy(1, delta, w)
+		}
+		return w
+	}
+	for _, o := range []Optimizer{&SGD{LR: 0.1}, &Momentum{LR: 0.05, Mu: 0.9}} {
+		w := run(o)
+		for j := range w {
+			if math.Abs(w[j]-target[j]) > 0.05 {
+				t.Errorf("%s: w[%d] = %v, want ~%v", o.Name(), j, w[j], target[j])
+			}
+		}
+	}
+	lars := &LARS{LR: 0.01, Eta: 1, Mu: 0.9, WeightDecay: 0, Layout: layout}
+	w := run(lars)
+	start := loss(make([]float64, 5))
+	if got := loss(w); got > start/100 {
+		t.Errorf("LARS loss %v not below 1%% of initial %v", got, start)
+	}
+}
+
+func TestOptimizerNames(t *testing.T) {
+	layout := keyrange.MustLayout([]int{1})
+	for _, o := range []Optimizer{
+		&SGD{LR: 0.1},
+		&Momentum{LR: 0.1, Mu: 0.9},
+		&LARS{LR: 0.1, Eta: 0.01, Mu: 0.9, WeightDecay: 1e-4, Layout: layout},
+	} {
+		if o.Name() == "" {
+			t.Errorf("%T has empty name", o)
+		}
+	}
+}

@@ -1,0 +1,237 @@
+// Package pslite implements the PS-Lite-style baseline the paper compares
+// against (Li et al., OSDI'14): a parameter server whose synchronization
+// is controlled by one centralized scheduler.
+//
+// The two properties that distinguish it from FluentPS, and that Fig 6
+// measures, are reproduced faithfully:
+//
+//   - Non-overlap synchronization (the paper's Fig 5a): after pushing its
+//     gradients to all servers, a worker reports progress to the scheduler
+//     and may not send any pull request until the scheduler's release —
+//     which arrives only when the synchronization condition holds across
+//     *all* shards. Pull traffic therefore serializes behind the global
+//     barrier instead of overlapping with other shards' pushes.
+//   - One synchronization mode for the whole job (BSP, ASP, or PS-Lite's
+//     bounded delay) — servers are dumb storage; they apply pushes and
+//     answer pulls unconditionally.
+//
+// Combined with keyrange.DefaultSlicing (PS-Lite's skew-prone range
+// partitioning) this is the baseline configuration of Fig 6.
+package pslite
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// SyncMode is the single, job-wide synchronization model.
+type SyncMode struct {
+	// Delay is the bounded-delay τ: a worker may pull for iteration i+1
+	// once every worker has completed iteration i−τ. Delay 0 is BSP.
+	Delay int
+	// Async disables the barrier entirely (ASP).
+	Async bool
+}
+
+// BSP is bounded delay 0.
+func BSP() SyncMode { return SyncMode{} }
+
+// ASP never blocks.
+func ASP() SyncMode { return SyncMode{Async: true} }
+
+// BoundedDelay allows workers to run tau iterations ahead of the slowest.
+func BoundedDelay(tau int) SyncMode { return SyncMode{Delay: tau} }
+
+// String names the mode.
+func (m SyncMode) String() string {
+	if m.Async {
+		return "ASP"
+	}
+	if m.Delay == 0 {
+		return "BSP"
+	}
+	return fmt.Sprintf("BoundedDelay(%d)", m.Delay)
+}
+
+// Scheduler is PS-Lite's centralized synchronization point. It records
+// every worker's progress and holds barrier requests until the global
+// condition is met.
+type Scheduler struct {
+	ep      transport.Endpoint
+	workers int
+	mode    SyncMode
+
+	progress []int
+	waiting  []barrierWait
+
+	mu       sync.Mutex
+	barriers int // total barrier requests handled (the sync frequency metric)
+}
+
+type barrierWait struct {
+	from     transport.NodeID
+	seq      uint64
+	progress int
+}
+
+// NewScheduler builds the scheduler; its endpoint id must be
+// transport.Scheduler().
+func NewScheduler(ep transport.Endpoint, workers int, mode SyncMode) (*Scheduler, error) {
+	if got, want := ep.ID(), transport.Scheduler(); got != want {
+		return nil, fmt.Errorf("pslite: endpoint id %s is not the scheduler id", got)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("pslite: need at least one worker, got %d", workers)
+	}
+	prog := make([]int, workers)
+	for i := range prog {
+		prog[i] = -1
+	}
+	return &Scheduler{ep: ep, workers: workers, mode: mode, progress: prog}, nil
+}
+
+// Barriers returns how many barrier requests the scheduler served.
+func (s *Scheduler) Barriers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.barriers
+}
+
+// Run serves barrier traffic until shutdown.
+func (s *Scheduler) Run() error {
+	for {
+		msg, err := s.ep.Recv()
+		if err != nil {
+			if err == transport.ErrClosed {
+				return nil
+			}
+			return fmt.Errorf("pslite: scheduler recv: %w", err)
+		}
+		switch msg.Type {
+		case transport.MsgBarrier:
+			if err := s.handleBarrier(msg); err != nil {
+				return err
+			}
+		case transport.MsgShutdown:
+			return nil
+		}
+	}
+}
+
+func (s *Scheduler) minProgress() int {
+	minP := s.progress[0]
+	for _, p := range s.progress[1:] {
+		if p < minP {
+			minP = p
+		}
+	}
+	return minP
+}
+
+func (s *Scheduler) handleBarrier(msg *transport.Message) error {
+	s.mu.Lock()
+	s.barriers++
+	s.mu.Unlock()
+	worker := int(msg.From.Rank)
+	if worker < 0 || worker >= s.workers {
+		return fmt.Errorf("pslite: barrier from unknown worker %s", msg.From)
+	}
+	if p := int(msg.Progress); p > s.progress[worker] {
+		s.progress[worker] = p
+	}
+	s.waiting = append(s.waiting, barrierWait{from: msg.From, seq: msg.Seq, progress: int(msg.Progress)})
+	return s.releaseEligible()
+}
+
+// releaseEligible answers every waiting barrier whose condition now holds.
+func (s *Scheduler) releaseEligible() error {
+	minP := s.minProgress()
+	kept := s.waiting[:0]
+	for _, w := range s.waiting {
+		release := s.mode.Async || minP >= w.progress-s.mode.Delay
+		if !release {
+			kept = append(kept, w)
+			continue
+		}
+		resp := &transport.Message{Type: transport.MsgBarrierResp, To: w.from, Seq: w.seq}
+		if err := s.ep.Send(resp); err != nil {
+			return fmt.Errorf("pslite: release barrier for %s: %w", w.from, err)
+		}
+	}
+	s.waiting = kept
+	return nil
+}
+
+// Server is a PS-Lite server node: no conditions, no buffering — apply
+// pushes, answer pulls.
+type Server struct {
+	rank    int
+	ep      transport.Endpoint
+	shard   *kvstore.Shard
+	keys    []keyrange.Key
+	workers int
+}
+
+// NewServer builds a server; its endpoint id must be transport.Server(rank).
+func NewServer(ep transport.Endpoint, rank, workers int, layout *keyrange.Layout,
+	assign *keyrange.Assignment, init func(keyrange.Key, []float64)) (*Server, error) {
+	if got, want := ep.ID(), transport.Server(rank); got != want {
+		return nil, fmt.Errorf("pslite: endpoint id %s does not match server rank %d", got, rank)
+	}
+	if workers < 1 {
+		return nil, fmt.Errorf("pslite: need at least one worker, got %d", workers)
+	}
+	keys := assign.KeysOf(rank)
+	return &Server{
+		rank:    rank,
+		ep:      ep,
+		shard:   kvstore.NewShard(layout, keys, init),
+		keys:    keys,
+		workers: workers,
+	}, nil
+}
+
+// Shard exposes the server's parameter shard for end-of-run snapshots.
+func (s *Server) Shard() *kvstore.Shard { return s.shard }
+
+// Run serves pushes and pulls until shutdown.
+func (s *Server) Run() error {
+	for {
+		msg, err := s.ep.Recv()
+		if err != nil {
+			if err == transport.ErrClosed {
+				return nil
+			}
+			return fmt.Errorf("pslite: server %d recv: %w", s.rank, err)
+		}
+		switch msg.Type {
+		case transport.MsgPush:
+			if err := s.shard.ApplyGradPayload(msg.Keys, msg.Vals, 1/float64(s.workers)); err != nil {
+				return fmt.Errorf("pslite: server %d apply push: %w", s.rank, err)
+			}
+			ack := &transport.Message{Type: transport.MsgPushAck, To: msg.From, Seq: msg.Seq}
+			if err := s.ep.Send(ack); err != nil {
+				return err
+			}
+		case transport.MsgPull:
+			keys := msg.Keys
+			if len(keys) == 0 {
+				keys = s.keys
+			}
+			vals, err := s.shard.GatherShard(nil, keys)
+			if err != nil {
+				return fmt.Errorf("pslite: server %d gather: %w", s.rank, err)
+			}
+			resp := &transport.Message{Type: transport.MsgPullResp, To: msg.From, Seq: msg.Seq, Keys: keys, Vals: vals}
+			if err := s.ep.Send(resp); err != nil {
+				return err
+			}
+		case transport.MsgShutdown:
+			return nil
+		}
+	}
+}

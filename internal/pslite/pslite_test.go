@@ -1,0 +1,220 @@
+package pslite
+
+import (
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func TestSyncModeStrings(t *testing.T) {
+	if BSP().String() != "BSP" || ASP().String() != "ASP" || BoundedDelay(3).String() != "BoundedDelay(3)" {
+		t.Error("mode names wrong")
+	}
+}
+
+func TestSchedulerValidation(t *testing.T) {
+	net := transport.NewChanNetwork(4)
+	if _, err := NewScheduler(net.Endpoint(transport.Worker(0)), 2, BSP()); err == nil {
+		t.Error("non-scheduler endpoint accepted")
+	}
+	if _, err := NewScheduler(net.Endpoint(transport.Scheduler()), 0, BSP()); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+func TestServerValidation(t *testing.T) {
+	layout := keyrange.MustLayout([]int{4})
+	assign, _ := keyrange.DefaultSlicing(layout, 1)
+	net := transport.NewChanNetwork(4)
+	if _, err := NewServer(net.Endpoint(transport.Worker(0)), 0, 2, layout, assign, nil); err == nil {
+		t.Error("mismatched endpoint accepted")
+	}
+	if _, err := NewServer(net.Endpoint(transport.Server(0)), 0, 0, layout, assign, nil); err == nil {
+		t.Error("zero workers accepted")
+	}
+}
+
+// startScheduler runs a scheduler and returns a shutdown func.
+func startScheduler(t *testing.T, net *transport.ChanNetwork, workers int, mode SyncMode) *Scheduler {
+	t.Helper()
+	sched, err := NewScheduler(net.Endpoint(transport.Scheduler()), workers, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	go sched.Run()
+	t.Cleanup(func() {
+		ep := net.Endpoint(transport.Worker(90))
+		_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Scheduler()})
+		ep.Close()
+	})
+	return sched
+}
+
+func TestBSPBarrierBlocksUntilAllReport(t *testing.T) {
+	net := transport.NewChanNetwork(32)
+	sched := startScheduler(t, net, 2, BSP())
+	layout := keyrange.MustLayout([]int{4})
+	assign, _ := keyrange.DefaultSlicing(layout, 1)
+	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w1, _ := NewWorker(net.Endpoint(transport.Worker(1)), 1, layout, assign)
+	defer w0.Close()
+	defer w1.Close()
+
+	done := make(chan error, 1)
+	go func() { done <- w0.Barrier(0) }()
+	select {
+	case <-done:
+		t.Fatal("barrier released before all workers reported")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := w1.Barrier(0); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier never released")
+	}
+	if sched.Barriers() != 2 {
+		t.Errorf("barriers = %d, want 2", sched.Barriers())
+	}
+}
+
+func TestBoundedDelayAllowsLead(t *testing.T) {
+	net := transport.NewChanNetwork(32)
+	startScheduler(t, net, 2, BoundedDelay(2))
+	layout := keyrange.MustLayout([]int{4})
+	assign, _ := keyrange.DefaultSlicing(layout, 1)
+	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w1, _ := NewWorker(net.Endpoint(transport.Worker(1)), 1, layout, assign)
+	defer w0.Close()
+	defer w1.Close()
+
+	// Worker 1 reports iteration 0 once; worker 0 may then run ahead to
+	// iteration 2 (progress - delay = 0 ≤ min progress 0) without blocking.
+	if err := w1.Barrier(0); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i <= 2; i++ {
+		done := make(chan error, 1)
+		go func(i int) { done <- w0.Barrier(i) }(i)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("bounded-delay barrier blocked at lead %d", i)
+		}
+	}
+	// Iteration 3 exceeds the delay: must block until worker 1 advances.
+	done := make(chan error, 1)
+	go func() { done <- w0.Barrier(3) }()
+	select {
+	case <-done:
+		t.Fatal("barrier released beyond the delay bound")
+	case <-time.After(50 * time.Millisecond):
+	}
+	if err := w1.Barrier(1); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("barrier never released after straggler advanced")
+	}
+}
+
+func TestASPNeverBlocks(t *testing.T) {
+	net := transport.NewChanNetwork(32)
+	startScheduler(t, net, 4, ASP())
+	layout := keyrange.MustLayout([]int{4})
+	assign, _ := keyrange.DefaultSlicing(layout, 1)
+	w, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	defer w.Close()
+	for i := 0; i < 10; i++ {
+		done := make(chan error, 1)
+		go func(i int) { done <- w.Barrier(i) }(i)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatal(err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("ASP barrier blocked at iteration %d", i)
+		}
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(ClusterConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+func TestRunBSPTrains(t *testing.T) {
+	train, test := dataset.CIFAR10Like(51)
+	model, err := mlmodel.NewSoftmax(10, train.Dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(ClusterConfig{
+		Workers:      4,
+		Servers:      2,
+		Model:        model,
+		Train:        train,
+		Test:         test,
+		Mode:         BSP(),
+		NewOptimizer: func() optimizer.Optimizer { return &optimizer.SGD{LR: 0.1} },
+		BatchSize:    16,
+		Iters:        200,
+		Seed:         9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.5 {
+		t.Errorf("PS-Lite BSP accuracy %.3f, want ≥ 0.5", res.FinalAcc)
+	}
+	// One barrier per worker per iteration except the last.
+	want := 4 * 199
+	if res.Barriers != want {
+		t.Errorf("barriers = %d, want %d", res.Barriers, want)
+	}
+}
+
+func TestRunBoundedDelayAndASPTrain(t *testing.T) {
+	train, test := dataset.CIFAR10Like(52)
+	model, _ := mlmodel.NewSoftmax(10, train.Dim, nil)
+	for _, mode := range []SyncMode{BoundedDelay(3), ASP()} {
+		res, err := Run(ClusterConfig{
+			Workers:      3,
+			Servers:      2,
+			Model:        model,
+			Train:        train,
+			Test:         test,
+			Mode:         mode,
+			NewOptimizer: func() optimizer.Optimizer { return &optimizer.SGD{LR: 0.1} },
+			BatchSize:    16,
+			Iters:        150,
+			Seed:         9,
+		})
+		if err != nil {
+			t.Fatalf("%s: %v", mode, err)
+		}
+		if res.FinalAcc < 0.3 {
+			t.Errorf("%s accuracy %.3f", mode, res.FinalAcc)
+		}
+	}
+}

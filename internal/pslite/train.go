@@ -1,0 +1,163 @@
+package pslite
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/mathx"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// ClusterConfig describes an in-process PS-Lite training run.
+type ClusterConfig struct {
+	Workers, Servers int
+	Model            mlmodel.Model
+	Train, Test      *dataset.Dataset
+	Mode             SyncMode
+	NewOptimizer     func() optimizer.Optimizer
+	BatchSize        int
+	Iters            int
+	Seed             int64
+}
+
+// RunResult reports a PS-Lite training run's outcome.
+type RunResult struct {
+	FinalLoss, FinalAcc float64
+	Barriers            int
+	Elapsed             time.Duration
+}
+
+// Run executes data-parallel training under the PS-Lite protocol on an
+// in-process channel network.
+func Run(cfg ClusterConfig) (*RunResult, error) {
+	switch {
+	case cfg.Workers < 1 || cfg.Servers < 1:
+		return nil, fmt.Errorf("pslite: need ≥1 worker and ≥1 server, got %d/%d", cfg.Workers, cfg.Servers)
+	case cfg.Model == nil || cfg.Train == nil:
+		return nil, fmt.Errorf("pslite: model and training data are required")
+	case cfg.BatchSize < 1 || cfg.Iters < 1:
+		return nil, fmt.Errorf("pslite: need positive batch size and iterations")
+	case cfg.NewOptimizer == nil:
+		return nil, fmt.Errorf("pslite: an optimizer factory is required")
+	}
+	layout := cfg.Model.Layout()
+	// PS-Lite's default slicing: contiguous equal-key ranges.
+	assign, err := keyrange.DefaultSlicing(layout, cfg.Servers)
+	if err != nil {
+		return nil, err
+	}
+	w0 := make([]float64, cfg.Model.Dim())
+	cfg.Model.Init(mathx.RNG(cfg.Seed, "pslite.init"), w0)
+
+	net := transport.NewChanNetwork(4 * (cfg.Workers + cfg.Servers + 1))
+	sched, err := NewScheduler(net.Endpoint(transport.Scheduler()), cfg.Workers, cfg.Mode)
+	if err != nil {
+		return nil, err
+	}
+	go sched.Run()
+
+	servers := make([]*Server, cfg.Servers)
+	var serverWG sync.WaitGroup
+	serverErrs := make([]error, cfg.Servers)
+	for m := 0; m < cfg.Servers; m++ {
+		srv, err := NewServer(net.Endpoint(transport.Server(m)), m, cfg.Workers, layout, assign,
+			func(k keyrange.Key, seg []float64) { copy(seg, layout.Slice(w0, k)) })
+		if err != nil {
+			return nil, err
+		}
+		servers[m] = srv
+		serverWG.Add(1)
+		go func(m int, srv *Server) {
+			defer serverWG.Done()
+			serverErrs[m] = srv.Run()
+		}(m, srv)
+	}
+
+	start := time.Now()
+	workerErrs := make([]error, cfg.Workers)
+	var workerWG sync.WaitGroup
+	for n := 0; n < cfg.Workers; n++ {
+		workerWG.Add(1)
+		go func(n int) {
+			defer workerWG.Done()
+			workerErrs[n] = func() error {
+				w, err := NewWorker(net.Endpoint(transport.Worker(n)), n, layout, assign)
+				if err != nil {
+					return err
+				}
+				defer w.Close()
+				shard, err := cfg.Train.Shard(n, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				opt := cfg.NewOptimizer()
+				params := append([]float64(nil), w0...)
+				grad := make([]float64, len(params))
+				delta := make([]float64, len(params))
+				rng := mathx.RNG(cfg.Seed, fmt.Sprintf("pslite.worker.%d", n))
+				for i := 0; i < cfg.Iters; i++ {
+					x, y := shard.Batch(rng, cfg.BatchSize)
+					cfg.Model.Gradient(params, x, y, grad)
+					opt.Delta(params, grad, delta)
+					if err := w.Push(i, delta); err != nil {
+						return err
+					}
+					if i == cfg.Iters-1 {
+						break // no pull needed after the final push
+					}
+					if err := w.Barrier(i); err != nil {
+						return err
+					}
+					if err := w.Pull(i, params); err != nil {
+						return err
+					}
+				}
+				return nil
+			}()
+		}(n)
+	}
+	workerWG.Wait()
+	elapsed := time.Since(start)
+
+	shutdown := net.Endpoint(transport.Worker(cfg.Workers))
+	for m := 0; m < cfg.Servers; m++ {
+		_ = shutdown.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
+	}
+	_ = shutdown.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Scheduler()})
+	shutdown.Close()
+	serverWG.Wait()
+
+	for n, err := range workerErrs {
+		if err != nil {
+			return nil, fmt.Errorf("pslite: worker %d: %w", n, err)
+		}
+	}
+	for m, err := range serverErrs {
+		if err != nil {
+			return nil, fmt.Errorf("pslite: server %d: %w", m, err)
+		}
+	}
+
+	final := make([]float64, cfg.Model.Dim())
+	for m, srv := range servers {
+		keys := assign.KeysOf(m)
+		vals, err := srv.Shard().GatherShard(nil, keys)
+		if err != nil {
+			return nil, err
+		}
+		if err := kvstore.Scatter(layout, final, keys, vals); err != nil {
+			return nil, err
+		}
+	}
+	res := &RunResult{Barriers: sched.Barriers(), Elapsed: elapsed}
+	if cfg.Test != nil {
+		res.FinalLoss, res.FinalAcc = cfg.Model.Evaluate(final, cfg.Test)
+	}
+	return res, nil
+}

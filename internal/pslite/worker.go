@@ -1,0 +1,185 @@
+package pslite
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// Worker is a PS-Lite client. Its iteration protocol is the non-overlap
+// time-line of the paper's Fig 5(a):
+//
+//	push to all servers → report progress to the scheduler (barrier) →
+//	wait for the global release → pull from all servers.
+//
+// The pull phase cannot begin — for any shard — until the scheduler has
+// observed the slowest worker completing its pushes to *all* shards.
+type Worker struct {
+	rank    int
+	ep      transport.Endpoint
+	layout  *keyrange.Layout
+	assign  *keyrange.Assignment
+	servers int
+
+	seq     atomic.Uint64
+	mu      sync.Mutex
+	waiting map[uint64]chan *transport.Message
+	recvErr error
+
+	keysPerServer [][]keyrange.Key
+}
+
+// NewWorker builds a worker; its endpoint id must be transport.Worker(rank).
+func NewWorker(ep transport.Endpoint, rank int, layout *keyrange.Layout, assign *keyrange.Assignment) (*Worker, error) {
+	if got, want := ep.ID(), transport.Worker(rank); got != want {
+		return nil, fmt.Errorf("pslite: endpoint id %s does not match worker rank %d", got, rank)
+	}
+	w := &Worker{
+		rank:    rank,
+		ep:      ep,
+		layout:  layout,
+		assign:  assign,
+		servers: assign.NumServers(),
+		waiting: make(map[uint64]chan *transport.Message),
+	}
+	w.keysPerServer = make([][]keyrange.Key, w.servers)
+	for m := 0; m < w.servers; m++ {
+		w.keysPerServer[m] = assign.KeysOf(m)
+	}
+	go w.recvLoop()
+	return w, nil
+}
+
+func (w *Worker) recvLoop() {
+	for {
+		msg, err := w.ep.Recv()
+		if err != nil {
+			w.mu.Lock()
+			w.recvErr = err
+			for _, ch := range w.waiting {
+				close(ch)
+			}
+			w.waiting = map[uint64]chan *transport.Message{}
+			w.mu.Unlock()
+			return
+		}
+		w.mu.Lock()
+		ch, ok := w.waiting[msg.Seq]
+		if ok {
+			delete(w.waiting, msg.Seq)
+		}
+		w.mu.Unlock()
+		if ok {
+			ch <- msg
+		}
+	}
+}
+
+func (w *Worker) request(msg *transport.Message) (chan *transport.Message, error) {
+	seq := w.seq.Add(1)
+	msg.Seq = seq
+	ch := make(chan *transport.Message, 1)
+	w.mu.Lock()
+	w.waiting[seq] = ch
+	w.mu.Unlock()
+	if err := w.ep.Send(msg); err != nil {
+		w.mu.Lock()
+		delete(w.waiting, seq)
+		w.mu.Unlock()
+		return nil, err
+	}
+	return ch, nil
+}
+
+func (w *Worker) await(ch chan *transport.Message) (*transport.Message, error) {
+	msg, ok := <-ch
+	if !ok {
+		w.mu.Lock()
+		err := w.recvErr
+		w.mu.Unlock()
+		return nil, fmt.Errorf("pslite: worker %d connection lost: %w", w.rank, err)
+	}
+	return msg, nil
+}
+
+// Push sends the update for iteration progress to every server and waits
+// for all acknowledgements.
+func (w *Worker) Push(progress int, delta []float64) error {
+	var chans []chan *transport.Message
+	for m := 0; m < w.servers; m++ {
+		keys := w.keysPerServer[m]
+		if len(keys) == 0 {
+			continue
+		}
+		ch, err := w.request(&transport.Message{
+			Type:     transport.MsgPush,
+			To:       transport.Server(m),
+			Progress: int32(progress),
+			Keys:     keys,
+			Vals:     kvstore.GatherInto(nil, w.layout, delta, keys),
+		})
+		if err != nil {
+			return err
+		}
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		if _, err := w.await(ch); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Barrier reports progress to the scheduler and blocks until the global
+// synchronization condition releases this worker.
+func (w *Worker) Barrier(progress int) error {
+	ch, err := w.request(&transport.Message{
+		Type:     transport.MsgBarrier,
+		To:       transport.Scheduler(),
+		Progress: int32(progress),
+	})
+	if err != nil {
+		return err
+	}
+	_, err = w.await(ch)
+	return err
+}
+
+// Pull fetches the whole model into params.
+func (w *Worker) Pull(progress int, params []float64) error {
+	var chans []chan *transport.Message
+	for m := 0; m < w.servers; m++ {
+		keys := w.keysPerServer[m]
+		if len(keys) == 0 {
+			continue
+		}
+		ch, err := w.request(&transport.Message{
+			Type:     transport.MsgPull,
+			To:       transport.Server(m),
+			Progress: int32(progress),
+			Keys:     keys,
+		})
+		if err != nil {
+			return err
+		}
+		chans = append(chans, ch)
+	}
+	for _, ch := range chans {
+		resp, err := w.await(ch)
+		if err != nil {
+			return err
+		}
+		if err := kvstore.Scatter(w.layout, params, resp.Keys, resp.Vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Close tears down the worker's endpoint.
+func (w *Worker) Close() error { return w.ep.Close() }

@@ -1,0 +1,37 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+// BenchmarkEngineEvents measures raw event throughput.
+func BenchmarkEngineEvents(b *testing.B) {
+	b.ReportAllocs()
+	e := NewEngine()
+	count := 0
+	var tick func()
+	tick = func() {
+		count++
+		if count < b.N {
+			e.After(1, tick)
+		}
+	}
+	e.After(1, tick)
+	e.Run()
+}
+
+// BenchmarkSimulatedIteration measures end-to-end simulated training cost
+// per aggregate iteration (gradient math + events + network model).
+func BenchmarkSimulatedIteration(b *testing.B) {
+	iters := b.N/8 + 1
+	cfg := simBase(b)
+	cfg.Sync = syncmodel.SSP(2)
+	cfg.Iters = iters
+	b.ReportAllocs()
+	b.ResetTimer()
+	if _, err := Run(cfg); err != nil {
+		b.Fatal(err)
+	}
+}

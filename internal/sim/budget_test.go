@@ -1,0 +1,130 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+// TestBudgetModeRelaxedModelsFinishSooner is the mechanism behind Figs
+// 10/11: with a fixed aggregate update budget and heterogeneous worker
+// speeds, ASP < PSSP < SSP < BSP in completion time.
+func TestBudgetModeRelaxedModelsFinishSooner(t *testing.T) {
+	base := simBase(t)
+	base.Servers = 1
+	base.Workers = 16
+	base.Iters = 80
+	base.TotalBudget = base.Iters * base.Workers
+	base.Drain = syncmodel.SoftBarrier
+	base.Compute.SpeedSpread = 0.3
+	base.Compute.StraggleProb = 0.05
+	base.Compute.StraggleFactor = 4
+
+	run := func(m syncmodel.Model) float64 {
+		cfg := base
+		cfg.Sync = m
+		res, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	bsp := run(syncmodel.BSP())
+	ssp := run(syncmodel.SSP(3))
+	pssp := run(syncmodel.PSSPConst(3, 0.3))
+	asp := run(syncmodel.ASP())
+
+	if !(asp < pssp && pssp < ssp && ssp < bsp) {
+		t.Errorf("expected ASP < PSSP < SSP < BSP, got %.1f / %.1f / %.1f / %.1f",
+			asp, pssp, ssp, bsp)
+	}
+}
+
+// TestBudgetModeSpendsExactBudget: the run consumes exactly TotalBudget
+// iteration starts (visible as the sum of per-server push counts divided
+// by server count).
+func TestBudgetModeSpendsExactBudget(t *testing.T) {
+	cfg := simBase(t)
+	cfg.Servers = 2
+	cfg.TotalBudget = cfg.Iters * cfg.Workers
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for m, st := range res.ServerStats {
+		if st.Pushes != cfg.TotalBudget {
+			t.Errorf("server %d saw %d pushes, want %d", m, st.Pushes, cfg.TotalBudget)
+		}
+	}
+	if res.TotalTime <= 0 {
+		t.Error("no simulated time")
+	}
+}
+
+// TestBudgetModeDeterministic: budget mode stays fully deterministic.
+func TestBudgetModeDeterministic(t *testing.T) {
+	cfg := simBase(t)
+	cfg.Sync = syncmodel.PSSPConst(2, 0.4)
+	cfg.TotalBudget = cfg.Iters * cfg.Workers
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime || a.FinalAcc != b.FinalAcc {
+		t.Errorf("budget mode nondeterministic: %v/%v vs %v/%v",
+			a.TotalTime, a.FinalAcc, b.TotalTime, b.FinalAcc)
+	}
+}
+
+// TestSchedCostSlowsPSLite: the centralized-scheduler cost model must
+// increase PS-Lite's total time monotonically.
+func TestSchedCostSlowsPSLite(t *testing.T) {
+	cfg := simBase(t)
+	cfg.Arch = ArchPSLite
+	cfg.Iters = 60
+	free, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.SchedCost = 0.02
+	costly, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(costly.TotalTime > free.TotalTime) {
+		t.Errorf("scheduler cost had no effect: %.2f vs %.2f", costly.TotalTime, free.TotalTime)
+	}
+}
+
+// TestDPRCostDelaysReleases: charging per-DPR processing must not lose
+// correctness and must not speed anything up.
+func TestDPRCostDelaysReleases(t *testing.T) {
+	cfg := simBase(t)
+	cfg.Sync = syncmodel.SSP(1)
+	cfg.Compute.StraggleProb = 0.1
+	cfg.Compute.StraggleFactor = 5
+	plain, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.DPRs == 0 {
+		t.Fatal("no DPRs; straggler model too tame for this test")
+	}
+	cfg.DPRCost = 0.01
+	charged, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if charged.FinalAcc < 0.3 {
+		t.Errorf("accuracy broke under DPR cost: %.3f", charged.FinalAcc)
+	}
+	for m, st := range charged.ServerStats {
+		if st.Advances != cfg.Iters {
+			t.Errorf("server %d advanced %d rounds, want %d", m, st.Advances, cfg.Iters)
+		}
+	}
+}

@@ -1,0 +1,93 @@
+// Package sim is a deterministic discrete-event simulator of a
+// parameter-server cluster. It stands in for the paper's physical
+// clusters (32 GPU nodes on AWS; 64–128 CPU nodes), which are not
+// available here — see DESIGN.md §2.
+//
+// The crucial property is that only *time* is simulated: gradients are
+// really computed, optimizers really applied, and parameters really
+// aggregated, in the exact order the simulated schedule induces. Accuracy
+// curves are therefore genuine SGD under each synchronization protocol,
+// while wall-clock effects (stragglers, network contention, barrier
+// serialization) come from explicit compute and network models.
+//
+// Three architectures are simulated on the same engine: FluentPS
+// (per-shard condition-aware controllers, overlap synchronization),
+// PS-Lite (central scheduler barrier, non-overlap), and SSPtable
+// (client-side caches with vector-clock invalidation).
+package sim
+
+import (
+	"container/heap"
+)
+
+// event is one scheduled callback.
+type event struct {
+	t   float64
+	seq int64
+	fn  func()
+}
+
+type eventQueue []*event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].t != q[j].t {
+		return q[i].t < q[j].t
+	}
+	return q[i].seq < q[j].seq // FIFO among simultaneous events
+}
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x any)   { *q = append(*q, x.(*event)) }
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-goroutine discrete-event loop. All callbacks run
+// sequentially in time order, so simulated components need no locking.
+type Engine struct {
+	q   eventQueue
+	now float64
+	seq int64
+}
+
+// NewEngine returns an empty engine at time zero.
+func NewEngine() *Engine { return &Engine{} }
+
+// Now returns the current simulated time in seconds.
+func (e *Engine) Now() float64 { return e.now }
+
+// After schedules fn to run delay seconds from now. Negative delays are
+// clamped to zero (run "immediately", after already-queued events at the
+// current instant).
+func (e *Engine) After(delay float64, fn func()) {
+	if delay < 0 {
+		delay = 0
+	}
+	e.seq++
+	heap.Push(&e.q, &event{t: e.now + delay, seq: e.seq, fn: fn})
+}
+
+// At schedules fn at an absolute time, clamped to now.
+func (e *Engine) At(t float64, fn func()) {
+	e.After(t-e.now, fn)
+}
+
+// Run processes events until the queue empties and returns the final
+// simulated time.
+func (e *Engine) Run() float64 {
+	for e.q.Len() > 0 {
+		ev := heap.Pop(&e.q).(*event)
+		e.now = ev.t
+		ev.fn()
+	}
+	return e.now
+}
+
+// Pending returns the number of queued events (useful for deadlock
+// assertions in tests: a run that ends with blocked workers ends early).
+func (e *Engine) Pending() int { return e.q.Len() }

@@ -1,0 +1,194 @@
+package sim
+
+import (
+	"testing"
+)
+
+func TestEngineOrdersEventsByTime(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	e.After(3, func() { order = append(order, 3) })
+	e.After(1, func() { order = append(order, 1) })
+	e.After(2, func() { order = append(order, 2) })
+	end := e.Run()
+	if end != 3 {
+		t.Errorf("final time = %v, want 3", end)
+	}
+	if len(order) != 3 || order[0] != 1 || order[1] != 2 || order[2] != 3 {
+		t.Errorf("order = %v", order)
+	}
+}
+
+func TestEngineFIFOAmongSimultaneous(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(1, func() { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events reordered: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var times []float64
+	e.After(1, func() {
+		times = append(times, e.Now())
+		e.After(2, func() {
+			times = append(times, e.Now())
+		})
+	})
+	e.Run()
+	if len(times) != 2 || times[0] != 1 || times[1] != 3 {
+		t.Errorf("times = %v", times)
+	}
+}
+
+func TestEngineNegativeDelayClamped(t *testing.T) {
+	e := NewEngine()
+	ran := false
+	e.After(5, func() {
+		e.After(-10, func() {
+			if e.Now() != 5 {
+				t.Errorf("clamped event ran at %v", e.Now())
+			}
+			ran = true
+		})
+	})
+	e.Run()
+	if !ran {
+		t.Error("clamped event never ran")
+	}
+}
+
+func TestEngineAtAbsolute(t *testing.T) {
+	e := NewEngine()
+	var at float64 = -1
+	e.After(2, func() {
+		e.At(7, func() { at = e.Now() })
+	})
+	e.Run()
+	if at != 7 {
+		t.Errorf("At event ran at %v, want 7", at)
+	}
+}
+
+func TestEnginePending(t *testing.T) {
+	e := NewEngine()
+	if e.Pending() != 0 {
+		t.Error("fresh engine has pending events")
+	}
+	e.After(1, func() {})
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d, want 1", e.Pending())
+	}
+	e.Run()
+	if e.Pending() != 0 {
+		t.Error("events left after Run")
+	}
+}
+
+func TestNetworkSingleTransferTiming(t *testing.T) {
+	e := NewEngine()
+	n := newNetwork(NetworkModel{Latency: 0.01, Bandwidth: 1000}, e, 2)
+	var arrived float64 = -1
+	n.send(0, 1, 500, func() { arrived = e.Now() })
+	e.Run()
+	// occupancy 0.5s at sender + 0.01 latency + 0.5s at receiver.
+	want := 0.5 + 0.01 + 0.5
+	if diff := arrived - want; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("arrival = %v, want %v", arrived, want)
+	}
+	if n.txBytes[0] != 500 || n.rxBytes[1] != 500 {
+		t.Errorf("byte counters tx=%d rx=%d", n.txBytes[0], n.rxBytes[1])
+	}
+}
+
+func TestNetworkReceiverSerialization(t *testing.T) {
+	// Two senders, one receiver: the second message must queue at the
+	// receiver NIC.
+	e := NewEngine()
+	n := newNetwork(NetworkModel{Latency: 0, Bandwidth: 1000}, e, 3)
+	var t1, t2 float64
+	n.send(0, 2, 1000, func() { t1 = e.Now() })
+	n.send(1, 2, 1000, func() { t2 = e.Now() })
+	e.Run()
+	// Each occupies 1s at its sender (parallel) and 1s at the shared
+	// receiver (serialized): first done at 2, second at 3.
+	if t1 != 2 || t2 != 3 {
+		t.Errorf("arrivals = %v, %v; want 2, 3", t1, t2)
+	}
+}
+
+func TestNetworkSenderSerialization(t *testing.T) {
+	// One sender, two receivers: the second departure queues at the
+	// sender NIC.
+	e := NewEngine()
+	n := newNetwork(NetworkModel{Latency: 0, Bandwidth: 1000}, e, 3)
+	var t1, t2 float64
+	n.send(0, 1, 1000, func() { t1 = e.Now() })
+	n.send(0, 2, 1000, func() { t2 = e.Now() })
+	e.Run()
+	if t1 != 2 || t2 != 3 {
+		t.Errorf("arrivals = %v, %v; want 2, 3", t1, t2)
+	}
+}
+
+func TestComputeModelValidation(t *testing.T) {
+	bad := []ComputeModel{
+		{Mean: 0},
+		{Mean: 1, CV: -1},
+		{Mean: 1, StraggleProb: 2},
+		{Mean: 1, StraggleProb: 0.1, StraggleFactor: 0.5},
+		{Mean: 1, SpeedSpread: -1},
+	}
+	for i, m := range bad {
+		if err := m.Validate(); err == nil {
+			t.Errorf("bad compute model %d accepted", i)
+		}
+	}
+	if err := (ComputeModel{Mean: 1, CV: 0.2, StraggleProb: 0.05, StraggleFactor: 4}).Validate(); err != nil {
+		t.Errorf("good model rejected: %v", err)
+	}
+}
+
+func TestNetworkModelValidation(t *testing.T) {
+	if err := (NetworkModel{Latency: -1, Bandwidth: 1}).Validate(); err == nil {
+		t.Error("negative latency accepted")
+	}
+	if err := (NetworkModel{Latency: 0, Bandwidth: 0}).Validate(); err == nil {
+		t.Error("zero bandwidth accepted")
+	}
+}
+
+func TestComputeSamplerDeterministicAndStraggles(t *testing.T) {
+	m := ComputeModel{Mean: 1, CV: 0.2, StraggleProb: 0.2, StraggleFactor: 10}
+	a := newComputeSampler(m, 9, 0)
+	b := newComputeSampler(m, 9, 0)
+	other := newComputeSampler(m, 9, 1)
+	slowSeen := false
+	differ := false
+	for i := 0; i < 200; i++ {
+		va, vb, vo := a.sample(), b.sample(), other.sample()
+		if va != vb {
+			t.Fatal("same worker+seed must give identical samples")
+		}
+		if va != vo {
+			differ = true
+		}
+		if va > 5 {
+			slowSeen = true
+		}
+	}
+	if !differ {
+		t.Error("different workers drew identical streams")
+	}
+	if !slowSeen {
+		t.Error("straggler injection never fired in 200 draws at p=0.2")
+	}
+}

@@ -1,0 +1,323 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/mathx"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/trace"
+)
+
+func rngFor(seed int64, name string) *rand.Rand { return mathx.RNG(seed, name) }
+
+// fluentWorker is a simulated FluentPS worker.
+type fluentWorker struct {
+	rank    int
+	iter    int
+	params  []float64
+	grad    []float64
+	delta   []float64
+	opt     optimizer.Optimizer
+	shard   *trainShard
+	sampler *computeSampler
+
+	// pending accumulates updates under the Gaia-style significance
+	// filter until they are worth shipping.
+	pending []float64
+
+	pendingPulls int
+	computeStart float64
+	computeEnd   float64
+	compTotal    float64
+	commTotal    float64
+	doneAt       float64
+}
+
+// trainShard bundles a worker's data partition with its batch stream.
+type trainShard struct {
+	data *shardData
+	rng  *rand.Rand
+}
+
+type shardData struct {
+	x [][]float64
+	y []int
+}
+
+func (s *trainShard) batch(size int) ([][]float64, []int) {
+	x := make([][]float64, size)
+	y := make([]int, size)
+	for i := 0; i < size; i++ {
+		j := s.rng.Intn(len(s.data.y))
+		x[i] = s.data.x[j]
+		y[i] = s.data.y[j]
+	}
+	return x, y
+}
+
+func newTrainShard(cfg *Config, worker int) (*trainShard, error) {
+	ds, err := cfg.Train.Shard(worker, cfg.Workers)
+	if err != nil {
+		return nil, err
+	}
+	return &trainShard{
+		data: &shardData{x: ds.X, y: ds.Y},
+		rng:  rngFor(cfg.Seed, fmt.Sprintf("sim.batch.%d", worker)),
+	}, nil
+}
+
+// fluentServer is a simulated FluentPS server node.
+type fluentServer struct {
+	rank  int
+	ctrl  *syncmodel.Controller
+	shard *kvstore.Shard
+	keys  []keyrange.Key
+	// dprFree is the server's DPR-handling work queue availability (per
+	// Config.DPRCost).
+	dprFree float64
+}
+
+func runFluentPS(cfg Config) (*Result, error) {
+	c, err := newCluster(cfg, cfg.UseEPS, 0)
+	if err != nil {
+		return nil, err
+	}
+	servers := make([]*fluentServer, cfg.Servers)
+	for m := 0; m < cfg.Servers; m++ {
+		model := cfg.Sync
+		if cfg.SyncFor != nil {
+			model = cfg.SyncFor(m)
+		}
+		servers[m] = &fluentServer{
+			rank:  m,
+			ctrl:  syncmodel.New(cfg.Workers, model, cfg.Drain, rngFor(cfg.Seed, fmt.Sprintf("sim.pssp.%d", m))),
+			shard: c.shards[m],
+			keys:  c.assign.KeysOf(m),
+		}
+	}
+	workers := make([]*fluentWorker, cfg.Workers)
+	for n := 0; n < cfg.Workers; n++ {
+		shard, err := newTrainShard(&cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		workers[n] = &fluentWorker{
+			rank:    n,
+			params:  append([]float64(nil), c.w0...),
+			grad:    make([]float64, cfg.Model.Dim()),
+			delta:   make([]float64, cfg.Model.Dim()),
+			opt:     cfg.NewOptimizer(),
+			shard:   shard,
+			sampler: newComputeSampler(cfg.Compute, cfg.Seed, n),
+		}
+		if cfg.SignificanceThreshold > 0 {
+			workers[n].pending = make([]float64, cfg.Model.Dim())
+		}
+	}
+	res := &Result{}
+	evalBuf := make([]float64, cfg.Model.Dim())
+	recordEval := func(iter int) {
+		if err := c.globalParams(evalBuf); err != nil {
+			panic(err) // assignment covers all keys by construction
+		}
+		_, acc := cfg.Model.Evaluate(evalBuf, cfg.Test)
+		res.History = append(res.History, TimePoint{Time: c.eng.Now(), Iter: iter, Acc: acc})
+	}
+
+	var startCompute func(w *fluentWorker)
+	var respond func(s *fluentServer, worker int)
+
+	// respondReleased answers a DPR: it pays the server's serialized
+	// DPR-handling cost before the response transfer starts.
+	respondReleased := func(s *fluentServer, worker int) {
+		if cfg.DPRCost == 0 {
+			respond(s, worker)
+			return
+		}
+		at := maxf(c.eng.Now(), s.dprFree) + cfg.DPRCost
+		s.dprFree = at
+		c.eng.At(at, func() { respond(s, worker) })
+	}
+
+	respond = func(s *fluentServer, worker int) {
+		vals, err := s.shard.GatherShard(nil, s.keys)
+		if err != nil {
+			panic(err)
+		}
+		w := workers[worker]
+		c.net.send(c.serverNode(s.rank), c.workerNode(worker), msgBytes(len(vals)), func() {
+			if err := kvstore.Scatter(c.layout, w.params, s.keys, vals); err != nil {
+				panic(err)
+			}
+			w.pendingPulls--
+			if w.pendingPulls > 0 {
+				return
+			}
+			w.commTotal += c.eng.Now() - w.computeEnd
+			if cfg.Trace != nil {
+				cfg.Trace.Add(trace.Span{
+					Worker: w.rank, Iter: w.iter,
+					ComputeStart: w.computeStart, ComputeEnd: w.computeEnd,
+					SyncEnd: c.eng.Now(),
+				})
+			}
+			w.iter++
+			if w.rank == 0 && cfg.EvalEvery > 0 && cfg.Test != nil && w.iter%cfg.EvalEvery == 0 {
+				recordEval(w.iter)
+			}
+			startCompute(w)
+		})
+	}
+
+	onPush := func(s *fluentServer, worker, iter int, keys []keyrange.Key, payload []float64) {
+		apply, released := s.ctrl.OnPush(worker, iter)
+		// A payload-free push is a significance-filtered progress report:
+		// it closes rounds but carries no update.
+		if apply && len(payload) > 0 {
+			if err := s.shard.ApplyGradPayload(keys, payload, 1/float64(cfg.Workers)); err != nil {
+				panic(err)
+			}
+		}
+		for _, rel := range released {
+			respondReleased(s, rel.Worker)
+		}
+	}
+
+	onPull := func(s *fluentServer, worker, iter int) {
+		if s.ctrl.OnPull(worker, iter, worker) {
+			respond(s, worker)
+		}
+	}
+
+	// started counts iterations begun across all workers (budget mode).
+	started := 0
+	startCompute = func(w *fluentWorker) {
+		if cfg.TotalBudget > 0 {
+			if started >= cfg.TotalBudget {
+				w.doneAt = c.eng.Now()
+				if w.doneAt > res.TotalTime {
+					res.TotalTime = w.doneAt
+				}
+				return
+			}
+			started++
+		} else if w.iter >= cfg.Iters {
+			w.doneAt = c.eng.Now()
+			if w.doneAt > res.TotalTime {
+				res.TotalTime = w.doneAt
+			}
+			return
+		}
+		dur := w.sampler.sample()
+		w.compTotal += dur
+		w.computeStart = c.eng.Now()
+		c.eng.After(dur, func() {
+			x, y := w.shard.batch(cfg.BatchSize)
+			cfg.Model.Gradient(w.params, x, y, w.grad)
+			if cfg.Significances != nil {
+				cfg.Significances[w.rank] = mlmodel.Significance(w.grad, w.params)
+			}
+			w.opt.Delta(w.params, w.grad, w.delta)
+			// Gaia-style significance filter: accumulate until the update
+			// is worth its bandwidth.
+			sendVals := w.delta
+			if w.pending != nil {
+				mathx.Axpy(1, w.delta, w.pending)
+				if mlmodel.Significance(w.pending, w.params) >= cfg.SignificanceThreshold {
+					copy(w.delta, w.pending)
+					for i := range w.pending {
+						w.pending[i] = 0
+					}
+					sendVals = w.delta
+				} else {
+					sendVals = nil
+					res.SkippedPushes++
+				}
+			}
+			w.computeEnd = c.eng.Now()
+			iter := w.iter
+			// In budget mode workers keep pulling; leftover blocked pulls
+			// after the budget is spent are simply never answered.
+			last := cfg.TotalBudget == 0 && iter == cfg.Iters-1
+			w.pendingPulls = 0
+			for m := 0; m < cfg.Servers; m++ {
+				s := servers[m]
+				if len(s.keys) == 0 {
+					continue
+				}
+				var payload []float64
+				bytes := ctrlBytes
+				if sendVals != nil {
+					payload = kvstore.GatherInto(nil, c.layout, sendVals, s.keys)
+					bytes = msgBytes(len(payload))
+				}
+				c.net.send(c.workerNode(w.rank), c.serverNode(m), bytes, func() {
+					onPush(s, w.rank, iter, s.keys, payload)
+				})
+				if !last {
+					w.pendingPulls++
+					c.net.send(c.workerNode(w.rank), c.serverNode(m), ctrlBytes, func() {
+						onPull(s, w.rank, iter)
+					})
+				}
+			}
+			if last {
+				if cfg.Trace != nil {
+					cfg.Trace.Add(trace.Span{
+						Worker: w.rank, Iter: w.iter,
+						ComputeStart: w.computeStart, ComputeEnd: w.computeEnd,
+						SyncEnd: w.computeEnd,
+					})
+				}
+				w.iter++
+				if w.rank == 0 && cfg.EvalEvery > 0 && cfg.Test != nil && w.iter%cfg.EvalEvery == 0 {
+					recordEval(w.iter)
+				}
+				w.doneAt = c.eng.Now()
+				if w.doneAt > res.TotalTime {
+					res.TotalTime = w.doneAt
+				}
+			}
+		})
+	}
+
+	for _, w := range workers {
+		startCompute(w)
+	}
+	end := c.eng.Run()
+	if cfg.TotalBudget > 0 && end > res.TotalTime {
+		// Budget mode: the run ends when the last in-flight work settles.
+		res.TotalTime = end
+	}
+
+	res.ServerStats = make([]syncmodel.Stats, cfg.Servers)
+	res.DPRsPerRound = make([]int, cfg.Iters)
+	for m, s := range servers {
+		st := s.ctrl.Stats()
+		res.MeanAnswerGap += s.ctrl.MeanAnswerGap() / float64(cfg.Servers)
+		res.ServerStats[m] = st
+		res.DPRs += st.DPRs
+		for r, v := range s.ctrl.DPRsPerRound(cfg.Iters) {
+			res.DPRsPerRound[r] += v
+		}
+	}
+	for _, w := range workers {
+		res.ComputeTime += w.compTotal
+		res.CommTime += w.commTotal
+	}
+	res.ComputeTime /= float64(cfg.Workers)
+	res.CommTime /= float64(cfg.Workers)
+	res.BytesOnWire = c.bytesOnWire()
+	if cfg.Test != nil {
+		if err := c.globalParams(evalBuf); err != nil {
+			return nil, err
+		}
+		res.FinalLoss, res.FinalAcc = cfg.Model.Evaluate(evalBuf, cfg.Test)
+	}
+	return res, nil
+}

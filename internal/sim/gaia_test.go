@@ -1,0 +1,90 @@
+package sim
+
+import (
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/trace"
+)
+
+func traceNew() *trace.Recorder { return trace.New() }
+
+func TestSignificanceFilterCutsBytes(t *testing.T) {
+	base := simBase(t)
+	base.Sync = syncmodel.SSP(2)
+	base.Iters = 100
+
+	plain, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filtered := base
+	filtered.SignificanceThreshold = 0.1
+	rf, err := Run(filtered)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rf.SkippedPushes == 0 {
+		t.Fatal("no pushes skipped at a high threshold")
+	}
+	if !(rf.BytesOnWire < plain.BytesOnWire) {
+		t.Errorf("filter did not cut bytes: %d vs %d", rf.BytesOnWire, plain.BytesOnWire)
+	}
+	// Accumulated (not dropped) updates keep learning alive.
+	if rf.FinalAcc < plain.FinalAcc-0.15 {
+		t.Errorf("filtered accuracy %.3f collapsed vs %.3f", rf.FinalAcc, plain.FinalAcc)
+	}
+	// Rounds still close: progress reports ride payload-free pushes.
+	for m, st := range rf.ServerStats {
+		if st.Advances != base.Iters {
+			t.Errorf("server %d advanced %d rounds, want %d", m, st.Advances, base.Iters)
+		}
+	}
+}
+
+func TestSignificanceFilterZeroThresholdIsIdentity(t *testing.T) {
+	base := simBase(t)
+	base.Iters = 50
+	a, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := base
+	b.SignificanceThreshold = 0
+	rb, err := Run(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.BytesOnWire != rb.BytesOnWire || a.FinalAcc != rb.FinalAcc {
+		t.Error("zero threshold changed behaviour")
+	}
+}
+
+func TestSignificanceFilterValidation(t *testing.T) {
+	cfg := simBase(t)
+	cfg.SignificanceThreshold = -1
+	if _, err := Run(cfg); err == nil {
+		t.Error("negative threshold accepted")
+	}
+}
+
+func TestTraceRecordedForAllArchitectures(t *testing.T) {
+	for _, arch := range []Arch{ArchFluentPS, ArchPSLite, ArchSSPTable} {
+		cfg := simBase(t)
+		cfg.Arch = arch
+		cfg.Iters = 20
+		cfg.Staleness = 2
+		rec := traceNew()
+		cfg.Trace = rec
+		if _, err := Run(cfg); err != nil {
+			t.Fatalf("%v: %v", arch, err)
+		}
+		want := cfg.Workers * cfg.Iters
+		if rec.Len() != want {
+			t.Errorf("%v: %d spans, want %d", arch, rec.Len(), want)
+		}
+		if rec.End() <= 0 {
+			t.Errorf("%v: empty timeline", arch)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+
+	"github.com/fluentps/fluentps/internal/mathx"
+)
+
+// ComputeModel describes per-iteration gradient computation time on a
+// worker. Times are lognormal around Mean with coefficient of variation
+// CV; with probability StraggleProb an iteration is additionally slowed by
+// StraggleFactor (the paper's "randomly slower" nodes), and each worker
+// carries a permanent speed multiplier drawn once from a lognormal with
+// coefficient of variation SpeedSpread (hardware heterogeneity).
+type ComputeModel struct {
+	Mean           float64
+	CV             float64
+	StraggleProb   float64
+	StraggleFactor float64
+	SpeedSpread    float64
+}
+
+// Validate reports whether the model is usable.
+func (c ComputeModel) Validate() error {
+	switch {
+	case c.Mean <= 0:
+		return fmt.Errorf("sim: compute mean must be positive, got %v", c.Mean)
+	case c.CV < 0 || c.StraggleProb < 0 || c.StraggleProb > 1:
+		return fmt.Errorf("sim: invalid compute noise (cv=%v, straggleProb=%v)", c.CV, c.StraggleProb)
+	case c.StraggleProb > 0 && c.StraggleFactor < 1:
+		return fmt.Errorf("sim: straggle factor must be ≥ 1, got %v", c.StraggleFactor)
+	case c.SpeedSpread < 0:
+		return fmt.Errorf("sim: speed spread must be ≥ 0, got %v", c.SpeedSpread)
+	}
+	return nil
+}
+
+// computeSampler draws iteration times for one worker.
+type computeSampler struct {
+	model ComputeModel
+	speed float64 // permanent per-worker multiplier
+	rng   *rand.Rand
+}
+
+func newComputeSampler(model ComputeModel, seed int64, worker int) *computeSampler {
+	speedRNG := mathx.RNG(seed, fmt.Sprintf("sim.speed.%d", worker))
+	speed := 1.0
+	if model.SpeedSpread > 0 {
+		speed = mathx.LogNormal(speedRNG, 1, model.SpeedSpread)
+	}
+	return &computeSampler{
+		model: model,
+		speed: speed,
+		rng:   mathx.RNG(seed, fmt.Sprintf("sim.compute.%d", worker)),
+	}
+}
+
+func (s *computeSampler) sample() float64 {
+	d := mathx.LogNormal(s.rng, s.model.Mean, s.model.CV) * s.speed
+	if s.model.StraggleProb > 0 && s.rng.Float64() < s.model.StraggleProb {
+		d *= s.model.StraggleFactor
+	}
+	return d
+}
+
+// NetworkModel describes the cluster fabric: full-duplex NICs with
+// per-node transmit and receive serialization at Bandwidth bytes/s plus a
+// propagation Latency. A message of b bytes from u to v occupies u's
+// transmit queue for b/Bandwidth, travels Latency seconds, then occupies
+// v's receive queue for b/Bandwidth — so a server receiving pushes from N
+// workers serializes them at its NIC, which is exactly how an imbalanced
+// parameter slicing turns one server into the communication bottleneck
+// (Fig 6).
+type NetworkModel struct {
+	Latency   float64
+	Bandwidth float64
+}
+
+// Validate reports whether the model is usable.
+func (n NetworkModel) Validate() error {
+	if n.Latency < 0 || n.Bandwidth <= 0 {
+		return fmt.Errorf("sim: invalid network model (latency=%v bandwidth=%v)", n.Latency, n.Bandwidth)
+	}
+	return nil
+}
+
+// network tracks NIC queue availability per simulated node.
+type network struct {
+	model   NetworkModel
+	eng     *Engine
+	txFree  []float64
+	rxFree  []float64
+	txBytes []int64
+	rxBytes []int64
+}
+
+func newNetwork(model NetworkModel, eng *Engine, nodes int) *network {
+	return &network{
+		model:   model,
+		eng:     eng,
+		txFree:  make([]float64, nodes),
+		rxFree:  make([]float64, nodes),
+		txBytes: make([]int64, nodes),
+		rxBytes: make([]int64, nodes),
+	}
+}
+
+// send schedules delivery of a message of the given size from node u to
+// node v; onArrive runs when the receiver has fully read it.
+func (n *network) send(u, v int, bytes int, onArrive func()) {
+	occ := float64(bytes) / n.model.Bandwidth
+	depart := maxf(n.eng.Now(), n.txFree[u]) + occ
+	n.txFree[u] = depart
+	n.txBytes[u] += int64(bytes)
+	arriveStart := maxf(depart+n.model.Latency, n.rxFree[v])
+	arrive := arriveStart + occ
+	n.rxFree[v] = arrive
+	n.rxBytes[v] += int64(bytes)
+	n.eng.At(arrive, onArrive)
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// msgBytes approximates the wire size of a push/pull message carrying
+// sz float64 scalars (matches transport's codec framing closely enough
+// for timing purposes).
+func msgBytes(sz int) int { return 32 + 8*sz }
+
+// ctrlBytes is the size of a payload-free control message (barrier,
+// release, ack, pull request).
+const ctrlBytes = 32

@@ -1,0 +1,257 @@
+package sim
+
+import (
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/trace"
+)
+
+// psliteWorker is a simulated PS-Lite worker following the non-overlap
+// timeline of Fig 5(a): push → ack → barrier at the scheduler → release →
+// pull → next compute.
+type psliteWorker struct {
+	rank    int
+	iter    int
+	params  []float64
+	grad    []float64
+	delta   []float64
+	opt     optimizer.Optimizer
+	shard   *trainShard
+	sampler *computeSampler
+
+	pendingAcks  int
+	pendingPulls int
+	computeStart float64
+	computeEnd   float64
+	compTotal    float64
+	commTotal    float64
+}
+
+// psliteScheduler mirrors internal/pslite's barrier logic on the
+// simulated clock.
+type psliteScheduler struct {
+	progress []int
+	waiting  []schedWait
+	barriers int
+}
+
+type schedWait struct {
+	worker   int
+	progress int
+}
+
+func (s *psliteScheduler) minProgress() int {
+	minP := s.progress[0]
+	for _, p := range s.progress[1:] {
+		if p < minP {
+			minP = p
+		}
+	}
+	return minP
+}
+
+func runPSLite(cfg Config) (*Result, error) {
+	// PS-Lite always uses its default slicing; one extra node hosts the
+	// scheduler.
+	c, err := newCluster(cfg, false, 1)
+	if err != nil {
+		return nil, err
+	}
+	sched := &psliteScheduler{progress: make([]int, cfg.Workers)}
+	for i := range sched.progress {
+		sched.progress[i] = -1
+	}
+	workers := make([]*psliteWorker, cfg.Workers)
+	for n := 0; n < cfg.Workers; n++ {
+		shard, err := newTrainShard(&cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		workers[n] = &psliteWorker{
+			rank:    n,
+			params:  append([]float64(nil), c.w0...),
+			grad:    make([]float64, cfg.Model.Dim()),
+			delta:   make([]float64, cfg.Model.Dim()),
+			opt:     cfg.NewOptimizer(),
+			shard:   shard,
+			sampler: newComputeSampler(cfg.Compute, cfg.Seed, n),
+		}
+	}
+	res := &Result{}
+	evalBuf := make([]float64, cfg.Model.Dim())
+	recordEval := func(iter int) {
+		if err := c.globalParams(evalBuf); err != nil {
+			panic(err)
+		}
+		_, acc := cfg.Model.Evaluate(evalBuf, cfg.Test)
+		res.History = append(res.History, TimePoint{Time: c.eng.Now(), Iter: iter, Acc: acc})
+	}
+
+	var startCompute func(w *psliteWorker)
+	var sendPulls func(w *psliteWorker)
+
+	// The single scheduler handles every barrier report and every release
+	// serially, at SchedCost seconds each — the centralized bottleneck
+	// FluentPS removes by moving synchronization onto servers.
+	var schedFree float64
+	schedWork := func(fn func()) {
+		at := maxf(c.eng.Now(), schedFree) + cfg.SchedCost
+		schedFree = at
+		c.eng.At(at, fn)
+	}
+
+	finishIteration := func(w *psliteWorker) {
+		w.commTotal += c.eng.Now() - w.computeEnd
+		if cfg.Trace != nil {
+			cfg.Trace.Add(trace.Span{
+				Worker: w.rank, Iter: w.iter,
+				ComputeStart: w.computeStart, ComputeEnd: w.computeEnd,
+				SyncEnd: c.eng.Now(),
+			})
+		}
+		w.iter++
+		if w.rank == 0 && cfg.EvalEvery > 0 && cfg.Test != nil && w.iter%cfg.EvalEvery == 0 {
+			recordEval(w.iter)
+		}
+		startCompute(w)
+	}
+
+	// release sends the barrier-release control message to a worker, via
+	// the scheduler's serial work loop.
+	release := func(worker int) {
+		schedWork(func() {
+			c.net.send(c.schedNode, c.workerNode(worker), ctrlBytes, func() {
+				sendPulls(workers[worker])
+			})
+		})
+	}
+
+	onBarrier := func(worker, progress int) {
+		sched.barriers++
+		if progress > sched.progress[worker] {
+			sched.progress[worker] = progress
+		}
+		sched.waiting = append(sched.waiting, schedWait{worker: worker, progress: progress})
+		minP := sched.minProgress()
+		kept := sched.waiting[:0]
+		for _, wt := range sched.waiting {
+			if cfg.PSLiteMode.Async || minP >= wt.progress-cfg.PSLiteMode.Delay {
+				release(wt.worker)
+			} else {
+				kept = append(kept, wt)
+			}
+		}
+		sched.waiting = kept
+	}
+
+	sendPulls = func(w *psliteWorker) {
+		w.pendingPulls = 0
+		for m := 0; m < cfg.Servers; m++ {
+			keys := c.assign.KeysOf(m)
+			if len(keys) == 0 {
+				continue
+			}
+			w.pendingPulls++
+			m := m
+			c.net.send(c.workerNode(w.rank), c.serverNode(m), ctrlBytes, func() {
+				// PS-Lite servers answer unconditionally.
+				vals, err := c.shards[m].GatherShard(nil, keys)
+				if err != nil {
+					panic(err)
+				}
+				c.net.send(c.serverNode(m), c.workerNode(w.rank), msgBytes(len(vals)), func() {
+					if err := kvstore.Scatter(c.layout, w.params, keys, vals); err != nil {
+						panic(err)
+					}
+					w.pendingPulls--
+					if w.pendingPulls == 0 {
+						finishIteration(w)
+					}
+				})
+			})
+		}
+	}
+
+	startCompute = func(w *psliteWorker) {
+		if w.iter >= cfg.Iters {
+			if c.eng.Now() > res.TotalTime {
+				res.TotalTime = c.eng.Now()
+			}
+			return
+		}
+		dur := w.sampler.sample()
+		w.compTotal += dur
+		w.computeStart = c.eng.Now()
+		c.eng.After(dur, func() {
+			x, y := w.shard.batch(cfg.BatchSize)
+			cfg.Model.Gradient(w.params, x, y, w.grad)
+			w.opt.Delta(w.params, w.grad, w.delta)
+			w.computeEnd = c.eng.Now()
+			iter := w.iter
+			last := iter == cfg.Iters-1
+			w.pendingAcks = 0
+			for m := 0; m < cfg.Servers; m++ {
+				keys := c.assign.KeysOf(m)
+				if len(keys) == 0 {
+					continue
+				}
+				w.pendingAcks++
+				payload := kvstore.GatherInto(nil, c.layout, w.delta, keys)
+				m := m
+				c.net.send(c.workerNode(w.rank), c.serverNode(m), msgBytes(len(payload)), func() {
+					if err := c.shards[m].ApplyGradPayload(keys, payload, 1/float64(cfg.Workers)); err != nil {
+						panic(err)
+					}
+					// Ack back to the worker.
+					c.net.send(c.serverNode(m), c.workerNode(w.rank), ctrlBytes, func() {
+						w.pendingAcks--
+						if w.pendingAcks > 0 {
+							return
+						}
+						if last {
+							if cfg.Trace != nil {
+								cfg.Trace.Add(trace.Span{
+									Worker: w.rank, Iter: w.iter,
+									ComputeStart: w.computeStart, ComputeEnd: w.computeEnd,
+									SyncEnd: c.eng.Now(),
+								})
+							}
+							w.iter++
+							if c.eng.Now() > res.TotalTime {
+								res.TotalTime = c.eng.Now()
+							}
+							return
+						}
+						// Report progress to the scheduler (Fig 5a: the
+						// dotted line); pulls wait for the release. The
+						// report itself queues at the scheduler.
+						c.net.send(c.workerNode(w.rank), c.schedNode, ctrlBytes, func() {
+							schedWork(func() { onBarrier(w.rank, iter) })
+						})
+					})
+				})
+			}
+		})
+	}
+
+	for _, w := range workers {
+		startCompute(w)
+	}
+	c.eng.Run()
+
+	res.Barriers = sched.barriers
+	for _, w := range workers {
+		res.ComputeTime += w.compTotal
+		res.CommTime += w.commTotal
+	}
+	res.ComputeTime /= float64(cfg.Workers)
+	res.CommTime /= float64(cfg.Workers)
+	res.BytesOnWire = c.bytesOnWire()
+	if cfg.Test != nil {
+		if err := c.globalParams(evalBuf); err != nil {
+			return nil, err
+		}
+		res.FinalLoss, res.FinalAcc = cfg.Model.Evaluate(evalBuf, cfg.Test)
+	}
+	return res, nil
+}

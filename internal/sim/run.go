@@ -1,0 +1,296 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/pslite"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/trace"
+)
+
+// Arch selects the simulated parameter-server architecture.
+type Arch uint8
+
+// Simulated architectures.
+const (
+	// ArchFluentPS: per-shard condition-aware controllers, overlap
+	// synchronization, async pushes (the paper's system).
+	ArchFluentPS Arch = iota
+	// ArchPSLite: dumb servers, one centralized scheduler barrier between
+	// push and pull phases (non-overlap synchronization, Fig 5a).
+	ArchPSLite
+	// ArchSSPTable: Bösen-style client caches with vector-clock
+	// invalidation; pushes applied raw unless ScaleUpdates.
+	ArchSSPTable
+)
+
+// String names the architecture.
+func (a Arch) String() string {
+	switch a {
+	case ArchFluentPS:
+		return "FluentPS"
+	case ArchPSLite:
+		return "PS-Lite"
+	case ArchSSPTable:
+		return "SSPtable"
+	default:
+		return fmt.Sprintf("arch(%d)", uint8(a))
+	}
+}
+
+// Config describes one simulated training run.
+type Config struct {
+	Arch             Arch
+	Workers, Servers int
+	Model            mlmodel.Model
+	Train, Test      *dataset.Dataset
+	NewOptimizer     func() optimizer.Optimizer
+	BatchSize        int
+	Iters            int
+	// TotalBudget, when positive, ends a FluentPS run once that many
+	// iterations have been *started across all workers*, instead of
+	// running every worker for exactly Iters. The paper's
+	// accuracy-vs-time figures count aggregate updates: a relaxed model
+	// finishes the same update budget sooner because fast workers are
+	// never parked at the barrier. Iters then only caps the per-worker
+	// iteration count for buffer sizing and should be ≥ TotalBudget/N.
+	TotalBudget int
+
+	// FluentPS settings.
+	Sync    syncmodel.Model
+	SyncFor func(m int) syncmodel.Model
+	Drain   syncmodel.DrainPolicy
+	UseEPS  bool
+	// DPRCost is the server-side processing cost of handling one delayed
+	// pull request (buffer insertion, wakeup, response scheduling),
+	// charged serially per server when the DPR is released. The soft
+	// barrier re-triggers DPRs every round, so this cost is what makes
+	// its high synchronization *frequency* expensive (§II-B's third
+	// motivation; Fig 8 and Table IV's time rows). Zero disables it.
+	DPRCost float64
+	// Significances, if non-nil, must have length Workers; the simulator
+	// fills it with each worker's latest gradient significance
+	// SF(g,w)=|g|/|w| before evaluating any pull condition, so a
+	// PSSPDynamicFunc model whose alpha reads this slice implements the
+	// paper's significance-driven dynamic probability.
+	Significances []float64
+	// SignificanceThreshold, when positive, enables a Gaia-style
+	// significance filter (Hsieh et al., NSDI'17 — the paper's ref [37]):
+	// a worker accumulates its updates locally and only ships them once
+	// SF(accumulated, w) ≥ threshold; insignificant rounds send a
+	// payload-free progress report so synchronization rounds still close.
+	// Cuts wire volume at a small accuracy cost (see the abl-gaia
+	// experiment).
+	SignificanceThreshold float64
+
+	// PS-Lite settings. SchedCost is the centralized scheduler's
+	// per-message processing time: every barrier report and release is
+	// handled serially by the single scheduler, the bottleneck the paper
+	// calls out (§II-B, §V). Zero disables it.
+	PSLiteMode pslite.SyncMode
+	SchedCost  float64
+
+	// SSPtable settings.
+	Staleness    int
+	ScaleUpdates bool
+
+	Compute ComputeModel
+	Net     NetworkModel
+
+	// EvalEvery > 0 records test accuracy every that many iterations of
+	// worker 0 (at zero simulated cost).
+	EvalEvery int
+	// Trace, if non-nil, records every worker iteration's compute/sync
+	// timeline (FluentPS architecture only).
+	Trace *trace.Recorder
+	Seed  int64
+}
+
+func (c *Config) validate() error {
+	switch {
+	case c.Workers < 1 || c.Servers < 1:
+		return fmt.Errorf("sim: need ≥1 worker and ≥1 server, got %d/%d", c.Workers, c.Servers)
+	case c.Model == nil || c.Train == nil:
+		return fmt.Errorf("sim: model and training data are required")
+	case c.BatchSize < 1 || c.Iters < 1:
+		return fmt.Errorf("sim: need positive batch size and iterations")
+	case c.NewOptimizer == nil:
+		return fmt.Errorf("sim: an optimizer factory is required")
+	case c.Significances != nil && len(c.Significances) != c.Workers:
+		return fmt.Errorf("sim: Significances has %d entries for %d workers", len(c.Significances), c.Workers)
+	case c.SchedCost < 0 || c.DPRCost < 0:
+		return fmt.Errorf("sim: scheduler/DPR costs must be non-negative, got %v/%v", c.SchedCost, c.DPRCost)
+	case c.SignificanceThreshold < 0:
+		return fmt.Errorf("sim: significance threshold must be non-negative, got %v", c.SignificanceThreshold)
+	}
+	if err := c.Compute.Validate(); err != nil {
+		return err
+	}
+	if err := c.Net.Validate(); err != nil {
+		return err
+	}
+	switch c.Arch {
+	case ArchFluentPS:
+		if c.Sync.Pull == nil && c.SyncFor == nil {
+			return fmt.Errorf("sim: FluentPS needs a synchronization model")
+		}
+	case ArchSSPTable:
+		if c.Staleness < 0 {
+			return fmt.Errorf("sim: SSPtable staleness must be non-negative")
+		}
+	}
+	return nil
+}
+
+// TimePoint is one accuracy sample during a simulated run.
+type TimePoint struct {
+	Time float64 // simulated seconds
+	Iter int     // worker-0 iteration
+	Acc  float64
+}
+
+// Result reports a simulated run.
+type Result struct {
+	// TotalTime is when the last worker finished its final iteration.
+	TotalTime float64
+	// ComputeTime and CommTime are per-worker averages of time spent
+	// computing gradients vs. waiting on synchronization/transfer (their
+	// sum ≈ TotalTime; the paper's Fig 6 plots exactly this split).
+	ComputeTime, CommTime float64
+	History               []TimePoint
+	FinalAcc, FinalLoss   float64
+
+	// DPRs is the total delayed pull requests across servers (FluentPS);
+	// DPRsPerRound is indexed by V_train round, summed over servers.
+	DPRs         int
+	DPRsPerRound []int
+	ServerStats  []syncmodel.Stats
+
+	// Blocks counts SSPtable refreshes that had to wait; Barriers counts
+	// PS-Lite scheduler barrier requests.
+	Blocks   int
+	Barriers int
+
+	// MeanAnswerGap is the average staleness gap (progress − V_train) at
+	// pull-answer time, averaged over servers (FluentPS only). Negative
+	// means fresh reads dominate.
+	MeanAnswerGap float64
+	// BytesOnWire is total traffic, for communication-volume comparisons.
+	BytesOnWire int64
+	// SkippedPushes counts rounds whose update stayed below the
+	// significance threshold and travelled as a payload-free report.
+	SkippedPushes int
+}
+
+// DPRsPer100Iters returns the paper's Fig 9 metric: average delayed pull
+// requests per 100 iterations of training.
+func (r *Result) DPRsPer100Iters(iters int) float64 {
+	if iters == 0 {
+		return 0
+	}
+	return float64(r.DPRs) * 100 / float64(iters)
+}
+
+// Run simulates one training job and returns its result.
+func Run(cfg Config) (*Result, error) {
+	if err := cfg.validate(); err != nil {
+		return nil, err
+	}
+	switch cfg.Arch {
+	case ArchFluentPS:
+		return runFluentPS(cfg)
+	case ArchPSLite:
+		return runPSLite(cfg)
+	case ArchSSPTable:
+		return runSSPTable(cfg)
+	default:
+		return nil, fmt.Errorf("sim: unknown architecture %v", cfg.Arch)
+	}
+}
+
+// cluster holds the pieces every architecture shares.
+type cluster struct {
+	cfg    Config
+	eng    *Engine
+	net    *network
+	layout *keyrange.Layout
+	assign *keyrange.Assignment
+	w0     []float64
+	shards []*kvstore.Shard
+	// workerNode/serverNode map logical ranks to network node ids.
+	schedNode int
+}
+
+func (c *cluster) workerNode(n int) int { return n }
+func (c *cluster) serverNode(m int) int { return c.cfg.Workers + m }
+
+func newCluster(cfg Config, useEPS bool, extraNodes int) (*cluster, error) {
+	// The communication layout need not match the model's layer layout:
+	// EPS re-keys the flat parameter space into even ranges (the vector
+	// itself is unchanged; keys are just contiguous views).
+	layout := cfg.Model.Layout()
+	var assign *keyrange.Assignment
+	var err error
+	if useEPS {
+		layout, err = keyrange.EPSLayout(layout.TotalDim(), 4*cfg.Servers)
+		if err != nil {
+			return nil, err
+		}
+		assign, err = keyrange.EPS(layout, cfg.Servers)
+	} else {
+		assign, err = keyrange.DefaultSlicing(layout, cfg.Servers)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w0 := make([]float64, cfg.Model.Dim())
+	cfg.Model.Init(rngFor(cfg.Seed, "sim.init"), w0)
+	eng := NewEngine()
+	nodes := cfg.Workers + cfg.Servers + extraNodes
+	c := &cluster{
+		cfg:       cfg,
+		eng:       eng,
+		net:       newNetwork(cfg.Net, eng, nodes),
+		layout:    layout,
+		assign:    assign,
+		w0:        w0,
+		shards:    make([]*kvstore.Shard, cfg.Servers),
+		schedNode: cfg.Workers + cfg.Servers,
+	}
+	for m := 0; m < cfg.Servers; m++ {
+		keys := assign.KeysOf(m)
+		c.shards[m] = kvstore.NewShard(layout, keys, func(k keyrange.Key, seg []float64) {
+			copy(seg, layout.Slice(w0, k))
+		})
+	}
+	return c, nil
+}
+
+// globalParams assembles the current server-side model.
+func (c *cluster) globalParams(dst []float64) error {
+	for m, shard := range c.shards {
+		keys := c.assign.KeysOf(m)
+		vals, err := shard.GatherShard(nil, keys)
+		if err != nil {
+			return err
+		}
+		if err := kvstore.Scatter(c.layout, dst, keys, vals); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// bytesOnWire sums NIC counters (tx side only, to avoid double counting).
+func (c *cluster) bytesOnWire() int64 {
+	var total int64
+	for _, b := range c.net.txBytes {
+		total += b
+	}
+	return total
+}

@@ -1,0 +1,373 @@
+package sim
+
+import (
+	"math"
+	"reflect"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/pslite"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+// simBase returns a small but non-trivial simulated job config.
+func simBase(t testing.TB) Config {
+	t.Helper()
+	train, test := dataset.CIFAR10Like(71)
+	model, err := mlmodel.NewSoftmax(10, train.Dim, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Arch:         ArchFluentPS,
+		Workers:      8,
+		Servers:      2,
+		Model:        model,
+		Train:        train,
+		Test:         test,
+		Sync:         syncmodel.BSP(),
+		Drain:        syncmodel.Lazy,
+		UseEPS:       true,
+		NewOptimizer: func() optimizer.Optimizer { return &optimizer.SGD{LR: 0.1} },
+		BatchSize:    8,
+		Iters:        150,
+		Compute:      ComputeModel{Mean: 0.1, CV: 0.3},
+		Net:          NetworkModel{Latency: 0.0005, Bandwidth: 1e7},
+		Seed:         13,
+	}
+}
+
+func TestSimValidation(t *testing.T) {
+	mutations := []func(*Config){
+		func(c *Config) { c.Workers = 0 },
+		func(c *Config) { c.Servers = 0 },
+		func(c *Config) { c.Model = nil },
+		func(c *Config) { c.Train = nil },
+		func(c *Config) { c.BatchSize = 0 },
+		func(c *Config) { c.Iters = 0 },
+		func(c *Config) { c.NewOptimizer = nil },
+		func(c *Config) { c.Compute.Mean = 0 },
+		func(c *Config) { c.Net.Bandwidth = 0 },
+		func(c *Config) { c.Sync = syncmodel.Model{}; c.SyncFor = nil },
+		func(c *Config) { c.Significances = make([]float64, 3) },
+		func(c *Config) { c.Arch = ArchSSPTable; c.Staleness = -1 },
+	}
+	for i, mutate := range mutations {
+		cfg := simBase(t)
+		mutate(&cfg)
+		if _, err := Run(cfg); err == nil {
+			t.Errorf("mutation %d accepted", i)
+		}
+	}
+}
+
+func TestSimFluentBSPTrainsAndAccounts(t *testing.T) {
+	cfg := simBase(t)
+	cfg.EvalEvery = 50
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.5 {
+		t.Errorf("accuracy %.3f, want ≥ 0.5", res.FinalAcc)
+	}
+	if res.TotalTime <= 0 {
+		t.Error("no simulated time elapsed")
+	}
+	// Compute dominates at this bandwidth; total time must be at least
+	// the average compute and comm + compute must roughly cover total.
+	if res.ComputeTime <= 0 || res.ComputeTime > res.TotalTime {
+		t.Errorf("compute time %.3f vs total %.3f", res.ComputeTime, res.TotalTime)
+	}
+	if sum := res.ComputeTime + res.CommTime; sum < 0.8*res.TotalTime || sum > 1.2*res.TotalTime {
+		t.Errorf("compute+comm = %.3f does not account for total %.3f", sum, res.TotalTime)
+	}
+	if len(res.History) != 3 {
+		t.Errorf("history has %d points, want 3", len(res.History))
+	}
+	for _, st := range res.ServerStats {
+		if st.Advances != cfg.Iters {
+			t.Errorf("server advanced %d rounds, want %d", st.Advances, cfg.Iters)
+		}
+	}
+	if res.BytesOnWire == 0 {
+		t.Error("no bytes accounted")
+	}
+}
+
+func TestSimDeterminism(t *testing.T) {
+	cfg := simBase(t)
+	cfg.Sync = syncmodel.PSSPConst(2, 0.5)
+	cfg.Compute.StraggleProb = 0.05
+	cfg.Compute.StraggleFactor = 5
+	cfg.Iters = 80
+	a, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TotalTime != b.TotalTime || a.FinalAcc != b.FinalAcc || a.DPRs != b.DPRs {
+		t.Errorf("simulation not deterministic: %+v vs %+v", a, b)
+	}
+	if !reflect.DeepEqual(a.ServerStats, b.ServerStats) {
+		t.Error("server stats differ across identical runs")
+	}
+}
+
+func TestSimStragglersHurtBSPMoreThanASP(t *testing.T) {
+	base := simBase(t)
+	base.Iters = 100
+	base.Compute.StraggleProb = 0.1
+	base.Compute.StraggleFactor = 8
+
+	bsp := base
+	bsp.Sync = syncmodel.BSP()
+	asp := base
+	asp.Sync = syncmodel.ASP()
+
+	rb, err := Run(bsp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, err := Run(asp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(ra.TotalTime < rb.TotalTime*0.8) {
+		t.Errorf("ASP time %.2f not clearly below BSP %.2f under stragglers", ra.TotalTime, rb.TotalTime)
+	}
+}
+
+func TestSimSSPReducesDPRsWithPSSP(t *testing.T) {
+	base := simBase(t)
+	base.Iters = 200
+	base.Compute.CV = 0.5
+	base.Compute.StraggleProb = 0.05
+	base.Compute.StraggleFactor = 4
+
+	ssp := base
+	ssp.Sync = syncmodel.SSP(2)
+	pssp := base
+	pssp.Sync = syncmodel.PSSPConst(2, 0.2)
+
+	rs, err := Run(ssp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(pssp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs.DPRs == 0 {
+		t.Fatal("SSP produced no DPRs; straggler model too tame")
+	}
+	if !(rp.DPRs < rs.DPRs/2) {
+		t.Errorf("PSSP DPRs %d not well below SSP %d", rp.DPRs, rs.DPRs)
+	}
+	per := rs.DPRsPer100Iters(base.Iters)
+	if per <= 0 {
+		t.Errorf("DPRs per 100 iters = %v", per)
+	}
+}
+
+func TestSimOverlapBeatsNonOverlap(t *testing.T) {
+	// The Fig 6 core claim: at equal BSP semantics, FluentPS (overlap,
+	// async pushes) finishes faster than PS-Lite (scheduler barrier
+	// between push and pull), and the gap is communication time.
+	train, test := dataset.CIFAR10Like(72)
+	model, err := mlmodel.NewMLP(train.Dim, 64, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := simBase(t)
+	base.Model = model
+	base.Train, base.Test = train, test
+	base.NewOptimizer = func() optimizer.Optimizer { return &optimizer.SGD{LR: 0.05} }
+	base.Workers = 16
+	base.Servers = 4
+	base.Iters = 60
+	base.Net = NetworkModel{Latency: 0.001, Bandwidth: 2e6} // comm-heavy
+
+	fl := base
+	fl.Arch = ArchFluentPS
+	fl.Sync = syncmodel.BSP()
+	ps := base
+	ps.Arch = ArchPSLite
+	ps.PSLiteMode = pslite.BSP()
+
+	rf, err := Run(fl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Run(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(rf.TotalTime < rp.TotalTime) {
+		t.Errorf("FluentPS %.2fs not faster than PS-Lite %.2fs", rf.TotalTime, rp.TotalTime)
+	}
+	if !(rf.CommTime < rp.CommTime) {
+		t.Errorf("FluentPS comm %.2fs not below PS-Lite %.2fs", rf.CommTime, rp.CommTime)
+	}
+	if rp.Barriers == 0 {
+		t.Error("PS-Lite recorded no barriers")
+	}
+	// Both must still learn.
+	if rf.FinalAcc < 0.4 || rp.FinalAcc < 0.4 {
+		t.Errorf("accuracies %.3f / %.3f", rf.FinalAcc, rp.FinalAcc)
+	}
+}
+
+func TestSimEPSReducesCommOnSkewedModel(t *testing.T) {
+	// The AlexNet-like skewed layout puts 60% of parameters on one key;
+	// default slicing then bottlenecks one server NIC. EPS rebalances.
+	base := simBase(t)
+	base.Workers = 16
+	base.Servers = 4
+	base.Iters = 40
+	base.Net = NetworkModel{Latency: 0.001, Bandwidth: 2e6}
+	base.Sync = syncmodel.BSP()
+
+	eps := base
+	eps.UseEPS = true
+	def := base
+	def.UseEPS = false
+
+	re, err := Run(eps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rd, err := Run(def)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(re.TotalTime < rd.TotalTime) {
+		t.Errorf("EPS %.2fs not faster than default slicing %.2fs", re.TotalTime, rd.TotalTime)
+	}
+}
+
+func TestSimSSPTableCollapsesAtScaleWithRawUpdates(t *testing.T) {
+	train, test := dataset.CIFAR10Like(73)
+	model, err := mlmodel.NewMLP(train.Dim, 64, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mk := func(workers int) Config {
+		cfg := simBase(t)
+		cfg.Arch = ArchSSPTable
+		cfg.Model = model
+		cfg.Train, cfg.Test = train, test
+		cfg.Workers = workers
+		cfg.Staleness = 3
+		cfg.ScaleUpdates = false
+		cfg.NewOptimizer = func() optimizer.Optimizer { return &optimizer.Momentum{LR: 0.02, Mu: 0.9} }
+		cfg.BatchSize = 64 / workers
+		cfg.Iters = 400
+		return cfg
+	}
+	small, err := Run(mk(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	large, err := Run(mk(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if small.FinalAcc < 0.6 {
+		t.Errorf("2-worker accuracy %.3f, want ≥ 0.6", small.FinalAcc)
+	}
+	if large.FinalAcc > small.FinalAcc-0.25 {
+		t.Errorf("16-worker accuracy %.3f did not collapse well below 2-worker %.3f", large.FinalAcc, small.FinalAcc)
+	}
+}
+
+func TestSimSSPTableBlocksAndCacheSemantics(t *testing.T) {
+	cfg := simBase(t)
+	cfg.Arch = ArchSSPTable
+	cfg.Staleness = 2
+	cfg.ScaleUpdates = true
+	cfg.Compute.CV = 0.5
+	cfg.Iters = 120
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.4 {
+		t.Errorf("accuracy %.3f", res.FinalAcc)
+	}
+	if res.Blocks == 0 {
+		t.Error("no soft barriers recorded; cache semantics look broken")
+	}
+}
+
+func TestSimLazyFreshVsSoftBarrierStale(t *testing.T) {
+	// Lazy execution waits longer per DPR but returns fresher parameters;
+	// under a straggler-heavy schedule it converges at least as well, and
+	// the soft barrier shows more DPRs (it re-triggers every round).
+	base := simBase(t)
+	base.Iters = 200
+	base.Sync = syncmodel.SSP(2)
+	base.Compute.StraggleProb = 0.1
+	base.Compute.StraggleFactor = 5
+
+	lazy := base
+	lazy.Drain = syncmodel.Lazy
+	soft := base
+	soft.Drain = syncmodel.SoftBarrier
+
+	rl, err := Run(lazy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rs, err := Run(soft)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rl.DPRs == 0 || rs.DPRs == 0 {
+		t.Fatalf("expected DPRs under stragglers (lazy=%d soft=%d)", rl.DPRs, rs.DPRs)
+	}
+	if !(rl.DPRs < rs.DPRs) {
+		t.Errorf("lazy DPRs %d not below soft-barrier DPRs %d (Fig 9's shape)", rl.DPRs, rs.DPRs)
+	}
+}
+
+func TestSimDynamicPSSPWithSignificance(t *testing.T) {
+	cfg := simBase(t)
+	cfg.Iters = 100
+	sfs := make([]float64, cfg.Workers)
+	cfg.Significances = sfs
+	cfg.Sync = syncmodel.PSSPDynamicFunc(2, func(_ syncmodel.State, worker int) float64 {
+		return sfs[worker]
+	})
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.FinalAcc < 0.4 {
+		t.Errorf("accuracy %.3f", res.FinalAcc)
+	}
+	// The simulator must have filled in real significances.
+	any := false
+	for _, v := range sfs {
+		if v > 0 && !math.IsNaN(v) {
+			any = true
+		}
+	}
+	if !any {
+		t.Error("significances never written")
+	}
+}
+
+func TestArchString(t *testing.T) {
+	if ArchFluentPS.String() != "FluentPS" || ArchPSLite.String() != "PS-Lite" || ArchSSPTable.String() != "SSPtable" {
+		t.Error("arch names wrong")
+	}
+	if Arch(9).String() == "" {
+		t.Error("unknown arch must format")
+	}
+}

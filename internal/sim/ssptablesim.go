@@ -1,0 +1,250 @@
+package sim
+
+import (
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/optimizer"
+	"github.com/fluentps/fluentps/internal/trace"
+)
+
+// sspWorker is a simulated Bösen/SSPtable worker. Its iteration protocol:
+//
+//	read (cache hit: free; miss: pull from servers, blocking on the
+//	vector clock) → compute → push raw updates and continue.
+//
+// Pushes are fire-and-forget: the worker starts its next read immediately,
+// which is why Bösen workers are fast but read stale caches.
+type sspWorker struct {
+	rank    int
+	iter    int
+	params  []float64 // the cache contents
+	version int       // cache version (table clock at refresh)
+	grad    []float64
+	delta   []float64
+	opt     optimizer.Optimizer
+	shard   *trainShard
+	sampler *computeSampler
+
+	pendingPulls int
+	minRespClock int
+	readStart    float64
+	computeStart float64
+	compTotal    float64
+	commTotal    float64
+}
+
+// sspServer holds one shard plus the replicated vector clock (every
+// server sees every worker's pushes for its shard, so the committed
+// counts are identical across servers).
+type sspServer struct {
+	rank      int
+	shard     *kvstore.Shard
+	keys      []keyrange.Key
+	committed []int
+	clock     int
+	// buffered read requests waiting for the clock, keyed by the minimum
+	// clock they need.
+	waiting []sspWait
+	blocks  int
+}
+
+type sspWait struct {
+	worker   int
+	needs    int // minimum clock value
+	respond  func(clock int)
+	recorded bool
+}
+
+func (s *sspServer) advanceClock() {
+	minC := s.committed[0]
+	for _, c := range s.committed[1:] {
+		if c < minC {
+			minC = c
+		}
+	}
+	if minC <= s.clock {
+		return
+	}
+	s.clock = minC
+	kept := s.waiting[:0]
+	for _, w := range s.waiting {
+		if s.clock >= w.needs {
+			w.respond(s.clock)
+		} else {
+			kept = append(kept, w)
+		}
+	}
+	s.waiting = kept
+}
+
+func runSSPTable(cfg Config) (*Result, error) {
+	// Bösen shards its table too; use balanced slicing so the comparison
+	// isolates the synchronization design.
+	c, err := newCluster(cfg, true, 0)
+	if err != nil {
+		return nil, err
+	}
+	servers := make([]*sspServer, cfg.Servers)
+	for m := 0; m < cfg.Servers; m++ {
+		servers[m] = &sspServer{
+			rank:      m,
+			shard:     c.shards[m],
+			keys:      c.assign.KeysOf(m),
+			committed: make([]int, cfg.Workers),
+		}
+	}
+	workers := make([]*sspWorker, cfg.Workers)
+	for n := 0; n < cfg.Workers; n++ {
+		shard, err := newTrainShard(&cfg, n)
+		if err != nil {
+			return nil, err
+		}
+		workers[n] = &sspWorker{
+			rank:    n,
+			params:  append([]float64(nil), c.w0...),
+			grad:    make([]float64, cfg.Model.Dim()),
+			delta:   make([]float64, cfg.Model.Dim()),
+			opt:     cfg.NewOptimizer(),
+			shard:   shard,
+			sampler: newComputeSampler(cfg.Compute, cfg.Seed, n),
+		}
+	}
+	res := &Result{}
+	evalBuf := make([]float64, cfg.Model.Dim())
+	recordEval := func(iter int) {
+		if err := c.globalParams(evalBuf); err != nil {
+			panic(err)
+		}
+		_, acc := cfg.Model.Evaluate(evalBuf, cfg.Test)
+		res.History = append(res.History, TimePoint{Time: c.eng.Now(), Iter: iter, Acc: acc})
+	}
+
+	scale := 1.0
+	if cfg.ScaleUpdates {
+		scale = 1 / float64(cfg.Workers)
+	}
+
+	var startIteration func(w *sspWorker)
+
+	startCompute := func(w *sspWorker) {
+		dur := w.sampler.sample()
+		w.compTotal += dur
+		w.computeStart = c.eng.Now()
+		c.eng.After(dur, func() {
+			x, y := w.shard.batch(cfg.BatchSize)
+			cfg.Model.Gradient(w.params, x, y, w.grad)
+			w.opt.Delta(w.params, w.grad, w.delta)
+			iter := w.iter
+			// Fire-and-forget pushes; the clock commit rides with them.
+			for m := 0; m < cfg.Servers; m++ {
+				s := servers[m]
+				if len(s.keys) == 0 {
+					continue
+				}
+				payload := kvstore.GatherInto(nil, c.layout, w.delta, s.keys)
+				c.net.send(c.workerNode(w.rank), c.serverNode(s.rank), msgBytes(len(payload)), func() {
+					if err := s.shard.ApplyGradPayload(s.keys, payload, scale); err != nil {
+						panic(err)
+					}
+					if iter+1 > s.committed[w.rank] {
+						s.committed[w.rank] = iter + 1
+					}
+					s.advanceClock()
+				})
+			}
+			if cfg.Trace != nil {
+				// An SSPtable worker's sync wait happens *before* compute
+				// (the cache refresh); attribute it to this iteration.
+				cfg.Trace.Add(trace.Span{
+					Worker: w.rank, Iter: w.iter,
+					ComputeStart: w.computeStart, ComputeEnd: c.eng.Now(),
+					SyncEnd: c.eng.Now(),
+				})
+			}
+			w.iter++
+			if w.rank == 0 && cfg.EvalEvery > 0 && cfg.Test != nil && w.iter%cfg.EvalEvery == 0 {
+				recordEval(w.iter)
+			}
+			startIteration(w)
+		})
+	}
+
+	startIteration = func(w *sspWorker) {
+		if w.iter >= cfg.Iters {
+			if c.eng.Now() > res.TotalTime {
+				res.TotalTime = c.eng.Now()
+			}
+			return
+		}
+		// SSPtable read: the cache is valid while version ≥ iter − s.
+		if w.version >= w.iter-cfg.Staleness {
+			startCompute(w)
+			return
+		}
+		// Refresh: pull every shard; each server answers once its clock
+		// reaches iter − s.
+		w.readStart = c.eng.Now()
+		w.pendingPulls = 0
+		w.minRespClock = int(^uint(0) >> 1)
+		needs := w.iter - cfg.Staleness
+		for m := 0; m < cfg.Servers; m++ {
+			s := servers[m]
+			if len(s.keys) == 0 {
+				continue
+			}
+			w.pendingPulls++
+			c.net.send(c.workerNode(w.rank), c.serverNode(s.rank), ctrlBytes, func() {
+				respond := func(clock int) {
+					vals, err := s.shard.GatherShard(nil, s.keys)
+					if err != nil {
+						panic(err)
+					}
+					c.net.send(c.serverNode(s.rank), c.workerNode(w.rank), msgBytes(len(vals)), func() {
+						if err := kvstore.Scatter(c.layout, w.params, s.keys, vals); err != nil {
+							panic(err)
+						}
+						if clock < w.minRespClock {
+							w.minRespClock = clock
+						}
+						w.pendingPulls--
+						if w.pendingPulls > 0 {
+							return
+						}
+						w.version = w.minRespClock
+						w.commTotal += c.eng.Now() - w.readStart
+						startCompute(w)
+					})
+				}
+				if s.clock >= needs {
+					respond(s.clock)
+					return
+				}
+				s.blocks++
+				s.waiting = append(s.waiting, sspWait{worker: w.rank, needs: needs, respond: respond})
+			})
+		}
+	}
+
+	for _, w := range workers {
+		startIteration(w)
+	}
+	c.eng.Run()
+
+	for _, s := range servers {
+		res.Blocks += s.blocks
+	}
+	for _, w := range workers {
+		res.ComputeTime += w.compTotal
+		res.CommTime += w.commTotal
+	}
+	res.ComputeTime /= float64(cfg.Workers)
+	res.CommTime /= float64(cfg.Workers)
+	res.BytesOnWire = c.bytesOnWire()
+	if cfg.Test != nil {
+		if err := c.globalParams(evalBuf); err != nil {
+			return nil, err
+		}
+		res.FinalLoss, res.FinalAcc = cfg.Model.Evaluate(evalBuf, cfg.Test)
+	}
+	return res, nil
+}

@@ -1,0 +1,225 @@
+package ssptable
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+)
+
+func TestNewValidation(t *testing.T) {
+	w0 := []float64{1, 2}
+	if _, err := New(Config{Workers: 0, Staleness: 1}, w0); err == nil {
+		t.Error("zero workers accepted")
+	}
+	if _, err := New(Config{Workers: 2, Staleness: -1}, w0); err == nil {
+		t.Error("negative staleness accepted")
+	}
+	if _, err := New(Config{Workers: 2, Staleness: 1}, nil); err == nil {
+		t.Error("empty params accepted")
+	}
+}
+
+func TestIncRawVsScaled(t *testing.T) {
+	w0 := []float64{0, 0}
+	raw, _ := New(Config{Workers: 4, Staleness: 1}, w0)
+	if err := raw.Inc([]float64{4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := raw.Snapshot(); got[0] != 4 || got[1] != 8 {
+		t.Errorf("raw Inc result %v, want [4 8] (Bösen applies deltas unscaled)", got)
+	}
+	scaled, _ := New(Config{Workers: 4, Staleness: 1, ScaleUpdates: true}, w0)
+	if err := scaled.Inc([]float64{4, 8}); err != nil {
+		t.Fatal(err)
+	}
+	if got := scaled.Snapshot(); got[0] != 1 || got[1] != 2 {
+		t.Errorf("scaled Inc result %v, want [1 2]", got)
+	}
+	if err := raw.Inc([]float64{1}); err == nil {
+		t.Error("wrong-size delta accepted")
+	}
+}
+
+func TestClockAdvancesAtMinimum(t *testing.T) {
+	tb, _ := New(Config{Workers: 3, Staleness: 0}, []float64{0})
+	if err := tb.Clock(0); err != nil {
+		t.Fatal(err)
+	}
+	tb.Clock(0)
+	tb.Clock(1)
+	if tb.ClockValue() != 0 {
+		t.Fatalf("clock = %d before all workers committed", tb.ClockValue())
+	}
+	tb.Clock(2)
+	if tb.ClockValue() != 1 {
+		t.Fatalf("clock = %d, want 1 (min committed)", tb.ClockValue())
+	}
+	if err := tb.Clock(7); err == nil {
+		t.Error("out-of-range worker accepted")
+	}
+}
+
+func TestGetUsesCacheWithinStaleness(t *testing.T) {
+	tb, _ := New(Config{Workers: 2, Staleness: 2}, []float64{1})
+	cache := tb.NewCache()
+	dst := make([]float64, 1)
+	// Update the table; the cached read must NOT see it while within s.
+	tb.Inc([]float64{10})
+	for iter := 0; iter <= 2; iter++ {
+		if err := tb.Get(cache, iter, dst); err != nil {
+			t.Fatal(err)
+		}
+		if dst[0] != 1 {
+			t.Fatalf("iter %d read %v, want cached value 1 (stale by design)", iter, dst[0])
+		}
+	}
+	st := tb.Stats()
+	if st.CacheHits != 3 || st.Refreshes != 0 {
+		t.Errorf("stats %+v, want 3 cache hits", st)
+	}
+}
+
+func TestGetBlocksAndRefreshesBeyondStaleness(t *testing.T) {
+	tb, _ := New(Config{Workers: 2, Staleness: 1}, []float64{1})
+	cache := tb.NewCache()
+	dst := make([]float64, 1)
+	tb.Inc([]float64{10}) // table now 11
+
+	done := make(chan error, 1)
+	go func() { done <- tb.Get(cache, 2, dst) }() // needs clock ≥ 1
+	select {
+	case <-done:
+		t.Fatal("Get returned before the clock caught up")
+	case <-time.After(50 * time.Millisecond):
+	}
+	// Both workers commit iteration 0: clock → 1, read unblocks and
+	// refreshes with the updated value.
+	tb.Clock(0)
+	tb.Clock(1)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Get never unblocked")
+	}
+	if dst[0] != 11 {
+		t.Errorf("refreshed read %v, want 11", dst[0])
+	}
+	st := tb.Stats()
+	if st.Blocks != 1 || st.Refreshes != 1 {
+		t.Errorf("stats %+v, want 1 block, 1 refresh", st)
+	}
+}
+
+func TestGetSizeValidation(t *testing.T) {
+	tb, _ := New(Config{Workers: 1, Staleness: 1}, []float64{1, 2})
+	cache := tb.NewCache()
+	if err := tb.Get(cache, 0, make([]float64, 1)); err == nil {
+		t.Error("wrong-size dst accepted")
+	}
+}
+
+func TestConcurrentWorkersNeverDeadlock(t *testing.T) {
+	tb, _ := New(Config{Workers: 4, Staleness: 2}, make([]float64, 8))
+	var wg sync.WaitGroup
+	for n := 0; n < 4; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			cache := tb.NewCache()
+			dst := make([]float64, 8)
+			delta := make([]float64, 8)
+			for i := 0; i < 200; i++ {
+				if err := tb.Get(cache, i, dst); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tb.Inc(delta); err != nil {
+					t.Error(err)
+					return
+				}
+				if err := tb.Clock(n); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(n)
+	}
+	doneCh := make(chan struct{})
+	go func() { wg.Wait(); close(doneCh) }()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("workers deadlocked")
+	}
+	if tb.ClockValue() != 200 {
+		t.Errorf("final clock = %d, want 200", tb.ClockValue())
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	if _, err := Run(ClusterConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+}
+
+// runAcc trains the non-linear MLP proxy; the Fig 1 divergence requires a
+// network whose activations can explode (a linear softmax is argmax-scale-
+// invariant and merely degrades gracefully).
+func runAcc(t *testing.T, workers, totalBatch int, scale bool) float64 {
+	t.Helper()
+	train, test := dataset.CIFAR10Like(61)
+	model, err := mlmodel.NewMLP(train.Dim, 64, 10, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch := totalBatch / workers
+	if batch < 1 {
+		batch = 1
+	}
+	res, err := Run(ClusterConfig{
+		Workers:      workers,
+		Model:        model,
+		Train:        train,
+		Test:         test,
+		Staleness:    3,
+		ScaleUpdates: scale,
+		NewOptimizer: func() optimizer.Optimizer { return &optimizer.Momentum{LR: 0.02, Mu: 0.9} },
+		BatchSize:    batch,
+		Iters:        400,
+		Seed:         3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.FinalAcc
+}
+
+func TestScalabilityCollapseWithRawUpdates(t *testing.T) {
+	// The Fig 1 phenomenon: with raw (unscaled) Inc and a fixed total
+	// batch, small clusters train fine but large ones diverge — the
+	// per-round aggregate step grows ∝N past the stability limit.
+	small := runAcc(t, 2, 64, false)
+	large := runAcc(t, 32, 64, false)
+	if small < 0.6 {
+		t.Errorf("2-worker accuracy %.3f, want ≥ 0.6", small)
+	}
+	if large > small-0.25 {
+		t.Errorf("32-worker accuracy %.3f did not collapse well below 2-worker %.3f (the Fig 1 regime)", large, small)
+	}
+}
+
+func TestScaledUpdatesStayStable(t *testing.T) {
+	// FluentPS's g/N aggregation (Algorithm 1 line 15) removes the
+	// N-proportional step growth: the same 32-worker run stays healthy.
+	large := runAcc(t, 32, 64, true)
+	if large < 0.6 {
+		t.Errorf("scaled 32-worker accuracy %.3f, want ≥ 0.6 (no collapse)", large)
+	}
+}

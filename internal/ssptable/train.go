@@ -1,0 +1,119 @@
+package ssptable
+
+import (
+	"fmt"
+	"sync"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/mathx"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/optimizer"
+)
+
+// ClusterConfig describes an in-process SSPtable training run.
+type ClusterConfig struct {
+	Workers      int
+	Model        mlmodel.Model
+	Train, Test  *dataset.Dataset
+	Staleness    int
+	ScaleUpdates bool
+	NewOptimizer func() optimizer.Optimizer
+	BatchSize    int
+	Iters        int
+	// EvalEvery > 0 records test accuracy (of the table) every that many
+	// iterations of worker 0.
+	EvalEvery int
+	Seed      int64
+}
+
+// AccPoint is one accuracy measurement during training.
+type AccPoint struct {
+	Iter int
+	Acc  float64
+}
+
+// RunResult reports an SSPtable training run's outcome.
+type RunResult struct {
+	FinalLoss, FinalAcc float64
+	History             []AccPoint
+	Stats               Stats
+}
+
+// Run executes data-parallel training against a shared SSPtable.
+func Run(cfg ClusterConfig) (*RunResult, error) {
+	switch {
+	case cfg.Workers < 1:
+		return nil, fmt.Errorf("ssptable: need at least one worker")
+	case cfg.Model == nil || cfg.Train == nil:
+		return nil, fmt.Errorf("ssptable: model and training data are required")
+	case cfg.BatchSize < 1 || cfg.Iters < 1:
+		return nil, fmt.Errorf("ssptable: need positive batch size and iterations")
+	case cfg.NewOptimizer == nil:
+		return nil, fmt.Errorf("ssptable: an optimizer factory is required")
+	}
+	w0 := make([]float64, cfg.Model.Dim())
+	cfg.Model.Init(mathx.RNG(cfg.Seed, "ssptable.init"), w0)
+	table, err := New(Config{
+		Workers:      cfg.Workers,
+		Staleness:    cfg.Staleness,
+		ScaleUpdates: cfg.ScaleUpdates,
+	}, w0)
+	if err != nil {
+		return nil, err
+	}
+
+	var history []AccPoint
+	var histMu sync.Mutex
+	errs := make([]error, cfg.Workers)
+	var wg sync.WaitGroup
+	for n := 0; n < cfg.Workers; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			errs[n] = func() error {
+				shard, err := cfg.Train.Shard(n, cfg.Workers)
+				if err != nil {
+					return err
+				}
+				opt := cfg.NewOptimizer()
+				cache := table.NewCache()
+				params := make([]float64, cfg.Model.Dim())
+				grad := make([]float64, cfg.Model.Dim())
+				delta := make([]float64, cfg.Model.Dim())
+				rng := mathx.RNG(cfg.Seed, fmt.Sprintf("ssptable.worker.%d", n))
+				for i := 0; i < cfg.Iters; i++ {
+					if err := table.Get(cache, i, params); err != nil {
+						return err
+					}
+					x, y := shard.Batch(rng, cfg.BatchSize)
+					cfg.Model.Gradient(params, x, y, grad)
+					opt.Delta(params, grad, delta)
+					if err := table.Inc(delta); err != nil {
+						return err
+					}
+					if err := table.Clock(n); err != nil {
+						return err
+					}
+					if n == 0 && cfg.EvalEvery > 0 && cfg.Test != nil && (i+1)%cfg.EvalEvery == 0 {
+						_, acc := cfg.Model.Evaluate(table.Snapshot(), cfg.Test)
+						histMu.Lock()
+						history = append(history, AccPoint{Iter: i + 1, Acc: acc})
+						histMu.Unlock()
+					}
+				}
+				return nil
+			}()
+		}(n)
+	}
+	wg.Wait()
+	for n, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("ssptable: worker %d: %w", n, err)
+		}
+	}
+	res := &RunResult{History: history, Stats: table.Stats()}
+	if cfg.Test != nil {
+		res.FinalLoss, res.FinalAcc = cfg.Model.Evaluate(table.Snapshot(), cfg.Test)
+	}
+	return res, nil
+}

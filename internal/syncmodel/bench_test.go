@@ -1,0 +1,59 @@
+package syncmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// BenchmarkControllerBSPRound measures a full round of pushes + pulls
+// through the controller for 32 workers.
+func BenchmarkControllerBSPRound(b *testing.B) {
+	const n = 32
+	c := New(n, BSP(), Lazy, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < n; w++ {
+			c.OnPush(w, i)
+		}
+		for w := 0; w < n; w++ {
+			c.OnPull(w, i, nil)
+		}
+	}
+}
+
+// BenchmarkControllerPSSP measures the probabilistic pull condition path.
+func BenchmarkControllerPSSP(b *testing.B) {
+	const n = 32
+	c := New(n, PSSPConst(3, 0.5), SoftBarrier, rand.New(rand.NewSource(1)))
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		for w := 0; w < n; w++ {
+			c.OnPush(w, i)
+		}
+		for w := 0; w < n; w++ {
+			c.OnPull(w, i, nil)
+		}
+	}
+}
+
+// BenchmarkLazyBufferChurn stresses buffering and release of DPRs.
+func BenchmarkLazyBufferChurn(b *testing.B) {
+	const n = 8
+	c := New(n, SSP(1), Lazy, nil)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		// Worker 0 sprints ahead and blocks; the rest close rounds.
+		c.OnPush(0, 2*i)
+		c.OnPull(0, 2*i, nil)
+		c.OnPush(0, 2*i+1)
+		c.OnPull(0, 2*i+1, nil)
+		for w := 1; w < n; w++ {
+			c.OnPush(w, 2*i)
+			c.OnPull(w, 2*i, nil)
+		}
+		for w := 1; w < n; w++ {
+			c.OnPush(w, 2*i+1)
+			c.OnPull(w, 2*i+1, nil)
+		}
+	}
+}

@@ -1,0 +1,334 @@
+// Package syncmodel implements FluentPS's condition-aware synchronization
+// methodology (Algorithm 1 of the paper) as a pure, transport-free state
+// machine.
+//
+// A Controller manages synchronization for one parameter shard on one
+// server. Workers report their progress through OnPull/OnPush; the
+// controller evaluates a pluggable pull condition to decide whether a pull
+// may be answered immediately, buffers delayed pull requests (DPRs)
+// otherwise, and evaluates a pluggable push condition to decide when the
+// shard's overall training progress V_train advances and buffered pulls
+// drain. Specifying just the two conditions yields BSP, ASP, SSP, DSPS,
+// drop-stragglers, and PSSP (Table III); see models.go.
+//
+// Two drain policies implement the paper's §III-C trade-off:
+//
+//   - Lazy execution indexes the buffer by the *requesting worker's
+//     progress*: a DPR is answered only when V_train catches up to it, so
+//     the worker receives fully fresh parameters after a longer wait.
+//   - The soft barrier indexes the buffer by *V_train at buffering time*:
+//     a DPR is answered at the very next V_train advance, a short wait but
+//     possibly stale parameters — and the barrier re-triggers frequently.
+//
+// The controller never blocks and is owned by a single goroutine (a server
+// message loop or the discrete-event simulator).
+package syncmodel
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// State is the synchronization state a condition may inspect. It mirrors
+// the runtime information the paper's SetcondPull/SetcondPush interfaces
+// expose: the overall progress V_train, per-round push counts, and the
+// fastest/slowest worker progress.
+type State interface {
+	// NumWorkers returns N, the number of workers pushing to this shard.
+	NumWorkers() int
+	// VTrain returns the shard's overall training progress: the number of
+	// fully closed rounds.
+	VTrain() int
+	// CountAt returns how many workers have pushed gradients for round i.
+	CountAt(i int) int
+	// Progress returns the last progress reported by worker n, or -1 if
+	// the worker has not reported yet.
+	Progress(n int) int
+	// MinProgress and MaxProgress return the slowest and fastest reported
+	// progress (-1 before any report).
+	MinProgress() int
+	MaxProgress() int
+	// Delayed returns the number of pull requests currently waiting in
+	// the DPR buffer.
+	Delayed() int
+	// Rand returns a uniform value in [0,1) from the controller's
+	// deterministic stream (used by probabilistic conditions).
+	Rand() float64
+}
+
+// PullCond reports whether a pull by worker n at the given progress may be
+// answered now (Algorithm 1, server line 3).
+type PullCond func(st State, worker, progress int) bool
+
+// PushCond reports whether enough gradients have been aggregated for
+// V_train to advance and buffered pulls to drain (Algorithm 1, line 17).
+type PushCond func(st State) bool
+
+// DrainPolicy selects how delayed pull requests are indexed and released.
+type DrainPolicy uint8
+
+// Drain policies.
+const (
+	// Lazy buffers a DPR under the requesting worker's progress and
+	// releases it when V_train reaches that progress (fresh parameters).
+	Lazy DrainPolicy = iota
+	// SoftBarrier buffers a DPR under the current V_train and releases it
+	// at the next V_train advance (short wait, stale parameters).
+	SoftBarrier
+)
+
+// String names the drain policy.
+func (d DrainPolicy) String() string {
+	switch d {
+	case Lazy:
+		return "lazy"
+	case SoftBarrier:
+		return "soft-barrier"
+	default:
+		return fmt.Sprintf("drain(%d)", uint8(d))
+	}
+}
+
+// Pull identifies one pull request held in the lazy pull buffer. Token is
+// an opaque handle the caller uses to answer the request when released
+// (e.g. the response channel or the simulator event).
+type Pull struct {
+	Worker   int
+	Progress int
+	Token    any
+}
+
+// Stats counts the controller's synchronization activity.
+type Stats struct {
+	Pulls         int // total pull requests
+	Pushes        int // total pushes accepted (gradient applied)
+	DPRs          int // pulls that were delayed (buffered)
+	DroppedPushes int // pushes rejected by a drop-stragglers model
+	Advances      int // V_train increments
+}
+
+// Controller is Algorithm 1's server-side state for one shard.
+type Controller struct {
+	model Model
+	drain DrainPolicy
+
+	n        int
+	vtrain   int
+	count    map[int]int
+	progress []int
+	buffer   map[int][]Pull // index: progress (Lazy) or V_train (SoftBarrier)
+
+	rng   *rand.Rand
+	stats Stats
+
+	// dprPerRound[r] counts DPRs buffered while V_train == r, feeding the
+	// "DPRs per 100 iterations" series of Fig 9 / Table IV.
+	dprPerRound map[int]int
+	// answerGap[g] counts pulls answered at staleness gap g = progress −
+	// V_train at answer time: negative gaps are fresh (BSP-grade) reads,
+	// positive gaps stale ones — the distribution behind the paper's
+	// freshness-vs-wait trade-off.
+	answerGap map[int]int
+}
+
+// New creates a controller for n workers using the given model and drain
+// policy. rng drives probabilistic conditions (PSSP) and must not be nil
+// if the model is probabilistic; a nil rng is replaced by a fixed-seed
+// stream so deterministic models need not supply one.
+func New(n int, model Model, drain DrainPolicy, rng *rand.Rand) *Controller {
+	if n <= 0 {
+		panic(fmt.Sprintf("syncmodel: need at least one worker, got %d", n))
+	}
+	if rng == nil {
+		rng = rand.New(rand.NewSource(1))
+	}
+	prog := make([]int, n)
+	for i := range prog {
+		prog[i] = -1
+	}
+	return &Controller{
+		model:       model.Instantiate(),
+		drain:       drain,
+		n:           n,
+		count:       make(map[int]int),
+		progress:    prog,
+		buffer:      make(map[int][]Pull),
+		rng:         rng,
+		dprPerRound: make(map[int]int),
+		answerGap:   make(map[int]int),
+	}
+}
+
+// Model returns the synchronization model the controller runs.
+func (c *Controller) Model() Model { return c.model }
+
+// Drain returns the controller's drain policy.
+func (c *Controller) Drain() DrainPolicy { return c.drain }
+
+// State accessors (Controller implements State).
+
+// NumWorkers implements State.
+func (c *Controller) NumWorkers() int { return c.n }
+
+// VTrain implements State.
+func (c *Controller) VTrain() int { return c.vtrain }
+
+// CountAt implements State.
+func (c *Controller) CountAt(i int) int { return c.count[i] }
+
+// Progress implements State.
+func (c *Controller) Progress(n int) int { return c.progress[n] }
+
+// MinProgress implements State.
+func (c *Controller) MinProgress() int {
+	minP := c.progress[0]
+	for _, p := range c.progress[1:] {
+		if p < minP {
+			minP = p
+		}
+	}
+	return minP
+}
+
+// MaxProgress implements State.
+func (c *Controller) MaxProgress() int {
+	maxP := c.progress[0]
+	for _, p := range c.progress[1:] {
+		if p > maxP {
+			maxP = p
+		}
+	}
+	return maxP
+}
+
+// Rand implements State.
+func (c *Controller) Rand() float64 { return c.rng.Float64() }
+
+// Delayed implements State; it is an alias of Buffered.
+func (c *Controller) Delayed() int { return c.Buffered() }
+
+// Stats returns a copy of the controller's counters.
+func (c *Controller) Stats() Stats { return c.stats }
+
+// Buffered returns the number of pull requests currently delayed.
+func (c *Controller) Buffered() int {
+	total := 0
+	for _, ps := range c.buffer {
+		total += len(ps)
+	}
+	return total
+}
+
+// AnswerGapHistogram returns how many pulls were answered at each
+// staleness gap (progress − V_train at answer time). Negative gaps mean
+// the requester received parameters containing every round it had seen
+// plus more (fresh); gap ≥ 0 means rounds were missing (stale).
+func (c *Controller) AnswerGapHistogram() map[int]int {
+	out := make(map[int]int, len(c.answerGap))
+	for g, n := range c.answerGap {
+		out[g] = n
+	}
+	return out
+}
+
+// MeanAnswerGap returns the average answered staleness gap (0 if nothing
+// was answered yet).
+func (c *Controller) MeanAnswerGap() float64 {
+	total, sum := 0, 0
+	for g, n := range c.answerGap {
+		total += n
+		sum += g * n
+	}
+	if total == 0 {
+		return 0
+	}
+	return float64(sum) / float64(total)
+}
+
+// DPRsPerRound returns, for rounds [0, upto), how many DPRs were buffered
+// while V_train equalled each round — the series plotted in Fig 9.
+func (c *Controller) DPRsPerRound(upto int) []int {
+	out := make([]int, upto)
+	for r, n := range c.dprPerRound {
+		if r >= 0 && r < upto {
+			out[r] = n
+		}
+	}
+	return out
+}
+
+func (c *Controller) observe(worker, progress int) {
+	if worker < 0 || worker >= c.n {
+		panic(fmt.Sprintf("syncmodel: worker %d out of range [0,%d)", worker, c.n))
+	}
+	if progress > c.progress[worker] {
+		c.progress[worker] = progress
+	}
+}
+
+// OnPull handles Algorithm 1's PullHandler. It records the worker's
+// progress, evaluates the pull condition, and either reports ready=true
+// (the caller responds with current parameters now) or buffers the request
+// as a DPR to be released by a later OnPush.
+func (c *Controller) OnPull(worker, progress int, token any) (ready bool) {
+	c.observe(worker, progress)
+	c.stats.Pulls++
+	if c.model.Pull(c, worker, progress) {
+		c.answerGap[progress-c.vtrain]++
+		return true
+	}
+	c.stats.DPRs++
+	c.dprPerRound[c.vtrain]++
+	idx := progress
+	if c.drain == SoftBarrier {
+		idx = c.vtrain
+	}
+	c.buffer[idx] = append(c.buffer[idx], Pull{Worker: worker, Progress: progress, Token: token})
+	return false
+}
+
+// OnPush handles Algorithm 1's PushHandler. It returns apply=false when a
+// drop-stragglers model rejects a late gradient (the caller must not apply
+// it), and the list of previously buffered pulls that this push released —
+// the caller answers each with the shard's now-current parameters.
+//
+// The caller must apply the gradient (when apply is true) *before* calling
+// OnPush's released pulls' responders, matching line 15 preceding lines
+// 18-20 in the paper. OnPush itself performs no parameter mutation.
+func (c *Controller) OnPush(worker, progress int) (apply bool, released []Pull) {
+	c.observe(worker, progress)
+	if c.model.DropLate && progress < c.vtrain {
+		// The round this gradient belongs to has already closed; a
+		// drop-stragglers model discards it entirely.
+		c.stats.DroppedPushes++
+		return false, nil
+	}
+	c.stats.Pushes++
+	c.count[progress]++
+	for c.model.Push(c) {
+		for _, p := range c.buffer[c.vtrain] {
+			// The release happens as V_train advances past this round.
+			c.answerGap[p.Progress-(c.vtrain+1)]++
+		}
+		released = append(released, c.buffer[c.vtrain]...)
+		delete(c.buffer, c.vtrain)
+		delete(c.count, c.vtrain-1) // retire counters no condition can reach
+		c.vtrain++
+		c.stats.Advances++
+		if c.model.Adjust != nil {
+			c.model.Adjust(c)
+		}
+	}
+	return true, released
+}
+
+// ForceAdvance advances V_train unconditionally and returns released
+// pulls. It is used by recovery paths (e.g. when drop-stragglers must make
+// progress after worker failure) and by tests.
+func (c *Controller) ForceAdvance() (released []Pull) {
+	released = append(released, c.buffer[c.vtrain]...)
+	delete(c.buffer, c.vtrain)
+	c.vtrain++
+	c.stats.Advances++
+	return released
+}

@@ -1,0 +1,373 @@
+package syncmodel
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// push sends a push and fails the test on unexpected drops.
+func push(t *testing.T, c *Controller, worker, progress int) []Pull {
+	t.Helper()
+	apply, released := c.OnPush(worker, progress)
+	if !apply {
+		t.Fatalf("push(worker=%d, progress=%d) unexpectedly dropped", worker, progress)
+	}
+	return released
+}
+
+func TestNewValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("New with 0 workers should panic")
+		}
+	}()
+	New(0, BSP(), Lazy, nil)
+}
+
+func TestBSPBlocksUntilRoundCloses(t *testing.T) {
+	c := New(2, BSP(), Lazy, nil)
+	// Worker 0 pushes round 0 and pulls for round 1: must be delayed,
+	// because worker 1 has not pushed round 0 yet.
+	if rel := push(t, c, 0, 0); len(rel) != 0 {
+		t.Fatalf("premature release: %v", rel)
+	}
+	if ready := c.OnPull(0, 0, "w0"); ready {
+		t.Fatal("BSP pull must be delayed until the round closes")
+	}
+	if c.Buffered() != 1 || c.Stats().DPRs != 1 {
+		t.Fatalf("buffered=%d DPRs=%d, want 1/1", c.Buffered(), c.Stats().DPRs)
+	}
+	// Worker 1's push closes round 0: V_train advances, the DPR drains.
+	rel := push(t, c, 1, 0)
+	if len(rel) != 1 || rel[0].Worker != 0 || rel[0].Token != "w0" {
+		t.Fatalf("release = %+v, want worker 0's pull", rel)
+	}
+	if c.VTrain() != 1 {
+		t.Fatalf("VTrain = %d, want 1", c.VTrain())
+	}
+	// Worker 1's own pull for round 1 is now immediately ready.
+	if ready := c.OnPull(1, 0, "w1"); !ready {
+		t.Fatal("pull after round close should be ready")
+	}
+}
+
+func TestASPNeverDelays(t *testing.T) {
+	c := New(3, ASP(), Lazy, nil)
+	for iter := 0; iter < 5; iter++ {
+		// Only worker 0 makes progress; its pulls must never block.
+		push(t, c, 0, iter)
+		if !c.OnPull(0, iter, nil) {
+			t.Fatalf("ASP delayed a pull at iter %d", iter)
+		}
+	}
+	if c.Stats().DPRs != 0 {
+		t.Fatalf("ASP produced %d DPRs", c.Stats().DPRs)
+	}
+	// V_train never advanced: no round has all 3 pushes.
+	if c.VTrain() != 0 {
+		t.Fatalf("VTrain = %d, want 0", c.VTrain())
+	}
+}
+
+func TestSSPAllowsBoundedLead(t *testing.T) {
+	const s = 2
+	c := New(2, SSP(s), Lazy, nil)
+	// Worker 0 may run s rounds ahead of V_train=0: progress 0 and 1 pass.
+	for iter := 0; iter < s; iter++ {
+		push(t, c, 0, iter)
+		if !c.OnPull(0, iter, nil) {
+			t.Fatalf("SSP blocked within threshold at iter %d", iter)
+		}
+	}
+	// The s+1-th iteration's pull (progress == V_train + s) must block.
+	push(t, c, 0, s)
+	if c.OnPull(0, s, "blocked") {
+		t.Fatal("SSP must block at progress == V_train + s")
+	}
+	// Slow worker catches up one round; lazy drain requires V_train to
+	// reach the blocked worker's progress (2), so rounds 0 and 1 both
+	// need to close first.
+	if rel := push(t, c, 1, 0); len(rel) != 0 {
+		t.Fatalf("release after round 0: %v (lazy drain must wait for V_train=progress)", rel)
+	}
+	if rel := push(t, c, 1, 1); len(rel) != 0 {
+		t.Fatalf("release after round 1: %v", rel)
+	}
+	rel := push(t, c, 1, 2)
+	if len(rel) != 1 || rel[0].Token != "blocked" {
+		t.Fatalf("release after round 2 = %v, want the blocked pull", rel)
+	}
+	if c.VTrain() != 3 {
+		t.Fatalf("VTrain = %d, want 3", c.VTrain())
+	}
+}
+
+func TestSoftBarrierReleasesAtNextAdvance(t *testing.T) {
+	const s = 2
+	c := New(2, SSP(s), SoftBarrier, nil)
+	for iter := 0; iter < s; iter++ {
+		push(t, c, 0, iter)
+		if !c.OnPull(0, iter, nil) {
+			t.Fatalf("blocked within threshold at iter %d", iter)
+		}
+	}
+	push(t, c, 0, s)
+	if c.OnPull(0, s, "blocked") {
+		t.Fatal("must block at the threshold")
+	}
+	// Under the soft barrier the DPR is released at the very next
+	// V_train advance — after only round 0 closes — returning parameters
+	// that are missing worker 1's gradients for rounds 1..s (stale).
+	rel := push(t, c, 1, 0)
+	if len(rel) != 1 || rel[0].Token != "blocked" {
+		t.Fatalf("soft barrier release = %v, want immediate release", rel)
+	}
+	if c.VTrain() != 1 {
+		t.Fatalf("VTrain = %d, want 1", c.VTrain())
+	}
+}
+
+func TestLazyVsSoftBarrierDelayGap(t *testing.T) {
+	// Quantifies Fig 3: for the same schedule, lazy answers later (fresh)
+	// and the soft barrier answers at the first advance (stale).
+	run := func(drain DrainPolicy) (releaseVTrain int) {
+		c := New(3, SSP(1), drain, nil)
+		push(t, c, 0, 0)
+		if !c.OnPull(0, 0, nil) {
+			t.Fatal("first pull should pass")
+		}
+		push(t, c, 0, 1)
+		if c.OnPull(0, 1, "x") {
+			t.Fatal("second pull should block")
+		}
+		// Close rounds with the slow workers until the DPR drains.
+		for round := 0; ; round++ {
+			if round > 10 {
+				t.Fatal("DPR never released")
+			}
+			push(t, c, 1, round)
+			rel := push(t, c, 2, round)
+			if len(rel) == 1 {
+				return c.VTrain()
+			}
+		}
+	}
+	soft := run(SoftBarrier)
+	lazy := run(Lazy)
+	if !(soft < lazy) {
+		t.Errorf("soft barrier released at V_train=%d, lazy at %d; want soft < lazy", soft, lazy)
+	}
+	if lazy != 2 {
+		t.Errorf("lazy release at V_train=%d, want 2 (= requester progress 1 + 1)", lazy)
+	}
+}
+
+func TestDropStragglersDropsLatePushes(t *testing.T) {
+	c := New(3, DropStragglers(2), Lazy, nil)
+	push(t, c, 0, 0)
+	rel := push(t, c, 1, 0) // quorum of 2 reached: round 0 closes
+	if len(rel) != 0 {
+		t.Fatalf("unexpected releases %v", rel)
+	}
+	if c.VTrain() != 1 {
+		t.Fatalf("VTrain = %d, want 1 after quorum", c.VTrain())
+	}
+	// Worker 2's late push for round 0 must be discarded.
+	apply, _ := c.OnPush(2, 0)
+	if apply {
+		t.Fatal("late push must be dropped")
+	}
+	if c.Stats().DroppedPushes != 1 {
+		t.Fatalf("DroppedPushes = %d, want 1", c.Stats().DroppedPushes)
+	}
+	// The straggler's pull for round 1 passes immediately (progress 0 < V_train 1).
+	if !c.OnPull(2, 0, nil) {
+		t.Fatal("straggler pull should pass under BSP-like pull condition")
+	}
+}
+
+func TestPSSPBoundaryProbabilities(t *testing.T) {
+	// c=1 must behave exactly like SSP: always block at the threshold.
+	c1 := New(2, PSSPConst(1, 1), Lazy, rand.New(rand.NewSource(7)))
+	push(t, c1, 0, 0)
+	if !c1.OnPull(0, 0, nil) {
+		t.Fatal("below threshold must pass")
+	}
+	push(t, c1, 0, 1)
+	if c1.OnPull(0, 1, nil) {
+		t.Fatal("PSSP(c=1) must always block at the threshold")
+	}
+	// c=0 must behave exactly like ASP: never block.
+	c0 := New(2, PSSPConst(1, 0), Lazy, rand.New(rand.NewSource(7)))
+	for iter := 0; iter < 20; iter++ {
+		push(t, c0, 0, iter)
+		if !c0.OnPull(0, iter, nil) {
+			t.Fatal("PSSP(c=0) must never block")
+		}
+	}
+}
+
+func TestPSSPBlocksAtRateC(t *testing.T) {
+	const prob = 0.3
+	const trials = 5000
+	blocked := 0
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < trials; i++ {
+		c := New(2, PSSPConst(1, prob), Lazy, rand.New(rand.NewSource(rng.Int63())))
+		push(t, c, 0, 0)
+		if !c.OnPull(0, 0, nil) {
+			t.Fatal("below threshold must pass")
+		}
+		push(t, c, 0, 1)
+		if !c.OnPull(0, 1, nil) {
+			blocked++
+		}
+	}
+	got := float64(blocked) / trials
+	if got < prob-0.03 || got > prob+0.03 {
+		t.Errorf("empirical block rate %.3f, want ~%.2f", got, prob)
+	}
+}
+
+func TestMultiAdvanceInSingleOnPush(t *testing.T) {
+	// A custom push condition that closes a round after a single push can
+	// advance V_train several rounds in one OnPush when pushes arrived
+	// out of order.
+	m := CustomModel("one-push-rounds",
+		func(st State, _, progress int) bool { return true },
+		func(st State) bool { return st.CountAt(st.VTrain()) >= 1 })
+	c := New(2, m, Lazy, nil)
+	push(t, c, 0, 1) // future round: no advance (round 0 still open)
+	if c.VTrain() != 0 {
+		t.Fatalf("VTrain = %d, want 0", c.VTrain())
+	}
+	push(t, c, 0, 0) // closes round 0, then round 1 via the drain loop
+	if c.VTrain() != 2 {
+		t.Fatalf("VTrain = %d, want 2 after multi-advance", c.VTrain())
+	}
+	if c.Stats().Advances != 2 {
+		t.Fatalf("Advances = %d, want 2", c.Stats().Advances)
+	}
+}
+
+func TestForceAdvanceReleasesBuffer(t *testing.T) {
+	c := New(2, BSP(), Lazy, nil)
+	push(t, c, 0, 0)
+	c.OnPull(0, 0, "p")
+	rel := c.ForceAdvance()
+	if len(rel) != 1 || rel[0].Token != "p" {
+		t.Fatalf("ForceAdvance released %v", rel)
+	}
+	if c.VTrain() != 1 {
+		t.Fatalf("VTrain = %d", c.VTrain())
+	}
+}
+
+func TestProgressTracking(t *testing.T) {
+	c := New(3, ASP(), Lazy, nil)
+	if c.MinProgress() != -1 || c.MaxProgress() != -1 {
+		t.Fatal("initial progress should be -1")
+	}
+	c.OnPush(0, 4)
+	c.OnPush(1, 2)
+	if c.Progress(0) != 4 || c.Progress(1) != 2 || c.Progress(2) != -1 {
+		t.Fatalf("progress = %d,%d,%d", c.Progress(0), c.Progress(1), c.Progress(2))
+	}
+	if c.MinProgress() != -1 || c.MaxProgress() != 4 {
+		t.Fatalf("min/max = %d/%d", c.MinProgress(), c.MaxProgress())
+	}
+	// Progress never regresses on a stale report.
+	c.OnPush(0, 1)
+	if c.Progress(0) != 4 {
+		t.Fatalf("progress regressed to %d", c.Progress(0))
+	}
+}
+
+func TestObservePanicsOnBadWorker(t *testing.T) {
+	c := New(2, ASP(), Lazy, nil)
+	defer func() {
+		if recover() == nil {
+			t.Error("out-of-range worker should panic")
+		}
+	}()
+	c.OnPush(5, 0)
+}
+
+func TestDPRsPerRound(t *testing.T) {
+	c := New(2, BSP(), Lazy, nil)
+	push(t, c, 0, 0)
+	c.OnPull(0, 0, nil) // DPR while V_train = 0
+	push(t, c, 1, 0)    // closes round 0
+	push(t, c, 0, 1)
+	c.OnPull(0, 1, nil) // DPR while V_train = 1
+	per := c.DPRsPerRound(3)
+	if per[0] != 1 || per[1] != 1 || per[2] != 0 {
+		t.Fatalf("DPRsPerRound = %v", per)
+	}
+}
+
+func TestCountersRetired(t *testing.T) {
+	c := New(1, BSP(), Lazy, nil)
+	for iter := 0; iter < 100; iter++ {
+		push(t, c, 0, iter)
+		if !c.OnPull(0, iter, nil) {
+			t.Fatalf("single-worker BSP should never block (iter %d)", iter)
+		}
+	}
+	if len(c.count) > 2 {
+		t.Errorf("count map holds %d retired entries; drain should prune them", len(c.count))
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Lazy.String() != "lazy" || SoftBarrier.String() != "soft-barrier" {
+		t.Error("drain policy names wrong")
+	}
+	if DrainPolicy(9).String() == "" {
+		t.Error("unknown drain policy must still format")
+	}
+	if SSP(3).String() != "SSP(s=3)" {
+		t.Errorf("SSP name = %q", SSP(3).String())
+	}
+}
+
+func TestAnswerGapHistogram(t *testing.T) {
+	c := New(2, SSP(1), Lazy, nil)
+	// Immediate answer at gap 0.
+	push(t, c, 0, 0)
+	c.OnPull(0, 0, nil)
+	// Blocked at gap 1; the lazy drain releases it only when round 1
+	// closes (V_train → 2), so the answer is BSP-fresh: gap = 1 − 2 = −1.
+	push(t, c, 0, 1)
+	c.OnPull(0, 1, "b")
+	push(t, c, 1, 0)
+	push(t, c, 1, 1)
+	hist := c.AnswerGapHistogram()
+	if hist[0] != 1 || hist[-1] != 1 {
+		t.Errorf("histogram %v, want one answer at gap 0 and one fresh at -1", hist)
+	}
+	if got := c.MeanAnswerGap(); got != -0.5 {
+		t.Errorf("mean gap %v, want -0.5", got)
+	}
+	// Mutating the returned map must not affect the controller.
+	hist[99] = 5
+	if c.AnswerGapHistogram()[99] != 0 {
+		t.Error("histogram copy aliased internal state")
+	}
+}
+
+func TestAnswerGapSoftBarrierStale(t *testing.T) {
+	c := New(2, SSP(1), SoftBarrier, nil)
+	push(t, c, 0, 0)
+	c.OnPull(0, 0, nil)
+	push(t, c, 0, 1)
+	c.OnPull(0, 1, "b") // blocked at gap 1
+	push(t, c, 1, 0)    // releases at the advance 0→1: gap = 1−1 = 0
+	hist := c.AnswerGapHistogram()
+	if hist[0] != 2 {
+		t.Errorf("histogram %v", hist)
+	}
+	if (&Controller{answerGap: map[int]int{}}).MeanAnswerGap() != 0 {
+		t.Error("empty mean gap should be 0")
+	}
+}

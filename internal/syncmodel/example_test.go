@@ -1,0 +1,49 @@
+package syncmodel_test
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+// The controller is Algorithm 1: pushes advance V_train when the push
+// condition fires, delayed pulls wait in the buffer and drain with fresh
+// parameters.
+func ExampleController() {
+	c := syncmodel.New(2, syncmodel.SSP(1), syncmodel.Lazy, nil)
+
+	// Worker 0 sprints: its first pull passes (lead 0 < s=1)…
+	c.OnPush(0, 0)
+	fmt.Println("pull@0 ready:", c.OnPull(0, 0, nil))
+
+	// …but its next one blocks (lead 1 ≥ s) and becomes a DPR.
+	c.OnPush(0, 1)
+	fmt.Println("pull@1 ready:", c.OnPull(0, 1, "w0"))
+
+	// Worker 1 closes rounds 0 and 1; the second advance releases the
+	// buffered pull with fully fresh parameters.
+	c.OnPush(1, 0)
+	_, released := c.OnPush(1, 1)
+	fmt.Println("released:", released[0].Token, "at V_train", c.VTrain())
+	// Output:
+	// pull@0 ready: true
+	// pull@1 ready: false
+	// released: w0 at V_train 2
+}
+
+// Every Table III model is a pull condition plus a push condition.
+func ExampleModel() {
+	for _, m := range []syncmodel.Model{
+		syncmodel.BSP(),
+		syncmodel.SSP(3),
+		syncmodel.PSSPConst(3, 0.5),
+		syncmodel.DropStragglers(4),
+	} {
+		fmt.Println(m.Name)
+	}
+	// Output:
+	// BSP
+	// SSP(s=3)
+	// PSSP(s=3,c=0.5)
+	// Drop(Nt=4)
+}

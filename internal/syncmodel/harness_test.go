@@ -1,0 +1,301 @@
+package syncmodel
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// workerSim drives a Controller the way real workers do — push gradients
+// for iteration i, then pull parameters for i+1, blocking when the pull is
+// delayed — under an adversarial random schedule. It checks the universal
+// bookkeeping invariants and returns per-answer records for model-specific
+// checks.
+type answer struct {
+	worker    int
+	progress  int
+	vtrain    int  // V_train at the moment the pull was answered
+	delayed   bool // answered via the buffer rather than immediately
+	atRelease bool
+}
+
+func runSchedule(t *testing.T, c *Controller, iters int, rng *rand.Rand) []answer {
+	t.Helper()
+	n := c.NumWorkers()
+	iter := make([]int, n)
+	blocked := make([]bool, n)
+	var answers []answer
+	answered := map[int]int{} // token id -> times answered
+
+	tokenSeq := 0
+	type tok struct{ id, worker, progress int }
+
+	handleReleases := func(rel []Pull) {
+		for _, p := range rel {
+			tk := p.Token.(tok)
+			answered[tk.id]++
+			if answered[tk.id] != 1 {
+				t.Fatalf("pull token %d answered %d times", tk.id, answered[tk.id])
+			}
+			if !blocked[p.Worker] {
+				t.Fatalf("released worker %d was not blocked", p.Worker)
+			}
+			blocked[p.Worker] = false
+			answers = append(answers, answer{
+				worker: p.Worker, progress: p.Progress, vtrain: c.VTrain(),
+				delayed: true, atRelease: true,
+			})
+			iter[p.Worker] = p.Progress + 1
+		}
+	}
+
+	for step := 0; ; step++ {
+		if step > iters*n*100 {
+			t.Fatalf("schedule did not converge: iters=%v blocked=%v vtrain=%d", iter, blocked, c.VTrain())
+		}
+		// Pick a random runnable worker that still has iterations left.
+		var runnable []int
+		done := 0
+		for w := 0; w < n; w++ {
+			if iter[w] >= iters {
+				done++
+				continue
+			}
+			if !blocked[w] {
+				runnable = append(runnable, w)
+			}
+		}
+		if done == n {
+			return answers
+		}
+		if len(runnable) == 0 {
+			t.Fatalf("deadlock: all unfinished workers blocked (iters=%v, vtrain=%d)", iter, c.VTrain())
+		}
+		w := runnable[rng.Intn(len(runnable))]
+
+		_, rel := c.OnPush(w, iter[w])
+		handleReleases(rel)
+
+		tokenSeq++
+		tk := tok{id: tokenSeq, worker: w, progress: iter[w]}
+		if c.OnPull(w, iter[w], tk) {
+			answered[tk.id]++
+			answers = append(answers, answer{worker: w, progress: iter[w], vtrain: c.VTrain()})
+			iter[w]++
+		} else {
+			blocked[w] = true
+		}
+	}
+}
+
+func TestScheduleInvariantsAcrossModels(t *testing.T) {
+	type tc struct {
+		name  string
+		model Model
+		drain DrainPolicy
+		// maxStale is the model's staleness guarantee: at every answer,
+		// vtrain > progress - maxStale must hold. -1 disables the check
+		// (ASP/PSSP provide no deterministic bound).
+		maxStale int
+	}
+	cases := []tc{
+		{"BSP/lazy", BSP(), Lazy, 0},
+		{"BSP/soft", BSP(), SoftBarrier, 0},
+		{"SSP2/lazy", SSP(2), Lazy, 2},
+		{"SSP2/soft", SSP(2), SoftBarrier, 2},
+		{"SSP0/lazy", SSP(0), Lazy, 0},
+		{"ASP/lazy", ASP(), Lazy, -1},
+		{"PSSP(3,0.5)/lazy", PSSPConst(3, 0.5), Lazy, -1},
+		{"PSSP(3,0.5)/soft", PSSPConst(3, 0.5), SoftBarrier, -1},
+		{"PSSPdyn(2,0.8)/lazy", PSSPDynamic(2, 0.8), Lazy, -1},
+		{"DSPS/lazy", DSPS(DSPSConfig{Initial: 2, Min: 1, Max: 5}), Lazy, -1},
+	}
+	for _, tcase := range cases {
+		t.Run(tcase.name, func(t *testing.T) {
+			for seed := int64(0); seed < 5; seed++ {
+				rng := rand.New(rand.NewSource(seed))
+				const n, iters = 5, 40
+				c := New(n, tcase.model, tcase.drain, rand.New(rand.NewSource(seed+100)))
+				answers := runSchedule(t, c, iters, rng)
+
+				// Every worker's every iteration got exactly one answer.
+				if len(answers) != n*iters {
+					t.Fatalf("seed %d: %d answers, want %d", seed, len(answers), n*iters)
+				}
+				seen := map[[2]int]bool{}
+				for _, a := range answers {
+					k := [2]int{a.worker, a.progress}
+					if seen[k] {
+						t.Fatalf("seed %d: duplicate answer for %v", seed, k)
+					}
+					seen[k] = true
+					if tcase.maxStale >= 0 && !(a.vtrain > a.progress-tcase.maxStale) {
+						t.Fatalf("seed %d: staleness violated: vtrain=%d progress=%d s=%d",
+							seed, a.vtrain, a.progress, tcase.maxStale)
+					}
+					// Lazy releases always return fresh (BSP-grade) parameters.
+					if tcase.drain == Lazy && a.atRelease && !(a.vtrain > a.progress) {
+						t.Fatalf("seed %d: lazy release not fresh: vtrain=%d progress=%d",
+							seed, a.vtrain, a.progress)
+					}
+				}
+				// All rounds closed: V_train reached iters.
+				if c.VTrain() != iters {
+					t.Fatalf("seed %d: final VTrain=%d, want %d", seed, c.VTrain(), iters)
+				}
+				st := c.Stats()
+				if st.Pulls != n*iters || st.Pushes != n*iters {
+					t.Fatalf("seed %d: stats %+v", seed, st)
+				}
+				if c.Buffered() != 0 {
+					t.Fatalf("seed %d: %d pulls left buffered", seed, c.Buffered())
+				}
+			}
+		})
+	}
+}
+
+func TestSoftBarrierReturnsStaleParamsSSPDoes(t *testing.T) {
+	// Under the soft barrier some releases must be stale (vtrain ≤
+	// progress) — that is its defining trade-off; verify it actually
+	// occurs on adversarial schedules so the lazy/soft distinction is
+	// real, not vacuous.
+	staleSeen := false
+	for seed := int64(0); seed < 20 && !staleSeen; seed++ {
+		c := New(5, SSP(2), SoftBarrier, nil)
+		answers := runSchedule(t, c, 40, rand.New(rand.NewSource(seed)))
+		for _, a := range answers {
+			if a.atRelease && a.vtrain <= a.progress {
+				staleSeen = true
+				break
+			}
+		}
+	}
+	if !staleSeen {
+		t.Error("soft barrier never produced a stale release across 20 schedules")
+	}
+}
+
+func TestDropStragglersScheduleProgress(t *testing.T) {
+	// With a quorum of 3 of 5 workers, rounds close without stragglers;
+	// run a schedule where two workers are scheduled rarely and verify
+	// V_train outruns them and their late pushes get dropped.
+	c := New(5, DropStragglers(3), Lazy, nil)
+	rng := rand.New(rand.NewSource(3))
+	iter := make([]int, 5)
+	blocked := make([]bool, 5)
+	const iters = 30
+	for step := 0; step < 20000; step++ {
+		w := rng.Intn(5)
+		if w >= 3 && rng.Float64() < 0.9 {
+			w = rng.Intn(3) // starve workers 3 and 4
+		}
+		if blocked[w] || iter[w] >= iters {
+			continue
+		}
+		_, rel := c.OnPush(w, iter[w])
+		for _, p := range rel {
+			blocked[p.Worker] = false
+			iter[p.Worker] = p.Progress + 1
+		}
+		if c.OnPull(w, iter[w], nil) {
+			iter[w]++
+		} else {
+			blocked[w] = true
+		}
+	}
+	// Dropped pushes prove V_train outran the starved workers at some
+	// point; a drop can only happen when a push's round already closed.
+	if c.Stats().DroppedPushes == 0 {
+		t.Error("expected some straggler pushes to be dropped")
+	}
+}
+
+func TestPSSPEquivalenceToSSPAndASPOnIdenticalSchedules(t *testing.T) {
+	// PSSP(c=1) must produce exactly SSP's DPR trace, and PSSP(c=0)
+	// exactly ASP's, on identical schedules.
+	trace := func(m Model) Stats {
+		c := New(4, m, Lazy, rand.New(rand.NewSource(9)))
+		runSchedule(t, c, 30, rand.New(rand.NewSource(5)))
+		return c.Stats()
+	}
+	if ssp, pssp1 := trace(SSP(2)), trace(PSSPConst(2, 1)); ssp != pssp1 {
+		t.Errorf("PSSP(c=1) stats %+v != SSP stats %+v", pssp1, ssp)
+	}
+	if asp, pssp0 := trace(ASP()), trace(PSSPConst(2, 0)); asp != pssp0 {
+		t.Errorf("PSSP(c=0) stats %+v != ASP stats %+v", pssp0, asp)
+	}
+}
+
+func TestPSSPReducesDPRsVersusSSP(t *testing.T) {
+	// The paper's headline: at the same staleness threshold, PSSP buffers
+	// far fewer pulls than SSP. Run identical schedules and compare.
+	dprs := func(m Model) int {
+		total := 0
+		for seed := int64(0); seed < 10; seed++ {
+			c := New(6, m, Lazy, rand.New(rand.NewSource(seed)))
+			runSchedule(t, c, 50, rand.New(rand.NewSource(seed+50)))
+			total += c.Stats().DPRs
+		}
+		return total
+	}
+	ssp := dprs(SSP(2))
+	pssp := dprs(PSSPConst(2, 0.2))
+	if ssp == 0 {
+		t.Fatal("SSP produced no DPRs; schedule too tame to compare")
+	}
+	if !(pssp < ssp/2) {
+		t.Errorf("PSSP DPRs = %d not well below SSP DPRs = %d", pssp, ssp)
+	}
+}
+
+func TestDSPSAdjustsThresholdAtRuntime(t *testing.T) {
+	cfg := DSPSConfig{Initial: 1, Min: 1, Max: 8}
+	m := DSPS(cfg)
+	c := New(4, m, Lazy, nil)
+	// Run a skewed schedule: worker 0 is much faster. DSPS should raise
+	// its threshold above the initial value, visible as worker 0 passing
+	// pulls at leads > Initial.
+	rng := rand.New(rand.NewSource(2))
+	iter := make([]int, 4)
+	blocked := make([]bool, 4)
+	maxLead := 0
+	for step := 0; step < 5000; step++ {
+		w := 0
+		if rng.Float64() < 0.25 {
+			w = 1 + rng.Intn(3)
+		}
+		if blocked[w] || iter[w] >= 200 {
+			continue
+		}
+		_, rel := c.OnPush(w, iter[w])
+		for _, p := range rel {
+			blocked[p.Worker] = false
+			iter[p.Worker] = p.Progress + 1
+		}
+		if c.OnPull(w, iter[w], nil) {
+			if lead := iter[w] - c.VTrain(); lead > maxLead {
+				maxLead = lead
+			}
+			iter[w]++
+		} else {
+			blocked[w] = true
+		}
+	}
+	if maxLead <= cfg.Initial {
+		t.Errorf("DSPS never loosened: max observed lead %d ≤ initial threshold %d", maxLead, cfg.Initial)
+	}
+}
+
+func ExampleCustomModel() {
+	// A brand-new model in two lines: close a round at a 2-worker quorum
+	// but never let anyone run more than 1 round ahead.
+	m := CustomModel("quorum2-lead1",
+		func(st State, _, progress int) bool { return progress < st.VTrain()+1 },
+		func(st State) bool { return st.CountAt(st.VTrain()) >= 2 })
+	c := New(3, m, Lazy, nil)
+	c.OnPush(0, 0)
+	c.OnPush(1, 0)
+	fmt.Println("V_train after quorum:", c.VTrain())
+	// Output: V_train after quorum: 1
+}

@@ -1,0 +1,222 @@
+package syncmodel
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model is a synchronization model expressed, as in Table III of the
+// paper, purely as a pull condition and a push condition — plus two small
+// refinements the paper's prose requires: DropLate for the
+// drop-stragglers model (late gradients are discarded, not just
+// unblocked), and an optional Adjust hook invoked on every V_train advance
+// for models that retune themselves at runtime (DSPS).
+type Model struct {
+	Name string
+	Pull PullCond
+	Push PushCond
+	// DropLate discards pushes whose round already closed (Chen et al.'s
+	// backup-workers / drop-stragglers behaviour).
+	DropLate bool
+	// Adjust, if non-nil, runs after each V_train advance and may mutate
+	// captured model state (e.g. DSPS's staleness threshold).
+	Adjust func(st State)
+	// fresh, if non-nil, returns an independent copy of the model with
+	// its own mutable state. Controllers instantiate through it, so one
+	// Model value can safely configure many shards.
+	fresh func() Model
+	// spec is the wire-encodable description for preset models (zero for
+	// closure-carrying models); see SpecOf.
+	spec Spec
+}
+
+// Instantiate returns a private copy of the model for one controller;
+// stateless models return themselves.
+func (m Model) Instantiate() Model {
+	if m.fresh != nil {
+		return m.fresh()
+	}
+	return m
+}
+
+// String returns the model name.
+func (m Model) String() string { return m.Name }
+
+// pushAll is the Table III push condition shared by BSP/ASP/SSP/DSPS/PSSP:
+// a round closes once all N workers have pushed its gradients.
+func pushAll(st State) bool { return st.CountAt(st.VTrain()) >= st.NumWorkers() }
+
+// BSP returns the Bulk Synchronous Parallel model: a pull for iteration
+// i+1 is served only after round i fully closed (progress < V_train).
+func BSP() Model {
+	return Model{
+		Name: "BSP",
+		Pull: func(st State, _, progress int) bool { return progress < st.VTrain() },
+		Push: pushAll,
+		spec: Spec{Kind: KindBSP},
+	}
+}
+
+// ASP returns the Asynchronous Parallel model: pulls are never delayed.
+func ASP() Model {
+	return Model{
+		Name: "ASP",
+		Pull: func(State, int, int) bool { return true },
+		Push: pushAll,
+		spec: Spec{Kind: KindASP},
+	}
+}
+
+// SSP returns the Stale Synchronous Parallel model with staleness
+// threshold s: a worker may run at most s rounds ahead of V_train.
+// SSP(0) behaves as BSP; s must be non-negative.
+func SSP(s int) Model {
+	if s < 0 {
+		panic(fmt.Sprintf("syncmodel: SSP staleness must be non-negative, got %d", s))
+	}
+	return Model{
+		Name: fmt.Sprintf("SSP(s=%d)", s),
+		Pull: func(st State, _, progress int) bool { return progress < st.VTrain()+s },
+		Push: pushAll,
+		spec: Spec{Kind: KindSSP, S: s},
+	}
+}
+
+// PSSPConst returns the paper's constant Probabilistic SSP model: when a
+// worker is ≥ s rounds ahead it is blocked only with probability c
+// (Table III: pass if progress < V_train+s or rand(0,1) > P). PSSPConst(s,0)
+// degenerates to ASP and PSSPConst(s,1) to SSP(s); c must lie in [0,1].
+func PSSPConst(s int, c float64) Model {
+	if s < 0 {
+		panic(fmt.Sprintf("syncmodel: PSSP staleness must be non-negative, got %d", s))
+	}
+	if c < 0 || c > 1 {
+		panic(fmt.Sprintf("syncmodel: PSSP probability must be in [0,1], got %v", c))
+	}
+	return Model{
+		Name: fmt.Sprintf("PSSP(s=%d,c=%.3g)", s, c),
+		Pull: func(st State, _, progress int) bool {
+			if progress < st.VTrain()+s {
+				return true
+			}
+			// Pass with probability 1−c. Using ≥ makes the boundaries
+			// exact: c=0 never blocks (ASP) and c=1 always blocks (SSP).
+			return st.Rand() >= c
+		},
+		Push: pushAll,
+		spec: Spec{Kind: KindPSSPConst, S: s, C: c},
+	}
+}
+
+// PSSPDynamic returns the dynamic PSSP model with constant α: the blocking
+// probability grows with the progress gap k = progress − V_train,
+//
+//	P(s,k) = 0 for k < s, α/(1+e^{s−k}) for k ≥ s,
+//
+// so a barely-fast worker is paused with probability α/2 and an extremely
+// fast worker with probability approaching α. α must lie in [0,1].
+func PSSPDynamic(s int, alpha float64) Model {
+	if alpha < 0 || alpha > 1 {
+		panic(fmt.Sprintf("syncmodel: PSSP alpha must be in [0,1], got %v", alpha))
+	}
+	m := PSSPDynamicFunc(s, func(State, int) float64 { return alpha })
+	m.Name = fmt.Sprintf("PSSP-dyn(s=%d,a=%.3g)", s, alpha)
+	m.spec = Spec{Kind: KindPSSPDynamic, S: s, C: alpha}
+	return m
+}
+
+// PSSPDynamicFunc is PSSPDynamic with α supplied per pull by a function of
+// the synchronization state and the requesting worker — the paper's
+// gradient-significance variant uses α = SF(g,w) = |g|/|w| reported by the
+// worker's latest push. The returned α is clamped so P stays in [0,1].
+func PSSPDynamicFunc(s int, alpha func(st State, worker int) float64) Model {
+	if s < 0 {
+		panic(fmt.Sprintf("syncmodel: PSSP staleness must be non-negative, got %d", s))
+	}
+	return Model{
+		Name: fmt.Sprintf("PSSP-dynfn(s=%d)", s),
+		Pull: func(st State, worker, progress int) bool {
+			k := progress - st.VTrain()
+			if k < s {
+				return true
+			}
+			a := alpha(st, worker)
+			if a < 0 {
+				a = 0
+			} else if a > 1 {
+				a = 1
+			}
+			p := a / (1 + math.Exp(float64(s-k)))
+			return st.Rand() >= p
+		},
+		Push: pushAll,
+	}
+}
+
+// DropStragglers returns Chen et al.'s backup-worker model: the pull
+// condition is BSP's, but a round closes as soon as any nt of the N
+// workers have pushed; gradients arriving for an already-closed round are
+// discarded. nt must be positive.
+func DropStragglers(nt int) Model {
+	if nt <= 0 {
+		panic(fmt.Sprintf("syncmodel: DropStragglers needs a positive worker quorum, got %d", nt))
+	}
+	return Model{
+		Name:     fmt.Sprintf("Drop(Nt=%d)", nt),
+		Pull:     func(st State, _, progress int) bool { return progress < st.VTrain() },
+		Push:     func(st State) bool { return st.CountAt(st.VTrain()) >= nt },
+		DropLate: true,
+		spec:     Spec{Kind: KindDropStragglers, C: float64(nt)},
+	}
+}
+
+// DSPSConfig parameterizes the Dynamic Synchronous Parallel Strategy
+// model, which retunes the staleness threshold at runtime.
+type DSPSConfig struct {
+	// Initial, Min, Max bound the staleness threshold s.
+	Initial, Min, Max int
+}
+
+// DSPS returns a Dynamic SSP model: it behaves as SSP with a threshold
+// that adapts after every V_train advance. If pulls are still waiting in
+// the DPR buffer when a round closes, stragglers are persistent — the
+// threshold grows to stop blocking fast workers; if a round closes with no
+// one waiting and the worker spread is well inside the threshold, the
+// threshold shrinks to keep parameter updates timely. The adaptation runs
+// inside the server, mirroring how the DSPS paper monitors worker
+// performance at runtime.
+func DSPS(cfg DSPSConfig) Model {
+	if cfg.Min < 0 || cfg.Initial < cfg.Min || cfg.Max < cfg.Initial {
+		panic(fmt.Sprintf("syncmodel: invalid DSPS config %+v (need 0 ≤ Min ≤ Initial ≤ Max)", cfg))
+	}
+	s := cfg.Initial
+	return Model{
+		Name: fmt.Sprintf("DSPS(s0=%d,[%d,%d])", cfg.Initial, cfg.Min, cfg.Max),
+		Pull: func(st State, _, progress int) bool { return progress < st.VTrain()+s },
+		Push: pushAll,
+		Adjust: func(st State) {
+			switch {
+			case st.Delayed() > 0 && s < cfg.Max:
+				s++
+			case st.Delayed() == 0 && st.MaxProgress()-st.VTrain() < s-1 && s > cfg.Min:
+				s--
+			}
+		},
+		// The threshold is captured state: each controller needs its own.
+		fresh: func() Model { return DSPS(cfg) },
+		spec:  Spec{Kind: KindDSPS, S: cfg.Initial},
+	}
+}
+
+// CustomModel builds a model from raw conditions — the paper's
+// SetcondPull/SetcondPush programming interface. Nil conditions default to
+// ASP's always-true pull and the all-workers push.
+func CustomModel(name string, pull PullCond, push PushCond) Model {
+	if pull == nil {
+		pull = func(State, int, int) bool { return true }
+	}
+	if push == nil {
+		push = pushAll
+	}
+	return Model{Name: name, Pull: pull, Push: push}
+}

@@ -1,0 +1,238 @@
+package syncmodel
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelConstructorsPanicOnBadArgs(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"SSP negative s", func() { SSP(-1) }},
+		{"PSSPConst negative s", func() { PSSPConst(-1, 0.5) }},
+		{"PSSPConst c<0", func() { PSSPConst(1, -0.1) }},
+		{"PSSPConst c>1", func() { PSSPConst(1, 1.1) }},
+		{"PSSPDynamic alpha<0", func() { PSSPDynamic(1, -0.1) }},
+		{"PSSPDynamic alpha>1", func() { PSSPDynamic(1, 2) }},
+		{"PSSPDynamicFunc negative s", func() { PSSPDynamicFunc(-1, nil) }},
+		{"DropStragglers zero quorum", func() { DropStragglers(0) }},
+		{"DSPS min>initial", func() { DSPS(DSPSConfig{Initial: 1, Min: 2, Max: 3}) }},
+		{"DSPS max<initial", func() { DSPS(DSPSConfig{Initial: 4, Min: 1, Max: 3}) }},
+		{"DSPS negative min", func() { DSPS(DSPSConfig{Initial: 1, Min: -1, Max: 3}) }},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s should panic", c.name)
+				}
+			}()
+			c.fn()
+		})
+	}
+}
+
+// fixedState lets condition functions be tested in isolation.
+type fixedState struct {
+	n, vtrain int
+	counts    map[int]int
+	prog      []int
+	rand      float64
+	delayed   int
+}
+
+func (s *fixedState) Delayed() int { return s.delayed }
+
+func (s *fixedState) NumWorkers() int    { return s.n }
+func (s *fixedState) VTrain() int        { return s.vtrain }
+func (s *fixedState) CountAt(i int) int  { return s.counts[i] }
+func (s *fixedState) Progress(n int) int { return s.prog[n] }
+func (s *fixedState) MinProgress() int {
+	m := s.prog[0]
+	for _, p := range s.prog {
+		if p < m {
+			m = p
+		}
+	}
+	return m
+}
+func (s *fixedState) MaxProgress() int {
+	m := s.prog[0]
+	for _, p := range s.prog {
+		if p > m {
+			m = p
+		}
+	}
+	return m
+}
+func (s *fixedState) Rand() float64 { return s.rand }
+
+func TestTableIIIPullConditions(t *testing.T) {
+	st := &fixedState{n: 4, vtrain: 10, prog: []int{10, 10, 10, 10}}
+	cases := []struct {
+		model    Model
+		progress int
+		want     bool
+	}{
+		{BSP(), 9, true},
+		{BSP(), 10, false},
+		{ASP(), 1 << 20, true},
+		{SSP(3), 12, true},
+		{SSP(3), 13, false},
+		{DropStragglers(2), 9, true},
+		{DropStragglers(2), 10, false},
+	}
+	for _, c := range cases {
+		if got := c.model.Pull(st, 0, c.progress); got != c.want {
+			t.Errorf("%s.Pull(progress=%d) = %v, want %v", c.model, c.progress, got, c.want)
+		}
+	}
+}
+
+func TestTableIIIPushConditions(t *testing.T) {
+	st := &fixedState{n: 4, vtrain: 2, counts: map[int]int{2: 3}, prog: []int{2, 2, 2, 2}}
+	if BSP().Push(st) {
+		t.Error("BSP push condition should need all 4 workers, have 3")
+	}
+	st.counts[2] = 4
+	if !BSP().Push(st) {
+		t.Error("BSP push condition should fire with all 4 workers")
+	}
+	st.counts[2] = 2
+	if !DropStragglers(2).Push(st) {
+		t.Error("drop-stragglers should fire at the quorum")
+	}
+	if DropStragglers(3).Push(st) {
+		t.Error("drop-stragglers below quorum should not fire")
+	}
+}
+
+func TestPSSPConstPullCondition(t *testing.T) {
+	st := &fixedState{n: 2, vtrain: 5, prog: []int{5, 5}}
+	m := PSSPConst(3, 0.4)
+	// Below the threshold: passes regardless of the coin.
+	st.rand = 0.0
+	if !m.Pull(st, 0, 7) {
+		t.Error("below threshold must pass")
+	}
+	// At/above threshold: passes iff rand > c.
+	st.rand = 0.41
+	if !m.Pull(st, 0, 8) {
+		t.Error("rand > c must pass")
+	}
+	st.rand = 0.39
+	if m.Pull(st, 0, 8) {
+		t.Error("rand ≤ c must block")
+	}
+}
+
+func TestPSSPDynamicProbabilityShape(t *testing.T) {
+	// P(s,k) = α/(1+e^{s−k}): at k=s it is α/2, growing towards α.
+	const s = 3
+	const alpha = 0.8
+	st := &fixedState{n: 2, vtrain: 0, prog: []int{0, 0}}
+	m := PSSPDynamic(s, alpha)
+
+	blockProb := func(k int) float64 {
+		blocked := 0
+		const trials = 20000
+		rng := rand.New(rand.NewSource(13))
+		for i := 0; i < trials; i++ {
+			st.rand = rng.Float64()
+			if !m.Pull(st, 0, k) {
+				blocked++
+			}
+		}
+		return float64(blocked) / trials
+	}
+	if p := blockProb(s - 1); p != 0 {
+		t.Errorf("k<s block probability = %v, want 0", p)
+	}
+	atS := blockProb(s)
+	if math.Abs(atS-alpha/2) > 0.02 {
+		t.Errorf("k=s block probability = %v, want ~%v", atS, alpha/2)
+	}
+	far := blockProb(s + 10)
+	if math.Abs(far-alpha) > 0.02 {
+		t.Errorf("k≫s block probability = %v, want ~%v", far, alpha)
+	}
+	if !(atS < far) {
+		t.Error("block probability must grow with the gap")
+	}
+}
+
+func TestPSSPDynamicFuncUsesSignificance(t *testing.T) {
+	// α=0 (insignificant gradients) must never block even at huge gaps.
+	m := PSSPDynamicFunc(1, func(State, int) float64 { return 0 })
+	st := &fixedState{n: 2, vtrain: 0, prog: []int{0, 0}, rand: 0.0}
+	if !m.Pull(st, 0, 100) {
+		t.Error("zero significance must never block")
+	}
+	// α out of range is clamped to 1: at a huge gap P≈1, so even a high
+	// coin blocks.
+	m = PSSPDynamicFunc(1, func(State, int) float64 { return 5 })
+	st.rand = 0.999
+	if m.Pull(st, 0, 100) {
+		t.Error("clamped α=1 at huge gap gives P≈1; rand=0.999 must block")
+	}
+	st.rand = 0.5
+	if !m.Pull(st, 0, 0) {
+		// k < s: never blocks regardless of α.
+		t.Error("below threshold must pass")
+	}
+}
+
+func TestCustomModelDefaults(t *testing.T) {
+	m := CustomModel("defaults", nil, nil)
+	st := &fixedState{n: 3, vtrain: 0, counts: map[int]int{0: 3}, prog: []int{0, 0, 0}}
+	if !m.Pull(st, 0, 1000) {
+		t.Error("default pull condition should be always-true")
+	}
+	if !m.Push(st) {
+		t.Error("default push condition should fire when all workers pushed")
+	}
+	st.counts[0] = 2
+	if m.Push(st) {
+		t.Error("default push condition should wait for all workers")
+	}
+}
+
+// Property: for any vtrain/progress/s, SSP's pull condition equals the
+// definition progress − vtrain < s, and BSP ≡ SSP(0).
+func TestSSPConditionProperty(t *testing.T) {
+	f := func(vtrain uint16, progress uint16, sRaw uint8) bool {
+		s := int(sRaw % 10)
+		st := &fixedState{n: 2, vtrain: int(vtrain), prog: []int{0, 0}}
+		want := int(progress)-int(vtrain) < s
+		if SSP(s).Pull(st, 0, int(progress)) != want {
+			return false
+		}
+		return BSP().Pull(st, 0, int(progress)) == SSP(0).Pull(st, 0, int(progress))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: PSSP's pull condition is the OR of the SSP condition and the
+// coin, exactly as written in Table III.
+func TestPSSPConditionProperty(t *testing.T) {
+	f := func(vtrain uint8, progress uint8, sRaw uint8, cRaw, coin float64) bool {
+		s := int(sRaw % 8)
+		c := math.Abs(math.Mod(cRaw, 1))
+		coin = math.Abs(math.Mod(coin, 1))
+		if math.IsNaN(c) || math.IsNaN(coin) {
+			return true
+		}
+		st := &fixedState{n: 2, vtrain: int(vtrain), prog: []int{0, 0}, rand: coin}
+		want := int(progress) < int(vtrain)+s || coin >= c
+		return PSSPConst(s, c).Pull(st, 0, int(progress)) == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

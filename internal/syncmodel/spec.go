@@ -1,0 +1,127 @@
+package syncmodel
+
+import "fmt"
+
+// Kind enumerates the wire-encodable synchronization model presets, so a
+// running server can be switched to a different model by a control
+// message (the paper's runtime flexibility claim: models are just
+// conditions, so swapping them is a configuration change, not a restart).
+type Kind uint8
+
+// Wire-encodable model kinds.
+const (
+	KindBSP Kind = iota + 1
+	KindASP
+	KindSSP
+	KindPSSPConst
+	KindPSSPDynamic
+	KindDropStragglers
+	KindDSPS
+)
+
+// Spec is a serializable description of a synchronization model preset.
+type Spec struct {
+	Kind Kind
+	// S is the staleness threshold (SSP/PSSP/DSPS initial).
+	S int
+	// C is the PSSP probability / dynamic α; for DropStragglers it is the
+	// quorum Nt (as a count).
+	C float64
+}
+
+// Spec returns the model's wire spec, or ok=false for models that carry
+// closures a spec cannot express (CustomModel, PSSPDynamicFunc).
+func SpecOf(m Model) (Spec, bool) {
+	if m.spec.Kind == 0 {
+		return Spec{}, false
+	}
+	return m.spec, true
+}
+
+// Build materializes the spec into a Model.
+func (s Spec) Build() (Model, error) {
+	switch s.Kind {
+	case KindBSP:
+		return BSP(), nil
+	case KindASP:
+		return ASP(), nil
+	case KindSSP:
+		if s.S < 0 {
+			return Model{}, fmt.Errorf("syncmodel: invalid SSP staleness %d", s.S)
+		}
+		return SSP(s.S), nil
+	case KindPSSPConst:
+		if s.S < 0 || s.C < 0 || s.C > 1 {
+			return Model{}, fmt.Errorf("syncmodel: invalid PSSP spec s=%d c=%v", s.S, s.C)
+		}
+		return PSSPConst(s.S, s.C), nil
+	case KindPSSPDynamic:
+		if s.S < 0 || s.C < 0 || s.C > 1 {
+			return Model{}, fmt.Errorf("syncmodel: invalid dynamic PSSP spec s=%d α=%v", s.S, s.C)
+		}
+		return PSSPDynamic(s.S, s.C), nil
+	case KindDropStragglers:
+		if s.C < 1 {
+			return Model{}, fmt.Errorf("syncmodel: invalid drop-stragglers quorum %v", s.C)
+		}
+		return DropStragglers(int(s.C)), nil
+	case KindDSPS:
+		if s.S < 1 {
+			return Model{}, fmt.Errorf("syncmodel: invalid DSPS initial %d", s.S)
+		}
+		return DSPS(DSPSConfig{Initial: s.S, Min: 1, Max: 4 * s.S}), nil
+	default:
+		return Model{}, fmt.Errorf("syncmodel: unknown model kind %d", s.Kind)
+	}
+}
+
+// Encode packs the spec into three float64s (for transport payloads).
+func (s Spec) Encode() []float64 {
+	return []float64{float64(s.Kind), float64(s.S), s.C}
+}
+
+// DecodeSpec unpacks a payload written by Encode.
+func DecodeSpec(vals []float64) (Spec, error) {
+	if len(vals) != 3 {
+		return Spec{}, fmt.Errorf("syncmodel: spec payload has %d values, want 3", len(vals))
+	}
+	return Spec{Kind: Kind(vals[0]), S: int(vals[1]), C: vals[2]}, nil
+}
+
+// SetModel swaps the controller's synchronization model at runtime. All
+// accumulated state — V_train, per-round counts, buffered DPRs, worker
+// progress — is preserved; only the conditions change. The new conditions
+// take effect from the next pull/push; an immediate drain attempt runs so
+// that a loosened pull condition releases currently buffered DPRs
+// without waiting for the next push (e.g. switching SSP→ASP must unblock
+// everyone).
+func (c *Controller) SetModel(m Model) (released []Pull) {
+	c.model = m.Instantiate()
+	// Re-check buffered pulls against the new pull condition.
+	for idx, pulls := range c.buffer {
+		kept := pulls[:0]
+		for _, p := range pulls {
+			if c.model.Pull(c, p.Worker, p.Progress) {
+				released = append(released, p)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.buffer, idx)
+		} else {
+			c.buffer[idx] = kept
+		}
+	}
+	// A loosened push condition may also close the current round.
+	for c.model.Push(c) {
+		released = append(released, c.buffer[c.vtrain]...)
+		delete(c.buffer, c.vtrain)
+		c.vtrain++
+		c.stats.Advances++
+		if c.model.Adjust != nil {
+			c.model.Adjust(c)
+		}
+	}
+	return released
+}

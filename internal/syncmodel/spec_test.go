@@ -1,0 +1,122 @@
+package syncmodel
+
+import (
+	"testing"
+)
+
+func TestSpecRoundTripAllPresets(t *testing.T) {
+	models := []Model{
+		BSP(), ASP(), SSP(3),
+		PSSPConst(3, 0.5), PSSPDynamic(2, 0.8),
+		DropStragglers(5),
+		DSPS(DSPSConfig{Initial: 2, Min: 1, Max: 8}),
+	}
+	for _, m := range models {
+		spec, ok := SpecOf(m)
+		if !ok {
+			t.Fatalf("%s has no spec", m.Name)
+		}
+		decoded, err := DecodeSpec(spec.Encode())
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		rebuilt, err := decoded.Build()
+		if err != nil {
+			t.Fatalf("%s: %v", m.Name, err)
+		}
+		if rebuilt.Name != m.Name {
+			t.Errorf("round trip %s → %s", m.Name, rebuilt.Name)
+		}
+	}
+}
+
+func TestSpecOfClosuresIsFalse(t *testing.T) {
+	if _, ok := SpecOf(CustomModel("x", nil, nil)); ok {
+		t.Error("custom model should have no spec")
+	}
+	if _, ok := SpecOf(PSSPDynamicFunc(2, func(State, int) float64 { return 1 })); ok {
+		t.Error("closure alpha model should have no spec")
+	}
+}
+
+func TestSpecBuildValidation(t *testing.T) {
+	bad := []Spec{
+		{Kind: 0},
+		{Kind: 99},
+		{Kind: KindSSP, S: -1},
+		{Kind: KindPSSPConst, S: 1, C: 2},
+		{Kind: KindPSSPDynamic, S: 1, C: -0.5},
+		{Kind: KindDropStragglers, C: 0},
+		{Kind: KindDSPS, S: 0},
+	}
+	for i, sp := range bad {
+		if _, err := sp.Build(); err == nil {
+			t.Errorf("bad spec %d accepted", i)
+		}
+	}
+}
+
+func TestDecodeSpecValidation(t *testing.T) {
+	if _, err := DecodeSpec([]float64{1, 2}); err == nil {
+		t.Error("short payload accepted")
+	}
+}
+
+func TestSetModelPreservesStateAndReleases(t *testing.T) {
+	// Run SSP until a worker is blocked, switch to ASP: the blocked pull
+	// must be released immediately and V_train must survive the swap.
+	c := New(2, SSP(1), Lazy, nil)
+	push(t, c, 0, 0)
+	if !c.OnPull(0, 0, nil) {
+		t.Fatal("first pull should pass")
+	}
+	push(t, c, 0, 1)
+	if c.OnPull(0, 1, "blocked") {
+		t.Fatal("second pull should block under SSP(1)")
+	}
+	vtrainBefore := c.VTrain()
+	released := c.SetModel(ASP())
+	if len(released) != 1 || released[0].Token != "blocked" {
+		t.Fatalf("SetModel released %v, want the blocked pull", released)
+	}
+	if c.VTrain() != vtrainBefore {
+		t.Errorf("V_train changed across SetModel: %d → %d", vtrainBefore, c.VTrain())
+	}
+	// From now on nothing blocks.
+	for i := 2; i < 10; i++ {
+		push(t, c, 0, i)
+		if !c.OnPull(0, i, nil) {
+			t.Fatalf("ASP blocked at iteration %d after switch", i)
+		}
+	}
+}
+
+func TestSetModelLoosenedPushConditionAdvances(t *testing.T) {
+	// BSP round is open with 1 of 2 pushes; switching to a 1-quorum
+	// drop-stragglers model must close it immediately.
+	c := New(2, BSP(), Lazy, nil)
+	push(t, c, 0, 0)
+	if c.VTrain() != 0 {
+		t.Fatal("round should still be open")
+	}
+	c.SetModel(DropStragglers(1))
+	if c.VTrain() != 1 {
+		t.Errorf("V_train = %d after loosening push condition, want 1", c.VTrain())
+	}
+}
+
+func TestSetModelTightening(t *testing.T) {
+	// ASP → BSP mid-run: subsequent pulls must start blocking.
+	c := New(2, ASP(), Lazy, nil)
+	push(t, c, 0, 0)
+	if !c.OnPull(0, 0, nil) {
+		t.Fatal("ASP should pass")
+	}
+	if rel := c.SetModel(BSP()); len(rel) != 0 {
+		t.Fatalf("tightening released %v", rel)
+	}
+	push(t, c, 0, 1)
+	if c.OnPull(0, 1, nil) {
+		t.Error("BSP should now block the fast worker")
+	}
+}

@@ -1,0 +1,185 @@
+// Package trace records per-worker iteration timelines from the cluster
+// simulator: for every iteration, when the worker computed and when it
+// waited on synchronization. The recorder renders the timeline as an
+// ASCII Gantt chart (to *see* stragglers, barriers and overlap) and
+// exports CSV for external plotting.
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Span is one worker iteration: [ComputeStart, ComputeEnd) computing,
+// [ComputeEnd, SyncEnd) synchronizing (push/pull/waiting). For a final
+// iteration with no pull, SyncEnd equals ComputeEnd.
+type Span struct {
+	Worker       int
+	Iter         int
+	ComputeStart float64
+	ComputeEnd   float64
+	SyncEnd      float64
+}
+
+// Recorder collects spans. It is used from single-goroutine simulators
+// and is deliberately unsynchronized.
+type Recorder struct {
+	spans []Span
+}
+
+// New creates an empty recorder.
+func New() *Recorder { return &Recorder{} }
+
+// Add records one iteration span.
+func (r *Recorder) Add(s Span) {
+	if s.ComputeEnd < s.ComputeStart || s.SyncEnd < s.ComputeEnd {
+		panic(fmt.Sprintf("trace: non-monotonic span %+v", s))
+	}
+	r.spans = append(r.spans, s)
+}
+
+// Spans returns all recorded spans ordered by (worker, iter).
+func (r *Recorder) Spans() []Span {
+	out := append([]Span(nil), r.spans...)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Worker != out[j].Worker {
+			return out[i].Worker < out[j].Worker
+		}
+		return out[i].Iter < out[j].Iter
+	})
+	return out
+}
+
+// Len returns the number of recorded spans.
+func (r *Recorder) Len() int { return len(r.spans) }
+
+// End returns the latest recorded time.
+func (r *Recorder) End() float64 {
+	end := 0.0
+	for _, s := range r.spans {
+		if s.SyncEnd > end {
+			end = s.SyncEnd
+		}
+	}
+	return end
+}
+
+// WorkerSummary aggregates one worker's time split.
+type WorkerSummary struct {
+	Worker    int
+	Iters     int
+	Compute   float64
+	Sync      float64
+	SyncShare float64
+}
+
+// Summaries returns per-worker compute/sync totals ordered by worker.
+func (r *Recorder) Summaries() []WorkerSummary {
+	byWorker := map[int]*WorkerSummary{}
+	for _, s := range r.spans {
+		ws, ok := byWorker[s.Worker]
+		if !ok {
+			ws = &WorkerSummary{Worker: s.Worker}
+			byWorker[s.Worker] = ws
+		}
+		ws.Iters++
+		ws.Compute += s.ComputeEnd - s.ComputeStart
+		ws.Sync += s.SyncEnd - s.ComputeEnd
+	}
+	out := make([]WorkerSummary, 0, len(byWorker))
+	for _, ws := range byWorker {
+		if total := ws.Compute + ws.Sync; total > 0 {
+			ws.SyncShare = ws.Sync / total
+		}
+		out = append(out, *ws)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Worker < out[j].Worker })
+	return out
+}
+
+// CSV renders all spans as comma-separated values.
+func (r *Recorder) CSV() string {
+	var b strings.Builder
+	b.WriteString("worker,iter,compute_start,compute_end,sync_end\n")
+	for _, s := range r.Spans() {
+		fmt.Fprintf(&b, "%d,%d,%g,%g,%g\n", s.Worker, s.Iter, s.ComputeStart, s.ComputeEnd, s.SyncEnd)
+	}
+	return b.String()
+}
+
+// Gantt renders one row per worker over `width` character columns:
+// '#' computing, '.' synchronizing/waiting, ' ' idle (finished or not yet
+// started). Mixed columns show the dominant activity.
+func (r *Recorder) Gantt(width int) string {
+	if width < 10 {
+		width = 10
+	}
+	end := r.End()
+	if end == 0 || len(r.spans) == 0 {
+		return "(empty trace)\n"
+	}
+	workers := map[int]bool{}
+	for _, s := range r.spans {
+		workers[s.Worker] = true
+	}
+	ids := make([]int, 0, len(workers))
+	for w := range workers {
+		ids = append(ids, w)
+	}
+	sort.Ints(ids)
+
+	colDur := end / float64(width)
+	var b strings.Builder
+	fmt.Fprintf(&b, "time 0 .. %.2f (one column = %.3f)\n", end, colDur)
+	for _, w := range ids {
+		compute := make([]float64, width)
+		syncT := make([]float64, width)
+		for _, s := range r.spans {
+			if s.Worker != w {
+				continue
+			}
+			accumulate(compute, s.ComputeStart, s.ComputeEnd, colDur, width)
+			accumulate(syncT, s.ComputeEnd, s.SyncEnd, colDur, width)
+		}
+		fmt.Fprintf(&b, "w%-3d |", w)
+		for c := 0; c < width; c++ {
+			switch {
+			case compute[c] == 0 && syncT[c] == 0:
+				b.WriteByte(' ')
+			case compute[c] >= syncT[c]:
+				b.WriteByte('#')
+			default:
+				b.WriteByte('.')
+			}
+		}
+		b.WriteString("|\n")
+	}
+	b.WriteString("legend: '#' compute, '.' synchronization wait, ' ' idle\n")
+	return b.String()
+}
+
+// accumulate adds the overlap of [t0,t1) with each column's interval.
+func accumulate(cols []float64, t0, t1, colDur float64, width int) {
+	if t1 <= t0 {
+		return
+	}
+	first := int(t0 / colDur)
+	last := int(t1 / colDur)
+	if last >= width {
+		last = width - 1
+	}
+	for c := first; c <= last && c >= 0; c++ {
+		lo := float64(c) * colDur
+		hi := lo + colDur
+		if t0 > lo {
+			lo = t0
+		}
+		if t1 < hi {
+			hi = t1
+		}
+		if hi > lo {
+			cols[c] += hi - lo
+		}
+	}
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRecorderSpansSortedAndSummarized(t *testing.T) {
+	r := New()
+	r.Add(Span{Worker: 1, Iter: 0, ComputeStart: 0, ComputeEnd: 2, SyncEnd: 3})
+	r.Add(Span{Worker: 0, Iter: 1, ComputeStart: 3, ComputeEnd: 4, SyncEnd: 6})
+	r.Add(Span{Worker: 0, Iter: 0, ComputeStart: 0, ComputeEnd: 1, SyncEnd: 3})
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d", r.Len())
+	}
+	spans := r.Spans()
+	if spans[0].Worker != 0 || spans[0].Iter != 0 || spans[2].Worker != 1 {
+		t.Errorf("spans not sorted: %+v", spans)
+	}
+	if r.End() != 6 {
+		t.Errorf("End = %v", r.End())
+	}
+	sums := r.Summaries()
+	if len(sums) != 2 {
+		t.Fatalf("summaries: %+v", sums)
+	}
+	w0 := sums[0]
+	if w0.Worker != 0 || w0.Iters != 2 || w0.Compute != 2 || w0.Sync != 4 {
+		t.Errorf("worker 0 summary %+v", w0)
+	}
+	if w0.SyncShare != 4.0/6.0 {
+		t.Errorf("sync share %v", w0.SyncShare)
+	}
+}
+
+func TestRecorderPanicsOnBadSpan(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("non-monotonic span accepted")
+		}
+	}()
+	New().Add(Span{ComputeStart: 2, ComputeEnd: 1, SyncEnd: 3})
+}
+
+func TestCSV(t *testing.T) {
+	r := New()
+	r.Add(Span{Worker: 0, Iter: 0, ComputeStart: 0, ComputeEnd: 1.5, SyncEnd: 2})
+	csv := r.CSV()
+	if !strings.HasPrefix(csv, "worker,iter,compute_start,compute_end,sync_end\n") {
+		t.Errorf("csv header wrong: %q", csv)
+	}
+	if !strings.Contains(csv, "0,0,0,1.5,2") {
+		t.Errorf("csv row missing: %q", csv)
+	}
+}
+
+func TestGantt(t *testing.T) {
+	r := New()
+	// Worker 0: compute [0,5), sync [5,10). Worker 1: compute the whole time.
+	r.Add(Span{Worker: 0, Iter: 0, ComputeStart: 0, ComputeEnd: 5, SyncEnd: 10})
+	r.Add(Span{Worker: 1, Iter: 0, ComputeStart: 0, ComputeEnd: 10, SyncEnd: 10})
+	g := r.Gantt(10)
+	lines := strings.Split(strings.TrimRight(g, "\n"), "\n")
+	if len(lines) != 4 { // header, two workers, legend
+		t.Fatalf("gantt lines:\n%s", g)
+	}
+	row0 := lines[1]
+	if !strings.Contains(row0, "#####.....") {
+		t.Errorf("worker 0 row wrong: %q", row0)
+	}
+	row1 := lines[2]
+	if !strings.Contains(row1, "##########") {
+		t.Errorf("worker 1 row wrong: %q", row1)
+	}
+}
+
+func TestGanttEmptyAndTinyWidth(t *testing.T) {
+	if got := New().Gantt(50); !strings.Contains(got, "empty") {
+		t.Errorf("empty gantt: %q", got)
+	}
+	r := New()
+	r.Add(Span{Worker: 0, ComputeStart: 0, ComputeEnd: 1, SyncEnd: 1})
+	_ = r.Gantt(1) // clamped, must not panic
+}

@@ -1,0 +1,123 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Endpoint is one node's connection to the cluster. Send never blocks
+// indefinitely on a live peer; Recv blocks until a message arrives or the
+// endpoint is closed.
+type Endpoint interface {
+	// ID returns the node this endpoint belongs to.
+	ID() NodeID
+	// Send delivers m to m.To. The message must not be mutated after Send.
+	Send(m *Message) error
+	// Recv returns the next inbound message, or ErrClosed after Close.
+	Recv() (*Message, error)
+	// Close releases the endpoint; pending and future Recv calls return
+	// ErrClosed.
+	Close() error
+}
+
+// ErrClosed is returned by endpoint operations after Close.
+var ErrClosed = fmt.Errorf("transport: endpoint closed")
+
+// ChanNetwork is an in-process network: every endpoint is a buffered
+// channel, delivery is instant and in order per sender/receiver pair. It is
+// the default fabric for single-process deployments, tests, and examples.
+type ChanNetwork struct {
+	mu        sync.Mutex
+	endpoints map[NodeID]*chanEndpoint
+	queueCap  int
+}
+
+// NewChanNetwork creates an in-process network. queueCap is each
+// endpoint's inbound buffer; values ≤ 0 select a generous default.
+func NewChanNetwork(queueCap int) *ChanNetwork {
+	if queueCap <= 0 {
+		queueCap = 1024
+	}
+	return &ChanNetwork{endpoints: make(map[NodeID]*chanEndpoint), queueCap: queueCap}
+}
+
+// Endpoint creates (or returns the existing) endpoint for id.
+func (n *ChanNetwork) Endpoint(id NodeID) Endpoint {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if ep, ok := n.endpoints[id]; ok {
+		return ep
+	}
+	ep := &chanEndpoint{net: n, id: id, inbox: make(chan *Message, n.queueCap), done: make(chan struct{})}
+	n.endpoints[id] = ep
+	return ep
+}
+
+func (n *ChanNetwork) lookup(id NodeID) (*chanEndpoint, bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	ep, ok := n.endpoints[id]
+	return ep, ok
+}
+
+func (n *ChanNetwork) remove(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.endpoints, id)
+}
+
+type chanEndpoint struct {
+	net   *ChanNetwork
+	id    NodeID
+	inbox chan *Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+func (e *chanEndpoint) ID() NodeID { return e.id }
+
+func (e *chanEndpoint) Send(m *Message) error {
+	if m.From == (NodeID{}) {
+		m.From = e.id
+	}
+	dst, ok := e.net.lookup(m.To)
+	if !ok {
+		return fmt.Errorf("transport: no endpoint for %s", m.To)
+	}
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	select {
+	case dst.inbox <- m:
+		return nil
+	case <-dst.done:
+		return fmt.Errorf("transport: peer %s closed", m.To)
+	}
+}
+
+func (e *chanEndpoint) Recv() (*Message, error) {
+	select {
+	case m := <-e.inbox:
+		return m, nil
+	case <-e.done:
+		// Drain anything that raced with Close so shutdown is not lossy
+		// for messages already delivered.
+		select {
+		case m := <-e.inbox:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+func (e *chanEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.net.remove(e.id)
+	})
+	return nil
+}

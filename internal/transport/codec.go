@@ -1,0 +1,136 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// Wire format (little-endian):
+//
+//	type     uint8
+//	fromRole uint8
+//	fromRank uint16
+//	toRole   uint8
+//	toRank   uint16
+//	seq      uint64
+//	progress int32
+//	numKeys  uint32
+//	numVals  uint32
+//	keys     numKeys × uint32
+//	vals     numVals × float64 (IEEE-754 bits)
+//
+// Framing on stream transports prefixes each encoded message with a uint32
+// length.
+const headerBytes = 1 + 1 + 2 + 1 + 2 + 8 + 4 + 4 + 4
+
+// maxFrameBytes bounds a single message (64 MiB) so a corrupt length prefix
+// cannot make a reader allocate unbounded memory.
+const maxFrameBytes = 64 << 20
+
+// EncodedSize returns the exact number of bytes Encode will produce for m.
+func EncodedSize(m *Message) int {
+	return headerBytes + 4*len(m.Keys) + 8*len(m.Vals)
+}
+
+// Encode appends the wire encoding of m to buf and returns the extended
+// slice. Pass a reused buffer to avoid allocation on hot paths.
+func Encode(buf []byte, m *Message) []byte {
+	need := EncodedSize(m)
+	if cap(buf)-len(buf) < need {
+		grown := make([]byte, len(buf), len(buf)+need)
+		copy(grown, buf)
+		buf = grown
+	}
+	buf = append(buf, byte(m.Type), byte(m.From.Role))
+	buf = binary.LittleEndian.AppendUint16(buf, m.From.Rank)
+	buf = append(buf, byte(m.To.Role))
+	buf = binary.LittleEndian.AppendUint16(buf, m.To.Rank)
+	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Progress))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Keys)))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Vals)))
+	for _, k := range m.Keys {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(k))
+	}
+	for _, v := range m.Vals {
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
+	}
+	return buf
+}
+
+// Decode parses one message from data, which must contain exactly one
+// encoded message.
+func Decode(data []byte) (*Message, error) {
+	if len(data) < headerBytes {
+		return nil, fmt.Errorf("transport: short message: %d bytes", len(data))
+	}
+	m := &Message{
+		Type: MsgType(data[0]),
+		From: NodeID{Role: Role(data[1]), Rank: binary.LittleEndian.Uint16(data[2:])},
+		To:   NodeID{Role: Role(data[4]), Rank: binary.LittleEndian.Uint16(data[5:])},
+		Seq:  binary.LittleEndian.Uint64(data[7:]),
+	}
+	m.Progress = int32(binary.LittleEndian.Uint32(data[15:]))
+	numKeys := binary.LittleEndian.Uint32(data[19:])
+	numVals := binary.LittleEndian.Uint32(data[23:])
+	want := headerBytes + 4*int(numKeys) + 8*int(numVals)
+	if len(data) != want {
+		return nil, fmt.Errorf("transport: message length %d, want %d (keys=%d vals=%d)",
+			len(data), want, numKeys, numVals)
+	}
+	off := headerBytes
+	if numKeys > 0 {
+		m.Keys = make([]keyrange.Key, numKeys)
+		for i := range m.Keys {
+			m.Keys[i] = keyrange.Key(binary.LittleEndian.Uint32(data[off:]))
+			off += 4
+		}
+	}
+	if numVals > 0 {
+		m.Vals = make([]float64, numVals)
+		for i := range m.Vals {
+			m.Vals[i] = math.Float64frombits(binary.LittleEndian.Uint64(data[off:]))
+			off += 8
+		}
+	}
+	return m, nil
+}
+
+// WriteFrame writes m to w with a uint32 length prefix.
+func WriteFrame(w io.Writer, m *Message) error {
+	body := Encode(make([]byte, 0, EncodedSize(m)), m)
+	var lenbuf [4]byte
+	binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(body)))
+	if _, err := w.Write(lenbuf[:]); err != nil {
+		return fmt.Errorf("transport: write frame length: %w", err)
+	}
+	if _, err := w.Write(body); err != nil {
+		return fmt.Errorf("transport: write frame body: %w", err)
+	}
+	return nil
+}
+
+// ReadFrame reads one length-prefixed message from r. It returns io.EOF
+// unwrapped when the stream ends cleanly at a frame boundary.
+func ReadFrame(r io.Reader) (*Message, error) {
+	var lenbuf [4]byte
+	if _, err := io.ReadFull(r, lenbuf[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("transport: read frame length: %w", err)
+	}
+	n := binary.LittleEndian.Uint32(lenbuf[:])
+	if n < headerBytes || n > maxFrameBytes {
+		return nil, fmt.Errorf("transport: invalid frame length %d", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(r, body); err != nil {
+		return nil, fmt.Errorf("transport: read frame body: %w", err)
+	}
+	return Decode(body)
+}

@@ -1,0 +1,49 @@
+package transport
+
+import (
+	"bytes"
+	"io"
+	"testing"
+)
+
+// FuzzDecode: arbitrary bytes must never panic the codec; valid messages
+// must re-encode to the same bytes.
+func FuzzDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add(Encode(nil, sampleMessage()))
+	f.Add(Encode(nil, &Message{Type: MsgShutdown, From: Scheduler(), To: Worker(9)}))
+	f.Add(bytes.Repeat([]byte{0xFF}, headerBytes))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		m, err := Decode(data)
+		if err != nil {
+			return
+		}
+		round := Encode(nil, m)
+		if !bytes.Equal(round, data) {
+			t.Fatalf("decode/encode not idempotent:\n in  %x\n out %x", data, round)
+		}
+	})
+}
+
+// FuzzReadFrame: arbitrary streams must never panic or over-allocate.
+func FuzzReadFrame(f *testing.F) {
+	var good bytes.Buffer
+	_ = WriteFrame(&good, sampleMessage())
+	f.Add(good.Bytes())
+	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
+	f.Add([]byte{4, 0, 0, 0, 1, 2, 3, 4})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			_, err := ReadFrame(r)
+			if err != nil {
+				if err != io.EOF && r.Len() == len(data) {
+					// Errors are fine; infinite loops are not — ReadFrame
+					// must always consume or fail.
+					t.Fatal("ReadFrame made no progress")
+				}
+				return
+			}
+		}
+	})
+}

@@ -1,0 +1,86 @@
+package transport
+
+import (
+	"sync"
+	"time"
+)
+
+// LatencyNetwork wraps an in-process ChanNetwork and delays every message
+// by a configurable latency plus a bandwidth-proportional transfer time —
+// a real-time (not discrete-event) network emulation for demos and
+// integration tests that want wall-clock network behaviour without
+// sockets. For deterministic experiments use internal/sim instead.
+type LatencyNetwork struct {
+	inner *ChanNetwork
+	// Latency is added to every delivery; Bandwidth (bytes/s), when
+	// positive, adds EncodedSize/Bandwidth of transfer time.
+	latency   time.Duration
+	bandwidth float64
+}
+
+// NewLatencyNetwork creates the wrapper. bandwidth ≤ 0 disables the
+// size-proportional term.
+func NewLatencyNetwork(queueCap int, latency time.Duration, bandwidth float64) *LatencyNetwork {
+	return &LatencyNetwork{
+		inner:     NewChanNetwork(queueCap),
+		latency:   latency,
+		bandwidth: bandwidth,
+	}
+}
+
+// Endpoint returns the delayed endpoint for id.
+func (n *LatencyNetwork) Endpoint(id NodeID) Endpoint {
+	return &latencyEndpoint{net: n, inner: n.inner.Endpoint(id)}
+}
+
+type latencyEndpoint struct {
+	net   *LatencyNetwork
+	inner Endpoint
+
+	mu     sync.Mutex
+	timers []*time.Timer
+	closed bool
+}
+
+func (e *latencyEndpoint) ID() NodeID { return e.inner.ID() }
+
+func (e *latencyEndpoint) Send(m *Message) error {
+	if m.From == (NodeID{}) {
+		m.From = e.inner.ID()
+	}
+	delay := e.net.latency
+	if e.net.bandwidth > 0 {
+		delay += time.Duration(float64(EncodedSize(m)) / e.net.bandwidth * float64(time.Second))
+	}
+	if delay <= 0 {
+		return e.inner.Send(m)
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.closed {
+		return ErrClosed
+	}
+	t := time.AfterFunc(delay, func() {
+		// Delivery failures after the delay are indistinguishable from a
+		// network drop; receivers recover via timeouts.
+		_ = e.inner.Send(m)
+	})
+	e.timers = append(e.timers, t)
+	return nil
+}
+
+func (e *latencyEndpoint) Recv() (*Message, error) { return e.inner.Recv() }
+
+func (e *latencyEndpoint) Close() error {
+	e.mu.Lock()
+	e.closed = true
+	timers := e.timers
+	e.timers = nil
+	e.mu.Unlock()
+	for _, t := range timers {
+		t.Stop()
+	}
+	return e.inner.Close()
+}
+
+var _ Endpoint = (*latencyEndpoint)(nil)

@@ -1,0 +1,80 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+func TestLatencyNetworkDelaysDelivery(t *testing.T) {
+	net := NewLatencyNetwork(8, 50*time.Millisecond, 0)
+	a := net.Endpoint(Worker(0))
+	b := net.Endpoint(Server(0))
+	defer a.Close()
+	defer b.Close()
+
+	start := time.Now()
+	if err := a.Send(&Message{Type: MsgPush, To: Server(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 40*time.Millisecond {
+		t.Errorf("delivered in %v, want ≥ ~50ms", elapsed)
+	}
+}
+
+func TestLatencyNetworkBandwidthTerm(t *testing.T) {
+	// 8 KB at 100 KB/s ≈ 80ms on top of zero base latency.
+	net := NewLatencyNetwork(8, 0, 100e3)
+	a := net.Endpoint(Worker(0))
+	b := net.Endpoint(Server(0))
+	defer a.Close()
+	defer b.Close()
+
+	big := &Message{Type: MsgPush, To: Server(0), Vals: make([]float64, 1024)}
+	start := time.Now()
+	if err := a.Send(big); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b.Recv(); err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed < 50*time.Millisecond {
+		t.Errorf("8KB delivered in %v, want ≥ ~80ms at 100KB/s", elapsed)
+	}
+}
+
+func TestLatencyNetworkZeroDelayPassthrough(t *testing.T) {
+	net := NewLatencyNetwork(8, 0, 0)
+	a := net.Endpoint(Worker(0))
+	b := net.Endpoint(Server(0))
+	defer a.Close()
+	defer b.Close()
+	if err := a.Send(&Message{Type: MsgPull, To: Server(0), Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != 3 || m.From != Worker(0) {
+		t.Errorf("message mangled: %+v", m)
+	}
+}
+
+func TestLatencyNetworkCloseCancelsPending(t *testing.T) {
+	net := NewLatencyNetwork(8, time.Hour, 0)
+	a := net.Endpoint(Worker(0))
+	b := net.Endpoint(Server(0))
+	defer b.Close()
+	if err := a.Send(&Message{Type: MsgPush, To: Server(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Send(&Message{Type: MsgPush, To: Server(0)}); err != ErrClosed {
+		t.Errorf("send after close = %v, want ErrClosed", err)
+	}
+}

@@ -1,0 +1,174 @@
+// Package transport provides the messaging layer of the parameter server:
+// message and node identity types, a compact binary wire codec, an
+// in-process channel network for single-machine runs and tests, and a TCP
+// network for real multi-process deployments.
+//
+// The design mirrors PS-Lite's messaging model: every node (scheduler,
+// server, worker) owns one endpoint; messages carry a request sequence
+// number so responses can be matched to outstanding requests, the keys they
+// touch, the sender's training progress, and a flat float64 payload
+// (gradients on push, parameters on pull responses).
+package transport
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// Role distinguishes the three node kinds of a parameter-server cluster.
+type Role uint8
+
+// Node roles.
+const (
+	RoleScheduler Role = iota
+	RoleServer
+	RoleWorker
+)
+
+// String returns a short human-readable role name.
+func (r Role) String() string {
+	switch r {
+	case RoleScheduler:
+		return "scheduler"
+	case RoleServer:
+		return "server"
+	case RoleWorker:
+		return "worker"
+	default:
+		return fmt.Sprintf("role(%d)", uint8(r))
+	}
+}
+
+// NodeID identifies one node: a role plus a rank within that role.
+// The scheduler always has rank 0.
+type NodeID struct {
+	Role Role
+	Rank uint16
+}
+
+// Scheduler returns the scheduler's node id.
+func Scheduler() NodeID { return NodeID{Role: RoleScheduler} }
+
+// Server returns the id of server m.
+func Server(m int) NodeID { return NodeID{Role: RoleServer, Rank: uint16(m)} }
+
+// Worker returns the id of worker n.
+func Worker(n int) NodeID { return NodeID{Role: RoleWorker, Rank: uint16(n)} }
+
+// String formats the node id as e.g. "server/3".
+func (id NodeID) String() string { return fmt.Sprintf("%s/%d", id.Role, id.Rank) }
+
+// MsgType enumerates the protocol messages.
+type MsgType uint8
+
+// Protocol message types.
+const (
+	// MsgPush carries gradients from a worker to a server (sPush). The
+	// Progress field is the worker's current iteration.
+	MsgPush MsgType = iota + 1
+	// MsgPushAck acknowledges a push.
+	MsgPushAck
+	// MsgPull requests parameters from a server (sPull); Progress tells
+	// the server which iteration's parameters the worker needs.
+	MsgPull
+	// MsgPullResp answers a pull with parameter values.
+	MsgPullResp
+	// MsgRegister announces a node to the scheduler.
+	MsgRegister
+	// MsgRegisterAck confirms registration; sent once all expected nodes
+	// have registered.
+	MsgRegisterAck
+	// MsgBarrier asks the scheduler to block the sender until all workers
+	// reach the barrier (used by the non-overlap PS-Lite baseline).
+	MsgBarrier
+	// MsgBarrierResp releases a node from a barrier.
+	MsgBarrierResp
+	// MsgHeartbeat reports liveness to the scheduler.
+	MsgHeartbeat
+	// MsgShutdown tells a node to terminate.
+	MsgShutdown
+	// MsgSetCond reconfigures a server's synchronization model at
+	// runtime; Vals carries the encoded syncmodel.Spec.
+	MsgSetCond
+	// MsgSetCondAck confirms the reconfiguration.
+	MsgSetCondAck
+	// MsgRebalance starts an elastic rebalance; Vals carries the encoded
+	// new key assignment. Sent by an admin to every server.
+	MsgRebalance
+	// MsgMigrate hands a key segment to its new owner during a rebalance
+	// (Keys: the single key; Vals: its parameters).
+	MsgMigrate
+	// MsgRebalanceAck confirms a server has sent all departing segments
+	// and received all arriving ones.
+	MsgRebalanceAck
+	// MsgStats asks a server for its synchronization state.
+	MsgStats
+	// MsgStatsResp answers MsgStats; Vals carries the encoded state (see
+	// core.ShardState).
+	MsgStatsResp
+)
+
+// String returns a short message-type name.
+func (t MsgType) String() string {
+	switch t {
+	case MsgPush:
+		return "push"
+	case MsgPushAck:
+		return "push_ack"
+	case MsgPull:
+		return "pull"
+	case MsgPullResp:
+		return "pull_resp"
+	case MsgRegister:
+		return "register"
+	case MsgRegisterAck:
+		return "register_ack"
+	case MsgBarrier:
+		return "barrier"
+	case MsgBarrierResp:
+		return "barrier_resp"
+	case MsgHeartbeat:
+		return "heartbeat"
+	case MsgShutdown:
+		return "shutdown"
+	case MsgSetCond:
+		return "set_cond"
+	case MsgSetCondAck:
+		return "set_cond_ack"
+	case MsgRebalance:
+		return "rebalance"
+	case MsgMigrate:
+		return "migrate"
+	case MsgRebalanceAck:
+		return "rebalance_ack"
+	case MsgStats:
+		return "stats"
+	case MsgStatsResp:
+		return "stats_resp"
+	default:
+		return fmt.Sprintf("msgtype(%d)", uint8(t))
+	}
+}
+
+// Message is the unit of communication between nodes.
+type Message struct {
+	Type MsgType
+	From NodeID
+	To   NodeID
+	// Seq matches a response to its request; the requester allocates it.
+	Seq uint64
+	// Progress is the sender's training iteration (sPush/sPull report it).
+	Progress int32
+	// Keys lists the parameter keys this message touches, in ascending
+	// order. Vals concatenates the per-key segments in the same order;
+	// segment lengths come from the model layout shared by both ends.
+	Keys []keyrange.Key
+	Vals []float64
+}
+
+// PayloadBytes returns the approximate wire size of the message payload,
+// used by simulators and metrics to account communication volume.
+func (m *Message) PayloadBytes() int {
+	return 8*len(m.Vals) + 4*len(m.Keys) + headerBytes
+}

@@ -1,0 +1,332 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+func TestChanNetworkBasicDelivery(t *testing.T) {
+	net := NewChanNetwork(8)
+	a := net.Endpoint(Worker(0))
+	b := net.Endpoint(Server(0))
+	defer a.Close()
+	defer b.Close()
+
+	msg := &Message{Type: MsgPush, To: Server(0), Seq: 9, Vals: []float64{1, 2}}
+	if err := a.Send(msg); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != Worker(0) {
+		t.Errorf("From = %v, want worker/0 (auto-filled)", got.From)
+	}
+	if got.Seq != 9 || len(got.Vals) != 2 {
+		t.Errorf("message mangled: %+v", got)
+	}
+}
+
+func TestChanNetworkEndpointIdempotent(t *testing.T) {
+	net := NewChanNetwork(0)
+	a := net.Endpoint(Worker(1))
+	b := net.Endpoint(Worker(1))
+	if a != b {
+		t.Error("Endpoint should return the same endpoint for the same id")
+	}
+}
+
+func TestChanNetworkSendToUnknownPeer(t *testing.T) {
+	net := NewChanNetwork(0)
+	a := net.Endpoint(Worker(0))
+	defer a.Close()
+	err := a.Send(&Message{Type: MsgPush, To: Server(99)})
+	if err == nil {
+		t.Error("send to unregistered peer should error")
+	}
+}
+
+func TestChanNetworkOrderingPerPair(t *testing.T) {
+	net := NewChanNetwork(128)
+	a := net.Endpoint(Worker(0))
+	b := net.Endpoint(Server(0))
+	defer a.Close()
+	defer b.Close()
+	for i := 0; i < 100; i++ {
+		if err := a.Send(&Message{Type: MsgPush, To: Server(0), Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Seq != uint64(i) {
+			t.Fatalf("out of order: got seq %d at position %d", m.Seq, i)
+		}
+	}
+}
+
+func TestChanNetworkRecvAfterCloseReturnsErrClosed(t *testing.T) {
+	net := NewChanNetwork(0)
+	a := net.Endpoint(Worker(0))
+	a.Close()
+	if _, err := a.Recv(); err != ErrClosed {
+		t.Errorf("Recv after close = %v, want ErrClosed", err)
+	}
+	if err := a.Close(); err != nil {
+		t.Errorf("double close = %v", err)
+	}
+}
+
+func TestChanNetworkCloseUnblocksRecv(t *testing.T) {
+	net := NewChanNetwork(0)
+	a := net.Endpoint(Worker(0))
+	errc := make(chan error, 1)
+	go func() {
+		_, err := a.Recv()
+		errc <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	a.Close()
+	select {
+	case err := <-errc:
+		if err != ErrClosed {
+			t.Errorf("blocked Recv returned %v, want ErrClosed", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Recv did not unblock after Close")
+	}
+}
+
+func TestChanNetworkConcurrentSenders(t *testing.T) {
+	net := NewChanNetwork(4096)
+	server := net.Endpoint(Server(0))
+	defer server.Close()
+	const workers, msgsEach = 16, 50
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			ep := net.Endpoint(Worker(w))
+			for i := 0; i < msgsEach; i++ {
+				if err := ep.Send(&Message{Type: MsgPush, To: Server(0), Seq: uint64(i)}); err != nil {
+					t.Errorf("worker %d send: %v", w, err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	seen := map[NodeID]int{}
+	for i := 0; i < workers*msgsEach; i++ {
+		m, err := server.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		seen[m.From]++
+	}
+	for w := 0; w < workers; w++ {
+		if seen[Worker(w)] != msgsEach {
+			t.Errorf("worker %d delivered %d msgs, want %d", w, seen[Worker(w)], msgsEach)
+		}
+	}
+}
+
+// startTCPPair wires two TCP endpoints with each other's addresses.
+func startTCPPair(t *testing.T) (a, b *TCPEndpoint) {
+	t.Helper()
+	var err error
+	a, err = ListenTCP(Worker(0), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err = ListenTCP(Server(0), "127.0.0.1:0", nil)
+	if err != nil {
+		a.Close()
+		t.Fatal(err)
+	}
+	a.SetPeer(Server(0), b.Addr())
+	b.SetPeer(Worker(0), a.Addr())
+	t.Cleanup(func() { a.Close(); b.Close() })
+	return a, b
+}
+
+func TestTCPRoundTrip(t *testing.T) {
+	a, b := startTCPPair(t)
+	req := &Message{Type: MsgPull, To: Server(0), Seq: 5, Keys: []keyrange.Key{1, 2}, Progress: 3}
+	if err := a.Send(req); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Type != MsgPull || got.Seq != 5 || got.Progress != 3 || len(got.Keys) != 2 {
+		t.Fatalf("request mangled: %+v", got)
+	}
+	resp := &Message{Type: MsgPullResp, To: got.From, Seq: got.Seq, Vals: []float64{1, 2, 3}}
+	if err := b.Send(resp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := a.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != MsgPullResp || back.Seq != 5 || len(back.Vals) != 3 {
+		t.Fatalf("response mangled: %+v", back)
+	}
+}
+
+func TestTCPManyMessagesManyGoroutines(t *testing.T) {
+	a, b := startTCPPair(t)
+	const n = 200
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < n; i++ {
+				m := &Message{Type: MsgPush, To: Server(0), Seq: uint64(g*n + i), Vals: []float64{float64(i)}}
+				if err := a.Send(m); err != nil {
+					t.Errorf("send: %v", err)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	seen := map[uint64]bool{}
+	for i := 0; i < 4*n; i++ {
+		m, err := b.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[m.Seq] {
+			t.Fatalf("duplicate seq %d", m.Seq)
+		}
+		seen[m.Seq] = true
+	}
+}
+
+func TestTCPSendToUnknownPeer(t *testing.T) {
+	a, err := ListenTCP(Worker(0), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(&Message{Type: MsgPush, To: Server(7)}); err == nil {
+		t.Error("send without address book entry should error")
+	}
+}
+
+func TestTCPSendAfterClose(t *testing.T) {
+	a, _ := startTCPPair(t)
+	a.Close()
+	if err := a.Send(&Message{Type: MsgPush, To: Server(0)}); err != ErrClosed {
+		t.Errorf("send after close = %v, want ErrClosed", err)
+	}
+	if _, err := a.Recv(); err != ErrClosed {
+		t.Errorf("recv after close = %v, want ErrClosed", err)
+	}
+}
+
+func TestTCPDialFailure(t *testing.T) {
+	a, err := ListenTCP(Worker(0), "127.0.0.1:0", map[NodeID]string{
+		Server(0): "127.0.0.1:1", // nothing listens on port 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	if err := a.Send(&Message{Type: MsgPush, To: Server(0)}); err == nil {
+		t.Error("dial to dead address should error")
+	}
+}
+
+func TestTCPLargePayload(t *testing.T) {
+	a, b := startTCPPair(t)
+	vals := make([]float64, 100000)
+	for i := range vals {
+		vals[i] = float64(i) * 0.5
+	}
+	if err := a.Send(&Message{Type: MsgPush, To: Server(0), Vals: vals}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vals) != len(vals) || got.Vals[99999] != vals[99999] {
+		t.Fatal("large payload corrupted")
+	}
+}
+
+func TestTCPFullMesh(t *testing.T) {
+	const servers, workers = 2, 3
+	book := map[NodeID]string{}
+	var eps []*TCPEndpoint
+	mk := func(id NodeID) {
+		ep, err := ListenTCP(id, "127.0.0.1:0", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		book[id] = ep.Addr()
+		eps = append(eps, ep)
+	}
+	for m := 0; m < servers; m++ {
+		mk(Server(m))
+	}
+	for n := 0; n < workers; n++ {
+		mk(Worker(n))
+	}
+	for _, ep := range eps {
+		for id, addr := range book {
+			ep.SetPeer(id, addr)
+		}
+	}
+	t.Cleanup(func() {
+		for _, ep := range eps {
+			ep.Close()
+		}
+	})
+	// Every worker sends to every server; every server gets `workers` messages.
+	for n := 0; n < workers; n++ {
+		for m := 0; m < servers; m++ {
+			msg := &Message{Type: MsgPush, To: Server(m), Seq: uint64(n)}
+			if err := eps[servers+n].Send(msg); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for m := 0; m < servers; m++ {
+		from := map[NodeID]bool{}
+		for i := 0; i < workers; i++ {
+			msg, err := eps[m].Recv()
+			if err != nil {
+				t.Fatal(err)
+			}
+			from[msg.From] = true
+		}
+		if len(from) != workers {
+			t.Errorf("server %d heard from %d workers, want %d", m, len(from), workers)
+		}
+	}
+}
+
+func ExampleChanNetwork() {
+	net := NewChanNetwork(4)
+	w := net.Endpoint(Worker(0))
+	s := net.Endpoint(Server(0))
+	_ = w.Send(&Message{Type: MsgPush, To: Server(0), Vals: []float64{0.5}})
+	m, _ := s.Recv()
+	fmt.Println(m.Type, m.From, m.Vals[0])
+	// Output: push worker/0 0.5
+}

@@ -1,0 +1,248 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+)
+
+// TCPEndpoint is a node endpoint backed by real TCP sockets, for
+// multi-process deployments (one process per scheduler/server/worker).
+//
+// Each endpoint listens on its own address and lazily dials peers from an
+// address book. Connections are cached; writes to one peer are serialized
+// through a per-connection mutex, and a background accept loop feeds all
+// inbound messages into a single inbox so Recv has the same semantics as
+// the in-process network.
+type TCPEndpoint struct {
+	id       NodeID
+	listener net.Listener
+	book     map[NodeID]string
+
+	inbox chan *Message
+	done  chan struct{}
+
+	mu    sync.Mutex
+	conns map[NodeID]*tcpConn
+
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+}
+
+type tcpConn struct {
+	mu sync.Mutex // serializes frame writes
+	c  net.Conn
+	w  *bufio.Writer
+}
+
+// ListenTCP creates an endpoint for id listening on addr (e.g.
+// "127.0.0.1:9001"). book maps every peer's NodeID to its dialable
+// address; entries may be added for nodes that start later, as dialing is
+// lazy. Passing addr ":0" picks a free port — read it back via Addr.
+func ListenTCP(id NodeID, addr string, book map[NodeID]string) (*TCPEndpoint, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: listen %s: %w", addr, err)
+	}
+	e := &TCPEndpoint{
+		id:       id,
+		listener: ln,
+		book:     make(map[NodeID]string, len(book)),
+		inbox:    make(chan *Message, 1024),
+		done:     make(chan struct{}),
+		conns:    make(map[NodeID]*tcpConn),
+	}
+	for k, v := range book {
+		e.book[k] = v
+	}
+	e.wg.Add(1)
+	go e.acceptLoop()
+	return e, nil
+}
+
+// Addr returns the address the endpoint is listening on.
+func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
+
+// ID returns the node this endpoint belongs to.
+func (e *TCPEndpoint) ID() NodeID { return e.id }
+
+// SetPeer registers or updates a peer's address in the address book.
+func (e *TCPEndpoint) SetPeer(id NodeID, addr string) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.book[id] = addr
+}
+
+func (e *TCPEndpoint) acceptLoop() {
+	defer e.wg.Done()
+	for {
+		c, err := e.listener.Accept()
+		if err != nil {
+			return // listener closed
+		}
+		e.wg.Add(1)
+		go e.readLoop(c)
+	}
+}
+
+func (e *TCPEndpoint) readLoop(c net.Conn) {
+	defer e.wg.Done()
+	defer c.Close()
+	r := bufio.NewReader(c)
+	wrapped := &tcpConn{c: c, w: bufio.NewWriter(c)}
+	var peer NodeID
+	registered := false
+	defer func() {
+		// Unregister the reply path when the connection dies so later
+		// sends do not pick a dead socket.
+		if registered {
+			e.dropConn(peer, wrapped)
+		}
+	}()
+	for {
+		m, err := ReadFrame(r)
+		if err != nil {
+			return // EOF or broken peer; outstanding requests time out upstream
+		}
+		if !registered {
+			// Adopt the connection as the reply path to this peer, so
+			// nodes we cannot dial (admin tools, workers behind NAT) can
+			// still be answered.
+			e.mu.Lock()
+			if _, ok := e.conns[m.From]; !ok {
+				e.conns[m.From] = wrapped
+				peer = m.From
+				registered = true
+			}
+			e.mu.Unlock()
+		}
+		select {
+		case e.inbox <- m:
+		case <-e.done:
+			return
+		}
+	}
+}
+
+// Send delivers m to m.To, dialing the peer on first use. A write failure
+// on a cached connection (e.g. a stale reply path whose peer went away)
+// drops it and retries once on a fresh dial.
+func (e *TCPEndpoint) Send(m *Message) error {
+	if m.From == (NodeID{}) {
+		m.From = e.id
+	}
+	var lastErr error
+	for attempt := 0; attempt < 2; attempt++ {
+		select {
+		case <-e.done:
+			return ErrClosed
+		default:
+		}
+		conn, err := e.conn(m.To)
+		if err != nil {
+			if lastErr != nil {
+				return fmt.Errorf("%w (after retry: %v)", lastErr, err)
+			}
+			return err
+		}
+		if err := e.writeTo(conn, m); err != nil {
+			e.dropConn(m.To, conn)
+			lastErr = err
+			continue
+		}
+		return nil
+	}
+	return lastErr
+}
+
+func (e *TCPEndpoint) writeTo(conn *tcpConn, m *Message) error {
+	conn.mu.Lock()
+	defer conn.mu.Unlock()
+	if err := WriteFrame(conn.w, m); err != nil {
+		return err
+	}
+	if err := conn.w.Flush(); err != nil {
+		return fmt.Errorf("transport: flush to %s: %w", m.To, err)
+	}
+	return nil
+}
+
+func (e *TCPEndpoint) conn(to NodeID) (*tcpConn, error) {
+	e.mu.Lock()
+	if c, ok := e.conns[to]; ok {
+		e.mu.Unlock()
+		return c, nil
+	}
+	addr, ok := e.book[to]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("transport: no address for %s", to)
+	}
+	raw, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("transport: dial %s (%s): %w", to, addr, err)
+	}
+	c := &tcpConn{c: raw, w: bufio.NewWriter(raw)}
+	e.mu.Lock()
+	if existing, ok := e.conns[to]; ok {
+		// Lost a race with a concurrent dial; keep the established one.
+		e.mu.Unlock()
+		raw.Close()
+		return existing, nil
+	}
+	e.conns[to] = c
+	e.mu.Unlock()
+	// Connections are bidirectional: the peer replies over this socket
+	// (it may have no dialable address for us), so read from it too.
+	e.wg.Add(1)
+	go e.readLoop(raw)
+	return c, nil
+}
+
+func (e *TCPEndpoint) dropConn(to NodeID, c *tcpConn) {
+	c.c.Close()
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.conns[to] == c {
+		delete(e.conns, to)
+	}
+}
+
+// Recv returns the next inbound message, or ErrClosed after Close. EOF on
+// an individual peer connection is not an endpoint error; it simply stops
+// that peer's stream.
+func (e *TCPEndpoint) Recv() (*Message, error) {
+	select {
+	case m := <-e.inbox:
+		return m, nil
+	case <-e.done:
+		select {
+		case m := <-e.inbox:
+			return m, nil
+		default:
+			return nil, ErrClosed
+		}
+	}
+}
+
+// Close shuts the listener and all cached connections.
+func (e *TCPEndpoint) Close() error {
+	e.closeOnce.Do(func() {
+		close(e.done)
+		e.listener.Close()
+		e.mu.Lock()
+		for _, c := range e.conns {
+			c.c.Close()
+		}
+		e.conns = map[NodeID]*tcpConn{}
+		e.mu.Unlock()
+	})
+	return nil
+}
+
+var (
+	_ Endpoint  = (*TCPEndpoint)(nil)
+	_ io.Closer = (*TCPEndpoint)(nil)
+)
