@@ -1,0 +1,33 @@
+# Tier-1 verification (what CI and every PR must keep green) plus the
+# deeper checks the concurrent paths need.
+
+GO ?= go
+
+.PHONY: verify build vet test race fuzz bench
+
+## verify: the tier-1 gate — vet, build, full test suite.
+verify: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+## race: the request-lifecycle and transport layers are goroutine-heavy
+## (receive loops, retry timers, fault-injection timers, reconnects);
+## run them under the race detector after touching any of it.
+race:
+	$(GO) test -race ./internal/core/... ./internal/transport/...
+
+## fuzz: a short codec fuzz pass over the wire format (seeds include
+## negative Progress and boundary-length frames).
+fuzz:
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime 30s
+
+bench:
+	$(GO) test -bench . -benchtime 1x ./...

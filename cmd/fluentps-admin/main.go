@@ -56,9 +56,9 @@ func main() {
 			if err != nil {
 				log.Fatalf("server %d: %v", m, err)
 			}
-			fmt.Printf("server %d: keys=%d V_train=%d progress=[%d,%d] count@round=%d buffered=%d pulls=%d pushes=%d DPRs=%d dropped=%d\n",
+			fmt.Printf("server %d: keys=%d V_train=%d progress=[%d,%d] count@round=%d buffered=%d pulls=%d pushes=%d DPRs=%d dropped=%d dedup=%d\n",
 				m, st.Keys, st.VTrain, st.MinProgress, st.MaxProgress,
-				st.CountAtRound, st.Buffered, st.Pulls, st.Pushes, st.DPRs, st.Dropped)
+				st.CountAtRound, st.Buffered, st.Pulls, st.Pushes, st.DPRs, st.Dropped, st.DedupHits)
 		}
 
 	case "set-cond":

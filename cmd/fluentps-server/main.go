@@ -52,10 +52,14 @@ func main() {
 	w0 := make([]float64, work.Model.Dim())
 	work.Model.Init(mathx.RNG(work.Seed, "cluster.init"), w0)
 
-	ep, err := transport.ListenTCP(transport.Server(*rank), cluster.ServerAddrs[*rank], cluster.Book())
+	tcpEP, err := transport.ListenTCP(transport.Server(*rank), cluster.ServerAddrs[*rank], cluster.Book())
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Wrapping the server endpoint faults the response direction (acks,
+	// pull responses) too, so -flaky* flags exercise both halves of every
+	// exchange.
+	ep := flags.WrapFaulty(tcpEP)
 	defer ep.Close()
 
 	if err := core.RegisterAsync(ep); err != nil {
@@ -71,17 +75,18 @@ func main() {
 		Init: func(k keyrange.Key, seg []float64) {
 			copy(seg, layout.Slice(w0, k))
 		},
-		Seed: work.Seed,
+		Seed:        work.Seed,
+		DedupWindow: flags.DedupWindow,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("fluentps-server[%d]: %d keys, model %s, drain %s, listening on %s",
-		*rank, len(srv.Keys()), sync.Model, sync.Drain, ep.Addr())
+		*rank, len(srv.Keys()), sync.Model, sync.Drain, tcpEP.Addr())
 	if err := srv.Run(); err != nil {
 		log.Fatal(err)
 	}
 	st := srv.Stats()
-	log.Printf("fluentps-server[%d]: done — pulls=%d pushes=%d DPRs=%d advances=%d",
-		*rank, st.Pulls, st.Pushes, st.DPRs, st.Advances)
+	log.Printf("fluentps-server[%d]: done — pulls=%d pushes=%d DPRs=%d advances=%d dedup=%d",
+		*rank, st.Pulls, st.Pushes, st.DPRs, st.Advances, st.DedupHits)
 }

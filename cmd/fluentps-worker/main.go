@@ -52,10 +52,14 @@ func main() {
 	w0 := make([]float64, work.Model.Dim())
 	work.Model.Init(mathx.RNG(work.Seed, "cluster.init"), w0)
 
-	ep, err := transport.ListenTCP(transport.Worker(*rank), cluster.WorkerAddrs[*rank], cluster.Book())
+	tcpEP, err := transport.ListenTCP(transport.Worker(*rank), cluster.WorkerAddrs[*rank], cluster.Book())
 	if err != nil {
 		log.Fatal(err)
 	}
+	// Fault injection (when enabled) wraps the endpoint so the whole
+	// stack — registration excluded, it is control plane — runs over the
+	// lossy transport; the retry/dedup machinery absorbs the faults.
+	ep := flags.WrapFaulty(tcpEP)
 	defer ep.Close()
 
 	log.Printf("fluentps-worker[%d]: registering with scheduler", *rank)
@@ -72,6 +76,16 @@ func main() {
 	worker, err := core.NewWorker(ep, *rank, layout, assign)
 	if err != nil {
 		log.Fatal(err)
+	}
+	worker.SetTimeout(flags.Timeout)
+	if flags.RetryBase > 0 {
+		worker.SetRetry(core.RetryPolicy{
+			MaxAttempts: flags.Retries,
+			BaseDelay:   flags.RetryBase,
+			MaxDelay:    flags.RetryMax,
+		})
+		log.Printf("fluentps-worker[%d]: retries enabled (base %v, cap %v, attempts %d)",
+			*rank, flags.RetryBase, flags.RetryMax, flags.Retries)
 	}
 	shard, err := work.Train.Shard(*rank, cluster.Workers())
 	if err != nil {
@@ -106,5 +120,9 @@ func main() {
 	if work.Test != nil {
 		loss, acc := work.Model.Evaluate(params, work.Test)
 		log.Printf("fluentps-worker[%d]: finished — loss=%.4f acc=%.4f", *rank, loss, acc)
+	}
+	if st := worker.Stats(); st.Retries > 0 || st.Timeouts > 0 || st.Stale > 0 {
+		log.Printf("fluentps-worker[%d]: lifecycle — retries=%d timeouts=%d stale=%d",
+			*rank, st.Retries, st.Timeouts, st.Stale)
 	}
 }

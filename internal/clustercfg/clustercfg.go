@@ -8,6 +8,7 @@ import (
 	"flag"
 	"fmt"
 	"strings"
+	"time"
 
 	"github.com/fluentps/fluentps/internal/dataset"
 	"github.com/fluentps/fluentps/internal/keyrange"
@@ -78,6 +79,20 @@ type Flags struct {
 	Iters int
 	LR    float64
 	Seed  int64
+
+	// Request-lifecycle hardening (workers).
+	Timeout   time.Duration
+	Retries   int
+	RetryBase time.Duration
+	RetryMax  time.Duration
+	// Duplicate-suppression window (servers); 0 = default, <0 disables.
+	DedupWindow int
+	// Fault injection (transport.Flaky), for resilience testing.
+	FlakyDrop      float64
+	FlakyDup       float64
+	FlakyDelayProb float64
+	FlakyMaxDelay  time.Duration
+	FlakySeed      int64
 }
 
 // Register installs the shared flags on the given FlagSet.
@@ -96,6 +111,41 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.IntVar(&f.Iters, "iters", 200, "training iterations per worker")
 	fs.Float64Var(&f.LR, "lr", 0.1, "learning rate")
 	fs.Int64Var(&f.Seed, "seed", 1, "deterministic seed")
+	fs.DurationVar(&f.Timeout, "timeout", 0, "per-request worker timeout; 0 waits forever")
+	fs.IntVar(&f.Retries, "retries", 0, "max send attempts per worker request; 0 = unlimited while retryBase > 0")
+	fs.DurationVar(&f.RetryBase, "retryBase", 0, "base retransmission backoff; 0 disables retries")
+	fs.DurationVar(&f.RetryMax, "retryMax", 2*time.Second, "retransmission backoff cap")
+	fs.IntVar(&f.DedupWindow, "dedupWindow", 0, "per-worker duplicate-request window on servers; 0 = default, negative disables")
+	fs.Float64Var(&f.FlakyDrop, "flakyDrop", 0, "fault injection: probability a data-plane frame is dropped")
+	fs.Float64Var(&f.FlakyDup, "flakyDup", 0, "fault injection: probability a data-plane frame is duplicated")
+	fs.Float64Var(&f.FlakyDelayProb, "flakyDelayProb", 0, "fault injection: probability a data-plane frame is delayed")
+	fs.DurationVar(&f.FlakyMaxDelay, "flakyMaxDelay", 50*time.Millisecond, "fault injection: max injected delay")
+	fs.Int64Var(&f.FlakySeed, "flakySeed", 1, "fault injection: deterministic seed")
+}
+
+// Fault materializes the fault-injection configuration; ok is false when
+// no fault is enabled (endpoints should then stay unwrapped).
+func (f *Flags) Fault() (cfg transport.FlakyConfig, ok bool) {
+	if f.FlakyDrop <= 0 && f.FlakyDup <= 0 && f.FlakyDelayProb <= 0 {
+		return transport.FlakyConfig{}, false
+	}
+	return transport.FlakyConfig{
+		Drop:      f.FlakyDrop,
+		Duplicate: f.FlakyDup,
+		Delay:     f.FlakyDelayProb,
+		MaxDelay:  f.FlakyMaxDelay,
+		Seed:      f.FlakySeed,
+	}, true
+}
+
+// WrapFaulty wraps ep in a transport.Flaky when fault injection is
+// enabled, and returns ep unchanged otherwise.
+func (f *Flags) WrapFaulty(ep transport.Endpoint) transport.Endpoint {
+	cfg, ok := f.Fault()
+	if !ok {
+		return ep
+	}
+	return transport.NewFlaky(ep, cfg)
 }
 
 // Cluster materializes the topology.

@@ -1,0 +1,171 @@
+package core
+
+import (
+	"fmt"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// TestFlakyClusterExactlyOnce runs a 3-server/4-worker SSP cluster over a
+// transport that drops 10%, duplicates 5%, and delays 20% of data-plane
+// frames. Worker retries plus the servers' duplicate windows must make
+// the run complete with every push applied exactly once — the controller
+// push count equals workers × iters on every shard — and every goroutine
+// accounted for afterwards.
+func TestFlakyClusterExactlyOnce(t *testing.T) {
+	const (
+		servers = 3
+		workers = 4
+		iters   = 20
+	)
+	layout := keyrange.MustLayout([]int{2, 3, 2, 3, 2, 3})
+	assign, err := keyrange.EPS(layout, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faults := func(seed int64) transport.FlakyConfig {
+		return transport.FlakyConfig{
+			Drop:      0.10,
+			Duplicate: 0.05,
+			Delay:     0.20,
+			MaxDelay:  5 * time.Millisecond,
+			Seed:      seed,
+		}
+	}
+
+	before := runtime.NumGoroutine()
+	net := transport.NewChanNetwork(4096)
+
+	srvs := make([]*Server, servers)
+	flakies := make([]*transport.Flaky, 0, servers+workers)
+	srvErrs := make(chan error, servers)
+	for m := 0; m < servers; m++ {
+		fep := transport.NewFlaky(net.Endpoint(transport.Server(m)), faults(int64(m)))
+		flakies = append(flakies, fep)
+		srv, err := NewServer(fep, ServerConfig{
+			Rank:       m,
+			NumWorkers: workers,
+			Layout:     layout,
+			Assignment: assign,
+			Model:      syncmodel.SSP(2),
+			Drain:      syncmodel.Lazy,
+			Init:       func(k keyrange.Key, seg []float64) {},
+			Seed:       int64(m),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[m] = srv
+		go func() { srvErrs <- srv.Run() }()
+	}
+
+	wErrs := make(chan error, workers)
+	ws := make([]*Worker, workers)
+	for n := 0; n < workers; n++ {
+		fep := transport.NewFlaky(net.Endpoint(transport.Worker(n)), faults(int64(100+n)))
+		flakies = append(flakies, fep)
+		w, err := NewWorker(fep, n, layout, assign)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.SetTimeout(60 * time.Second)
+		w.SetRetry(RetryPolicy{BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond})
+		ws[n] = w
+		go func(n int, w *Worker) {
+			wErrs <- func() error {
+				delta := make([]float64, layout.TotalDim())
+				params := make([]float64, layout.TotalDim())
+				for i := range delta {
+					delta[i] = 0.01
+				}
+				for i := 0; i < iters; i++ {
+					if err := w.SPush(i, delta); err != nil {
+						return fmt.Errorf("worker %d push %d: %w", n, i, err)
+					}
+					if i < iters-1 {
+						if err := w.SPull(i, params); err != nil {
+							return fmt.Errorf("worker %d pull %d: %w", n, i, err)
+						}
+					}
+				}
+				return nil
+			}()
+		}(n, w)
+	}
+	for n := 0; n < workers; n++ {
+		if err := <-wErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Shut the servers down over a reliable path, then close the workers.
+	admin := net.Endpoint(transport.Worker(99))
+	for m := 0; m < servers; m++ {
+		if err := admin.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m := 0; m < servers; m++ {
+		if err := <-srvErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	admin.Close()
+
+	var totalDedup, totalRetries, totalDups int64
+	for m, srv := range srvs {
+		st := srv.Stats()
+		if st.Pushes != workers*iters {
+			t.Errorf("server %d applied %d pushes, want exactly %d (effectively-once violated)",
+				m, st.Pushes, workers*iters)
+		}
+		totalDedup += int64(st.DedupHits)
+	}
+	for _, w := range ws {
+		if n := w.Outstanding(); n != 0 {
+			t.Errorf("worker %d still has %d in-flight requests", w.Rank(), n)
+		}
+		totalRetries += int64(w.Stats().Retries)
+		w.Close()
+	}
+	for _, f := range flakies {
+		st := f.Stats()
+		totalDups += st.Duplicated
+		f.Close()
+	}
+	// The fault schedule is deterministic (seeded): drops force retries,
+	// duplicates force dedup hits. Every duplicated or retransmitted
+	// request that reached a server must have been absorbed, and with
+	// 10%/5% rates over hundreds of frames both counters are necessarily
+	// non-zero.
+	if totalDups == 0 {
+		t.Error("fault injector duplicated no frames; test exercised nothing")
+	}
+	if totalRetries == 0 {
+		t.Error("no retries despite 10% frame drop")
+	}
+	if totalDedup == 0 {
+		t.Error("no dedup hits despite duplicated and retransmitted frames")
+	}
+	t.Logf("faults absorbed: %d duplicated frames, %d retries, %d dedup hits", totalDups, totalRetries, totalDedup)
+
+	// Goroutine-leak check: everything spawned by the cluster must wind
+	// down. Allow a small slack for runtime/test goroutines.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if g := runtime.NumGoroutine(); g <= before+3 {
+			break
+		}
+		if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			n := runtime.Stack(buf, true)
+			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}

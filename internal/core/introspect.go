@@ -22,6 +22,7 @@ type ShardState struct {
 	Pushes       int
 	DPRs         int
 	Dropped      int
+	DedupHits    int // duplicate pushes/pulls absorbed by the server
 	Keys         int
 }
 
@@ -31,13 +32,13 @@ func (st ShardState) encode() []float64 {
 		float64(st.VTrain), float64(st.MinProgress), float64(st.MaxProgress),
 		float64(st.CountAtRound), float64(st.Buffered),
 		float64(st.Pulls), float64(st.Pushes), float64(st.DPRs),
-		float64(st.Dropped), float64(st.Keys),
+		float64(st.Dropped), float64(st.DedupHits), float64(st.Keys),
 	}
 }
 
 func decodeShardState(vals []float64) (ShardState, error) {
-	if len(vals) != 10 {
-		return ShardState{}, fmt.Errorf("core: stats payload has %d values, want 10", len(vals))
+	if len(vals) != 11 {
+		return ShardState{}, fmt.Errorf("core: stats payload has %d values, want 11", len(vals))
 	}
 	return ShardState{
 		VTrain:       int(vals[0]),
@@ -49,7 +50,8 @@ func decodeShardState(vals []float64) (ShardState, error) {
 		Pushes:       int(vals[6]),
 		DPRs:         int(vals[7]),
 		Dropped:      int(vals[8]),
-		Keys:         int(vals[9]),
+		DedupHits:    int(vals[9]),
+		Keys:         int(vals[10]),
 	}, nil
 }
 
@@ -67,6 +69,7 @@ func (s *Server) handleStats(msg *transport.Message) error {
 		Pushes:       stats.Pushes,
 		DPRs:         stats.DPRs,
 		Dropped:      stats.DroppedPushes,
+		DedupHits:    s.dedupHits,
 		Keys:         len(s.keys),
 	}
 	resp := &transport.Message{

@@ -47,7 +47,20 @@ type ServerConfig struct {
 	Init func(k keyrange.Key, seg []float64)
 	// Seed drives probabilistic pull conditions deterministically.
 	Seed int64
+	// DedupWindow is the number of recent request seqs remembered per
+	// peer for duplicate suppression: a retransmitted or duplicated push
+	// inside the window is re-acked but not re-applied, a duplicated
+	// pull is re-answered (or left to its pending buffered request).
+	// Zero selects DefaultDedupWindow; negative disables deduplication.
+	DedupWindow int
 }
+
+// DefaultDedupWindow is the per-peer duplicate-suppression window used
+// when ServerConfig.DedupWindow is zero. It must exceed the number of
+// requests a worker can have unacknowledged plus the retransmission
+// horizon; with synchronous workers that is a handful, so the default is
+// generous.
+const DefaultDedupWindow = 4096
 
 // Server is one FluentPS parameter-server node. Run processes messages
 // until the endpoint closes or a shutdown message arrives.
@@ -61,8 +74,101 @@ type Server struct {
 	mu    sync.Mutex
 	stats syncmodel.Stats
 
+	// dedup remembers each peer's recent request seqs so transport-level
+	// retries and duplicated frames never double-apply a push (see
+	// ServerConfig.DedupWindow). Touched only by the Run goroutine.
+	dedup     map[transport.NodeID]*dedupWindow
+	dedupHits int
+
 	// reb tracks an in-progress elastic rebalance (rebalance.go).
 	reb *rebalanceState
+}
+
+// dedupOutcome records how a remembered request was resolved, which
+// decides how its duplicate is answered.
+type dedupOutcome uint8
+
+const (
+	// dedupPushDone: the push was consumed (applied, or dropped by a
+	// drop-stragglers model); a duplicate is re-acked only.
+	dedupPushDone dedupOutcome = iota
+	// dedupPullPending: the pull sits in the DPR buffer; a duplicate is
+	// ignored — the buffered original will be answered on release.
+	dedupPullPending
+	// dedupPullAnswered: the pull was answered; a duplicate (a retry
+	// whose response was lost) is re-answered with current parameters.
+	dedupPullAnswered
+)
+
+// dedupWindow is a bounded FIFO memory of one peer's request seqs.
+type dedupWindow struct {
+	seen  map[uint64]dedupOutcome
+	order []uint64
+	cap   int
+}
+
+func newDedupWindow(cap int) *dedupWindow {
+	return &dedupWindow{seen: make(map[uint64]dedupOutcome), cap: cap}
+}
+
+func (d *dedupWindow) lookup(seq uint64) (dedupOutcome, bool) {
+	out, ok := d.seen[seq]
+	return out, ok
+}
+
+func (d *dedupWindow) record(seq uint64, out dedupOutcome) {
+	if _, ok := d.seen[seq]; ok {
+		d.seen[seq] = out
+		return
+	}
+	if len(d.order) >= d.cap {
+		evict := d.order[0]
+		d.order = d.order[1:]
+		delete(d.seen, evict)
+	}
+	d.seen[seq] = out
+	d.order = append(d.order, seq)
+}
+
+// dedupLookup reports whether (from, seq) was seen before and with what
+// outcome.
+func (s *Server) dedupLookup(from transport.NodeID, seq uint64) (dedupOutcome, bool) {
+	if s.dedup == nil {
+		return 0, false
+	}
+	w, ok := s.dedup[from]
+	if !ok {
+		return 0, false
+	}
+	return w.lookup(seq)
+}
+
+// dedupRecord remembers (from, seq) with the given outcome, evicting the
+// peer's oldest remembered seq when the window is full.
+func (s *Server) dedupRecord(from transport.NodeID, seq uint64, out dedupOutcome) {
+	if s.dedup == nil {
+		return
+	}
+	w, ok := s.dedup[from]
+	if !ok {
+		w = newDedupWindow(s.dedupCap())
+		s.dedup[from] = w
+	}
+	w.record(seq, out)
+}
+
+func (s *Server) dedupCap() int {
+	if s.cfg.DedupWindow > 0 {
+		return s.cfg.DedupWindow
+	}
+	return DefaultDedupWindow
+}
+
+// DedupHits returns how many duplicate requests the server has absorbed.
+func (s *Server) DedupHits() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats.DedupHits
 }
 
 // SaveShard checkpoints the server's parameter shard to w. Call it only
@@ -122,6 +228,9 @@ func NewServer(ep transport.Endpoint, cfg ServerConfig) (*Server, error) {
 			rand.New(rand.NewSource(cfg.Seed^int64(cfg.Rank+1)))),
 		keys: keys,
 	}
+	if cfg.DedupWindow >= 0 {
+		s.dedup = make(map[transport.NodeID]*dedupWindow)
+	}
 	return s, nil
 }
 
@@ -139,6 +248,7 @@ func (s *Server) Stats() syncmodel.Stats {
 
 func (s *Server) snapshotStats() {
 	st := s.ctrl.Stats()
+	st.DedupHits = s.dedupHits
 	s.mu.Lock()
 	s.stats = st
 	s.mu.Unlock()
@@ -193,6 +303,18 @@ func (s *Server) Run() error {
 }
 
 func (s *Server) handlePush(msg *transport.Message) error {
+	if _, dup := s.dedupLookup(msg.From, msg.Seq); dup {
+		// A retransmission (or a duplicated frame) of a push already
+		// consumed: re-ack so the retrying worker unblocks, but never
+		// re-apply the gradient — at-least-once delivery plus this
+		// window yields effectively-once application.
+		s.dedupHits++
+		ack := &transport.Message{Type: transport.MsgPushAck, To: msg.From, Seq: msg.Seq}
+		if err := s.ep.Send(ack); err != nil {
+			return fmt.Errorf("core: server %d re-ack push: %w", s.cfg.Rank, err)
+		}
+		return nil
+	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
 	apply, released := s.ctrl.OnPush(worker, progress)
@@ -202,6 +324,9 @@ func (s *Server) handlePush(msg *transport.Message) error {
 			return fmt.Errorf("core: server %d apply push from %s: %w", s.cfg.Rank, msg.From, err)
 		}
 	}
+	// A dropped push is consumed too: its duplicate must not be offered
+	// to the controller a second time.
+	s.dedupRecord(msg.From, msg.Seq, dedupPushDone)
 	ack := &transport.Message{Type: transport.MsgPushAck, To: msg.From, Seq: msg.Seq}
 	if err := s.ep.Send(ack); err != nil {
 		return fmt.Errorf("core: server %d ack push: %w", s.cfg.Rank, err)
@@ -222,12 +347,26 @@ type pullToken struct {
 }
 
 func (s *Server) handlePull(msg *transport.Message) error {
+	if out, dup := s.dedupLookup(msg.From, msg.Seq); dup {
+		s.dedupHits++
+		if out == dedupPullAnswered {
+			// The earlier response was lost in flight; answering again
+			// with current parameters is safe — pulls do not mutate.
+			return s.respondPull(pullToken{from: msg.From, seq: msg.Seq, keys: msg.Keys})
+		}
+		// Still buffered as a DPR: the original will be answered when a
+		// push releases it; registering the duplicate would answer the
+		// worker twice and corrupt the DPR accounting.
+		return nil
+	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
 	tok := pullToken{from: msg.From, seq: msg.Seq, keys: msg.Keys}
 	if s.ctrl.OnPull(worker, progress, tok) {
+		s.dedupRecord(msg.From, msg.Seq, dedupPullAnswered)
 		return s.respondPull(tok)
 	}
+	s.dedupRecord(msg.From, msg.Seq, dedupPullPending)
 	return nil // buffered as a DPR; answered by a later push
 }
 
@@ -286,6 +425,9 @@ func SetCondition(ep transport.Endpoint, server int, spec syncmodel.Spec) error 
 }
 
 func (s *Server) respondPull(tok pullToken) error {
+	// Released DPRs flip to "answered" so a duplicate arriving later is
+	// re-answered rather than silently ignored.
+	s.dedupRecord(tok.from, tok.seq, dedupPullAnswered)
 	keys := tok.keys
 	if len(keys) == 0 {
 		keys = s.keys

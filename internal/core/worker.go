@@ -15,6 +15,55 @@ import (
 // within the worker's configured timeout.
 var ErrTimeout = fmt.Errorf("core: request timed out")
 
+// RetryPolicy configures per-request retransmission. A request whose
+// response has not arrived after a backoff interval is re-sent with the
+// same sequence number; the server's duplicate window guarantees a
+// retransmitted push is applied at most once, so retries upgrade the
+// at-least-once transport to effectively-once application.
+//
+// The zero policy disables retries (a request is sent exactly once and
+// only the worker timeout bounds it, the historical behaviour).
+type RetryPolicy struct {
+	// MaxAttempts bounds the total number of sends per request (first
+	// send included). Zero or negative means unlimited retransmissions,
+	// bounded only by the worker timeout.
+	MaxAttempts int
+	// BaseDelay is the first retransmission interval; zero disables
+	// retries entirely.
+	BaseDelay time.Duration
+	// MaxDelay caps the exponential backoff. Zero means no cap.
+	MaxDelay time.Duration
+}
+
+func (p RetryPolicy) enabled() bool { return p.BaseDelay > 0 }
+
+// delay returns the backoff before retransmission number attempt+1
+// (attempt counts from 0): BaseDelay doubled per attempt, capped.
+func (p RetryPolicy) delay(attempt int) time.Duration {
+	d := p.BaseDelay
+	for i := 0; i < attempt; i++ {
+		d *= 2
+		if p.MaxDelay > 0 && d >= p.MaxDelay {
+			return p.MaxDelay
+		}
+	}
+	if p.MaxDelay > 0 && d > p.MaxDelay {
+		return p.MaxDelay
+	}
+	return d
+}
+
+// WorkerStats counts the worker's request-lifecycle events.
+type WorkerStats struct {
+	// Retries is the number of retransmitted requests.
+	Retries uint64
+	// Timeouts is the number of requests abandoned on timeout.
+	Timeouts uint64
+	// Stale is the number of responses that arrived after their request
+	// was abandoned (late answers to timed-out or retried operations).
+	Stale uint64
+}
+
 // Worker is a FluentPS client: it pushes updates for and pulls values of
 // the full model, splitting requests per server shard and reporting its
 // progress with every operation (the paper's sPush/sPull).
@@ -36,14 +85,27 @@ type Worker struct {
 	// delayed pull legitimately waits for stragglers, so when set it
 	// should comfortably exceed the slowest worker's round time.
 	timeout time.Duration
+	retry   RetryPolicy
 
 	mu      sync.Mutex
-	waiting map[uint64]chan *transport.Message
+	waiting map[uint64]*pendingReq
 	recvErr error
 	done    chan struct{}
 
+	retries  atomic.Uint64
+	timeouts atomic.Uint64
+	stale    atomic.Uint64
+
 	// keysPerServer caches each server's key list.
 	keysPerServer [][]keyrange.Key
+}
+
+// pendingReq is one in-flight request: the response channel the receive
+// loop delivers to, plus the original message kept for retransmission.
+type pendingReq struct {
+	seq uint64
+	msg *transport.Message
+	ch  chan *transport.Message
 }
 
 // NewWorker builds a worker over the given endpoint, whose id must be
@@ -58,7 +120,7 @@ func NewWorker(ep transport.Endpoint, rank int, layout *keyrange.Layout, assign 
 		layout:  layout,
 		assign:  assign,
 		servers: assign.NumServers(),
-		waiting: make(map[uint64]chan *transport.Message),
+		waiting: make(map[uint64]*pendingReq),
 		done:    make(chan struct{}),
 	}
 	w.keysPerServer = make([][]keyrange.Key, w.servers)
@@ -79,62 +141,133 @@ func (w *Worker) Rank() int { return w.rank }
 // worker's expected round time.
 func (w *Worker) SetTimeout(d time.Duration) { w.timeout = d }
 
+// SetRetry enables retransmission of unanswered requests. Safe on the
+// server side because pushes and pulls are deduplicated per (worker, seq);
+// see RetryPolicy. Call before the first operation, from the owning
+// goroutine.
+func (w *Worker) SetRetry(p RetryPolicy) { w.retry = p }
+
+// Stats returns a snapshot of the worker's lifecycle counters.
+func (w *Worker) Stats() WorkerStats {
+	return WorkerStats{
+		Retries:  w.retries.Load(),
+		Timeouts: w.timeouts.Load(),
+		Stale:    w.stale.Load(),
+	}
+}
+
 func (w *Worker) recvLoop() {
 	for {
 		msg, err := w.ep.Recv()
 		if err != nil {
 			w.mu.Lock()
 			w.recvErr = err
-			for _, ch := range w.waiting {
-				close(ch)
+			for _, p := range w.waiting {
+				close(p.ch)
 			}
-			w.waiting = map[uint64]chan *transport.Message{}
+			w.waiting = map[uint64]*pendingReq{}
 			w.mu.Unlock()
 			close(w.done)
 			return
 		}
 		w.mu.Lock()
-		ch, ok := w.waiting[msg.Seq]
+		p, ok := w.waiting[msg.Seq]
 		if ok {
 			delete(w.waiting, msg.Seq)
 		}
 		w.mu.Unlock()
 		if ok {
-			ch <- msg
+			p.ch <- msg // buffered; never blocks
+		} else {
+			// A late answer to an abandoned (timed-out) request, or the
+			// second copy of a duplicated response: drop it — nobody is
+			// reading the old channel.
+			w.stale.Add(1)
 		}
 	}
 }
 
-// expect registers interest in a response with the given seq.
-func (w *Worker) expect(seq uint64) chan *transport.Message {
-	ch := make(chan *transport.Message, 1)
+// expect registers interest in a response to msg. It fails fast when the
+// receive loop has already died: registering after that point would leave
+// a channel nothing will ever close (the historical hang on operations
+// started after connection loss).
+func (w *Worker) expect(seq uint64, msg *transport.Message) (*pendingReq, error) {
 	w.mu.Lock()
-	w.waiting[seq] = ch
-	w.mu.Unlock()
-	return ch
+	defer w.mu.Unlock()
+	if w.recvErr != nil {
+		return nil, w.lostErr(w.recvErr)
+	}
+	p := &pendingReq{seq: seq, msg: msg, ch: make(chan *transport.Message, 1)}
+	w.waiting[seq] = p
+	return p, nil
 }
 
-func (w *Worker) await(ch chan *transport.Message) (*transport.Message, error) {
-	var timeoutC <-chan time.Time
-	if w.timeout > 0 {
-		timer := time.NewTimer(w.timeout)
-		defer timer.Stop()
-		timeoutC = timer.C
+// forget abandons an in-flight request so a late response cannot
+// accumulate in the waiting table (the historical timeout leak).
+func (w *Worker) forget(p *pendingReq) {
+	w.mu.Lock()
+	if cur, ok := w.waiting[p.seq]; ok && cur == p {
+		delete(w.waiting, p.seq)
 	}
-	select {
-	case msg, ok := <-ch:
-		if !ok {
-			w.mu.Lock()
-			err := w.recvErr
-			w.mu.Unlock()
-			if err == transport.ErrClosed {
-				return nil, transport.ErrClosed
-			}
-			return nil, fmt.Errorf("core: worker %d connection lost: %w", w.rank, err)
+	w.mu.Unlock()
+}
+
+func (w *Worker) lostErr(err error) error {
+	if err == transport.ErrClosed {
+		return transport.ErrClosed
+	}
+	return fmt.Errorf("core: worker %d connection lost: %w", w.rank, err)
+}
+
+// await blocks until p's response arrives, the connection dies, the retry
+// budget is exhausted, or the worker timeout elapses. Unanswered requests
+// are retransmitted per the retry policy; abandoned requests are removed
+// from the waiting table.
+func (w *Worker) await(p *pendingReq) (*transport.Message, error) {
+	var totalC <-chan time.Time
+	if w.timeout > 0 {
+		total := time.NewTimer(w.timeout)
+		defer total.Stop()
+		totalC = total.C
+	}
+	for attempt := 0; ; attempt++ {
+		var retryC <-chan time.Time
+		var retryT *time.Timer
+		if w.retry.enabled() {
+			retryT = time.NewTimer(w.retry.delay(attempt))
+			retryC = retryT.C
 		}
-		return msg, nil
-	case <-timeoutC:
-		return nil, fmt.Errorf("core: worker %d: %w after %v", w.rank, ErrTimeout, w.timeout)
+		select {
+		case msg, ok := <-p.ch:
+			if retryT != nil {
+				retryT.Stop()
+			}
+			if !ok {
+				w.mu.Lock()
+				err := w.recvErr
+				w.mu.Unlock()
+				return nil, w.lostErr(err)
+			}
+			return msg, nil
+		case <-retryC:
+			if w.retry.MaxAttempts > 0 && attempt+1 >= w.retry.MaxAttempts {
+				w.forget(p)
+				w.timeouts.Add(1)
+				return nil, fmt.Errorf("core: worker %d: %w after %d attempts", w.rank, ErrTimeout, attempt+1)
+			}
+			// Retransmit under the same seq; the server dedups. A send
+			// failure here is not fatal — the endpoint may be mid-way
+			// through reconnecting — the next interval retries again.
+			w.retries.Add(1)
+			_ = w.ep.Send(p.msg)
+		case <-totalC:
+			if retryT != nil {
+				retryT.Stop()
+			}
+			w.forget(p)
+			w.timeouts.Add(1)
+			return nil, fmt.Errorf("core: worker %d: %w after %v", w.rank, ErrTimeout, w.timeout)
+		}
 	}
 }
 
@@ -142,7 +275,7 @@ func (w *Worker) await(ch chan *transport.Message) (*transport.Message, error) {
 // Wait — the paper's kv.wait(kv.sPull(...)) pattern.
 type Handle struct {
 	worker *Worker
-	chans  []chan *transport.Message
+	reqs   []*pendingReq
 	// params, when non-nil, receives scattered pull responses.
 	params []float64
 }
@@ -151,8 +284,8 @@ type Handle struct {
 // (Algorithm 1's kv.wait). For pulls it also scatters the responses into
 // the destination vector.
 func (h *Handle) Wait() error {
-	for _, ch := range h.chans {
-		resp, err := h.worker.await(ch)
+	for _, p := range h.reqs {
+		resp, err := h.worker.await(p)
 		if err != nil {
 			return err
 		}
@@ -163,6 +296,14 @@ func (h *Handle) Wait() error {
 		}
 	}
 	return nil
+}
+
+// abandon unregisters every request of a partially-sent operation, so a
+// failed SPushAsync/SPullAsync does not leave orphan waiting entries.
+func (h *Handle) abandon() {
+	for _, p := range h.reqs {
+		h.worker.forget(p)
+	}
 }
 
 // SPushAsync sends the update delta (full model dimensionality) for
@@ -178,7 +319,6 @@ func (w *Worker) SPushAsync(progress int, delta []float64) (*Handle, error) {
 			continue
 		}
 		seq := w.seq.Add(1)
-		h.chans = append(h.chans, w.expect(seq))
 		msg := &transport.Message{
 			Type:     transport.MsgPush,
 			To:       transport.Server(m),
@@ -187,7 +327,14 @@ func (w *Worker) SPushAsync(progress int, delta []float64) (*Handle, error) {
 			Keys:     keys,
 			Vals:     kvstore.GatherInto(nil, w.layout, delta, keys),
 		}
+		p, err := w.expect(seq, msg)
+		if err != nil {
+			h.abandon()
+			return nil, fmt.Errorf("core: worker %d push to server %d: %w", w.rank, m, err)
+		}
+		h.reqs = append(h.reqs, p)
 		if err := w.ep.Send(msg); err != nil {
+			h.abandon()
 			return nil, fmt.Errorf("core: worker %d push to server %d: %w", w.rank, m, err)
 		}
 	}
@@ -219,7 +366,6 @@ func (w *Worker) SPullAsync(progress int, params []float64) (*Handle, error) {
 			continue
 		}
 		seq := w.seq.Add(1)
-		h.chans = append(h.chans, w.expect(seq))
 		msg := &transport.Message{
 			Type:     transport.MsgPull,
 			To:       transport.Server(m),
@@ -227,7 +373,14 @@ func (w *Worker) SPullAsync(progress int, params []float64) (*Handle, error) {
 			Progress: int32(progress),
 			Keys:     keys,
 		}
+		p, err := w.expect(seq, msg)
+		if err != nil {
+			h.abandon()
+			return nil, fmt.Errorf("core: worker %d pull from server %d: %w", w.rank, m, err)
+		}
+		h.reqs = append(h.reqs, p)
 		if err := w.ep.Send(msg); err != nil {
+			h.abandon()
 			return nil, fmt.Errorf("core: worker %d pull from server %d: %w", w.rank, m, err)
 		}
 	}
@@ -241,6 +394,15 @@ func (w *Worker) SPull(progress int, params []float64) error {
 		return err
 	}
 	return h.Wait()
+}
+
+// Outstanding returns the number of requests currently in flight —
+// bounded by construction: every request is removed on response, on
+// timeout, and on connection loss.
+func (w *Worker) Outstanding() int {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return len(w.waiting)
 }
 
 // Close tears down the worker's endpoint; outstanding operations fail.

@@ -105,6 +105,12 @@ type Stats struct {
 	DPRs          int // pulls that were delayed (buffered)
 	DroppedPushes int // pushes rejected by a drop-stragglers model
 	Advances      int // V_train increments
+
+	// DedupHits counts duplicate requests absorbed by the serving layer
+	// (retransmitted or duplicated pushes/pulls suppressed before they
+	// reach the controller). The controller itself never sees
+	// duplicates; the field is filled in by the server that owns it.
+	DedupHits int
 }
 
 // Controller is Algorithm 1's server-side state for one shard.

@@ -28,8 +28,13 @@ import (
 const headerBytes = 1 + 1 + 2 + 1 + 2 + 8 + 4 + 4 + 4
 
 // maxFrameBytes bounds a single message (64 MiB) so a corrupt length prefix
-// cannot make a reader allocate unbounded memory.
+// cannot make a reader allocate unbounded memory. WriteFrame enforces the
+// same bound on the send side.
 const maxFrameBytes = 64 << 20
+
+// MaxFrameBytes is the largest encoded message a stream transport will
+// send or accept. Callers splitting huge pushes should stay under it.
+const MaxFrameBytes = maxFrameBytes
 
 // EncodedSize returns the exact number of bytes Encode will produce for m.
 func EncodedSize(m *Message) int {
@@ -100,8 +105,16 @@ func Decode(data []byte) (*Message, error) {
 	return m, nil
 }
 
-// WriteFrame writes m to w with a uint32 length prefix.
+// WriteFrame writes m to w with a uint32 length prefix. Messages larger
+// than MaxFrameBytes are rejected before a single byte is written: the
+// receive side enforces the same bound, so shipping an oversized frame
+// would poison the peer's stream mid-connection instead of failing the
+// one offending send.
 func WriteFrame(w io.Writer, m *Message) error {
+	if n := EncodedSize(m); n > maxFrameBytes {
+		return fmt.Errorf("transport: message of %d bytes exceeds frame limit %d (keys=%d vals=%d)",
+			n, maxFrameBytes, len(m.Keys), len(m.Vals))
+	}
 	body := Encode(make([]byte, 0, EncodedSize(m)), m)
 	var lenbuf [4]byte
 	binary.LittleEndian.PutUint32(lenbuf[:], uint32(len(body)))

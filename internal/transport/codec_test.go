@@ -230,3 +230,46 @@ func BenchmarkDecode(b *testing.B) {
 		}
 	}
 }
+
+// TestWriteFrameRejectsOversized: the send side enforces the same frame
+// bound as the receive side, failing the one offending send instead of
+// shipping a frame the peer will reject mid-stream (poisoning the whole
+// connection).
+func TestWriteFrameRejectsOversized(t *testing.T) {
+	over := &Message{Type: MsgPush, From: Worker(0), To: Server(0),
+		Vals: make([]float64, (maxFrameBytes-headerBytes)/8+1)}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, over); err == nil {
+		t.Fatal("oversized frame accepted")
+	}
+	if buf.Len() != 0 {
+		t.Fatalf("oversized send wrote %d bytes before failing; the stream is now poisoned", buf.Len())
+	}
+
+	// The boundary frame (exactly the limit) must still round-trip.
+	boundary := &Message{Type: MsgPush, From: Worker(0), To: Server(0),
+		Vals: make([]float64, (maxFrameBytes-headerBytes)/8)}
+	if err := WriteFrame(&buf, boundary); err != nil {
+		t.Fatalf("boundary frame rejected: %v", err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatalf("boundary frame unreadable: %v", err)
+	}
+	if len(got.Vals) != len(boundary.Vals) {
+		t.Fatalf("boundary round trip lost payload: %d vals, want %d", len(got.Vals), len(boundary.Vals))
+	}
+}
+
+// TestNegativeProgressRoundTrip: Progress is signed on the wire (workers
+// report -1 before their first iteration in some states).
+func TestNegativeProgressRoundTrip(t *testing.T) {
+	m := &Message{Type: MsgPull, From: Worker(1), To: Server(0), Seq: 3, Progress: -1}
+	got, err := Decode(Encode(nil, m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Progress != -1 {
+		t.Fatalf("Progress = %d, want -1", got.Progress)
+	}
+}

@@ -1,0 +1,177 @@
+package transport
+
+import (
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// FlakyConfig selects the faults a Flaky endpoint injects into its
+// outbound data-plane frames. Probabilities are independent per frame;
+// a frame can be both duplicated and delayed.
+type FlakyConfig struct {
+	// Drop is the probability the original frame is discarded (its
+	// duplicate, if rolled, is still delivered — modelling a retransmit
+	// overtaking a lost first copy).
+	Drop float64
+	// Duplicate is the probability one extra copy of the frame is sent.
+	Duplicate float64
+	// Delay is the probability a delivered copy is deferred by a uniform
+	// duration in (0, MaxDelay].
+	Delay float64
+	// MaxDelay bounds an injected delay; zero disables delaying even
+	// when Delay > 0.
+	MaxDelay time.Duration
+	// Seed makes the fault schedule deterministic.
+	Seed int64
+	// All subjects every message type to faults. By default only the
+	// data-plane types (push, push-ack, pull, pull-response) are faulted,
+	// so registration and shutdown stay reliable and a test cluster can
+	// always be assembled and torn down.
+	All bool
+}
+
+// FlakyStats counts the faults a Flaky endpoint injected.
+type FlakyStats struct {
+	Sent       int64 // fault-eligible frames offered to Send
+	Dropped    int64 // original copies discarded
+	Duplicated int64 // extra copies emitted
+	Delayed    int64 // copies deferred
+}
+
+// Flaky wraps an Endpoint and drops, duplicates, and delays its outbound
+// frames — a deterministic fault-injection harness for exercising the
+// retry/dedup machinery end to end. Wrap every node's endpoint to fault
+// both directions of a conversation. Recv and ID pass through.
+type Flaky struct {
+	inner Endpoint
+	cfg   FlakyConfig
+
+	mu     sync.Mutex
+	rng    *rand.Rand
+	timers map[*time.Timer]struct{}
+	closed bool
+	stats  FlakyStats
+}
+
+// NewFlaky wraps inner with the given fault configuration.
+func NewFlaky(inner Endpoint, cfg FlakyConfig) *Flaky {
+	return &Flaky{
+		inner:  inner,
+		cfg:    cfg,
+		rng:    rand.New(rand.NewSource(cfg.Seed)),
+		timers: make(map[*time.Timer]struct{}),
+	}
+}
+
+// Stats returns a snapshot of the injected-fault counters.
+func (f *Flaky) Stats() FlakyStats {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.stats
+}
+
+// ID returns the wrapped endpoint's node id.
+func (f *Flaky) ID() NodeID { return f.inner.ID() }
+
+// faultable reports whether t is subject to injected faults.
+func (f *Flaky) faultable(t MsgType) bool {
+	if f.cfg.All {
+		return true
+	}
+	switch t {
+	case MsgPush, MsgPushAck, MsgPull, MsgPullResp:
+		return true
+	}
+	return false
+}
+
+// Send applies the fault rolls to m and forwards the surviving copies.
+// A fully dropped frame returns nil — from the caller's point of view
+// the send succeeded and the frame was lost in the network.
+func (f *Flaky) Send(m *Message) error {
+	if m.From == (NodeID{}) {
+		m.From = f.inner.ID()
+	}
+	if !f.faultable(m.Type) {
+		return f.inner.Send(m)
+	}
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return ErrClosed
+	}
+	f.stats.Sent++
+	drop := f.rng.Float64() < f.cfg.Drop
+	dup := f.rng.Float64() < f.cfg.Duplicate
+	if drop {
+		f.stats.Dropped++
+	}
+	if dup {
+		f.stats.Duplicated++
+	}
+	copies := 0
+	if !drop {
+		copies++
+	}
+	if dup {
+		copies++
+	}
+	delays := make([]time.Duration, copies)
+	for i := range delays {
+		if f.cfg.MaxDelay > 0 && f.rng.Float64() < f.cfg.Delay {
+			delays[i] = time.Duration(1 + f.rng.Int63n(int64(f.cfg.MaxDelay)))
+			f.stats.Delayed++
+		}
+	}
+	f.mu.Unlock()
+	var firstErr error
+	for _, d := range delays {
+		if d == 0 {
+			if err := f.inner.Send(m); err != nil && firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		f.sendLater(m, d)
+	}
+	return firstErr
+}
+
+// sendLater delivers m after d; a delivery failure after the delay is
+// indistinguishable from a drop, which is the point of this wrapper.
+func (f *Flaky) sendLater(m *Message, d time.Duration) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return // dropping at close is fine: the cluster is going away
+	}
+	var t *time.Timer
+	t = time.AfterFunc(d, func() {
+		f.mu.Lock()
+		delete(f.timers, t)
+		closed := f.closed
+		f.mu.Unlock()
+		if !closed {
+			_ = f.inner.Send(m)
+		}
+	})
+	f.timers[t] = struct{}{}
+}
+
+// Recv passes through to the wrapped endpoint.
+func (f *Flaky) Recv() (*Message, error) { return f.inner.Recv() }
+
+// Close stops pending delayed deliveries and closes the wrapped endpoint.
+func (f *Flaky) Close() error {
+	f.mu.Lock()
+	f.closed = true
+	for t := range f.timers {
+		t.Stop()
+	}
+	f.timers = map[*time.Timer]struct{}{}
+	f.mu.Unlock()
+	return f.inner.Close()
+}
+
+var _ Endpoint = (*Flaky)(nil)

@@ -1,0 +1,126 @@
+package transport
+
+import (
+	"testing"
+	"time"
+)
+
+// drainCount reads exactly n messages then verifies the stream is quiet.
+func drainCount(t *testing.T, ep Endpoint, n int64, settle time.Duration) {
+	t.Helper()
+	for i := int64(0); i < n; i++ {
+		got := make(chan error, 1)
+		go func() {
+			_, err := ep.Recv()
+			got <- err
+		}()
+		select {
+		case err := <-got:
+			if err != nil {
+				t.Fatalf("recv %d/%d: %v", i+1, n, err)
+			}
+		case <-time.After(2 * time.Second):
+			t.Fatalf("only %d of %d expected messages arrived", i, n)
+		}
+	}
+}
+
+// TestFlakyConservation: every frame offered to a Flaky endpoint is either
+// delivered, dropped, or duplicated, and the counters add up: the peer
+// receives exactly Sent − Dropped + Duplicated messages.
+func TestFlakyConservation(t *testing.T) {
+	net := NewChanNetwork(8192)
+	src := NewFlaky(net.Endpoint(Worker(0)), FlakyConfig{Drop: 0.3, Duplicate: 0.2, Seed: 7})
+	dst := net.Endpoint(Server(0))
+	defer src.Close()
+	defer dst.Close()
+
+	const n = 2000
+	for i := 0; i < n; i++ {
+		if err := src.Send(&Message{Type: MsgPush, To: Server(0), Seq: uint64(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := src.Stats()
+	if st.Sent != n {
+		t.Fatalf("Sent = %d, want %d", st.Sent, n)
+	}
+	if st.Dropped < n/5 || st.Dropped > 2*n/5 {
+		t.Errorf("Dropped = %d, far from the configured 30%% of %d", st.Dropped, n)
+	}
+	if st.Duplicated < n/10 || st.Duplicated > 3*n/10 {
+		t.Errorf("Duplicated = %d, far from the configured 20%% of %d", st.Duplicated, n)
+	}
+	drainCount(t, dst, st.Sent-st.Dropped+st.Duplicated, 100*time.Millisecond)
+}
+
+// TestFlakyControlPlaneReliable: registration, shutdown, and the rest of
+// the control plane pass through unfaulted even at 100% drop, so a flaky
+// cluster can always assemble and tear down.
+func TestFlakyControlPlaneReliable(t *testing.T) {
+	net := NewChanNetwork(64)
+	src := NewFlaky(net.Endpoint(Worker(0)), FlakyConfig{Drop: 1.0, Seed: 1})
+	dst := net.Endpoint(Scheduler())
+	defer src.Close()
+	defer dst.Close()
+
+	for _, typ := range []MsgType{MsgRegister, MsgHeartbeat, MsgShutdown, MsgBarrier} {
+		if err := src.Send(&Message{Type: typ, To: Scheduler()}); err != nil {
+			t.Fatal(err)
+		}
+		m, err := dst.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m.Type != typ {
+			t.Fatalf("got %s, want %s", m.Type, typ)
+		}
+	}
+	// ...while data-plane frames are all eaten.
+	if err := src.Send(&Message{Type: MsgPush, To: Scheduler()}); err != nil {
+		t.Fatal(err)
+	}
+	if st := src.Stats(); st.Dropped != 1 || st.Sent != 1 {
+		t.Fatalf("stats = %+v, want exactly the one push counted and dropped", st)
+	}
+}
+
+// TestFlakyDelayDelivers: a delayed frame still arrives (late), and is
+// counted.
+func TestFlakyDelayDelivers(t *testing.T) {
+	net := NewChanNetwork(64)
+	src := NewFlaky(net.Endpoint(Worker(0)), FlakyConfig{Delay: 1.0, MaxDelay: 20 * time.Millisecond, Seed: 3})
+	dst := net.Endpoint(Server(0))
+	defer src.Close()
+	defer dst.Close()
+
+	if err := src.Send(&Message{Type: MsgPull, To: Server(0), Seq: 9}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := dst.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != 9 {
+		t.Fatalf("Seq = %d, want 9", m.Seq)
+	}
+	if st := src.Stats(); st.Delayed != 1 {
+		t.Fatalf("Delayed = %d, want 1", st.Delayed)
+	}
+}
+
+// TestFlakyCloseStopsDelayed: closing the wrapper cancels pending delayed
+// deliveries without panicking or sending on a dead endpoint.
+func TestFlakyCloseStopsDelayed(t *testing.T) {
+	net := NewChanNetwork(64)
+	src := NewFlaky(net.Endpoint(Worker(0)), FlakyConfig{Delay: 1.0, MaxDelay: time.Hour, Seed: 3})
+	if err := src.Send(&Message{Type: MsgPull, To: Server(0)}); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := src.Send(&Message{Type: MsgPull, To: Server(0)}); err != ErrClosed {
+		t.Fatalf("Send after Close = %v, want ErrClosed", err)
+	}
+}

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"bytes"
+	"encoding/binary"
 	"io"
 	"testing"
 )
@@ -12,6 +13,8 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte{})
 	f.Add(Encode(nil, sampleMessage()))
 	f.Add(Encode(nil, &Message{Type: MsgShutdown, From: Scheduler(), To: Worker(9)}))
+	f.Add(Encode(nil, &Message{Type: MsgPull, From: Worker(1), To: Server(0), Seq: 1 << 63, Progress: -1}))
+	f.Add(Encode(nil, &Message{Type: MsgPush, From: Worker(65535), To: Server(65535), Progress: -2147483648}))
 	f.Add(bytes.Repeat([]byte{0xFF}, headerBytes))
 	f.Fuzz(func(t *testing.T, data []byte) {
 		m, err := Decode(data)
@@ -32,6 +35,18 @@ func FuzzReadFrame(f *testing.F) {
 	f.Add(good.Bytes())
 	f.Add([]byte{0xFF, 0xFF, 0xFF, 0x7F})
 	f.Add([]byte{4, 0, 0, 0, 1, 2, 3, 4})
+	// Boundary-length frames: exactly headerBytes (minimal valid), one
+	// short of it (invalid), and one past maxFrameBytes (invalid).
+	minimal := make([]byte, 4+headerBytes)
+	binary.LittleEndian.PutUint32(minimal, headerBytes)
+	minimal[4] = byte(MsgHeartbeat)
+	f.Add(minimal)
+	under := make([]byte, 4)
+	binary.LittleEndian.PutUint32(under, headerBytes-1)
+	f.Add(under)
+	over := make([]byte, 4)
+	binary.LittleEndian.PutUint32(over, maxFrameBytes+1)
+	f.Add(over)
 	f.Fuzz(func(t *testing.T, data []byte) {
 		r := bytes.NewReader(data)
 		for {

@@ -2,6 +2,7 @@ package transport
 
 import (
 	"fmt"
+	"net"
 	"sync"
 	"testing"
 	"time"
@@ -329,4 +330,71 @@ func ExampleChanNetwork() {
 	m, _ := s.Recv()
 	fmt.Println(m.Type, m.From, m.Vals[0])
 	// Output: push worker/0 0.5
+}
+
+// TestTCPSendReconnectsWithBackoff: a Send to a peer that is not up yet
+// succeeds once the peer starts listening within the redial budget — the
+// reconnect-with-backoff path that lets a worker ride out a server
+// restart.
+func TestTCPSendReconnectsWithBackoff(t *testing.T) {
+	// Reserve a port, then free it so the late-starting peer can bind it.
+	probe, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := probe.Addr().String()
+	probe.Close()
+
+	a, err := ListenTCP(Worker(0), "127.0.0.1:0", map[NodeID]string{Server(0): addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SetRedial(RedialPolicy{Attempts: 20, Base: 20 * time.Millisecond, Max: 100 * time.Millisecond})
+
+	started := make(chan *TCPEndpoint, 1)
+	go func() {
+		time.Sleep(80 * time.Millisecond) // let the first attempts fail
+		b, err := ListenTCP(Server(0), addr, nil)
+		if err != nil {
+			started <- nil
+			return
+		}
+		started <- b
+	}()
+	if err := a.Send(&Message{Type: MsgPush, To: Server(0), Seq: 11}); err != nil {
+		t.Fatalf("send did not survive the peer's late start: %v", err)
+	}
+	b := <-started
+	if b == nil {
+		t.Fatal("late peer failed to listen (port raced away)")
+	}
+	defer b.Close()
+	m, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != 11 {
+		t.Fatalf("Seq = %d, want 11", m.Seq)
+	}
+}
+
+// TestTCPSendZeroRetries: RedialPolicy{} restores strict fail-fast
+// semantics for callers that implement their own recovery.
+func TestTCPSendZeroRetries(t *testing.T) {
+	a, err := ListenTCP(Worker(0), "127.0.0.1:0", map[NodeID]string{
+		Server(0): "127.0.0.1:1", // nothing listens on port 1
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer a.Close()
+	a.SetRedial(RedialPolicy{})
+	start := time.Now()
+	if err := a.Send(&Message{Type: MsgPush, To: Server(0)}); err == nil {
+		t.Fatal("dial to dead address should error")
+	}
+	if d := time.Since(start); d > time.Second {
+		t.Fatalf("zero-retry send took %v, want immediate failure", d)
+	}
 }

@@ -2,10 +2,12 @@ package transport
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"net"
 	"sync"
+	"time"
 )
 
 // TCPEndpoint is a node endpoint backed by real TCP sockets, for
@@ -16,10 +18,48 @@ import (
 // through a per-connection mutex, and a background accept loop feeds all
 // inbound messages into a single inbox so Recv has the same semantics as
 // the in-process network.
+// RedialPolicy bounds how a TCPEndpoint's Send recovers from a dead or
+// undialable peer connection: after the first failed write the endpoint
+// redials immediately once, then backs off exponentially from Base up to
+// Max for the remaining attempts.
+type RedialPolicy struct {
+	// Attempts is the number of retries after the initial try. Zero
+	// disables reconnection (a single failed write fails the Send).
+	Attempts int
+	// Base is the backoff before the second retry (the first retry is
+	// immediate, preserving the fast path for stale cached connections);
+	// it doubles per subsequent retry.
+	Base time.Duration
+	// Max caps the backoff. Zero means no cap.
+	Max time.Duration
+}
+
+// DefaultRedial is the reconnect policy new TCP endpoints start with.
+var DefaultRedial = RedialPolicy{Attempts: 3, Base: 10 * time.Millisecond, Max: 250 * time.Millisecond}
+
+// delay returns the pause before retry number n (counting from 1).
+func (p RedialPolicy) delay(n int) time.Duration {
+	if n <= 1 || p.Base <= 0 {
+		return 0 // first retry is immediate
+	}
+	d := p.Base
+	for i := 2; i < n; i++ {
+		d *= 2
+		if p.Max > 0 && d >= p.Max {
+			return p.Max
+		}
+	}
+	if p.Max > 0 && d > p.Max {
+		return p.Max
+	}
+	return d
+}
+
 type TCPEndpoint struct {
 	id       NodeID
 	listener net.Listener
 	book     map[NodeID]string
+	redial   RedialPolicy
 
 	inbox chan *Message
 	done  chan struct{}
@@ -54,6 +94,7 @@ func ListenTCP(id NodeID, addr string, book map[NodeID]string) (*TCPEndpoint, er
 		done:     make(chan struct{}),
 		conns:    make(map[NodeID]*tcpConn),
 	}
+	e.redial = DefaultRedial
 	for k, v := range book {
 		e.book[k] = v
 	}
@@ -67,6 +108,10 @@ func (e *TCPEndpoint) Addr() string { return e.listener.Addr().String() }
 
 // ID returns the node this endpoint belongs to.
 func (e *TCPEndpoint) ID() NodeID { return e.id }
+
+// SetRedial replaces the endpoint's reconnect policy. Call it before the
+// endpoint is shared with sending goroutines.
+func (e *TCPEndpoint) SetRedial(p RedialPolicy) { e.redial = p }
 
 // SetPeer registers or updates a peer's address in the address book.
 func (e *TCPEndpoint) SetPeer(id NodeID, addr string) {
@@ -126,15 +171,27 @@ func (e *TCPEndpoint) readLoop(c net.Conn) {
 	}
 }
 
-// Send delivers m to m.To, dialing the peer on first use. A write failure
-// on a cached connection (e.g. a stale reply path whose peer went away)
-// drops it and retries once on a fresh dial.
+// Send delivers m to m.To, dialing the peer on first use. A write or dial
+// failure (e.g. a stale reply path whose peer went away, or a peer that is
+// restarting) drops the cached connection and reconnects: the first retry
+// redials immediately, later retries back off exponentially per the
+// endpoint's RedialPolicy. A peer with no address-book entry fails
+// immediately — waiting cannot conjure an address.
 func (e *TCPEndpoint) Send(m *Message) error {
 	if m.From == (NodeID{}) {
 		m.From = e.id
 	}
 	var lastErr error
-	for attempt := 0; attempt < 2; attempt++ {
+	for attempt := 0; attempt <= e.redial.Attempts; attempt++ {
+		if d := e.redial.delay(attempt); d > 0 {
+			t := time.NewTimer(d)
+			select {
+			case <-e.done:
+				t.Stop()
+				return ErrClosed
+			case <-t.C:
+			}
+		}
 		select {
 		case <-e.done:
 			return ErrClosed
@@ -142,10 +199,14 @@ func (e *TCPEndpoint) Send(m *Message) error {
 		}
 		conn, err := e.conn(m.To)
 		if err != nil {
-			if lastErr != nil {
-				return fmt.Errorf("%w (after retry: %v)", lastErr, err)
+			if errorIsNoAddr(err) {
+				if lastErr != nil {
+					return fmt.Errorf("%w (after reconnect: %v)", lastErr, err)
+				}
+				return err
 			}
-			return err
+			lastErr = err
+			continue
 		}
 		if err := e.writeTo(conn, m); err != nil {
 			e.dropConn(m.To, conn)
@@ -154,7 +215,7 @@ func (e *TCPEndpoint) Send(m *Message) error {
 		}
 		return nil
 	}
-	return lastErr
+	return fmt.Errorf("transport: send to %s failed after %d attempts: %w", m.To, e.redial.Attempts+1, lastErr)
 }
 
 func (e *TCPEndpoint) writeTo(conn *tcpConn, m *Message) error {
@@ -178,7 +239,7 @@ func (e *TCPEndpoint) conn(to NodeID) (*tcpConn, error) {
 	addr, ok := e.book[to]
 	e.mu.Unlock()
 	if !ok {
-		return nil, fmt.Errorf("transport: no address for %s", to)
+		return nil, fmt.Errorf("transport: %w for %s", errNoAddr, to)
 	}
 	raw, err := net.Dial("tcp", addr)
 	if err != nil {
@@ -241,6 +302,11 @@ func (e *TCPEndpoint) Close() error {
 	})
 	return nil
 }
+
+// errNoAddr marks the one non-retryable Send failure: an unknown peer.
+var errNoAddr = fmt.Errorf("no address")
+
+func errorIsNoAddr(err error) bool { return errors.Is(err, errNoAddr) }
 
 var (
 	_ Endpoint  = (*TCPEndpoint)(nil)
