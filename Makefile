@@ -3,7 +3,7 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race fuzz bench
+.PHONY: verify build vet test race fuzz bench bench-paper
 
 ## verify: the tier-1 gate — vet, build, full test suite.
 verify: vet build test
@@ -29,5 +29,15 @@ fuzz:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime 30s
 
+## bench: the hot-path microbenchmarks — encode→send→apply with pooled
+## frames and the end-to-end push/pull step — with allocation counts.
+## Machine-readable results land in BENCH_hotpath.json (go test -json).
 bench:
+	$(GO) test -run '^$$' -bench 'PushPullHotPath|FrameRoundTrip|WriteFrame|DecodeInto' \
+		-benchmem -json ./internal/core/ ./internal/transport/ > BENCH_hotpath.json
+	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_hotpath.json | tr -d '\n' | \
+		sed 's/\\n/\n/g; s/\\t/\t/g' | grep 'allocs/op'
+
+## bench-paper: every benchmark in the repo once over (smoke, not timing).
+bench-paper:
 	$(GO) test -bench . -benchtime 1x ./...

@@ -1,0 +1,78 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// runHotpath benchmarks one full synchronous training step — push
+// scattered across two shards, acks awaited, parameters pulled and
+// reassembled — over the in-process transport, and reports time and
+// allocation cost per step. It is the CLI face of the repo's
+// BenchmarkPushPullHotPath: run it after touching the transport codec,
+// the message pool, or the worker pipeline.
+func runHotpath(ctx context.Context) error {
+	layout, err := keyrange.EPSLayout(4096, 8)
+	if err != nil {
+		return err
+	}
+	assign, err := keyrange.EPS(layout, 2)
+	if err != nil {
+		return err
+	}
+	net := transport.NewChanNetwork(256)
+	for m := 0; m < 2; m++ {
+		srv, err := core.NewServer(net.Endpoint(transport.Server(m)), core.ServerConfig{
+			Rank: m, NumWorkers: 1, Layout: layout, Assignment: assign,
+			Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
+			Init:  func(k keyrange.Key, seg []float64) {},
+		})
+		if err != nil {
+			return err
+		}
+		go srv.Run()
+	}
+	w, err := core.NewWorker(net.Endpoint(transport.Worker(0)), core.WorkerConfig{
+		Rank: 0, Layout: layout, Assignment: assign,
+	})
+	if err != nil {
+		return err
+	}
+	defer w.Close()
+	delta := make([]float64, layout.TotalDim())
+	params := make([]float64, layout.TotalDim())
+	step := 0
+	var stepErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if err := w.SPush(ctx, step, delta); err != nil {
+				stepErr = err
+				b.FailNow()
+			}
+			if err := w.SPull(ctx, step, params); err != nil {
+				stepErr = err
+				b.FailNow()
+			}
+			step++
+		}
+	})
+	if stepErr != nil {
+		return stepErr
+	}
+	fmt.Printf("push+pull step over 2 shards, %d params:\n", layout.TotalDim())
+	fmt.Printf("  %12d steps\n  %12d ns/op\n  %12d B/op\n  %12d allocs/op\n",
+		res.N, res.NsPerOp(), res.AllocedBytesPerOp(), res.AllocsPerOp())
+	ep := net.Endpoint(transport.Worker(99))
+	for m := 0; m < 2; m++ {
+		_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
+	}
+	ep.Close()
+	return nil
+}

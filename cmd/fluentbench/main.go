@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -20,14 +21,23 @@ import (
 
 func main() {
 	var (
-		list  = flag.Bool("list", false, "list available experiments and exit")
-		exp   = flag.String("exp", "", "experiment id to run, or 'all'")
-		quick = flag.Bool("quick", false, "reduced iteration counts (~1s per experiment)")
-		csv   = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
-		out   = flag.String("out", "", "also write each experiment's tables as CSV files into this directory")
-		seed  = flag.Int64("seed", 1, "experiment seed")
+		list    = flag.Bool("list", false, "list available experiments and exit")
+		exp     = flag.String("exp", "", "experiment id to run, or 'all'")
+		quick   = flag.Bool("quick", false, "reduced iteration counts (~1s per experiment)")
+		csv     = flag.Bool("csv", false, "emit tables as CSV instead of aligned text")
+		out     = flag.String("out", "", "also write each experiment's tables as CSV files into this directory")
+		seed    = flag.Int64("seed", 1, "experiment seed")
+		hotpath = flag.Bool("hotpath", false, "benchmark the push/pull hot path (ns, bytes, allocs per step) and exit")
 	)
 	flag.Parse()
+
+	if *hotpath {
+		if err := runHotpath(context.Background()); err != nil {
+			fmt.Fprintf(os.Stderr, "fluentbench: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -70,7 +71,7 @@ func main() {
 		if !ok {
 			log.Fatalf("model %s cannot travel over the wire", sync.Model)
 		}
-		if err := core.SetCondition(ep, *rank, spec); err != nil {
+		if err := core.SetCondition(context.Background(), ep, *rank, spec); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Printf("server %d now runs %s\n", *rank, sync.Model)

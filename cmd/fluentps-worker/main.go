@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -73,19 +74,24 @@ func main() {
 		}
 		assign = fetched // the scheduler's division is canonical
 	}
-	worker, err := core.NewWorker(ep, *rank, layout, assign)
-	if err != nil {
-		log.Fatal(err)
+	wcfg := core.WorkerConfig{
+		Rank:       *rank,
+		Layout:     layout,
+		Assignment: assign,
+		Timeout:    flags.Timeout,
 	}
-	worker.SetTimeout(flags.Timeout)
 	if flags.RetryBase > 0 {
-		worker.SetRetry(core.RetryPolicy{
+		wcfg.Retry = core.RetryPolicy{
 			MaxAttempts: flags.Retries,
 			BaseDelay:   flags.RetryBase,
 			MaxDelay:    flags.RetryMax,
-		})
+		}
 		log.Printf("fluentps-worker[%d]: retries enabled (base %v, cap %v, attempts %d)",
 			*rank, flags.RetryBase, flags.RetryMax, flags.Retries)
+	}
+	worker, err := core.NewWorker(ep, wcfg)
+	if err != nil {
+		log.Fatal(err)
 	}
 	shard, err := work.Train.Shard(*rank, cluster.Workers())
 	if err != nil {
@@ -100,15 +106,16 @@ func main() {
 
 	log.Printf("fluentps-worker[%d]: training %s for %d iterations on %d examples",
 		*rank, work.Model.Name(), work.Iters, shard.Len())
+	ctx := context.Background()
 	for i := 0; i < work.Iters; i++ {
 		x, y := shard.Batch(rng, work.BatchSize)
 		work.Model.Gradient(params, x, y, grad)
 		opt.Delta(params, grad, delta)
-		if err := worker.SPush(i, delta); err != nil {
+		if err := worker.SPush(ctx, i, delta); err != nil {
 			log.Fatal(err)
 		}
 		if i < work.Iters-1 {
-			if err := worker.SPull(i, params); err != nil {
+			if err := worker.SPull(ctx, i, params); err != nil {
 				log.Fatal(err)
 			}
 		}

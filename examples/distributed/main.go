@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sync"
@@ -121,7 +122,11 @@ func main() {
 			if err := core.Register(workerEPs[n]); err != nil {
 				log.Fatal(err)
 			}
-			w, err := core.NewWorker(workerEPs[n], n, layout, assign)
+			w, err := core.NewWorker(workerEPs[n], core.WorkerConfig{
+				Rank:       n,
+				Layout:     layout,
+				Assignment: assign,
+			})
 			if err != nil {
 				log.Fatal(err)
 			}
@@ -134,15 +139,16 @@ func main() {
 			grad := make([]float64, len(params))
 			delta := make([]float64, len(params))
 			rng := mathx.RNG(1, fmt.Sprintf("cluster.worker.%d", n))
+			ctx := context.Background()
 			for i := 0; i < iters; i++ {
 				x, y := shard.Batch(rng, 32)
 				model.Gradient(params, x, y, grad)
 				opt.Delta(params, grad, delta)
-				if err := w.SPush(i, delta); err != nil {
+				if err := w.SPush(ctx, i, delta); err != nil {
 					log.Fatal(err)
 				}
 				if i < iters-1 {
-					if err := w.SPull(i, params); err != nil {
+					if err := w.SPull(ctx, i, params); err != nil {
 						log.Fatal(err)
 					}
 				}

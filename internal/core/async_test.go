@@ -13,17 +13,17 @@ import (
 // waiting (line 4); a handle resolves the acks later.
 func TestAsyncPushDoesNotBlock(t *testing.T) {
 	net, srv, layout, assign := testServer(t, syncmodel.ASP(), syncmodel.Lazy, 1)
-	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
 
-	h, err := w.SPushAsync(0, make([]float64, 5))
+	h, err := w.SPushAsync(tctx, 0, make([]float64, 5))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := h.Wait(); err != nil {
+	if err := h.Wait(tctx); err != nil {
 		t.Fatal(err)
 	}
 	if st := srv.Stats(); st.Pushes != 1 {
@@ -67,22 +67,22 @@ func TestAsyncPullOverlapsAcrossShards(t *testing.T) {
 		ep.Close()
 	})
 
-	w0, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w0, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w0.Close()
-	w1, err := NewWorker(net.Endpoint(transport.Worker(1)), 1, layout, assign)
+	w1, err := NewWorker(net.Endpoint(transport.Worker(1)), WorkerConfig{Rank: 1, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w1.Close()
 
-	if err := w0.SPush(0, make([]float64, layout.TotalDim())); err != nil {
+	if err := w0.SPush(tctx, 0, make([]float64, layout.TotalDim())); err != nil {
 		t.Fatal(err)
 	}
 	params := make([]float64, layout.TotalDim())
-	h, err := w0.SPullAsync(0, params)
+	h, err := w0.SPullAsync(tctx, 0, params)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,14 +96,14 @@ func TestAsyncPullOverlapsAcrossShards(t *testing.T) {
 		time.Sleep(time.Millisecond)
 	}
 	done := make(chan error, 1)
-	go func() { done <- h.Wait() }()
+	go func() { done <- h.Wait(tctx) }()
 	select {
 	case <-done:
 		t.Fatal("pull resolved although the BSP shard is still blocked")
 	case <-time.After(50 * time.Millisecond):
 	}
 	// Worker 1's push closes the BSP shard's round; the handle resolves.
-	if err := w1.SPush(0, make([]float64, layout.TotalDim())); err != nil {
+	if err := w1.SPush(tctx, 0, make([]float64, layout.TotalDim())); err != nil {
 		t.Fatal(err)
 	}
 	select {

@@ -69,25 +69,25 @@ func TestWorkerEndpointValidation(t *testing.T) {
 	layout := keyrange.MustLayout([]int{2})
 	assign, _ := keyrange.EPS(layout, 1)
 	net := transport.NewChanNetwork(4)
-	if _, err := NewWorker(net.Endpoint(transport.Server(0)), 0, layout, assign); err == nil {
+	if _, err := NewWorker(net.Endpoint(transport.Server(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign}); err == nil {
 		t.Error("server endpoint accepted as worker")
 	}
 }
 
 func TestPushAppliesScaledGradient(t *testing.T) {
 	net, srv, layout, assign := testServer(t, syncmodel.ASP(), syncmodel.Lazy, 2)
-	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
 
 	delta := []float64{2, 2, 4, 4, 4}
-	if err := w.SPush(0, delta); err != nil {
+	if err := w.SPush(tctx, 0, delta); err != nil {
 		t.Fatal(err)
 	}
 	params := make([]float64, 5)
-	if err := w.SPull(0, params); err != nil {
+	if err := w.SPull(tctx, 0, params); err != nil {
 		t.Fatal(err)
 	}
 	// init 1 everywhere, delta/N with N=2.
@@ -104,18 +104,18 @@ func TestPushAppliesScaledGradient(t *testing.T) {
 
 func TestBSPPullBlocksUntilRoundClosesOverTransport(t *testing.T) {
 	net, srv, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
-	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
-	w1, _ := NewWorker(net.Endpoint(transport.Worker(1)), 1, layout, assign)
+	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
+	w1, _ := NewWorker(net.Endpoint(transport.Worker(1)), WorkerConfig{Rank: 1, Layout: layout, Assignment: assign})
 	defer w0.Close()
 	defer w1.Close()
 
-	if err := w0.SPush(0, make([]float64, 5)); err != nil {
+	if err := w0.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	pulled := make(chan error, 1)
 	go func() {
 		params := make([]float64, 5)
-		pulled <- w0.SPull(0, params)
+		pulled <- w0.SPull(tctx, 0, params)
 	}()
 	select {
 	case err := <-pulled:
@@ -124,7 +124,7 @@ func TestBSPPullBlocksUntilRoundClosesOverTransport(t *testing.T) {
 		// expected: delayed
 	}
 	// Worker 1 closes round 0; the DPR drains and the pull completes.
-	if err := w1.SPush(0, make([]float64, 5)); err != nil {
+	if err := w1.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -142,10 +142,10 @@ func TestBSPPullBlocksUntilRoundClosesOverTransport(t *testing.T) {
 
 func TestPullRespectsRequestedKeys(t *testing.T) {
 	net, _, layout, assign := testServer(t, syncmodel.ASP(), syncmodel.Lazy, 1)
-	w, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w, _ := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	defer w.Close()
 	params := make([]float64, 5)
-	if err := w.SPull(0, params); err != nil {
+	if err := w.SPull(tctx, 0, params); err != nil {
 		t.Fatal(err)
 	}
 	for i, v := range params {

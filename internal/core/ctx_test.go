@@ -1,0 +1,7 @@
+package core
+
+import "context"
+
+// tctx is the background context threaded through test push/pull calls
+// that exercise no cancellation behaviour.
+var tctx = context.Background()

@@ -1,0 +1,27 @@
+package core
+
+import (
+	"errors"
+
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// Sentinel errors for the client request lifecycle, matchable with
+// errors.Is. Returned errors wrap these with per-request context (worker
+// rank, attempt counts, elapsed time).
+var (
+	// ErrTimeout marks a request abandoned because a server did not answer
+	// within the worker's configured timeout (or retry budget — exhaustion
+	// errors match both ErrRetriesExhausted and ErrTimeout, since both mean
+	// "the server never answered in time").
+	ErrTimeout = errors.New("core: request timed out")
+
+	// ErrRetriesExhausted marks a request abandoned after its retry
+	// policy's MaxAttempts sends all went unanswered.
+	ErrRetriesExhausted = errors.New("core: retry budget exhausted")
+
+	// ErrClosed marks operations on a closed endpoint or worker. It is the
+	// transport sentinel re-exported so client code matching core errors
+	// does not need to import transport.
+	ErrClosed = transport.ErrClosed
+)

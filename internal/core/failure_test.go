@@ -13,20 +13,22 @@ import (
 // round never closes) fails with ErrTimeout instead of hanging forever.
 func TestWorkerTimeoutOnDeadServer(t *testing.T) {
 	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
-	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{
+		Rank: 0, Layout: layout, Assignment: assign,
+		Timeout: 50 * time.Millisecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	w.SetTimeout(50 * time.Millisecond)
 
-	if err := w.SPush(0, make([]float64, 5)); err != nil {
+	if err := w.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	// Worker 1 never pushes: the BSP round stays open and the pull is
 	// buffered indefinitely — the timeout must fire.
 	start := time.Now()
-	err = w.SPull(0, make([]float64, 5))
+	err = w.SPull(tctx, 0, make([]float64, 5))
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("SPull error = %v, want ErrTimeout", err)
 	}
@@ -39,23 +41,23 @@ func TestWorkerTimeoutOnDeadServer(t *testing.T) {
 // waits, and completes once the round closes.
 func TestWorkerNoTimeoutByDefault(t *testing.T) {
 	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
-	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
-	w1, _ := NewWorker(net.Endpoint(transport.Worker(1)), 1, layout, assign)
+	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
+	w1, _ := NewWorker(net.Endpoint(transport.Worker(1)), WorkerConfig{Rank: 1, Layout: layout, Assignment: assign})
 	defer w0.Close()
 	defer w1.Close()
 
-	if err := w0.SPush(0, make([]float64, 5)); err != nil {
+	if err := w0.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- w0.SPull(0, make([]float64, 5)) }()
+	go func() { done <- w0.SPull(tctx, 0, make([]float64, 5)) }()
 	time.Sleep(80 * time.Millisecond) // longer than the other test's timeout
 	select {
 	case err := <-done:
 		t.Fatalf("pull returned early: %v", err)
 	default:
 	}
-	if err := w1.SPush(0, make([]float64, 5)); err != nil {
+	if err := w1.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -72,12 +74,12 @@ func TestWorkerNoTimeoutByDefault(t *testing.T) {
 // fails outstanding requests promptly.
 func TestWorkerErrorsWhenOwnEndpointCloses(t *testing.T) {
 	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
-	w, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
-	if err := w.SPush(0, make([]float64, 5)); err != nil {
+	w, _ := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
+	if err := w.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
-	go func() { done <- w.SPull(0, make([]float64, 5)) }()
+	go func() { done <- w.SPull(tctx, 0, make([]float64, 5)) }()
 	time.Sleep(20 * time.Millisecond)
 	w.Close()
 	select {

@@ -69,12 +69,14 @@ func TestFlakyClusterExactlyOnce(t *testing.T) {
 	for n := 0; n < workers; n++ {
 		fep := transport.NewFlaky(net.Endpoint(transport.Worker(n)), faults(int64(100+n)))
 		flakies = append(flakies, fep)
-		w, err := NewWorker(fep, n, layout, assign)
+		w, err := NewWorker(fep, WorkerConfig{
+			Rank: n, Layout: layout, Assignment: assign,
+			Timeout: 60 * time.Second,
+			Retry:   RetryPolicy{BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond},
+		})
 		if err != nil {
 			t.Fatal(err)
 		}
-		w.SetTimeout(60 * time.Second)
-		w.SetRetry(RetryPolicy{BaseDelay: 20 * time.Millisecond, MaxDelay: 200 * time.Millisecond})
 		ws[n] = w
 		go func(n int, w *Worker) {
 			wErrs <- func() error {
@@ -84,11 +86,11 @@ func TestFlakyClusterExactlyOnce(t *testing.T) {
 					delta[i] = 0.01
 				}
 				for i := 0; i < iters; i++ {
-					if err := w.SPush(i, delta); err != nil {
+					if err := w.SPush(tctx, i, delta); err != nil {
 						return fmt.Errorf("worker %d push %d: %w", n, i, err)
 					}
 					if i < iters-1 {
-						if err := w.SPull(i, params); err != nil {
+						if err := w.SPull(tctx, i, params); err != nil {
 							return fmt.Errorf("worker %d pull %d: %w", n, i, err)
 						}
 					}

@@ -1,0 +1,69 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// BenchmarkPushPullHotPath measures one full synchronous training step —
+// scatter a push across both shards, await the acks, pull and reassemble
+// the parameters — over the in-process transport. Run with -benchmem:
+// the pooled frames and per-server pipelines keep the steady state down
+// to a handful of allocations (the two operation handles).
+func BenchmarkPushPullHotPath(b *testing.B) {
+	layout := keyrange.MustLayout([]int{64, 64})
+	assign, err := keyrange.EPS(layout, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	net := transport.NewChanNetwork(256)
+	for m := 0; m < 2; m++ {
+		srv, err := NewServer(net.Endpoint(transport.Server(m)), ServerConfig{
+			Rank: m, NumWorkers: 1, Layout: layout, Assignment: assign,
+			Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
+			Init:  func(k keyrange.Key, seg []float64) {},
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		go srv.Run()
+	}
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer w.Close()
+	ctx := context.Background()
+	delta := make([]float64, layout.TotalDim())
+	params := make([]float64, layout.TotalDim())
+
+	// Warm the pools before counting.
+	for i := 0; i < 8; i++ {
+		if err := w.SPush(ctx, i, delta); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.SPull(ctx, i, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := w.SPush(ctx, 8+i, delta); err != nil {
+			b.Fatal(err)
+		}
+		if err := w.SPull(ctx, 8+i, params); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	ep := net.Endpoint(transport.Worker(99))
+	for m := 0; m < 2; m++ {
+		_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
+	}
+	ep.Close()
+}

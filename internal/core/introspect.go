@@ -26,14 +26,15 @@ type ShardState struct {
 	Keys         int
 }
 
-// encode packs the state for the wire.
-func (st ShardState) encode() []float64 {
-	return []float64{
+// encode packs the state for the wire, appending to dst (pass a pooled
+// message's Vals[:0] to avoid allocation).
+func (st ShardState) encode(dst []float64) []float64 {
+	return append(dst,
 		float64(st.VTrain), float64(st.MinProgress), float64(st.MaxProgress),
 		float64(st.CountAtRound), float64(st.Buffered),
 		float64(st.Pulls), float64(st.Pushes), float64(st.DPRs),
 		float64(st.Dropped), float64(st.DedupHits), float64(st.Keys),
-	}
+	)
 }
 
 func decodeShardState(vals []float64) (ShardState, error) {
@@ -72,15 +73,14 @@ func (s *Server) handleStats(msg *transport.Message) error {
 		DedupHits:    s.dedupHits,
 		Keys:         len(s.keys),
 	}
-	resp := &transport.Message{
-		Type: transport.MsgStatsResp,
-		To:   msg.From,
-		Seq:  msg.Seq,
-		Vals: state.encode(),
-	}
+	resp := transport.NewMessage()
+	resp.Type = transport.MsgStatsResp
+	resp.To = msg.From
+	resp.Seq = msg.Seq
+	resp.Vals = state.encode(resp.Vals[:0])
 	// Stats are advisory: an unreachable inquirer must not take the
 	// server down.
-	_ = s.ep.Send(resp)
+	_ = transport.SendOwned(s.ep, resp)
 	return nil
 }
 
@@ -97,8 +97,11 @@ func QueryStats(ep transport.Endpoint, server int) (ShardState, error) {
 			return ShardState{}, err
 		}
 		if resp.Type != transport.MsgStatsResp {
+			transport.ReleaseReceived(resp)
 			continue // tolerate stray traffic on shared admin endpoints
 		}
-		return decodeShardState(resp.Vals)
+		st, err := decodeShardState(resp.Vals)
+		transport.ReleaseReceived(resp)
+		return st, err
 	}
 }

@@ -10,7 +10,7 @@ import (
 
 func TestQueryStatsReflectsLiveState(t *testing.T) {
 	net, _, layout, assign := testServer(t, syncmodel.SSP(1), syncmodel.Lazy, 2)
-	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	defer w0.Close()
 	admin := net.Endpoint(transport.Worker(7))
 	defer admin.Close()
@@ -27,16 +27,16 @@ func TestQueryStatsReflectsLiveState(t *testing.T) {
 	}
 
 	// One push + one passing pull, then a blocked pull.
-	if err := w0.SPush(0, make([]float64, 5)); err != nil {
+	if err := w0.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w0.SPull(0, make([]float64, 5)); err != nil {
+	if err := w0.SPull(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
-	if err := w0.SPush(1, make([]float64, 5)); err != nil {
+	if err := w0.SPush(tctx, 1, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
-	go w0.SPull(1, make([]float64, 5)) // blocks under SSP(1)
+	go w0.SPull(tctx, 1, make([]float64, 5)) // blocks under SSP(1)
 
 	deadline := time.Now().Add(5 * time.Second)
 	for {

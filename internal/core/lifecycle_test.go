@@ -32,7 +32,7 @@ func (e *recvDeadEndpoint) Recv() (*transport.Message, error) {
 func TestWorkerFailsFastAfterRecvLoopDeath(t *testing.T) {
 	net, _, layout, assign := testServer(t, syncmodel.ASP(), syncmodel.Lazy, 2)
 	ep := &recvDeadEndpoint{Endpoint: net.Endpoint(transport.Worker(0)), die: make(chan struct{})}
-	w, err := NewWorker(ep, 0, layout, assign)
+	w, err := NewWorker(ep, WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +41,7 @@ func TestWorkerFailsFastAfterRecvLoopDeath(t *testing.T) {
 
 	// Zero timeout: the old implementation blocked forever here.
 	done := make(chan error, 1)
-	go func() { done <- w.SPush(0, make([]float64, 5)) }()
+	go func() { done <- w.SPush(tctx, 0, make([]float64, 5)) }()
 	select {
 	case err := <-done:
 		if err == nil {
@@ -51,7 +51,7 @@ func TestWorkerFailsFastAfterRecvLoopDeath(t *testing.T) {
 		t.Fatal("SPush hung after receive loop death")
 	}
 	done = make(chan error, 1)
-	go func() { done <- w.SPull(0, make([]float64, 5)) }()
+	go func() { done <- w.SPull(tctx, 0, make([]float64, 5)) }()
 	select {
 	case err := <-done:
 		if err == nil {
@@ -70,18 +70,20 @@ func TestWorkerFailsFastAfterRecvLoopDeath(t *testing.T) {
 // leak: await returned on timeout without deleting the entry).
 func TestWorkerTimeoutDoesNotLeakWaiting(t *testing.T) {
 	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
-	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{
+		Rank: 0, Layout: layout, Assignment: assign,
+		Timeout: 5 * time.Millisecond,
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	w.SetTimeout(5 * time.Millisecond)
 
 	// Worker 1 never pushes, so under BSP every pull is buffered
 	// server-side and every client-side wait times out.
 	const rounds = 40
 	for i := 0; i < rounds; i++ {
-		if err := w.SPull(i, make([]float64, 5)); !errors.Is(err, ErrTimeout) {
+		if err := w.SPull(tctx, i, make([]float64, 5)); !errors.Is(err, ErrTimeout) {
 			t.Fatalf("round %d: err = %v, want ErrTimeout", i, err)
 		}
 	}
@@ -251,23 +253,25 @@ func (e *dropFirstN) Send(m *transport.Message) error {
 func TestWorkerRetryRecoversDroppedRequest(t *testing.T) {
 	net, srv, layout, assign := testServer(t, syncmodel.ASP(), syncmodel.Lazy, 1)
 	ep := &dropFirstN{Endpoint: net.Endpoint(transport.Worker(0)), n: 2}
-	w, err := NewWorker(ep, 0, layout, assign)
+	w, err := NewWorker(ep, WorkerConfig{
+		Rank: 0, Layout: layout, Assignment: assign,
+		Timeout: 5 * time.Second,
+		Retry:   RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	w.SetTimeout(5 * time.Second)
-	w.SetRetry(RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond})
 
 	delta := make([]float64, layout.TotalDim())
 	for i := range delta {
 		delta[i] = 2
 	}
-	if err := w.SPush(0, delta); err != nil { // first copy dropped
+	if err := w.SPush(tctx, 0, delta); err != nil { // first copy dropped
 		t.Fatal(err)
 	}
 	params := make([]float64, layout.TotalDim())
-	if err := w.SPull(0, params); err != nil { // first copy dropped
+	if err := w.SPull(tctx, 0, params); err != nil { // first copy dropped
 		t.Fatal(err)
 	}
 	for i, v := range params {
@@ -287,17 +291,19 @@ func TestWorkerRetryRecoversDroppedRequest(t *testing.T) {
 // server into a timely ErrTimeout instead of an infinite retransmit loop.
 func TestRetryExhaustionFailsRequest(t *testing.T) {
 	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
-	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{
+		Rank: 0, Layout: layout, Assignment: assign,
+		Retry: RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond},
+	})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
-	w.SetRetry(RetryPolicy{MaxAttempts: 3, BaseDelay: 5 * time.Millisecond, MaxDelay: 20 * time.Millisecond})
 
 	// Under BSP with a silent second worker the pull can never be
 	// answered; three attempts must exhaust the budget promptly.
 	start := time.Now()
-	err = w.SPull(0, make([]float64, 5))
+	err = w.SPull(tctx, 0, make([]float64, 5))
 	if !errors.Is(err, ErrTimeout) {
 		t.Fatalf("err = %v, want ErrTimeout", err)
 	}

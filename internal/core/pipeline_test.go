@@ -1,0 +1,205 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// TestPullCancelledMidFlight: a pull buffered server-side as a DPR (the
+// round is incomplete under BSP) must return promptly with
+// context.Canceled when its context is cancelled, and the worker's
+// in-flight table must be drained — no orphan waiting entry.
+func TestPullCancelledMidFlight(t *testing.T) {
+	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.SPush(tctx, 0, make([]float64, layout.TotalDim())); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- w.SPull(ctx, 0, make([]float64, layout.TotalDim())) }()
+	// Let the pull reach the server and park as a DPR (worker 1 never
+	// pushes round 0), then cancel it.
+	time.Sleep(20 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled pull returned %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("cancelled pull did not return")
+	}
+	if n := w.Outstanding(); n != 0 {
+		t.Fatalf("%d requests still outstanding after cancellation", n)
+	}
+}
+
+// TestGatherReassemblyWithStragglerShard: with one shard's responses
+// delayed behind a lossy-delay wrapper, Wait must still reassemble the
+// full parameter vector — each shard's segment at its layout offsets —
+// and the fast shard's data must not be clobbered while the straggler
+// trickles in.
+func TestGatherReassemblyWithStragglerShard(t *testing.T) {
+	layout := keyrange.MustLayout([]int{2, 3, 4, 5})
+	assign, err := keyrange.EPS(layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewChanNetwork(64)
+	for m := 0; m < 2; m++ {
+		ep := transport.Endpoint(net.Endpoint(transport.Server(m)))
+		if m == 1 {
+			// Server 1 is the straggler: every data-plane frame it sends
+			// is delayed.
+			ep = transport.NewFlaky(ep, transport.FlakyConfig{
+				Delay: 1, MaxDelay: 40 * time.Millisecond, Seed: 7,
+			})
+		}
+		srv, err := NewServer(ep, ServerConfig{
+			Rank: m, NumWorkers: 1, Layout: layout, Assignment: assign,
+			Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
+			Init: func(k keyrange.Key, seg []float64) {
+				for i := range seg {
+					seg[i] = float64(k)*100 + float64(i)
+				}
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Run()
+	}
+	t.Cleanup(func() {
+		ep := net.Endpoint(transport.Worker(99))
+		for m := 0; m < 2; m++ {
+			_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
+		}
+		ep.Close()
+	})
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer w.Close()
+	if err := w.SPush(tctx, 0, make([]float64, layout.TotalDim())); err != nil {
+		t.Fatal(err)
+	}
+	params := make([]float64, layout.TotalDim())
+	if err := w.SPull(tctx, 0, params); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < layout.NumKeys(); k++ {
+		seg := layout.Slice(params, keyrange.Key(k))
+		for i, v := range seg {
+			if want := float64(k)*100 + float64(i); v != want {
+				t.Fatalf("key %d[%d] = %v, want %v", k, i, v, want)
+			}
+		}
+	}
+}
+
+// TestConcurrentPushPullServesUntornSegments: with pooled request and
+// response buffers cycling between concurrent workers, a pulled segment
+// must never mix two states. Every push covers a server's whole segment
+// set atomically (the apply loop is single-owner), so with all-ones
+// deltas each per-server slice of a pulled vector must be uniform —
+// aliasing a recycled buffer would show up as torn values.
+func TestConcurrentPushPullServesUntornSegments(t *testing.T) {
+	const (
+		workers = 4
+		servers = 2
+		iters   = 40
+	)
+	layout := keyrange.MustLayout([]int{3, 5, 2, 6})
+	assign, err := keyrange.EPS(layout, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	net := transport.NewChanNetwork(256)
+	for m := 0; m < servers; m++ {
+		srv, err := NewServer(net.Endpoint(transport.Server(m)), ServerConfig{
+			Rank: m, NumWorkers: workers, Layout: layout, Assignment: assign,
+			Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
+			Init:  func(k keyrange.Key, seg []float64) {},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		go srv.Run()
+	}
+	t.Cleanup(func() {
+		ep := net.Endpoint(transport.Worker(99))
+		for m := 0; m < servers; m++ {
+			_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
+		}
+		ep.Close()
+	})
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for n := 0; n < workers; n++ {
+		wg.Add(1)
+		go func(n int) {
+			defer wg.Done()
+			errs <- func() error {
+				w, err := NewWorker(net.Endpoint(transport.Worker(n)), WorkerConfig{Rank: n, Layout: layout, Assignment: assign})
+				if err != nil {
+					return err
+				}
+				defer w.Close()
+				delta := make([]float64, layout.TotalDim())
+				for i := range delta {
+					delta[i] = 1
+				}
+				params := make([]float64, layout.TotalDim())
+				for i := 0; i < iters; i++ {
+					if err := w.SPush(tctx, i, delta); err != nil {
+						return err
+					}
+					if err := w.SPull(tctx, i, params); err != nil {
+						return err
+					}
+					for m := 0; m < servers; m++ {
+						keys := assign.KeysOf(m)
+						first := layout.Slice(params, keys[0])[0]
+						// Deltas are averaged over workers, so each applied
+						// push adds 1/workers. The worker's own i+1 pushes
+						// precede its pull on each pipe, so the count is at
+						// least that; at most everybody pushed everything.
+						if first < float64(i+1)/workers || first > iters {
+							return fmt.Errorf("worker %d iter %d: server %d count %v out of range", n, i, m, first)
+						}
+						for _, k := range keys {
+							for j, v := range layout.Slice(params, k) {
+								if v != first {
+									return fmt.Errorf("worker %d iter %d: torn segment on server %d: key %d[%d]=%v, want %v",
+										n, i, m, k, j, v, first)
+								}
+							}
+						}
+					}
+				}
+				return nil
+			}()
+		}(n)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -202,12 +202,15 @@ func (s *Server) maybeFinishRebalance() error {
 }
 
 // SetAssignment points the worker at a rebalanced key assignment. The
-// caller must guarantee no requests are in flight.
+// caller must guarantee no requests are in flight: the per-server sender
+// pipelines are torn down and rebuilt for the new server count.
 func (w *Worker) SetAssignment(next *keyrange.Assignment) {
-	w.assign = next
+	w.stopPipes()
+	w.cfg.Assignment = next
 	w.servers = next.NumServers()
 	w.keysPerServer = make([][]keyrange.Key, w.servers)
 	for m := 0; m < w.servers; m++ {
 		w.keysPerServer[m] = next.KeysOf(m)
 	}
+	w.startPipes()
 }

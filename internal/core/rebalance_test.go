@@ -47,13 +47,13 @@ func startRebalanceCluster(t *testing.T, layout *keyrange.Layout, assign *keyran
 // pullAll fetches the full model through a fresh worker and returns it.
 func pullAll(t *testing.T, net *transport.ChanNetwork, rank int, layout *keyrange.Layout, assign *keyrange.Assignment) []float64 {
 	t.Helper()
-	w, err := NewWorker(net.Endpoint(transport.Worker(rank)), rank, layout, assign)
+	w, err := NewWorker(net.Endpoint(transport.Worker(rank)), WorkerConfig{Rank: rank, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
 	params := make([]float64, layout.TotalDim())
-	if err := w.SPull(0, params); err != nil {
+	if err := w.SPull(tctx, 0, params); err != nil {
 		t.Fatal(err)
 	}
 	return params
@@ -154,7 +154,7 @@ func TestRebalanceTrainingContinuesAfterwards(t *testing.T) {
 	net, servers := startRebalanceCluster(t, layout, old, 1)
 
 	// Train a little before the change.
-	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, old)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: old})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -163,11 +163,11 @@ func TestRebalanceTrainingContinuesAfterwards(t *testing.T) {
 	for i := range delta {
 		delta[i] = 1
 	}
-	if err := w.SPush(0, delta); err != nil {
+	if err := w.SPush(tctx, 0, delta); err != nil {
 		t.Fatal(err)
 	}
 	params := make([]float64, layout.TotalDim())
-	if err := w.SPull(0, params); err != nil {
+	if err := w.SPull(tctx, 0, params); err != nil {
 		t.Fatal(err)
 	}
 
@@ -179,10 +179,10 @@ func TestRebalanceTrainingContinuesAfterwards(t *testing.T) {
 		t.Fatal(err)
 	}
 	w.SetAssignment(next)
-	if err := w.SPush(1, delta); err != nil {
+	if err := w.SPush(tctx, 1, delta); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.SPull(1, params); err != nil {
+	if err := w.SPull(tctx, 1, params); err != nil {
 		t.Fatal(err)
 	}
 	// Initial pattern + two pushed deltas (N=1 so scale 1 each).

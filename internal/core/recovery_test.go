@@ -34,17 +34,17 @@ func TestCheckpointRecovery(t *testing.T) {
 	}
 	go srv.Run()
 
-	w, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w.Close()
 	delta := []float64{1, 1, 2, 2, 2}
-	if err := w.SPush(0, delta); err != nil {
+	if err := w.SPush(tctx, 0, delta); err != nil {
 		t.Fatal(err)
 	}
 	params := make([]float64, 5)
-	if err := w.SPull(0, params); err != nil {
+	if err := w.SPull(tctx, 0, params); err != nil {
 		t.Fatal(err)
 	}
 
@@ -80,7 +80,7 @@ func TestCheckpointRecovery(t *testing.T) {
 
 	// The worker sees the pre-crash state (init 1 + delta, not -999) and
 	// training continues.
-	if err := w.SPull(0, params); err != nil {
+	if err := w.SPull(tctx, 0, params); err != nil {
 		t.Fatal(err)
 	}
 	want := []float64{2, 2, 3, 3, 3}
@@ -89,10 +89,10 @@ func TestCheckpointRecovery(t *testing.T) {
 			t.Fatalf("restored params %v, want %v", params, want)
 		}
 	}
-	if err := w.SPush(0, delta); err != nil {
+	if err := w.SPush(tctx, 0, delta); err != nil {
 		t.Fatal(err)
 	}
-	if err := w.SPull(0, params); err != nil {
+	if err := w.SPull(tctx, 0, params); err != nil {
 		t.Fatal(err)
 	}
 	if params[0] != 3 {

@@ -17,6 +17,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -53,7 +54,15 @@ type ServerConfig struct {
 	// pull is re-answered (or left to its pending buffered request).
 	// Zero selects DefaultDedupWindow; negative disables deduplication.
 	DedupWindow int
+	// ApplyQueueDepth is the buffer between the server's receive stage
+	// and its apply stage (Run decodes and applies concurrently); zero
+	// selects DefaultApplyQueueDepth.
+	ApplyQueueDepth int
 }
+
+// DefaultApplyQueueDepth is the receive→apply buffer used when
+// ServerConfig.ApplyQueueDepth is zero.
+const DefaultApplyQueueDepth = 64
 
 // DefaultDedupWindow is the per-peer duplicate-suppression window used
 // when ServerConfig.DedupWindow is zero. It must exceed the number of
@@ -255,51 +264,106 @@ func (s *Server) snapshotStats() {
 }
 
 // Run processes requests until the endpoint closes or MsgShutdown
-// arrives. It is the server's single owning goroutine: controller and
-// shard are only touched here.
+// arrives. It runs as a two-stage pipeline: a receive goroutine drains
+// the endpoint (on TCP that is where frames are decoded) into a bounded
+// queue, and the calling goroutine applies — so decoding the next batch
+// of messages overlaps with shard/controller work instead of serializing
+// behind it. The apply stage remains the single owner of controller and
+// shard state, preserving the per-peer FIFO the dedup windows rely on.
 func (s *Server) Run() error {
-	for {
-		msg, err := s.ep.Recv()
-		if err != nil {
-			if err == transport.ErrClosed {
-				return nil
+	depth := s.cfg.ApplyQueueDepth
+	if depth <= 0 {
+		depth = DefaultApplyQueueDepth
+	}
+	queue := make(chan *transport.Message, depth)
+	recvErr := make(chan error, 1)
+	applyDone := make(chan struct{})
+	go func() {
+		for {
+			msg, err := s.ep.Recv()
+			if err != nil {
+				recvErr <- err
+				close(queue)
+				return
 			}
-			return fmt.Errorf("core: server %d recv: %w", s.cfg.Rank, err)
+			select {
+			case queue <- msg:
+			case <-applyDone:
+				// The apply stage returned (shutdown or handler error);
+				// drop the message and stop feeding.
+				transport.ReleaseReceived(msg)
+				return
+			}
 		}
-		switch msg.Type {
-		case transport.MsgPush:
-			if err := s.handlePush(msg); err != nil {
-				return err
-			}
-			s.snapshotStats()
-		case transport.MsgPull:
-			if err := s.handlePull(msg); err != nil {
-				return err
-			}
-			s.snapshotStats()
-		case transport.MsgSetCond:
-			if err := s.handleSetCond(msg); err != nil {
-				return err
-			}
-			s.snapshotStats()
-		case transport.MsgRebalance:
-			if err := s.handleRebalance(msg); err != nil {
-				return err
-			}
-		case transport.MsgMigrate:
-			if err := s.handleMigrate(msg); err != nil {
-				return err
-			}
-		case transport.MsgStats:
-			if err := s.handleStats(msg); err != nil {
-				return err
-			}
-		case transport.MsgShutdown:
+	}()
+	defer close(applyDone)
+	for msg := range queue {
+		shutdown, err := s.apply(msg)
+		if err != nil {
+			return err
+		}
+		if shutdown {
 			return nil
-		default:
-			// Heartbeats and stray acks are ignored by servers.
 		}
 	}
+	// The queue closed: the receive stage hit an endpoint error.
+	err := <-recvErr
+	if err == transport.ErrClosed {
+		return nil
+	}
+	return fmt.Errorf("core: server %d recv: %w", s.cfg.Rank, err)
+}
+
+// apply dispatches one message. Receiver-owned pooled messages (TCP
+// frames, handed-off pointers) are recycled after their handler returns —
+// except MsgMigrate, which handleMigrate may buffer until the rebalance
+// broadcast arrives.
+func (s *Server) apply(msg *transport.Message) (shutdown bool, err error) {
+	switch msg.Type {
+	case transport.MsgPush:
+		err = s.handlePush(msg)
+		transport.ReleaseReceived(msg)
+		if err == nil {
+			s.snapshotStats()
+		}
+	case transport.MsgPull:
+		err = s.handlePull(msg)
+		transport.ReleaseReceived(msg)
+		if err == nil {
+			s.snapshotStats()
+		}
+	case transport.MsgSetCond:
+		err = s.handleSetCond(msg)
+		transport.ReleaseReceived(msg)
+		if err == nil {
+			s.snapshotStats()
+		}
+	case transport.MsgRebalance:
+		err = s.handleRebalance(msg)
+		transport.ReleaseReceived(msg)
+	case transport.MsgMigrate:
+		// May be retained in the early-arrival buffer; never released.
+		err = s.handleMigrate(msg)
+	case transport.MsgStats:
+		err = s.handleStats(msg)
+		transport.ReleaseReceived(msg)
+	case transport.MsgShutdown:
+		transport.ReleaseReceived(msg)
+		return true, nil
+	default:
+		// Heartbeats and stray acks are ignored by servers.
+		transport.ReleaseReceived(msg)
+	}
+	return false, err
+}
+
+// ack sends a pooled acknowledgement of the given type for (to, seq).
+func (s *Server) ack(typ transport.MsgType, to transport.NodeID, seq uint64) error {
+	a := transport.NewMessage()
+	a.Type = typ
+	a.To = to
+	a.Seq = seq
+	return transport.SendOwned(s.ep, a)
 }
 
 func (s *Server) handlePush(msg *transport.Message) error {
@@ -309,8 +373,7 @@ func (s *Server) handlePush(msg *transport.Message) error {
 		// re-apply the gradient — at-least-once delivery plus this
 		// window yields effectively-once application.
 		s.dedupHits++
-		ack := &transport.Message{Type: transport.MsgPushAck, To: msg.From, Seq: msg.Seq}
-		if err := s.ep.Send(ack); err != nil {
+		if err := s.ack(transport.MsgPushAck, msg.From, msg.Seq); err != nil {
 			return fmt.Errorf("core: server %d re-ack push: %w", s.cfg.Rank, err)
 		}
 		return nil
@@ -327,8 +390,7 @@ func (s *Server) handlePush(msg *transport.Message) error {
 	// A dropped push is consumed too: its duplicate must not be offered
 	// to the controller a second time.
 	s.dedupRecord(msg.From, msg.Seq, dedupPushDone)
-	ack := &transport.Message{Type: transport.MsgPushAck, To: msg.From, Seq: msg.Seq}
-	if err := s.ep.Send(ack); err != nil {
+	if err := s.ack(transport.MsgPushAck, msg.From, msg.Seq); err != nil {
 		return fmt.Errorf("core: server %d ack push: %w", s.cfg.Rank, err)
 	}
 	for _, rel := range released {
@@ -352,6 +414,7 @@ func (s *Server) handlePull(msg *transport.Message) error {
 		if out == dedupPullAnswered {
 			// The earlier response was lost in flight; answering again
 			// with current parameters is safe — pulls do not mutate.
+			// (No keys copy needed: this path answers before returning.)
 			return s.respondPull(pullToken{from: msg.From, seq: msg.Seq, keys: msg.Keys})
 		}
 		// Still buffered as a DPR: the original will be answered when a
@@ -361,7 +424,15 @@ func (s *Server) handlePull(msg *transport.Message) error {
 	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
-	tok := pullToken{from: msg.From, seq: msg.Seq, keys: msg.Keys}
+	keys := msg.Keys
+	if msg.ReceiverOwned() {
+		// The apply loop recycles this message as soon as the handler
+		// returns, but a buffered DPR token outlives it — take a copy.
+		// (Sender-owned messages are safe to alias: the worker holds them
+		// until its pull completes, which is after any DPR release.)
+		keys = append([]keyrange.Key(nil), keys...)
+	}
+	tok := pullToken{from: msg.From, seq: msg.Seq, keys: keys}
 	if s.ctrl.OnPull(worker, progress, tok) {
 		s.dedupRecord(msg.From, msg.Seq, dedupPullAnswered)
 		return s.respondPull(tok)
@@ -387,8 +458,7 @@ func (s *Server) handleSetCond(msg *transport.Message) error {
 	released := s.ctrl.SetModel(model)
 	// The switch already happened; an unreachable admin must not take
 	// the server down with it.
-	ack := &transport.Message{Type: transport.MsgSetCondAck, To: msg.From, Seq: msg.Seq}
-	_ = s.ep.Send(ack)
+	_ = s.ack(transport.MsgSetCondAck, msg.From, msg.Seq)
 	for _, rel := range released {
 		if err := s.respondPull(rel.Token.(pullToken)); err != nil {
 			return err
@@ -398,12 +468,16 @@ func (s *Server) handleSetCond(msg *transport.Message) error {
 }
 
 // SetCondition asks a server to switch its synchronization model at
-// runtime and waits for the acknowledgement. Call it from an endpoint
-// that is not concurrently used by a Worker's receive loop (e.g. an admin
-// endpoint).
-func SetCondition(ep transport.Endpoint, server int, spec syncmodel.Spec) error {
+// runtime and waits (cancellably) for the acknowledgement. Call it from
+// an endpoint that is not concurrently used by a Worker's receive loop
+// (e.g. an admin endpoint). On cancellation the receive keeps draining in
+// the background until the endpoint closes or the ack arrives.
+func SetCondition(ctx context.Context, ep transport.Endpoint, server int, spec syncmodel.Spec) error {
 	if _, err := spec.Build(); err != nil {
 		return err
+	}
+	if ctx == nil {
+		ctx = context.Background()
 	}
 	msg := &transport.Message{
 		Type: transport.MsgSetCond,
@@ -414,14 +488,29 @@ func SetCondition(ep transport.Endpoint, server int, spec syncmodel.Spec) error 
 	if err := ep.Send(msg); err != nil {
 		return err
 	}
-	resp, err := ep.Recv()
-	if err != nil {
-		return err
+	type recvResult struct {
+		msg *transport.Message
+		err error
 	}
-	if resp.Type != transport.MsgSetCondAck {
-		return fmt.Errorf("core: unexpected %s in reply to set-cond", resp.Type)
+	done := make(chan recvResult, 1)
+	go func() {
+		resp, err := ep.Recv()
+		done <- recvResult{resp, err}
+	}()
+	select {
+	case <-ctx.Done():
+		return fmt.Errorf("core: set-cond on server %d: %w", server, ctx.Err())
+	case r := <-done:
+		if r.err != nil {
+			return r.err
+		}
+		typ := r.msg.Type
+		transport.ReleaseReceived(r.msg)
+		if typ != transport.MsgSetCondAck {
+			return fmt.Errorf("core: unexpected %s in reply to set-cond", typ)
+		}
+		return nil
 	}
-	return nil
 }
 
 func (s *Server) respondPull(tok pullToken) error {
@@ -432,18 +521,18 @@ func (s *Server) respondPull(tok pullToken) error {
 	if len(keys) == 0 {
 		keys = s.keys
 	}
-	vals, err := s.shard.GatherShard(nil, keys)
+	resp := transport.NewMessage()
+	resp.Type = transport.MsgPullResp
+	resp.To = tok.from
+	resp.Seq = tok.seq
+	resp.Keys = append(resp.Keys[:0], keys...)
+	vals, err := s.shard.GatherShard(resp.Vals[:0], keys)
 	if err != nil {
+		transport.Release(resp)
 		return fmt.Errorf("core: server %d gather for %s: %w", s.cfg.Rank, tok.from, err)
 	}
-	resp := &transport.Message{
-		Type: transport.MsgPullResp,
-		To:   tok.from,
-		Seq:  tok.seq,
-		Keys: keys,
-		Vals: vals,
-	}
-	if err := s.ep.Send(resp); err != nil {
+	resp.Vals = vals
+	if err := transport.SendOwned(s.ep, resp); err != nil {
 		return fmt.Errorf("core: server %d respond pull: %w", s.cfg.Rank, err)
 	}
 	return nil

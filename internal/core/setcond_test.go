@@ -13,25 +13,25 @@ import (
 // the moment an admin switches the shard to ASP.
 func TestRuntimeModelSwitch(t *testing.T) {
 	net, srv, layout, assign := testServer(t, syncmodel.SSP(1), syncmodel.Lazy, 2)
-	w0, err := NewWorker(net.Endpoint(transport.Worker(0)), 0, layout, assign)
+	w0, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
 	}
 	defer w0.Close()
 
 	// Worker 0 runs ahead and blocks on its second pull.
-	if err := w0.SPush(0, make([]float64, 5)); err != nil {
+	if err := w0.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	params := make([]float64, 5)
-	if err := w0.SPull(0, params); err != nil {
+	if err := w0.SPull(tctx, 0, params); err != nil {
 		t.Fatal(err)
 	}
-	if err := w0.SPush(1, make([]float64, 5)); err != nil {
+	if err := w0.SPush(tctx, 1, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	blocked := make(chan error, 1)
-	go func() { blocked <- w0.SPull(1, params) }()
+	go func() { blocked <- w0.SPull(tctx, 1, params) }()
 	select {
 	case <-blocked:
 		t.Fatal("pull should be delayed under SSP(1)")
@@ -41,7 +41,7 @@ func TestRuntimeModelSwitch(t *testing.T) {
 	// Admin switches the shard to ASP at runtime.
 	admin := net.Endpoint(transport.Worker(9))
 	defer admin.Close()
-	if err := SetCondition(admin, 0, syncmodel.Spec{Kind: syncmodel.KindASP}); err != nil {
+	if err := SetCondition(tctx, admin, 0, syncmodel.Spec{Kind: syncmodel.KindASP}); err != nil {
 		t.Fatal(err)
 	}
 	select {
@@ -57,10 +57,10 @@ func TestRuntimeModelSwitch(t *testing.T) {
 	}
 	// Post-switch, the worker free-runs.
 	for i := 2; i < 6; i++ {
-		if err := w0.SPush(i, make([]float64, 5)); err != nil {
+		if err := w0.SPush(tctx, i, make([]float64, 5)); err != nil {
 			t.Fatal(err)
 		}
-		if err := w0.SPull(i, params); err != nil {
+		if err := w0.SPull(tctx, i, params); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -70,7 +70,7 @@ func TestSetConditionValidation(t *testing.T) {
 	net, _, _, _ := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 1)
 	admin := net.Endpoint(transport.Worker(8))
 	defer admin.Close()
-	if err := SetCondition(admin, 0, syncmodel.Spec{Kind: 99}); err == nil {
+	if err := SetCondition(tctx, admin, 0, syncmodel.Spec{Kind: 99}); err == nil {
 		t.Error("invalid spec accepted")
 	}
 }

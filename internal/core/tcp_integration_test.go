@@ -118,7 +118,7 @@ func TestTCPEndToEndTraining(t *testing.T) {
 				if err := Register(workerEPs[n]); err != nil {
 					return fmt.Errorf("worker %d register: %w", n, err)
 				}
-				w, err := NewWorker(workerEPs[n], n, layout, assign)
+				w, err := NewWorker(workerEPs[n], WorkerConfig{Rank: n, Layout: layout, Assignment: assign})
 				if err != nil {
 					return err
 				}
@@ -135,11 +135,11 @@ func TestTCPEndToEndTraining(t *testing.T) {
 					x, y := shard.Batch(rng, 16)
 					model.Gradient(params, x, y, grad)
 					opt.Delta(params, grad, delta)
-					if err := w.SPush(i, delta); err != nil {
+					if err := w.SPush(tctx, i, delta); err != nil {
 						return err
 					}
 					if i < iters-1 {
-						if err := w.SPull(i, params); err != nil {
+						if err := w.SPull(tctx, i, params); err != nil {
 							return err
 						}
 					}

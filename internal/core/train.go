@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -163,6 +164,7 @@ func Run(cfg ClusterConfig) (*RunResult, error) {
 		}(m, srv)
 	}
 
+	ctx := context.Background()
 	start := time.Now()
 	var history []AccPoint
 	var histMu sync.Mutex
@@ -174,7 +176,11 @@ func Run(cfg ClusterConfig) (*RunResult, error) {
 		go func(n int) {
 			defer workerWG.Done()
 			workerErrs[n] = func() error {
-				worker, err := NewWorker(net.Endpoint(transport.Worker(n)), n, layout, assign)
+				worker, err := NewWorker(net.Endpoint(transport.Worker(n)), WorkerConfig{
+					Rank:       n,
+					Layout:     layout,
+					Assignment: assign,
+				})
 				if err != nil {
 					return err
 				}
@@ -198,8 +204,10 @@ func Run(cfg ClusterConfig) (*RunResult, error) {
 					// Algorithm 1 worker loop: push without waiting for
 					// acks, then wait on the pull (lines 4–5). Only the
 					// final push is waited, so its delivery precedes the
-					// shutdown of the servers.
-					push, err := worker.SPushAsync(i, delta)
+					// shutdown of the servers; earlier pushes are
+					// discarded so their acks recycle in-flight state as
+					// they arrive.
+					push, err := worker.SPushAsync(ctx, i, delta)
 					if err != nil {
 						return err
 					}
@@ -207,10 +215,11 @@ func Run(cfg ClusterConfig) (*RunResult, error) {
 					// iteration (and would deadlock drop-stragglers
 					// models once fast workers stop pushing).
 					if i < cfg.Iters-1 {
-						if err := worker.SPull(i, params); err != nil {
+						push.Discard()
+						if err := worker.SPull(ctx, i, params); err != nil {
 							return err
 						}
-					} else if err := push.Wait(); err != nil {
+					} else if err := push.Wait(ctx); err != nil {
 						return err
 					}
 					workerTimes[n].Sync += time.Since(syncStart)
@@ -236,6 +245,11 @@ func Run(cfg ClusterConfig) (*RunResult, error) {
 		ep.Close()
 	}
 	serverWG.Wait()
+	// Close the server endpoints so each Run's receive stage winds down —
+	// experiments call Run many times in one process.
+	for m := 0; m < cfg.Servers; m++ {
+		net.Endpoint(transport.Server(m)).Close()
+	}
 
 	for n, err := range workerErrs {
 		if err != nil {

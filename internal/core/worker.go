@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"sync/atomic"
@@ -10,10 +11,6 @@ import (
 	"github.com/fluentps/fluentps/internal/kvstore"
 	"github.com/fluentps/fluentps/internal/transport"
 )
-
-// ErrTimeout is returned by SPush/SPull when a server does not answer
-// within the worker's configured timeout.
-var ErrTimeout = fmt.Errorf("core: request timed out")
 
 // RetryPolicy configures per-request retransmission. A request whose
 // response has not arrived after a backoff interval is re-sent with the
@@ -53,6 +50,37 @@ func (p RetryPolicy) delay(attempt int) time.Duration {
 	return d
 }
 
+// DefaultPipelineDepth is each per-server outbound queue's capacity when
+// WorkerConfig.PipelineDepth is zero.
+const DefaultPipelineDepth = 32
+
+// WorkerConfig configures a Worker; it mirrors ServerConfig's options
+// shape. Rank, Layout, and Assignment are required.
+type WorkerConfig struct {
+	// Rank is the worker's index; the endpoint id must be
+	// transport.Worker(Rank).
+	Rank int
+	// Layout is the model's communication layout (shared by all nodes).
+	Layout *keyrange.Layout
+	// Assignment maps keys to server shards.
+	Assignment *keyrange.Assignment
+	// Timeout bounds each outstanding request; zero waits forever. A
+	// delayed pull legitimately waits for stragglers, so when set it
+	// should comfortably exceed the slowest worker's round time.
+	Timeout time.Duration
+	// Retry enables retransmission of unanswered requests; see
+	// RetryPolicy. Safe because servers deduplicate per (worker, seq).
+	Retry RetryPolicy
+	// PipelineDepth is the capacity of each per-server outbound queue —
+	// how many requests to one shard may be queued behind a slow send
+	// before SPush/SPull blocks. Zero selects DefaultPipelineDepth.
+	PipelineDepth int
+	// PayloadCapacity pre-sizes each pooled request's value buffer (in
+	// float64s), avoiding regrowth during the first operations. Zero
+	// derives it from the layout's largest per-server slice.
+	PayloadCapacity int
+}
+
 // WorkerStats counts the worker's request-lifecycle events.
 type WorkerStats struct {
 	// Retries is the number of retransmitted requests.
@@ -69,28 +97,28 @@ type WorkerStats struct {
 // progress with every operation (the paper's sPush/sPull).
 //
 // A Worker is owned by one training goroutine; SPush/SPull must not be
-// called concurrently. Internally a receive loop routes responses to the
-// outstanding request, so slow shards only delay the operations that need
-// them.
+// called concurrently. Internally, each server shard has a persistent
+// sender goroutine behind a bounded queue, so one operation's per-server
+// messages go out concurrently (scatter), and a receive loop routes
+// responses to the outstanding requests (gather) — slow shards only delay
+// the operations that need them.
 type Worker struct {
-	rank    int
+	cfg     WorkerConfig
 	ep      transport.Endpoint
-	layout  *keyrange.Layout
-	assign  *keyrange.Assignment
 	servers int
 
 	seq atomic.Uint64
-
-	// timeout bounds each outstanding request; zero waits forever. A
-	// delayed pull legitimately waits for stragglers, so when set it
-	// should comfortably exceed the slowest worker's round time.
-	timeout time.Duration
-	retry   RetryPolicy
 
 	mu      sync.Mutex
 	waiting map[uint64]*pendingReq
 	recvErr error
 	done    chan struct{}
+
+	pipes    []*serverPipe
+	pipeStop chan struct{}
+	pipeWG   sync.WaitGroup
+
+	reqPool sync.Pool // *pendingReq
 
 	retries  atomic.Uint64
 	timeouts atomic.Uint64
@@ -100,52 +128,64 @@ type Worker struct {
 	keysPerServer [][]keyrange.Key
 }
 
+// serverPipe is one shard's outbound pipeline: a bounded queue drained by
+// a persistent sender goroutine, so a slow or blocking send to one server
+// does not serialize the scatter to the others.
+type serverPipe struct {
+	queue chan *pendingReq
+}
+
+// response is what await receives: the server's reply or the reason there
+// will never be one.
+type response struct {
+	msg *transport.Message
+	err error
+}
+
 // pendingReq is one in-flight request: the response channel the receive
 // loop delivers to, plus the original message kept for retransmission.
 type pendingReq struct {
 	seq uint64
 	msg *transport.Message
-	ch  chan *transport.Message
+	ch  chan response // capacity 1; at most one delivery per registration
+	// sent is set by the pipe after the original send completes; until
+	// then the pipe may still read msg, so it must not be recycled.
+	sent atomic.Bool
+	// discarded marks a fire-and-forget request (guarded by Worker.mu):
+	// the receive loop absorbs its ack and recycles it without a Wait.
+	discarded bool
 }
 
 // NewWorker builds a worker over the given endpoint, whose id must be
-// transport.Worker(rank).
-func NewWorker(ep transport.Endpoint, rank int, layout *keyrange.Layout, assign *keyrange.Assignment) (*Worker, error) {
-	if got, want := ep.ID(), transport.Worker(rank); got != want {
-		return nil, fmt.Errorf("core: endpoint id %s does not match worker rank %d", got, rank)
+// transport.Worker(cfg.Rank).
+func NewWorker(ep transport.Endpoint, cfg WorkerConfig) (*Worker, error) {
+	if cfg.Layout == nil || cfg.Assignment == nil {
+		return nil, fmt.Errorf("core: worker %d: WorkerConfig needs Layout and Assignment", cfg.Rank)
+	}
+	if got, want := ep.ID(), transport.Worker(cfg.Rank); got != want {
+		return nil, fmt.Errorf("core: endpoint id %s does not match worker rank %d", got, cfg.Rank)
+	}
+	if cfg.PipelineDepth <= 0 {
+		cfg.PipelineDepth = DefaultPipelineDepth
 	}
 	w := &Worker{
-		rank:    rank,
+		cfg:     cfg,
 		ep:      ep,
-		layout:  layout,
-		assign:  assign,
-		servers: assign.NumServers(),
+		servers: cfg.Assignment.NumServers(),
 		waiting: make(map[uint64]*pendingReq),
 		done:    make(chan struct{}),
 	}
 	w.keysPerServer = make([][]keyrange.Key, w.servers)
 	for m := 0; m < w.servers; m++ {
-		w.keysPerServer[m] = assign.KeysOf(m)
+		w.keysPerServer[m] = cfg.Assignment.KeysOf(m)
 	}
+	w.startPipes()
 	go w.recvLoop()
 	return w, nil
 }
 
 // Rank returns the worker's index.
-func (w *Worker) Rank() int { return w.rank }
-
-// SetTimeout bounds every subsequent request; a server that does not
-// answer within d makes the operation fail with an error wrapping
-// ErrTimeout. Zero (the default) waits forever. Note that delayed pulls
-// are *supposed* to wait for stragglers — pick d well above the slowest
-// worker's expected round time.
-func (w *Worker) SetTimeout(d time.Duration) { w.timeout = d }
-
-// SetRetry enables retransmission of unanswered requests. Safe on the
-// server side because pushes and pulls are deduplicated per (worker, seq);
-// see RetryPolicy. Call before the first operation, from the owning
-// goroutine.
-func (w *Worker) SetRetry(p RetryPolicy) { w.retry = p }
+func (w *Worker) Rank() int { return w.cfg.Rank }
 
 // Stats returns a snapshot of the worker's lifecycle counters.
 func (w *Worker) Stats() WorkerStats {
@@ -156,146 +196,360 @@ func (w *Worker) Stats() WorkerStats {
 	}
 }
 
+// startPipes launches one sender goroutine per server shard. Called from
+// the owning goroutine with no operations in flight.
+func (w *Worker) startPipes() {
+	w.pipeStop = make(chan struct{})
+	w.pipes = make([]*serverPipe, w.servers)
+	for m := 0; m < w.servers; m++ {
+		pipe := &serverPipe{queue: make(chan *pendingReq, w.cfg.PipelineDepth)}
+		w.pipes[m] = pipe
+		w.pipeWG.Add(1)
+		go w.runPipe(pipe, w.pipeStop)
+	}
+}
+
+// stopPipes winds the sender goroutines down; requests still queued are
+// never sent and fail through their timeout (or the recv loop's death).
+func (w *Worker) stopPipes() {
+	close(w.pipeStop)
+	w.pipeWG.Wait()
+}
+
+func (w *Worker) runPipe(pipe *serverPipe, stop <-chan struct{}) {
+	defer w.pipeWG.Done()
+	for {
+		select {
+		case p := <-pipe.queue:
+			if err := transport.SendRetained(w.ep, p.msg); err != nil {
+				w.failPending(p, fmt.Errorf("core: worker %d send to %s: %w", w.cfg.Rank, p.msg.To, err))
+				continue
+			}
+			// After this store the pipe never touches p again; completion
+			// may recycle it.
+			p.sent.Store(true)
+		case <-stop:
+			return
+		}
+	}
+}
+
+// enqueue hands p to its shard's pipe, blocking (cancellably) when the
+// pipeline is full.
+func (w *Worker) enqueue(ctx context.Context, m int, p *pendingReq) error {
+	select {
+	case w.pipes[m].queue <- p:
+		return nil
+	default:
+	}
+	select {
+	case w.pipes[m].queue <- p:
+		return nil
+	case <-ctx.Done():
+		w.forget(p)
+		return fmt.Errorf("core: worker %d enqueue to server %d: %w", w.cfg.Rank, m, ctx.Err())
+	case <-w.pipeStop:
+		w.forget(p)
+		return ErrClosed
+	}
+}
+
 func (w *Worker) recvLoop() {
 	for {
 		msg, err := w.ep.Recv()
 		if err != nil {
+			lost := w.lostErr(err)
 			w.mu.Lock()
 			w.recvErr = err
-			for _, p := range w.waiting {
-				close(p.ch)
+			var finish []*pendingReq
+			for seq, p := range w.waiting {
+				delete(w.waiting, seq)
+				if p.discarded {
+					finish = append(finish, p)
+				} else {
+					p.ch <- response{err: lost}
+				}
 			}
-			w.waiting = map[uint64]*pendingReq{}
 			w.mu.Unlock()
+			for _, p := range finish {
+				w.finishRequest(p)
+			}
 			close(w.done)
 			return
 		}
-		w.mu.Lock()
-		p, ok := w.waiting[msg.Seq]
-		if ok {
-			delete(w.waiting, msg.Seq)
-		}
-		w.mu.Unlock()
-		if ok {
-			p.ch <- msg // buffered; never blocks
-		} else {
+		if !w.deliver(msg) {
 			// A late answer to an abandoned (timed-out) request, or the
 			// second copy of a duplicated response: drop it — nobody is
-			// reading the old channel.
+			// waiting for it anymore.
 			w.stale.Add(1)
+			transport.ReleaseReceived(msg)
 		}
 	}
 }
 
-// expect registers interest in a response to msg. It fails fast when the
-// receive loop has already died: registering after that point would leave
-// a channel nothing will ever close (the historical hang on operations
-// started after connection loss).
-func (w *Worker) expect(seq uint64, msg *transport.Message) (*pendingReq, error) {
+// deliver routes a response to its pending request. Removal from the
+// table and the channel send happen under one critical section, so each
+// registration sees at most one delivery (the capacity-1 channel never
+// blocks). Discarded (fire-and-forget) requests are completed in place.
+func (w *Worker) deliver(msg *transport.Message) bool {
+	w.mu.Lock()
+	p, ok := w.waiting[msg.Seq]
+	if !ok {
+		w.mu.Unlock()
+		return false
+	}
+	delete(w.waiting, msg.Seq)
+	discarded := p.discarded
+	if !discarded {
+		p.ch <- response{msg: msg}
+	}
+	w.mu.Unlock()
+	if discarded {
+		transport.ReleaseReceived(msg)
+		w.finishRequest(p)
+	}
+	return true
+}
+
+// failPending resolves p with err (used by pipe senders when the
+// transport rejects the request outright).
+func (w *Worker) failPending(p *pendingReq, err error) {
+	w.mu.Lock()
+	cur, ok := w.waiting[p.seq]
+	if !ok || cur != p {
+		w.mu.Unlock()
+		return
+	}
+	delete(w.waiting, p.seq)
+	discarded := p.discarded
+	if !discarded {
+		p.ch <- response{err: err}
+	}
+	w.mu.Unlock()
+	if discarded {
+		w.finishRequest(p)
+	}
+}
+
+// newRequest builds a pooled request message and its pending entry. keys
+// are copied and vals gathered into the message's own (reused) storage —
+// a pooled message must never alias shared slices.
+func (w *Worker) newRequest(typ transport.MsgType, m int, progress int, delta []float64) *pendingReq {
+	seq := w.seq.Add(1)
+	msg := transport.NewMessage()
+	msg.Type = typ
+	msg.To = transport.Server(m)
+	msg.Seq = seq
+	msg.Progress = int32(progress)
+	msg.Keys = append(msg.Keys[:0], w.keysPerServer[m]...)
+	if delta != nil {
+		if n := w.cfg.PayloadCapacity; n > 0 && cap(msg.Vals) < n {
+			msg.Vals = make([]float64, 0, n)
+		}
+		msg.Vals = kvstore.GatherInto(msg.Vals[:0], w.cfg.Layout, delta, msg.Keys)
+	}
+	p, _ := w.reqPool.Get().(*pendingReq)
+	if p == nil {
+		p = &pendingReq{ch: make(chan response, 1)}
+	}
+	p.seq = seq
+	p.msg = msg
+	p.sent.Store(false)
+	p.discarded = false
+	return p
+}
+
+// expect registers interest in a response to p's message. It fails fast
+// when the receive loop has already died: registering after that point
+// would leave a request nothing will ever resolve (the historical hang on
+// operations started after connection loss).
+func (w *Worker) expect(p *pendingReq) error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.recvErr != nil {
-		return nil, w.lostErr(w.recvErr)
+		return w.lostErr(w.recvErr)
 	}
-	p := &pendingReq{seq: seq, msg: msg, ch: make(chan *transport.Message, 1)}
-	w.waiting[seq] = p
-	return p, nil
+	w.waiting[p.seq] = p
+	return nil
 }
 
 // forget abandons an in-flight request so a late response cannot
-// accumulate in the waiting table (the historical timeout leak).
+// accumulate in the waiting table (the historical timeout leak). Any
+// response that raced in is drained and counted stale. The request's
+// resources are not recycled — the pipe or the peer may still hold them;
+// the garbage collector takes over on this rare fault path.
 func (w *Worker) forget(p *pendingReq) {
 	w.mu.Lock()
 	if cur, ok := w.waiting[p.seq]; ok && cur == p {
 		delete(w.waiting, p.seq)
 	}
 	w.mu.Unlock()
+	select {
+	case r := <-p.ch:
+		if r.msg != nil {
+			w.stale.Add(1)
+			transport.ReleaseReceived(r.msg)
+		}
+	default:
+	}
+}
+
+// finishRequest recycles a completed request. Safe only after its single
+// delivery was consumed (the table entry is gone, so no further send can
+// happen). The request message never escapes the worker — SendRetained
+// copies on every transport — so it is recycled as soon as the pipe is
+// provably done reading it.
+func (w *Worker) finishRequest(p *pendingReq) {
+	if !p.sent.Load() {
+		// The pipe still holds p (a retransmit was answered before the
+		// original send). Leave both to the garbage collector.
+		return
+	}
+	transport.Release(p.msg)
+	p.msg = nil
+	w.reqPool.Put(p)
 }
 
 func (w *Worker) lostErr(err error) error {
 	if err == transport.ErrClosed {
 		return transport.ErrClosed
 	}
-	return fmt.Errorf("core: worker %d connection lost: %w", w.rank, err)
+	return fmt.Errorf("core: worker %d connection lost: %w", w.cfg.Rank, err)
 }
 
-// await blocks until p's response arrives, the connection dies, the retry
-// budget is exhausted, or the worker timeout elapses. Unanswered requests
-// are retransmitted per the retry policy; abandoned requests are removed
-// from the waiting table.
-func (w *Worker) await(p *pendingReq) (*transport.Message, error) {
+// await blocks until p's response arrives, ctx is cancelled, the
+// connection dies, the retry budget is exhausted, or the worker timeout
+// elapses. Unanswered requests are retransmitted per the retry policy;
+// abandoned requests are removed from the waiting table.
+func (w *Worker) await(ctx context.Context, p *pendingReq) (*transport.Message, error) {
 	var totalC <-chan time.Time
-	if w.timeout > 0 {
-		total := time.NewTimer(w.timeout)
+	if w.cfg.Timeout > 0 {
+		total := time.NewTimer(w.cfg.Timeout)
 		defer total.Stop()
 		totalC = total.C
 	}
 	for attempt := 0; ; attempt++ {
 		var retryC <-chan time.Time
 		var retryT *time.Timer
-		if w.retry.enabled() {
-			retryT = time.NewTimer(w.retry.delay(attempt))
+		if w.cfg.Retry.enabled() {
+			retryT = time.NewTimer(w.cfg.Retry.delay(attempt))
 			retryC = retryT.C
 		}
 		select {
-		case msg, ok := <-p.ch:
+		case r := <-p.ch:
 			if retryT != nil {
 				retryT.Stop()
 			}
-			if !ok {
-				w.mu.Lock()
-				err := w.recvErr
-				w.mu.Unlock()
-				return nil, w.lostErr(err)
+			if r.err != nil {
+				return nil, r.err
 			}
-			return msg, nil
+			return r.msg, nil
+		case <-ctx.Done():
+			if retryT != nil {
+				retryT.Stop()
+			}
+			w.forget(p)
+			return nil, fmt.Errorf("core: worker %d: %w", w.cfg.Rank, ctx.Err())
 		case <-retryC:
-			if w.retry.MaxAttempts > 0 && attempt+1 >= w.retry.MaxAttempts {
+			if w.cfg.Retry.MaxAttempts > 0 && attempt+1 >= w.cfg.Retry.MaxAttempts {
 				w.forget(p)
 				w.timeouts.Add(1)
-				return nil, fmt.Errorf("core: worker %d: %w after %d attempts", w.rank, ErrTimeout, attempt+1)
+				return nil, fmt.Errorf("core: worker %d: %w (%w) after %d attempts",
+					w.cfg.Rank, ErrRetriesExhausted, ErrTimeout, attempt+1)
 			}
-			// Retransmit under the same seq; the server dedups. A send
-			// failure here is not fatal — the endpoint may be mid-way
-			// through reconnecting — the next interval retries again.
+			// Retransmit under the same seq; the server dedups. Sent
+			// directly (not through the pipe): the fault path must not
+			// queue behind healthy traffic. A send failure here is not
+			// fatal — the endpoint may be mid-way through reconnecting —
+			// the next interval retries again.
 			w.retries.Add(1)
-			_ = w.ep.Send(p.msg)
+			_ = transport.SendRetained(w.ep, p.msg)
 		case <-totalC:
 			if retryT != nil {
 				retryT.Stop()
 			}
 			w.forget(p)
 			w.timeouts.Add(1)
-			return nil, fmt.Errorf("core: worker %d: %w after %v", w.rank, ErrTimeout, w.timeout)
+			return nil, fmt.Errorf("core: worker %d: %w after %v", w.cfg.Rank, ErrTimeout, w.cfg.Timeout)
 		}
 	}
 }
 
 // Handle tracks an outstanding asynchronous operation; resolve it with
-// Wait — the paper's kv.wait(kv.sPull(...)) pattern.
+// Wait — the paper's kv.wait(kv.sPull(...)) pattern — or release it with
+// Discard for fire-and-forget pushes.
 type Handle struct {
 	worker *Worker
 	reqs   []*pendingReq
+	// reqsBuf backs reqs for typical shard counts, so a handle is a
+	// single allocation.
+	reqsBuf [4]*pendingReq
 	// params, when non-nil, receives scattered pull responses.
 	params []float64
 }
 
 // Wait blocks until every per-server response of the operation arrived
 // (Algorithm 1's kv.wait). For pulls it also scatters the responses into
-// the destination vector.
-func (h *Handle) Wait() error {
-	for _, p := range h.reqs {
-		resp, err := h.worker.await(p)
+// the destination vector — the gather-with-reassembly step: each shard's
+// segment lands at its layout offsets as it arrives, so a straggler shard
+// only delays its own segment. On the first error the operation's
+// remaining requests are abandoned. A handle is spent after Wait returns;
+// waiting again is a no-op.
+func (h *Handle) Wait(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	reqs := h.reqs
+	h.reqs = nil
+	for i, p := range reqs {
+		resp, err := h.worker.await(ctx, p)
 		if err != nil {
+			for _, q := range reqs[i+1:] {
+				h.worker.forget(q)
+			}
 			return err
 		}
 		if h.params != nil {
-			if err := kvstore.Scatter(h.worker.layout, h.params, resp.Keys, resp.Vals); err != nil {
-				return fmt.Errorf("core: worker %d scatter response: %w", h.worker.rank, err)
+			if err := kvstore.Scatter(h.worker.cfg.Layout, h.params, resp.Keys, resp.Vals); err != nil {
+				transport.ReleaseReceived(resp)
+				for _, q := range reqs[i+1:] {
+					h.worker.forget(q)
+				}
+				return fmt.Errorf("core: worker %d scatter response: %w", h.worker.cfg.Rank, err)
 			}
 		}
+		transport.ReleaseReceived(resp)
+		h.worker.finishRequest(p)
 	}
 	return nil
+}
+
+// Discard marks the operation fire-and-forget: each per-server response
+// is absorbed and its resources recycled by the receive loop as it
+// arrives, without anyone waiting. Algorithm 1's worker never waits for
+// push acknowledgements — Discard is how a training loop says so without
+// leaking the in-flight state. The handle is spent afterwards.
+func (h *Handle) Discard() {
+	w := h.worker
+	reqs := h.reqs
+	h.reqs = nil
+	for _, p := range reqs {
+		w.mu.Lock()
+		if cur, ok := w.waiting[p.seq]; ok && cur == p {
+			p.discarded = true
+			w.mu.Unlock()
+			continue
+		}
+		w.mu.Unlock()
+		// Already resolved (response raced in, or the request failed):
+		// drain and recycle here.
+		select {
+		case r := <-p.ch:
+			transport.ReleaseReceived(r.msg)
+		default:
+		}
+		w.finishRequest(p)
+	}
 }
 
 // abandon unregisters every request of a partially-sent operation, so a
@@ -304,38 +558,35 @@ func (h *Handle) abandon() {
 	for _, p := range h.reqs {
 		h.worker.forget(p)
 	}
+	h.reqs = nil
 }
 
 // SPushAsync sends the update delta (full model dimensionality) for
 // iteration progress — one message per server carrying that server's key
-// segments — and returns immediately. Algorithm 1's worker never waits
-// for push acknowledgements (line 4); wait on the handle only when you
-// need the delivery guarantee (e.g. before shutting down).
-func (w *Worker) SPushAsync(progress int, delta []float64) (*Handle, error) {
+// segments, scattered concurrently through the per-server pipelines — and
+// returns as soon as every message is queued. Resolve the handle with
+// Wait when you need the delivery guarantee (e.g. before shutting down),
+// or Discard it for Algorithm 1's fire-and-forget push (line 4).
+func (w *Worker) SPushAsync(ctx context.Context, progress int, delta []float64) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	h := &Handle{worker: w}
+	h.reqs = h.reqsBuf[:0]
 	for m := 0; m < w.servers; m++ {
-		keys := w.keysPerServer[m]
-		if len(keys) == 0 {
+		if len(w.keysPerServer[m]) == 0 {
 			continue
 		}
-		seq := w.seq.Add(1)
-		msg := &transport.Message{
-			Type:     transport.MsgPush,
-			To:       transport.Server(m),
-			Seq:      seq,
-			Progress: int32(progress),
-			Keys:     keys,
-			Vals:     kvstore.GatherInto(nil, w.layout, delta, keys),
-		}
-		p, err := w.expect(seq, msg)
-		if err != nil {
+		p := w.newRequest(transport.MsgPush, m, progress, delta)
+		if err := w.expect(p); err != nil {
+			transport.Release(p.msg)
 			h.abandon()
-			return nil, fmt.Errorf("core: worker %d push to server %d: %w", w.rank, m, err)
+			return nil, fmt.Errorf("core: worker %d push to server %d: %w", w.cfg.Rank, m, err)
 		}
 		h.reqs = append(h.reqs, p)
-		if err := w.ep.Send(msg); err != nil {
+		if err := w.enqueue(ctx, m, p); err != nil {
 			h.abandon()
-			return nil, fmt.Errorf("core: worker %d push to server %d: %w", w.rank, m, err)
+			return nil, fmt.Errorf("core: worker %d push to server %d: %w", w.cfg.Rank, m, err)
 		}
 	}
 	return h, nil
@@ -344,12 +595,12 @@ func (w *Worker) SPushAsync(progress int, delta []float64) (*Handle, error) {
 // SPush is the synchronous form: push and wait for all acknowledgements,
 // so a returned nil error means every shard has received (and, per its
 // model, applied or dropped) the update.
-func (w *Worker) SPush(progress int, delta []float64) error {
-	h, err := w.SPushAsync(progress, delta)
+func (w *Worker) SPush(ctx context.Context, progress int, delta []float64) error {
+	h, err := w.SPushAsync(ctx, progress, delta)
 	if err != nil {
 		return err
 	}
-	return h.Wait()
+	return h.Wait(ctx)
 }
 
 // SPullAsync requests the parameters needed for iteration progress+1;
@@ -358,42 +609,38 @@ func (w *Worker) SPush(progress int, delta []float64) error {
 // request (possibly via the lazy pull buffer) — the overlap
 // synchronization of §III-D: an up-to-date shard answers immediately even
 // while another shard still waits for a straggler.
-func (w *Worker) SPullAsync(progress int, params []float64) (*Handle, error) {
+func (w *Worker) SPullAsync(ctx context.Context, progress int, params []float64) (*Handle, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	h := &Handle{worker: w, params: params}
+	h.reqs = h.reqsBuf[:0]
 	for m := 0; m < w.servers; m++ {
-		keys := w.keysPerServer[m]
-		if len(keys) == 0 {
+		if len(w.keysPerServer[m]) == 0 {
 			continue
 		}
-		seq := w.seq.Add(1)
-		msg := &transport.Message{
-			Type:     transport.MsgPull,
-			To:       transport.Server(m),
-			Seq:      seq,
-			Progress: int32(progress),
-			Keys:     keys,
-		}
-		p, err := w.expect(seq, msg)
-		if err != nil {
+		p := w.newRequest(transport.MsgPull, m, progress, nil)
+		if err := w.expect(p); err != nil {
+			transport.Release(p.msg)
 			h.abandon()
-			return nil, fmt.Errorf("core: worker %d pull from server %d: %w", w.rank, m, err)
+			return nil, fmt.Errorf("core: worker %d pull from server %d: %w", w.cfg.Rank, m, err)
 		}
 		h.reqs = append(h.reqs, p)
-		if err := w.ep.Send(msg); err != nil {
+		if err := w.enqueue(ctx, m, p); err != nil {
 			h.abandon()
-			return nil, fmt.Errorf("core: worker %d pull from server %d: %w", w.rank, m, err)
+			return nil, fmt.Errorf("core: worker %d pull from server %d: %w", w.cfg.Rank, m, err)
 		}
 	}
 	return h, nil
 }
 
 // SPull is the synchronous form of SPullAsync.
-func (w *Worker) SPull(progress int, params []float64) error {
-	h, err := w.SPullAsync(progress, params)
+func (w *Worker) SPull(ctx context.Context, progress int, params []float64) error {
+	h, err := w.SPullAsync(ctx, progress, params)
 	if err != nil {
 		return err
 	}
-	return h.Wait()
+	return h.Wait(ctx)
 }
 
 // Outstanding returns the number of requests currently in flight —
@@ -405,5 +652,16 @@ func (w *Worker) Outstanding() int {
 	return len(w.waiting)
 }
 
-// Close tears down the worker's endpoint; outstanding operations fail.
-func (w *Worker) Close() error { return w.ep.Close() }
+// Close tears down the worker: the endpoint closes (failing outstanding
+// operations through the receive loop) and the per-server sender
+// goroutines wind down.
+func (w *Worker) Close() error {
+	err := w.ep.Close()
+	select {
+	case <-w.pipeStop:
+		// Already stopped.
+	default:
+		w.stopPipes()
+	}
+	return err
+}

@@ -77,6 +77,11 @@ type chanEndpoint struct {
 
 func (e *chanEndpoint) ID() NodeID { return e.id }
 
+// SendCopies reports false: delivery shares the caller's pointer with the
+// receiver, so a pooled message sent here is owned by whoever drains it
+// (see pool.go for the handoff rules).
+func (e *chanEndpoint) SendCopies() bool { return false }
+
 func (e *chanEndpoint) Send(m *Message) error {
 	if m.From == (NodeID{}) {
 		m.From = e.id

@@ -100,9 +100,10 @@ func TestWriteReadFrame(t *testing.T) {
 		if err != nil {
 			t.Fatalf("frame %d: %v", i, err)
 		}
-		if !reflect.DeepEqual(got, want) {
+		if !sameMessage(got, want) {
 			t.Errorf("frame %d mismatch: got %+v want %+v", i, got, want)
 		}
+		ReleaseReceived(got)
 	}
 	if _, err := ReadFrame(&buf); err != io.EOF {
 		t.Errorf("expected io.EOF at stream end, got %v", err)
@@ -161,6 +162,30 @@ func TestCodecRoundTripProperty(t *testing.T) {
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
 	}
+}
+
+// sameMessage compares the wire-visible fields of two messages. ReadFrame
+// returns pooled messages whose unexported ownership state (and reused,
+// non-nil empty slices) make reflect.DeepEqual against a literal unusable.
+func sameMessage(a, b *Message) bool {
+	if a.Type != b.Type || a.From != b.From || a.To != b.To ||
+		a.Seq != b.Seq || a.Progress != b.Progress {
+		return false
+	}
+	if len(a.Keys) != len(b.Keys) || len(a.Vals) != len(b.Vals) {
+		return false
+	}
+	for i := range a.Keys {
+		if a.Keys[i] != b.Keys[i] {
+			return false
+		}
+	}
+	for i := range a.Vals {
+		if math.Float64bits(a.Vals[i]) != math.Float64bits(b.Vals[i]) {
+			return false
+		}
+	}
+	return true
 }
 
 // normalize maps nil and empty slices to a canonical form for DeepEqual.

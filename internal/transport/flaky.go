@@ -125,18 +125,40 @@ func (f *Flaky) Send(m *Message) error {
 		}
 	}
 	f.mu.Unlock()
-	var firstErr error
+	// At most one copy may travel as the caller's pointer, and only
+	// synchronously: duplicated and delayed copies are deep clones, because
+	// the sender — or the receiver, after an ownership handoff — may
+	// recycle a pooled message the instant the original delivery is
+	// processed (see pool.go ownership rules). Every clone is therefore
+	// taken BEFORE the caller's pointer reaches the inner Send.
+	var immediate []*Message
+	usedOriginal := false
 	for _, d := range delays {
-		if d == 0 {
-			if err := f.inner.Send(m); err != nil && firstErr == nil {
-				firstErr = err
-			}
-			continue
+		var c *Message
+		if d == 0 && !usedOriginal {
+			usedOriginal = true
+			c = m
+		} else {
+			c = m.Clone()
 		}
-		f.sendLater(m, d)
+		if d > 0 {
+			f.sendLater(c, d)
+		} else {
+			immediate = append(immediate, c)
+		}
+	}
+	var firstErr error
+	for _, c := range immediate {
+		if err := f.inner.Send(c); err != nil && firstErr == nil {
+			firstErr = err
+		}
 	}
 	return firstErr
 }
+
+// SendCopies defers to the wrapped endpoint: immediate deliveries forward
+// the caller's pointer, so Flaky copies exactly when its inner does.
+func (f *Flaky) SendCopies() bool { return SendCopies(f.inner) }
 
 // sendLater delivers m after d; a delivery failure after the delay is
 // indistinguishable from a drop, which is the point of this wrapper.

@@ -69,6 +69,11 @@ func (e *latencyEndpoint) Send(m *Message) error {
 	return nil
 }
 
+// SendCopies reports false: both the immediate and the delayed path hand
+// the caller's pointer to the in-process fabric, so message ownership
+// travels to the receiver (see pool.go).
+func (e *latencyEndpoint) SendCopies() bool { return false }
+
 func (e *latencyEndpoint) Recv() (*Message, error) { return e.inner.Recv() }
 
 func (e *latencyEndpoint) Close() error {

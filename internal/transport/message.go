@@ -165,6 +165,8 @@ type Message struct {
 	// segment lengths come from the model layout shared by both ends.
 	Keys []keyrange.Key
 	Vals []float64
+	// owner tracks pool ownership (see pool.go); zero for plain messages.
+	owner uint8
 }
 
 // PayloadBytes returns the approximate wire size of the message payload,

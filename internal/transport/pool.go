@@ -1,0 +1,193 @@
+package transport
+
+import (
+	"sync"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// Message pooling.
+//
+// The push/pull hot path creates one Message per server per operation and
+// one response per request; without reuse that is four allocations (struct,
+// Keys, Vals, frame buffer) per message at steady state. The pool removes
+// them, at the cost of an explicit ownership discipline:
+//
+//   - NewMessage returns a pooled message OWNED BY ITS CREATOR. The creator
+//     must eventually call Release exactly once, after the message is
+//     provably out of every queue and handler (for a worker request: after
+//     the matching response arrived; for a server response sent over a
+//     copying transport: right after Send returns).
+//   - A pooled message exclusively owns the backing arrays of its Keys and
+//     Vals slices. Fill them with append(m.Keys[:0], ...) — never alias a
+//     shared slice into a pooled message, and never retain m.Keys/m.Vals
+//     past the message's release.
+//   - Ownership can be handed to the receiver: SendOwned transfers a
+//     creator-owned message to whoever drains it from Endpoint.Recv when the
+//     transport delivers pointers (ChanNetwork), or releases it immediately
+//     after Send when the transport copies (TCP encodes the frame). The
+//     receiving side calls ReleaseReceived on every message it is done
+//     with; it recycles exactly the messages whose ownership reached the
+//     receiver (TCP-decoded frames and handed-off pointers) and is a no-op
+//     on everything else, so plain &Message{} literals and still
+//     sender-owned messages pass through untouched.
+//
+// Both Release and ReleaseReceived are nil-safe no-ops on non-pooled
+// messages, so call sites need no knowledge of where a message came from.
+
+// Ownership states of a pooled message.
+const (
+	// ownerNone marks a plain, non-pooled message; releases are no-ops.
+	ownerNone uint8 = iota
+	// ownerSender: the creator (NewMessage caller) releases it.
+	ownerSender
+	// ownerReceiver: the consumer draining it from Recv releases it.
+	ownerReceiver
+)
+
+var msgPool = sync.Pool{New: func() any { return new(Message) }}
+
+// NewMessage returns an empty pooled message owned by the caller. The
+// Keys/Vals slices keep the capacity of their previous use — fill them
+// with append(m.Keys[:0], ...) to reuse the backing arrays.
+func NewMessage() *Message {
+	m := msgPool.Get().(*Message)
+	m.owner = ownerSender
+	return m
+}
+
+// Release recycles a creator-owned pooled message. It must only be called
+// by the message's creator, after no queue, timer, or handler can still
+// reference it. No-op on nil and non-pooled messages.
+func Release(m *Message) {
+	if m == nil || m.owner != ownerSender {
+		return
+	}
+	recycle(m)
+}
+
+// ReleaseReceived recycles a message obtained from Endpoint.Recv whose
+// ownership was transferred to the receiver: TCP-decoded frames and
+// messages sent with SendOwned over a pointer-delivering transport. No-op
+// on nil, non-pooled, and still sender-owned messages, so receive loops
+// can call it unconditionally on every message they finish with.
+func ReleaseReceived(m *Message) {
+	if m == nil || m.owner != ownerReceiver {
+		return
+	}
+	recycle(m)
+}
+
+func recycle(m *Message) {
+	m.Type = 0
+	m.From = NodeID{}
+	m.To = NodeID{}
+	m.Seq = 0
+	m.Progress = 0
+	m.Keys = m.Keys[:0]
+	m.Vals = m.Vals[:0]
+	m.owner = ownerNone
+	msgPool.Put(m)
+}
+
+// ReceiverOwned reports whether the receiver of this message is
+// responsible for releasing it — i.e. whether the apply loop draining it
+// from Recv will recycle it after handling. Handlers that retain the
+// message's Keys or Vals past their return must copy when this is true.
+func (m *Message) ReceiverOwned() bool { return m.owner == ownerReceiver }
+
+// Clone returns a deep, non-pooled copy of m. Fault injectors and other
+// wrappers that re-deliver a message later must clone it, because the
+// original may be recycled by its owner as soon as the first delivery is
+// processed.
+func (m *Message) Clone() *Message {
+	c := &Message{Type: m.Type, From: m.From, To: m.To, Seq: m.Seq, Progress: m.Progress}
+	if len(m.Keys) > 0 {
+		c.Keys = append(make([]keyrange.Key, 0, len(m.Keys)), m.Keys...)
+	}
+	if len(m.Vals) > 0 {
+		c.Vals = append(make([]float64, 0, len(m.Vals)), m.Vals...)
+	}
+	return c
+}
+
+// Copier is implemented by endpoints whose Send fully copies the message
+// before returning (e.g. TCP, which encodes it into a frame). On such
+// transports a sender may mutate or release a message as soon as Send
+// returns; on pointer-delivering transports (ChanNetwork) the receiver
+// owns the pointer until it is done handling it.
+type Copier interface {
+	// SendCopies reports whether Send copies the message before returning.
+	SendCopies() bool
+}
+
+// SendCopies reports whether ep's Send copies messages. Endpoints that do
+// not implement Copier are assumed to deliver pointers.
+func SendCopies(ep Endpoint) bool {
+	c, ok := ep.(Copier)
+	return ok && c.SendCopies()
+}
+
+// SendOwned sends a creator-owned pooled message and disposes of it
+// according to the transport's delivery semantics: released immediately
+// when Send copies, ownership handed to the receiving consumer when Send
+// delivers the pointer. The caller must not touch m afterwards. This is
+// the one-shot send for responses and acks; requests that may need
+// retransmission must keep ownership and use plain Send + a later Release.
+func SendOwned(ep Endpoint, m *Message) error {
+	if m.owner != ownerSender {
+		return ep.Send(m)
+	}
+	if SendCopies(ep) {
+		err := ep.Send(m)
+		Release(m)
+		return err
+	}
+	// Hand off before Send: once the pointer is in the peer's queue the
+	// receiver may drain and recycle it at any moment.
+	m.owner = ownerReceiver
+	return ep.Send(m)
+}
+
+// SendRetained sends a creator-owned pooled message while the caller KEEPS
+// ownership — the send for requests that may be retransmitted and are
+// released by their creator once the operation completes. On a copying
+// transport the message itself goes out (the frame encoder reads it
+// synchronously, so the sender and receiver never share memory). On a
+// pointer-delivering transport a pooled receiver-owned copy is sent
+// instead: the receiver's release discipline applies to the copy, and m
+// never escapes its creator. Failed or dropped copies are left to the
+// garbage collector, consistent with every other fault path.
+func SendRetained(ep Endpoint, m *Message) error {
+	if m.owner != ownerSender || SendCopies(ep) {
+		return ep.Send(m)
+	}
+	c := NewMessage()
+	c.Type, c.From, c.To, c.Seq, c.Progress = m.Type, m.From, m.To, m.Seq, m.Progress
+	c.Keys = append(c.Keys[:0], m.Keys...)
+	c.Vals = append(c.Vals[:0], m.Vals...)
+	c.owner = ownerReceiver
+	return ep.Send(c)
+}
+
+// Frame buffer pooling: WriteFrame and ReadFrame stage every frame through
+// a pooled byte slice, so steady-state framing allocates nothing.
+var framePool = sync.Pool{
+	New: func() any {
+		b := make([]byte, 0, 4096)
+		return &b
+	},
+}
+
+func getFrameBuf(n int) *[]byte {
+	bp := framePool.Get().(*[]byte)
+	if cap(*bp) < n {
+		*bp = make([]byte, 0, n)
+	}
+	return bp
+}
+
+func putFrameBuf(bp *[]byte) {
+	*bp = (*bp)[:0]
+	framePool.Put(bp)
+}

@@ -1,0 +1,233 @@
+package transport
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// TestFrameRoundTripIsAllocationFree: at steady state the frame path —
+// encode into a pooled buffer, decode into a pooled message, release —
+// must not allocate. This is the microbenchmark-as-test form of the hot
+// path acceptance criterion.
+func TestFrameRoundTripIsAllocationFree(t *testing.T) {
+	if raceEnabled {
+		t.Skip("sync.Pool drops items under the race detector; alloc counts are meaningless")
+	}
+	m := sampleMessage()
+	var buf bytes.Buffer
+	// Warm the pools so steady state is what is measured.
+	for i := 0; i < 4; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseReceived(got)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		buf.Reset()
+		if err := WriteFrame(&buf, m); err != nil {
+			t.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ReleaseReceived(got)
+	})
+	// bytes.Buffer internals may occasionally grow; the codec itself must
+	// contribute nothing per message.
+	if allocs > 1 {
+		t.Errorf("frame round trip allocates %.1f objects/op, want ≤1", allocs)
+	}
+}
+
+// TestPoolReuseDoesNotAliasPayloads: concurrent goroutines each pump
+// distinct messages through the pooled frame path; recycled buffers and
+// messages must never leak one goroutine's payload into another's. Run
+// with -race to catch sharing, and with content checks to catch logical
+// aliasing even without the detector.
+func TestPoolReuseDoesNotAliasPayloads(t *testing.T) {
+	const (
+		goroutines = 8
+		iters      = 500
+	)
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			var buf bytes.Buffer
+			for i := 0; i < iters; i++ {
+				want := &Message{
+					Type:     MsgPush,
+					From:     Worker(g),
+					To:       Server(0),
+					Seq:      uint64(i),
+					Progress: int32(g),
+					Keys:     []keyrange.Key{keyrange.Key(g), keyrange.Key(i % 7)},
+					Vals:     []float64{float64(g), float64(i), float64(g * i)},
+				}
+				buf.Reset()
+				if err := WriteFrame(&buf, want); err != nil {
+					errs <- err
+					return
+				}
+				got, err := ReadFrame(&buf)
+				if err != nil {
+					errs <- err
+					return
+				}
+				if !sameMessage(got, want) {
+					errs <- fmt.Errorf("goroutine %d iter %d: payload corrupted: got %+v want %+v", g, i, got, want)
+					ReleaseReceived(got)
+					return
+				}
+				ReleaseReceived(got)
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestReleaseIsNoOpOnPlainMessages: messages built as literals must pass
+// through both release functions untouched, so call sites never need to
+// know a message's provenance.
+func TestReleaseIsNoOpOnPlainMessages(t *testing.T) {
+	m := sampleMessage()
+	Release(m)
+	ReleaseReceived(m)
+	Release(nil)
+	ReleaseReceived(nil)
+	if len(m.Keys) != 3 || len(m.Vals) != 4 {
+		t.Fatalf("release mutated a non-pooled message: %+v", m)
+	}
+	if m.ReceiverOwned() {
+		t.Fatal("plain message reports receiver ownership")
+	}
+}
+
+// TestCloneIsDeepAndIndependent: a clone must not share backing arrays
+// with its source — fault injectors rely on this to re-deliver frames
+// after the original may have been recycled.
+func TestCloneIsDeepAndIndependent(t *testing.T) {
+	src := NewMessage()
+	src.Type = MsgPullResp
+	src.From = Server(1)
+	src.To = Worker(2)
+	src.Seq = 9
+	src.Keys = append(src.Keys[:0], 1, 2, 3)
+	src.Vals = append(src.Vals[:0], 1.5, 2.5)
+	c := src.Clone()
+	if !sameMessage(c, src) {
+		t.Fatalf("clone differs from source: %+v vs %+v", c, src)
+	}
+	// Recycle the source and scribble over its storage; the clone must be
+	// unaffected.
+	keys, vals := src.Keys, src.Vals
+	Release(src)
+	for i := range keys {
+		keys[i] = 99
+	}
+	for i := range vals {
+		vals[i] = -1
+	}
+	if c.Keys[0] != 1 || c.Keys[2] != 3 || c.Vals[0] != 1.5 {
+		t.Fatalf("clone shares storage with released source: %+v", c)
+	}
+	if c.ReceiverOwned() {
+		t.Fatal("clone must be non-pooled")
+	}
+}
+
+// TestSendOwnedHandsOffOverChan: over a pointer-delivering transport the
+// receiver gets the exact pooled message with ownership transferred, so
+// its ReleaseReceived recycles it.
+func TestSendOwnedHandsOffOverChan(t *testing.T) {
+	net := NewChanNetwork(4)
+	a := net.Endpoint(Worker(0))
+	b := net.Endpoint(Server(0))
+	defer a.Close()
+	defer b.Close()
+
+	m := NewMessage()
+	m.Type = MsgPushAck
+	m.To = Server(0)
+	if SendCopies(a) {
+		t.Fatal("chan endpoints must not report copying sends")
+	}
+	if err := SendOwned(a, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := b.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatal("chan transport did not deliver the sender's pointer")
+	}
+	if !got.ReceiverOwned() {
+		t.Fatal("SendOwned over chan must transfer ownership to the receiver")
+	}
+	ReleaseReceived(got)
+}
+
+func BenchmarkDecodeInto(b *testing.B) {
+	m := &Message{Type: MsgPush, From: Worker(0), To: Server(0), Vals: make([]float64, 4096)}
+	buf := Encode(nil, m)
+	out := &Message{}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := DecodeInto(out, buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFrameRoundTrip measures the full pooled framing path: encode +
+// length prefix into a pooled buffer, then decode into a pooled message
+// and release it — the per-message codec cost of the TCP transport.
+func BenchmarkFrameRoundTrip(b *testing.B) {
+	m := &Message{
+		Type: MsgPush, From: Worker(0), To: Server(0),
+		Keys: []keyrange.Key{1, 2, 3, 4},
+		Vals: make([]float64, 4096),
+	}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+		got, err := ReadFrame(&buf)
+		if err != nil {
+			b.Fatal(err)
+		}
+		ReleaseReceived(got)
+	}
+}
+
+func BenchmarkWriteFrame(b *testing.B) {
+	m := &Message{Type: MsgPush, From: Worker(0), To: Server(0), Vals: make([]float64, 4096)}
+	var buf bytes.Buffer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf.Reset()
+		if err := WriteFrame(&buf, m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -218,6 +218,10 @@ func (e *TCPEndpoint) Send(m *Message) error {
 	return fmt.Errorf("transport: send to %s failed after %d attempts: %w", m.To, e.redial.Attempts+1, lastErr)
 }
 
+// SendCopies reports true: Send encodes m into a frame before returning,
+// so callers may recycle a pooled message as soon as Send completes.
+func (e *TCPEndpoint) SendCopies() bool { return true }
+
 func (e *TCPEndpoint) writeTo(conn *tcpConn, m *Message) error {
 	conn.mu.Lock()
 	defer conn.mu.Unlock()
