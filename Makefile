@@ -3,7 +3,12 @@
 
 GO ?= go
 
-.PHONY: verify build vet test race fuzz bench bench-paper
+# Minimum statement coverage for the concurrency-critical packages
+# (internal/core, internal/transport). They sit at ~84%/~87%; the floor
+# catches a PR that lands untested request-lifecycle code.
+COVER_FLOOR ?= 80.0
+
+.PHONY: verify build vet test race fuzz fuzz-smoke cover ci bench bench-paper
 
 ## verify: the tier-1 gate — vet, build, full test suite.
 verify: vet build test
@@ -29,13 +34,44 @@ fuzz:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime 30s
 
+## fuzz-smoke: the CI-sized fuzz pass — 10s per codec target, enough to
+## replay the seed corpus and shake the boundary cases.
+fuzz-smoke:
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzDecode -fuzztime 10s
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s
+
+## cover: statement coverage for the request-lifecycle packages, failing
+## below COVER_FLOOR percent.
+cover:
+	@for pkg in ./internal/core/ ./internal/transport/; do \
+		out=$$($(GO) test -cover $$pkg | tail -1); \
+		echo "$$out"; \
+		pct=$$(echo "$$out" | sed -n 's/.*coverage: \([0-9.]*\)%.*/\1/p'); \
+		if [ -z "$$pct" ]; then echo "no coverage reported for $$pkg"; exit 1; fi; \
+		if ! awk -v p="$$pct" -v f="$(COVER_FLOOR)" 'BEGIN{exit !(p+0 >= f+0)}'; then \
+			echo "FAIL: coverage $$pct% of $$pkg is below the $(COVER_FLOOR)% floor"; exit 1; \
+		fi; \
+	done
+
+## ci: the full pre-merge gate — vet + build + tests, the race detector
+## over everything, a codec fuzz smoke, and the coverage floor.
+ci: verify
+	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
+	$(MAKE) cover
+
 ## bench: the hot-path microbenchmarks — encode→send→apply with pooled
 ## frames and the end-to-end push/pull step — with allocation counts.
-## Machine-readable results land in BENCH_hotpath.json (go test -json).
+## Machine-readable results land in BENCH_hotpath.json (go test -json);
+## BENCH_telemetry.json isolates the telemetry overhead: the same
+## push/pull step with a live registry vs the Nop sink vs no telemetry,
+## plus the per-instrument costs (counter add, histogram observe).
 bench:
-	$(GO) test -run '^$$' -bench 'PushPullHotPath|FrameRoundTrip|WriteFrame|DecodeInto' \
+	$(GO) test -run '^$$' -bench 'PushPullHotPath$$|FrameRoundTrip|WriteFrame|DecodeInto' \
 		-benchmem -json ./internal/core/ ./internal/transport/ > BENCH_hotpath.json
-	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_hotpath.json | tr -d '\n' | \
+	$(GO) test -run '^$$' -bench 'PushPullHotPath|CounterInc|GaugeSet|HistogramObserve' \
+		-benchmem -json ./internal/core/ ./internal/telemetry/ > BENCH_telemetry.json
+	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_hotpath.json BENCH_telemetry.json | tr -d '\n' | \
 		sed 's/\\n/\n/g; s/\\t/\t/g' | grep 'allocs/op'
 
 ## bench-paper: every benchmark in the repo once over (smoke, not timing).

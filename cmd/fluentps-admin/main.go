@@ -6,8 +6,13 @@
 // Examples:
 //
 //	fluentps-admin -servers h1:7071,h2:7071 -workerAddrs h3:7081 stats
+//	fluentps-admin -debugAddrs h1:7090,h2:7090,h3:7091 stats
 //	fluentps-admin ... -rank 1 -sync pssp -staleness 3 -prob 0.5 set-cond
 //	fluentps-admin ... -decommission 1 rebalance
+//
+// With -debugAddrs, stats scrapes each node's telemetry endpoint
+// (fluentps-server/-worker -debugAddr) over HTTP instead of the in-band
+// stats query, and renders the cluster-wide counters as a table.
 package main
 
 import (
@@ -16,12 +21,17 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"strconv"
 	"strings"
+	"text/tabwriter"
+	"time"
 
 	"github.com/fluentps/fluentps/internal/clustercfg"
 	"github.com/fluentps/fluentps/internal/core"
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/telemetry"
 	"github.com/fluentps/fluentps/internal/transport"
 )
 
@@ -30,12 +40,18 @@ func main() {
 	rank := flag.Int("rank", 0, "target server rank (set-cond)")
 	listen := flag.String("listen", "127.0.0.1:0", "admin listen address (servers dial back here)")
 	decommission := flag.String("decommission", "", "comma-separated server ranks to drain (rebalance)")
+	debugAddrs := flag.String("debugAddrs", "", "comma-separated telemetry endpoints to scrape (stats); bypasses the in-band query")
 	flags.Register(flag.CommandLine)
 	flag.Parse()
 	cmd := flag.Arg(0)
 	if cmd == "" {
 		fmt.Fprintln(os.Stderr, "usage: fluentps-admin [flags] stats | set-cond | rebalance")
 		os.Exit(2)
+	}
+
+	if cmd == "stats" && *debugAddrs != "" {
+		scrapeStats(strings.Split(*debugAddrs, ","))
+		return
 	}
 
 	cluster, err := flags.Cluster()
@@ -117,4 +133,78 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fluentps-admin: unknown command %q\n", cmd)
 		os.Exit(2)
 	}
+}
+
+// scrapeStats fetches each node's /debug/fluentps snapshot over HTTP and
+// renders the union of their metrics as one table — a row per metric, a
+// column per node. An unreachable node keeps its column ("-" cells) so a
+// partial outage is visible instead of silently shrinking the table.
+func scrapeStats(addrs []string) {
+	type column struct {
+		addr string
+		snap telemetry.Snapshot
+		ok   bool
+	}
+	var cols []column
+	names := map[string]bool{}
+	for _, addr := range addrs {
+		addr = strings.TrimSpace(addr)
+		if addr == "" {
+			continue
+		}
+		snap, err := telemetry.Scrape(addr)
+		if err != nil {
+			log.Printf("%v", err)
+			cols = append(cols, column{addr: addr})
+			continue
+		}
+		for n := range snap.Counters {
+			names[n] = true
+		}
+		for n := range snap.Gauges {
+			names[n] = true
+		}
+		for n := range snap.Histograms {
+			names[n] = true
+		}
+		cols = append(cols, column{addr: addr, snap: snap, ok: true})
+	}
+	sorted := make([]string, 0, len(names))
+	for n := range names {
+		sorted = append(sorted, n)
+	}
+	sort.Strings(sorted)
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 8, 2, ' ', 0)
+	fmt.Fprint(w, "metric")
+	for _, c := range cols {
+		fmt.Fprintf(w, "\t%s", c.addr)
+	}
+	fmt.Fprintln(w)
+	for _, n := range sorted {
+		fmt.Fprint(w, n)
+		for _, c := range cols {
+			fmt.Fprintf(w, "\t%s", metricCell(c.snap, c.ok, n))
+		}
+		fmt.Fprintln(w)
+	}
+	w.Flush()
+}
+
+// metricCell formats one node's value of one metric, "-" when the node
+// does not expose it (or was unreachable).
+func metricCell(s telemetry.Snapshot, ok bool, name string) string {
+	if !ok {
+		return "-"
+	}
+	if v, present := s.Counters[name]; present {
+		return strconv.FormatUint(v, 10)
+	}
+	if v, present := s.Gauges[name]; present {
+		return strconv.FormatInt(v, 10)
+	}
+	if h, present := s.Histograms[name]; present {
+		return fmt.Sprintf("n=%d p50=%v p99=%v", h.Count, time.Duration(h.P50), time.Duration(h.P99))
+	}
+	return "-"
 }

@@ -28,6 +28,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The scheduler carries no data-plane instruments, but the debug
+	// endpoint still exposes the process-wide pool gauges and serves as a
+	// liveness probe.
+	_, stopTel, err := flags.StartTelemetry("fluentps-scheduler", log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopTel()
 	ep, err := transport.ListenTCP(transport.Scheduler(), cluster.SchedulerAddr, cluster.Book())
 	if err != nil {
 		log.Fatal(err)

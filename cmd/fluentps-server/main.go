@@ -13,6 +13,7 @@ package main
 
 import (
 	"flag"
+	"fmt"
 	"log"
 
 	"github.com/fluentps/fluentps/internal/clustercfg"
@@ -52,6 +53,12 @@ func main() {
 	w0 := make([]float64, work.Model.Dim())
 	work.Model.Init(mathx.RNG(work.Seed, "cluster.init"), w0)
 
+	reg, stopTel, err := flags.StartTelemetry(fmt.Sprintf("fluentps-server[%d]", *rank), log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopTel()
+
 	tcpEP, err := transport.ListenTCP(transport.Server(*rank), cluster.ServerAddrs[*rank], cluster.Book())
 	if err != nil {
 		log.Fatal(err)
@@ -59,7 +66,7 @@ func main() {
 	// Wrapping the server endpoint faults the response direction (acks,
 	// pull responses) too, so -flaky* flags exercise both halves of every
 	// exchange.
-	ep := flags.WrapFaulty(tcpEP)
+	ep := flags.WrapFaultyObserved(tcpEP, reg)
 	defer ep.Close()
 
 	if err := core.RegisterAsync(ep); err != nil {
@@ -77,6 +84,7 @@ func main() {
 		},
 		Seed:        work.Seed,
 		DedupWindow: flags.DedupWindow,
+		Telemetry:   reg,
 	})
 	if err != nil {
 		log.Fatal(err)

@@ -53,6 +53,12 @@ func main() {
 	w0 := make([]float64, work.Model.Dim())
 	work.Model.Init(mathx.RNG(work.Seed, "cluster.init"), w0)
 
+	reg, stopTel, err := flags.StartTelemetry(fmt.Sprintf("fluentps-worker[%d]", *rank), log.Printf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stopTel()
+
 	tcpEP, err := transport.ListenTCP(transport.Worker(*rank), cluster.WorkerAddrs[*rank], cluster.Book())
 	if err != nil {
 		log.Fatal(err)
@@ -60,7 +66,7 @@ func main() {
 	// Fault injection (when enabled) wraps the endpoint so the whole
 	// stack — registration excluded, it is control plane — runs over the
 	// lossy transport; the retry/dedup machinery absorbs the faults.
-	ep := flags.WrapFaulty(tcpEP)
+	ep := flags.WrapFaultyObserved(tcpEP, reg)
 	defer ep.Close()
 
 	log.Printf("fluentps-worker[%d]: registering with scheduler", *rank)
@@ -79,6 +85,7 @@ func main() {
 		Layout:     layout,
 		Assignment: assign,
 		Timeout:    flags.Timeout,
+		Telemetry:  reg,
 	}
 	if flags.RetryBase > 0 {
 		wcfg.Retry = core.RetryPolicy{

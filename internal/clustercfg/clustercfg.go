@@ -93,6 +93,11 @@ type Flags struct {
 	FlakyDelayProb float64
 	FlakyMaxDelay  time.Duration
 	FlakySeed      int64
+
+	// Telemetry: the opt-in runtime metrics endpoint and the periodic
+	// one-line summary log (see internal/telemetry and StartTelemetry).
+	DebugAddr  string
+	StatsEvery time.Duration
 }
 
 // Register installs the shared flags on the given FlagSet.
@@ -121,6 +126,8 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.Float64Var(&f.FlakyDelayProb, "flakyDelayProb", 0, "fault injection: probability a data-plane frame is delayed")
 	fs.DurationVar(&f.FlakyMaxDelay, "flakyMaxDelay", 50*time.Millisecond, "fault injection: max injected delay")
 	fs.Int64Var(&f.FlakySeed, "flakySeed", 1, "fault injection: deterministic seed")
+	fs.StringVar(&f.DebugAddr, "debugAddr", "", "serve JSON runtime metrics at http://<addr>/debug/fluentps; empty disables")
+	fs.DurationVar(&f.StatsEvery, "statsEvery", 0, "log a one-line telemetry summary at this interval; 0 disables")
 }
 
 // Fault materializes the fault-injection configuration; ok is false when

@@ -1,0 +1,96 @@
+package clustercfg
+
+import (
+	"github.com/fluentps/fluentps/internal/telemetry"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// Telemetry wiring shared by the deployment binaries: -debugAddr serves
+// the registry as JSON over HTTP, -statsEvery logs a periodic one-line
+// summary. Both are opt-in; with neither set a node runs with telemetry
+// fully disabled (core components receive a nil registry and fall back to
+// telemetry.Nop semantics).
+
+// StartTelemetry materializes the node's telemetry from the -debugAddr
+// and -statsEvery flags. It returns the registry to hand to the core
+// configs — nil when both flags are off — and a stop function that shuts
+// the HTTP listener and summary logger down (always non-nil, safe to
+// defer). Process-wide gauges (message-pool hit rate) are registered
+// here; per-component instruments register themselves when the registry
+// reaches their constructors. Log lines go through logf (log.Printf
+// compatible), prefixed with name.
+func (f *Flags) StartTelemetry(name string, logf func(format string, args ...any)) (*telemetry.Registry, func(), error) {
+	if f.DebugAddr == "" && f.StatsEvery <= 0 {
+		return nil, func() {}, nil
+	}
+	r := telemetry.New()
+	registerPoolGauges(r)
+	var stops []func()
+	if f.DebugAddr != "" {
+		srv, err := telemetry.ListenAndServe(f.DebugAddr, r)
+		if err != nil {
+			return nil, nil, err
+		}
+		logf("%s: telemetry at http://%s%s", name, srv.Addr(), telemetry.DebugPath)
+		stops = append(stops, func() { _ = srv.Close() })
+	}
+	if f.StatsEvery > 0 {
+		stop := telemetry.StartLogger(r, f.StatsEvery, func(format string, args ...any) {
+			logf(name+": "+format, args...)
+		})
+		stops = append(stops, stop)
+	}
+	return r, func() {
+		for _, s := range stops {
+			s()
+		}
+	}, nil
+}
+
+// registerPoolGauges exposes the process-wide message-pool accounting:
+// total pooled-message requests, the ones that missed the pool, and the
+// resulting hit rate in permille (gauges are integers).
+func registerPoolGauges(r *telemetry.Registry) {
+	r.GaugeFunc("transport.pool_gets", func() int64 {
+		gets, _ := transport.MessagePoolStats()
+		return int64(gets)
+	})
+	r.GaugeFunc("transport.pool_misses", func() int64 {
+		_, misses := transport.MessagePoolStats()
+		return int64(misses)
+	})
+	r.GaugeFunc("transport.pool_hit_permille", func() int64 {
+		gets, misses := transport.MessagePoolStats()
+		if gets == 0 {
+			return 0
+		}
+		return int64(1000 * (gets - misses) / gets)
+	})
+}
+
+// WrapFaultyObserved is WrapFaulty plus metrics: when fault injection is
+// enabled and r is non-nil, the injected-fault counters are exposed as
+// flaky.* gauges so a debug endpoint on a flaky node reports how much
+// damage the injector actually did.
+func (f *Flags) WrapFaultyObserved(ep transport.Endpoint, r *telemetry.Registry) transport.Endpoint {
+	cfg, ok := f.Fault()
+	if !ok {
+		return ep
+	}
+	fl := transport.NewFlaky(ep, cfg)
+	RegisterFlaky(r, fl)
+	return fl
+}
+
+// RegisterFlaky exposes a fault injector's counters on r as the gauges
+// flaky.sent, flaky.dropped, flaky.duplicated, flaky.delayed. No-op when
+// r is nil.
+func RegisterFlaky(r *telemetry.Registry, fl *transport.Flaky) {
+	if r == nil {
+		return
+	}
+	r.GaugeFunc("flaky.sent", func() int64 { return fl.Stats().Sent })
+	r.GaugeFunc("flaky.dropped", func() int64 { return fl.Stats().Dropped })
+	r.GaugeFunc("flaky.duplicated", func() int64 { return fl.Stats().Duplicated })
+	r.GaugeFunc("flaky.delayed", func() int64 { return fl.Stats().Delayed })
+}

@@ -88,13 +88,9 @@ func TestAsyncPullOverlapsAcrossShards(t *testing.T) {
 	}
 	// Give the fast shard time to answer; the handle must still be
 	// pending because the BSP shard has buffered its half.
-	deadline := time.Now().Add(time.Second)
-	for srv1.Stats().DPRs == 0 {
-		if time.Now().After(deadline) {
-			t.Fatal("BSP shard never buffered the pull")
-		}
-		time.Sleep(time.Millisecond)
-	}
+	waitUntil(t, time.Second, "BSP shard to buffer the pull", func() bool {
+		return srv1.Stats().DPRs > 0
+	})
 	done := make(chan error, 1)
 	go func() { done <- h.Wait(tctx) }()
 	select {

@@ -214,26 +214,24 @@ func TestStartHeartbeatsLoop(t *testing.T) {
 	stop := make(chan struct{})
 	done := StartHeartbeats(ep, 5*time.Millisecond, stop)
 
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if len(sched.Alive(time.Minute)) == 1 {
-			break
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	if len(sched.Alive(time.Minute)) != 1 {
-		t.Fatal("heartbeats never arrived")
-	}
+	waitUntil(t, 2*time.Second, "heartbeats to arrive", func() bool {
+		return len(sched.Alive(time.Minute)) == 1
+	})
 	close(stop)
 	select {
 	case <-done:
 	case <-time.After(2 * time.Second):
 		t.Fatal("heartbeat loop did not stop")
 	}
-	// Closing the endpoint also terminates a running loop.
+	// Closing the endpoint also terminates a running loop. Wait until the
+	// second loop's heartbeats are provably flowing (the scheduler sees
+	// both workers) so the close tears down a live loop, not one that
+	// never started.
 	ep2 := net.Endpoint(transport.Worker(4))
 	done2 := StartHeartbeats(ep2, time.Millisecond, nil)
-	time.Sleep(5 * time.Millisecond)
+	waitUntil(t, 2*time.Second, "second heartbeat loop to register", func() bool {
+		return len(sched.Alive(time.Minute)) == 2
+	})
 	ep2.Close()
 	net.Endpoint(transport.Scheduler()).Close()
 	select {
@@ -252,14 +250,9 @@ func TestSchedulerHeartbeats(t *testing.T) {
 	if err := ep.Send(&transport.Message{Type: transport.MsgHeartbeat, To: transport.Scheduler()}); err != nil {
 		t.Fatal(err)
 	}
-	deadline := time.Now().Add(2 * time.Second)
-	for time.Now().Before(deadline) {
-		if len(sched.Alive(time.Minute)) == 1 {
-			return
-		}
-		time.Sleep(5 * time.Millisecond)
-	}
-	t.Fatal("heartbeat never recorded")
+	waitUntil(t, 2*time.Second, "heartbeat to be recorded", func() bool {
+		return len(sched.Alive(time.Minute)) == 1
+	})
 }
 
 func TestSchedulerDistributesAssignment(t *testing.T) {

@@ -40,7 +40,7 @@ func TestWorkerTimeoutOnDeadServer(t *testing.T) {
 // TestWorkerSurvivesNoTimeoutByDefault: without SetTimeout the same pull
 // waits, and completes once the round closes.
 func TestWorkerNoTimeoutByDefault(t *testing.T) {
-	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
+	net, srv, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
 	w0, _ := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	w1, _ := NewWorker(net.Endpoint(transport.Worker(1)), WorkerConfig{Rank: 1, Layout: layout, Assignment: assign})
 	defer w0.Close()
@@ -51,12 +51,14 @@ func TestWorkerNoTimeoutByDefault(t *testing.T) {
 	}
 	done := make(chan error, 1)
 	go func() { done <- w0.SPull(tctx, 0, make([]float64, 5)) }()
-	time.Sleep(80 * time.Millisecond) // longer than the other test's timeout
-	select {
-	case err := <-done:
-		t.Fatalf("pull returned early: %v", err)
-	default:
-	}
+	// The pull must reach the server, park as a DPR, and then stay parked
+	// (no timeout is configured) until the round actually closes.
+	waitUntil(t, 2*time.Second, "pull to park as a DPR", func() bool {
+		return srv.Stats().DPRs == 1
+	})
+	holdsFor(t, 50*time.Millisecond, "pull must stay blocked while the round is open", func() bool {
+		return len(done) == 0
+	})
 	if err := w1.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
@@ -73,14 +75,17 @@ func TestWorkerNoTimeoutByDefault(t *testing.T) {
 // TestWorkerErrorsWhenOwnEndpointCloses: closing the worker's endpoint
 // fails outstanding requests promptly.
 func TestWorkerErrorsWhenOwnEndpointCloses(t *testing.T) {
-	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
+	net, srv, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
 	w, _ := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	if err := w.SPush(tctx, 0, make([]float64, 5)); err != nil {
 		t.Fatal(err)
 	}
 	done := make(chan error, 1)
 	go func() { done <- w.SPull(tctx, 0, make([]float64, 5)) }()
-	time.Sleep(20 * time.Millisecond)
+	// Close only once the pull is provably in flight (buffered server-side).
+	waitUntil(t, 2*time.Second, "pull to park as a DPR", func() bool {
+		return srv.Stats().DPRs == 1
+	})
 	w.Close()
 	select {
 	case err := <-done:

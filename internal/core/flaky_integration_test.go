@@ -158,16 +158,14 @@ func TestFlakyClusterExactlyOnce(t *testing.T) {
 
 	// Goroutine-leak check: everything spawned by the cluster must wind
 	// down. Allow a small slack for runtime/test goroutines.
-	deadline := time.Now().Add(5 * time.Second)
-	for {
-		if g := runtime.NumGoroutine(); g <= before+3 {
-			break
-		}
-		if time.Now().After(deadline) {
+	defer func() {
+		if t.Failed() {
 			buf := make([]byte, 1<<16)
 			n := runtime.Stack(buf, true)
-			t.Fatalf("goroutines leaked: %d before, %d after\n%s", before, runtime.NumGoroutine(), buf[:n])
+			t.Logf("goroutine dump:\n%s", buf[:n])
 		}
-		time.Sleep(20 * time.Millisecond)
-	}
+	}()
+	waitUntil(t, 5*time.Second, "cluster goroutines to wind down", func() bool {
+		return runtime.NumGoroutine() <= before+3
+	})
 }

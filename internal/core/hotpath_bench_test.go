@@ -6,15 +6,18 @@ import (
 
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/telemetry"
 	"github.com/fluentps/fluentps/internal/transport"
 )
 
-// BenchmarkPushPullHotPath measures one full synchronous training step —
-// scatter a push across both shards, await the acks, pull and reassemble
-// the parameters — over the in-process transport. Run with -benchmem:
-// the pooled frames and per-server pipelines keep the steady state down
-// to a handful of allocations (the two operation handles).
-func BenchmarkPushPullHotPath(b *testing.B) {
+// benchPushPull measures one full synchronous training step — scatter a
+// push across both shards, await the acks, pull and reassemble the
+// parameters — over the in-process transport, with every node handed reg
+// as its telemetry sink. Run with -benchmem: the pooled frames and
+// per-server pipelines keep the steady state down to a handful of
+// allocations (the two operation handles), and telemetry must not add
+// any — enabled instruments are atomics, disabled ones a nil branch.
+func benchPushPull(b *testing.B, reg *telemetry.Registry) {
 	layout := keyrange.MustLayout([]int{64, 64})
 	assign, err := keyrange.EPS(layout, 2)
 	if err != nil {
@@ -25,14 +28,17 @@ func BenchmarkPushPullHotPath(b *testing.B) {
 		srv, err := NewServer(net.Endpoint(transport.Server(m)), ServerConfig{
 			Rank: m, NumWorkers: 1, Layout: layout, Assignment: assign,
 			Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
-			Init:  func(k keyrange.Key, seg []float64) {},
+			Init:      func(k keyrange.Key, seg []float64) {},
+			Telemetry: reg,
 		})
 		if err != nil {
 			b.Fatal(err)
 		}
 		go srv.Run()
 	}
-	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
+	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{
+		Rank: 0, Layout: layout, Assignment: assign, Telemetry: reg,
+	})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -66,4 +72,25 @@ func BenchmarkPushPullHotPath(b *testing.B) {
 		_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)})
 	}
 	ep.Close()
+}
+
+// BenchmarkPushPullHotPath is the baseline: no telemetry configured.
+func BenchmarkPushPullHotPath(b *testing.B) {
+	benchPushPull(b, nil)
+}
+
+// BenchmarkPushPullHotPathTelemetry runs the same step with a live
+// registry on every node: the counters, gauges, and RTT/queue-wait
+// histograms all collect. The cost over the baseline must stay within
+// the clock reads and atomic adds — compare ns/op, and allocs/op may
+// exceed the baseline by at most one.
+func BenchmarkPushPullHotPathTelemetry(b *testing.B) {
+	benchPushPull(b, telemetry.New())
+}
+
+// BenchmarkPushPullHotPathTelemetryNop runs with the explicit disabled
+// sink; it must be indistinguishable from the baseline (the instruments
+// are nil and every guard is a single predictable branch).
+func BenchmarkPushPullHotPathTelemetryNop(b *testing.B) {
+	benchPushPull(b, telemetry.Nop)
 }

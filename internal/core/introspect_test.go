@@ -38,20 +38,13 @@ func TestQueryStatsReflectsLiveState(t *testing.T) {
 	}
 	go w0.SPull(tctx, 1, make([]float64, 5)) // blocks under SSP(1)
 
-	deadline := time.Now().Add(5 * time.Second)
-	for {
+	waitUntil(t, 5*time.Second, "blocked pull to appear in the stats", func() bool {
 		st, err = QueryStats(admin, 0)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if st.Buffered == 1 {
-			break
-		}
-		if time.Now().After(deadline) {
-			break
-		}
-		time.Sleep(time.Millisecond)
-	}
+		return st.Buffered == 1
+	})
 	if st.Buffered != 1 || st.DPRs != 1 {
 		t.Fatalf("state after block %+v", st)
 	}

@@ -18,7 +18,7 @@ import (
 // context.Canceled when its context is cancelled, and the worker's
 // in-flight table must be drained — no orphan waiting entry.
 func TestPullCancelledMidFlight(t *testing.T) {
-	net, _, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
+	net, srv, layout, assign := testServer(t, syncmodel.BSP(), syncmodel.Lazy, 2)
 	w, err := NewWorker(net.Endpoint(transport.Worker(0)), WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
 	if err != nil {
 		t.Fatal(err)
@@ -30,9 +30,11 @@ func TestPullCancelledMidFlight(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	done := make(chan error, 1)
 	go func() { done <- w.SPull(ctx, 0, make([]float64, layout.TotalDim())) }()
-	// Let the pull reach the server and park as a DPR (worker 1 never
-	// pushes round 0), then cancel it.
-	time.Sleep(20 * time.Millisecond)
+	// Wait until the pull has provably reached the server and parked as a
+	// DPR (worker 1 never pushes round 0), then cancel it.
+	waitUntil(t, 2*time.Second, "pull to park as a DPR", func() bool {
+		return srv.Stats().DPRs == 1
+	})
 	cancel()
 	select {
 	case err := <-done:

@@ -22,10 +22,12 @@ import (
 	"io"
 	"math/rand"
 	"sync"
+	"time"
 
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/kvstore"
 	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/telemetry"
 	"github.com/fluentps/fluentps/internal/transport"
 )
 
@@ -58,6 +60,11 @@ type ServerConfig struct {
 	// and its apply stage (Run decodes and applies concurrently); zero
 	// selects DefaultApplyQueueDepth.
 	ApplyQueueDepth int
+	// Telemetry, when non-nil, receives the server's runtime metrics
+	// (see core/telemetry.go for the schema). One registry per node; nil
+	// (telemetry.Nop) disables collection — hot-path instruments become
+	// nil-safe no-ops and no timestamps are taken.
+	Telemetry *telemetry.Registry
 }
 
 // DefaultApplyQueueDepth is the receive→apply buffer used when
@@ -82,6 +89,10 @@ type Server struct {
 
 	mu    sync.Mutex
 	stats syncmodel.Stats
+
+	// metrics holds the server's telemetry instruments (all no-ops when
+	// cfg.Telemetry is nil); see core/telemetry.go for the schema.
+	metrics serverMetrics
 
 	// dedup remembers each peer's recent request seqs so transport-level
 	// retries and duplicated frames never double-apply a push (see
@@ -237,6 +248,7 @@ func NewServer(ep transport.Endpoint, cfg ServerConfig) (*Server, error) {
 			rand.New(rand.NewSource(cfg.Seed^int64(cfg.Rank+1)))),
 		keys: keys,
 	}
+	s.metrics = newServerMetrics(cfg.Telemetry)
 	if cfg.DedupWindow >= 0 {
 		s.dedup = make(map[transport.NodeID]*dedupWindow)
 	}
@@ -261,6 +273,17 @@ func (s *Server) snapshotStats() {
 	s.mu.Lock()
 	s.stats = st
 	s.mu.Unlock()
+	if s.metrics.on {
+		// Gauges are refreshed after every handled message, so a scrape
+		// between messages sees the controller's latest view without ever
+		// touching controller state off the apply goroutine.
+		minP, maxP := s.ctrl.MinProgress(), s.ctrl.MaxProgress()
+		s.metrics.vtrain.Set(int64(s.ctrl.VTrain()))
+		s.metrics.minProgress.Set(int64(minP))
+		s.metrics.maxProgress.Set(int64(maxP))
+		s.metrics.skew.Set(int64(maxP - minP))
+		s.metrics.dprDepth.Set(int64(s.ctrl.Buffered()))
+	}
 }
 
 // Run processes requests until the endpoint closes or MsgShutdown
@@ -275,7 +298,12 @@ func (s *Server) Run() error {
 	if depth <= 0 {
 		depth = DefaultApplyQueueDepth
 	}
-	queue := make(chan *transport.Message, depth)
+	queue := make(chan queuedMsg, depth)
+	if s.metrics.on {
+		s.cfg.Telemetry.GaugeFunc("server.apply_queue_depth", func() int64 {
+			return int64(len(queue))
+		})
+	}
 	recvErr := make(chan error, 1)
 	applyDone := make(chan struct{})
 	go func() {
@@ -286,8 +314,12 @@ func (s *Server) Run() error {
 				close(queue)
 				return
 			}
+			q := queuedMsg{msg: msg}
+			if s.metrics.on {
+				q.at = time.Now()
+			}
 			select {
-			case queue <- msg:
+			case queue <- q:
 			case <-applyDone:
 				// The apply stage returned (shutdown or handler error);
 				// drop the message and stop feeding.
@@ -297,8 +329,11 @@ func (s *Server) Run() error {
 		}
 	}()
 	defer close(applyDone)
-	for msg := range queue {
-		shutdown, err := s.apply(msg)
+	for q := range queue {
+		if s.metrics.on {
+			s.metrics.applyWait.Observe(time.Since(q.at))
+		}
+		shutdown, err := s.apply(q.msg)
 		if err != nil {
 			return err
 		}
@@ -312,6 +347,13 @@ func (s *Server) Run() error {
 		return nil
 	}
 	return fmt.Errorf("core: server %d recv: %w", s.cfg.Rank, err)
+}
+
+// queuedMsg is one message in the receive→apply queue, stamped with its
+// enqueue time when telemetry is on (the apply-queue-wait histogram).
+type queuedMsg struct {
+	msg *transport.Message
+	at  time.Time
 }
 
 // apply dispatches one message. Receiver-owned pooled messages (TCP
@@ -373,6 +415,7 @@ func (s *Server) handlePush(msg *transport.Message) error {
 		// re-apply the gradient — at-least-once delivery plus this
 		// window yields effectively-once application.
 		s.dedupHits++
+		s.metrics.dedupPushHits.Inc()
 		if err := s.ack(transport.MsgPushAck, msg.From, msg.Seq); err != nil {
 			return fmt.Errorf("core: server %d re-ack push: %w", s.cfg.Rank, err)
 		}
@@ -386,6 +429,9 @@ func (s *Server) handlePush(msg *transport.Message) error {
 		if err := s.shard.ApplyGradPayload(msg.Keys, msg.Vals, 1/float64(s.cfg.NumWorkers)); err != nil {
 			return fmt.Errorf("core: server %d apply push from %s: %w", s.cfg.Rank, msg.From, err)
 		}
+		s.metrics.pushesApplied.Inc()
+	} else {
+		s.metrics.pushesDropped.Inc()
 	}
 	// A dropped push is consumed too: its duplicate must not be offered
 	// to the controller a second time.
@@ -394,11 +440,21 @@ func (s *Server) handlePush(msg *transport.Message) error {
 		return fmt.Errorf("core: server %d ack push: %w", s.cfg.Rank, err)
 	}
 	for _, rel := range released {
-		if err := s.respondPull(rel.Token.(pullToken)); err != nil {
+		if err := s.releasePull(rel.Token.(pullToken)); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// releasePull answers a pull drained from the DPR buffer, accounting its
+// buffered time and the drain counter.
+func (s *Server) releasePull(tok pullToken) error {
+	s.metrics.dprDrained.Inc()
+	if s.metrics.on && !tok.at.IsZero() {
+		s.metrics.dprWait.Observe(time.Since(tok.at))
+	}
+	return s.respondPull(tok)
 }
 
 // pullToken carries what the server needs to answer a delayed pull later.
@@ -406,11 +462,15 @@ type pullToken struct {
 	from transport.NodeID
 	seq  uint64
 	keys []keyrange.Key
+	// at is the buffering timestamp feeding the time-in-DPR-buffer
+	// histogram; zero when telemetry is off or the pull never buffered.
+	at time.Time
 }
 
 func (s *Server) handlePull(msg *transport.Message) error {
 	if out, dup := s.dedupLookup(msg.From, msg.Seq); dup {
 		s.dedupHits++
+		s.metrics.dedupPullHits.Inc()
 		if out == dedupPullAnswered {
 			// The earlier response was lost in flight; answering again
 			// with current parameters is safe — pulls do not mutate.
@@ -424,6 +484,7 @@ func (s *Server) handlePull(msg *transport.Message) error {
 	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
+	s.metrics.pulls.Inc()
 	keys := msg.Keys
 	if msg.ReceiverOwned() {
 		// The apply loop recycles this message as soon as the handler
@@ -433,11 +494,15 @@ func (s *Server) handlePull(msg *transport.Message) error {
 		keys = append([]keyrange.Key(nil), keys...)
 	}
 	tok := pullToken{from: msg.From, seq: msg.Seq, keys: keys}
+	if s.metrics.on {
+		tok.at = time.Now()
+	}
 	if s.ctrl.OnPull(worker, progress, tok) {
 		s.dedupRecord(msg.From, msg.Seq, dedupPullAnswered)
 		return s.respondPull(tok)
 	}
 	s.dedupRecord(msg.From, msg.Seq, dedupPullPending)
+	s.metrics.dprBuffered.Inc()
 	return nil // buffered as a DPR; answered by a later push
 }
 
@@ -460,7 +525,7 @@ func (s *Server) handleSetCond(msg *transport.Message) error {
 	// the server down with it.
 	_ = s.ack(transport.MsgSetCondAck, msg.From, msg.Seq)
 	for _, rel := range released {
-		if err := s.respondPull(rel.Token.(pullToken)); err != nil {
+		if err := s.releasePull(rel.Token.(pullToken)); err != nil {
 			return err
 		}
 	}

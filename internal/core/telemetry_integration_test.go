@@ -1,0 +1,417 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/clustercfg"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/telemetry"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// flakyCluster is an in-process cluster over fault-injected endpoints
+// with one telemetry registry per node — the harness behind the
+// metrics-invariant tests below. Exact accounting is possible because
+// the pieces are deterministic: the fault schedule is seeded, the
+// ChanNetwork delivers per-endpoint FIFO, and every node's instruments
+// live in its own registry.
+type flakyCluster struct {
+	net     *transport.ChanNetwork
+	layout  *keyrange.Layout
+	servers int
+	workers int
+
+	srvs     []*Server
+	srvRegs  []*telemetry.Registry
+	srvFlaky []*transport.Flaky
+	srvErrs  chan error
+
+	ws     []*Worker
+	wRegs  []*telemetry.Registry
+	wFlaky []*transport.Flaky
+}
+
+func startFlakyCluster(t *testing.T, servers, workers int, model syncmodel.Model,
+	faults func(seed int64) transport.FlakyConfig, retry RetryPolicy) *flakyCluster {
+	t.Helper()
+	layout := keyrange.MustLayout([]int{2, 3, 2, 3, 2, 3})
+	assign, err := keyrange.EPS(layout, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := &flakyCluster{
+		net:     transport.NewChanNetwork(4096),
+		layout:  layout,
+		servers: servers,
+		workers: workers,
+		srvErrs: make(chan error, servers),
+	}
+	for m := 0; m < servers; m++ {
+		reg := telemetry.New()
+		fep := transport.NewFlaky(c.net.Endpoint(transport.Server(m)), faults(int64(m)))
+		clustercfg.RegisterFlaky(reg, fep)
+		srv, err := NewServer(fep, ServerConfig{
+			Rank:       m,
+			NumWorkers: workers,
+			Layout:     layout,
+			Assignment: assign,
+			Model:      model,
+			Drain:      syncmodel.Lazy,
+			Init:       func(k keyrange.Key, seg []float64) {},
+			Seed:       int64(m),
+			Telemetry:  reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.srvs = append(c.srvs, srv)
+		c.srvRegs = append(c.srvRegs, reg)
+		c.srvFlaky = append(c.srvFlaky, fep)
+		go func() { c.srvErrs <- srv.Run() }()
+	}
+	for n := 0; n < workers; n++ {
+		reg := telemetry.New()
+		fep := transport.NewFlaky(c.net.Endpoint(transport.Worker(n)), faults(int64(100+n)))
+		clustercfg.RegisterFlaky(reg, fep)
+		w, err := NewWorker(fep, WorkerConfig{
+			Rank: n, Layout: layout, Assignment: assign,
+			Timeout:   60 * time.Second,
+			Retry:     retry,
+			Telemetry: reg,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.ws = append(c.ws, w)
+		c.wRegs = append(c.wRegs, reg)
+		c.wFlaky = append(c.wFlaky, fep)
+	}
+	return c
+}
+
+// train runs every worker's push/pull loop to completion (iters pushes,
+// iters-1 pulls, the deployment binaries' schedule).
+func (c *flakyCluster) train(t *testing.T, iters int) {
+	t.Helper()
+	errs := make(chan error, c.workers)
+	for n, w := range c.ws {
+		go func(n int, w *Worker) {
+			errs <- func() error {
+				delta := make([]float64, c.layout.TotalDim())
+				params := make([]float64, c.layout.TotalDim())
+				for i := range delta {
+					delta[i] = 0.01
+				}
+				for i := 0; i < iters; i++ {
+					if err := w.SPush(tctx, i, delta); err != nil {
+						return fmt.Errorf("worker %d push %d: %w", n, i, err)
+					}
+					if i < iters-1 {
+						if err := w.SPull(tctx, i, params); err != nil {
+							return fmt.Errorf("worker %d pull %d: %w", n, i, err)
+						}
+					}
+				}
+				return nil
+			}()
+		}(n, w)
+	}
+	for n := 0; n < c.workers; n++ {
+		if err := <-errs; err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// stopServers shuts the servers down over the reliable control plane and
+// waits for their Run loops. The workers stay open so late responses
+// (injected duplicates, delayed copies) still land and are counted.
+func (c *flakyCluster) stopServers(t *testing.T) {
+	t.Helper()
+	admin := c.net.Endpoint(transport.Worker(99))
+	for m := 0; m < c.servers; m++ {
+		if err := admin.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for m := 0; m < c.servers; m++ {
+		if err := <-c.srvErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	admin.Close()
+}
+
+func (c *flakyCluster) closeAll() {
+	for _, w := range c.ws {
+		w.Close()
+	}
+	for _, f := range c.srvFlaky {
+		f.Close()
+	}
+	for _, f := range c.wFlaky {
+		f.Close()
+	}
+}
+
+// counter reads one registry's counter value.
+func counter(r *telemetry.Registry, name string) uint64 {
+	return r.Counter(name).Value()
+}
+
+// TestTelemetryExactlyOnceFromMetrics proves the exactly-once guarantee
+// from the telemetry alone on a lossy cluster: every shard's
+// pushes_applied counter equals workers × iters despite drops forcing
+// retransmissions, every buffered DPR drained, and the per-worker
+// operation counters match the training schedule exactly.
+func TestTelemetryExactlyOnceFromMetrics(t *testing.T) {
+	const (
+		servers = 3
+		workers = 4
+		iters   = 15
+	)
+	faults := func(seed int64) transport.FlakyConfig {
+		return transport.FlakyConfig{Drop: 0.10, Duplicate: 0.05, Delay: 0.20,
+			MaxDelay: 3 * time.Millisecond, Seed: seed}
+	}
+	c := startFlakyCluster(t, servers, workers, syncmodel.SSP(2), faults,
+		RetryPolicy{BaseDelay: 15 * time.Millisecond, MaxDelay: 150 * time.Millisecond})
+	defer c.closeAll()
+	c.train(t, iters)
+	c.stopServers(t)
+
+	for m, reg := range c.srvRegs {
+		if got := counter(reg, "server.pushes_applied"); got != workers*iters {
+			t.Errorf("server %d pushes_applied=%d, want exactly %d", m, got, workers*iters)
+		}
+		if buf, dr := counter(reg, "server.dpr_buffered"), counter(reg, "server.dpr_drained"); buf != dr {
+			t.Errorf("server %d buffered %d DPRs but drained %d — a pull was lost in the buffer", m, buf, dr)
+		}
+		// The controller's own stats and the telemetry counters are two
+		// independent accountings of the same events; they must agree.
+		st := c.srvs[m].Stats()
+		if got := counter(reg, "server.pulls"); got != uint64(st.Pulls) {
+			t.Errorf("server %d telemetry pulls=%d, controller says %d", m, got, st.Pulls)
+		}
+		if hits := counter(reg, "server.dedup_push_hits") + counter(reg, "server.dedup_pull_hits"); hits != uint64(st.DedupHits) {
+			t.Errorf("server %d telemetry dedup=%d, server says %d", m, hits, st.DedupHits)
+		}
+	}
+	var retriesTel, retriesStats uint64
+	for n, reg := range c.wRegs {
+		if got := counter(reg, "worker.pushes"); got != iters {
+			t.Errorf("worker %d pushes=%d, want %d", n, got, iters)
+		}
+		if got := counter(reg, "worker.pulls"); got != iters-1 {
+			t.Errorf("worker %d pulls=%d, want %d", n, got, iters-1)
+		}
+		retriesTel += counter(reg, "worker.retries")
+		retriesStats += c.ws[n].Stats().Retries
+	}
+	if retriesTel != retriesStats {
+		t.Errorf("telemetry counted %d retries, WorkerStats %d", retriesTel, retriesStats)
+	}
+	if retriesTel == 0 {
+		t.Error("no retries despite 10% frame drop; the run exercised nothing")
+	}
+}
+
+// TestTelemetryDuplicateAccounting injects ONLY duplicates (no drops, no
+// delays) under ASP and checks the books balance exactly:
+//
+//   - every duplicated request is absorbed by a server dedup window, so
+//     the cluster-wide dedup count equals the worker-side injected
+//     duplicates;
+//   - every duplicate request is re-answered (ASP answers pulls
+//     immediately, so no duplicate ever finds its original still
+//     buffered) and every duplicated response is one extra frame, so the
+//     workers' stale-response count converges to exactly the total
+//     injected duplicates on both sides.
+func TestTelemetryDuplicateAccounting(t *testing.T) {
+	const (
+		servers = 3
+		workers = 4
+		iters   = 15
+	)
+	faults := func(seed int64) transport.FlakyConfig {
+		return transport.FlakyConfig{Duplicate: 0.20, Seed: seed}
+	}
+	c := startFlakyCluster(t, servers, workers, syncmodel.ASP(), faults, RetryPolicy{})
+	defer c.closeAll()
+	c.train(t, iters)
+	c.stopServers(t)
+
+	// All flaky stats are final: workers stopped sending, servers stopped
+	// responding.
+	var workerDups, serverDups int64
+	for _, f := range c.wFlaky {
+		workerDups += f.Stats().Duplicated
+	}
+	for _, f := range c.srvFlaky {
+		serverDups += f.Stats().Duplicated
+	}
+	if workerDups == 0 || serverDups == 0 {
+		t.Fatalf("injector idle (worker dups %d, server dups %d); nothing exercised", workerDups, serverDups)
+	}
+
+	var dedup uint64
+	for _, reg := range c.srvRegs {
+		dedup += counter(reg, "server.dedup_push_hits") + counter(reg, "server.dedup_pull_hits")
+	}
+	if dedup != uint64(workerDups) {
+		t.Errorf("servers absorbed %d duplicates, injectors emitted %d — requests leaked past dedup", dedup, workerDups)
+	}
+
+	// Stale responses settle asynchronously: the duplicate frames are
+	// already in the worker inbound queues (FIFO, enqueued before the
+	// servers shut down), the recv loops just need to drain them.
+	wantStale := uint64(workerDups + serverDups)
+	staleSum := func() uint64 {
+		var s uint64
+		for _, reg := range c.wRegs {
+			s += counter(reg, "worker.stale_responses")
+		}
+		return s
+	}
+	waitUntil(t, 5*time.Second, "stale responses to settle", func() bool { return staleSum() >= wantStale })
+	if got := staleSum(); got != wantStale {
+		t.Errorf("workers saw %d stale responses, want exactly %d (%d request dups re-answered + %d response dups)",
+			got, wantStale, workerDups, serverDups)
+	}
+}
+
+// TestTelemetryDropRetryAccounting injects ONLY drops and checks the
+// compensation invariant: a run that completes must have retransmitted
+// at least once per dropped frame — each drop consumes one send's chance
+// of completing its request, so sends ≥ drops + completions.
+func TestTelemetryDropRetryAccounting(t *testing.T) {
+	const (
+		servers = 3
+		workers = 4
+		iters   = 15
+	)
+	faults := func(seed int64) transport.FlakyConfig {
+		return transport.FlakyConfig{Drop: 0.15, Seed: seed}
+	}
+	c := startFlakyCluster(t, servers, workers, syncmodel.SSP(2), faults,
+		RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond})
+	defer c.closeAll()
+	c.train(t, iters)
+	c.stopServers(t)
+
+	var dropped int64
+	for _, f := range append(append([]*transport.Flaky{}, c.srvFlaky...), c.wFlaky...) {
+		dropped += f.Stats().Dropped
+	}
+	var retries uint64
+	for _, reg := range c.wRegs {
+		retries += counter(reg, "worker.retries")
+	}
+	if dropped == 0 {
+		t.Fatal("injector dropped nothing; test exercised nothing")
+	}
+	if retries < uint64(dropped) {
+		t.Errorf("%d frames dropped but only %d retries — some request completed without compensation", dropped, retries)
+	}
+	for m, reg := range c.srvRegs {
+		if got := counter(reg, "server.pushes_applied"); got != workers*iters {
+			t.Errorf("server %d pushes_applied=%d, want exactly %d", m, got, workers*iters)
+		}
+	}
+}
+
+// TestDebugEndpointServesClusterTelemetry is the end-to-end acceptance
+// check for -debugAddr: a 3-server/4-worker cluster over a flaky
+// transport serves each node's registry over real HTTP, and scraping
+// /debug/fluentps returns JSON with live push/pull counters, RTT
+// histogram buckets, the shard's V_train, and the injector's drop
+// counts.
+func TestDebugEndpointServesClusterTelemetry(t *testing.T) {
+	const (
+		servers = 3
+		workers = 4
+		iters   = 12
+	)
+	faults := func(seed int64) transport.FlakyConfig {
+		return transport.FlakyConfig{Drop: 0.05, Duplicate: 0.05, Delay: 0.10,
+			MaxDelay: 2 * time.Millisecond, Seed: seed}
+	}
+	c := startFlakyCluster(t, servers, workers, syncmodel.SSP(2), faults,
+		RetryPolicy{BaseDelay: 15 * time.Millisecond, MaxDelay: 150 * time.Millisecond})
+	defer c.closeAll()
+
+	// One debug endpoint per node, as fluentps-server/-worker -debugAddr
+	// would start.
+	var debugs []*telemetry.DebugServer
+	var srvAddrs, wAddrs []string
+	for _, reg := range c.srvRegs {
+		ds, err := telemetry.ListenAndServe("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		debugs = append(debugs, ds)
+		srvAddrs = append(srvAddrs, ds.Addr())
+	}
+	for _, reg := range c.wRegs {
+		ds, err := telemetry.ListenAndServe("127.0.0.1:0", reg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		debugs = append(debugs, ds)
+		wAddrs = append(wAddrs, ds.Addr())
+	}
+	defer func() {
+		for _, d := range debugs {
+			d.Close()
+		}
+	}()
+
+	c.train(t, iters)
+
+	var totalDrops int64
+	for m, addr := range srvAddrs {
+		snap, err := telemetry.Scrape(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if snap.Counters["server.pushes_applied"] == 0 {
+			t.Errorf("server %d endpoint reports zero applied pushes", m)
+		}
+		if snap.Counters["server.pulls"] == 0 {
+			t.Errorf("server %d endpoint reports zero pulls", m)
+		}
+		if snap.Gauges["server.v_train"] <= 0 {
+			t.Errorf("server %d endpoint reports V_train=%d, want > 0", m, snap.Gauges["server.v_train"])
+		}
+		if h := snap.Histograms["server.apply_wait_ns"]; h.Count == 0 || len(h.Buckets) == 0 {
+			t.Errorf("server %d apply-wait histogram empty: %+v", m, h)
+		}
+		totalDrops += snap.Gauges["flaky.dropped"]
+	}
+	for n, addr := range wAddrs {
+		snap, err := telemetry.Scrape(addr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := snap.Counters["worker.pushes"]; got != iters {
+			t.Errorf("worker %d endpoint reports %d pushes, want %d", n, got, iters)
+		}
+		if got := snap.Counters["worker.pulls"]; got != iters-1 {
+			t.Errorf("worker %d endpoint reports %d pulls, want %d", n, got, iters-1)
+		}
+		if h := snap.Histograms["worker.push_rtt_ns"]; h.Count == 0 || len(h.Buckets) == 0 {
+			t.Errorf("worker %d push-RTT histogram empty: %+v", n, h)
+		}
+		if h := snap.Histograms["worker.pull_rtt_ns"]; h.Count == 0 || len(h.Buckets) == 0 {
+			t.Errorf("worker %d pull-RTT histogram empty: %+v", n, h)
+		}
+		totalDrops += snap.Gauges["flaky.dropped"]
+	}
+	if totalDrops == 0 {
+		t.Error("no injected drops visible through any debug endpoint")
+	}
+	c.stopServers(t)
+}

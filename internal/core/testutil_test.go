@@ -1,0 +1,38 @@
+package core
+
+import (
+	"testing"
+	"time"
+)
+
+// waitUntil polls cond until it holds or timeout elapses. Asynchronous
+// state (counters that settle after a teardown, a DPR landing in a
+// buffer) must be awaited this way — a fixed sleep is either too short on
+// a loaded CI machine or pads every run on a fast one.
+func waitUntil(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for {
+		if cond() {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out after %v waiting for %s", timeout, what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}
+
+// holdsFor asserts cond stays true for the whole duration — the negative
+// counterpart of waitUntil, for "this must NOT happen" checks (e.g. a
+// pull that must stay buffered).
+func holdsFor(t *testing.T, d time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		if !cond() {
+			t.Fatalf("%s violated", what)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+}

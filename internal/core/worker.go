@@ -9,6 +9,7 @@ import (
 
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/telemetry"
 	"github.com/fluentps/fluentps/internal/transport"
 )
 
@@ -79,6 +80,11 @@ type WorkerConfig struct {
 	// float64s), avoiding regrowth during the first operations. Zero
 	// derives it from the layout's largest per-server slice.
 	PayloadCapacity int
+	// Telemetry, when non-nil, receives the worker's runtime metrics —
+	// lifecycle counters, push/pull RTT histograms, queue-depth gauges
+	// (see core/telemetry.go). One registry per node; nil disables
+	// collection at zero hot-path cost beyond a predictable branch.
+	Telemetry *telemetry.Registry
 }
 
 // WorkerStats counts the worker's request-lifecycle events.
@@ -124,6 +130,10 @@ type Worker struct {
 	timeouts atomic.Uint64
 	stale    atomic.Uint64
 
+	// metrics holds the worker's telemetry instruments (no-ops when
+	// cfg.Telemetry is nil); see core/telemetry.go.
+	metrics workerMetrics
+
 	// keysPerServer caches each server's key list.
 	keysPerServer [][]keyrange.Key
 }
@@ -148,6 +158,9 @@ type pendingReq struct {
 	seq uint64
 	msg *transport.Message
 	ch  chan response // capacity 1; at most one delivery per registration
+	// start is the request's creation time, feeding the RTT histograms;
+	// zero when telemetry is off.
+	start time.Time
 	// sent is set by the pipe after the original send completes; until
 	// then the pipe may still read msg, so it must not be recycled.
 	sent atomic.Bool
@@ -179,7 +192,22 @@ func NewWorker(ep transport.Endpoint, cfg WorkerConfig) (*Worker, error) {
 	for m := 0; m < w.servers; m++ {
 		w.keysPerServer[m] = cfg.Assignment.KeysOf(m)
 	}
+	w.metrics = newWorkerMetrics(cfg.Telemetry)
 	w.startPipes()
+	if cfg.Telemetry != nil {
+		// Registered after startPipes so the closures only ever see the
+		// final pipe slice.
+		cfg.Telemetry.GaugeFunc("worker.outstanding", func() int64 {
+			return int64(w.Outstanding())
+		})
+		cfg.Telemetry.GaugeFunc("worker.pipeline_depth", func() int64 {
+			var n int64
+			for _, p := range w.pipes {
+				n += int64(len(p.queue))
+			}
+			return n
+		})
+	}
 	go w.recvLoop()
 	return w, nil
 }
@@ -282,6 +310,7 @@ func (w *Worker) recvLoop() {
 			// second copy of a duplicated response: drop it — nobody is
 			// waiting for it anymore.
 			w.stale.Add(1)
+			w.metrics.stale.Inc()
 			transport.ReleaseReceived(msg)
 		}
 	}
@@ -299,6 +328,16 @@ func (w *Worker) deliver(msg *transport.Message) bool {
 		return false
 	}
 	delete(w.waiting, msg.Seq)
+	// Observe the round trip before handing p over: once the response is
+	// sent the waiter may recycle p at any moment.
+	if !p.start.IsZero() {
+		switch p.msg.Type {
+		case transport.MsgPush:
+			w.metrics.pushRTT.Observe(time.Since(p.start))
+		case transport.MsgPull:
+			w.metrics.pullRTT.Observe(time.Since(p.start))
+		}
+	}
 	discarded := p.discarded
 	if !discarded {
 		p.ch <- response{msg: msg}
@@ -356,6 +395,10 @@ func (w *Worker) newRequest(typ transport.MsgType, m int, progress int, delta []
 	p.msg = msg
 	p.sent.Store(false)
 	p.discarded = false
+	p.start = time.Time{}
+	if w.metrics.on {
+		p.start = time.Now()
+	}
 	return p
 }
 
@@ -388,6 +431,7 @@ func (w *Worker) forget(p *pendingReq) {
 	case r := <-p.ch:
 		if r.msg != nil {
 			w.stale.Add(1)
+			w.metrics.stale.Inc()
 			transport.ReleaseReceived(r.msg)
 		}
 	default:
@@ -454,6 +498,7 @@ func (w *Worker) await(ctx context.Context, p *pendingReq) (*transport.Message, 
 			if w.cfg.Retry.MaxAttempts > 0 && attempt+1 >= w.cfg.Retry.MaxAttempts {
 				w.forget(p)
 				w.timeouts.Add(1)
+				w.metrics.timeouts.Inc()
 				return nil, fmt.Errorf("core: worker %d: %w (%w) after %d attempts",
 					w.cfg.Rank, ErrRetriesExhausted, ErrTimeout, attempt+1)
 			}
@@ -463,6 +508,7 @@ func (w *Worker) await(ctx context.Context, p *pendingReq) (*transport.Message, 
 			// fatal — the endpoint may be mid-way through reconnecting —
 			// the next interval retries again.
 			w.retries.Add(1)
+			w.metrics.retries.Inc()
 			_ = transport.SendRetained(w.ep, p.msg)
 		case <-totalC:
 			if retryT != nil {
@@ -470,6 +516,7 @@ func (w *Worker) await(ctx context.Context, p *pendingReq) (*transport.Message, 
 			}
 			w.forget(p)
 			w.timeouts.Add(1)
+			w.metrics.timeouts.Inc()
 			return nil, fmt.Errorf("core: worker %d: %w after %v", w.cfg.Rank, ErrTimeout, w.cfg.Timeout)
 		}
 	}
@@ -571,6 +618,7 @@ func (w *Worker) SPushAsync(ctx context.Context, progress int, delta []float64) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	w.metrics.pushes.Inc()
 	h := &Handle{worker: w}
 	h.reqs = h.reqsBuf[:0]
 	for m := 0; m < w.servers; m++ {
@@ -613,6 +661,7 @@ func (w *Worker) SPullAsync(ctx context.Context, progress int, params []float64)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	w.metrics.pulls.Inc()
 	h := &Handle{worker: w, params: params}
 	h.reqs = h.reqsBuf[:0]
 	for m := 0; m < w.servers; m++ {

@@ -1,0 +1,164 @@
+package keyrange
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// Property tests for Elastic Parameter Slicing over randomized layouts,
+// dimensions, and server counts (seeded, so failures reproduce). The
+// paper's claim is that EPS "divides the model parameters evenly on all
+// key ranges"; concretely, for every random configuration:
+//
+//   - EPSLayout emits keys whose sizes differ by at most one scalar and
+//     that exactly tile the parameter space;
+//   - EPS on such a layout spreads both the key count and the scalar
+//     load across servers with a spread of at most one key;
+//   - Rebalance moves exactly the dead servers' keys and nothing else.
+
+// TestEPSLayoutEvenProperty: every re-keyed layout tiles the space with
+// near-equal keys.
+func TestEPSLayoutEvenProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 2000; trial++ {
+		totalDim := 1 + rng.Intn(100_000)
+		parts := 1 + rng.Intn(256)
+		l, err := EPSLayout(totalDim, parts)
+		if err != nil {
+			t.Fatalf("trial %d (dim=%d parts=%d): %v", trial, totalDim, parts, err)
+		}
+		wantKeys := parts
+		if wantKeys > totalDim {
+			wantKeys = totalDim
+		}
+		if l.NumKeys() != wantKeys {
+			t.Fatalf("trial %d (dim=%d parts=%d): %d keys, want %d", trial, totalDim, parts, l.NumKeys(), wantKeys)
+		}
+		sum, minSz, maxSz := 0, totalDim+1, 0
+		for k := 0; k < l.NumKeys(); k++ {
+			sz := l.KeySize(Key(k))
+			sum += sz
+			if sz < minSz {
+				minSz = sz
+			}
+			if sz > maxSz {
+				maxSz = sz
+			}
+		}
+		if sum != totalDim {
+			t.Fatalf("trial %d (dim=%d parts=%d): key sizes sum to %d", trial, totalDim, parts, sum)
+		}
+		if maxSz-minSz > 1 {
+			t.Fatalf("trial %d (dim=%d parts=%d): key sizes range [%d,%d], want spread ≤ 1",
+				trial, totalDim, parts, minSz, maxSz)
+		}
+	}
+}
+
+// TestEPSBalanceProperty: assigning an EPS layout spreads keys and load
+// evenly for any server count.
+func TestEPSBalanceProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 2000; trial++ {
+		totalDim := 1 + rng.Intn(100_000)
+		servers := 1 + rng.Intn(32)
+		partsPerServer := 1 + rng.Intn(8)
+		l, err := EPSLayout(totalDim, servers*partsPerServer)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a, err := EPS(l, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keyCounts := make([]int, servers)
+		for k := 0; k < a.NumKeys(); k++ {
+			s := a.ServerOf(Key(k))
+			if s < 0 || s >= servers {
+				t.Fatalf("trial %d: key %d assigned to server %d of %d", trial, k, s, servers)
+			}
+			keyCounts[s]++
+		}
+		minK, maxK := keyCounts[0], keyCounts[0]
+		for _, c := range keyCounts[1:] {
+			if c < minK {
+				minK = c
+			}
+			if c > maxK {
+				maxK = c
+			}
+		}
+		if maxK-minK > 1 {
+			t.Fatalf("trial %d (dim=%d servers=%d parts/server=%d): key counts range [%d,%d], want spread ≤ 1",
+				trial, totalDim, servers, partsPerServer, minK, maxK)
+		}
+		// Key sizes differ by ≤ 1 scalar, so with a key-count spread of ≤ 1
+		// the scalar-load spread is bounded by one full key.
+		loads := a.Loads(l)
+		minL, maxL := loads[0], loads[0]
+		for _, ld := range loads[1:] {
+			if ld < minL {
+				minL = ld
+			}
+			if ld > maxL {
+				maxL = ld
+			}
+		}
+		maxKeySize := (totalDim + l.NumKeys() - 1) / l.NumKeys()
+		if maxL-minL > maxKeySize {
+			t.Fatalf("trial %d (dim=%d servers=%d): loads range [%d,%d], spread exceeds one key (%d scalars)",
+				trial, totalDim, servers, minL, maxL, maxKeySize)
+		}
+	}
+}
+
+// TestRebalanceMoveMinimalityProperty: for any assignment and any
+// non-empty alive subset, Rebalance relocates exactly the keys that were
+// on dead servers — surviving placements are untouched, every
+// destination is alive, and Moved equals the orphan count.
+func TestRebalanceMoveMinimalityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for trial := 0; trial < 2000; trial++ {
+		totalDim := 1 + rng.Intn(50_000)
+		servers := 2 + rng.Intn(16)
+		l, err := EPSLayout(totalDim, 4*servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		old, err := EPS(l, servers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		alive := make([]bool, servers)
+		anyAlive := false
+		for s := range alive {
+			alive[s] = rng.Intn(3) > 0
+			anyAlive = anyAlive || alive[s]
+		}
+		if !anyAlive {
+			alive[rng.Intn(servers)] = true
+		}
+		next, err := Rebalance(old, l, alive)
+		if err != nil {
+			t.Fatal(err)
+		}
+		orphans := 0
+		for k := 0; k < old.NumKeys(); k++ {
+			was, is := old.ServerOf(Key(k)), next.ServerOf(Key(k))
+			if !alive[is] {
+				t.Fatalf("trial %d: key %d placed on dead server %d", trial, k, is)
+			}
+			if alive[was] {
+				if is != was {
+					t.Fatalf("trial %d: key %d moved %d→%d although server %d is alive", trial, k, was, is, was)
+				}
+				continue
+			}
+			orphans++
+		}
+		if moved := Moved(old, next); moved != orphans {
+			t.Fatalf("trial %d: moved %d keys, but only %d were orphaned — movement is not minimal",
+				trial, moved, orphans)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package telemetry
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// NumBuckets is the fixed bucket count of every Histogram. Bucket i
+// counts observations whose nanosecond value has bit length i, i.e. the
+// range [2^(i-1), 2^i); bucket 0 holds exact zeros. 2^46 ns ≈ 19.5 hours,
+// so the last bucket is an effective catch-all for any latency a
+// parameter server could produce.
+const NumBuckets = 48
+
+// Histogram is a lock-free latency histogram with fixed log2-spaced
+// buckets. Observe costs three atomic adds and never allocates; the
+// bucket index is a single bits.Len64. The zero value is ready to use; a
+// nil *Histogram discards all observations.
+type Histogram struct {
+	count   atomic.Uint64
+	sum     atomic.Int64 // nanoseconds
+	buckets [NumBuckets]atomic.Uint64
+}
+
+// Observe records one duration. Negative durations (clock weirdness on a
+// suspended machine) are clamped to zero rather than corrupting a bucket
+// index.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	ns := int64(d)
+	if ns < 0 {
+		ns = 0
+	}
+	i := bits.Len64(uint64(ns))
+	if i >= NumBuckets {
+		i = NumBuckets - 1
+	}
+	h.count.Add(1)
+	h.sum.Add(ns)
+	h.buckets[i].Add(1)
+}
+
+// Count returns the number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// BucketUpperBound returns the inclusive nanosecond upper bound of bucket
+// i: the largest value with bit length i.
+func BucketUpperBound(i int) int64 {
+	if i <= 0 {
+		return 0
+	}
+	if i >= 63 {
+		return int64(^uint64(0) >> 1)
+	}
+	return int64(uint64(1)<<uint(i)) - 1
+}
+
+// BucketCount is one non-empty histogram bucket in a snapshot: Le is the
+// bucket's inclusive nanosecond upper bound.
+type BucketCount struct {
+	Le    int64  `json:"le_ns"`
+	Count uint64 `json:"count"`
+}
+
+// HistogramSnapshot is a consistent-enough copy of a histogram: buckets
+// are read individually, so a snapshot taken under concurrent Observe
+// calls may be off by the observations in flight — fine for monitoring.
+type HistogramSnapshot struct {
+	Count   uint64        `json:"count"`
+	Sum     int64         `json:"sum_ns"`
+	P50     int64         `json:"p50_ns"`
+	P99     int64         `json:"p99_ns"`
+	Max     int64         `json:"max_ns"` // upper bound of the highest non-empty bucket
+	Buckets []BucketCount `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram's current state, keeping only non-empty
+// buckets and annotating approximate p50/p99 (each quantile is resolved
+// to its bucket's upper bound).
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	var s HistogramSnapshot
+	var counts [NumBuckets]uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		s.Count += counts[i]
+	}
+	s.Sum = h.sum.Load()
+	if s.Count == 0 {
+		return s
+	}
+	p50target := (s.Count + 1) / 2
+	p99target := s.Count - s.Count/100
+	var cum uint64
+	for i, n := range counts {
+		if n == 0 {
+			continue
+		}
+		ub := BucketUpperBound(i)
+		s.Buckets = append(s.Buckets, BucketCount{Le: ub, Count: n})
+		if cum < p50target && cum+n >= p50target {
+			s.P50 = ub
+		}
+		if cum < p99target && cum+n >= p99target {
+			s.P99 = ub
+		}
+		cum += n
+		s.Max = ub
+	}
+	return s
+}
+
+// Quantile returns the approximate q-quantile (q in [0,1]) as a duration:
+// the upper bound of the bucket the quantile falls in, 0 when empty.
+func (h *Histogram) Quantile(q float64) time.Duration {
+	if h == nil {
+		return 0
+	}
+	var counts [NumBuckets]uint64
+	var total uint64
+	for i := range counts {
+		counts[i] = h.buckets[i].Load()
+		total += counts[i]
+	}
+	if total == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := uint64(q * float64(total))
+	if target == 0 {
+		target = 1
+	}
+	var cum uint64
+	for i, n := range counts {
+		cum += n
+		if cum >= target {
+			return time.Duration(BucketUpperBound(i))
+		}
+	}
+	return time.Duration(BucketUpperBound(NumBuckets - 1))
+}

@@ -1,0 +1,78 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"time"
+)
+
+// DebugPath is the HTTP path the JSON snapshot is served under.
+const DebugPath = "/debug/fluentps"
+
+// Handler returns an http.Handler serving the registry's JSON snapshot at
+// DebugPath (and a one-line pointer at /). Safe on the Nop registry: it
+// serves empty instrument maps.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc(DebugPath, func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := r.WriteJSON(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/", func(w http.ResponseWriter, req *http.Request) {
+		if req.URL.Path != "/" {
+			http.NotFound(w, req)
+			return
+		}
+		fmt.Fprintf(w, "fluentps telemetry — see %s\n", DebugPath)
+	})
+	return mux
+}
+
+// DebugServer is a running telemetry HTTP endpoint; Close shuts it down.
+type DebugServer struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// ListenAndServe starts serving the registry's debug endpoint on addr
+// (":0" picks a free port — read it back via Addr) in a background
+// goroutine.
+func ListenAndServe(addr string, r *Registry) (*DebugServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("telemetry: listen %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: r.Handler(), ReadHeaderTimeout: 5 * time.Second}
+	go srv.Serve(ln)
+	return &DebugServer{ln: ln, srv: srv}, nil
+}
+
+// Addr returns the address the debug endpoint is listening on.
+func (d *DebugServer) Addr() string { return d.ln.Addr().String() }
+
+// Close stops the endpoint.
+func (d *DebugServer) Close() error { return d.srv.Close() }
+
+// Scrape fetches and decodes one node's snapshot from its debug endpoint.
+// addr is a host:port (the node's -debugAddr); the scheme and path are
+// filled in here so callers pass the same string they passed the node.
+func Scrape(addr string) (Snapshot, error) {
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get("http://" + addr + DebugPath)
+	if err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: scrape %s: %w", addr, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return Snapshot{}, fmt.Errorf("telemetry: scrape %s: HTTP %d", addr, resp.StatusCode)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		return Snapshot{}, fmt.Errorf("telemetry: scrape %s: %w", addr, err)
+	}
+	return s, nil
+}

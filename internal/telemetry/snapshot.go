@@ -1,0 +1,137 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Snapshot is a point-in-time copy of every instrument in a registry,
+// shaped for JSON (the /debug/fluentps payload). Gauge functions are
+// evaluated at snapshot time and merged into Gauges.
+type Snapshot struct {
+	Counters   map[string]uint64            `json:"counters"`
+	Gauges     map[string]int64             `json:"gauges"`
+	Histograms map[string]HistogramSnapshot `json:"histograms"`
+}
+
+// Snapshot captures the registry's current state. Safe to call
+// concurrently with instrument updates; an empty snapshot on Nop.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]uint64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistogramSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	funcs := make(map[string]func() int64, len(r.gaugeFuncs))
+	for k, v := range r.gaugeFuncs {
+		funcs[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	// Instrument reads happen outside the registry lock: a gauge function
+	// may itself grab a component lock (e.g. flaky-injector stats).
+	for k, c := range counters {
+		s.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		s.Gauges[k] = g.Value()
+	}
+	for k, fn := range funcs {
+		s.Gauges[k] = fn()
+	}
+	for k, h := range hists {
+		s.Histograms[k] = h.Snapshot()
+	}
+	return s
+}
+
+// WriteJSON renders the snapshot as indented JSON (map keys sort, so the
+// output is stable and diffable).
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r.Snapshot())
+}
+
+// Summary renders a one-line digest: counters and gauges as k=v sorted by
+// name, histograms as name{p50,p99} — the periodic stats-log line of the
+// cluster binaries.
+func (r *Registry) Summary() string {
+	s := r.Snapshot()
+	var parts []string
+	names := make([]string, 0, len(s.Counters))
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, s.Counters[k]))
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		parts = append(parts, fmt.Sprintf("%s=%d", k, s.Gauges[k]))
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		if h.Count == 0 {
+			continue
+		}
+		parts = append(parts, fmt.Sprintf("%s{n=%d p50=%v p99=%v}",
+			k, h.Count, time.Duration(h.P50), time.Duration(h.P99)))
+	}
+	return strings.Join(parts, " ")
+}
+
+// StartLogger emits the registry's Summary through logf every interval
+// until the returned stop function is called. The first line goes out
+// after one full interval, so start-up noise stays off the log.
+func StartLogger(r *Registry, interval time.Duration, logf func(format string, args ...any)) (stop func()) {
+	done := make(chan struct{})
+	go func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				logf("stats: %s", r.Summary())
+			case <-done:
+				return
+			}
+		}
+	}()
+	var once bool
+	return func() {
+		if !once {
+			once = true
+			close(done)
+		}
+	}
+}

@@ -1,0 +1,175 @@
+// Package telemetry is the runtime metrics layer of the live cluster: a
+// zero-dependency, allocation-conscious set of atomic counters, gauges,
+// and fixed-bucket latency histograms, collected in a Registry that
+// renders one JSON snapshot (the /debug/fluentps endpoint) or a one-line
+// summary (the periodic stats log).
+//
+// The paper's evaluation (Figs 6–9, Table IV) is built on quantities —
+// DPR counts, lazy-pull buffer depth, per-shard V_train skew, sync-wait
+// time — that the simulator traces but the real TCP cluster could not
+// observe. This package closes that gap without touching hot-path
+// allocation budgets: every instrument is a pointer whose methods are
+// nil-safe no-ops, so a component wired to the Nop registry pays one
+// predictable branch per event and zero allocations.
+//
+// Ownership and cost model:
+//
+//   - Counter / Gauge are single atomic words; Add/Set cost one atomic
+//     RMW (single-digit nanoseconds), no locks, no allocation.
+//   - Histogram has fixed log2-spaced buckets; Observe costs three atomic
+//     adds and never allocates.
+//   - Registry.Counter/Gauge/Histogram register on first use under a
+//     mutex — call them once at component construction, keep the returned
+//     pointer, and the hot path never touches the registry again.
+//   - The Nop registry (a typed nil) returns nil instruments everywhere,
+//     so disabled telemetry needs no separate code path at call sites.
+package telemetry
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Counter is a monotonically increasing atomic counter. The zero value is
+// ready to use; a nil *Counter discards all updates.
+type Counter struct {
+	v atomic.Uint64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on nil).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is an instantaneous atomic value. The zero value is ready to use;
+// a nil *Gauge discards all updates.
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores v.
+func (g *Gauge) Set(v int64) {
+	if g != nil {
+		g.v.Store(v)
+	}
+}
+
+// Add adjusts the gauge by d (queue depths increment on enqueue and
+// decrement on dequeue).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value (0 on nil).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Registry collects named instruments. The zero Registry is not usable;
+// construct with New. A nil *Registry (Nop) hands out nil instruments and
+// snapshots empty, so "telemetry disabled" is one value, not a branch at
+// every call site.
+type Registry struct {
+	mu         sync.Mutex
+	counters   map[string]*Counter
+	gauges     map[string]*Gauge
+	gaugeFuncs map[string]func() int64
+	hists      map[string]*Histogram
+}
+
+// Nop is the disabled registry: every instrument it yields is a nil
+// pointer whose methods are no-ops.
+var Nop *Registry
+
+// New returns an empty registry.
+func New() *Registry {
+	return &Registry{
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		gaugeFuncs: make(map[string]func() int64),
+		hists:      make(map[string]*Histogram),
+	}
+}
+
+// Counter returns the named counter, registering it on first use. Returns
+// nil (a no-op counter) on the Nop registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns the named gauge, registering it on first use. Returns nil
+// on the Nop registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// GaugeFunc registers a gauge whose value is computed at snapshot time —
+// for quantities that already exist elsewhere (queue lengths, pool hit
+// rates, fault-injector counters). fn must be safe to call concurrently.
+// Re-registering a name replaces the function. No-op on the Nop registry.
+func (r *Registry) GaugeFunc(name string, fn func() int64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.gaugeFuncs[name] = fn
+}
+
+// Histogram returns the named histogram, registering it on first use.
+// Returns nil on the Nop registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}

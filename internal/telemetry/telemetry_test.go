@@ -1,0 +1,242 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"math/bits"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	if r.Counter("x") != c {
+		t.Error("second registration returned a different counter")
+	}
+	g := r.Gauge("y")
+	g.Set(7)
+	g.Add(-2)
+	if got := g.Value(); got != 5 {
+		t.Errorf("gauge = %d, want 5", got)
+	}
+	r.GaugeFunc("z", func() int64 { return 42 })
+	s := r.Snapshot()
+	if s.Counters["x"] != 5 || s.Gauges["y"] != 5 || s.Gauges["z"] != 42 {
+		t.Errorf("snapshot = %+v", s)
+	}
+}
+
+func TestNopRegistryIsSafe(t *testing.T) {
+	r := Nop
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(3)
+	if c.Value() != 0 {
+		t.Error("nil counter retained a value")
+	}
+	g := r.Gauge("y")
+	g.Set(1)
+	g.Add(1)
+	if g.Value() != 0 {
+		t.Error("nil gauge retained a value")
+	}
+	h := r.Histogram("z")
+	h.Observe(time.Second)
+	if h.Count() != 0 || h.Quantile(0.5) != 0 {
+		t.Error("nil histogram retained observations")
+	}
+	r.GaugeFunc("f", func() int64 { return 1 })
+	s := r.Snapshot()
+	if len(s.Counters)+len(s.Gauges)+len(s.Histograms) != 0 {
+		t.Errorf("Nop snapshot not empty: %+v", s)
+	}
+	if r.Summary() != "" {
+		t.Errorf("Nop summary = %q", r.Summary())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// 0 lands in bucket 0; 1ns in bucket 1; 2-3ns in bucket 2; etc.
+	cases := []struct {
+		d      time.Duration
+		bucket int
+	}{
+		{0, 0}, {1, 1}, {2, 2}, {3, 2}, {4, 3},
+		{1023, 10}, {1024, 11},
+		{time.Millisecond, bits.Len64(uint64(time.Millisecond))},
+		{-time.Second, 0}, // clamped
+	}
+	for _, c := range cases {
+		h.Observe(c.d)
+	}
+	snap := h.Snapshot()
+	if snap.Count != uint64(len(cases)) {
+		t.Fatalf("count = %d, want %d", snap.Count, len(cases))
+	}
+	counts := map[int64]uint64{}
+	for _, b := range snap.Buckets {
+		counts[b.Le] = b.Count
+	}
+	for _, c := range cases {
+		le := BucketUpperBound(c.bucket)
+		if counts[le] == 0 {
+			t.Errorf("observation %v: bucket le=%d empty (buckets %+v)", c.d, le, snap.Buckets)
+		}
+	}
+	if snap.Sum != 1023+1024+1+2+3+4+int64(time.Millisecond) {
+		t.Errorf("sum = %d", snap.Sum)
+	}
+}
+
+func TestHistogramQuantiles(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 99; i++ {
+		h.Observe(100 * time.Nanosecond) // bucket le=127
+	}
+	h.Observe(time.Second)
+	if q := h.Quantile(0.5); q != 127 {
+		t.Errorf("p50 = %v, want 127ns", q)
+	}
+	if q := h.Quantile(1); q < time.Second {
+		t.Errorf("p100 = %v, want >= 1s", q)
+	}
+	snap := h.Snapshot()
+	if snap.P50 != 127 {
+		t.Errorf("snapshot P50 = %d, want 127", snap.P50)
+	}
+	if snap.P99 != 127 {
+		// 99 of 100 observations are in the 127ns bucket.
+		t.Errorf("snapshot P99 = %d, want 127", snap.P99)
+	}
+	if snap.Max < int64(time.Second) {
+		t.Errorf("snapshot Max = %d, want >= 1s", snap.Max)
+	}
+}
+
+func TestHistogramOverflowBucket(t *testing.T) {
+	var h Histogram
+	h.Observe(time.Duration(1) << 60) // beyond the last bucket
+	snap := h.Snapshot()
+	if len(snap.Buckets) != 1 || snap.Buckets[0].Le != BucketUpperBound(NumBuckets-1) {
+		t.Errorf("overflow landed in %+v", snap.Buckets)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := New()
+	c := r.Counter("c")
+	h := r.Histogram("h")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Inc()
+				h.Observe(time.Duration(j))
+				_ = r.Snapshot() // snapshots race with updates by design
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 || h.Count() != 8000 {
+		t.Errorf("counter = %d, histogram count = %d, want 8000 each", c.Value(), h.Count())
+	}
+}
+
+func TestHandlerServesJSON(t *testing.T) {
+	r := New()
+	r.Counter("server.pushes_applied").Add(12)
+	r.Gauge("server.v_train").Set(3)
+	r.Histogram("worker.push_rtt_ns").Observe(5 * time.Microsecond)
+
+	ts := httptest.NewServer(r.Handler())
+	defer ts.Close()
+	resp, err := http.Get(ts.URL + DebugPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Errorf("content type %q", ct)
+	}
+	var s Snapshot
+	if err := json.NewDecoder(resp.Body).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["server.pushes_applied"] != 12 {
+		t.Errorf("counters = %v", s.Counters)
+	}
+	if s.Gauges["server.v_train"] != 3 {
+		t.Errorf("gauges = %v", s.Gauges)
+	}
+	if h := s.Histograms["worker.push_rtt_ns"]; h.Count != 1 || len(h.Buckets) != 1 {
+		t.Errorf("histograms = %+v", s.Histograms)
+	}
+}
+
+func TestListenAndServeAndScrape(t *testing.T) {
+	r := New()
+	r.Counter("pings").Add(2)
+	ds, err := ListenAndServe("127.0.0.1:0", r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ds.Close()
+	s, err := Scrape(ds.Addr())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Counters["pings"] != 2 {
+		t.Errorf("scraped %+v", s)
+	}
+}
+
+func TestSummary(t *testing.T) {
+	r := New()
+	r.Counter("b.count").Add(2)
+	r.Counter("a.count").Add(1)
+	r.Gauge("g").Set(-4)
+	r.Histogram("lat").Observe(time.Microsecond)
+	r.Histogram("empty") // never observed: omitted
+	sum := r.Summary()
+	if !strings.Contains(sum, "a.count=1") || !strings.Contains(sum, "b.count=2") ||
+		!strings.Contains(sum, "g=-4") || !strings.Contains(sum, "lat{n=1") {
+		t.Errorf("summary = %q", sum)
+	}
+	if strings.Contains(sum, "empty") {
+		t.Errorf("summary includes empty histogram: %q", sum)
+	}
+	if strings.Index(sum, "a.count") > strings.Index(sum, "b.count") {
+		t.Errorf("summary not sorted: %q", sum)
+	}
+}
+
+func TestStartLogger(t *testing.T) {
+	r := New()
+	r.Counter("c").Inc()
+	lines := make(chan string, 8)
+	stop := StartLogger(r, 5*time.Millisecond, func(format string, args ...any) {
+		select {
+		case lines <- format:
+		default:
+		}
+	})
+	select {
+	case <-lines:
+	case <-time.After(2 * time.Second):
+		t.Fatal("logger never fired")
+	}
+	stop()
+	stop() // idempotent
+}
