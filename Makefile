@@ -8,10 +8,17 @@ GO ?= go
 # catches a PR that lands untested request-lifecycle code.
 COVER_FLOOR ?= 80.0
 
-.PHONY: verify build vet test race fuzz fuzz-smoke cover ci bench bench-paper
+.PHONY: verify build vet lint test race race-debug fuzz fuzz-smoke cover ci bench bench-paper
 
 ## verify: the tier-1 gate — vet, build, full test suite.
 verify: vet build test
+
+## lint: fluentvet, the project's own static-analysis suite (poolcheck,
+## lockorder, ctxcheck, telcheck, atomiccheck). Exits non-zero on any
+## unsuppressed fail-severity finding; suppressions (//lint:ignore) are
+## reported in a summary table.
+lint:
+	$(GO) run ./cmd/fluentvet ./...
 
 build:
 	$(GO) build ./...
@@ -27,6 +34,13 @@ test:
 ## run them under the race detector after touching any of it.
 race:
 	$(GO) test -race ./internal/core/... ./internal/transport/...
+
+## race-debug: the race run with the fluentdebug assertion layer compiled
+## in (internal/core/assert.go): V_train monotonicity, the SSP staleness
+## bound on answered pulls, and the DPR-drain/push-condition coupling all
+## panic on violation instead of silently corrupting a run.
+race-debug:
+	$(GO) test -race -tags fluentdebug ./internal/core/... ./internal/transport/...
 
 ## fuzz: a short codec fuzz pass over the wire format (seeds include
 ## negative Progress and boundary-length frames).
@@ -53,10 +67,13 @@ cover:
 		fi; \
 	done
 
-## ci: the full pre-merge gate — vet + build + tests, the race detector
-## over everything, a codec fuzz smoke, and the coverage floor.
+## ci: the full pre-merge gate — vet + build + tests, fluentvet, the race
+## detector over everything (plus a fluentdebug assertion pass), a codec
+## fuzz smoke, and the coverage floor.
 ci: verify
+	$(MAKE) lint
 	$(GO) test -race ./...
+	$(MAKE) race-debug
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover
 

@@ -31,7 +31,7 @@ func runHotpath(ctx context.Context) error {
 		srv, err := core.NewServer(net.Endpoint(transport.Server(m)), core.ServerConfig{
 			Rank: m, NumWorkers: 1, Layout: layout, Assignment: assign,
 			Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
-			Init:  func(k keyrange.Key, seg []float64) {},
+			Init: func(k keyrange.Key, seg []float64) {},
 		})
 		if err != nil {
 			return err

@@ -69,7 +69,7 @@ func main() {
 	switch cmd {
 	case "stats":
 		for m := range cluster.ServerAddrs {
-			st, err := core.QueryStats(ep, m)
+			st, err := core.QueryStats(context.Background(), ep, m)
 			if err != nil {
 				log.Fatalf("server %d: %v", m, err)
 			}
@@ -124,7 +124,7 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("moving %d of %d keys…\n", keyrange.Moved(old, next), layout.NumKeys())
-		if err := core.Rebalance(ep, old, next); err != nil {
+		if err := core.Rebalance(context.Background(), ep, old, next); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("rebalance complete; restart workers with the new assignment")

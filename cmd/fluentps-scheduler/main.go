@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 
@@ -63,7 +64,7 @@ func main() {
 	sched.DistributeAssignment(assign)
 	log.Printf("fluentps-scheduler: listening on %s, expecting %d servers and %d workers; distributing %d keys over %d servers",
 		ep.Addr(), len(cluster.ServerAddrs), cluster.Workers(), layout.NumKeys(), len(cluster.ServerAddrs))
-	if err := sched.Run(); err != nil {
+	if err := sched.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 	log.Printf("fluentps-scheduler: shut down")

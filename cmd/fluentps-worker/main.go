@@ -70,7 +70,7 @@ func main() {
 	defer ep.Close()
 
 	log.Printf("fluentps-worker[%d]: registering with scheduler", *rank)
-	fetched, err := core.RegisterAndFetch(ep, layout)
+	fetched, err := core.RegisterAndFetch(context.Background(), ep, layout)
 	if err != nil {
 		log.Fatal(err)
 	}

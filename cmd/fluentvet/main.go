@@ -1,0 +1,63 @@
+// Command fluentvet runs the project's static-analysis suite: five
+// analyzers that mechanically enforce the message-pool ownership,
+// locking, context, telemetry, and atomicity disciplines documented in
+// DESIGN.md §11. Stdlib-only: packages are discovered with `go list`,
+// type-checked with go/types, no x/tools dependency.
+//
+// Usage:
+//
+//	fluentvet [-json] [-notests] [-C dir] [packages]
+//
+// Packages default to ./... . Exit status 1 when any unsuppressed
+// finding of severity "fail" remains; warnings and suppressed findings
+// are reported but do not fail the run. Suppress a finding with an
+// explanatory comment on the offending line or the line above it:
+//
+//	//lint:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"github.com/fluentps/fluentps/internal/lint"
+)
+
+func main() {
+	var (
+		jsonOut = flag.Bool("json", false, "emit findings as JSON")
+		noTests = flag.Bool("notests", false, "skip _test.go files and external test packages")
+		dir     = flag.String("C", ".", "directory to run in (module root or below)")
+	)
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fluentvet [flags] [packages]\n\nAnalyzers:\n")
+		for _, a := range lint.Analyzers() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+		fmt.Fprintf(flag.CommandLine.Output(), "\nFlags:\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	res, err := lint.Run(*dir, patterns, !*noTests)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluentvet:", err)
+		os.Exit(2)
+	}
+	if *jsonOut {
+		if err := res.WriteJSON(os.Stdout); err != nil {
+			fmt.Fprintln(os.Stderr, "fluentvet:", err)
+			os.Exit(2)
+		}
+	} else {
+		res.WriteText(os.Stdout)
+	}
+	if res.Failed() {
+		os.Exit(1)
+	}
+}

@@ -82,7 +82,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	go sched.Run()
+	go sched.Run(context.Background())
 
 	// Servers: announce, then serve (PSSP on every shard).
 	for m := 0; m < servers; m++ {
@@ -119,7 +119,7 @@ func main() {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			if err := core.Register(workerEPs[n]); err != nil {
+			if err := core.Register(context.Background(), workerEPs[n]); err != nil {
 				log.Fatal(err)
 			}
 			w, err := core.NewWorker(workerEPs[n], core.WorkerConfig{

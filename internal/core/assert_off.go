@@ -1,0 +1,18 @@
+//go:build !fluentdebug
+
+package core
+
+// Release build: every assertion hook is an inlinable no-op. See
+// assert.go for the checked invariants (built with -tags fluentdebug).
+
+const debugAssertions = false
+
+func assertf(bool, string, ...any) {}
+
+func (s *Server) assertVTrainMonotonic() {}
+
+func (s *Server) assertSSPStaleness(int) {}
+
+func (s *Server) assertDrainImpliesAdvance(int, int) {}
+
+func (s *Server) debugAdvances() int { return 0 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -161,7 +162,7 @@ func TestSchedulerRegistrationQuorum(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go sched.Run()
+	go sched.Run(context.Background())
 	defer func() {
 		ep := net.Endpoint(transport.Worker(50))
 		_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Scheduler()})
@@ -170,7 +171,7 @@ func TestSchedulerRegistrationQuorum(t *testing.T) {
 
 	results := make(chan error, 3)
 	register := func(id transport.NodeID) {
-		results <- Register(net.Endpoint(id))
+		results <- Register(context.Background(), net.Endpoint(id))
 	}
 	go register(transport.Server(0))
 	go register(transport.Worker(0))
@@ -209,7 +210,7 @@ func TestSchedulerValidation(t *testing.T) {
 func TestStartHeartbeatsLoop(t *testing.T) {
 	net := transport.NewChanNetwork(64)
 	sched, _ := NewScheduler(net.Endpoint(transport.Scheduler()), 1, 1)
-	go sched.Run()
+	go sched.Run(context.Background())
 	ep := net.Endpoint(transport.Worker(3))
 	stop := make(chan struct{})
 	done := StartHeartbeats(ep, 5*time.Millisecond, stop)
@@ -244,7 +245,7 @@ func TestStartHeartbeatsLoop(t *testing.T) {
 func TestSchedulerHeartbeats(t *testing.T) {
 	net := transport.NewChanNetwork(16)
 	sched, _ := NewScheduler(net.Endpoint(transport.Scheduler()), 1, 1)
-	go sched.Run()
+	go sched.Run(context.Background())
 	ep := net.Endpoint(transport.Worker(0))
 	defer ep.Close()
 	if err := ep.Send(&transport.Message{Type: transport.MsgHeartbeat, To: transport.Scheduler()}); err != nil {
@@ -267,7 +268,7 @@ func TestSchedulerDistributesAssignment(t *testing.T) {
 		t.Fatal(err)
 	}
 	sched.DistributeAssignment(canonical)
-	go sched.Run()
+	go sched.Run(context.Background())
 	defer func() {
 		ep := net.Endpoint(transport.Worker(70))
 		_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Scheduler()})
@@ -278,7 +279,7 @@ func TestSchedulerDistributesAssignment(t *testing.T) {
 	errs := make(chan error, 2)
 	for _, id := range []transport.NodeID{transport.Server(0), transport.Worker(0)} {
 		go func(id transport.NodeID) {
-			a, err := RegisterAndFetch(net.Endpoint(id), layout)
+			a, err := RegisterAndFetch(context.Background(), net.Endpoint(id), layout)
 			errs <- err
 			results <- a
 		}(id)

@@ -76,7 +76,7 @@ func benchPushPull(b *testing.B, reg *telemetry.Registry) {
 
 // BenchmarkPushPullHotPath is the baseline: no telemetry configured.
 func BenchmarkPushPullHotPath(b *testing.B) {
-	benchPushPull(b, nil)
+	benchPushPull(b, telemetry.Nop)
 }
 
 // BenchmarkPushPullHotPathTelemetry runs the same step with a live

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/fluentps/fluentps/internal/transport"
@@ -85,14 +86,18 @@ func (s *Server) handleStats(msg *transport.Message) error {
 }
 
 // QueryStats fetches a live server's synchronization state from an admin
-// endpoint (one not used by a Worker's receive loop).
-func QueryStats(ep transport.Endpoint, server int) (ShardState, error) {
+// endpoint (one not used by a Worker's receive loop). ctx bounds the
+// wait for the server's reply; nil means wait forever.
+func QueryStats(ctx context.Context, ep transport.Endpoint, server int) (ShardState, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	msg := &transport.Message{Type: transport.MsgStats, To: transport.Server(server), Seq: 7}
 	if err := ep.Send(msg); err != nil {
 		return ShardState{}, err
 	}
 	for {
-		resp, err := ep.Recv()
+		resp, err := recvCtx(ctx, ep)
 		if err != nil {
 			return ShardState{}, err
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -15,7 +16,7 @@ func TestQueryStatsReflectsLiveState(t *testing.T) {
 	admin := net.Endpoint(transport.Worker(7))
 	defer admin.Close()
 
-	st, err := QueryStats(admin, 0)
+	st, err := QueryStats(context.Background(), admin, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -39,7 +40,7 @@ func TestQueryStatsReflectsLiveState(t *testing.T) {
 	go w0.SPull(tctx, 1, make([]float64, 5)) // blocks under SSP(1)
 
 	waitUntil(t, 5*time.Second, "blocked pull to appear in the stats", func() bool {
-		st, err = QueryStats(admin, 0)
+		st, err = QueryStats(context.Background(), admin, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -129,6 +129,7 @@ func TestDuplicatePushAppliedOnce(t *testing.T) {
 		if ack.Type != transport.MsgPushAck || ack.Seq != 42 {
 			t.Fatalf("reply %d = %s seq %d, want push_ack seq 42", i, ack.Type, ack.Seq)
 		}
+		transport.ReleaseReceived(ack)
 	}
 
 	// Parameters start at 1 (testServer's Init); one push of 2 scaled by
@@ -146,6 +147,7 @@ func TestDuplicatePushAppliedOnce(t *testing.T) {
 			t.Fatalf("param[%d] = %v, want 2.0 (duplicate push was re-applied)", i, v)
 		}
 	}
+	transport.ReleaseReceived(resp)
 	st := srv.Stats()
 	if st.DedupHits != 1 {
 		t.Fatalf("DedupHits = %d, want 1", st.DedupHits)
@@ -208,6 +210,7 @@ func TestDuplicatePullLifecycle(t *testing.T) {
 	if probe.Type != transport.MsgStatsResp {
 		t.Fatalf("got %s seq %d, want stats_resp (buffered duplicate answered twice)", probe.Type, probe.Seq)
 	}
+	transport.ReleaseReceived(probe)
 	// But a duplicate arriving after the answer (lost response) is
 	// re-answered with current parameters.
 	if err := ep0.Send(pull); err != nil {
@@ -220,6 +223,7 @@ func TestDuplicatePullLifecycle(t *testing.T) {
 	if resp.Type != transport.MsgPullResp || resp.Seq != 2 {
 		t.Fatalf("got %s seq %d, want re-answered pull_resp seq 2", resp.Type, resp.Seq)
 	}
+	transport.ReleaseReceived(resp)
 	if st := srv.Stats(); st.DedupHits != 2 || st.Pulls != 1 {
 		t.Fatalf("DedupHits = %d, Pulls = %d; want 2 dedup hits and 1 controller pull", st.DedupHits, st.Pulls)
 	}

@@ -135,7 +135,7 @@ func TestConcurrentPushPullServesUntornSegments(t *testing.T) {
 		srv, err := NewServer(net.Endpoint(transport.Server(m)), ServerConfig{
 			Rank: m, NumWorkers: workers, Layout: layout, Assignment: assign,
 			Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
-			Init:  func(k keyrange.Key, seg []float64) {},
+			Init: func(k keyrange.Key, seg []float64) {},
 		})
 		if err != nil {
 			t.Fatal(err)

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"github.com/fluentps/fluentps/internal/keyrange"
@@ -53,8 +54,12 @@ func decodeAssignment(layout *keyrange.Layout, vals []float64) (*keyrange.Assign
 // old and new server sets and waits for every server that owns keys
 // before or after the change to acknowledge. The caller is responsible
 // for quiescence and for telling workers about the new assignment
-// (Worker.SetAssignment).
-func Rebalance(admin transport.Endpoint, old, next *keyrange.Assignment) error {
+// (Worker.SetAssignment). ctx bounds the wait for acknowledgements; nil
+// means wait forever.
+func Rebalance(ctx context.Context, admin transport.Endpoint, old, next *keyrange.Assignment) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if old.NumKeys() != next.NumKeys() {
 		return fmt.Errorf("core: assignments cover different key spaces (%d vs %d keys)",
 			old.NumKeys(), next.NumKeys())
@@ -85,14 +90,16 @@ func Rebalance(admin transport.Endpoint, old, next *keyrange.Assignment) error {
 	}
 	acked := map[transport.NodeID]bool{}
 	for len(acked) < len(involved) {
-		msg, err := admin.Recv()
+		msg, err := recvCtx(ctx, admin)
 		if err != nil {
 			return fmt.Errorf("core: await rebalance acks: %w", err)
 		}
-		if msg.Type != transport.MsgRebalanceAck {
+		typ, from := msg.Type, msg.From
+		transport.ReleaseReceived(msg)
+		if typ != transport.MsgRebalanceAck {
 			continue // stray traffic on the admin endpoint
 		}
-		acked[msg.From] = true
+		acked[from] = true
 	}
 	return nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"testing"
 
 	"github.com/fluentps/fluentps/internal/keyrange"
@@ -86,7 +87,7 @@ func TestRebalanceDecommissionPreservesData(t *testing.T) {
 	}
 	admin := net.Endpoint(transport.Worker(50))
 	defer admin.Close()
-	if err := Rebalance(admin, old, next); err != nil {
+	if err := Rebalance(context.Background(), admin, old, next); err != nil {
 		t.Fatal(err)
 	}
 	// Nothing may remain on the decommissioned server.
@@ -135,7 +136,7 @@ func TestRebalanceScaleUpPreservesData(t *testing.T) {
 
 	admin := net.Endpoint(transport.Worker(51))
 	defer admin.Close()
-	if err := Rebalance(admin, old, next); err != nil {
+	if err := Rebalance(context.Background(), admin, old, next); err != nil {
 		t.Fatal(err)
 	}
 	loads := next.Loads(layout)
@@ -175,7 +176,7 @@ func TestRebalanceTrainingContinuesAfterwards(t *testing.T) {
 	next, _ := keyrange.Rebalance(old, layout, []bool{true, true, false})
 	admin := net.Endpoint(transport.Worker(52))
 	defer admin.Close()
-	if err := Rebalance(admin, old, next); err != nil {
+	if err := Rebalance(context.Background(), admin, old, next); err != nil {
 		t.Fatal(err)
 	}
 	w.SetAssignment(next)
@@ -207,7 +208,7 @@ func TestRebalanceValidation(t *testing.T) {
 	net := transport.NewChanNetwork(4)
 	admin := net.Endpoint(transport.Worker(0))
 	defer admin.Close()
-	if err := Rebalance(admin, a, b); err == nil {
+	if err := Rebalance(context.Background(), admin, a, b); err == nil {
 		t.Error("mismatched key spaces accepted")
 	}
 }

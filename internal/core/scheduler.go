@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -56,19 +57,25 @@ func (s *Scheduler) DistributeAssignment(a *keyrange.Assignment) {
 	s.assign = a
 }
 
-// Run serves registration and heartbeat messages until the endpoint
-// closes or a shutdown message arrives.
-func (s *Scheduler) Run() error {
+// Run serves registration and heartbeat messages until ctx is cancelled,
+// the endpoint closes, or a shutdown message arrives. nil ctx means run
+// until close/shutdown.
+func (s *Scheduler) Run(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	for {
-		msg, err := s.ep.Recv()
+		msg, err := recvCtx(ctx, s.ep)
 		if err != nil {
-			if err == transport.ErrClosed {
+			if err == transport.ErrClosed || ctx.Err() != nil {
 				return nil
 			}
 			return fmt.Errorf("core: scheduler recv: %w", err)
 		}
 		switch msg.Type {
 		case transport.MsgRegister:
+			// handleRegister retains the registration until the quorum
+			// ack goes out; it owns the release.
 			if err := s.handleRegister(msg); err != nil {
 				return err
 			}
@@ -76,8 +83,12 @@ func (s *Scheduler) Run() error {
 			s.mu.Lock()
 			s.lastSeen[msg.From] = time.Now()
 			s.mu.Unlock()
+			transport.ReleaseReceived(msg)
 		case transport.MsgShutdown:
+			transport.ReleaseReceived(msg)
 			return nil
+		default:
+			transport.ReleaseReceived(msg)
 		}
 	}
 }
@@ -95,12 +106,15 @@ func (s *Scheduler) handleRegister(msg *transport.Message) error {
 	}
 	s.mu.Unlock()
 	for _, reg := range toAck {
-		ack := &transport.Message{Type: transport.MsgRegisterAck, To: reg.From, Seq: reg.Seq}
+		from := reg.From
+		ack := &transport.Message{Type: transport.MsgRegisterAck, To: from, Seq: reg.Seq}
 		if s.assign != nil {
 			ack.Vals = encodeAssignment(s.assign)
 		}
-		if err := s.ep.Send(ack); err != nil {
-			return fmt.Errorf("core: scheduler ack %s: %w", reg.From, err)
+		err := s.ep.Send(ack)
+		transport.ReleaseReceived(reg)
+		if err != nil {
+			return fmt.Errorf("core: scheduler ack %s: %w", from, err)
 		}
 	}
 	return nil
@@ -109,25 +123,34 @@ func (s *Scheduler) handleRegister(msg *transport.Message) error {
 // RegisterAndFetch registers the node, blocks until the cluster
 // assembles, and returns the canonical key assignment the scheduler
 // distributes (nil if the scheduler was not given one). layout must be
-// the model's communication layout so the payload can be validated.
-func RegisterAndFetch(ep transport.Endpoint, layout *keyrange.Layout) (*keyrange.Assignment, error) {
+// the model's communication layout so the payload can be validated. ctx
+// bounds the wait for the quorum ack; nil means wait forever.
+func RegisterAndFetch(ctx context.Context, ep transport.Endpoint, layout *keyrange.Layout) (*keyrange.Assignment, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	msg := &transport.Message{Type: transport.MsgRegister, To: transport.Scheduler()}
 	if err := ep.Send(msg); err != nil {
 		return nil, fmt.Errorf("core: register %s: %w", ep.ID(), err)
 	}
-	for {
-		resp, err := ep.Recv()
-		if err != nil {
-			return nil, fmt.Errorf("core: await registration ack: %w", err)
-		}
-		if resp.Type != transport.MsgRegisterAck {
-			return nil, fmt.Errorf("core: unexpected %s before registration ack", resp.Type)
-		}
-		if len(resp.Vals) == 0 {
-			return nil, nil
-		}
-		return decodeAssignment(layout, resp.Vals)
+	resp, err := recvCtx(ctx, ep)
+	if err != nil {
+		return nil, fmt.Errorf("core: await registration ack: %w", err)
 	}
+	if resp.Type != transport.MsgRegisterAck {
+		typ := resp.Type
+		transport.ReleaseReceived(resp)
+		return nil, fmt.Errorf("core: unexpected %s before registration ack", typ)
+	}
+	if len(resp.Vals) == 0 {
+		transport.ReleaseReceived(resp)
+		return nil, nil
+	}
+	// decodeAssignment copies the payload into fresh owner slices, so
+	// releasing resp afterwards is safe.
+	a, err := decodeAssignment(layout, resp.Vals)
+	transport.ReleaseReceived(resp)
+	return a, err
 }
 
 // Alive returns the nodes whose last heartbeat (or registration) is within
@@ -186,22 +209,26 @@ func RegisterAsync(ep transport.Endpoint) error {
 // scheduler and blocks until the scheduler confirms the full cluster has
 // assembled. Workers call it before training; servers should use
 // RegisterAsync followed by Run instead, so early worker traffic finds
-// them already serving.
-func Register(ep transport.Endpoint) error {
+// them already serving. ctx bounds the wait for the quorum ack; nil
+// means wait forever.
+func Register(ctx context.Context, ep transport.Endpoint) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	seq := uint64(time.Now().UnixNano())
 	msg := &transport.Message{Type: transport.MsgRegister, To: transport.Scheduler(), Seq: seq}
 	if err := ep.Send(msg); err != nil {
 		return fmt.Errorf("core: register %s: %w", ep.ID(), err)
 	}
-	for {
-		resp, err := ep.Recv()
-		if err != nil {
-			return fmt.Errorf("core: await registration ack: %w", err)
-		}
-		if resp.Type == transport.MsgRegisterAck {
-			return nil
-		}
-		// Anything else arriving this early is a protocol violation.
-		return fmt.Errorf("core: unexpected %s before registration ack", resp.Type)
+	resp, err := recvCtx(ctx, ep)
+	if err != nil {
+		return fmt.Errorf("core: await registration ack: %w", err)
 	}
+	typ := resp.Type
+	transport.ReleaseReceived(resp)
+	if typ == transport.MsgRegisterAck {
+		return nil
+	}
+	// Anything else arriving this early is a protocol violation.
+	return fmt.Errorf("core: unexpected %s before registration ack", typ)
 }

@@ -102,6 +102,10 @@ type Server struct {
 
 	// reb tracks an in-progress elastic rebalance (rebalance.go).
 	reb *rebalanceState
+
+	// debugLastVTrain backs the fluentdebug V_train monotonicity
+	// assertion (assert.go); unused in release builds.
+	debugLastVTrain int
 }
 
 // dedupOutcome records how a remembered request was resolved, which
@@ -268,6 +272,7 @@ func (s *Server) Stats() syncmodel.Stats {
 }
 
 func (s *Server) snapshotStats() {
+	s.assertVTrainMonotonic()
 	st := s.ctrl.Stats()
 	st.DedupHits = s.dedupHits
 	s.mu.Lock()
@@ -423,7 +428,9 @@ func (s *Server) handlePush(msg *transport.Message) error {
 	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
+	advancesBefore := s.debugAdvances()
 	apply, released := s.ctrl.OnPush(worker, progress)
+	s.assertDrainImpliesAdvance(len(released), advancesBefore)
 	if apply {
 		// Algorithm 1 line 15: w ← w + g/N, before draining pulls.
 		if err := s.shard.ApplyGradPayload(msg.Keys, msg.Vals, 1/float64(s.cfg.NumWorkers)); err != nil {
@@ -440,6 +447,7 @@ func (s *Server) handlePush(msg *transport.Message) error {
 		return fmt.Errorf("core: server %d ack push: %w", s.cfg.Rank, err)
 	}
 	for _, rel := range released {
+		s.assertSSPStaleness(rel.Progress)
 		if err := s.releasePull(rel.Token.(pullToken)); err != nil {
 			return err
 		}
@@ -498,6 +506,7 @@ func (s *Server) handlePull(msg *transport.Message) error {
 		tok.at = time.Now()
 	}
 	if s.ctrl.OnPull(worker, progress, tok) {
+		s.assertSSPStaleness(progress)
 		s.dedupRecord(msg.From, msg.Seq, dedupPullAnswered)
 		return s.respondPull(tok)
 	}
@@ -525,6 +534,7 @@ func (s *Server) handleSetCond(msg *transport.Message) error {
 	// the server down with it.
 	_ = s.ack(transport.MsgSetCondAck, msg.From, msg.Seq)
 	for _, rel := range released {
+		s.assertSSPStaleness(rel.Progress)
 		if err := s.releasePull(rel.Token.(pullToken)); err != nil {
 			return err
 		}
@@ -553,29 +563,19 @@ func SetCondition(ctx context.Context, ep transport.Endpoint, server int, spec s
 	if err := ep.Send(msg); err != nil {
 		return err
 	}
-	type recvResult struct {
-		msg *transport.Message
-		err error
-	}
-	done := make(chan recvResult, 1)
-	go func() {
-		resp, err := ep.Recv()
-		done <- recvResult{resp, err}
-	}()
-	select {
-	case <-ctx.Done():
-		return fmt.Errorf("core: set-cond on server %d: %w", server, ctx.Err())
-	case r := <-done:
-		if r.err != nil {
-			return r.err
+	resp, err := recvCtx(ctx, ep)
+	if err != nil {
+		if ctx.Err() != nil {
+			return fmt.Errorf("core: set-cond on server %d: %w", server, err)
 		}
-		typ := r.msg.Type
-		transport.ReleaseReceived(r.msg)
-		if typ != transport.MsgSetCondAck {
-			return fmt.Errorf("core: unexpected %s in reply to set-cond", typ)
-		}
-		return nil
+		return err
 	}
+	typ := resp.Type
+	transport.ReleaseReceived(resp)
+	if typ != transport.MsgSetCondAck {
+		return fmt.Errorf("core: unexpected %s in reply to set-cond", typ)
+	}
+	return nil
 }
 
 func (s *Server) respondPull(tok pullToken) error {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"testing"
@@ -76,7 +77,7 @@ func TestTCPEndToEndTraining(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	go sched.Run()
+	go sched.Run(context.Background())
 
 	errs := make(chan error, servers+workers+1)
 
@@ -115,7 +116,7 @@ func TestTCPEndToEndTraining(t *testing.T) {
 	for n := 0; n < workers; n++ {
 		go func(n int) {
 			errs <- func() error {
-				if err := Register(workerEPs[n]); err != nil {
+				if err := Register(context.Background(), workerEPs[n]); err != nil {
 					return fmt.Errorf("worker %d register: %w", n, err)
 				}
 				w, err := NewWorker(workerEPs[n], WorkerConfig{Rank: n, Layout: layout, Assignment: assign})

@@ -101,8 +101,19 @@ func (r *RunResult) TotalDPRs() int {
 
 // Run executes a full data-parallel training job on an in-process
 // channel network: the reference integration path exercising exactly the
-// code a real TCP deployment runs.
+// code a real TCP deployment runs. It runs to completion; use RunContext
+// to bound or cancel a job.
 func Run(cfg ClusterConfig) (*RunResult, error) {
+	return RunContext(nil, cfg)
+}
+
+// RunContext is Run with a cancellation scope: ctx aborts in-flight
+// push/pull operations and fails the job with the context's error. nil
+// ctx means run to completion.
+func RunContext(ctx context.Context, cfg ClusterConfig) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
@@ -164,7 +175,6 @@ func Run(cfg ClusterConfig) (*RunResult, error) {
 		}(m, srv)
 	}
 
-	ctx := context.Background()
 	start := time.Now()
 	var history []AccPoint
 	var histMu sync.Mutex

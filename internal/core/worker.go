@@ -295,6 +295,7 @@ func (w *Worker) recvLoop() {
 				if p.discarded {
 					finish = append(finish, p)
 				} else {
+					//lint:ignore lockorder capacity-1 channel, sole send per registration: never blocks
 					p.ch <- response{err: lost}
 				}
 			}
@@ -340,6 +341,7 @@ func (w *Worker) deliver(msg *transport.Message) bool {
 	}
 	discarded := p.discarded
 	if !discarded {
+		//lint:ignore lockorder capacity-1 channel, sole send per registration: never blocks
 		p.ch <- response{msg: msg}
 	}
 	w.mu.Unlock()
@@ -362,6 +364,7 @@ func (w *Worker) failPending(p *pendingReq, err error) {
 	delete(w.waiting, p.seq)
 	discarded := p.discarded
 	if !discarded {
+		//lint:ignore lockorder capacity-1 channel, sole send per registration: never blocks
 		p.ch <- response{err: err}
 	}
 	w.mu.Unlock()

@@ -1,0 +1,144 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// atomiccheck enforces all-or-nothing atomicity: a variable or struct
+// field that is ever passed by address to a sync/atomic function must be
+// accessed through sync/atomic everywhere in the package. One plain
+// `x.n++` next to an `atomic.AddUint64(&x.n, 1)` is a data race the
+// race detector only catches when the interleaving actually happens;
+// this check catches it structurally. (Typed atomics — atomic.Uint64
+// and friends, which the telemetry counters and V_train gauges use —
+// are immune by construction and produce no findings.)
+//
+// The analysis is per-package: unexported fields cannot be touched from
+// outside anyway, and each package (with its tests folded in) sees all
+// of its own accesses.
+
+// AtomicCheck returns the atomiccheck analyzer.
+func AtomicCheck() *Analyzer {
+	return &Analyzer{
+		Name: "atomiccheck",
+		Doc:  "a field touched via sync/atomic is never read or written non-atomically elsewhere",
+		Run:  runAtomicCheck,
+	}
+}
+
+// atomicAddrFuncs are the sync/atomic functions whose first argument is
+// the address of the shared word.
+func isAtomicAddrFunc(name string) bool {
+	for _, prefix := range [...]string{"Add", "Load", "Store", "Swap", "CompareAndSwap"} {
+		if strings.HasPrefix(name, prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+func runAtomicCheck(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Pass 1: collect variables/fields passed by address to sync/atomic,
+	// and the &x nodes themselves (exempt from pass 2).
+	atomicVars := make(map[*types.Var]token.Pos)
+	var order []*types.Var
+	exempt := make(map[ast.Node]bool)
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			obj := calleeObj(info, call)
+			if objPkgPath(obj) != "sync/atomic" || !isAtomicAddrFunc(obj.Name()) || len(call.Args) == 0 {
+				return true
+			}
+			ue, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok || ue.Op != token.AND {
+				return true
+			}
+			if v := addressedVar(info, ue.X); v != nil {
+				if _, seen := atomicVars[v]; !seen {
+					atomicVars[v] = call.Pos()
+					order = append(order, v)
+				}
+				exempt[ue] = true
+			}
+			return true
+		})
+	}
+	if len(atomicVars) == 0 {
+		return
+	}
+
+	// Pass 2: every other access to those variables is a finding.
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if exempt[n] {
+				return false
+			}
+			var v *types.Var
+			var pos token.Pos
+			switch n := n.(type) {
+			case *ast.SelectorExpr:
+				if obj, ok := info.Uses[n.Sel].(*types.Var); ok && obj.IsField() {
+					v, pos = obj, n.Sel.Pos()
+				}
+				if v != nil {
+					if _, tracked := atomicVars[v]; tracked {
+						reportAtomic(pass, pos, v, atomicVars[v])
+						return false
+					}
+				}
+				return true
+			case *ast.Ident:
+				if obj, ok := info.Uses[n].(*types.Var); ok {
+					v, pos = obj, n.Pos()
+				}
+			default:
+				return true
+			}
+			if v == nil {
+				return true
+			}
+			if firstUse, tracked := atomicVars[v]; tracked {
+				reportAtomic(pass, pos, v, firstUse)
+			}
+			return true
+		})
+	}
+}
+
+func reportAtomic(pass *Pass, pos token.Pos, v *types.Var, atomicAt token.Pos) {
+	line := pass.Pkg.Fset.Position(atomicAt).Line
+	file := baseName(pass.Pkg.Fset.Position(atomicAt).Filename)
+	msg := "%q is accessed via sync/atomic (%s:%d) but read/written directly here; every access must go through sync/atomic"
+	if pass.Pkg.IsTestPos(pos) {
+		pass.Warnf("atomiccheck", pos, msg, v.Name(), file, line)
+	} else {
+		pass.Reportf("atomiccheck", pos, msg, v.Name(), file, line)
+	}
+}
+
+// addressedVar resolves &X's operand to a variable or field object.
+func addressedVar(info *types.Info, e ast.Expr) *types.Var {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v, ok := info.Uses[e].(*types.Var); ok {
+			return v
+		}
+	case *ast.SelectorExpr:
+		if v, ok := info.Uses[e.Sel].(*types.Var); ok && v.IsField() {
+			return v
+		}
+	case *ast.IndexExpr:
+		// &arr[i]: per-element atomicity cannot be keyed on an object.
+		return nil
+	}
+	return nil
+}

@@ -1,0 +1,265 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// ctxcheck enforces the context discipline:
+//
+//  1. No context.Background()/context.TODO() outside package main and
+//     _test.go files. The one blessed exception is the nil-fallback
+//     idiom at the top of an API that accepts an optional context:
+//
+//     if ctx == nil { ctx = context.Background() }
+//
+//  2. Exported functions that synchronously drain a transport Endpoint
+//     (a direct Recv call, not inside a spawned goroutine) must accept a
+//     context.Context parameter — a blocking exported API with no
+//     cancellation path wedges its caller forever on a dead peer.
+//
+//  3. A context.Context parameter must actually be used ("accept and
+//     actually thread"): a ctx that is accepted and dropped silently
+//     advertises cancellation it does not deliver.
+
+// CtxCheck returns the ctxcheck analyzer.
+func CtxCheck() *Analyzer {
+	return &Analyzer{
+		Name: "ctxcheck",
+		Doc:  "blocking exported APIs accept and thread context.Context; no context.Background() outside main/tests",
+		Run:  runCtxCheck,
+	}
+}
+
+func runCtxCheck(pass *Pass) {
+	isMain := pass.Pkg.Types.Name() == "main"
+	for _, f := range pass.Pkg.Files {
+		if !isMain {
+			checkBackgroundCalls(pass, f)
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			if !pass.Pkg.IsTestPos(fd.Pos()) {
+				checkCtxParamUsed(pass, fd)
+				if !isMain {
+					checkBlockingExported(pass, fd)
+				}
+			}
+			return false
+		})
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	path, name := namedTypePath(t)
+	return path == "context" && name == "Context"
+}
+
+// checkBackgroundCalls flags context.Background()/TODO() outside the
+// nil-fallback idiom and test files.
+func checkBackgroundCalls(pass *Pass, f *ast.File) {
+	info := pass.Pkg.Info
+	var stack []ast.Node
+	ast.Inspect(f, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		stack = append(stack, n)
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		var fn string
+		switch {
+		case isPkgCall(info, call, "context", "Background"):
+			fn = "context.Background"
+		case isPkgCall(info, call, "context", "TODO"):
+			fn = "context.TODO"
+		default:
+			return true
+		}
+		if pass.Pkg.IsTestPos(call.Pos()) {
+			return true
+		}
+		if isNilFallback(info, stack) {
+			return true
+		}
+		pass.Reportf("ctxcheck", call.Pos(),
+			"%s() in library code severs the caller's cancellation chain; accept a context.Context instead", fn)
+		return true
+	})
+}
+
+// isNilFallback recognizes `if ctx == nil { ctx = context.Background() }`
+// from the Background() call's ancestor stack: an assignment to a single
+// context variable, directly inside an if whose condition compares that
+// same variable to nil.
+func isNilFallback(info *types.Info, stack []ast.Node) bool {
+	// stack ends with the CallExpr; expect [... IfStmt BlockStmt AssignStmt CallExpr].
+	if len(stack) < 4 {
+		return false
+	}
+	asg, ok := stack[len(stack)-2].(*ast.AssignStmt)
+	if !ok || asg.Tok != token.ASSIGN || len(asg.Lhs) != 1 || len(asg.Rhs) != 1 {
+		return false
+	}
+	lhs, ok := ast.Unparen(asg.Lhs[0]).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	target, ok := info.Uses[lhs].(*types.Var)
+	if !ok || !isContextType(target.Type()) {
+		return false
+	}
+	ifStmt, ok := stack[len(stack)-4].(*ast.IfStmt)
+	if !ok {
+		return false
+	}
+	cond, ok := ast.Unparen(ifStmt.Cond).(*ast.BinaryExpr)
+	if !ok || cond.Op != token.EQL {
+		return false
+	}
+	for _, side := range [...]ast.Expr{cond.X, cond.Y} {
+		if id, ok := ast.Unparen(side).(*ast.Ident); ok {
+			if info.Uses[id] == target {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// ctxParams returns the function's context.Context parameters.
+func ctxParams(info *types.Info, fd *ast.FuncDecl) []*types.Var {
+	var out []*types.Var
+	if fd.Type.Params == nil {
+		return nil
+	}
+	for _, field := range fd.Type.Params.List {
+		for _, name := range field.Names {
+			if name.Name == "_" {
+				continue
+			}
+			if v, ok := info.Defs[name].(*types.Var); ok && isContextType(v.Type()) {
+				out = append(out, v)
+			}
+		}
+	}
+	return out
+}
+
+// checkCtxParamUsed reports context parameters that the body never
+// touches.
+func checkCtxParamUsed(pass *Pass, fd *ast.FuncDecl) {
+	params := ctxParams(pass.Pkg.Info, fd)
+	if len(params) == 0 {
+		return
+	}
+	used := make(map[*types.Var]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := pass.Pkg.Info.Uses[id].(*types.Var); ok {
+				used[v] = true
+			}
+		}
+		return true
+	})
+	for _, p := range params {
+		if !used[p] {
+			pass.Reportf("ctxcheck", fd.Name.Pos(),
+				"%s accepts context.Context %q but never uses it; thread it through the blocking calls or drop the parameter", fd.Name.Name, p.Name())
+		}
+	}
+}
+
+// checkBlockingExported reports exported APIs that synchronously drain a
+// transport Endpoint without accepting a context.
+func checkBlockingExported(pass *Pass, fd *ast.FuncDecl) {
+	if !fd.Name.IsExported() {
+		return
+	}
+	if fd.Recv != nil {
+		// Methods on unexported types are not API surface.
+		if obj := receiverTypeName(pass.Pkg.Info, fd); obj != nil && !obj.Exported() {
+			return
+		}
+		// An Endpoint-shaped Recv/Send method IS the blocking primitive
+		// (transport.Endpoint cannot grow a ctx parameter without breaking
+		// every implementation); wrappers like Flaky.Recv are exempt.
+		if isEndpointPrimitive(pass.Pkg.Info, fd) {
+			return
+		}
+	}
+	if len(ctxParams(pass.Pkg.Info, fd)) > 0 {
+		return
+	}
+	info := pass.Pkg.Info
+	var blocking token.Pos
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if blocking.IsValid() {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.GoStmt:
+			// A Recv inside a spawned goroutine does not block this API.
+			return false
+		case *ast.CallExpr:
+			if fn := methodCall(info, n, "Recv"); fn != nil {
+				sig := fn.Type().(*types.Signature)
+				if sig.Results().Len() >= 1 && isMessagePtr(sig.Results().At(0).Type()) {
+					blocking = n.Pos()
+					return false
+				}
+			}
+		}
+		return true
+	})
+	if blocking.IsValid() {
+		pass.Reportf("ctxcheck", fd.Name.Pos(),
+			"exported %s blocks on Endpoint.Recv (line %d) but accepts no context.Context; a dead peer wedges callers forever", fd.Name.Name, pass.Pkg.Fset.Position(blocking).Line)
+	}
+}
+
+// isEndpointPrimitive reports whether fd is an implementation of the
+// transport.Endpoint blocking primitives: Recv() (*Message, error) or
+// Send(*Message) error.
+func isEndpointPrimitive(info *types.Info, fd *ast.FuncDecl) bool {
+	obj, ok := info.Defs[fd.Name].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig := obj.Type().(*types.Signature)
+	switch fd.Name.Name {
+	case "Recv":
+		return sig.Params().Len() == 0 && sig.Results().Len() == 2 &&
+			isMessagePtr(sig.Results().At(0).Type())
+	case "Send":
+		return sig.Params().Len() == 1 && isMessagePtr(sig.Params().At(0).Type())
+	}
+	return false
+}
+
+// receiverTypeName resolves the named type a method is declared on.
+func receiverTypeName(info *types.Info, fd *ast.FuncDecl) *types.TypeName {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return nil
+	}
+	tv, ok := info.Types[fd.Recv.List[0].Type]
+	if !ok {
+		return nil
+	}
+	t := tv.Type
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	if named, ok := t.(*types.Named); ok {
+		return named.Obj()
+	}
+	return nil
+}

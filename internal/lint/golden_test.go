@@ -1,0 +1,172 @@
+package lint
+
+import (
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// The fixture loader needs the module's go list metadata (fixture imports
+// of module packages resolve from source, stdlib from export data); one
+// loader serves every golden subtest.
+var (
+	fixtureOnce sync.Once
+	fixtureLd   *Loader
+	fixtureErr  error
+)
+
+func fixtureLoader(t *testing.T) *Loader {
+	t.Helper()
+	fixtureOnce.Do(func() {
+		fixtureLd, fixtureErr = NewLoader("../..", []string{"./..."}, false)
+	})
+	if fixtureErr != nil {
+		t.Fatalf("build fixture loader: %v", fixtureErr)
+	}
+	return fixtureLd
+}
+
+// wantSpec is one expectation parsed from a fixture's // want comment:
+//
+//	code() // want "regexp matching the finding message"
+//	code() // want:warn "regexp" (expects SeverityWarn instead of fail)
+//
+// The regexp is taken verbatim between the first and last double quote,
+// so finding messages containing quoted identifiers need no escaping.
+type wantSpec struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	sev     Severity
+	raw     string
+	matched bool
+}
+
+var wantCommentRE = regexp.MustCompile(`^want(:warn)?\s+"(.*)"$`)
+
+func collectWants(t *testing.T, pkg *Package) []*wantSpec {
+	t.Helper()
+	var wants []*wantSpec
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+				m := wantCommentRE.FindStringSubmatch(text)
+				if m == nil {
+					continue
+				}
+				re, err := regexp.Compile(m[2])
+				if err != nil {
+					t.Fatalf("%s: bad want regexp %q: %v", pkg.Fset.Position(c.Pos()), m[2], err)
+				}
+				sev := SeverityFail
+				if m[1] == ":warn" {
+					sev = SeverityWarn
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				wants = append(wants, &wantSpec{
+					file: baseName(pos.Filename),
+					line: pos.Line,
+					re:   re,
+					sev:  sev,
+					raw:  m[2],
+				})
+			}
+		}
+	}
+	return wants
+}
+
+// TestAnalyzerGoldenFixtures runs each analyzer over its fixture package
+// under testdata/<analyzer>/ and requires an exact match between the
+// findings and the // want comments: every finding must be wanted (the
+// unannotated clean idioms are false-positive regressions) and every
+// want must fire.
+func TestAnalyzerGoldenFixtures(t *testing.T) {
+	for _, a := range Analyzers() {
+		a := a
+		t.Run(a.Name, func(t *testing.T) {
+			pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", a.Name))
+			if err != nil {
+				t.Fatalf("load fixture: %v", err)
+			}
+			var findings []Finding
+			pass := &Pass{Pkg: pkg, report: func(f Finding) { findings = append(findings, f) }}
+			a.Run(pass)
+			sortFindings(findings)
+			wants := collectWants(t, pkg)
+			if len(wants) == 0 {
+				t.Fatalf("fixture %s has no want comments", pkg.Path)
+			}
+			for _, f := range findings {
+				matched := false
+				for _, w := range wants {
+					if w.matched || w.file != baseName(f.Pos.Filename) || w.line != f.Pos.Line {
+						continue
+					}
+					if !w.re.MatchString(f.Message) || w.sev != f.Severity {
+						continue
+					}
+					w.matched = true
+					matched = true
+					break
+				}
+				if !matched {
+					t.Errorf("unexpected finding at %s:%d [%s] %s",
+						baseName(f.Pos.Filename), f.Pos.Line, f.Severity, f.Message)
+				}
+			}
+			for _, w := range wants {
+				if !w.matched {
+					t.Errorf("want at %s:%d did not fire: %s %q", w.file, w.line, w.sev, w.raw)
+				}
+			}
+		})
+	}
+}
+
+// TestSuppressionMachinery drives the //lint:ignore pipeline through
+// RunPackages on the suppress fixture: a used directive silences its
+// finding, a reason-less directive fails, an unused one warns.
+func TestSuppressionMachinery(t *testing.T) {
+	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "suppress"))
+	if err != nil {
+		t.Fatalf("load fixture: %v", err)
+	}
+	res := RunPackages([]*Package{pkg}, Analyzers())
+
+	if len(res.Suppressions) != 3 {
+		t.Fatalf("parsed %d suppressions, want 3", len(res.Suppressions))
+	}
+	var suppressed, missingReason, unused bool
+	for _, f := range res.Findings {
+		switch {
+		case f.Analyzer == "poolcheck" && f.Suppressed:
+			if f.SuppressReason != "fixture exercises the suppression path" {
+				t.Errorf("suppressed finding carries reason %q", f.SuppressReason)
+			}
+			suppressed = true
+		case f.Analyzer == "poolcheck":
+			t.Errorf("unsuppressed poolcheck finding leaked through: %s", f.Message)
+		case f.Analyzer == "fluentvet" && strings.Contains(f.Message, "needs a reason"):
+			if f.Severity != SeverityFail {
+				t.Errorf("reason-less directive severity = %s, want fail", f.Severity)
+			}
+			missingReason = true
+		case f.Analyzer == "fluentvet" && strings.Contains(f.Message, "matches no finding"):
+			if f.Severity != SeverityWarn {
+				t.Errorf("unused directive severity = %s, want warn", f.Severity)
+			}
+			unused = true
+		}
+	}
+	if !suppressed || !missingReason || !unused {
+		t.Fatalf("missing expected findings: suppressed=%v missingReason=%v unused=%v (have %+v)",
+			suppressed, missingReason, unused, res.Findings)
+	}
+	if !res.Failed() {
+		t.Error("a reason-less directive must fail the run")
+	}
+}

@@ -1,0 +1,218 @@
+// Package lint is fluentvet's analysis engine: a stdlib-only static
+// analysis driver (go/ast + go/types + go/parser; package discovery via
+// `go list -json`, no golang.org/x/tools dependency) with project-specific
+// analyzers that mechanically enforce the disciplines this codebase
+// otherwise keeps only by convention:
+//
+//   - poolcheck: the transport message-pool ownership discipline
+//     (NewMessage/Release/ReleaseReceived/SendOwned — see transport/pool.go)
+//   - lockorder: no mutex held across channel operations, Wait calls, or
+//     blocking transport calls (the deadlock shape the server's
+//     feeder/apply split exists to prevent)
+//   - ctxcheck: blocking exported APIs thread context.Context; no
+//     context.Background() outside main and test code
+//   - telcheck: telemetry sinks are the typed-nil Nop and metric names
+//     match the DESIGN.md §10/§11 schema
+//   - atomiccheck: a field touched through sync/atomic is never read or
+//     written non-atomically elsewhere
+//
+// Findings can be suppressed with an explanatory comment the driver parses
+// and reports (see suppress.go):
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// placed on the offending line or the line directly above it.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Severity ranks a finding. Fail findings make fluentvet exit non-zero;
+// warn findings are reported and tracked but do not fail the build (the
+// tier-1 deflake guard: lock smells in _test.go files warn instead of
+// fail).
+type Severity uint8
+
+// Severities.
+const (
+	SeverityWarn Severity = iota
+	SeverityFail
+)
+
+// String names the severity.
+func (s Severity) String() string {
+	if s == SeverityWarn {
+		return "warn"
+	}
+	return "fail"
+}
+
+// Finding is one diagnostic produced by an analyzer.
+type Finding struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Message  string         `json:"message"`
+	Severity Severity       `json:"-"`
+	// SeverityLabel mirrors Severity for the JSON output.
+	SeverityLabel string `json:"severity"`
+	// Suppressed is set by the driver when a //lint:ignore comment
+	// covers the finding; suppressed findings never fail the run.
+	Suppressed bool `json:"suppressed,omitempty"`
+	// SuppressReason is the ignore comment's reason text, when suppressed.
+	SuppressReason string `json:"suppressReason,omitempty"`
+}
+
+// Analyzer is one checked invariant. Run inspects a type-checked package
+// and reports findings through the pass.
+type Analyzer struct {
+	Name string
+	// Doc is the one-line invariant description (the DESIGN.md §11 row).
+	Doc string
+	Run func(*Pass)
+}
+
+// Pass hands an analyzer one package plus the reporting hook.
+type Pass struct {
+	Pkg    *Package
+	report func(Finding)
+}
+
+// Reportf records a finding at pos with SeverityFail.
+func (p *Pass) Reportf(analyzer string, pos token.Pos, format string, args ...any) {
+	p.reportSev(analyzer, pos, SeverityFail, format, args...)
+}
+
+// Warnf records a finding at pos with SeverityWarn.
+func (p *Pass) Warnf(analyzer string, pos token.Pos, format string, args ...any) {
+	p.reportSev(analyzer, pos, SeverityWarn, format, args...)
+}
+
+func (p *Pass) reportSev(analyzer string, pos token.Pos, sev Severity, format string, args ...any) {
+	p.report(Finding{
+		Analyzer: analyzer,
+		Pos:      p.Pkg.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+		Severity: sev,
+	})
+}
+
+// Package is one type-checked analysis unit: a package's source files
+// (optionally including its in-package test files, or the external _test
+// package as its own unit) plus the go/types results.
+type Package struct {
+	// Path is the import path ("path_test" for external test units).
+	Path string
+	Fset *token.FileSet
+	// Files holds the parsed syntax in deterministic (filename) order.
+	Files []*ast.File
+	Types *types.Package
+	Info  *types.Info
+	// testFiles marks which file names (base names) are _test.go files.
+	testFiles map[string]bool
+}
+
+// IsTestPos reports whether pos lies in a _test.go file — analyzers use
+// it to downgrade or skip test-only findings.
+func (p *Package) IsTestPos(pos token.Pos) bool {
+	f := p.Fset.Position(pos).Filename
+	return p.testFiles[baseName(f)]
+}
+
+func baseName(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// --- shared type-resolution helpers used by several analyzers ---
+
+// calleeObj resolves the object a call expression invokes (function,
+// method, or builtin), or nil when it cannot be determined (dynamic
+// calls through function values, type conversions).
+func calleeObj(info *types.Info, call *ast.CallExpr) types.Object {
+	switch fn := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		return info.Uses[fn]
+	case *ast.SelectorExpr:
+		if sel := info.Selections[fn]; sel != nil {
+			return sel.Obj()
+		}
+		return info.Uses[fn.Sel]
+	}
+	return nil
+}
+
+// objPkgPath returns the package path of obj, "" for builtins and nil.
+func objPkgPath(obj types.Object) string {
+	if obj == nil || obj.Pkg() == nil {
+		return ""
+	}
+	return obj.Pkg().Path()
+}
+
+// hasPathSuffix reports whether path is exactly suffix or ends in
+// "/"+suffix — analyzers match on "internal/transport" so fixtures and
+// vendored copies resolve the same way as the live tree.
+func hasPathSuffix(path, suffix string) bool {
+	if path == suffix {
+		return true
+	}
+	return len(path) > len(suffix) && path[len(path)-len(suffix)-1] == '/' &&
+		path[len(path)-len(suffix):] == suffix
+}
+
+// isPkgCall reports whether call invokes the package-level function
+// pkgSuffix.name (e.g. "internal/transport", "Release").
+func isPkgCall(info *types.Info, call *ast.CallExpr, pkgSuffix, name string) bool {
+	obj := calleeObj(info, call)
+	if obj == nil || obj.Name() != name {
+		return false
+	}
+	if _, isFunc := obj.(*types.Func); !isFunc {
+		return false
+	}
+	return hasPathSuffix(objPkgPath(obj), pkgSuffix)
+}
+
+// methodCall reports whether call invokes a method with the given name,
+// returning the resolved *types.Func (nil if not a method call or the
+// name differs).
+func methodCall(info *types.Info, call *ast.CallExpr, name string) *types.Func {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return nil
+	}
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return nil
+	}
+	if fn.Type().(*types.Signature).Recv() == nil {
+		return nil
+	}
+	return fn
+}
+
+// namedTypePath returns (package path, type name) for the core named (or
+// pointer-to-named) type of t, or ("","") for unnamed types.
+func namedTypePath(t types.Type) (string, string) {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return "", ""
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return "", obj.Name()
+	}
+	return obj.Pkg().Path(), obj.Name()
+}

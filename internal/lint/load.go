@@ -1,0 +1,309 @@
+package lint
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package discovery and type checking without golang.org/x/tools.
+//
+// `go list -deps -test -json -export` yields, for every package the
+// target patterns (and their tests) depend on, the package's metadata and
+// a compiled export-data file. Imports of packages outside this module
+// are satisfied from that export data through go/importer's gc importer;
+// packages inside the module are re-type-checked from source (their
+// GoFiles only), so analyzers always see syntax-backed objects for the
+// code whose disciplines they enforce. Each analysis unit is then checked
+// once more with its _test.go files folded in, and external test packages
+// (package foo_test) become their own units.
+
+// listPkg is the subset of `go list -json` output the loader consumes.
+type listPkg struct {
+	ImportPath   string
+	Dir          string
+	Name         string
+	Export       string
+	Standard     bool
+	DepOnly      bool
+	ForTest      string
+	GoFiles      []string
+	CgoFiles     []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Error        *struct{ Err string }
+}
+
+// Loader turns go list metadata into type-checked Packages.
+type Loader struct {
+	Fset *token.FileSet
+	// IncludeTests folds _test.go files into each unit and emits external
+	// test packages as separate units.
+	IncludeTests bool
+
+	module  string              // module path, e.g. github.com/fluentps/fluentps
+	listed  map[string]*listPkg // plain import path -> metadata
+	targets []string            // pattern-matched in-module packages, sorted
+	exports map[string]string   // plain import path -> export-data file
+	gc      types.ImporterFrom
+
+	src      map[string]*types.Package // source-checked module packages (GoFiles only)
+	checking map[string]bool           // import-cycle guard
+}
+
+// NewLoader discovers the packages matching patterns (and, always, their
+// full dependency and test-dependency closure) via the go command. dir is
+// the working directory for go list — any directory inside the module.
+func NewLoader(dir string, patterns []string, includeTests bool) (*Loader, error) {
+	l := &Loader{
+		Fset:         token.NewFileSet(),
+		IncludeTests: includeTests,
+		listed:       make(map[string]*listPkg),
+		exports:      make(map[string]string),
+		src:          make(map[string]*types.Package),
+		checking:     make(map[string]bool),
+	}
+	mod, err := goCmd(dir, "list", "-m", "-f", "{{.Path}}")
+	if err != nil {
+		return nil, fmt.Errorf("lint: resolve module: %w", err)
+	}
+	l.module = strings.TrimSpace(mod)
+
+	args := append([]string{"list", "-deps", "-test", "-json", "-export", "--"}, patterns...)
+	out, err := goCmd(dir, args...)
+	if err != nil {
+		return nil, fmt.Errorf("lint: go list: %w", err)
+	}
+	dec := json.NewDecoder(strings.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("lint: parse go list output: %w", err)
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("lint: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if strings.Contains(p.ImportPath, " [") || strings.HasSuffix(p.ImportPath, ".test") {
+			// Test variants ("pkg [pkg.test]", synthesized test mains):
+			// the plain entry carries the file lists we analyze.
+			continue
+		}
+		if p.Export != "" {
+			l.exports[p.ImportPath] = p.Export
+		}
+		cp := p
+		l.listed[p.ImportPath] = &cp
+		if !p.DepOnly && !p.Standard && l.inModule(p.ImportPath) {
+			l.targets = append(l.targets, p.ImportPath)
+		}
+	}
+	sort.Strings(l.targets)
+	l.gc = importer.ForCompiler(l.Fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := l.exports[path]
+		if !ok {
+			return nil, fmt.Errorf("lint: no export data for %q", path)
+		}
+		return os.Open(f)
+	}).(types.ImporterFrom)
+	return l, nil
+}
+
+func (l *Loader) inModule(path string) bool {
+	return path == l.module || strings.HasPrefix(path, l.module+"/")
+}
+
+// Targets returns the import paths matched by the loader's patterns.
+func (l *Loader) Targets() []string { return append([]string(nil), l.targets...) }
+
+// Load type-checks every target into analysis units. Units are returned
+// in deterministic order: plain packages sorted by path, each immediately
+// followed by its external test unit when present.
+func (l *Loader) Load() ([]*Package, error) {
+	var units []*Package
+	for _, path := range l.targets {
+		lp := l.listed[path]
+		files := append(append([]string{}, lp.GoFiles...), lp.CgoFiles...)
+		testFiles := map[string]bool{}
+		if l.IncludeTests {
+			for _, f := range lp.TestGoFiles {
+				files = append(files, f)
+				testFiles[f] = true
+			}
+		}
+		if len(files) == 0 {
+			continue
+		}
+		pkg, err := l.checkFiles(path, lp.Dir, files, testFiles, nil)
+		if err != nil {
+			return nil, err
+		}
+		units = append(units, pkg)
+		if l.IncludeTests && len(lp.XTestGoFiles) > 0 {
+			// The external test package imports the internal-test variant
+			// of its subject (export_test.go helpers live there).
+			override := map[string]*types.Package{path: pkg.Types}
+			xtests := map[string]bool{}
+			for _, f := range lp.XTestGoFiles {
+				xtests[f] = true
+			}
+			xpkg, err := l.checkFiles(path+"_test", lp.Dir, lp.XTestGoFiles, xtests, override)
+			if err != nil {
+				return nil, err
+			}
+			units = append(units, xpkg)
+		}
+	}
+	return units, nil
+}
+
+// checkFiles parses and type-checks one analysis unit.
+func (l *Loader) checkFiles(path, dir string, fileNames []string, testFiles map[string]bool, override map[string]*types.Package) (*Package, error) {
+	sort.Strings(fileNames)
+	var files []*ast.File
+	for _, name := range fileNames {
+		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, name), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, fmt.Errorf("lint: %w", err)
+		}
+		files = append(files, f)
+	}
+	info := newInfo()
+	cfg := &types.Config{
+		Importer: &unitImporter{l: l, override: override},
+		Error:    func(error) {}, // collect per-file; first hard error reported below
+	}
+	var firstErr error
+	cfg.Error = func(err error) {
+		if firstErr == nil {
+			firstErr = err
+		}
+	}
+	tpkg, _ := cfg.Check(path, l.Fset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("lint: type-check %s: %v", path, firstErr)
+	}
+	return &Package{
+		Path:      path,
+		Fset:      l.Fset,
+		Files:     files,
+		Types:     tpkg,
+		Info:      info,
+		testFiles: testFiles,
+	}, nil
+}
+
+// srcPackage type-checks a module package's GoFiles (no tests) for use as
+// an import by other units, caching the result.
+func (l *Loader) srcPackage(path string) (*types.Package, error) {
+	if p, ok := l.src[path]; ok {
+		return p, nil
+	}
+	if l.checking[path] {
+		return nil, fmt.Errorf("lint: import cycle through %s", path)
+	}
+	lp, ok := l.listed[path]
+	if !ok {
+		return nil, fmt.Errorf("lint: package %s not in go list output", path)
+	}
+	l.checking[path] = true
+	defer delete(l.checking, path)
+	pkg, err := l.checkFiles(path, lp.Dir, append(append([]string{}, lp.GoFiles...), lp.CgoFiles...), nil, nil)
+	if err != nil {
+		return nil, err
+	}
+	l.src[path] = pkg.Types
+	return pkg.Types, nil
+}
+
+// unitImporter resolves one unit's imports: explicit overrides first (the
+// external-test package's view of its subject), then source-checked
+// module packages, then gc export data for everything else.
+type unitImporter struct {
+	l        *Loader
+	override map[string]*types.Package
+}
+
+func (u *unitImporter) Import(path string) (*types.Package, error) {
+	return u.ImportFrom(path, "", 0)
+}
+
+func (u *unitImporter) ImportFrom(path, dir string, mode types.ImportMode) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := u.override[path]; ok {
+		return p, nil
+	}
+	if u.l.inModule(path) {
+		return u.l.srcPackage(path)
+	}
+	return u.l.gc.ImportFrom(path, dir, 0)
+}
+
+// LoadDir parses and type-checks every .go file directly inside dir as a
+// single package — the fixture loader for analyzer golden tests. Files
+// may import module packages (resolved from source) and anything in the
+// loader's export map.
+func (l *Loader) LoadDir(dir string) (*Package, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("lint: %w", err)
+	}
+	var names []string
+	testFiles := map[string]bool{}
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		names = append(names, e.Name())
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			testFiles[e.Name()] = true
+		}
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("lint: no .go files in %s", dir)
+	}
+	return l.checkFiles("fixture/"+filepath.Base(dir), dir, names, testFiles, nil)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Implicits:  make(map[ast.Node]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Scopes:     make(map[ast.Node]*types.Scope),
+		Instances:  make(map[*ast.Ident]types.Instance),
+	}
+}
+
+// goCmd runs the go tool in dir and returns stdout.
+func goCmd(dir string, args ...string) (string, error) {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var out, stderr bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		if msg == "" {
+			msg = err.Error()
+		}
+		return "", fmt.Errorf("go %s: %s", strings.Join(args, " "), msg)
+	}
+	return out.String(), nil
+}

@@ -1,0 +1,301 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// lockorder flags mutexes held across operations that can block
+// indefinitely: channel sends/receives, select (without default),
+// sync.WaitGroup.Wait, and blocking transport calls (Endpoint.Send/Recv,
+// transport.SendOwned/SendRetained). Holding a lock across any of these
+// is the deadlock shape the server's feeder/apply split exists to
+// prevent: the blocked goroutine owns the lock the unblocking goroutine
+// needs. sync.Cond.Wait is exempt (it releases the mutex while parked).
+//
+// Findings in _test.go files are warnings, not failures — test-only lock
+// smells get a tracked list without flaking tier-1 (see ISSUE deflake
+// guard).
+//
+// The tracker is lexical and per-function: Lock/RLock adds the receiver
+// expression to the held set, Unlock/RUnlock removes it, `defer
+// mu.Unlock()` keeps it held to the end of the function (that is the
+// point: the lock really is held across everything that follows).
+// Branch bodies are analyzed with a copy of the held set.
+
+// LockOrder returns the lockorder analyzer.
+func LockOrder() *Analyzer {
+	return &Analyzer{
+		Name: "lockorder",
+		Doc:  "no mutex held across channel operations, WaitGroup.Wait, or blocking transport calls",
+		Run:  runLockOrder,
+	}
+}
+
+func runLockOrder(pass *Pass) {
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					lockAnalyzeFunc(pass, n.Body)
+				}
+				return false
+			case *ast.FuncLit:
+				lockAnalyzeFunc(pass, n.Body)
+				return false
+			}
+			return true
+		})
+	}
+}
+
+type lockInfo struct {
+	name string // rendered receiver expression, e.g. "w.mu"
+	line int
+}
+
+type lockSet map[string]lockInfo
+
+func (s lockSet) clone() lockSet {
+	c := make(lockSet, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+type lockWalker struct {
+	pass *Pass
+	info *types.Info
+}
+
+func lockAnalyzeFunc(pass *Pass, body *ast.BlockStmt) {
+	w := &lockWalker{pass: pass, info: pass.Pkg.Info}
+	w.walkStmts(body.List, make(lockSet))
+}
+
+// mutexMethod classifies call as a sync.Mutex/sync.RWMutex lock or
+// unlock, returning the held-set key and whether it acquires.
+func (w *lockWalker) mutexMethod(call *ast.CallExpr) (key string, acquire, ok bool) {
+	sel, selOk := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !selOk {
+		return "", false, false
+	}
+	var acq bool
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		acq = true
+	case "Unlock", "RUnlock":
+		acq = false
+	default:
+		return "", false, false
+	}
+	fn, fnOk := calleeObj(w.info, call).(*types.Func)
+	if !fnOk {
+		return "", false, false
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	if recv == nil {
+		return "", false, false
+	}
+	path, name := namedTypePath(recv.Type())
+	if path != "sync" || (name != "Mutex" && name != "RWMutex") {
+		return "", false, false
+	}
+	return types.ExprString(sel.X), acq, true
+}
+
+// blockingOp classifies call expressions that can block indefinitely.
+func (w *lockWalker) blockingOp(call *ast.CallExpr) string {
+	if isPkgCall(w.info, call, "internal/transport", "SendOwned") {
+		return "transport.SendOwned"
+	}
+	if isPkgCall(w.info, call, "internal/transport", "SendRetained") {
+		return "transport.SendRetained"
+	}
+	if fn := methodCall(w.info, call, "Wait"); fn != nil {
+		path, name := namedTypePath(fn.Type().(*types.Signature).Recv().Type())
+		if path == "sync" && name == "WaitGroup" {
+			return "sync.WaitGroup.Wait"
+		}
+	}
+	if fn := methodCall(w.info, call, "Recv"); fn != nil {
+		sig := fn.Type().(*types.Signature)
+		if sig.Results().Len() >= 1 && isMessagePtr(sig.Results().At(0).Type()) {
+			return "a blocking transport Recv"
+		}
+	}
+	if fn := methodCall(w.info, call, "Send"); fn != nil {
+		sig := fn.Type().(*types.Signature)
+		if sig.Params().Len() >= 1 && isMessagePtr(sig.Params().At(0).Type()) {
+			return "a blocking transport Send"
+		}
+	}
+	return ""
+}
+
+func (w *lockWalker) report(held lockSet, pos token.Pos, op string) {
+	// Deterministic pick: report against the earliest-acquired lock.
+	var best lockInfo
+	for _, info := range held {
+		if best.name == "" || info.line < best.line || (info.line == best.line && info.name < best.name) {
+			best = info
+		}
+	}
+	msg := "mutex %s (locked at line %d) held across %s; release it before blocking"
+	if w.pass.Pkg.IsTestPos(pos) {
+		w.pass.Warnf("lockorder", pos, msg, best.name, best.line, op)
+	} else {
+		w.pass.Reportf("lockorder", pos, msg, best.name, best.line, op)
+	}
+}
+
+// scan inspects an expression for blocking operations while locks are
+// held, and for nested function literals (which start lock-free).
+func (w *lockWalker) scan(held lockSet, n ast.Node) {
+	if n == nil {
+		return
+	}
+	ast.Inspect(n, func(m ast.Node) bool {
+		switch m := m.(type) {
+		case *ast.FuncLit:
+			lockAnalyzeFunc(w.pass, m.Body)
+			return false
+		case *ast.UnaryExpr:
+			if m.Op == token.ARROW && len(held) > 0 {
+				w.report(held, m.Pos(), "a channel receive")
+			}
+		case *ast.CallExpr:
+			if len(held) > 0 {
+				if op := w.blockingOp(m); op != "" {
+					w.report(held, m.Pos(), op)
+				}
+			}
+		}
+		return true
+	})
+}
+
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, held lockSet) {
+	for _, s := range stmts {
+		w.walkStmt(s, held)
+	}
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, held lockSet) {
+	switch s := s.(type) {
+	case nil:
+	case *ast.ExprStmt:
+		if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+			if key, acquire, ok := w.mutexMethod(call); ok {
+				if acquire {
+					held[key] = lockInfo{name: key, line: w.pass.Pkg.Fset.Position(call.Pos()).Line}
+				} else {
+					delete(held, key)
+				}
+				return
+			}
+		}
+		w.scan(held, s.X)
+	case *ast.DeferStmt:
+		// defer mu.Unlock() keeps the lock held for the rest of the
+		// function; any other deferred call is scanned without locks
+		// (it runs at return, ordering with unlocks is unknowable here).
+		if _, _, ok := w.mutexMethod(s.Call); ok {
+			return
+		}
+		w.scan(make(lockSet), s.Call)
+	case *ast.GoStmt:
+		w.scan(make(lockSet), s.Call)
+	case *ast.SendStmt:
+		if len(held) > 0 {
+			w.report(held, s.Arrow, "a channel send")
+		}
+		w.scan(held, s.Chan)
+		w.scan(held, s.Value)
+	case *ast.SelectStmt:
+		hasDefault := false
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok && cc.Comm == nil {
+				hasDefault = true
+			}
+		}
+		if len(held) > 0 && !hasDefault {
+			w.report(held, s.Pos(), "a blocking select")
+		}
+		for _, c := range s.Body.List {
+			if cc, ok := c.(*ast.CommClause); ok {
+				sub := held.clone()
+				// The comm statements themselves are part of the select;
+				// only scan their sub-expressions for nested lits.
+				if cc.Comm != nil {
+					switch comm := cc.Comm.(type) {
+					case *ast.SendStmt:
+						w.scan(make(lockSet), comm.Chan)
+						w.scan(make(lockSet), comm.Value)
+					case *ast.AssignStmt:
+						for _, r := range comm.Rhs {
+							if ue, ok := ast.Unparen(r).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+								w.scan(make(lockSet), ue.X)
+							}
+						}
+					case *ast.ExprStmt:
+						if ue, ok := ast.Unparen(comm.X).(*ast.UnaryExpr); ok && ue.Op == token.ARROW {
+							w.scan(make(lockSet), ue.X)
+						}
+					}
+				}
+				w.walkStmts(cc.Body, sub)
+			}
+		}
+	case *ast.RangeStmt:
+		if len(held) > 0 {
+			if t, ok := w.info.Types[s.X]; ok {
+				if _, isChan := t.Type.Underlying().(*types.Chan); isChan {
+					w.report(held, s.Pos(), "a range over a channel")
+				}
+			}
+		}
+		w.scan(held, s.X)
+		w.walkStmts(s.Body.List, held.clone())
+	case *ast.BlockStmt:
+		w.walkStmts(s.List, held)
+	case *ast.LabeledStmt:
+		w.walkStmt(s.Stmt, held)
+	case *ast.IfStmt:
+		w.walkStmt(s.Init, held)
+		w.scan(held, s.Cond)
+		w.walkStmts(s.Body.List, held.clone())
+		if s.Else != nil {
+			w.walkStmt(s.Else, held.clone())
+		}
+	case *ast.SwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.scan(held, s.Tag)
+		w.walkCaseBodies(s.Body.List, held)
+	case *ast.TypeSwitchStmt:
+		w.walkStmt(s.Init, held)
+		w.walkCaseBodies(s.Body.List, held)
+	case *ast.ForStmt:
+		w.walkStmt(s.Init, held)
+		w.scan(held, s.Cond)
+		body := held.clone()
+		w.walkStmts(s.Body.List, body)
+		w.walkStmt(s.Post, body)
+	default:
+		w.scan(held, s)
+	}
+}
+
+func (w *lockWalker) walkCaseBodies(clauses []ast.Stmt, held lockSet) {
+	for _, c := range clauses {
+		if cc, ok := c.(*ast.CaseClause); ok {
+			for _, e := range cc.List {
+				w.scan(held, e)
+			}
+			w.walkStmts(cc.Body, held.clone())
+		}
+	}
+}

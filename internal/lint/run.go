@@ -1,0 +1,140 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+)
+
+// Analyzers returns fluentvet's full analyzer suite in reporting order.
+func Analyzers() []*Analyzer {
+	return []*Analyzer{
+		PoolCheck(),
+		LockOrder(),
+		CtxCheck(),
+		TelCheck(),
+		AtomicCheck(),
+	}
+}
+
+// Result is one fluentvet run over a set of packages.
+type Result struct {
+	// Findings holds every diagnostic (suppressed included), sorted by
+	// position.
+	Findings []Finding `json:"findings"`
+	// Suppressions is the parsed //lint:ignore inventory.
+	Suppressions []*Suppression `json:"suppressions"`
+	// Packages counts the analysis units inspected.
+	Packages int `json:"packages"`
+}
+
+// Failed reports whether the run must exit non-zero: any unsuppressed
+// finding with SeverityFail.
+func (r *Result) Failed() bool {
+	for _, f := range r.Findings {
+		if f.Severity == SeverityFail && !f.Suppressed {
+			return true
+		}
+	}
+	return false
+}
+
+// counts tallies findings by disposition.
+func (r *Result) counts() (fail, warn, suppressed int) {
+	for _, f := range r.Findings {
+		switch {
+		case f.Suppressed:
+			suppressed++
+		case f.Severity == SeverityFail:
+			fail++
+		default:
+			warn++
+		}
+	}
+	return
+}
+
+// RunPackages applies the analyzers to each package, resolves
+// suppressions, and aggregates findings.
+func RunPackages(pkgs []*Package, analyzers []*Analyzer) *Result {
+	res := &Result{Packages: len(pkgs)}
+	for _, pkg := range pkgs {
+		var findings []Finding
+		pass := &Pass{Pkg: pkg, report: func(f Finding) { findings = append(findings, f) }}
+		for _, a := range analyzers {
+			a.Run(pass)
+		}
+		sups := collectSuppressions(pkg)
+		findings = applySuppressions(findings, sups)
+		findings = append(findings, directiveFindings(sups)...)
+		res.Findings = append(res.Findings, findings...)
+		res.Suppressions = append(res.Suppressions, sups...)
+	}
+	sortFindings(res.Findings)
+	sort.Slice(res.Suppressions, func(i, j int) bool {
+		a, b := res.Suppressions[i].Pos, res.Suppressions[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		return a.Line < b.Line
+	})
+	return res
+}
+
+// Run loads the packages matching patterns (working directory dir) and
+// applies the full analyzer suite.
+func Run(dir string, patterns []string, includeTests bool) (*Result, error) {
+	l, err := NewLoader(dir, patterns, includeTests)
+	if err != nil {
+		return nil, err
+	}
+	pkgs, err := l.Load()
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(pkgs, Analyzers()), nil
+}
+
+// WriteText renders the human-readable report: findings, then the
+// suppression summary table, then one tally line.
+func (r *Result) WriteText(w io.Writer) {
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			continue
+		}
+		fmt.Fprintf(w, "%s: [%s/%s] %s\n", f.Pos, f.Analyzer, f.Severity, f.Message)
+	}
+	if len(r.Suppressions) > 0 {
+		fmt.Fprintf(w, "\nsuppressions (%d):\n", len(r.Suppressions))
+		tw := tabwriter.NewWriter(w, 2, 8, 2, ' ', 0)
+		fmt.Fprintln(tw, "  ANALYZER\tLOCATION\tSTATE\tREASON")
+		for _, s := range r.Suppressions {
+			state := "used"
+			if !s.Used {
+				state = "UNUSED"
+			}
+			reason := s.Reason
+			if reason == "" {
+				reason = "(missing)"
+				state = "INVALID"
+			}
+			fmt.Fprintf(tw, "  %s\t%s:%d\t%s\t%s\n", s.Analyzer, s.Pos.Filename, s.Pos.Line, state, reason)
+		}
+		tw.Flush()
+	}
+	fail, warn, suppressed := r.counts()
+	fmt.Fprintf(w, "\nfluentvet: %d package(s): %d failure(s), %d warning(s), %d suppressed\n",
+		r.Packages, fail, warn, suppressed)
+}
+
+// WriteJSON renders the machine-readable report.
+func (r *Result) WriteJSON(w io.Writer) error {
+	for i := range r.Findings {
+		r.Findings[i].SeverityLabel = r.Findings[i].Severity.String()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(r)
+}

@@ -1,0 +1,132 @@
+package lint
+
+import (
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// Finding suppression. A finding is silenced by an explanatory comment —
+//
+//	//lint:ignore <analyzer> <reason>
+//
+// either at the end of the offending line or on the line directly above
+// it. The reason is mandatory: the driver parses every ignore directive,
+// matches it against findings, and reports the full set in a summary
+// table, so suppressions stay auditable instead of rotting silently.
+// `<analyzer>` may be "*" to silence all analyzers on that line (used
+// sparingly; prefer naming the analyzer).
+
+// Suppression is one parsed //lint:ignore directive.
+type Suppression struct {
+	Analyzer string         `json:"analyzer"`
+	Pos      token.Position `json:"pos"`
+	Reason   string         `json:"reason"`
+	// Used reports whether any finding matched the directive; unused
+	// directives are themselves reported as warn findings so stale
+	// ignores get cleaned up.
+	Used bool `json:"used"`
+}
+
+const ignorePrefix = "lint:ignore"
+
+// collectSuppressions parses every ignore directive in the package.
+func collectSuppressions(pkg *Package) []*Suppression {
+	var sups []*Suppression
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, ignorePrefix) {
+					continue
+				}
+				rest := strings.TrimSpace(strings.TrimPrefix(text, ignorePrefix))
+				fields := strings.SplitN(rest, " ", 2)
+				sup := &Suppression{
+					Analyzer: fields[0],
+					Pos:      pkg.Fset.Position(c.Pos()),
+				}
+				if len(fields) == 2 {
+					sup.Reason = strings.TrimSpace(fields[1])
+				}
+				sups = append(sups, sup)
+			}
+		}
+	}
+	return sups
+}
+
+// applySuppressions matches findings against directives. A directive at
+// line L covers findings of its analyzer at line L (inline comment) and
+// line L+1 (comment above the statement). Directives with an empty
+// reason are rejected: a warn finding is reported at the directive and
+// nothing is suppressed by it.
+func applySuppressions(findings []Finding, sups []*Suppression) []Finding {
+	type key struct {
+		file string
+		line int
+	}
+	byLine := make(map[key][]*Suppression)
+	for _, s := range sups {
+		if s.Reason == "" {
+			continue
+		}
+		k := key{s.Pos.Filename, s.Pos.Line}
+		byLine[k] = append(byLine[k], s)
+		byLine[key{s.Pos.Filename, s.Pos.Line + 1}] = append(byLine[key{s.Pos.Filename, s.Pos.Line + 1}], s)
+	}
+	for i := range findings {
+		f := &findings[i]
+		for _, s := range byLine[key{f.Pos.Filename, f.Pos.Line}] {
+			if s.Analyzer == f.Analyzer || s.Analyzer == "*" {
+				f.Suppressed = true
+				f.SuppressReason = s.Reason
+				s.Used = true
+				break
+			}
+		}
+	}
+	return findings
+}
+
+// directiveFindings reports malformed (reason-less) and unused directives
+// as warn findings, keeping the ignore inventory honest.
+func directiveFindings(sups []*Suppression) []Finding {
+	var out []Finding
+	for _, s := range sups {
+		switch {
+		case s.Reason == "":
+			out = append(out, Finding{
+				Analyzer: "fluentvet",
+				Pos:      s.Pos,
+				Message:  "lint:ignore directive needs a reason: //lint:ignore <analyzer> <reason>",
+				Severity: SeverityFail,
+			})
+		case !s.Used:
+			out = append(out, Finding{
+				Analyzer: "fluentvet",
+				Pos:      s.Pos,
+				Message:  "lint:ignore " + s.Analyzer + " matches no finding on this or the next line; delete it",
+				Severity: SeverityWarn,
+			})
+		}
+	}
+	return out
+}
+
+// sortFindings orders findings by file, line, column, analyzer.
+func sortFindings(fs []Finding) {
+	sort.Slice(fs, func(i, j int) bool {
+		a, b := fs[i], fs[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

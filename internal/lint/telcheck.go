@@ -1,0 +1,195 @@
+package lint
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/types"
+	"regexp"
+)
+
+// telcheck enforces the telemetry wiring discipline (DESIGN.md §10):
+//
+//  1. Metric names passed to Registry.Counter/Gauge/GaugeFunc/Histogram
+//     must be compile-time constants matching the name schema
+//     `<component>.<snake_case>[...]` with a known component prefix
+//     (server, worker, transport, flaky) — one metric namespace per
+//     node, greppable, and stable across dashboards.
+//  2. A disabled telemetry sink is spelled telemetry.Nop, never an
+//     untyped nil literal: the typed nil documents intent, survives a
+//     future interface-ification of the sink types, and keeps "disabled"
+//     one value instead of a convention.
+//
+// Both rules apply only where telemetry types are actually in play, so
+// packages that never import telemetry never produce findings.
+
+// metricNameRE is the DESIGN.md §10 name schema.
+var metricNameRE = regexp.MustCompile(`^(server|worker|transport|flaky)\.[a-z0-9_]+(\.[a-z0-9_]+)*$`)
+
+// telSinkTypes are the telemetry pointer types a nil literal must not be
+// assigned into.
+var telSinkTypes = map[string]bool{
+	"Registry":  true,
+	"Counter":   true,
+	"Gauge":     true,
+	"Histogram": true,
+}
+
+// TelCheck returns the telcheck analyzer.
+func TelCheck() *Analyzer {
+	return &Analyzer{
+		Name: "telcheck",
+		Doc:  "metric names match the DESIGN.md §10 schema; disabled sinks are telemetry.Nop, not untyped nil",
+		Run:  runTelCheck,
+	}
+}
+
+// isTelemetrySinkPtr reports whether t is a pointer to one of the
+// telemetry instrument/registry types.
+func isTelemetrySinkPtr(t types.Type) (string, bool) {
+	if _, ok := t.(*types.Pointer); !ok {
+		return "", false
+	}
+	path, name := namedTypePath(t)
+	if hasPathSuffix(path, "internal/telemetry") && telSinkTypes[name] {
+		return name, true
+	}
+	return "", false
+}
+
+// isUntypedNil reports whether e is the untyped nil literal.
+func isUntypedNil(info *types.Info, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := info.Uses[id].(*types.Nil)
+	return isNil
+}
+
+func runTelCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkMetricName(pass, n)
+				checkNilArgs(pass, n)
+			case *ast.CompositeLit:
+				checkNilFields(pass, n)
+			case *ast.AssignStmt:
+				for i := range n.Rhs {
+					if i >= len(n.Lhs) {
+						break
+					}
+					if !isUntypedNil(info, n.Rhs[i]) {
+						continue
+					}
+					if tv, ok := info.Types[n.Lhs[i]]; ok {
+						if name, ok := isTelemetrySinkPtr(tv.Type); ok {
+							reportNilSink(pass, n.Rhs[i], name)
+						}
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+func reportNilSink(pass *Pass, at ast.Expr, typeName string) {
+	pass.Reportf("telcheck", at.Pos(),
+		"untyped nil used as a disabled *telemetry.%s sink; spell it telemetry.Nop (typed nil) so disabled stays one value", typeName)
+}
+
+// checkMetricName validates constant metric names at instrument
+// registration calls.
+func checkMetricName(pass *Pass, call *ast.CallExpr) {
+	// The telemetry layer's own unit tests exercise Registry mechanics
+	// with toy names; the schema governs production registries.
+	if pass.Pkg.IsTestPos(call.Pos()) {
+		return
+	}
+	info := pass.Pkg.Info
+	var fn *types.Func
+	for _, m := range [...]string{"Counter", "Gauge", "GaugeFunc", "Histogram"} {
+		if f := methodCall(info, call, m); f != nil {
+			fn = f
+			break
+		}
+	}
+	if fn == nil || len(call.Args) < 1 {
+		return
+	}
+	recv := fn.Type().(*types.Signature).Recv()
+	path, name := namedTypePath(recv.Type())
+	if !hasPathSuffix(path, "internal/telemetry") || name != "Registry" {
+		return
+	}
+	tv, ok := info.Types[call.Args[0]]
+	if !ok {
+		return
+	}
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		pass.Warnf("telcheck", call.Args[0].Pos(),
+			"metric name is not a compile-time constant; the §10 schema cannot be checked")
+		return
+	}
+	metricName := constant.StringVal(tv.Value)
+	if !metricNameRE.MatchString(metricName) {
+		pass.Reportf("telcheck", call.Args[0].Pos(),
+			"metric name %q does not match the schema %s (DESIGN.md §10)", metricName, metricNameRE.String())
+	}
+}
+
+// checkNilArgs flags untyped nil passed for telemetry-sink parameters.
+func checkNilArgs(pass *Pass, call *ast.CallExpr) {
+	info := pass.Pkg.Info
+	obj := calleeObj(info, call)
+	fn, ok := obj.(*types.Func)
+	if !ok {
+		return
+	}
+	sig := fn.Type().(*types.Signature)
+	params := sig.Params()
+	for i, arg := range call.Args {
+		if !isUntypedNil(info, arg) {
+			continue
+		}
+		pi := i
+		if sig.Variadic() && pi >= params.Len() {
+			pi = params.Len() - 1
+		}
+		if pi >= params.Len() {
+			continue
+		}
+		if name, ok := isTelemetrySinkPtr(params.At(pi).Type()); ok {
+			reportNilSink(pass, arg, name)
+		}
+	}
+}
+
+// checkNilFields flags untyped nil composite-literal values for
+// telemetry-sink struct fields.
+func checkNilFields(pass *Pass, lit *ast.CompositeLit) {
+	info := pass.Pkg.Info
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if !isUntypedNil(info, kv.Value) {
+			continue
+		}
+		key, ok := kv.Key.(*ast.Ident)
+		if !ok {
+			continue
+		}
+		field, ok := info.Uses[key].(*types.Var)
+		if !ok || !field.IsField() {
+			continue
+		}
+		if name, ok := isTelemetrySinkPtr(field.Type()); ok {
+			reportNilSink(pass, kv.Value, name)
+		}
+	}
+}

@@ -1,0 +1,8 @@
+package fixture
+
+// Mixed atomic/direct access in _test.go files warns instead of fails
+// (the tier-1 deflake guard).
+
+func genInTest() uint64 {
+	return gen // want:warn ""gen" is accessed via sync/atomic"
+}

@@ -1,0 +1,45 @@
+// Package fixture seeds atomiccheck's golden test: fields touched via
+// sync/atomic that are also accessed directly, plus the immune typed
+// atomics the analyzer must not flag.
+package fixture
+
+import "sync/atomic"
+
+type stats struct {
+	hits   uint64
+	misses uint64
+}
+
+func (s *stats) hit() {
+	atomic.AddUint64(&s.hits, 1)
+}
+
+func (s *stats) snapshot() uint64 {
+	return s.hits // want ""hits" is accessed via sync/atomic"
+}
+
+// miss touches a field never passed to sync/atomic. No diagnostic.
+func (s *stats) miss() {
+	s.misses++
+}
+
+var gen uint64
+
+func nextGen() uint64 {
+	return atomic.AddUint64(&gen, 1)
+}
+
+func badGen() {
+	gen++ // want ""gen" is accessed via sync/atomic"
+}
+
+// typedCounter uses the typed atomics, which are immune by construction.
+// No diagnostic.
+type typedCounter struct {
+	n atomic.Uint64
+}
+
+func (c *typedCounter) bump() uint64 {
+	c.n.Add(1)
+	return c.n.Load()
+}

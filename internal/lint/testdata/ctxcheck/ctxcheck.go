@@ -1,0 +1,89 @@
+// Package fixture seeds ctxcheck's golden test: the context discipline's
+// violations plus the blessed idioms the analyzer must not flag.
+package fixture
+
+import (
+	"context"
+
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func backgroundInLibrary() {
+	ctx := context.Background() // want "context.Background\(\) in library code severs the caller's cancellation chain"
+	_ = ctx
+}
+
+func todoInLibrary() {
+	ctx := context.TODO() // want "context.TODO\(\) in library code severs the caller's cancellation chain"
+	_ = ctx
+}
+
+// nilFallback is the blessed optional-context idiom. No diagnostic.
+func nilFallback(ctx context.Context) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	<-ctx.Done()
+	return ctx.Err()
+}
+
+// DroppedCtx advertises cancellation it does not deliver.
+func DroppedCtx(ctx context.Context, n int) int { // want "DroppedCtx accepts context.Context "ctx" but never uses it"
+	return n + 1
+}
+
+// Drain blocks its caller on Endpoint.Recv with no cancellation path.
+func Drain(ep transport.Endpoint) { // want "exported Drain blocks on Endpoint.Recv \(line \d+\) but accepts no context.Context"
+	m, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	transport.ReleaseReceived(m)
+}
+
+// DrainCtx threads a context through the blocking call's select. No
+// diagnostic.
+func DrainCtx(ctx context.Context, ep transport.Endpoint) error {
+	done := make(chan struct{})
+	go func() {
+		m, err := ep.Recv()
+		if err == nil {
+			transport.ReleaseReceived(m)
+		}
+		close(done)
+	}()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-done:
+		return nil
+	}
+}
+
+// drainUnexported is not API surface. No diagnostic.
+func drainUnexported(ep transport.Endpoint) {
+	m, err := ep.Recv()
+	if err != nil {
+		return
+	}
+	transport.ReleaseReceived(m)
+}
+
+// DrainAsync only spawns the Recv; the API itself does not block. No
+// diagnostic.
+func DrainAsync(ep transport.Endpoint) {
+	go func() {
+		m, err := ep.Recv()
+		if err != nil {
+			return
+		}
+		transport.ReleaseReceived(m)
+	}()
+}
+
+// Wrapper implements the transport.Endpoint blocking primitives: Recv IS
+// the blocking layer and cannot grow a context parameter. No diagnostic.
+type Wrapper struct{ inner transport.Endpoint }
+
+// Recv implements transport.Endpoint.
+func (w *Wrapper) Recv() (*transport.Message, error) { return w.inner.Recv() }

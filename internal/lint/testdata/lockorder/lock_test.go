@@ -1,0 +1,10 @@
+package fixture
+
+// Lock smells in _test.go files warn instead of fail (the tier-1
+// deflake guard).
+
+func (l *locked) sendWhileLockedInTest() {
+	l.mu.Lock()
+	l.ch <- 1 // want:warn "held across a channel send"
+	l.mu.Unlock()
+}

@@ -1,0 +1,107 @@
+// Package fixture seeds lockorder's golden test: mutexes held across
+// operations that can block indefinitely, plus the clean idioms the
+// analyzer must not flag.
+package fixture
+
+import (
+	"sync"
+
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+type locked struct {
+	mu sync.Mutex
+	ch chan int
+	wg sync.WaitGroup
+	ep transport.Endpoint
+}
+
+func (l *locked) sendWhileLocked() {
+	l.mu.Lock()
+	l.ch <- 1 // want "mutex l.mu \(locked at line \d+\) held across a channel send"
+	l.mu.Unlock()
+}
+
+func (l *locked) recvWhileDeferredUnlock() {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	<-l.ch // want "mutex l.mu \(locked at line \d+\) held across a channel receive"
+}
+
+func (l *locked) waitWhileLocked() {
+	l.mu.Lock()
+	l.wg.Wait() // want "held across sync.WaitGroup.Wait"
+	l.mu.Unlock()
+}
+
+func (l *locked) selectWhileLocked() {
+	l.mu.Lock()
+	select { // want "held across a blocking select"
+	case v := <-l.ch:
+		_ = v
+	}
+	l.mu.Unlock()
+}
+
+func (l *locked) rangeWhileLocked() {
+	l.mu.Lock()
+	for v := range l.ch { // want "held across a range over a channel"
+		_ = v
+	}
+	l.mu.Unlock()
+}
+
+func (l *locked) transportSendWhileLocked(m *transport.Message) {
+	l.mu.Lock()
+	_ = l.ep.Send(m) // want "held across a blocking transport Send"
+	l.mu.Unlock()
+}
+
+func (l *locked) transportRecvWhileLocked() {
+	l.mu.Lock()
+	m, _ := l.ep.Recv() // want "held across a blocking transport Recv"
+	l.mu.Unlock()
+	transport.ReleaseReceived(m)
+}
+
+func (l *locked) sendOwnedWhileLocked(m *transport.Message) {
+	l.mu.Lock()
+	_ = transport.SendOwned(l.ep, m) // want "held across transport.SendOwned"
+	l.mu.Unlock()
+}
+
+// unlockBeforeSend releases the lock before touching the channel. No
+// diagnostic.
+func (l *locked) unlockBeforeSend() {
+	l.mu.Lock()
+	l.mu.Unlock()
+	l.ch <- 1
+}
+
+// selectWithDefault cannot block. No diagnostic.
+func (l *locked) selectWithDefault() {
+	l.mu.Lock()
+	select {
+	case v := <-l.ch:
+		_ = v
+	default:
+	}
+	l.mu.Unlock()
+}
+
+// spawnWhileLocked: the goroutine body runs without the caller's lock.
+// No diagnostic.
+func (l *locked) spawnWhileLocked() {
+	l.mu.Lock()
+	go func() {
+		l.ch <- 1
+	}()
+	l.mu.Unlock()
+}
+
+// condWait releases its mutex while parked. No diagnostic.
+func condWait(c *sync.Cond) {
+	c.L.Lock()
+	c.Wait()
+	c.L.Unlock()
+}

@@ -1,0 +1,9 @@
+package fixture
+
+// Leaks in _test.go files are warnings, not failures (the tier-1
+// deflake guard).
+
+func leakInTest() {
+	m, _ := ep.Recv() // want:warn "received message "m" is never released"
+	_ = m.Seq
+}

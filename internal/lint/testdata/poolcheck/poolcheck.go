@@ -1,0 +1,118 @@
+// Package fixture seeds poolcheck's golden test: each function is one
+// shape of the message-pool ownership discipline, with // want comments
+// marking the expected diagnostics. Functions without want comments are
+// false-positive regressions — clean idioms the analyzer must not flag.
+package fixture
+
+import (
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+var ep transport.Endpoint
+
+func leakNew() {
+	m := transport.NewMessage() // want "pooled message "m" from transport.NewMessage is never released"
+	m.Seq = 7
+}
+
+func leakRecv() {
+	m, err := ep.Recv() // want "received message "m" is never released"
+	if err != nil {
+		return
+	}
+	_ = m.Seq
+}
+
+func useAfterRelease() {
+	m := transport.NewMessage()
+	transport.Release(m)
+	m.Seq = 9 // want "use of message "m" after transport.Release released it"
+}
+
+func useAfterSendOwned() {
+	m := transport.NewMessage()
+	_ = transport.SendOwned(ep, m)
+	_ = m.Seq // want "use of message "m" after transport.SendOwned released it"
+}
+
+func doubleRelease() {
+	m := transport.NewMessage()
+	transport.Release(m)
+	transport.Release(m) // want "message "m" released twice"
+}
+
+func wrongReleaseOnReceived() {
+	m, _ := ep.Recv()    // want "received message "m" is never released"
+	transport.Release(m) // want "transport.Release is a no-op on received message "m""
+}
+
+func wrongReleaseReceivedOnNew() {
+	m := transport.NewMessage()  // want "pooled message "m" from transport.NewMessage is never released"
+	transport.ReleaseReceived(m) // want "transport.ReleaseReceived is a no-op on creator-owned message "m""
+}
+
+func sendRetainedKeepsOwnership() {
+	m := transport.NewMessage() // want "pooled message "m" from transport.NewMessage is never released"
+	_ = transport.SendRetained(ep, m)
+}
+
+// sendRetainedThenRelease keeps the discipline: a retained send is
+// followed by an explicit release. No diagnostic.
+func sendRetainedThenRelease() {
+	m := transport.NewMessage()
+	_ = transport.SendRetained(ep, m)
+	transport.Release(m)
+}
+
+// releasedOnEveryBranch consumes the message on both arms. No diagnostic.
+func releasedOnEveryBranch(cond bool) {
+	m := transport.NewMessage()
+	if cond {
+		transport.Release(m)
+	} else {
+		_ = transport.SendOwned(ep, m)
+	}
+}
+
+// deferredRelease is the canonical cleanup idiom. No diagnostic.
+func deferredRelease() {
+	m := transport.NewMessage()
+	defer transport.Release(m)
+	m.Seq = 3
+}
+
+// forwardReceived moves a received pointer downstream with SendOwned:
+// ownership transfers, the forwarder owes no release. No diagnostic.
+func forwardReceived() error {
+	m, err := ep.Recv()
+	if err != nil {
+		return err
+	}
+	return transport.SendOwned(ep, m)
+}
+
+type holder struct{ m *transport.Message }
+
+// Escapes hand ownership to another owner; the tracker must go quiet.
+
+func escapeToStruct(h *holder) {
+	m := transport.NewMessage()
+	h.m = m
+}
+
+func escapeToChannel(ch chan *transport.Message) {
+	m := transport.NewMessage()
+	ch <- m
+}
+
+func escapeToReturn() *transport.Message {
+	m := transport.NewMessage()
+	return m
+}
+
+func escapeToUnknownCall() {
+	m := transport.NewMessage()
+	consume(m)
+}
+
+func consume(*transport.Message) {}

@@ -1,0 +1,25 @@
+// Package fixture exercises the //lint:ignore machinery end to end: a
+// used directive silences its finding, a reason-less directive is
+// rejected, and an unused directive is reported as stale.
+package fixture
+
+import "github.com/fluentps/fluentps/internal/transport"
+
+var ep transport.Endpoint
+
+func suppressedLeak() {
+	//lint:ignore poolcheck fixture exercises the suppression path
+	m, _ := ep.Recv()
+	_ = m.Seq
+}
+
+func missingReason() {
+	//lint:ignore poolcheck
+	m := transport.NewMessage()
+	transport.Release(m)
+}
+
+func unusedDirective() {
+	//lint:ignore lockorder nothing on this line blocks
+	_ = ep
+}

@@ -1,0 +1,55 @@
+// Package fixture seeds telcheck's golden test: metric-name schema
+// violations and untyped-nil sinks, plus the blessed spellings the
+// analyzer must not flag.
+package fixture
+
+import (
+	"github.com/fluentps/fluentps/internal/telemetry"
+)
+
+type node struct {
+	reg *telemetry.Registry
+}
+
+func registerMetrics(reg *telemetry.Registry) {
+	_ = reg.Counter("bogus_component.count")                         // want "metric name "bogus_component.count" does not match the schema"
+	_ = reg.Gauge("server.CamelCase")                                // want "metric name "server.CamelCase" does not match the schema"
+	_ = reg.Histogram("worker")                                      // want "metric name "worker" does not match the schema"
+	reg.GaugeFunc("transport.sent total", func() int64 { return 0 }) // want "does not match the schema"
+
+	// Schema-conforming names. No diagnostics.
+	_ = reg.Counter("server.push_total")
+	_ = reg.Gauge("worker.outstanding")
+	_ = reg.Histogram("transport.rtt_seconds.p99")
+}
+
+func dynamicName(reg *telemetry.Registry, name string) {
+	_ = reg.Counter(name) // want:warn "metric name is not a compile-time constant"
+}
+
+func takeRegistry(reg *telemetry.Registry) {}
+
+func passNil() {
+	takeRegistry(nil) // want "untyped nil used as a disabled \*telemetry.Registry sink"
+}
+
+func fieldNil() *node {
+	return &node{reg: nil} // want "untyped nil used as a disabled \*telemetry.Registry sink"
+}
+
+func assignNil(n *node) {
+	n.reg = nil // want "untyped nil used as a disabled \*telemetry.Registry sink"
+}
+
+// passNop is the blessed disabled sink: a typed nil. No diagnostic.
+func passNop() *node {
+	takeRegistry(telemetry.Nop)
+	return &node{reg: telemetry.Nop}
+}
+
+func takeSlice(xs []float64) {}
+
+// nil for a non-telemetry parameter is fine. No diagnostic.
+func passNilSlice() {
+	takeSlice(nil)
+}

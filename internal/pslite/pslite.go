@@ -102,6 +102,8 @@ func (s *Scheduler) Barriers() int {
 }
 
 // Run serves barrier traffic until shutdown.
+//
+//lint:ignore ctxcheck baseline harness runs until MsgShutdown/endpoint close; no cancellation surface by design
 func (s *Scheduler) Run() error {
 	for {
 		msg, err := s.ep.Recv()
@@ -113,11 +115,17 @@ func (s *Scheduler) Run() error {
 		}
 		switch msg.Type {
 		case transport.MsgBarrier:
-			if err := s.handleBarrier(msg); err != nil {
+			// handleBarrier copies what it needs into barrierWait.
+			err := s.handleBarrier(msg)
+			transport.ReleaseReceived(msg)
+			if err != nil {
 				return err
 			}
 		case transport.MsgShutdown:
+			transport.ReleaseReceived(msg)
 			return nil
+		default:
+			transport.ReleaseReceived(msg)
 		}
 	}
 }
@@ -199,6 +207,8 @@ func NewServer(ep transport.Endpoint, rank, workers int, layout *keyrange.Layout
 func (s *Server) Shard() *kvstore.Shard { return s.shard }
 
 // Run serves pushes and pulls until shutdown.
+//
+//lint:ignore ctxcheck baseline harness runs until MsgShutdown/endpoint close; no cancellation surface by design
 func (s *Server) Run() error {
 	for {
 		msg, err := s.ep.Recv()
@@ -210,10 +220,12 @@ func (s *Server) Run() error {
 		}
 		switch msg.Type {
 		case transport.MsgPush:
-			if err := s.shard.ApplyGradPayload(msg.Keys, msg.Vals, 1/float64(s.workers)); err != nil {
+			err := s.shard.ApplyGradPayload(msg.Keys, msg.Vals, 1/float64(s.workers))
+			ack := &transport.Message{Type: transport.MsgPushAck, To: msg.From, Seq: msg.Seq}
+			transport.ReleaseReceived(msg)
+			if err != nil {
 				return fmt.Errorf("pslite: server %d apply push: %w", s.rank, err)
 			}
-			ack := &transport.Message{Type: transport.MsgPushAck, To: msg.From, Seq: msg.Seq}
 			if err := s.ep.Send(ack); err != nil {
 				return err
 			}
@@ -224,14 +236,23 @@ func (s *Server) Run() error {
 			}
 			vals, err := s.shard.GatherShard(nil, keys)
 			if err != nil {
+				transport.ReleaseReceived(msg)
 				return fmt.Errorf("pslite: server %d gather: %w", s.rank, err)
 			}
 			resp := &transport.Message{Type: transport.MsgPullResp, To: msg.From, Seq: msg.Seq, Keys: keys, Vals: vals}
-			if err := s.ep.Send(resp); err != nil {
-				return err
+			sendErr := s.ep.Send(resp)
+			// resp.Keys may alias msg.Keys; over the chan transport the
+			// baseline's messages are plain literals (release is a no-op)
+			// and over copying transports Send has already encoded them.
+			transport.ReleaseReceived(msg)
+			if sendErr != nil {
+				return sendErr
 			}
 		case transport.MsgShutdown:
+			transport.ReleaseReceived(msg)
 			return nil
+		default:
+			transport.ReleaseReceived(msg)
 		}
 	}
 }

@@ -65,6 +65,7 @@ func TestEncodeAppendsToExistingBuffer(t *testing.T) {
 	if got.Seq != 42 {
 		t.Errorf("Seq = %d", got.Seq)
 	}
+	ReleaseReceived(got)
 }
 
 func TestDecodeErrors(t *testing.T) {
@@ -212,6 +213,7 @@ func TestCodecPreservesFloatBits(t *testing.T) {
 			t.Errorf("val %d: bits %x != %x", i, math.Float64bits(got.Vals[i]), math.Float64bits(v))
 		}
 	}
+	ReleaseReceived(got)
 }
 
 func TestNodeIDAndMsgTypeStrings(t *testing.T) {
@@ -297,4 +299,5 @@ func TestNegativeProgressRoundTrip(t *testing.T) {
 	if got.Progress != -1 {
 		t.Fatalf("Progress = %d, want -1", got.Progress)
 	}
+	ReleaseReceived(got)
 }

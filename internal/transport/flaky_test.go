@@ -75,6 +75,7 @@ func TestFlakyControlPlaneReliable(t *testing.T) {
 		if m.Type != typ {
 			t.Fatalf("got %s, want %s", m.Type, typ)
 		}
+		ReleaseReceived(m)
 	}
 	// ...while data-plane frames are all eaten.
 	if err := src.Send(&Message{Type: MsgPush, To: Scheduler()}); err != nil {
@@ -104,6 +105,7 @@ func TestFlakyDelayDelivers(t *testing.T) {
 	if m.Seq != 9 {
 		t.Fatalf("Seq = %d, want 9", m.Seq)
 	}
+	ReleaseReceived(m)
 	if st := src.Stats(); st.Delayed != 1 {
 		t.Fatalf("Delayed = %d, want 1", st.Delayed)
 	}

@@ -71,6 +71,7 @@ func TestChanNetworkOrderingPerPair(t *testing.T) {
 		if m.Seq != uint64(i) {
 			t.Fatalf("out of order: got seq %d at position %d", m.Seq, i)
 		}
+		ReleaseReceived(m)
 	}
 }
 
@@ -133,6 +134,7 @@ func TestChanNetworkConcurrentSenders(t *testing.T) {
 			t.Fatal(err)
 		}
 		seen[m.From]++
+		ReleaseReceived(m)
 	}
 	for w := 0; w < workers; w++ {
 		if seen[Worker(w)] != msgsEach {
@@ -214,6 +216,7 @@ func TestTCPManyMessagesManyGoroutines(t *testing.T) {
 			t.Fatalf("duplicate seq %d", m.Seq)
 		}
 		seen[m.Seq] = true
+		ReleaseReceived(m)
 	}
 }
 
@@ -268,6 +271,7 @@ func TestTCPLargePayload(t *testing.T) {
 	if len(got.Vals) != len(vals) || got.Vals[99999] != vals[99999] {
 		t.Fatal("large payload corrupted")
 	}
+	ReleaseReceived(got)
 }
 
 func TestTCPFullMesh(t *testing.T) {
@@ -315,6 +319,7 @@ func TestTCPFullMesh(t *testing.T) {
 				t.Fatal(err)
 			}
 			from[msg.From] = true
+			ReleaseReceived(msg)
 		}
 		if len(from) != workers {
 			t.Errorf("server %d heard from %d workers, want %d", m, len(from), workers)
@@ -329,6 +334,7 @@ func ExampleChanNetwork() {
 	_ = w.Send(&Message{Type: MsgPush, To: Server(0), Vals: []float64{0.5}})
 	m, _ := s.Recv()
 	fmt.Println(m.Type, m.From, m.Vals[0])
+	ReleaseReceived(m)
 	// Output: push worker/0 0.5
 }
 
@@ -377,6 +383,7 @@ func TestTCPSendReconnectsWithBackoff(t *testing.T) {
 	if m.Seq != 11 {
 		t.Fatalf("Seq = %d, want 11", m.Seq)
 	}
+	ReleaseReceived(m)
 }
 
 // TestTCPSendZeroRetries: RedialPolicy{} restores strict fail-fast
