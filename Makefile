@@ -8,7 +8,7 @@ GO ?= go
 # catches a PR that lands untested request-lifecycle code.
 COVER_FLOOR ?= 80.0
 
-.PHONY: verify build vet lint test race race-debug fuzz fuzz-smoke cover ci bench bench-paper
+.PHONY: verify build vet lint test race race-debug race-stress fuzz fuzz-smoke cover ci bench bench-paper
 
 ## verify: the tier-1 gate — vet, build, full test suite.
 verify: vet build test
@@ -42,6 +42,16 @@ race:
 race-debug:
 	$(GO) test -race -tags fluentdebug ./internal/core/... ./internal/transport/...
 
+## race-stress: the striped-store and batched-apply-engine stress tests,
+## repeated under the race detector with the fluentdebug assertion layer
+## (V_train monotonicity, SSP staleness bound) compiled in. These are the
+## only paths where multiple goroutines touch shard state concurrently,
+## so they get more repetitions than the general race pass.
+race-stress:
+	$(GO) test -race -tags fluentdebug -count=5 \
+		-run 'TestStripedShardConcurrentApply|TestBatchedApplyStress|TestBatchedApplyMatchesExpected' \
+		./internal/kvstore/ ./internal/core/
+
 ## fuzz: a short codec fuzz pass over the wire format (seeds include
 ## negative Progress and boundary-length frames).
 fuzz:
@@ -74,6 +84,7 @@ ci: verify
 	$(MAKE) lint
 	$(GO) test -race ./...
 	$(MAKE) race-debug
+	$(MAKE) race-stress
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover
 
@@ -83,12 +94,17 @@ ci: verify
 ## BENCH_telemetry.json isolates the telemetry overhead: the same
 ## push/pull step with a live registry vs the Nop sink vs no telemetry,
 ## plus the per-instrument costs (counter add, histogram observe).
+## BENCH_apply.json contrasts push-apply throughput with the serial apply
+## loop (ApplyWorkers=1) against the wave-batched engine (ApplyWorkers=4)
+## — the batched path must hold a ≥2x edge on large segments.
 bench:
 	$(GO) test -run '^$$' -bench 'PushPullHotPath$$|FrameRoundTrip|WriteFrame|DecodeInto' \
 		-benchmem -json ./internal/core/ ./internal/transport/ > BENCH_hotpath.json
 	$(GO) test -run '^$$' -bench 'PushPullHotPath|CounterInc|GaugeSet|HistogramObserve' \
 		-benchmem -json ./internal/core/ ./internal/telemetry/ > BENCH_telemetry.json
-	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_hotpath.json BENCH_telemetry.json | tr -d '\n' | \
+	$(GO) test -run '^$$' -bench 'ApplyThroughput|AxpyBatch' -benchtime 2s \
+		-benchmem -json ./internal/core/ ./internal/mathx/ > BENCH_apply.json
+	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_hotpath.json BENCH_telemetry.json BENCH_apply.json | tr -d '\n' | \
 		sed 's/\\n/\n/g; s/\\t/\t/g' | grep 'allocs/op'
 
 ## bench-paper: every benchmark in the repo once over (smoke, not timing).

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// runApply benchmarks server-side push-apply throughput with the serial
+// apply loop (ApplyWorkers=1) and the wave-batched engine (ApplyWorkers=4)
+// and reports both, plus the speedup. It is the CLI face of
+// BenchmarkApplyThroughput: a single pusher keeps a window of raw pushes
+// in flight so the server's receive queue always has a backlog to form
+// waves from, and the pre-filled messages make the pusher's own cost
+// negligible next to the apply stage.
+func runApply() error {
+	serial, err := applyStep(1)
+	if err != nil {
+		return err
+	}
+	batched, err := applyStep(4)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("push-apply throughput (32 keys x 1024 params, window 32):\n")
+	fmt.Printf("  serial  (applyWorkers=1): %8d ns/push  %6.1f MB/s\n",
+		serial.NsPerOp(), mbPerSec(serial))
+	fmt.Printf("  batched (applyWorkers=4): %8d ns/push  %6.1f MB/s\n",
+		batched.NsPerOp(), mbPerSec(batched))
+	fmt.Printf("  speedup: %.2fx\n", float64(serial.NsPerOp())/float64(batched.NsPerOp()))
+	return nil
+}
+
+func mbPerSec(r testing.BenchmarkResult) float64 {
+	if r.NsPerOp() == 0 {
+		return 0
+	}
+	return float64(r.Bytes) / float64(r.NsPerOp()) * 1e3
+}
+
+// applyStep runs the windowed push loop against one server and returns
+// the per-push benchmark result.
+func applyStep(applyWorkers int) (testing.BenchmarkResult, error) {
+	const (
+		numKeys = 32
+		keyDim  = 1024
+		window  = 32
+	)
+	sizes := make([]int, numKeys)
+	for i := range sizes {
+		sizes[i] = keyDim
+	}
+	layout, err := keyrange.NewLayout(sizes)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	assign, err := keyrange.EPS(layout, 1)
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	net := transport.NewChanNetwork(256)
+	srv, err := core.NewServer(net.Endpoint(transport.Server(0)), core.ServerConfig{
+		Rank: 0, NumWorkers: 1, Layout: layout, Assignment: assign,
+		Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
+		ApplyWorkers: applyWorkers, ApplyStripes: 16,
+	})
+	if err != nil {
+		return testing.BenchmarkResult{}, err
+	}
+	go srv.Run()
+	defer func() {
+		ep := net.Endpoint(transport.Worker(99))
+		_ = ep.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(0)})
+		ep.Close()
+	}()
+
+	ep := net.Endpoint(transport.Worker(0))
+	defer ep.Close()
+	keys := make([]keyrange.Key, numKeys)
+	for i := range keys {
+		keys[i] = keyrange.Key(i)
+	}
+	vals := make([]float64, layout.TotalDim())
+	for i := range vals {
+		vals[i] = 1
+	}
+	msgs := make([]*transport.Message, window)
+	for i := range msgs {
+		msgs[i] = &transport.Message{
+			Type: transport.MsgPush, To: transport.Server(0),
+			Keys: keys, Vals: vals,
+		}
+	}
+	var stepErr error
+	awaitAck := func() bool {
+		for {
+			msg, err := ep.Recv()
+			if err != nil {
+				stepErr = err
+				return false
+			}
+			ok := msg.Type == transport.MsgPushAck
+			transport.ReleaseReceived(msg)
+			if ok {
+				return true
+			}
+		}
+	}
+	res := testing.Benchmark(func(b *testing.B) {
+		b.SetBytes(8 * int64(layout.TotalDim()))
+		inflight := 0
+		seq := uint64(0)
+		for i := 0; i < b.N; i++ {
+			if inflight == window {
+				if !awaitAck() {
+					b.FailNow()
+				}
+				inflight--
+			}
+			m := msgs[i%window]
+			seq++
+			m.Seq = seq
+			m.Progress = int32(i)
+			if err := ep.Send(m); err != nil {
+				stepErr = err
+				b.FailNow()
+			}
+			inflight++
+		}
+		for ; inflight > 0; inflight-- {
+			if !awaitAck() {
+				b.FailNow()
+			}
+		}
+	})
+	return res, stepErr
+}

@@ -28,12 +28,20 @@ func main() {
 		out     = flag.String("out", "", "also write each experiment's tables as CSV files into this directory")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		hotpath = flag.Bool("hotpath", false, "benchmark the push/pull hot path (ns, bytes, allocs per step) and exit")
+		apply   = flag.Bool("apply", false, "benchmark push-apply throughput, serial vs wave-batched engine, and exit")
 	)
 	flag.Parse()
 
 	if *hotpath {
 		if err := runHotpath(context.Background()); err != nil {
 			fmt.Fprintf(os.Stderr, "fluentbench: hotpath: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *apply {
+		if err := runApply(); err != nil {
+			fmt.Fprintf(os.Stderr, "fluentbench: apply: %v\n", err)
 			os.Exit(1)
 		}
 		return

@@ -82,9 +82,11 @@ func main() {
 		Init: func(k keyrange.Key, seg []float64) {
 			copy(seg, layout.Slice(w0, k))
 		},
-		Seed:        work.Seed,
-		DedupWindow: flags.DedupWindow,
-		Telemetry:   reg,
+		Seed:         work.Seed,
+		DedupWindow:  flags.DedupWindow,
+		ApplyWorkers: flags.ApplyWorkers,
+		ApplyStripes: flags.ApplyStripes,
+		Telemetry:    reg,
 	})
 	if err != nil {
 		log.Fatal(err)

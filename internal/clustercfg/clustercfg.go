@@ -87,6 +87,9 @@ type Flags struct {
 	RetryMax  time.Duration
 	// Duplicate-suppression window (servers); 0 = default, <0 disables.
 	DedupWindow int
+	// Parallel apply engine (servers); 0 = derive from GOMAXPROCS.
+	ApplyWorkers int
+	ApplyStripes int
 	// Fault injection (transport.Flaky), for resilience testing.
 	FlakyDrop      float64
 	FlakyDup       float64
@@ -121,6 +124,8 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.DurationVar(&f.RetryBase, "retryBase", 0, "base retransmission backoff; 0 disables retries")
 	fs.DurationVar(&f.RetryMax, "retryMax", 2*time.Second, "retransmission backoff cap")
 	fs.IntVar(&f.DedupWindow, "dedupWindow", 0, "per-worker duplicate-request window on servers; 0 = default, negative disables")
+	fs.IntVar(&f.ApplyWorkers, "applyWorkers", 0, "server apply workers; 0 = GOMAXPROCS, 1 forces the serial apply loop")
+	fs.IntVar(&f.ApplyStripes, "applyStripes", 0, "shard lock stripes (rounded up to a power of two); 0 = 4×applyWorkers")
 	fs.Float64Var(&f.FlakyDrop, "flakyDrop", 0, "fault injection: probability a data-plane frame is dropped")
 	fs.Float64Var(&f.FlakyDup, "flakyDup", 0, "fault injection: probability a data-plane frame is duplicated")
 	fs.Float64Var(&f.FlakyDelayProb, "flakyDelayProb", 0, "fault injection: probability a data-plane frame is delayed")

@@ -21,6 +21,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 	"time"
 
@@ -60,6 +61,21 @@ type ServerConfig struct {
 	// and its apply stage (Run decodes and applies concurrently); zero
 	// selects DefaultApplyQueueDepth.
 	ApplyQueueDepth int
+	// ApplyWorkers sets the apply-stage parallelism. 1 (or negative)
+	// keeps the serial apply loop: one goroutine owns controller and
+	// shard, messages are handled one at a time. Values above 1 enable
+	// the wave-batched apply engine (applyengine.go): queued pushes and
+	// pulls are drained in waves, same-key gradients coalesce into fused
+	// batches, and per-stripe batches are applied by this many pool
+	// goroutines. Zero derives the count from GOMAXPROCS. The count is
+	// capped at the stripe count.
+	ApplyWorkers int
+	// ApplyStripes sets how many independently locked stripes the shard
+	// is divided into (rounded up to a power of two, clamped to
+	// [1, kvstore.MaxStripes]). Zero derives it from the resolved worker
+	// count: 1 stripe for a serial server, 4× the workers otherwise (so
+	// stripe collisions between concurrently applied batches stay rare).
+	ApplyStripes int
 	// Telemetry, when non-nil, receives the server's runtime metrics
 	// (see core/telemetry.go for the schema). One registry per node; nil
 	// (telemetry.Nop) disables collection — hot-path instruments become
@@ -70,6 +86,33 @@ type ServerConfig struct {
 // DefaultApplyQueueDepth is the receive→apply buffer used when
 // ServerConfig.ApplyQueueDepth is zero.
 const DefaultApplyQueueDepth = 64
+
+// applyWorkers resolves ServerConfig.ApplyWorkers: zero means
+// GOMAXPROCS, anything below one means serial.
+func (cfg *ServerConfig) applyWorkers() int {
+	w := cfg.ApplyWorkers
+	if w == 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// applyStripes resolves ServerConfig.ApplyStripes: an explicit count is
+// passed through (kvstore normalizes it); zero derives from the worker
+// count — one stripe for a serial server, 4× workers for the engine.
+func (cfg *ServerConfig) applyStripes() int {
+	if cfg.ApplyStripes > 0 {
+		return cfg.ApplyStripes
+	}
+	w := cfg.applyWorkers()
+	if w == 1 {
+		return 1
+	}
+	return 4 * w
+}
 
 // DefaultDedupWindow is the per-peer duplicate-suppression window used
 // when ServerConfig.DedupWindow is zero. It must exceed the number of
@@ -212,7 +255,7 @@ func NewServerFromCheckpoint(ep transport.Endpoint, cfg ServerConfig, r io.Reade
 	if err != nil {
 		return nil, err
 	}
-	shard, err := kvstore.LoadShard(r, cfg.Layout)
+	shard, err := kvstore.LoadStripedShard(r, cfg.Layout, cfg.applyStripes())
 	if err != nil {
 		return nil, err
 	}
@@ -247,7 +290,7 @@ func NewServer(ep transport.Endpoint, cfg ServerConfig) (*Server, error) {
 	s := &Server{
 		cfg:   cfg,
 		ep:    ep,
-		shard: kvstore.NewShard(cfg.Layout, keys, cfg.Init),
+		shard: kvstore.NewStripedShard(cfg.Layout, keys, cfg.Init, cfg.applyStripes()),
 		ctrl: syncmodel.New(cfg.NumWorkers, cfg.Model, cfg.Drain,
 			rand.New(rand.NewSource(cfg.Seed^int64(cfg.Rank+1)))),
 		keys: keys,
@@ -297,7 +340,10 @@ func (s *Server) snapshotStats() {
 // queue, and the calling goroutine applies — so decoding the next batch
 // of messages overlaps with shard/controller work instead of serializing
 // behind it. The apply stage remains the single owner of controller and
-// shard state, preserving the per-peer FIFO the dedup windows rely on.
+// dedup state, preserving the per-peer FIFO the dedup windows rely on;
+// with ApplyWorkers > 1 it additionally fans gradient batches out to a
+// pool over the striped shard (see applyengine.go), staying sole owner
+// of everything else.
 func (s *Server) Run() error {
 	depth := s.cfg.ApplyQueueDepth
 	if depth <= 0 {
@@ -334,24 +380,42 @@ func (s *Server) Run() error {
 		}
 	}()
 	defer close(applyDone)
+	var (
+		shutdown bool
+		err      error
+	)
+	if workers := s.cfg.applyWorkers(); workers > 1 {
+		shutdown, err = s.runBatched(queue, workers)
+	} else {
+		shutdown, err = s.runSerial(queue)
+	}
+	if err != nil {
+		return err
+	}
+	if shutdown {
+		return nil
+	}
+	// The queue closed: the receive stage hit an endpoint error.
+	err = <-recvErr
+	if err == transport.ErrClosed {
+		return nil
+	}
+	return fmt.Errorf("core: server %d recv: %w", s.cfg.Rank, err)
+}
+
+// runSerial is Run's apply stage when ApplyWorkers ≤ 1: the original
+// one-message-at-a-time loop.
+func (s *Server) runSerial(queue chan queuedMsg) (shutdown bool, err error) {
 	for q := range queue {
 		if s.metrics.on {
 			s.metrics.applyWait.Observe(time.Since(q.at))
 		}
 		shutdown, err := s.apply(q.msg)
-		if err != nil {
-			return err
-		}
-		if shutdown {
-			return nil
+		if err != nil || shutdown {
+			return shutdown, err
 		}
 	}
-	// The queue closed: the receive stage hit an endpoint error.
-	err := <-recvErr
-	if err == transport.ErrClosed {
-		return nil
-	}
-	return fmt.Errorf("core: server %d recv: %w", s.cfg.Rank, err)
+	return false, nil
 }
 
 // queuedMsg is one message in the receive→apply queue, stamped with its

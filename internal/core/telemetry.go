@@ -28,6 +28,11 @@ import (
 //	server.progress_skew     gauge    max − min worker progress
 //	server.dpr_depth         gauge    pulls currently waiting in the DPR buffer
 //	server.apply_queue_depth gauge(fn) messages waiting between recv and apply
+//	server.apply_batch_size  histogram gradients fused per stripe batch (a
+//	                                  count observed as a duration; bucket n
+//	                                  = batches of ~2^n gradients)
+//	server.apply_stripe_queue_depth gauge(fn) stripe batches dispatched to
+//	                                  apply workers and not yet picked up
 //
 //	worker.pushes            counter  sPush operations started
 //	worker.pulls             counter  sPull operations started
@@ -52,8 +57,9 @@ type serverMetrics struct {
 	dprBuffered   *telemetry.Counter
 	dprDrained    *telemetry.Counter
 
-	applyWait *telemetry.Histogram
-	dprWait   *telemetry.Histogram
+	applyWait  *telemetry.Histogram
+	dprWait    *telemetry.Histogram
+	applyBatch *telemetry.Histogram
 
 	vtrain      *telemetry.Gauge
 	minProgress *telemetry.Gauge
@@ -74,6 +80,7 @@ func newServerMetrics(r *telemetry.Registry) serverMetrics {
 		dprDrained:    r.Counter("server.dpr_drained"),
 		applyWait:     r.Histogram("server.apply_wait_ns"),
 		dprWait:       r.Histogram("server.dpr_wait_ns"),
+		applyBatch:    r.Histogram("server.apply_batch_size"),
 		vtrain:        r.Gauge("server.v_train"),
 		minProgress:   r.Gauge("server.min_progress"),
 		maxProgress:   r.Gauge("server.max_progress"),

@@ -55,10 +55,11 @@ func (s *Shard) Save(w io.Writer) error {
 		if err := writeU32(uint32(k)); err != nil {
 			return err
 		}
-		if err := writeU64(s.updates[k]); err != nil {
+		sp := s.stripeFor(k)
+		if err := writeU64(sp.updates[k]); err != nil {
 			return err
 		}
-		seg := s.data[k]
+		seg := sp.data[k]
 		if err := writeU32(uint32(len(seg))); err != nil {
 			return err
 		}
@@ -72,8 +73,17 @@ func (s *Shard) Save(w io.Writer) error {
 }
 
 // LoadShard reads a snapshot written by Save and validates it against the
-// layout (every key must exist and have the recorded size).
+// layout (every key must exist and have the recorded size). The result is
+// single-striped; use LoadStripedShard when the shard will serve a
+// parallel apply engine.
 func LoadShard(r io.Reader, layout *keyrange.Layout) (*Shard, error) {
+	return LoadStripedShard(r, layout, 1)
+}
+
+// LoadStripedShard is LoadShard with an explicit stripe count (rounded up
+// to a power of two, clamped to [1, MaxStripes]); the checkpoint format is
+// stripe-agnostic, so any snapshot restores into any striping.
+func LoadStripedShard(r io.Reader, layout *keyrange.Layout, stripes int) (*Shard, error) {
 	br := bufio.NewReader(r)
 	var scratch [8]byte
 	readU32 := func() (uint32, error) {
@@ -109,11 +119,7 @@ func LoadShard(r io.Reader, layout *keyrange.Layout) (*Shard, error) {
 	if int(numKeys) > layout.NumKeys() {
 		return nil, fmt.Errorf("kvstore: checkpoint has %d keys, layout only %d", numKeys, layout.NumKeys())
 	}
-	s := &Shard{
-		layout:  layout,
-		data:    make(map[keyrange.Key][]float64, numKeys),
-		updates: make(map[keyrange.Key]uint64, numKeys),
-	}
+	s := newEmptyShard(layout, stripes)
 	for i := uint32(0); i < numKeys; i++ {
 		rawKey, err := readU32()
 		if err != nil {
@@ -123,7 +129,8 @@ func LoadShard(r io.Reader, layout *keyrange.Layout) (*Shard, error) {
 		if int(rawKey) >= layout.NumKeys() {
 			return nil, fmt.Errorf("kvstore: checkpoint key %d outside layout", rawKey)
 		}
-		if _, dup := s.data[k]; dup {
+		sp := s.stripeFor(k)
+		if _, dup := sp.data[k]; dup {
 			return nil, fmt.Errorf("kvstore: checkpoint repeats key %d", rawKey)
 		}
 		updates, err := readU64()
@@ -146,8 +153,8 @@ func LoadShard(r io.Reader, layout *keyrange.Layout) (*Shard, error) {
 			}
 			seg[j] = math.Float64frombits(bits)
 		}
-		s.data[k] = seg
-		s.updates[k] = updates
+		sp.data[k] = seg
+		sp.updates[k] = updates
 		s.keys = append(s.keys, k)
 	}
 	sortKeys(s.keys)

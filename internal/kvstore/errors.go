@@ -1,0 +1,53 @@
+package kvstore
+
+import (
+	"errors"
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// Typed errors for the store's two failure classes. Earlier revisions
+// returned ad-hoc fmt.Errorf values, which callers could only string-match;
+// gradient payloads come off the wire, so servers need to distinguish "this
+// request is malformed" (reject the request, keep serving) from "this
+// process is broken". Match with errors.Is against the sentinels, or
+// errors.As against *DimError for the offending key and sizes.
+var (
+	// ErrDimMismatch is the sentinel every dimension/length mismatch
+	// unwraps to: a gradient, value segment, or concatenated payload whose
+	// scalar count does not match what the layout prescribes. Nothing is
+	// partially applied — a mismatching operation is rejected whole, never
+	// truncated.
+	ErrDimMismatch = errors.New("kvstore: dimension mismatch")
+	// ErrUnknownKey is the sentinel for operations naming a key the shard
+	// does not own (or, for AddKey, already owns).
+	ErrUnknownKey = errors.New("kvstore: key not owned by shard")
+)
+
+// DimError reports a dimension mismatch: operation Op on key Key received
+// Got scalars where the layout prescribes Want. For whole-payload
+// mismatches (Payload true) Key is unset and Got/Want are payload totals.
+type DimError struct {
+	Op      string // "apply-grad", "set", "add-key", "read-into", "scatter", "apply-payload"
+	Key     keyrange.Key
+	Payload bool
+	Got     int
+	Want    int
+}
+
+// Error implements error.
+func (e *DimError) Error() string {
+	if e.Payload {
+		return fmt.Sprintf("kvstore: %s: payload has %d scalars, keys consume %d", e.Op, e.Got, e.Want)
+	}
+	return fmt.Sprintf("kvstore: %s: key %d has %d scalars, want %d", e.Op, e.Key, e.Got, e.Want)
+}
+
+// Unwrap makes errors.Is(err, ErrDimMismatch) hold for every *DimError.
+func (e *DimError) Unwrap() error { return ErrDimMismatch }
+
+// unknownKey wraps ErrUnknownKey with the operation and key.
+func unknownKey(op string, k keyrange.Key) error {
+	return fmt.Errorf("kvstore: %s: shard does not own key %d: %w", op, k, ErrUnknownKey)
+}

@@ -1,0 +1,322 @@
+package kvstore
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+func stripedLayout(t *testing.T, keys, dim int) *keyrange.Layout {
+	t.Helper()
+	sizes := make([]int, keys)
+	for i := range sizes {
+		sizes[i] = dim
+	}
+	return keyrange.MustLayout(sizes)
+}
+
+func allKeys(l *keyrange.Layout) []keyrange.Key {
+	ks := make([]keyrange.Key, l.NumKeys())
+	for i := range ks {
+		ks[i] = keyrange.Key(i)
+	}
+	return ks
+}
+
+func TestStripeOfPartitionsAllKeys(t *testing.T) {
+	layout := stripedLayout(t, 257, 3)
+	for _, stripes := range []int{1, 2, 3, 4, 7, 8, 64} {
+		s := NewStripedShard(layout, allKeys(layout), nil, stripes)
+		want := normStripes(stripes)
+		if got := s.NumStripes(); got != want {
+			t.Fatalf("stripes=%d: NumStripes=%d, want %d (power of two)", stripes, got, want)
+		}
+		seen := make([]int, s.NumStripes())
+		for _, k := range s.Keys() {
+			st := s.StripeOf(k)
+			if st < 0 || st >= s.NumStripes() {
+				t.Fatalf("stripes=%d: StripeOf(%d)=%d out of range", stripes, k, st)
+			}
+			seen[st]++
+		}
+		total := 0
+		for _, n := range seen {
+			total += n
+		}
+		if total != layout.NumKeys() {
+			t.Fatalf("stripes=%d: partition lost keys: %d != %d", stripes, total, layout.NumKeys())
+		}
+		// The Fibonacci hash must actually spread dense keys: with 257
+		// keys over ≥ 2 stripes, no stripe may own everything.
+		if s.NumStripes() > 1 {
+			for st, n := range seen {
+				if n == layout.NumKeys() {
+					t.Fatalf("stripes=%d: stripe %d owns all keys (hash does not spread)", stripes, st)
+				}
+			}
+		}
+	}
+}
+
+// TestStripedShardMatchesSingleStripe: the same operation sequence on a
+// 1-stripe and an 8-stripe shard must produce identical segments and
+// update counters — striping is a locking detail, not a semantic one.
+func TestStripedShardMatchesSingleStripe(t *testing.T) {
+	layout := stripedLayout(t, 16, 5)
+	init := func(k keyrange.Key, seg []float64) {
+		for i := range seg {
+			seg[i] = float64(k)
+		}
+	}
+	a := NewShard(layout, allKeys(layout), init)
+	b := NewStripedShard(layout, allKeys(layout), init, 8)
+	grad := []float64{1, 2, 3, 4, 5}
+	for round := 0; round < 3; round++ {
+		for _, k := range allKeys(layout) {
+			if err := a.ApplyGrad(k, grad, 0.5); err != nil {
+				t.Fatal(err)
+			}
+			if err := b.ApplyGrad(k, grad, 0.5); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	for _, k := range allKeys(layout) {
+		sa, _ := a.Segment(k)
+		sb, _ := b.Segment(k)
+		for i := range sa {
+			if sa[i] != sb[i] {
+				t.Fatalf("key %d elem %d: 1-stripe %v != 8-stripe %v", k, i, sa[i], sb[i])
+			}
+		}
+		if a.Updates(k) != b.Updates(k) {
+			t.Fatalf("key %d: updates %d != %d", k, a.Updates(k), b.Updates(k))
+		}
+	}
+}
+
+// TestStripedShardConcurrentApply is the striped-store race stress: N
+// goroutines apply gradients to overlapping key sets through ApplyGrad and
+// ApplyBatch concurrently. Run under -race -count=5 (make race-stress).
+// Integer-valued gradients make every interleaving's arithmetic exact, so
+// final segments and update counters are checked for equality, not
+// tolerance.
+func TestStripedShardConcurrentApply(t *testing.T) {
+	const (
+		goroutines = 8
+		rounds     = 50
+		dim        = 32
+	)
+	layout := stripedLayout(t, 24, dim)
+	s := NewStripedShard(layout, allKeys(layout), nil, 8)
+	grad := make([]float64, dim)
+	for i := range grad {
+		grad[i] = 1
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			// Even goroutines walk their own disjoint slice of keys via
+			// ApplyGrad; odd goroutines batch-apply to an overlapping
+			// window so same-stripe contention actually happens.
+			if g%2 == 0 {
+				for r := 0; r < rounds; r++ {
+					for k := g; k < layout.NumKeys(); k += goroutines {
+						if err := s.ApplyGrad(keyrange.Key(k), grad, 1); err != nil {
+							t.Error(err)
+							return
+						}
+					}
+				}
+				return
+			}
+			for r := 0; r < rounds; r++ {
+				for st := 0; st < s.NumStripes(); st++ {
+					var items []BatchItem
+					for k := (g - 1); k < layout.NumKeys(); k += goroutines {
+						if s.StripeOf(keyrange.Key(k)) != st {
+							continue
+						}
+						items = append(items, BatchItem{Key: keyrange.Key(k), Grads: [][]float64{grad, grad}})
+					}
+					if len(items) == 0 {
+						continue
+					}
+					if err := s.ApplyBatch(st, 1, items); err != nil {
+						t.Error(err)
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	// Expected coverage per key: even goroutine g applies `rounds` single
+	// gradients to keys ≡ g (mod goroutines); odd goroutine g batch-applies
+	// rounds×2 gradients to keys ≡ g-1 (mod goroutines). So every key is
+	// touched by exactly one goroutine of each kind.
+	for _, k := range allKeys(layout) {
+		var wantUpdates uint64
+		for g := 0; g < goroutines; g++ {
+			if g%2 == 0 && int(k)%goroutines == g {
+				wantUpdates += uint64(rounds)
+			}
+			if g%2 == 1 && int(k)%goroutines == g-1 {
+				wantUpdates += uint64(2 * rounds)
+			}
+		}
+		if got := s.Updates(k); got != wantUpdates {
+			t.Fatalf("key %d: %d updates, want %d", k, got, wantUpdates)
+		}
+		seg, err := s.Segment(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range seg {
+			if v != float64(wantUpdates) {
+				t.Fatalf("key %d elem %d: value %v, want %v (exact integer sums)", k, i, v, float64(wantUpdates))
+			}
+		}
+	}
+}
+
+func TestApplyGradDimMismatchTyped(t *testing.T) {
+	layout := stripedLayout(t, 4, 3)
+	s := NewStripedShard(layout, allKeys(layout), nil, 4)
+	err := s.ApplyGrad(1, []float64{1, 2}, 1)
+	if err == nil {
+		t.Fatal("short gradient accepted")
+	}
+	if !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("err %v does not unwrap to ErrDimMismatch", err)
+	}
+	var de *DimError
+	if !errors.As(err, &de) {
+		t.Fatalf("err %v is not a *DimError", err)
+	}
+	if de.Key != 1 || de.Got != 2 || de.Want != 3 || de.Payload {
+		t.Fatalf("DimError fields: %+v", de)
+	}
+	// Nothing may have been applied or counted.
+	if s.Updates(1) != 0 {
+		t.Fatalf("rejected gradient bumped the update counter to %d", s.Updates(1))
+	}
+	seg, _ := s.Segment(1)
+	for i, v := range seg {
+		if v != 0 {
+			t.Fatalf("rejected gradient mutated segment elem %d: %v", i, v)
+		}
+	}
+}
+
+func TestSetDimMismatchTyped(t *testing.T) {
+	layout := stripedLayout(t, 4, 3)
+	s := NewShard(layout, allKeys(layout), nil)
+	if err := s.Set(2, []float64{9, 9}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("Set short: err %v, want ErrDimMismatch", err)
+	}
+	if err := s.Set(2, []float64{9, 9, 9, 9}); !errors.Is(err, ErrDimMismatch) {
+		t.Fatalf("Set long: err %v, want ErrDimMismatch", err)
+	}
+	seg, _ := s.Segment(2)
+	for i, v := range seg {
+		if v != 0 {
+			t.Fatalf("rejected Set mutated segment elem %d: %v", i, v)
+		}
+	}
+	if err := s.Set(2, []float64{1, 2, 3}); err != nil {
+		t.Fatalf("exact-size Set rejected: %v", err)
+	}
+}
+
+func TestTypedErrorsAcrossAPI(t *testing.T) {
+	layout := stripedLayout(t, 4, 3)
+	s := NewShard(layout, allKeys(layout), nil)
+	cases := []struct {
+		name string
+		err  error
+		want error
+	}{
+		{"ApplyGrad unknown key", func() error { _, e := s.RemoveKey(3); _ = e; return s.ApplyGrad(3, []float64{1, 2, 3}, 1) }(), ErrUnknownKey},
+		{"ApplyBatch dim", s.ApplyBatch(s.StripeOf(0), 1, []BatchItem{{Key: 0, Grads: [][]float64{{1}}}}), ErrDimMismatch},
+		{"AddKey dim", s.AddKey(3, []float64{1}), ErrDimMismatch},
+		{"ReadInto dim", func() error { _, e := s.ReadInto(0, make([]float64, 1)); return e }(), ErrDimMismatch},
+		{"Scatter payload", Scatter(layout, make([]float64, layout.TotalDim()), []keyrange.Key{0}, []float64{1}), ErrDimMismatch},
+		{"Scatter OOB key", Scatter(layout, make([]float64, layout.TotalDim()), []keyrange.Key{99}, []float64{1}), ErrUnknownKey},
+		{"ApplyGradPayload short", s.ApplyGradPayload([]keyrange.Key{0}, []float64{1}, 1), ErrDimMismatch},
+		{"ApplyGradPayload long", s.ApplyGradPayload([]keyrange.Key{0}, make([]float64, 5), 1), ErrDimMismatch},
+		{"ApplyGradPayload OOB key", s.ApplyGradPayload([]keyrange.Key{77}, []float64{1, 2, 3}, 1), ErrUnknownKey},
+	}
+	for _, c := range cases {
+		if c.err == nil {
+			t.Errorf("%s: no error", c.name)
+			continue
+		}
+		if !errors.Is(c.err, c.want) {
+			t.Errorf("%s: err %v does not unwrap to %v", c.name, c.err, c.want)
+		}
+	}
+}
+
+func TestDimErrorMessage(t *testing.T) {
+	e := &DimError{Op: "apply-grad", Key: 7, Got: 2, Want: 5}
+	if got := e.Error(); got != "kvstore: apply-grad: key 7 has 2 scalars, want 5" {
+		t.Fatalf("per-key message: %q", got)
+	}
+	p := &DimError{Op: "scatter", Payload: true, Got: 10, Want: 12}
+	if got := p.Error(); got != "kvstore: scatter: payload has 10 scalars, keys consume 12" {
+		t.Fatalf("payload message: %q", got)
+	}
+}
+
+// TestStripedCheckpointRoundTrip: Save is stripe-agnostic — a snapshot
+// written by an 8-stripe shard restores into 1- and 4-stripe shards with
+// identical keys, segments, and update counters.
+func TestStripedCheckpointRoundTrip(t *testing.T) {
+	layout := stripedLayout(t, 12, 4)
+	s := NewStripedShard(layout, allKeys(layout), func(k keyrange.Key, seg []float64) {
+		for i := range seg {
+			seg[i] = float64(k)*100 + float64(i)
+		}
+	}, 8)
+	grad := []float64{1, 1, 1, 1}
+	for _, k := range allKeys(layout) {
+		for n := 0; n <= int(k); n++ {
+			if err := s.ApplyGrad(k, grad, 1); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	if err := s.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, stripes := range []int{1, 4} {
+		got, err := LoadStripedShard(bytes.NewReader(buf.Bytes()), layout, stripes)
+		if err != nil {
+			t.Fatalf("stripes=%d: %v", stripes, err)
+		}
+		if fmt.Sprint(got.Keys()) != fmt.Sprint(s.Keys()) {
+			t.Fatalf("stripes=%d: keys %v != %v", stripes, got.Keys(), s.Keys())
+		}
+		for _, k := range s.Keys() {
+			if got.Updates(k) != s.Updates(k) {
+				t.Fatalf("stripes=%d key %d: updates %d != %d", stripes, k, got.Updates(k), s.Updates(k))
+			}
+			a, _ := s.Segment(k)
+			b, _ := got.Segment(k)
+			for i := range a {
+				if a[i] != b[i] {
+					t.Fatalf("stripes=%d key %d elem %d: %v != %v", stripes, k, i, b[i], a[i])
+				}
+			}
+		}
+	}
+}

@@ -99,6 +99,31 @@ func (l *locked) spawnWhileLocked() {
 	l.mu.Unlock()
 }
 
+// stripeApplyThenSignal is the apply-engine worker idiom the analyzer
+// must bless: take the stripe lock, do the math, release, and only then
+// signal completion on the channel. No diagnostic.
+func (l *locked) stripeApplyThenSignal(vals []float64) {
+	l.mu.Lock()
+	for i := range vals {
+		vals[i] += 1
+	}
+	l.mu.Unlock()
+	l.ch <- 1
+}
+
+// stripeSignalWhileLocked is the forbidden variant of the same loop:
+// completion signalled with the stripe lock still held would deadlock
+// against a flusher that holds the completion channel while waiting to
+// stage into the stripe.
+func (l *locked) stripeSignalWhileLocked(vals []float64) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	for i := range vals {
+		vals[i] += 1
+	}
+	l.ch <- 1 // want "mutex l.mu \(locked at line \d+\) held across a channel send"
+}
+
 // condWait releases its mutex while parked. No diagnostic.
 func condWait(c *sync.Cond) {
 	c.L.Lock()

@@ -1,0 +1,120 @@
+package mathx
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// Microbenchmarks for the unrolled vector kernels against their scalar
+// references (make bench → BENCH_apply.json includes these). Run with
+// -benchmem: every kernel must stay at 0 allocs/op.
+
+func benchVecs(n int) (x, y []float64) {
+	r := rand.New(rand.NewSource(7))
+	return randVec(r, n), randVec(r, n)
+}
+
+var sinkFloat float64
+
+func BenchmarkDot(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		x, y := benchVecs(n)
+		b.Run(fmt.Sprintf("n=%d/unrolled", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = Dot(x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/scalar", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = dotScalar(x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkNorm2(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		x, _ := benchVecs(n)
+		b.Run(fmt.Sprintf("n=%d/unrolled", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = Norm2(x)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/scalar", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				sinkFloat = norm2Scalar(x)
+			}
+		})
+	}
+}
+
+func BenchmarkAxpy(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		x, y := benchVecs(n)
+		b.Run(fmt.Sprintf("n=%d/unrolled", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Axpy(0.5, x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/scalar", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				axpyScalar(0.5, x, y)
+			}
+		})
+	}
+}
+
+func BenchmarkScale(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		x, _ := benchVecs(n)
+		b.Run(fmt.Sprintf("n=%d/unrolled", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				Scale(1.0000001, x)
+			}
+		})
+		b.Run(fmt.Sprintf("n=%d/scalar", n), func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				scaleScalar(1.0000001, x)
+			}
+		})
+	}
+}
+
+// BenchmarkAxpyBatch contrasts the fused batch against k sequential Axpy
+// passes — the win the server's push-coalescing rides on: y is traversed
+// once instead of k times.
+func BenchmarkAxpyBatch(b *testing.B) {
+	for _, n := range []int{64, 1024} {
+		for _, k := range []int{2, 8} {
+			r := rand.New(rand.NewSource(8))
+			xs := make([][]float64, k)
+			for j := range xs {
+				xs[j] = randVec(r, n)
+			}
+			y := randVec(r, n)
+			b.Run(fmt.Sprintf("n=%d/k=%d/fused", n, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					AxpyBatch(0.125, xs, y)
+				}
+			})
+			b.Run(fmt.Sprintf("n=%d/k=%d/sequential", n, k), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					for _, x := range xs {
+						Axpy(0.125, x, y)
+					}
+				}
+			})
+		}
+	}
+}

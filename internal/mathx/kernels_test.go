@@ -1,0 +1,191 @@
+package mathx
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// Scalar reference implementations: the pre-unroll kernels, kept here so
+// the 4-wide versions are checked against them at every length around the
+// unroll boundary (0..4 remainders, exact multiples, and lengths large
+// enough to take several unrolled iterations).
+
+func dotScalar(a, b []float64) float64 {
+	var s float64
+	for i, v := range a {
+		s += v * b[i]
+	}
+	return s
+}
+
+func norm2Scalar(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return math.Sqrt(s)
+}
+
+func axpyScalar(alpha float64, x, y []float64) {
+	for i, v := range x {
+		y[i] += alpha * v
+	}
+}
+
+func scaleScalar(alpha float64, v []float64) {
+	for i := range v {
+		v[i] *= alpha
+	}
+}
+
+// kernelLens crosses the unroll width: remainders 0..3, the empty vector,
+// sub-width vectors, and a few larger sizes.
+var kernelLens = []int{0, 1, 2, 3, 4, 5, 7, 8, 15, 16, 17, 64, 67, 1023}
+
+func randVec(r *rand.Rand, n int) []float64 {
+	v := make([]float64, n)
+	for i := range v {
+		v[i] = r.NormFloat64()
+	}
+	return v
+}
+
+// relClose compares with a relative tolerance scaled to the magnitude of
+// the inputs: the unrolled reductions reassociate the sum, so they are
+// allowed to differ from the scalar order by accumulated rounding only.
+func relClose(a, b, scale float64) bool {
+	diff := math.Abs(a - b)
+	return diff <= 1e-12*(1+math.Abs(scale))
+}
+
+func TestDotMatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for _, n := range kernelLens {
+		a, b := randVec(r, n), randVec(r, n)
+		got, want := Dot(a, b), dotScalar(a, b)
+		var mag float64
+		for i := range a {
+			mag += math.Abs(a[i] * b[i])
+		}
+		if !relClose(got, want, mag) {
+			t.Errorf("Dot len %d: got %v, scalar %v", n, got, want)
+		}
+	}
+}
+
+func TestNorm2MatchesScalar(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, n := range kernelLens {
+		v := randVec(r, n)
+		got, want := Norm2(v), norm2Scalar(v)
+		if !relClose(got, want, want) {
+			t.Errorf("Norm2 len %d: got %v, scalar %v", n, got, want)
+		}
+	}
+}
+
+func TestAxpyMatchesScalarExactly(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for _, n := range kernelLens {
+		x := randVec(r, n)
+		y := randVec(r, n)
+		yRef := append([]float64(nil), y...)
+		Axpy(0.37, x, y)
+		axpyScalar(0.37, x, yRef)
+		for i := range y {
+			// Elements are independent: the unrolled form must be
+			// bit-identical, not merely close.
+			if y[i] != yRef[i] {
+				t.Fatalf("Axpy len %d elem %d: got %v, scalar %v", n, i, y[i], yRef[i])
+			}
+		}
+	}
+}
+
+func TestScaleMatchesScalarExactly(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	for _, n := range kernelLens {
+		v := randVec(r, n)
+		vRef := append([]float64(nil), v...)
+		Scale(-1.25, v)
+		scaleScalar(-1.25, vRef)
+		for i := range v {
+			if v[i] != vRef[i] {
+				t.Fatalf("Scale len %d elem %d: got %v, scalar %v", n, i, v[i], vRef[i])
+			}
+		}
+	}
+}
+
+func TestAxpyBatchMatchesSequentialAxpy(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	for _, n := range kernelLens {
+		for _, k := range []int{0, 1, 2, 3, 8} {
+			xs := make([][]float64, k)
+			for j := range xs {
+				xs[j] = randVec(r, n)
+			}
+			y := randVec(r, n)
+			yRef := append([]float64(nil), y...)
+			AxpyBatch(0.5, xs, y)
+			for _, x := range xs {
+				axpyScalar(0.5, x, yRef)
+			}
+			for i := range y {
+				var mag float64
+				for _, x := range xs {
+					mag += math.Abs(x[i])
+				}
+				if !relClose(y[i], yRef[i], mag+math.Abs(yRef[i])) {
+					t.Fatalf("AxpyBatch len %d k %d elem %d: got %v, sequential %v", n, k, i, y[i], yRef[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAxpyBatchIntegerExact: with integer-valued inputs every summation
+// order is exact, so the fused batch must equal sequential application
+// bit-for-bit — this is the property the striped-store stress tests rely
+// on when they check final segment values.
+func TestAxpyBatchIntegerExact(t *testing.T) {
+	r := rand.New(rand.NewSource(6))
+	for _, n := range kernelLens {
+		xs := make([][]float64, 5)
+		for j := range xs {
+			xs[j] = make([]float64, n)
+			for i := range xs[j] {
+				xs[j][i] = float64(r.Intn(64) - 32)
+			}
+		}
+		y := make([]float64, n)
+		yRef := make([]float64, n)
+		AxpyBatch(1, xs, y)
+		for _, x := range xs {
+			axpyScalar(1, x, yRef)
+		}
+		for i := range y {
+			if y[i] != yRef[i] {
+				t.Fatalf("AxpyBatch integer len %d elem %d: got %v, want %v", n, i, y[i], yRef[i])
+			}
+		}
+	}
+}
+
+func TestKernelLengthMismatchPanics(t *testing.T) {
+	mustPanic := func(name string, f func()) {
+		t.Helper()
+		defer func() {
+			if recover() == nil {
+				t.Errorf("%s: length mismatch did not panic", name)
+			}
+		}()
+		f()
+	}
+	mustPanic("Dot", func() { Dot(make([]float64, 3), make([]float64, 4)) })
+	mustPanic("Axpy", func() { Axpy(1, make([]float64, 3), make([]float64, 4)) })
+	mustPanic("AxpyBatch", func() {
+		AxpyBatch(1, [][]float64{make([]float64, 4), make([]float64, 3)}, make([]float64, 4))
+	})
+}
