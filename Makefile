@@ -79,9 +79,10 @@ cover:
 
 ## ci: the full pre-merge gate — vet + build + tests, fluentvet, the race
 ## detector over everything (plus a fluentdebug assertion pass), a codec
-## fuzz smoke, and the coverage floor.
+## fuzz smoke, the adaptive-regret acceptance gate, and the coverage floor.
 ci: verify
 	$(MAKE) lint
+	$(GO) test -count=1 -run 'TestAdaptiveSweep' ./internal/experiments/
 	$(GO) test -race ./...
 	$(MAKE) race-debug
 	$(MAKE) race-stress
@@ -97,6 +98,9 @@ ci: verify
 ## BENCH_apply.json contrasts push-apply throughput with the serial apply
 ## loop (ApplyWorkers=1) against the wave-batched engine (ApplyWorkers=4)
 ## — the batched path must hold a ≥2x edge on large segments.
+## BENCH_adaptive.json records the adaptive-vs-fixed regret sweep: for each
+## heterogeneous trace, the timed regret and throughput of Adaptive against
+## every fixed preset (BSP, ASP, SSP(s) swept) plus the hindsight-best ratio.
 bench:
 	$(GO) test -run '^$$' -bench 'PushPullHotPath$$|FrameRoundTrip|WriteFrame|DecodeInto' \
 		-benchmem -json ./internal/core/ ./internal/transport/ > BENCH_hotpath.json
@@ -104,6 +108,7 @@ bench:
 		-benchmem -json ./internal/core/ ./internal/telemetry/ > BENCH_telemetry.json
 	$(GO) test -run '^$$' -bench 'ApplyThroughput|AxpyBatch' -benchtime 2s \
 		-benchmem -json ./internal/core/ ./internal/mathx/ > BENCH_apply.json
+	$(GO) run ./cmd/fluentbench -adaptive > BENCH_adaptive.json
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_hotpath.json BENCH_telemetry.json BENCH_apply.json | tr -d '\n' | \
 		sed 's/\\n/\n/g; s/\\t/\t/g' | grep 'allocs/op'
 

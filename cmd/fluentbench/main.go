@@ -10,6 +10,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -29,6 +30,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		hotpath = flag.Bool("hotpath", false, "benchmark the push/pull hot path (ns, bytes, allocs per step) and exit")
 		apply   = flag.Bool("apply", false, "benchmark push-apply throughput, serial vs wave-batched engine, and exit")
+		adapt   = flag.Bool("adaptive", false, "run the adaptive-vs-fixed regret sweep over heterogeneous traces, emit JSON on stdout, and exit")
 	)
 	flag.Parse()
 
@@ -43,6 +45,23 @@ func main() {
 		if err := runApply(); err != nil {
 			fmt.Fprintf(os.Stderr, "fluentbench: apply: %v\n", err)
 			os.Exit(1)
+		}
+		return
+	}
+	if *adapt {
+		// Stdout carries only the JSON document so the Makefile can redirect
+		// it into BENCH_adaptive.json; the human-readable digest goes to
+		// stderr.
+		results := experiments.AdaptiveSweep(experiments.Options{Quick: *quick, Seed: *seed})
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(results); err != nil {
+			fmt.Fprintf(os.Stderr, "fluentbench: adaptive: %v\n", err)
+			os.Exit(1)
+		}
+		for _, r := range results {
+			fmt.Fprintf(os.Stderr, "%-12s adaptive %.4f vs best fixed %s %.4f (ratio %.3f)\n",
+				r.Trace, r.AdaptiveRegret, r.BestFixed, r.BestFixedRegret, r.Ratio)
 		}
 		return
 	}

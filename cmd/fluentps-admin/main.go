@@ -73,8 +73,8 @@ func main() {
 			if err != nil {
 				log.Fatalf("server %d: %v", m, err)
 			}
-			fmt.Printf("server %d: keys=%d V_train=%d progress=[%d,%d] count@round=%d buffered=%d pulls=%d pushes=%d DPRs=%d dropped=%d dedup=%d\n",
-				m, st.Keys, st.VTrain, st.MinProgress, st.MaxProgress,
+			fmt.Printf("server %d: keys=%d model=%s switches=%d V_train=%d progress=[%d,%d] count@round=%d buffered=%d pulls=%d pushes=%d DPRs=%d dropped=%d dedup=%d\n",
+				m, st.Keys, st.Model(), st.Switches, st.VTrain, st.MinProgress, st.MaxProgress,
 				st.CountAtRound, st.Buffered, st.Pulls, st.Pushes, st.DPRs, st.Dropped, st.DedupHits)
 		}
 
@@ -197,13 +197,13 @@ func metricCell(s telemetry.Snapshot, ok bool, name string) string {
 	if !ok {
 		return "-"
 	}
-	if v, present := s.Counters[name]; present {
-		return strconv.FormatUint(v, 10)
+	if _, present := s.Counters[name]; present {
+		return strconv.FormatUint(s.CounterOr(name, 0), 10)
 	}
-	if v, present := s.Gauges[name]; present {
-		return strconv.FormatInt(v, 10)
+	if _, present := s.Gauges[name]; present {
+		return strconv.FormatInt(s.GaugeOr(name, 0), 10)
 	}
-	if h, present := s.Histograms[name]; present {
+	if h, present := s.HistogramOf(name); present {
 		return fmt.Sprintf("n=%d p50=%v p99=%v", h.Count, time.Duration(h.P50), time.Duration(h.P99))
 	}
 	return "-"

@@ -87,6 +87,8 @@ func main() {
 		ApplyWorkers: flags.ApplyWorkers,
 		ApplyStripes: flags.ApplyStripes,
 		Telemetry:    reg,
+		AdaptEvery:   sync.AdaptEvery,
+		Adaptive:     sync.Adaptive,
 	})
 	if err != nil {
 		log.Fatal(err)

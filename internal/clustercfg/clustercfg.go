@@ -59,6 +59,11 @@ type Sync struct {
 	Model  syncmodel.Model
 	Drain  syncmodel.DrainPolicy
 	UseEPS bool
+	// Adaptive carries the adaptive policy's knobs into ServerConfig when
+	// Model is the adaptive preset (zero otherwise).
+	Adaptive syncmodel.AdaptiveConfig
+	// AdaptEvery is the adaptive re-evaluation period (0 = server default).
+	AdaptEvery time.Duration
 }
 
 // Flags holds the raw flag values; call Parse after flag.Parse.
@@ -74,6 +79,14 @@ type Flags struct {
 	C       float64
 	Drain   string
 	EPS     bool
+
+	// Adaptive sync controller (-sync=adaptive): staleness bounds, the
+	// re-evaluation period, and whether the bimodal regime may pick
+	// drop-stragglers over ASP.
+	AdaptMin   int
+	AdaptMax   int
+	AdaptEvery time.Duration
+	AdaptDrop  bool
 
 	Batch int
 	Iters int
@@ -110,9 +123,13 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.StringVar(&f.WorkerStr, "workerAddrs", "127.0.0.1:7081,127.0.0.1:7082", "comma-separated worker addresses (rank order)")
 	fs.StringVar(&f.Dataset, "dataset", "cifar10", "dataset preset: cifar10 | cifar100")
 	fs.StringVar(&f.Net, "model", "softmax", "model preset: softmax | mlp")
-	fs.StringVar(&f.Sync, "sync", "ssp", "sync model: bsp | asp | ssp | pssp | pssp-dyn | dsps | drop")
-	fs.IntVar(&f.S, "staleness", 3, "staleness threshold s (ssp/pssp/dsps)")
+	fs.StringVar(&f.Sync, "sync", "ssp", "sync model: bsp | asp | ssp | pssp | pssp-dyn | dsps | drop | adaptive")
+	fs.IntVar(&f.S, "staleness", 3, "staleness threshold s (ssp/pssp/dsps/adaptive initial)")
 	fs.Float64Var(&f.C, "prob", 0.5, "PSSP blocking probability / dynamic α / drop quorum fraction")
+	fs.IntVar(&f.AdaptMin, "adaptMin", 1, "adaptive sync: lower staleness bound")
+	fs.IntVar(&f.AdaptMax, "adaptMax", 8, "adaptive sync: upper staleness bound")
+	fs.DurationVar(&f.AdaptEvery, "adaptEvery", 0, "adaptive sync: re-evaluation period; 0 = default (250ms)")
+	fs.BoolVar(&f.AdaptDrop, "adaptDrop", false, "adaptive sync: allow drop-stragglers in the bimodal regime (discards late gradients)")
 	fs.StringVar(&f.Drain, "drain", "lazy", "DPR drain policy: lazy | soft")
 	fs.BoolVar(&f.EPS, "eps", true, "use Elastic Parameter Slicing")
 	fs.IntVar(&f.Batch, "batch", 32, "per-worker minibatch size")
@@ -208,6 +225,7 @@ func (f *Flags) Workload() (*Workload, error) {
 // SyncConfig materializes the synchronization model.
 func (f *Flags) SyncConfig(workers int) (*Sync, error) {
 	var m syncmodel.Model
+	var acfg syncmodel.AdaptiveConfig
 	switch f.Sync {
 	case "bsp":
 		m = syncmodel.BSP()
@@ -227,6 +245,14 @@ func (f *Flags) SyncConfig(workers int) (*Sync, error) {
 			nt = 1
 		}
 		m = syncmodel.DropStragglers(nt)
+	case "adaptive":
+		acfg = syncmodel.AdaptiveConfig{
+			InitialS:  f.S,
+			MinS:      f.AdaptMin,
+			MaxS:      f.AdaptMax,
+			AllowDrop: f.AdaptDrop,
+		}
+		m = syncmodel.Adaptive(acfg)
 	default:
 		return nil, fmt.Errorf("clustercfg: unknown sync model %q", f.Sync)
 	}
@@ -239,7 +265,7 @@ func (f *Flags) SyncConfig(workers int) (*Sync, error) {
 	default:
 		return nil, fmt.Errorf("clustercfg: unknown drain policy %q", f.Drain)
 	}
-	return &Sync{Model: m, Drain: drain, UseEPS: f.EPS}, nil
+	return &Sync{Model: m, Drain: drain, UseEPS: f.EPS, Adaptive: acfg, AdaptEvery: f.AdaptEvery}, nil
 }
 
 // Slicing returns the communication layout and assignment for the cluster.

@@ -163,7 +163,26 @@ func (s *Server) runBatched(queue chan queuedMsg, workers int) (shutdown bool, e
 			return int64(len(e.tasks))
 		})
 	}
-	for q := range queue {
+	tick := time.NewTicker(s.adaptEvery())
+	defer tick.Stop()
+	for {
+		var q queuedMsg
+		// The tick only fires here, between waves: the engine is empty and
+		// the control goroutine is the sole owner of controller and shard,
+		// so a model switch sees a quiescent shard exactly like a barrier
+		// message would.
+		select {
+		case nq, ok := <-queue:
+			if !ok {
+				return false, nil
+			}
+			q = nq
+		case <-tick.C:
+			if err := s.reevaluate(); err != nil {
+				return false, err
+			}
+			continue
+		}
 		open := true
 		var barrier *transport.Message
 	drain:
@@ -214,7 +233,6 @@ func (s *Server) runBatched(queue chan queuedMsg, workers int) (shutdown bool, e
 			return false, nil
 		}
 	}
-	return false, nil
 }
 
 // stagePush runs handlePush's control logic and stages the gradient
@@ -231,6 +249,9 @@ func (e *applyEngine) stagePush(msg *transport.Message) error {
 	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
+	if s.adapt != nil {
+		s.adapt.ObservePush(worker, s.now())
+	}
 	advancesBefore := s.debugAdvances()
 	apply, released := s.ctrl.OnPush(worker, progress)
 	s.assertDrainImpliesAdvance(len(released), advancesBefore)

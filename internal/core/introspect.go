@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 
+	"github.com/fluentps/fluentps/internal/syncmodel"
 	"github.com/fluentps/fluentps/internal/transport"
 )
 
@@ -25,7 +26,41 @@ type ShardState struct {
 	Dropped      int
 	DedupHits    int // duplicate pushes/pulls absorbed by the server
 	Keys         int
+
+	// Live synchronization model (the *adapted* parameters for
+	// self-tuning models, not the configured initial ones). ModelKind is a
+	// syncmodel.Kind; zero means a closure model with no wire spec.
+	ModelKind int
+	ModelS    int
+	ModelMin  int
+	ModelMax  int
+	ModelC    float64
+	// Switches counts sync-model kind changes since the server started
+	// (admin set-cond or the adaptive controller).
+	Switches int
 }
+
+// Model renders the live synchronization model for operators, e.g.
+// "SSP(s=2)" or "Adaptive(s0=4,[1,8])" with s0 the current threshold.
+func (st ShardState) Model() string {
+	spec := syncmodel.Spec{
+		Kind: syncmodel.Kind(st.ModelKind),
+		S:    st.ModelS, C: st.ModelC, Min: st.ModelMin, Max: st.ModelMax,
+	}
+	if spec.Kind == 0 {
+		return "custom"
+	}
+	if m, err := spec.Build(); err == nil {
+		return m.Name
+	}
+	return spec.Kind.String()
+}
+
+// Payload lengths of the stats response: v1 predates the model fields.
+const (
+	shardStateLenV1 = 11
+	shardStateLen   = 17
+)
 
 // encode packs the state for the wire, appending to dst (pass a pooled
 // message's Vals[:0] to avoid allocation).
@@ -35,14 +70,19 @@ func (st ShardState) encode(dst []float64) []float64 {
 		float64(st.CountAtRound), float64(st.Buffered),
 		float64(st.Pulls), float64(st.Pushes), float64(st.DPRs),
 		float64(st.Dropped), float64(st.DedupHits), float64(st.Keys),
+		float64(st.ModelKind), float64(st.ModelS), float64(st.ModelMin),
+		float64(st.ModelMax), st.ModelC, float64(st.Switches),
 	)
 }
 
 func decodeShardState(vals []float64) (ShardState, error) {
-	if len(vals) != 11 {
-		return ShardState{}, fmt.Errorf("core: stats payload has %d values, want 11", len(vals))
+	// v1 (11-value) payloads from older servers still decode; their model
+	// fields stay zero ("custom"/unknown).
+	if len(vals) != shardStateLen && len(vals) != shardStateLenV1 {
+		return ShardState{}, fmt.Errorf("core: stats payload has %d values, want %d (or legacy %d)",
+			len(vals), shardStateLen, shardStateLenV1)
 	}
-	return ShardState{
+	st := ShardState{
 		VTrain:       int(vals[0]),
 		MinProgress:  int(vals[1]),
 		MaxProgress:  int(vals[2]),
@@ -54,7 +94,16 @@ func decodeShardState(vals []float64) (ShardState, error) {
 		Dropped:      int(vals[8]),
 		DedupHits:    int(vals[9]),
 		Keys:         int(vals[10]),
-	}, nil
+	}
+	if len(vals) == shardStateLen {
+		st.ModelKind = int(vals[11])
+		st.ModelS = int(vals[12])
+		st.ModelMin = int(vals[13])
+		st.ModelMax = int(vals[14])
+		st.ModelC = vals[15]
+		st.Switches = int(vals[16])
+	}
+	return st, nil
 }
 
 // handleStats answers a MsgStats query from the server's message loop
@@ -73,6 +122,14 @@ func (s *Server) handleStats(msg *transport.Message) error {
 		Dropped:      stats.DroppedPushes,
 		DedupHits:    s.dedupHits,
 		Keys:         len(s.keys),
+		Switches:     s.switches,
+	}
+	if spec, ok := s.ctrl.Spec(); ok {
+		state.ModelKind = int(spec.Kind)
+		state.ModelS = spec.S
+		state.ModelMin = spec.Min
+		state.ModelMax = spec.Max
+		state.ModelC = spec.C
 	}
 	resp := transport.NewMessage()
 	resp.Type = transport.MsgStatsResp

@@ -81,7 +81,21 @@ type ServerConfig struct {
 	// (telemetry.Nop) disables collection — hot-path instruments become
 	// nil-safe no-ops and no timestamps are taken.
 	Telemetry *telemetry.Registry
+	// AdaptEvery is the period of the adaptive sync controller's
+	// re-evaluation tick (zero selects DefaultAdaptEvery). The tick always
+	// runs but is a no-op unless the shard runs a KindAdaptive model —
+	// configured at start or installed later via SetCondition.
+	AdaptEvery time.Duration
+	// Adaptive supplies the adaptive policy's knobs (hysteresis, spread
+	// thresholds, AllowDrop, EWMA factor). Its staleness triple is ignored:
+	// the bounds always come from the adaptive model's spec, which is the
+	// single wire-visible source of truth.
+	Adaptive syncmodel.AdaptiveConfig
 }
+
+// DefaultAdaptEvery is the adaptive re-evaluation period used when
+// ServerConfig.AdaptEvery is zero.
+const DefaultAdaptEvery = 250 * time.Millisecond
 
 // DefaultApplyQueueDepth is the receive→apply buffer used when
 // ServerConfig.ApplyQueueDepth is zero.
@@ -142,6 +156,16 @@ type Server struct {
 	// ServerConfig.DedupWindow). Touched only by the Run goroutine.
 	dedup     map[transport.NodeID]*dedupWindow
 	dedupHits int
+
+	// adapt drives the runtime-adaptive sync controller when the shard
+	// runs a KindAdaptive model; nil otherwise. Touched only by the apply
+	// goroutine (adaptive.go).
+	adapt *syncmodel.AdaptiveDriver
+	// started anchors the monotonic second clock the adaptive driver's
+	// inter-push forecasts use.
+	started time.Time
+	// switches counts sync-model kind changes (admin- or adaptive-driven).
+	switches int
 
 	// reb tracks an in-progress elastic rebalance (rebalance.go).
 	reb *rebalanceState
@@ -293,9 +317,13 @@ func NewServer(ep transport.Endpoint, cfg ServerConfig) (*Server, error) {
 		shard: kvstore.NewStripedShard(cfg.Layout, keys, cfg.Init, cfg.applyStripes()),
 		ctrl: syncmodel.New(cfg.NumWorkers, cfg.Model, cfg.Drain,
 			rand.New(rand.NewSource(cfg.Seed^int64(cfg.Rank+1)))),
-		keys: keys,
+		keys:    keys,
+		started: time.Now(),
 	}
 	s.metrics = newServerMetrics(cfg.Telemetry)
+	if spec, ok := syncmodel.SpecOf(cfg.Model); ok && spec.Kind == syncmodel.KindAdaptive {
+		s.installAdaptive(spec)
+	}
 	if cfg.DedupWindow >= 0 {
 		s.dedup = make(map[transport.NodeID]*dedupWindow)
 	}
@@ -331,6 +359,9 @@ func (s *Server) snapshotStats() {
 		s.metrics.maxProgress.Set(int64(maxP))
 		s.metrics.skew.Set(int64(maxP - minP))
 		s.metrics.dprDepth.Set(int64(s.ctrl.Buffered()))
+		if spec, ok := s.ctrl.Spec(); ok {
+			s.metrics.syncStaleness.Set(int64(stalenessOf(spec)))
+		}
 	}
 }
 
@@ -404,18 +435,30 @@ func (s *Server) Run() error {
 }
 
 // runSerial is Run's apply stage when ApplyWorkers ≤ 1: the original
-// one-message-at-a-time loop.
+// one-message-at-a-time loop, plus the periodic adaptive re-evaluation
+// tick (a no-op unless the shard runs an adaptive model).
 func (s *Server) runSerial(queue chan queuedMsg) (shutdown bool, err error) {
-	for q := range queue {
-		if s.metrics.on {
-			s.metrics.applyWait.Observe(time.Since(q.at))
-		}
-		shutdown, err := s.apply(q.msg)
-		if err != nil || shutdown {
-			return shutdown, err
+	tick := time.NewTicker(s.adaptEvery())
+	defer tick.Stop()
+	for {
+		select {
+		case q, ok := <-queue:
+			if !ok {
+				return false, nil
+			}
+			if s.metrics.on {
+				s.metrics.applyWait.Observe(time.Since(q.at))
+			}
+			shutdown, err := s.apply(q.msg)
+			if err != nil || shutdown {
+				return shutdown, err
+			}
+		case <-tick.C:
+			if err := s.reevaluate(); err != nil {
+				return false, err
+			}
 		}
 	}
-	return false, nil
 }
 
 // queuedMsg is one message in the receive→apply queue, stamped with its
@@ -492,6 +535,9 @@ func (s *Server) handlePush(msg *transport.Message) error {
 	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
+	if s.adapt != nil {
+		s.adapt.ObservePush(worker, s.now())
+	}
 	advancesBefore := s.debugAdvances()
 	apply, released := s.ctrl.OnPush(worker, progress)
 	s.assertDrainImpliesAdvance(len(released), advancesBefore)
@@ -593,7 +639,21 @@ func (s *Server) handleSetCond(msg *transport.Message) error {
 	if err != nil {
 		return fmt.Errorf("core: server %d set-cond: %w", s.cfg.Rank, err)
 	}
+	prev, _ := s.ctrl.Spec()
 	released := s.ctrl.SetModel(model)
+	if spec.Kind != prev.Kind {
+		s.switches++
+		s.metrics.syncSwitches.Inc()
+	}
+	if spec.Kind == syncmodel.KindAdaptive {
+		// Installing an adaptive model (re)starts the adaptive loop with
+		// the spec's bounds; the driver's forecast history restarts too.
+		s.installAdaptive(spec)
+	} else {
+		// An explicit admin switch to a fixed model is an override: the
+		// adaptive loop must stop second-guessing it.
+		s.adapt = nil
+	}
 	// The switch already happened; an unreachable admin must not take
 	// the server down with it.
 	_ = s.ack(transport.MsgSetCondAck, msg.From, msg.Seq)
@@ -646,6 +706,12 @@ func (s *Server) respondPull(tok pullToken) error {
 	// Released DPRs flip to "answered" so a duplicate arriving later is
 	// re-answered rather than silently ignored.
 	s.dedupRecord(tok.from, tok.seq, dedupPullAnswered)
+	if s.adapt != nil {
+		// The answer starts the worker's next compute window; the driver
+		// pairs it with the following push to forecast iteration time
+		// without counting blocking. Out-of-range ranks (admin) are ignored.
+		s.adapt.ObservePullAnswer(int(tok.from.Rank), s.now())
+	}
 	keys := tok.keys
 	if len(keys) == 0 {
 		keys = s.keys

@@ -27,6 +27,10 @@ import (
 //	server.max_progress      gauge    fastest worker progress seen
 //	server.progress_skew     gauge    max − min worker progress
 //	server.dpr_depth         gauge    pulls currently waiting in the DPR buffer
+//	server.sync_model_switches counter sync-model kind changes (admin set-cond
+//	                                  or the adaptive controller)
+//	server.sync_staleness    gauge    effective staleness bound of the live
+//	                                  model (−1 = unbounded/ASP)
 //	server.apply_queue_depth gauge(fn) messages waiting between recv and apply
 //	server.apply_batch_size  histogram gradients fused per stripe batch (a
 //	                                  count observed as a duration; bucket n
@@ -61,11 +65,14 @@ type serverMetrics struct {
 	dprWait    *telemetry.Histogram
 	applyBatch *telemetry.Histogram
 
-	vtrain      *telemetry.Gauge
-	minProgress *telemetry.Gauge
-	maxProgress *telemetry.Gauge
-	skew        *telemetry.Gauge
-	dprDepth    *telemetry.Gauge
+	syncSwitches *telemetry.Counter
+
+	vtrain        *telemetry.Gauge
+	minProgress   *telemetry.Gauge
+	maxProgress   *telemetry.Gauge
+	skew          *telemetry.Gauge
+	dprDepth      *telemetry.Gauge
+	syncStaleness *telemetry.Gauge
 }
 
 func newServerMetrics(r *telemetry.Registry) serverMetrics {
@@ -81,11 +88,13 @@ func newServerMetrics(r *telemetry.Registry) serverMetrics {
 		applyWait:     r.Histogram("server.apply_wait_ns"),
 		dprWait:       r.Histogram("server.dpr_wait_ns"),
 		applyBatch:    r.Histogram("server.apply_batch_size"),
+		syncSwitches:  r.Counter("server.sync_model_switches"),
 		vtrain:        r.Gauge("server.v_train"),
 		minProgress:   r.Gauge("server.min_progress"),
 		maxProgress:   r.Gauge("server.max_progress"),
 		skew:          r.Gauge("server.progress_skew"),
 		dprDepth:      r.Gauge("server.dpr_depth"),
+		syncStaleness: r.Gauge("server.sync_staleness"),
 	}
 }
 

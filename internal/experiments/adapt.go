@@ -1,0 +1,338 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/mathx"
+	"github.com/fluentps/fluentps/internal/metrics"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "adapt",
+		Title: "Adaptive sync controller: regret vs every fixed preset on heterogeneous traces",
+		Paper: "FluentPS makes model switches a message, not a restart; the adaptive driver exploits that to track the best fixed synchronization model per skew regime.",
+		Run:   runAdapt,
+	})
+}
+
+// AdaptiveTrace is one synthetic cluster-heterogeneity pattern for the
+// timed regret harness: iterTime(worker, now) is worker's compute time
+// for an iteration started at simulated time now. Deterministic pure
+// functions — no RNG — so every model sees the identical cluster.
+type AdaptiveTrace struct {
+	Name     string `json:"name"`
+	Desc     string `json:"desc"`
+	iterTime func(worker int, now float64) float64
+}
+
+// adaptiveTraces are the heterogeneous traces the sweep runs. Each is a
+// regime where some fixed preset is clearly wrong: a stationary straggler
+// starves BSP/SSP of throughput, a mid-run phase shift invalidates any
+// single choice, and a rotating straggler defeats static drop quorums.
+func adaptiveTraces(budget float64) []AdaptiveTrace {
+	return []AdaptiveTrace{
+		{
+			Name: "phase-shift",
+			Desc: "homogeneous first half, then workers 0-1 slow 6x (Sync-Switch's motivating non-stationarity)",
+			iterTime: func(w int, now float64) float64 {
+				if now >= budget/2 && w < 2 {
+					return 6
+				}
+				return 1
+			},
+		},
+		{
+			Name: "straggler",
+			Desc: "worker 0 permanently 8x slower (stationary bimodal cluster)",
+			iterTime: func(w int, now float64) float64 {
+				if w == 0 {
+					return 8
+				}
+				return 1
+			},
+		},
+		{
+			Name: "churn",
+			Desc: "the 6x-slow worker rotates every 30s (no static drop set works)",
+			iterTime: func(w int, now float64) float64 {
+				if w == int(now/30)%8 {
+					return 6
+				}
+				return 1
+			},
+		},
+	}
+}
+
+// timedRun is one model's outcome on one trace under a wall-clock budget.
+type timedRun struct {
+	Regret    float64 // (1/T)Σ f_t(w_t) over applied updates; f(w*)=0
+	FinalLoss float64 // mean dataset loss at the budget's end
+	Updates   int     // applied updates within the budget (throughput)
+	Switches  int     // adaptive model switches (0 for fixed models)
+	DPRs      int
+}
+
+// timedParams extends the theorem experiments' regretParams with a
+// wall-clock budget: instead of a fixed per-worker iteration count, every
+// model trains for the same simulated time on the same trace, so regret
+// blends gradient freshness (staleness noise) with throughput (how many
+// updates the model's blocking discipline fits into the budget). The step
+// size is constant — unlike the η/√t theorem runs — so unbounded
+// staleness keeps a realized noise floor instead of being annealed away.
+type timedParams struct {
+	regretParams
+	budget     float64
+	adaptEvery float64
+	noise      float64 // label noise σ; with constant η it sets the SGD floor
+}
+
+func defaultTimedParams(opts Options) timedParams {
+	p := timedParams{
+		regretParams: defaultRegretParams(opts),
+		budget:       240,
+		adaptEvery:   2,
+		noise:        0.3,
+	}
+	p.eta = 0.05
+	if opts.Quick {
+		p.budget = 120
+	}
+	// Safety cap only — the wall-clock budget is the real terminator.
+	p.iters = int(p.budget) * 4
+	return p
+}
+
+// runTimedRegret drives one synchronization model over a heterogeneity
+// trace with an event-driven worker loop: each unblocked worker finishes
+// its iteration at its trace-determined time, pushes, and pulls for the
+// next. When acfg is non-nil an AdaptiveDriver observes every pull answer
+// and push and re-evaluates the regime every p.adaptEvery seconds, exactly
+// as the live server's tick does.
+func runTimedRegret(p timedParams, model syncmodel.Model, trace AdaptiveTrace, acfg *syncmodel.AdaptiveConfig) timedRun {
+	data := dataset.LinReg(4096, p.dim, p.noise, p.seed)
+	lin := mlmodel.LinReg{Dim: p.dim, ClipL: p.clipL}
+	ctrl := syncmodel.New(p.workers, model, syncmodel.Lazy, mathx.RNG(p.seed, "adapt.ctrl"))
+	exRNG := mathx.RNG(p.seed, "adapt.examples")
+
+	var driver *syncmodel.AdaptiveDriver
+	nextTick := math.Inf(1)
+	if acfg != nil {
+		driver = syncmodel.NewAdaptiveDriver(p.workers, *acfg)
+		nextTick = p.adaptEvery
+	}
+
+	w := make([]float64, p.dim)
+	project := func() {
+		if n := mathx.Norm2(w); n > p.radius {
+			mathx.Scale(p.radius/n, w)
+		}
+	}
+
+	type workerState struct {
+		iter     int
+		blocked  bool
+		local    []float64
+		nextDone float64
+	}
+	ws := make([]*workerState, p.workers)
+	for i := range ws {
+		ws[i] = &workerState{local: make([]float64, p.dim)}
+		ws[i].nextDone = trace.iterTime(i, 0)
+		if driver != nil {
+			driver.ObservePullAnswer(i, 0)
+		}
+	}
+
+	run := timedRun{}
+	tGlobal := 0
+	regretSum := 0.0
+	grad := make([]float64, p.dim)
+
+	release := func(rel []syncmodel.Pull, at float64) {
+		for _, r := range rel {
+			st := ws[r.Worker]
+			copy(st.local, w)
+			st.blocked = false
+			st.iter = r.Progress + 1
+			st.nextDone = at + trace.iterTime(r.Worker, at)
+			if driver != nil {
+				driver.ObservePullAnswer(r.Worker, at)
+			}
+		}
+	}
+
+	for {
+		// Next completion among unblocked workers.
+		n, tNext := -1, math.Inf(1)
+		for i, st := range ws {
+			if !st.blocked && st.iter < p.iters && st.nextDone < tNext {
+				n, tNext = i, st.nextDone
+			}
+		}
+		// Run any adaptive ticks due first: a regime switch may release
+		// blocked pulls, creating an earlier completion.
+		for nextTick <= tNext && nextTick <= p.budget {
+			rel, switched := driver.ReEvaluate(ctrl, nextTick)
+			if switched {
+				run.Switches++
+			}
+			release(rel, nextTick)
+			nextTick += p.adaptEvery
+			for i, st := range ws {
+				if !st.blocked && st.iter < p.iters && st.nextDone < tNext {
+					n, tNext = i, st.nextDone
+				}
+			}
+		}
+		if n < 0 || tNext > p.budget {
+			break
+		}
+		st := ws[n]
+		if driver != nil {
+			driver.ObservePush(n, tNext)
+		}
+		apply, rel := ctrl.OnPush(n, st.iter)
+		if apply {
+			// f_t is a fresh example; w_t the worker's stale view.
+			j := exRNG.Intn(len(data.X))
+			loss := lin.ExampleGrad(st.local, data.X[j], data.Y[j], grad)
+			regretSum += loss
+			tGlobal++
+			mathx.Axpy(-p.eta, grad, w)
+			project()
+		}
+		release(rel, tNext)
+		if ctrl.OnPull(n, st.iter, n) {
+			copy(st.local, w)
+			st.iter++
+			st.nextDone = tNext + trace.iterTime(n, tNext)
+			if driver != nil {
+				driver.ObservePullAnswer(n, tNext)
+			}
+		} else {
+			st.blocked = true
+		}
+	}
+
+	if tGlobal > 0 {
+		run.Regret = regretSum / float64(tGlobal)
+	} else {
+		run.Regret = math.Inf(1)
+	}
+	var finalSum float64
+	for j := range data.X {
+		finalSum += lin.ExampleGrad(w, data.X[j], data.Y[j], grad)
+	}
+	run.FinalLoss = finalSum / float64(len(data.X))
+	run.Updates = tGlobal
+	run.DPRs = ctrl.Stats().DPRs
+	return run
+}
+
+// AdaptiveRow is one model's scoreboard entry on one trace.
+type AdaptiveRow struct {
+	Model     string  `json:"model"`
+	Regret    float64 `json:"regret"`
+	FinalLoss float64 `json:"final_loss"`
+	Updates   int     `json:"updates"`
+	Switches  int     `json:"switches,omitempty"`
+	DPRs      int     `json:"dprs"`
+}
+
+// AdaptiveTraceResult compares the adaptive controller against every
+// fixed preset on one trace.
+type AdaptiveTraceResult struct {
+	Trace           string        `json:"trace"`
+	Desc            string        `json:"desc"`
+	Rows            []AdaptiveRow `json:"rows"`
+	BestFixed       string        `json:"best_fixed"`
+	BestFixedRegret float64       `json:"best_fixed_regret"`
+	AdaptiveRegret  float64       `json:"adaptive_regret"`
+	// Ratio = adaptive regret / best fixed regret; ≤ 1 means the adaptive
+	// controller matched or beat the best fixed preset chosen in hindsight.
+	Ratio float64 `json:"adaptive_over_best"`
+}
+
+// adaptiveFixedPresets is the hindsight competitor set: BSP, ASP, and a
+// staleness sweep of SSP.
+func adaptiveFixedPresets() []struct {
+	name  string
+	model syncmodel.Model
+} {
+	return []struct {
+		name  string
+		model syncmodel.Model
+	}{
+		{"BSP", syncmodel.BSP()},
+		{"ASP", syncmodel.ASP()},
+		{"SSP(1)", syncmodel.SSP(1)},
+		{"SSP(3)", syncmodel.SSP(3)},
+		{"SSP(8)", syncmodel.SSP(8)},
+	}
+}
+
+// AdaptiveSweep runs the adaptive controller and every fixed preset over
+// each heterogeneity trace and reports per-trace scoreboards. Exported for
+// fluentbench -adaptive (BENCH_adaptive.json) and the adapt experiment.
+func AdaptiveSweep(opts Options) []AdaptiveTraceResult {
+	p := defaultTimedParams(opts)
+	// DropOutlier 3: the traces' 6-8x stragglers must clear the outlier
+	// bar decisively, not sit on the default boundary.
+	acfg := syncmodel.AdaptiveConfig{AllowDrop: true, DropOutlier: 3, SpreadHi: 2.5}
+	var out []AdaptiveTraceResult
+	for _, trace := range adaptiveTraces(p.budget) {
+		res := AdaptiveTraceResult{Trace: trace.Name, Desc: trace.Desc}
+		ad := runTimedRegret(p, syncmodel.Adaptive(acfg), trace, &acfg)
+		res.AdaptiveRegret = ad.Regret
+		res.Rows = append(res.Rows, AdaptiveRow{
+			Model: "Adaptive", Regret: ad.Regret, FinalLoss: ad.FinalLoss,
+			Updates: ad.Updates, Switches: ad.Switches, DPRs: ad.DPRs,
+		})
+		for _, preset := range adaptiveFixedPresets() {
+			r := runTimedRegret(p, preset.model, trace, nil)
+			res.Rows = append(res.Rows, AdaptiveRow{
+				Model: preset.name, Regret: r.Regret, FinalLoss: r.FinalLoss,
+				Updates: r.Updates, DPRs: r.DPRs,
+			})
+			if res.BestFixed == "" || r.Regret < res.BestFixedRegret {
+				res.BestFixed, res.BestFixedRegret = preset.name, r.Regret
+			}
+		}
+		res.Ratio = res.AdaptiveRegret / res.BestFixedRegret
+		out = append(out, res)
+	}
+	return out
+}
+
+func runAdapt(opts Options) (*Report, error) {
+	rep := &Report{}
+	results := AdaptiveSweep(opts)
+	wins := 0
+	var worst float64
+	for _, res := range results {
+		table := &metrics.Table{
+			Title:   fmt.Sprintf("Trace %q — %s", res.Trace, res.Desc),
+			Headers: []string{"model", "regret", "final-loss", "updates", "switches", "DPRs"},
+		}
+		for _, row := range res.Rows {
+			table.AddRow(row.Model, metrics.F(row.Regret), metrics.F(row.FinalLoss),
+				fmt.Sprint(row.Updates), fmt.Sprint(row.Switches), fmt.Sprint(row.DPRs))
+		}
+		rep.Tables = append(rep.Tables, table)
+		rep.Notef("trace %q: adaptive/best-fixed(%s) regret ratio %.3f", res.Trace, res.BestFixed, res.Ratio)
+		if res.Ratio <= 1.0 {
+			wins++
+		}
+		if res.Ratio > worst {
+			worst = res.Ratio
+		}
+	}
+	rep.Notef("adaptive matched or beat the hindsight-best fixed preset on %d/%d traces (worst ratio %.3f)", wins, len(results), worst)
+	return rep, nil
+}

@@ -1,0 +1,43 @@
+package experiments
+
+import "testing"
+
+// TestAdaptiveSweepBeatsFixedPresets is the acceptance gate for the
+// runtime-adaptive controller: on the heterogeneous-cluster traces the
+// adaptive policy must match or beat the hindsight-best fixed preset
+// (BSP, ASP, and the SSP staleness sweep) on at least two traces, and
+// never lose badly on any.
+func TestAdaptiveSweepBeatsFixedPresets(t *testing.T) {
+	results := AdaptiveSweep(Options{Seed: 1})
+	if len(results) < 2 {
+		t.Fatalf("sweep covered %d traces, want ≥ 2 heterogeneous traces", len(results))
+	}
+	wins := 0
+	for _, res := range results {
+		t.Logf("trace %-12s best fixed %-7s ratio %.3f", res.Trace, res.BestFixed, res.Ratio)
+		if res.Ratio <= 1.0 {
+			wins++
+		}
+		if res.Ratio > 1.10 {
+			t.Errorf("trace %s: adaptive regret is %.3fx the best fixed preset (%s)", res.Trace, res.Ratio, res.BestFixed)
+		}
+		if len(res.Rows) < 4 {
+			t.Errorf("trace %s compared only %d models", res.Trace, len(res.Rows))
+		}
+	}
+	if wins < 2 {
+		t.Errorf("adaptive matched/beat the best fixed preset on %d traces, want ≥ 2", wins)
+	}
+}
+
+// TestAdaptiveSweepDeterministic: same seed, same scoreboard — the sweep
+// must be replayable for BENCH_adaptive.json diffs.
+func TestAdaptiveSweepDeterministic(t *testing.T) {
+	a := AdaptiveSweep(Options{Quick: true, Seed: 7})
+	b := AdaptiveSweep(Options{Quick: true, Seed: 7})
+	for i := range a {
+		if a[i].Ratio != b[i].Ratio || a[i].BestFixedRegret != b[i].BestFixedRegret {
+			t.Errorf("trace %s not deterministic: %+v vs %+v", a[i].Trace, a[i], b[i])
+		}
+	}
+}

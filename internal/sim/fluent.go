@@ -132,6 +132,20 @@ func runFluentPS(cfg Config) (*Result, error) {
 	var startCompute func(w *fluentWorker)
 	var respond func(s *fluentServer, worker int)
 
+	// Adaptive drivers (Config.AdaptEvery > 0): one per server, fed by
+	// every pull answer and push, and ticked periodically below.
+	var drivers []*syncmodel.AdaptiveDriver
+	if cfg.AdaptEvery > 0 {
+		drivers = make([]*syncmodel.AdaptiveDriver, cfg.Servers)
+		for m := range drivers {
+			acfg := cfg.Adaptive
+			if spec, ok := syncmodel.SpecOf(servers[m].ctrl.Model()); ok && spec.Kind == syncmodel.KindAdaptive {
+				acfg.InitialS, acfg.MinS, acfg.MaxS = spec.S, spec.Min, spec.Max
+			}
+			drivers[m] = syncmodel.NewAdaptiveDriver(cfg.Workers, acfg)
+		}
+	}
+
 	// respondReleased answers a DPR: it pays the server's serialized
 	// DPR-handling cost before the response transfer starts.
 	respondReleased := func(s *fluentServer, worker int) {
@@ -145,6 +159,9 @@ func runFluentPS(cfg Config) (*Result, error) {
 	}
 
 	respond = func(s *fluentServer, worker int) {
+		if drivers != nil {
+			drivers[s.rank].ObservePullAnswer(worker, c.eng.Now())
+		}
 		vals, err := s.shard.GatherShard(nil, s.keys)
 		if err != nil {
 			panic(err)
@@ -175,6 +192,9 @@ func runFluentPS(cfg Config) (*Result, error) {
 	}
 
 	onPush := func(s *fluentServer, worker, iter int, keys []keyrange.Key, payload []float64) {
+		if drivers != nil {
+			drivers[s.rank].ObservePush(worker, c.eng.Now())
+		}
 		apply, released := s.ctrl.OnPush(worker, iter)
 		// A payload-free push is a significance-filtered progress report:
 		// it closes rounds but carries no update.
@@ -194,8 +214,10 @@ func runFluentPS(cfg Config) (*Result, error) {
 		}
 	}
 
-	// started counts iterations begun across all workers (budget mode).
+	// started counts iterations begun across all workers (budget mode);
+	// activeWorkers lets the adaptive tick stop once every worker is done.
 	started := 0
+	activeWorkers := cfg.Workers
 	startCompute = func(w *fluentWorker) {
 		if cfg.TotalBudget > 0 {
 			if started >= cfg.TotalBudget {
@@ -203,6 +225,7 @@ func runFluentPS(cfg Config) (*Result, error) {
 				if w.doneAt > res.TotalTime {
 					res.TotalTime = w.doneAt
 				}
+				activeWorkers--
 				return
 			}
 			started++
@@ -211,6 +234,7 @@ func runFluentPS(cfg Config) (*Result, error) {
 			if w.doneAt > res.TotalTime {
 				res.TotalTime = w.doneAt
 			}
+			activeWorkers--
 			return
 		}
 		dur := w.sampler.sample()
@@ -282,8 +306,50 @@ func runFluentPS(cfg Config) (*Result, error) {
 				if w.doneAt > res.TotalTime {
 					res.TotalTime = w.doneAt
 				}
+				activeWorkers--
 			}
 		})
+	}
+
+	if drivers != nil {
+		// The adaptive tick re-evaluates every server's policy, answering
+		// any pulls a switch released. A self-rescheduling event would keep
+		// the event loop alive forever, so the tick retires once all
+		// workers finished — or, as a safety net for workers parked in a
+		// DPR buffer past a spent budget, after several consecutive quiet
+		// ticks (no pushes, no releases).
+		const maxIdleAdaptTicks = 8
+		idle := 0
+		lastPushes := -1
+		var tickAdaptive func()
+		tickAdaptive = func() {
+			if activeWorkers == 0 {
+				return
+			}
+			pushes := 0
+			for _, s := range servers {
+				pushes += s.ctrl.Stats().Pushes
+			}
+			busy := pushes != lastPushes
+			lastPushes = pushes
+			for m, s := range servers {
+				released, switched := drivers[m].ReEvaluate(s.ctrl, c.eng.Now())
+				if switched {
+					res.Switches++
+				}
+				for _, rel := range released {
+					respondReleased(s, rel.Worker)
+					busy = true
+				}
+			}
+			if busy {
+				idle = 0
+			} else if idle++; idle >= maxIdleAdaptTicks {
+				return
+			}
+			c.eng.After(cfg.AdaptEvery, tickAdaptive)
+		}
+		c.eng.After(cfg.AdaptEvery, tickAdaptive)
 	}
 
 	for _, w := range workers {

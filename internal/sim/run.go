@@ -66,6 +66,17 @@ type Config struct {
 	SyncFor func(m int) syncmodel.Model
 	Drain   syncmodel.DrainPolicy
 	UseEPS  bool
+	// AdaptEvery, when positive, gives every FluentPS server a
+	// runtime-adaptive sync driver (syncmodel.AdaptiveDriver) ticking every
+	// that many simulated seconds — the sim twin of ServerConfig.AdaptEvery.
+	// Staleness bounds come from the server's model spec when it is the
+	// adaptive preset; Adaptive supplies the policy knobs. The tick stops
+	// rescheduling itself after maxIdleAdaptTicks quiet periods so the
+	// event loop still terminates.
+	AdaptEvery float64
+	// Adaptive is the driver's policy configuration (hysteresis, spread
+	// thresholds, AllowDrop); zero fields take defaults.
+	Adaptive syncmodel.AdaptiveConfig
 	// DPRCost is the server-side processing cost of handling one delayed
 	// pull request (buffer insertion, wakeup, response scheduling),
 	// charged serially per server when the DPR is released. The soft
@@ -127,6 +138,8 @@ func (c *Config) validate() error {
 		return fmt.Errorf("sim: scheduler/DPR costs must be non-negative, got %v/%v", c.SchedCost, c.DPRCost)
 	case c.SignificanceThreshold < 0:
 		return fmt.Errorf("sim: significance threshold must be non-negative, got %v", c.SignificanceThreshold)
+	case c.AdaptEvery < 0:
+		return fmt.Errorf("sim: adaptive tick period must be non-negative, got %v", c.AdaptEvery)
 	}
 	if err := c.Compute.Validate(); err != nil {
 		return err
@@ -185,6 +198,9 @@ type Result struct {
 	// SkippedPushes counts rounds whose update stayed below the
 	// significance threshold and travelled as a payload-free report.
 	SkippedPushes int
+	// Switches counts sync-model switches performed by adaptive drivers
+	// across all servers (0 unless Config.AdaptEvery > 0).
+	Switches int
 }
 
 // DPRsPer100Iters returns the paper's Fig 9 metric: average delayed pull

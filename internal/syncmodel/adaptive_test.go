@@ -1,0 +1,247 @@
+package syncmodel
+
+import (
+	"testing"
+)
+
+func TestAdaptiveDefaults(t *testing.T) {
+	m := Adaptive(AdaptiveConfig{})
+	if m.Name != "Adaptive(s0=3,[1,8])" {
+		t.Errorf("default adaptive name %q", m.Name)
+	}
+	spec, ok := SpecOf(m)
+	if !ok || spec.Kind != KindAdaptive || spec.S != 3 || spec.Min != 1 || spec.Max != 8 {
+		t.Errorf("default adaptive spec %+v ok=%v", spec, ok)
+	}
+}
+
+// evalSig builds a Signals vector for policy unit tests: 8 workers
+// currently on the adaptive model, with the given forecasts and skew.
+func evalSig(iter []float64, skew, dprs int) Signals {
+	return Signals{
+		Workers:  8,
+		Skew:     skew,
+		DPRDepth: dprs,
+		Current:  Spec{Kind: KindAdaptive, S: 3, Min: 1, Max: 8},
+		IterSecs: iter,
+	}
+}
+
+func TestAdaptivePolicyRegimes(t *testing.T) {
+	uniform := []float64{1, 1, 1, 1, 1, 1, 1, 1}
+	oneSlow := []float64{8, 1, 1, 1, 1, 1, 1, 1}
+	halfSlow := []float64{8, 8, 8, 8, 1, 1, 1, 1}
+	mid := []float64{2, 1, 1, 1, 1, 1, 1, 1}
+	cases := []struct {
+		name     string
+		cfg      AdaptiveConfig
+		sig      Signals
+		wantKind Kind
+		wantC    float64
+		wantS    int
+	}{
+		{"homogeneous→BSP", AdaptiveConfig{Hysteresis: 1}, evalSig(uniform, 0, 0), KindBSP, 0, 0},
+		{"bimodal no drop→ASP", AdaptiveConfig{Hysteresis: 1}, evalSig(oneSlow, 9, 0), KindASP, 0, 0},
+		{"bimodal minority→drop", AdaptiveConfig{Hysteresis: 1, AllowDrop: true}, evalSig(oneSlow, 9, 0), KindDropStragglers, 7, 0},
+		{"bimodal majority slow→ASP even with drop", AdaptiveConfig{Hysteresis: 1, AllowDrop: true}, evalSig(halfSlow, 9, 0), KindASP, 0, 0},
+		// Mid regime seeds s from the skew; the +1 comes from a non-empty
+		// DPR buffer; KindAdaptive == current kind so no switch fires — use
+		// a BSP current spec to see the target.
+		{"moderate→bounded SSP", AdaptiveConfig{Hysteresis: 1}, func() Signals {
+			s := evalSig(mid, 2, 1)
+			s.Current = Spec{Kind: KindBSP}
+			return s
+		}(), KindAdaptive, 0, 3},
+	}
+	for _, tc := range cases {
+		p := NewAdaptivePolicy(tc.cfg)
+		spec, switched := p.Evaluate(tc.sig)
+		if !switched {
+			t.Errorf("%s: no switch (got %+v)", tc.name, spec)
+			continue
+		}
+		if spec.Kind != tc.wantKind || spec.C != tc.wantC {
+			t.Errorf("%s: got %+v, want kind %v C %v", tc.name, spec, tc.wantKind, tc.wantC)
+		}
+		if tc.wantS != 0 && spec.S != tc.wantS {
+			t.Errorf("%s: got s=%d, want %d", tc.name, spec.S, tc.wantS)
+		}
+	}
+}
+
+func TestAdaptivePolicyHoldsWithoutForecasts(t *testing.T) {
+	p := NewAdaptivePolicy(AdaptiveConfig{Hysteresis: 1})
+	// Only 3 of 8 workers have any forecast: hold position.
+	sig := evalSig([]float64{1, 1, 1, 0, 0, 0, 0, 0}, 0, 0)
+	if spec, switched := p.Evaluate(sig); switched {
+		t.Errorf("switched to %+v on insufficient forecasts", spec)
+	}
+}
+
+func TestAdaptivePolicyHysteresis(t *testing.T) {
+	p := NewAdaptivePolicy(AdaptiveConfig{}) // default hysteresis 2
+	uniform := evalSig([]float64{1, 1, 1, 1, 1, 1, 1, 1}, 0, 0)
+	bimodal := evalSig([]float64{8, 1, 1, 1, 1, 1, 1, 1}, 9, 0)
+	if _, switched := p.Evaluate(uniform); switched {
+		t.Fatal("switched on first agreeing evaluation")
+	}
+	// A disagreeing evaluation resets the pending streak.
+	if _, switched := p.Evaluate(bimodal); switched {
+		t.Fatal("switched with pending streak 1 of a different kind")
+	}
+	if _, switched := p.Evaluate(uniform); switched {
+		t.Fatal("switched with streak reset by the bimodal sample")
+	}
+	spec, switched := p.Evaluate(uniform)
+	if !switched || spec.Kind != KindBSP {
+		t.Fatalf("second consecutive BSP evaluation: got %+v switched=%v", spec, switched)
+	}
+}
+
+func TestAdaptivePolicyDropQuorumRetunesImmediately(t *testing.T) {
+	p := NewAdaptivePolicy(AdaptiveConfig{Hysteresis: 1, AllowDrop: true})
+	one := evalSig([]float64{8, 1, 1, 1, 1, 1, 1, 1}, 9, 0)
+	spec, switched := p.Evaluate(one)
+	if !switched || spec.Kind != KindDropStragglers || spec.C != 7 {
+		t.Fatalf("got %+v switched=%v, want drop quorum 7", spec, switched)
+	}
+	// Same regime with two stragglers: the quorum change skips hysteresis.
+	two := evalSig([]float64{8, 8, 1, 1, 1, 1, 1, 1}, 9, 0)
+	two.Current = spec
+	spec, switched = p.Evaluate(two)
+	if !switched || spec.Kind != KindDropStragglers || spec.C != 6 {
+		t.Fatalf("got %+v switched=%v, want drop quorum 6 immediately", spec, switched)
+	}
+	// And no flapping when nothing changed.
+	two.Current = spec
+	if spec, switched = p.Evaluate(two); switched {
+		t.Fatalf("re-switched to %+v on unchanged quorum", spec)
+	}
+}
+
+func TestAdaptiveDriverForecastsComputeTimeNotBlocking(t *testing.T) {
+	d := NewAdaptiveDriver(2, AdaptiveConfig{})
+	// Worker 0: answered at 10, pushes at 11 — compute time 1.
+	d.ObservePullAnswer(0, 10)
+	d.ObservePush(0, 11)
+	if f := d.Forecasts(11); f[0] != 1 {
+		t.Fatalf("forecast %v after 1s compute", f[0])
+	}
+	// Blocked for 9s at a barrier, answered at 20, pushes at 21: the
+	// blocking window must NOT contaminate the forecast.
+	d.ObservePullAnswer(0, 20)
+	d.ObservePush(0, 21)
+	if f := d.Forecasts(21); f[0] != 1 {
+		t.Errorf("forecast %v polluted by blocking time", f[0])
+	}
+	// Nor does sitting idle after a push (not computing → no silence floor).
+	if f := d.Forecasts(100); f[0] != 1 {
+		t.Errorf("idle-after-push forecast %v, want 1", f[0])
+	}
+	// Worker 1 was answered and went silent: its forecast is the elapsed
+	// silence (churn floor).
+	d.ObservePullAnswer(1, 0)
+	if f := d.Forecasts(50); f[1] != 50 {
+		t.Errorf("silent worker forecast %v, want 50", f[1])
+	}
+}
+
+func TestAdaptiveDriverReEvaluateSwitchesModel(t *testing.T) {
+	cfg := AdaptiveConfig{AllowDrop: true}
+	c := New(4, Adaptive(cfg), Lazy, nil)
+	d := NewAdaptiveDriver(4, cfg)
+	for w := 0; w < 4; w++ {
+		d.ObservePullAnswer(w, 0)
+	}
+	for w := 1; w < 4; w++ {
+		d.ObservePush(w, 1)
+		push(t, c, w, 0)
+	}
+	d.ObservePush(0, 8) // worker 0 is 8x slower
+	push(t, c, 0, 0)
+	if _, switched := d.ReEvaluate(c, 8); switched {
+		t.Fatal("switched before hysteresis")
+	}
+	if _, switched := d.ReEvaluate(c, 10); !switched {
+		t.Fatal("no switch after two agreeing evaluations")
+	}
+	spec, ok := c.Spec()
+	if !ok || spec.Kind != KindDropStragglers || spec.C != 3 {
+		t.Fatalf("controller runs %+v, want drop quorum 3", spec)
+	}
+	if d.Switches() != 1 {
+		t.Errorf("driver counted %d switches, want 1", d.Switches())
+	}
+}
+
+// TestSetModelUnderLoadNoCountLeak is the regression test for the
+// model-switch state bug: SetModel's round-close loop used to leave the
+// per-round push counters of closed rounds in c.count forever (and skip
+// answer-gap accounting for the pulls it released). Flip the model
+// repeatedly under a staggered 4-worker load and check both books.
+func TestSetModelUnderLoadNoCountLeak(t *testing.T) {
+	c := New(4, BSP(), Lazy, nil)
+	flavors := []func() Model{
+		ASP,
+		func() Model { return SSP(2) },
+		func() Model { return DropStragglers(3) },
+		BSP,
+	}
+	released, answered := 0, 0
+	iter := make([]int, 4)
+	blocked := make([]bool, 4)
+	account := func(rel []Pull) {
+		released += len(rel)
+		for _, r := range rel {
+			blocked[r.Worker] = false
+			iter[r.Worker] = r.Progress + 1
+		}
+	}
+	const rounds = 200
+	for i := 0; i < rounds; i++ {
+		for w := 0; w < 4; w++ {
+			// Worker 3 lags: it only moves every other round, so the
+			// fast workers keep blocking and buffering DPRs.
+			if blocked[w] || (w == 3 && i%2 == 1) {
+				continue
+			}
+			_, rel := c.OnPush(w, iter[w])
+			account(rel)
+			if c.OnPull(w, iter[w], w) {
+				answered++
+				iter[w]++
+			} else {
+				blocked[w] = true
+			}
+		}
+		if i%10 == 9 {
+			account(c.SetModel(flavors[(i/10)%len(flavors)]()))
+		}
+	}
+	// The count map may only hold open rounds: nothing below vtrain−1, and
+	// no more entries than the live progress window. The leak this guards
+	// against grew it with every closed round a laggard caught up through.
+	for r := range c.count {
+		if r < c.VTrain()-1 {
+			t.Errorf("count map holds closed round %d (V_train %d)", r, c.VTrain())
+		}
+	}
+	if window := c.MaxProgress() - c.VTrain() + 2; len(c.count) > window {
+		t.Errorf("count map holds %d entries, want ≤ open window %d", len(c.count), window)
+	}
+	// Every answered pull — immediate or released from the buffer — must
+	// land in the answer-gap histogram exactly once.
+	var histTotal int
+	for _, n := range c.AnswerGapHistogram() {
+		histTotal += n
+	}
+	if released == 0 {
+		t.Fatal("load pattern produced no buffered releases; test is vacuous")
+	}
+	if histTotal != answered+released {
+		t.Errorf("answer-gap histogram counts %d answers, want %d immediate + %d released", histTotal, answered, released)
+	}
+	if c.Stats().Advances == 0 {
+		t.Error("no rounds advanced")
+	}
+}

@@ -310,31 +310,49 @@ func (c *Controller) OnPush(worker, progress int) (apply bool, released []Pull) 
 		return false, nil
 	}
 	c.stats.Pushes++
-	c.count[progress]++
+	// Count only open rounds. A push for an already-closed round (a
+	// laggard catching up after drop-stragglers or a runtime model switch
+	// moved V_train past it) can never satisfy a push condition, and
+	// counting it would recreate retired entries the advance step never
+	// deletes again — an unbounded leak under long-lived skew.
+	if progress >= c.vtrain {
+		c.count[progress]++
+	}
 	for c.model.Push(c) {
-		for _, p := range c.buffer[c.vtrain] {
-			// The release happens as V_train advances past this round.
-			c.answerGap[p.Progress-(c.vtrain+1)]++
-		}
-		released = append(released, c.buffer[c.vtrain]...)
-		delete(c.buffer, c.vtrain)
-		delete(c.count, c.vtrain-1) // retire counters no condition can reach
-		c.vtrain++
-		c.stats.Advances++
-		if c.model.Adjust != nil {
-			c.model.Adjust(c)
-		}
+		released = append(released, c.advanceRound()...)
 	}
 	return true, released
 }
 
-// ForceAdvance advances V_train unconditionally and returns released
-// pulls. It is used by recovery paths (e.g. when drop-stragglers must make
-// progress after worker failure) and by tests.
-func (c *Controller) ForceAdvance() (released []Pull) {
-	released = append(released, c.buffer[c.vtrain]...)
+// advanceRound closes the current round: it accounts the answer gap of
+// every DPR about to drain, releases the buffer slot V_train indexes,
+// retires the round counter no condition can reach anymore, bumps
+// V_train, and runs the model's Adjust hook. It is the single advance
+// step shared by OnPush, SetModel, and ForceAdvance, so every path that
+// moves V_train keeps identical bookkeeping (an advance path with its own
+// copy of this logic once leaked count entries and undercounted the gap
+// histogram after runtime model switches).
+func (c *Controller) advanceRound() (released []Pull) {
+	for _, p := range c.buffer[c.vtrain] {
+		// The release happens as V_train advances past this round.
+		c.answerGap[p.Progress-(c.vtrain+1)]++
+	}
+	released = c.buffer[c.vtrain]
 	delete(c.buffer, c.vtrain)
+	delete(c.count, c.vtrain-1) // retire counters no condition can reach
 	c.vtrain++
 	c.stats.Advances++
+	if c.model.Adjust != nil {
+		c.model.Adjust(c)
+	}
 	return released
+}
+
+// ForceAdvance advances V_train unconditionally and returns released
+// pulls. It is used by recovery paths (e.g. when drop-stragglers must make
+// progress after worker failure) and by tests. It shares OnPush's advance
+// step, so counters retire, answer gaps are recorded, and an adaptive
+// model's Adjust hook runs just as on a condition-triggered advance.
+func (c *Controller) ForceAdvance() (released []Pull) {
+	return c.advanceRound()
 }

@@ -28,6 +28,11 @@ type Model struct {
 	// spec is the wire-encodable description for preset models (zero for
 	// closure-carrying models); see SpecOf.
 	spec Spec
+	// liveSpec, if non-nil, reports the spec with the model's *current*
+	// (runtime-adapted) parameters instead of the configured initial ones.
+	// Self-tuning models (DSPS, Adaptive) set it so SpecOf on a running
+	// instance shows the live threshold.
+	liveSpec func() Spec
 }
 
 // Instantiate returns a private copy of the model for one controller;
@@ -204,7 +209,10 @@ func DSPS(cfg DSPSConfig) Model {
 		},
 		// The threshold is captured state: each controller needs its own.
 		fresh: func() Model { return DSPS(cfg) },
-		spec:  Spec{Kind: KindDSPS, S: cfg.Initial},
+		spec:  Spec{Kind: KindDSPS, S: cfg.Initial, Min: cfg.Min, Max: cfg.Max},
+		liveSpec: func() Spec {
+			return Spec{Kind: KindDSPS, S: s, Min: cfg.Min, Max: cfg.Max}
+		},
 	}
 }
 

@@ -17,28 +17,86 @@ const (
 	KindPSSPDynamic
 	KindDropStragglers
 	KindDSPS
+	KindAdaptive
 )
+
+// String names the kind.
+func (k Kind) String() string {
+	switch k {
+	case KindBSP:
+		return "BSP"
+	case KindASP:
+		return "ASP"
+	case KindSSP:
+		return "SSP"
+	case KindPSSPConst:
+		return "PSSP"
+	case KindPSSPDynamic:
+		return "PSSP-dyn"
+	case KindDropStragglers:
+		return "Drop"
+	case KindDSPS:
+		return "DSPS"
+	case KindAdaptive:
+		return "Adaptive"
+	default:
+		return fmt.Sprintf("kind(%d)", uint8(k))
+	}
+}
 
 // Spec is a serializable description of a synchronization model preset.
 type Spec struct {
 	Kind Kind
-	// S is the staleness threshold (SSP/PSSP/DSPS initial).
+	// S is the staleness threshold (SSP/PSSP; DSPS/Adaptive current).
 	S int
 	// C is the PSSP probability / dynamic α; for DropStragglers it is the
 	// quorum Nt (as a count).
 	C float64
+	// Min and Max bound the staleness threshold of self-tuning models
+	// (DSPS, Adaptive). Both zero means "unbounded/not applicable"; Build
+	// derives DSPS's historical default range in that case.
+	Min, Max int
 }
 
-// Spec returns the model's wire spec, or ok=false for models that carry
-// closures a spec cannot express (CustomModel, PSSPDynamicFunc).
+// SpecOf returns the model's wire spec, or ok=false for models that carry
+// closures a spec cannot express (CustomModel, PSSPDynamicFunc). For
+// self-tuning models (DSPS, Adaptive) the spec reports the *live* adapted
+// threshold of this model instance, not the configured initial one, so
+// admin and debug output show the running configuration.
 func SpecOf(m Model) (Spec, bool) {
+	if m.liveSpec != nil {
+		return m.liveSpec(), true
+	}
 	if m.spec.Kind == 0 {
 		return Spec{}, false
 	}
 	return m.spec, true
 }
 
-// Build materializes the spec into a Model.
+// Spec returns the wire spec of the controller's current model (live
+// parameters for self-tuning models), or ok=false for closure models.
+func (c *Controller) Spec() (Spec, bool) { return SpecOf(c.model) }
+
+// dspsBounds resolves the spec's staleness range exactly as DSPS's
+// constructor validates it. A spec with both bounds zero and a positive S
+// is a legacy (v1) payload or a hand-built spec: it gets the historical
+// default range [1, 4S].
+func (s Spec) dspsBounds() (DSPSConfig, error) {
+	cfg := DSPSConfig{Initial: s.S, Min: s.Min, Max: s.Max}
+	if s.Min == 0 && s.Max == 0 && s.S > 0 {
+		cfg.Min, cfg.Max = 1, 4*s.S
+	}
+	if cfg.Min < 0 || cfg.Initial < cfg.Min || cfg.Max < cfg.Initial {
+		return DSPSConfig{}, fmt.Errorf("syncmodel: invalid DSPS spec s=%d bounds=[%d,%d] (need 0 ≤ Min ≤ s ≤ Max)",
+			s.S, s.Min, s.Max)
+	}
+	return cfg, nil
+}
+
+// Build materializes the spec into a Model. The validation matches the
+// constructors exactly: any spec a constructor accepts (including the
+// degenerate DSPS with Initial = Min = Max = 0) round-trips through
+// SpecOf → Encode → DecodeSpec → Build unchanged.
 func (s Spec) Build() (Model, error) {
 	switch s.Kind {
 	case KindBSP:
@@ -66,26 +124,58 @@ func (s Spec) Build() (Model, error) {
 		}
 		return DropStragglers(int(s.C)), nil
 	case KindDSPS:
-		if s.S < 1 {
-			return Model{}, fmt.Errorf("syncmodel: invalid DSPS initial %d", s.S)
+		cfg, err := s.dspsBounds()
+		if err != nil {
+			return Model{}, err
 		}
-		return DSPS(DSPSConfig{Initial: s.S, Min: 1, Max: 4 * s.S}), nil
+		return DSPS(cfg), nil
+	case KindAdaptive:
+		cfg := AdaptiveConfig{InitialS: s.S, MinS: s.Min, MaxS: s.Max}
+		if err := cfg.validate(); err != nil {
+			return Model{}, err
+		}
+		return Adaptive(cfg), nil
 	default:
 		return Model{}, fmt.Errorf("syncmodel: unknown model kind %d", s.Kind)
 	}
 }
 
-// Encode packs the spec into three float64s (for transport payloads).
+// specPayloadLen is the v2 wire payload length; specPayloadLenV1 is the
+// pre-bounds format still accepted by DecodeSpec.
+const (
+	specPayloadLenV1 = 3
+	specPayloadLen   = 5
+)
+
+// Encode packs the spec into float64s for transport payloads. The v2
+// format appends the staleness bounds: [kind, s, c, min, max]. Decoders
+// distinguish versions by length, so v1 three-value payloads from older
+// peers still decode (see DecodeSpec).
 func (s Spec) Encode() []float64 {
-	return []float64{float64(s.Kind), float64(s.S), s.C}
+	return []float64{float64(s.Kind), float64(s.S), s.C, float64(s.Min), float64(s.Max)}
 }
 
-// DecodeSpec unpacks a payload written by Encode.
+// DecodeSpec unpacks a payload written by Encode. Three-value v1 payloads
+// (which predate the bounds fields) are still accepted; a v1 DSPS spec
+// materializes the historical default range [1, 4S] so that its meaning —
+// not just its bytes — is preserved across the version bump.
 func DecodeSpec(vals []float64) (Spec, error) {
-	if len(vals) != 3 {
-		return Spec{}, fmt.Errorf("syncmodel: spec payload has %d values, want 3", len(vals))
+	switch len(vals) {
+	case specPayloadLenV1:
+		s := Spec{Kind: Kind(vals[0]), S: int(vals[1]), C: vals[2]}
+		if s.Kind == KindDSPS && s.S > 0 {
+			s.Min, s.Max = 1, 4*s.S
+		}
+		return s, nil
+	case specPayloadLen:
+		return Spec{
+			Kind: Kind(vals[0]), S: int(vals[1]), C: vals[2],
+			Min: int(vals[3]), Max: int(vals[4]),
+		}, nil
+	default:
+		return Spec{}, fmt.Errorf("syncmodel: spec payload has %d values, want %d (or legacy %d)",
+			len(vals), specPayloadLen, specPayloadLenV1)
 	}
-	return Spec{Kind: Kind(vals[0]), S: int(vals[1]), C: vals[2]}, nil
 }
 
 // SetModel swaps the controller's synchronization model at runtime. All
@@ -97,11 +187,14 @@ func DecodeSpec(vals []float64) (Spec, error) {
 // everyone).
 func (c *Controller) SetModel(m Model) (released []Pull) {
 	c.model = m.Instantiate()
-	// Re-check buffered pulls against the new pull condition.
+	// Re-check buffered pulls against the new pull condition. A release
+	// here is an immediate answer, so it is gap-accounted like OnPull's
+	// ready path.
 	for idx, pulls := range c.buffer {
 		kept := pulls[:0]
 		for _, p := range pulls {
 			if c.model.Pull(c, p.Worker, p.Progress) {
+				c.answerGap[p.Progress-c.vtrain]++
 				released = append(released, p)
 			} else {
 				kept = append(kept, p)
@@ -113,15 +206,11 @@ func (c *Controller) SetModel(m Model) (released []Pull) {
 			c.buffer[idx] = kept
 		}
 	}
-	// A loosened push condition may also close the current round.
+	// A loosened push condition may also close the current round; the
+	// shared advance step retires round counters and gap-accounts drained
+	// DPRs exactly as a push-triggered advance would.
 	for c.model.Push(c) {
-		released = append(released, c.buffer[c.vtrain]...)
-		delete(c.buffer, c.vtrain)
-		c.vtrain++
-		c.stats.Advances++
-		if c.model.Adjust != nil {
-			c.model.Adjust(c)
-		}
+		released = append(released, c.advanceRound()...)
 	}
 	return released
 }

@@ -10,6 +10,7 @@ func TestSpecRoundTripAllPresets(t *testing.T) {
 		PSSPConst(3, 0.5), PSSPDynamic(2, 0.8),
 		DropStragglers(5),
 		DSPS(DSPSConfig{Initial: 2, Min: 1, Max: 8}),
+		Adaptive(AdaptiveConfig{InitialS: 3, MinS: 2, MaxS: 6}),
 	}
 	for _, m := range models {
 		spec, ok := SpecOf(m)
@@ -30,6 +31,93 @@ func TestSpecRoundTripAllPresets(t *testing.T) {
 	}
 }
 
+// TestSpecRoundTripIsLossless is the regression test for the wire-format
+// bug where DSPS's [Min, Max] bounds were dropped by Encode: for every
+// encodable spec, SpecOf → Encode → DecodeSpec → Build must reproduce the
+// exact spec — bounds included — not just a same-kind approximation.
+func TestSpecRoundTripIsLossless(t *testing.T) {
+	specs := []Spec{
+		{Kind: KindBSP},
+		{Kind: KindASP},
+		{Kind: KindSSP, S: 4},
+		{Kind: KindPSSPConst, S: 3, C: 0.25},
+		{Kind: KindPSSPDynamic, S: 2, C: 0.8},
+		{Kind: KindDropStragglers, C: 5},
+		{Kind: KindDSPS, S: 2, Min: 1, Max: 8},
+		{Kind: KindDSPS, S: 3, Min: 3, Max: 3}, // pinned threshold
+		{Kind: KindDSPS},                       // degenerate all-zero: legal, stays SSP(0)
+		{Kind: KindAdaptive, S: 3, Min: 1, Max: 8},
+	}
+	for _, want := range specs {
+		m, err := want.Build()
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		// SpecOf may materialize legacy defaults, but from there the loop
+		// must be a fixed point.
+		first, ok := SpecOf(m)
+		if !ok {
+			t.Fatalf("%+v: built model has no spec", want)
+		}
+		decoded, err := DecodeSpec(first.Encode())
+		if err != nil {
+			t.Fatalf("%+v: %v", want, err)
+		}
+		if decoded != first {
+			t.Errorf("lossy wire round trip: %+v → %+v", first, decoded)
+		}
+		rebuilt, err := decoded.Build()
+		if err != nil {
+			t.Fatalf("%+v: rebuild: %v", decoded, err)
+		}
+		second, _ := SpecOf(rebuilt)
+		if second != first {
+			t.Errorf("spec drifted across rebuild: %+v → %+v", first, second)
+		}
+		if rebuilt.Name != m.Name {
+			t.Errorf("model name drifted: %s → %s", m.Name, rebuilt.Name)
+		}
+	}
+}
+
+// TestDecodeSpecLegacyPayload: pre-bounds 3-value payloads (kind, s, c)
+// from old peers must still decode; a legacy DSPS spec materializes the
+// historical default bounds [1, 4s].
+func TestDecodeSpecLegacyPayload(t *testing.T) {
+	got, err := DecodeSpec([]float64{float64(KindDSPS), 2, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := Spec{Kind: KindDSPS, S: 2, Min: 1, Max: 8}
+	if got != want {
+		t.Errorf("legacy DSPS payload decoded to %+v, want %+v", got, want)
+	}
+	got, err = DecodeSpec([]float64{float64(KindSSP), 3, 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if (got != Spec{Kind: KindSSP, S: 3}) {
+		t.Errorf("legacy SSP payload decoded to %+v", got)
+	}
+}
+
+// TestDSPSZeroInitialAligned: DSPS(Initial:0) was always legal locally;
+// Spec.Build used to reject S<1 for the same configuration. The two
+// validations must agree.
+func TestDSPSZeroInitialAligned(t *testing.T) {
+	m := DSPS(DSPSConfig{}) // legal locally: degenerate SSP(0) that can only grow to Max 0
+	spec, ok := SpecOf(m)
+	if !ok {
+		t.Fatal("DSPS has no spec")
+	}
+	if _, err := spec.Build(); err != nil {
+		t.Errorf("Build rejected the spec of a locally-legal DSPS: %v", err)
+	}
+	if _, err := (Spec{Kind: KindDSPS, S: 0, Min: 0, Max: 2}).Build(); err != nil {
+		t.Errorf("Build rejected DSPS starting at 0 with explicit bounds: %v", err)
+	}
+}
+
 func TestSpecOfClosuresIsFalse(t *testing.T) {
 	if _, ok := SpecOf(CustomModel("x", nil, nil)); ok {
 		t.Error("custom model should have no spec")
@@ -47,7 +135,10 @@ func TestSpecBuildValidation(t *testing.T) {
 		{Kind: KindPSSPConst, S: 1, C: 2},
 		{Kind: KindPSSPDynamic, S: 1, C: -0.5},
 		{Kind: KindDropStragglers, C: 0},
-		{Kind: KindDSPS, S: 0},
+		{Kind: KindDSPS, S: 1, Min: 2, Max: 8},   // Initial below Min
+		{Kind: KindDSPS, S: 5, Min: 1, Max: 4},   // Initial above Max
+		{Kind: KindDSPS, S: 2, Min: -1, Max: 8},  // negative Min
+		{Kind: KindAdaptive, S: 9, Min: 1, Max: 4}, // InitialS above MaxS
 	}
 	for i, sp := range bad {
 		if _, err := sp.Build(); err == nil {

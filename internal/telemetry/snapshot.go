@@ -64,6 +64,31 @@ func (r *Registry) Snapshot() Snapshot {
 	return s
 }
 
+// CounterOr returns the named counter's value, or def when the snapshot
+// has no such counter — so consumers (admin tables, adaptive policies,
+// tests) need not branch on map presence.
+func (s Snapshot) CounterOr(name string, def uint64) uint64 {
+	if v, ok := s.Counters[name]; ok {
+		return v
+	}
+	return def
+}
+
+// GaugeOr returns the named gauge's value, or def when absent. Gauge
+// functions are already merged into Gauges at snapshot time.
+func (s Snapshot) GaugeOr(name string, def int64) int64 {
+	if v, ok := s.Gauges[name]; ok {
+		return v
+	}
+	return def
+}
+
+// HistogramOf returns the named histogram snapshot and whether it exists.
+func (s Snapshot) HistogramOf(name string) (HistogramSnapshot, bool) {
+	h, ok := s.Histograms[name]
+	return h, ok
+}
+
 // WriteJSON renders the snapshot as indented JSON (map keys sort, so the
 // output is stable and diffable).
 func (r *Registry) WriteJSON(w io.Writer) error {
