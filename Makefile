@@ -8,7 +8,7 @@ GO ?= go
 # catches a PR that lands untested request-lifecycle code.
 COVER_FLOOR ?= 80.0
 
-.PHONY: verify build vet lint test race race-debug race-stress fuzz fuzz-smoke cover ci bench bench-paper
+.PHONY: verify build vet lint test race race-debug race-stress race-failover fuzz fuzz-smoke cover ci bench bench-paper
 
 ## verify: the tier-1 gate — vet, build, full test suite.
 verify: vet build test
@@ -52,6 +52,18 @@ race-stress:
 		-run 'TestStripedShardConcurrentApply|TestBatchedApplyStress|TestBatchedApplyMatchesExpected' \
 		./internal/kvstore/ ./internal/core/
 
+## race-failover: the elastic-membership and failover integration tests,
+## repeated under the race detector. The kill-primary test runs the full
+## replicated-shard story over a lossy transport: a primary dies
+## mid-training, its backup is promoted, and the exact-sum audit proves
+## no update was lost or double-applied across the failover; the
+## join/drain tests stream keys through view transitions while workers
+## keep training.
+race-failover:
+	$(GO) test -race -count=5 -timeout 600s \
+		-run 'TestFailoverKillServer|TestViewFencingRejectsStaleEpoch|TestLiveJoinServesDuringTransfer|TestDrainMovesKeysWithoutStopping' \
+		./internal/core/
+
 ## fuzz: a short codec fuzz pass over the wire format (seeds include
 ## negative Progress and boundary-length frames).
 fuzz:
@@ -86,6 +98,7 @@ ci: verify
 	$(GO) test -race ./...
 	$(MAKE) race-debug
 	$(MAKE) race-stress
+	$(MAKE) race-failover
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover
 

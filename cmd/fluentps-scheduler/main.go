@@ -61,9 +61,10 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	sched.DistributeAssignment(assign)
-	log.Printf("fluentps-scheduler: listening on %s, expecting %d servers and %d workers; distributing %d keys over %d servers",
-		ep.Addr(), len(cluster.ServerAddrs), cluster.Workers(), layout.NumKeys(), len(cluster.ServerAddrs))
+	view := flags.BootstrapView(cluster, assign)
+	sched.DistributeClusterView(view)
+	log.Printf("fluentps-scheduler: listening on %s, expecting %d servers and %d workers; distributing view epoch %d (%d keys over %d servers, %d replicas)",
+		ep.Addr(), len(cluster.ServerAddrs), cluster.Workers(), view.Epoch, layout.NumKeys(), len(cluster.ServerAddrs), view.Replicas)
 	if err := sched.Run(context.Background()); err != nil {
 		log.Fatal(err)
 	}

@@ -26,6 +26,7 @@ import (
 func main() {
 	var flags clustercfg.Flags
 	rank := flag.Int("rank", 0, "this server's rank")
+	joining := flag.Bool("joining", false, "this server joins a live cluster: start empty and wait for fluentps-admin join to stream keys in")
 	flags.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -44,7 +45,20 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	layout, assign, err := sync.Slicing(work.Model, len(cluster.ServerAddrs))
+	// A joining server's rank is listed last in -servers; the established
+	// cluster's slicing spans the other ranks, so the joiner starts with
+	// zero keys and receives its share from the admin-driven view change.
+	established := len(cluster.ServerAddrs)
+	if *joining {
+		established--
+		if established < 1 {
+			log.Fatal("-joining needs at least one established server before this one")
+		}
+		if *rank != established {
+			log.Fatalf("-joining requires this server to be the last rank (%d), got %d", established, *rank)
+		}
+	}
+	layout, assign, err := sync.Slicing(work.Model, established)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -63,13 +77,24 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
+	// The demultiplexer lets this process serve additional server
+	// identities later: after a promotion the dead rank's traffic arrives
+	// at this address and must land on a second endpoint.
+	demux := transport.NewDemux(tcpEP)
 	// Wrapping the server endpoint faults the response direction (acks,
 	// pull responses) too, so -flaky* flags exercise both halves of every
 	// exchange.
-	ep := flags.WrapFaultyObserved(tcpEP, reg)
+	ep := flags.WrapFaultyObserved(demux.Main(), reg)
 	defer ep.Close()
 
-	if err := core.RegisterAsync(ep); err != nil {
+	// The bootstrap view covers every address the flags list; a joiner's
+	// assignment spans only the established ranks, leaving it keyless
+	// until fluentps-admin join streams its share in.
+	view := flags.BootstrapView(cluster, assign)
+
+	if *joining {
+		log.Printf("fluentps-server[%d]: joining live cluster — starting empty, awaiting admin-driven view change", *rank)
+	} else if err := core.RegisterAsync(ep); err != nil {
 		log.Fatal(err)
 	}
 	srv, err := core.NewServer(ep, core.ServerConfig{
@@ -77,6 +102,7 @@ func main() {
 		NumWorkers: cluster.Workers(),
 		Layout:     layout,
 		Assignment: assign,
+		View:       view,
 		Model:      sync.Model,
 		Drain:      sync.Drain,
 		Init: func(k keyrange.Key, seg []float64) {
@@ -89,6 +115,9 @@ func main() {
 		Telemetry:    reg,
 		AdaptEvery:   sync.AdaptEvery,
 		Adaptive:     sync.Adaptive,
+		OpenEndpoint: func(id transport.NodeID) (transport.Endpoint, error) {
+			return demux.Open(id)
+		},
 	})
 	if err != nil {
 		log.Fatal(err)

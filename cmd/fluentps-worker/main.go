@@ -70,22 +70,25 @@ func main() {
 	defer ep.Close()
 
 	log.Printf("fluentps-worker[%d]: registering with scheduler", *rank)
-	fetched, err := core.RegisterAndFetch(context.Background(), ep, layout)
+	view, err := core.RegisterAndFetchView(context.Background(), ep)
 	if err != nil {
 		log.Fatal(err)
 	}
-	if fetched != nil {
-		if keyrange.Moved(assign, fetched) > 0 {
-			log.Printf("fluentps-worker[%d]: scheduler's key division differs from local flags; adopting the scheduler's", *rank)
-		}
-		assign = fetched // the scheduler's division is canonical
+	if view == nil {
+		// The scheduler predates cluster views (or distributes nothing);
+		// bootstrap one locally from the flags so the worker still runs
+		// epoch-fenced and can adopt admin-driven view changes later.
+		view = flags.BootstrapView(cluster, assign)
+		log.Printf("fluentps-worker[%d]: scheduler sent no view; bootstrapping epoch 1 from flags", *rank)
+	} else if keyrange.Moved(assign, view.Assignment) > 0 {
+		log.Printf("fluentps-worker[%d]: scheduler's key division differs from local flags; adopting the scheduler's", *rank)
 	}
 	wcfg := core.WorkerConfig{
-		Rank:       *rank,
-		Layout:     layout,
-		Assignment: assign,
-		Timeout:    flags.Timeout,
-		Telemetry:  reg,
+		Rank:      *rank,
+		Layout:    layout,
+		View:      view,
+		Timeout:   flags.Timeout,
+		Telemetry: reg,
 	}
 	if flags.RetryBase > 0 {
 		wcfg.Retry = core.RetryPolicy{

@@ -10,6 +10,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/fluentps/fluentps/internal/clusterview"
 	"github.com/fluentps/fluentps/internal/dataset"
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/mlmodel"
@@ -114,6 +115,10 @@ type Flags struct {
 	// one-line summary log (see internal/telemetry and StartTelemetry).
 	DebugAddr  string
 	StatsEvery time.Duration
+
+	// Replicas is the shard replication factor of the bootstrap cluster
+	// view (1 = no replication, 2 = ring-successor backups).
+	Replicas int
 }
 
 // Register installs the shared flags on the given FlagSet.
@@ -150,6 +155,7 @@ func (f *Flags) Register(fs *flag.FlagSet) {
 	fs.Int64Var(&f.FlakySeed, "flakySeed", 1, "fault injection: deterministic seed")
 	fs.StringVar(&f.DebugAddr, "debugAddr", "", "serve JSON runtime metrics at http://<addr>/debug/fluentps; empty disables")
 	fs.DurationVar(&f.StatsEvery, "statsEvery", 0, "log a one-line telemetry summary at this interval; 0 disables")
+	fs.IntVar(&f.Replicas, "replicas", 1, "shard replication factor: 1 = none, 2 = ring-successor backup per shard")
 }
 
 // Fault materializes the fault-injection configuration; ok is false when
@@ -188,6 +194,15 @@ func (f *Flags) Cluster() (*Cluster, error) {
 		return nil, fmt.Errorf("clustercfg: at least one worker address required")
 	}
 	return &Cluster{SchedulerAddr: f.Scheduler, ServerAddrs: servers, WorkerAddrs: workers}, nil
+}
+
+// BootstrapView builds the epoch-1 cluster view the flags describe —
+// the single constructor through which flag-derived topology enters the
+// ClusterView world; everything after bootstrap evolves views through
+// clusterview transitions (WithJoined/WithDrained/WithPromoted), never
+// from flags again.
+func (f *Flags) BootstrapView(c *Cluster, assign *keyrange.Assignment) *clusterview.View {
+	return clusterview.Bootstrap(c.SchedulerAddr, c.ServerAddrs, c.WorkerAddrs, assign, f.Replicas)
 }
 
 // Workload materializes the model/data preset.

@@ -1,0 +1,108 @@
+package clusterview
+
+import (
+	"fmt"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// Wire form: views travel in Message.Vals. Scalars ride as float64
+// (every field fits the 2^53 integer range), addresses as
+// transport.PackBytes strings:
+//
+//	epoch, replicas, nServers, nWorkers,
+//	schedulerAddr (packed),
+//	nServers × { state, host, addr (packed) },
+//	nWorkers × { state, addr (packed) },
+//	nKeys, nKeys × serverOf
+//
+// Float bits cross the codec bit-exactly, so the packing is lossless.
+
+// Encode appends the wire form of v to vals and returns the extended
+// slice.
+func (v *View) Encode(vals []float64) []float64 {
+	vals = append(vals, float64(v.Epoch), float64(v.Replicas),
+		float64(len(v.Servers)), float64(len(v.Workers)))
+	vals = transport.PackBytes(vals, []byte(v.SchedulerAddr))
+	for _, m := range v.Servers {
+		vals = append(vals, float64(m.State), float64(m.Host))
+		vals = transport.PackBytes(vals, []byte(m.Addr))
+	}
+	for _, m := range v.Workers {
+		vals = append(vals, float64(m.State))
+		vals = transport.PackBytes(vals, []byte(m.Addr))
+	}
+	a := v.Assignment
+	vals = append(vals, float64(a.NumKeys()))
+	for k := 0; k < a.NumKeys(); k++ {
+		vals = append(vals, float64(a.ServerOf(keyrange.Key(k))))
+	}
+	return vals
+}
+
+// Decode parses one encoded view from the front of vals, returning the
+// view and the remaining words.
+func Decode(vals []float64) (*View, []float64, error) {
+	fail := func(what string) (*View, []float64, error) {
+		return nil, nil, fmt.Errorf("clusterview: decode: truncated %s", what)
+	}
+	if len(vals) < 4 {
+		return fail("header")
+	}
+	v := &View{
+		Epoch:    uint64(vals[0]),
+		Replicas: int(vals[1]),
+	}
+	nServers, nWorkers := int(vals[2]), int(vals[3])
+	if nServers < 0 || nWorkers < 0 || nServers > 1<<16 || nWorkers > 1<<16 {
+		return nil, nil, fmt.Errorf("clusterview: decode: implausible member counts %d/%d", nServers, nWorkers)
+	}
+	vals = vals[4:]
+	var addr []byte
+	var err error
+	if addr, vals, err = transport.UnpackBytes(vals); err != nil {
+		return nil, nil, err
+	}
+	v.SchedulerAddr = string(addr)
+	v.Servers = make([]Member, nServers)
+	for m := 0; m < nServers; m++ {
+		if len(vals) < 2 {
+			return fail("server member")
+		}
+		v.Servers[m] = Member{ID: transport.Server(m), State: MemberState(vals[0]), Host: int(vals[1])}
+		if addr, vals, err = transport.UnpackBytes(vals[2:]); err != nil {
+			return nil, nil, err
+		}
+		v.Servers[m].Addr = string(addr)
+	}
+	v.Workers = make([]Member, nWorkers)
+	for n := 0; n < nWorkers; n++ {
+		if len(vals) < 1 {
+			return fail("worker member")
+		}
+		v.Workers[n] = Member{ID: transport.Worker(n), State: MemberState(vals[0]), Host: n}
+		if addr, vals, err = transport.UnpackBytes(vals[1:]); err != nil {
+			return nil, nil, err
+		}
+		v.Workers[n].Addr = string(addr)
+	}
+	if len(vals) < 1 {
+		return fail("assignment")
+	}
+	nKeys := int(vals[0])
+	vals = vals[1:]
+	if nKeys < 0 || len(vals) < nKeys {
+		return fail("assignment keys")
+	}
+	serverOf := make([]int, nKeys)
+	for k := 0; k < nKeys; k++ {
+		m := int(vals[k])
+		if m < 0 || m >= nServers {
+			return nil, nil, fmt.Errorf("clusterview: decode: key %d assigned to rank %d of %d", k, m, nServers)
+		}
+		serverOf[k] = m
+	}
+	v.Assignment = keyrange.FromServerOf(serverOf, nServers)
+	return v, vals[nKeys:], nil
+}

@@ -1,0 +1,191 @@
+package clusterview
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+func testView(t *testing.T, servers, workers, replicas int) (*View, *keyrange.Layout) {
+	t.Helper()
+	layout, err := keyrange.EPSLayout(1000, 4*servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assign, err := keyrange.EPS(layout, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serverAddrs := make([]string, servers)
+	for m := range serverAddrs {
+		serverAddrs[m] = "s" + string(rune('0'+m))
+	}
+	workerAddrs := make([]string, workers)
+	for n := range workerAddrs {
+		workerAddrs[n] = "w" + string(rune('0'+n))
+	}
+	v := Bootstrap("sched:1", serverAddrs, workerAddrs, assign, replicas)
+	if err := v.Validate(layout); err != nil {
+		t.Fatal(err)
+	}
+	return v, layout
+}
+
+func TestCodecRoundtrip(t *testing.T) {
+	v, layout := testView(t, 3, 2, 2)
+	v.Servers[1].State = Down
+	v.Servers[2].Host = 0
+	v.Servers[2].Addr = v.Servers[0].Addr
+
+	got, rest, err := Decode(v.Encode(nil))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d words left over", len(rest))
+	}
+	if err := got.Validate(layout); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(v, got) {
+		t.Fatalf("roundtrip mismatch:\n got %+v\nwant %+v", got, v)
+	}
+
+	// Truncations fail loudly instead of yielding a half-view.
+	enc := v.Encode(nil)
+	for cut := 1; cut < len(enc); cut += 7 {
+		if _, _, err := Decode(enc[:cut]); err == nil {
+			t.Fatalf("decode of %d/%d words should fail", cut, len(enc))
+		}
+	}
+}
+
+func TestTrackerEpochFencing(t *testing.T) {
+	v1, layout := testView(t, 2, 1, 1)
+	tr := NewTracker(v1)
+	if tr.Epoch() != 1 {
+		t.Fatalf("epoch = %d", tr.Epoch())
+	}
+	v2, rank, err := v1.WithJoined("s9", layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 2 || v2.Epoch != 2 {
+		t.Fatalf("joined rank %d epoch %d", rank, v2.Epoch)
+	}
+	if !tr.Advance(v2) {
+		t.Fatal("newer view rejected")
+	}
+	if tr.Advance(v1) || tr.Advance(v2.Clone()) {
+		t.Fatal("stale/duplicate epoch accepted")
+	}
+	if tr.Advance(nil) {
+		t.Fatal("nil view accepted")
+	}
+	if tr.View() != v2 {
+		t.Fatal("tracker lost the installed view")
+	}
+}
+
+func TestTransitions(t *testing.T) {
+	v, layout := testView(t, 3, 2, 2)
+
+	// Join: move-minimal — existing servers only lose keys to the newcomer.
+	joined, rank, err := v.WithJoined("s9", layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < layout.NumKeys(); k++ {
+		was, is := v.Assignment.ServerOf(keyrange.Key(k)), joined.Assignment.ServerOf(keyrange.Key(k))
+		if was != is && is != rank {
+			t.Fatalf("key %d moved %d→%d, not to the joiner", k, was, is)
+		}
+	}
+
+	// Drain: rank 1's keys land on remaining active servers; member down.
+	drained, err := v.WithDrained(1, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if drained.Servers[1].State != Down {
+		t.Fatal("drained member still active")
+	}
+	for k := 0; k < layout.NumKeys(); k++ {
+		if drained.Assignment.ServerOf(keyrange.Key(k)) == 1 {
+			t.Fatalf("key %d still assigned to drained rank", k)
+		}
+	}
+	if _, err := drained.WithDrained(1, layout); err == nil {
+		t.Fatal("double drain should fail")
+	}
+
+	// Promote: assignment unchanged, only the address/host rebind.
+	promoted, err := v.WithPromoted(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	backup := v.BackupOf(0)
+	if promoted.Servers[0].Addr != v.Servers[backup].Addr || promoted.Servers[0].Host != backup {
+		t.Fatalf("promotion bound rank 0 to %+v, backup is %d", promoted.Servers[0], backup)
+	}
+	if keyrange.Moved(v.Assignment, promoted.Assignment) != 0 {
+		t.Fatal("promotion moved keys")
+	}
+
+	// No replication → no backup → promotion impossible.
+	solo, _ := testView(t, 2, 1, 1)
+	if _, err := solo.WithPromoted(0); err == nil {
+		t.Fatal("promotion without replicas should fail")
+	}
+}
+
+// TestBackupNeverColocates is the keyrange/clusterview property test the
+// replication design rests on: over random views, every key's backup rank
+// is distinct from its primary AND served by a different host process —
+// including after promotions rebind hosts.
+func TestBackupNeverColocates(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		servers := 2 + rng.Intn(6)
+		v, layout := testView(t, servers, 1+rng.Intn(3), 2)
+		// Random promotions rebind some hosts.
+		for i := rng.Intn(3); i > 0; i-- {
+			dead := rng.Intn(servers)
+			if next, err := v.WithPromoted(dead); err == nil {
+				v = next
+			}
+		}
+		for k := 0; k < layout.NumKeys(); k++ {
+			p := v.Assignment.ServerOf(keyrange.Key(k))
+			b := v.BackupOf(p)
+			if b < 0 {
+				continue // no eligible backup in this view
+			}
+			if b == p {
+				t.Fatalf("trial %d: key %d primary %d backs up onto itself", trial, k, p)
+			}
+			if v.Servers[b].Host == v.Servers[p].Host {
+				t.Fatalf("trial %d: key %d primary %d (host %d) and backup %d (host %d) colocate",
+					trial, k, p, v.Servers[p].Host, b, v.Servers[b].Host)
+			}
+			if v.Servers[b].State != Active {
+				t.Fatalf("trial %d: backup %d is not active", trial, b)
+			}
+		}
+	}
+}
+
+func TestBookAndActiveServers(t *testing.T) {
+	v, _ := testView(t, 2, 2, 1)
+	book := v.Book()
+	if book[transport.Scheduler()] != "sched:1" || book[transport.Server(1)] != "s1" || book[transport.Worker(0)] != "w0" {
+		t.Fatalf("book = %v", book)
+	}
+	v.Servers[0].State = Down
+	if got := v.ActiveServers(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("active = %v", got)
+	}
+}

@@ -7,6 +7,7 @@ import (
 
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/kvstore"
+	"github.com/fluentps/fluentps/internal/mathx"
 	"github.com/fluentps/fluentps/internal/transport"
 )
 
@@ -99,6 +100,9 @@ type applyEngine struct {
 	dirty   []int
 	acts    []pendingAct
 	msgs    []*transport.Message
+	// pairs are the (worker, seq) pushes this wave consumed, replicated to
+	// the backup alongside the coalesced deltas (replication.go).
+	pairs []dedupPair
 
 	// Same-key coalescing index, dense over the layout's key space (keys
 	// are small ints, so an array beats a map by an order of magnitude on
@@ -181,6 +185,9 @@ func (s *Server) runBatched(queue chan queuedMsg, workers int) (shutdown bool, e
 			if err := s.reevaluate(); err != nil {
 				return false, err
 			}
+			if err := s.replTick(); err != nil {
+				return false, err
+			}
 			continue
 		}
 		open := true
@@ -192,12 +199,16 @@ func (s *Server) runBatched(queue chan queuedMsg, workers int) (shutdown bool, e
 			}
 			switch q.msg.Type {
 			case transport.MsgPush:
-				if err := e.stagePush(q.msg); err != nil {
+				if s.holdForMigration(q.msg) {
+					s.holdMsg(q.msg)
+				} else if err := e.stagePush(q.msg); err != nil {
 					e.reset()
 					return false, err
 				}
 			case transport.MsgPull:
-				if err := e.stagePull(q.msg); err != nil {
+				if s.holdForMigration(q.msg) {
+					s.holdMsg(q.msg)
+				} else if err := e.stagePull(q.msg); err != nil {
 					e.reset()
 					return false, err
 				}
@@ -247,6 +258,10 @@ func (e *applyEngine) stagePush(msg *transport.Message) error {
 		e.acts = append(e.acts, pendingAct{kind: actPushAck, to: msg.From, seq: msg.Seq})
 		return nil
 	}
+	if s.staleFenced(msg) {
+		// Rejections need no wave barrier: the push was not applied.
+		return s.rejectStale(msg)
+	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
 	if s.adapt != nil {
@@ -264,6 +279,7 @@ func (e *applyEngine) stagePush(msg *transport.Message) error {
 		s.metrics.pushesDropped.Inc()
 	}
 	s.dedupRecord(msg.From, msg.Seq, dedupPushDone)
+	e.pairs = append(e.pairs, dedupPair{from: msg.From, seq: msg.Seq})
 	e.acts = append(e.acts, pendingAct{kind: actPushAck, to: msg.From, seq: msg.Seq})
 	for _, rel := range released {
 		s.assertSSPStaleness(rel.Progress)
@@ -322,6 +338,9 @@ func (e *applyEngine) stagePull(msg *transport.Message) error {
 				tok: pullToken{from: msg.From, seq: msg.Seq, keys: msg.Keys}})
 		}
 		return nil
+	}
+	if s.staleFenced(msg) {
+		return s.rejectStale(msg)
 	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
@@ -383,6 +402,9 @@ func (e *applyEngine) flush() error {
 			return firstErr
 		}
 	}
+	if s.replActive() {
+		return e.flushReplicated()
+	}
 	for i := range e.acts {
 		a := &e.acts[i]
 		switch a.kind {
@@ -397,6 +419,61 @@ func (e *applyEngine) flush() error {
 		}
 	}
 	return nil
+}
+
+// flushReplicated executes a wave's deferred effects under replication:
+// pull responses go out immediately (pulls do not mutate), push acks park
+// on the replication wave carrying the pushes' effects and are released
+// by the backup's acknowledgement — so an ack always means "replicated".
+func (e *applyEngine) flushReplicated() error {
+	s := e.s
+	var refs []ackRef
+	for i := range e.acts {
+		a := &e.acts[i]
+		if a.kind == actPushAck {
+			refs = append(refs, ackRef{to: a.to, seq: a.seq})
+			continue
+		}
+		if err := s.respondPull(a.tok); err != nil {
+			return err
+		}
+	}
+	if len(e.pairs) > 0 {
+		return s.sendWave(e.buildWave(), refs)
+	}
+	// Dup-only traffic: nothing new to replicate, but the re-acks must
+	// still wait out any wave their original rode on.
+	for _, r := range refs {
+		if err := s.ackOrPark(r.to, r.seq); err != nil {
+			return fmt.Errorf("core: server %d ack push: %w", s.cfg.Rank, err)
+		}
+	}
+	return nil
+}
+
+// buildWave turns the staged stripe batches into a replication wave: per
+// key, the coalesced staged gradients fold into one pre-scaled delta —
+// exactly what ApplyBatch added to the shard.
+func (e *applyEngine) buildWave() *replWave {
+	s := e.s
+	w := s.newWave(false)
+	w.pairs = append([]dedupPair(nil), e.pairs...)
+	for _, st := range e.dirty {
+		stg := &e.stripes[st]
+		for i := range stg.items {
+			it := &stg.items[i]
+			w.keys = append(w.keys, it.Key)
+			w.perKey = append(w.perKey, uint64(len(it.Grads)))
+			size := s.cfg.Layout.KeySize(it.Key)
+			start := len(w.vals)
+			w.vals = append(w.vals, make([]float64, size)...)
+			seg := w.vals[start:]
+			for _, g := range it.Grads {
+				mathx.Axpy(e.scale, g, seg)
+			}
+		}
+	}
+	return w
 }
 
 // observeBatch feeds the apply-batch-size histogram (gradient count per
@@ -423,6 +500,7 @@ func (e *applyEngine) reset() {
 	}
 	e.dirty = e.dirty[:0]
 	e.acts = e.acts[:0]
+	e.pairs = e.pairs[:0]
 	for _, m := range e.msgs {
 		transport.ReleaseReceived(m)
 	}

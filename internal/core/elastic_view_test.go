@@ -1,0 +1,296 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"runtime"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/clusterview"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// elasticHarness is the shared scaffolding of the live-join and drain
+// tests: an in-process cluster over a reliable transport, workers
+// training in the background, and the exact-sum audit proving no update
+// was lost or double-applied across the membership change.
+type elasticHarness struct {
+	t       *testing.T
+	net     *transport.ChanNetwork
+	layout  *keyrange.Layout
+	srvErrs map[int]chan error
+	ws      []*Worker
+	wErrs   chan error
+	admin   transport.Endpoint
+	workers int
+	iters   int
+	before  int
+}
+
+func (h *elasticHarness) startServer(rank, numWorkers int, view *clusterview.View) {
+	h.t.Helper()
+	srv, err := NewServer(h.net.Endpoint(transport.Server(rank)), ServerConfig{
+		Rank: rank, NumWorkers: numWorkers, Layout: h.layout,
+		Model: syncmodel.SSP(2), Drain: syncmodel.Lazy,
+		Seed: int64(rank), View: view,
+	})
+	if err != nil {
+		h.t.Fatal(err)
+	}
+	errc := make(chan error, 1)
+	h.srvErrs[rank] = errc
+	go func() { errc <- srv.Run() }()
+}
+
+func (h *elasticHarness) startWorkers(view *clusterview.View) {
+	h.t.Helper()
+	h.ws = make([]*Worker, h.workers)
+	h.wErrs = make(chan error, h.workers)
+	for n := 0; n < h.workers; n++ {
+		w, err := NewWorker(h.net.Endpoint(transport.Worker(n)), WorkerConfig{
+			Rank: n, Layout: h.layout, View: view,
+			Timeout: 8 * time.Second,
+		})
+		if err != nil {
+			h.t.Fatal(err)
+		}
+		h.ws[n] = w
+		go func(n int, w *Worker) {
+			h.wErrs <- func() error {
+				delta := make([]float64, h.layout.TotalDim())
+				params := make([]float64, h.layout.TotalDim())
+				for i := range delta {
+					delta[i] = 0.01
+				}
+				for i := 0; i < h.iters; i++ {
+					if err := w.SPush(tctx, i, delta); err != nil {
+						return fmt.Errorf("worker %d push %d: %w", n, i, err)
+					}
+					if i < h.iters-1 {
+						if err := w.SPull(tctx, i, params); err != nil {
+							return fmt.Errorf("worker %d pull %d: %w", n, i, err)
+						}
+					}
+				}
+				return nil
+			}()
+		}(n, h.ws[n])
+	}
+}
+
+// auditExactSum pulls the final model and checks every dimension equals
+// the sequential sum of all pushed updates — the arithmetic proof that
+// the membership change neither lost nor double-applied an update.
+func (h *elasticHarness) auditExactSum(ctx context.Context) {
+	h.t.Helper()
+	params := make([]float64, h.layout.TotalDim())
+	if err := h.ws[0].SPull(ctx, h.iters-1, params); err != nil {
+		h.t.Fatal(err)
+	}
+	scale := 1 / float64(h.workers)
+	want := 0.0
+	for j := 0; j < h.workers*h.iters; j++ {
+		want += 0.01 * scale
+	}
+	for i, got := range params {
+		if math.Abs(got-want) > 1e-9 {
+			h.t.Fatalf("dim %d = %v, want %v: an update was lost or double-applied across the membership change", i, got, want)
+		}
+	}
+}
+
+func (h *elasticHarness) shutdown(ranks ...int) {
+	h.t.Helper()
+	for _, m := range ranks {
+		if err := h.admin.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(m)}); err != nil {
+			h.t.Fatal(err)
+		}
+		if err := <-h.srvErrs[m]; err != nil {
+			h.t.Fatalf("server %d exited with %v", m, err)
+		}
+	}
+	for _, w := range h.ws {
+		if n := w.Outstanding(); n != 0 {
+			h.t.Errorf("worker %d still has %d in-flight requests", w.Rank(), n)
+		}
+		w.Close()
+	}
+	h.admin.Close()
+	waitUntil(h.t, 5*time.Second, "cluster goroutines to wind down", func() bool {
+		return runtime.NumGoroutine() <= h.before+3
+	})
+}
+
+// TestLiveJoinServesDuringTransfer grows a 2-server cluster to 3 while
+// workers train: the joiner starts empty (the -joining server flow),
+// fluentps-admin's view transition streams a third of the keys to it, and
+// training never stops — proven by the workers completing, the exact-sum
+// audit, and the joiner answering with a live V_train clock (adopted from
+// its donors) rather than a blank one.
+func TestLiveJoinServesDuringTransfer(t *testing.T) {
+	const (
+		workers = 2
+		iters   = 60
+	)
+	layout := keyrange.MustLayout([]int{2, 3, 2, 3, 2, 3})
+	assign, err := keyrange.EPS(layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &elasticHarness{
+		t: t, net: transport.NewChanNetwork(4096), layout: layout,
+		srvErrs: make(map[int]chan error), workers: workers, iters: iters,
+		before: runtime.NumGoroutine(),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	// Established cluster: two servers and the workers, all on epoch 1.
+	viewOld := clusterview.Bootstrap("", make([]string, 2), make([]string, workers), assign, 1)
+	h.startServer(0, workers, viewOld)
+	h.startServer(1, workers, viewOld)
+	h.startWorkers(viewOld)
+	h.admin = h.net.Endpoint(transport.Worker(50))
+
+	// The joiner boots empty with rank 2, exactly as fluentps-server
+	// -joining does: a bootstrap view listing itself, but an assignment
+	// that gives it nothing until the admin's transition.
+	viewJoin := clusterview.Bootstrap("", make([]string, 3), make([]string, workers), assign, 1)
+	h.startServer(2, workers, viewJoin)
+
+	// Let training run, then grow the view mid-flight.
+	waitUntil(t, 10*time.Second, "training to reach steady state", func() bool {
+		st, err := QueryStats(ctx, h.admin, 0)
+		return err == nil && st.Pushes >= 10
+	})
+	next, rank, err := viewOld.WithJoined("", layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rank != 2 {
+		t.Fatalf("join assigned rank %d, want 2", rank)
+	}
+	if err := DistributeView(ctx, h.admin, next, nil); err != nil {
+		for m, errc := range h.srvErrs {
+			select {
+			case serr := <-errc:
+				t.Logf("server %d already exited: %v", m, serr)
+			default:
+			}
+		}
+		t.Fatal(err)
+	}
+
+	// The transition is complete: the joiner holds a move-minimal share
+	// of the keys and serves with a live clock.
+	var keys [3]int
+	total := 0
+	for m := 0; m < 3; m++ {
+		st, err := QueryStats(ctx, h.admin, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		keys[m] = st.Keys
+		total += st.Keys
+		if m == 2 {
+			if st.Keys == 0 {
+				t.Error("joiner received no keys")
+			}
+			if st.VTrain == 0 {
+				t.Error("joiner serves with V_train 0; it must adopt its donors' clock")
+			}
+		}
+	}
+	if total != layout.NumKeys() {
+		t.Errorf("keys split %v covers %d of %d keys", keys, total, layout.NumKeys())
+	}
+	if keys[2] > layout.NumKeys()/2 {
+		t.Errorf("joiner took %d of %d keys; a move-minimal scale-up moves about a third", keys[2], layout.NumKeys())
+	}
+
+	for n := 0; n < workers; n++ {
+		if err := <-h.wErrs; err != nil {
+			for m := 0; m < 3; m++ {
+				if st, serr := QueryStats(ctx, h.admin, m); serr == nil {
+					t.Logf("server %d: vtrain=%d keys=%d pushes=%d pulls=%d dedup=%d", m, st.VTrain, st.Keys, st.Pushes, st.Pulls, st.DedupHits)
+				}
+			}
+			t.Fatal(err)
+		}
+	}
+	h.auditExactSum(ctx)
+	h.shutdown(0, 1, 2)
+}
+
+// TestDrainMovesKeysWithoutStopping drains one of three servers while
+// workers train: its keys stream to the survivors through the same
+// checkpoint format, the drained rank keeps fencing stale traffic until
+// the cluster quiesces, and no update is lost or double-applied.
+func TestDrainMovesKeysWithoutStopping(t *testing.T) {
+	const (
+		workers = 2
+		iters   = 60
+	)
+	layout := keyrange.MustLayout([]int{2, 3, 2, 3, 2, 3})
+	assign, err := keyrange.EPS(layout, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := &elasticHarness{
+		t: t, net: transport.NewChanNetwork(4096), layout: layout,
+		srvErrs: make(map[int]chan error), workers: workers, iters: iters,
+		before: runtime.NumGoroutine(),
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 20*time.Second)
+	defer cancel()
+
+	view := clusterview.Bootstrap("", make([]string, 3), make([]string, workers), assign, 1)
+	for m := 0; m < 3; m++ {
+		h.startServer(m, workers, view)
+	}
+	h.startWorkers(view)
+	h.admin = h.net.Endpoint(transport.Worker(50))
+
+	waitUntil(t, 10*time.Second, "training to reach steady state", func() bool {
+		st, err := QueryStats(ctx, h.admin, 2)
+		return err == nil && st.Pushes >= 10
+	})
+	next, err := view.WithDrained(2, layout)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The transition must reach the drained rank too — it donates every
+	// key — so the rank set is the union of old and new active sets.
+	if err := DistributeView(ctx, h.admin, next, []int{0, 1, 2}); err != nil {
+		t.Fatal(err)
+	}
+
+	total := 0
+	for m := 0; m < 3; m++ {
+		st, err := QueryStats(ctx, h.admin, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += st.Keys
+		if m == 2 && st.Keys != 0 {
+			t.Errorf("drained server still holds %d keys", st.Keys)
+		}
+	}
+	if total != layout.NumKeys() {
+		t.Errorf("survivors hold %d of %d keys after drain", total, layout.NumKeys())
+	}
+
+	// The drained rank idles but keeps fencing in-flight stale requests;
+	// it is shut down only after the workers quiesce.
+	for n := 0; n < workers; n++ {
+		if err := <-h.wErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+	h.auditExactSum(ctx)
+	h.shutdown(2, 0, 1)
+}

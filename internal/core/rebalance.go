@@ -1,6 +1,7 @@
 package core
 
 import (
+	"bytes"
 	"context"
 	"fmt"
 
@@ -129,24 +130,19 @@ func (s *Server) handleRebalance(msg *transport.Message) error {
 	st.next = next
 	st.admin = msg.From
 
-	// Departures: keys owned now whose new owner is someone else.
-	for _, k := range append([]keyrange.Key(nil), s.shard.Keys()...) {
-		newOwner := next.ServerOf(k)
-		if newOwner == s.cfg.Rank {
-			continue
+	// Departures: group by new owner and ship one checkpoint stream per
+	// destination — the same format full checkpoints and view-change
+	// transfers use, so values AND update counters travel together (the
+	// old per-key raw-segment hand-off silently zeroed the counters).
+	departing := make(map[int][]keyrange.Key)
+	for _, k := range s.shard.Keys() {
+		if newOwner := next.ServerOf(k); newOwner != s.cfg.Rank {
+			departing[newOwner] = append(departing[newOwner], k)
 		}
-		vals, err := s.shard.RemoveKey(k)
-		if err != nil {
+	}
+	for dest, keys := range departing {
+		if err := s.sendKeyTransfer(dest, keys, 0); err != nil {
 			return err
-		}
-		out := &transport.Message{
-			Type: transport.MsgMigrate,
-			To:   transport.Server(newOwner),
-			Keys: []keyrange.Key{k},
-			Vals: vals,
-		}
-		if err := s.ep.Send(out); err != nil {
-			return fmt.Errorf("core: server %d migrate key %d: %w", s.cfg.Rank, k, err)
 		}
 	}
 	// Arrivals: keys newly owned.
@@ -164,14 +160,25 @@ func (s *Server) handleRebalance(msg *transport.Message) error {
 	early := st.early
 	st.early = nil
 	for _, m := range early {
-		if err := s.handleMigrate(m); err != nil {
+		retained, err := s.handleMigrate(m)
+		if err != nil {
 			return err
+		}
+		if !retained {
+			transport.ReleaseReceived(m)
 		}
 	}
 	return s.maybeFinishRebalance()
 }
 
-func (s *Server) handleMigrate(msg *transport.Message) error {
+// handleMigrate routes a key-transfer stream: epoch-stamped transfers
+// belong to a view change (view.go), unstamped ones to a legacy quiesced
+// rebalance. It reports whether msg was retained in an early-arrival
+// buffer; unretained messages are released by the caller.
+func (s *Server) handleMigrate(msg *transport.Message) (retained bool, err error) {
+	if msg.View != 0 {
+		return s.handleViewMigrate(msg)
+	}
 	st := s.reb
 	if st == nil || st.next == nil {
 		// The admin's broadcast has not reached us yet; buffer.
@@ -180,16 +187,18 @@ func (s *Server) handleMigrate(msg *transport.Message) error {
 			s.reb = st
 		}
 		st.early = append(st.early, msg)
-		return nil
+		return true, nil
 	}
-	if len(msg.Keys) != 1 {
-		return fmt.Errorf("core: server %d: migrate message carries %d keys", s.cfg.Rank, len(msg.Keys))
+	raw, _, err := transport.UnpackBytes(msg.Vals)
+	if err != nil {
+		return false, fmt.Errorf("core: server %d unpack migrate stream: %w", s.cfg.Rank, err)
 	}
-	if err := s.shard.AddKey(msg.Keys[0], msg.Vals); err != nil {
-		return fmt.Errorf("core: server %d absorb key %d: %w", s.cfg.Rank, msg.Keys[0], err)
+	absorbed, err := s.shard.Absorb(bytes.NewReader(raw))
+	if err != nil {
+		return false, fmt.Errorf("core: server %d absorb migrate stream: %w", s.cfg.Rank, err)
 	}
-	st.expect--
-	return s.maybeFinishRebalance()
+	st.expect -= len(absorbed)
+	return false, s.maybeFinishRebalance()
 }
 
 func (s *Server) maybeFinishRebalance() error {
@@ -200,6 +209,10 @@ func (s *Server) maybeFinishRebalance() error {
 	// Adopt the new assignment and serve from the rebalanced shard.
 	s.cfg.Assignment = st.next
 	s.keys = st.next.KeysOf(s.cfg.Rank)
+	if s.replActive() {
+		// The replica must re-learn the reshaped key set.
+		s.repl.needSnapshot = true
+	}
 	ack := &transport.Message{Type: transport.MsgRebalanceAck, To: st.admin}
 	s.reb = nil
 	if err := s.ep.Send(ack); err != nil {

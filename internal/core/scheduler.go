@@ -6,6 +6,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/fluentps/fluentps/internal/clusterview"
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/transport"
 )
@@ -24,6 +25,10 @@ type Scheduler struct {
 	// the scheduler "divides the whole key space into several key
 	// ranges").
 	assign *keyrange.Assignment
+	// view, when set via DistributeClusterView, supersedes assign: the
+	// registration ack carries the full epoch-versioned view (membership,
+	// roles, assignment, replication factor) instead of a bare assignment.
+	view *clusterview.View
 
 	mu         sync.Mutex
 	registered map[transport.NodeID]bool
@@ -55,6 +60,16 @@ func NewScheduler(ep transport.Endpoint, servers, workers int) (*Scheduler, erro
 // needs the slicing configuration. Call before Run.
 func (s *Scheduler) DistributeAssignment(a *keyrange.Assignment) {
 	s.assign = a
+}
+
+// DistributeClusterView makes the scheduler hand the bootstrap cluster
+// view to every registering node: each ack carries the encoded view
+// (Progress=1 tags the payload format), and RegisterAndFetchView returns
+// it. Supersedes DistributeAssignment — the view embeds the assignment.
+// Call before Run.
+func (s *Scheduler) DistributeClusterView(v *clusterview.View) {
+	s.view = v
+	s.assign = v.Assignment
 }
 
 // Run serves registration and heartbeat messages until ctx is cancelled,
@@ -108,7 +123,12 @@ func (s *Scheduler) handleRegister(msg *transport.Message) error {
 	for _, reg := range toAck {
 		from := reg.From
 		ack := &transport.Message{Type: transport.MsgRegisterAck, To: from, Seq: reg.Seq}
-		if s.assign != nil {
+		if s.view != nil {
+			// Progress distinguishes the payload: 1 = encoded cluster
+			// view, 0 = legacy bare assignment.
+			ack.Progress = 1
+			ack.Vals = s.view.Encode(nil)
+		} else if s.assign != nil {
 			ack.Vals = encodeAssignment(s.assign)
 		}
 		err := s.ep.Send(ack)
@@ -146,11 +166,55 @@ func RegisterAndFetch(ctx context.Context, ep transport.Endpoint, layout *keyran
 		transport.ReleaseReceived(resp)
 		return nil, nil
 	}
+	if resp.Progress == 1 {
+		// The scheduler distributes full views; this legacy caller only
+		// wants the assignment embedded in it.
+		v, _, err := clusterview.Decode(resp.Vals)
+		transport.ReleaseReceived(resp)
+		if err != nil {
+			return nil, fmt.Errorf("core: decode view from registration ack: %w", err)
+		}
+		return v.Assignment, nil
+	}
 	// decodeAssignment copies the payload into fresh owner slices, so
 	// releasing resp afterwards is safe.
 	a, err := decodeAssignment(layout, resp.Vals)
 	transport.ReleaseReceived(resp)
 	return a, err
+}
+
+// RegisterAndFetchView registers the node, blocks until the cluster
+// assembles, and returns the cluster view the scheduler distributes — or
+// nil when the scheduler only knows a bare assignment (or nothing), in
+// which case callers fall back to flag-derived bootstrap. ctx bounds the
+// wait; nil means wait forever.
+func RegisterAndFetchView(ctx context.Context, ep transport.Endpoint) (*clusterview.View, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	msg := &transport.Message{Type: transport.MsgRegister, To: transport.Scheduler()}
+	if err := ep.Send(msg); err != nil {
+		return nil, fmt.Errorf("core: register %s: %w", ep.ID(), err)
+	}
+	resp, err := recvCtx(ctx, ep)
+	if err != nil {
+		return nil, fmt.Errorf("core: await registration ack: %w", err)
+	}
+	if resp.Type != transport.MsgRegisterAck {
+		typ := resp.Type
+		transport.ReleaseReceived(resp)
+		return nil, fmt.Errorf("core: unexpected %s before registration ack", typ)
+	}
+	if resp.Progress != 1 || len(resp.Vals) == 0 {
+		transport.ReleaseReceived(resp)
+		return nil, nil
+	}
+	v, _, err := clusterview.Decode(resp.Vals)
+	transport.ReleaseReceived(resp)
+	if err != nil {
+		return nil, fmt.Errorf("core: decode view from registration ack: %w", err)
+	}
+	return v, nil
 }
 
 // Alive returns the nodes whose last heartbeat (or registration) is within

@@ -18,6 +18,7 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 	"sync"
 	"time"
 
+	"github.com/fluentps/fluentps/internal/clusterview"
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/kvstore"
 	"github.com/fluentps/fluentps/internal/syncmodel"
@@ -91,6 +93,19 @@ type ServerConfig struct {
 	// the bounds always come from the adaptive model's spec, which is the
 	// single wire-visible source of truth.
 	Adaptive syncmodel.AdaptiveConfig
+	// View is the epoch-versioned cluster membership this server starts
+	// from. When set it overrides Assignment (the view's assignment wins)
+	// and defaults NumWorkers; requests stamped with an older epoch are
+	// rejected with the current view. Nil synthesizes an epoch-1 bootstrap
+	// view from Assignment/NumWorkers, with fencing effectively off for
+	// unstamped traffic — existing static deployments run unchanged.
+	View *clusterview.View
+	// OpenEndpoint, when non-nil, lets this server bind additional node
+	// identities on its transport — a promotion boots the dead rank's
+	// shard in this process and needs an endpoint with that rank's id.
+	// Nil disables hosting promotions (this server can still be a backup
+	// donor for key transfer and serve fenced traffic).
+	OpenEndpoint func(id transport.NodeID) (transport.Endpoint, error)
 }
 
 // DefaultAdaptEvery is the adaptive re-evaluation period used when
@@ -169,6 +184,26 @@ type Server struct {
 
 	// reb tracks an in-progress elastic rebalance (rebalance.go).
 	reb *rebalanceState
+
+	// views tracks the installed cluster view; epoch caches its stamp for
+	// the request fence. Both are owned by the apply goroutine (epoch is
+	// read on every push/pull, so it must not take the tracker's lock).
+	views *clusterview.Tracker
+	epoch uint32
+	// repl is the primary side of shard replication; replicas the backup
+	// side, one passive replica per primary this server backs
+	// (replication.go).
+	repl     *replState
+	replicas map[int]*replicaState
+	// mig tracks keys owed to this server after a view change; earlyMig
+	// buffers transfers that outran their view, held parks data-plane
+	// requests touching in-flight keys (view.go).
+	mig      *viewMigration
+	earlyMig []*transport.Message
+	held     []*transport.Message
+	// subs are endpoints of shards promoted into this process; closed when
+	// Run returns.
+	subs []transport.Endpoint
 
 	// debugLastVTrain backs the fluentdebug V_train monotonicity
 	// assertion (assert.go); unused in release builds.
@@ -304,6 +339,16 @@ func NewServer(ep transport.Endpoint, cfg ServerConfig) (*Server, error) {
 	if cfg.Model.Pull == nil || cfg.Model.Push == nil {
 		return nil, fmt.Errorf("core: server %d has no synchronization model", cfg.Rank)
 	}
+	view := cfg.View
+	if view != nil {
+		if err := view.Validate(cfg.Layout); err != nil {
+			return nil, fmt.Errorf("core: server %d: %w", cfg.Rank, err)
+		}
+		cfg.Assignment = view.Assignment
+		if cfg.NumWorkers == 0 {
+			cfg.NumWorkers = view.NumWorkers()
+		}
+	}
 	if cfg.NumWorkers <= 0 {
 		return nil, fmt.Errorf("core: server %d configured with %d workers", cfg.Rank, cfg.NumWorkers)
 	}
@@ -327,6 +372,20 @@ func NewServer(ep transport.Endpoint, cfg ServerConfig) (*Server, error) {
 	if cfg.DedupWindow >= 0 {
 		s.dedup = make(map[transport.NodeID]*dedupWindow)
 	}
+	if view == nil {
+		// Static deployments get a synthesized epoch-1 view: fencing is
+		// inert for their unstamped traffic, and no member has an address
+		// or backup to speak of.
+		view = clusterview.Bootstrap("",
+			make([]string, cfg.Assignment.NumServers()),
+			make([]string, cfg.NumWorkers),
+			cfg.Assignment, 1)
+	}
+	s.views = clusterview.NewTracker(view)
+	s.epoch = view.EpochStamp()
+	s.metrics.viewEpoch.Set(int64(view.Epoch))
+	s.repl = &replState{backup: view.BackupOf(cfg.Rank), needSnapshot: true}
+	s.replicas = make(map[int]*replicaState)
 	return s, nil
 }
 
@@ -411,6 +470,17 @@ func (s *Server) Run() error {
 		}
 	}()
 	defer close(applyDone)
+	defer func() {
+		// Shards promoted into this process live exactly as long as it does.
+		for _, sub := range s.subs {
+			_ = sub.Close()
+		}
+	}()
+	// A backup configured at startup gets its first snapshot before any
+	// wave can reference it.
+	if err := s.replTick(); err != nil {
+		return err
+	}
 	var (
 		shutdown bool
 		err      error
@@ -421,6 +491,11 @@ func (s *Server) Run() error {
 		shutdown, err = s.runSerial(queue)
 	}
 	if err != nil {
+		if errors.Is(err, transport.ErrClosed) {
+			// The endpoint was closed under a mid-flight handler (a kill
+			// or harness teardown); that is a shutdown, not a fault.
+			return nil
+		}
 		return err
 	}
 	if shutdown {
@@ -457,6 +532,9 @@ func (s *Server) runSerial(queue chan queuedMsg) (shutdown bool, err error) {
 			if err := s.reevaluate(); err != nil {
 				return false, err
 			}
+			if err := s.replTick(); err != nil {
+				return false, err
+			}
 		}
 	}
 }
@@ -470,17 +548,26 @@ type queuedMsg struct {
 
 // apply dispatches one message. Receiver-owned pooled messages (TCP
 // frames, handed-off pointers) are recycled after their handler returns —
-// except MsgMigrate, which handleMigrate may buffer until the rebalance
-// broadcast arrives.
+// except MsgMigrate when handleMigrate buffers it until its rebalance or
+// view arrives, and pushes/pulls held while their keys are in flight
+// during a migration.
 func (s *Server) apply(msg *transport.Message) (shutdown bool, err error) {
 	switch msg.Type {
 	case transport.MsgPush:
+		if s.holdForMigration(msg) {
+			s.holdMsg(msg)
+			return false, nil
+		}
 		err = s.handlePush(msg)
 		transport.ReleaseReceived(msg)
 		if err == nil {
 			s.snapshotStats()
 		}
 	case transport.MsgPull:
+		if s.holdForMigration(msg) {
+			s.holdMsg(msg)
+			return false, nil
+		}
 		err = s.handlePull(msg)
 		transport.ReleaseReceived(msg)
 		if err == nil {
@@ -496,8 +583,26 @@ func (s *Server) apply(msg *transport.Message) (shutdown bool, err error) {
 		err = s.handleRebalance(msg)
 		transport.ReleaseReceived(msg)
 	case transport.MsgMigrate:
-		// May be retained in the early-arrival buffer; never released.
-		err = s.handleMigrate(msg)
+		var retained bool
+		retained, err = s.handleMigrate(msg)
+		if !retained {
+			transport.ReleaseReceived(msg)
+		}
+	case transport.MsgView:
+		err = s.handleView(msg)
+		transport.ReleaseReceived(msg)
+	case transport.MsgViewReq:
+		err = s.handleViewReq(msg)
+		transport.ReleaseReceived(msg)
+	case transport.MsgReplicate:
+		err = s.handleReplicate(msg)
+		transport.ReleaseReceived(msg)
+	case transport.MsgReplicateAck:
+		err = s.handleReplicateAck(msg)
+		transport.ReleaseReceived(msg)
+	case transport.MsgPromote:
+		err = s.handlePromote(msg)
+		transport.ReleaseReceived(msg)
 	case transport.MsgStats:
 		err = s.handleStats(msg)
 		transport.ReleaseReceived(msg)
@@ -528,10 +633,15 @@ func (s *Server) handlePush(msg *transport.Message) error {
 		// window yields effectively-once application.
 		s.dedupHits++
 		s.metrics.dedupPushHits.Inc()
-		if err := s.ack(transport.MsgPushAck, msg.From, msg.Seq); err != nil {
+		// The re-ack parks like the original if its wave is still pending
+		// replication: an ack must always mean "replicated".
+		if err := s.ackOrPark(msg.From, msg.Seq); err != nil {
 			return fmt.Errorf("core: server %d re-ack push: %w", s.cfg.Rank, err)
 		}
 		return nil
+	}
+	if s.staleFenced(msg) {
+		return s.rejectStale(msg)
 	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)
@@ -553,7 +663,13 @@ func (s *Server) handlePush(msg *transport.Message) error {
 	// A dropped push is consumed too: its duplicate must not be offered
 	// to the controller a second time.
 	s.dedupRecord(msg.From, msg.Seq, dedupPushDone)
-	if err := s.ack(transport.MsgPushAck, msg.From, msg.Seq); err != nil {
+	if s.replActive() {
+		// Acked ⇒ replicated: the ack is parked on the wave carrying this
+		// push's effects and released by the backup's acknowledgement.
+		if err := s.replicatePush(msg, apply); err != nil {
+			return err
+		}
+	} else if err := s.ack(transport.MsgPushAck, msg.From, msg.Seq); err != nil {
 		return fmt.Errorf("core: server %d ack push: %w", s.cfg.Rank, err)
 	}
 	for _, rel := range released {
@@ -599,6 +715,9 @@ func (s *Server) handlePull(msg *transport.Message) error {
 		// push releases it; registering the duplicate would answer the
 		// worker twice and corrupt the DPR accounting.
 		return nil
+	}
+	if s.staleFenced(msg) {
+		return s.rejectStale(msg)
 	}
 	worker := int(msg.From.Rank)
 	progress := int(msg.Progress)

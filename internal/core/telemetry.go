@@ -37,6 +37,12 @@ import (
 //	                                  = batches of ~2^n gradients)
 //	server.apply_stripe_queue_depth gauge(fn) stripe batches dispatched to
 //	                                  apply workers and not yet picked up
+//	server.view_epoch        gauge    epoch of the installed cluster view
+//	server.stale_view_rejects counter requests rejected for stale view routing
+//	server.replicate_waves   counter  replication waves sent to the backup
+//	server.replicate_resends counter  unacked waves retransmitted on tick
+//	server.replica_waves_applied counter waves folded into hosted replicas
+//	server.promotions        counter  dead primaries promoted into this process
 //
 //	worker.pushes            counter  sPush operations started
 //	worker.pulls             counter  sPull operations started
@@ -47,6 +53,8 @@ import (
 //	worker.pull_rtt_ns       histogram per-shard pull round-trip time
 //	worker.outstanding       gauge(fn) requests currently in flight
 //	worker.pipeline_depth    gauge(fn) requests queued in the per-server pipelines
+//	worker.view_adoptions    counter  newer cluster views adopted
+//	worker.reissues          counter  requests reissued after stale-view rejects
 
 // serverMetrics bundles one server's instruments; the zero value (all nil
 // pointers, on=false) is fully disabled.
@@ -73,6 +81,13 @@ type serverMetrics struct {
 	skew          *telemetry.Gauge
 	dprDepth      *telemetry.Gauge
 	syncStaleness *telemetry.Gauge
+
+	viewEpoch           *telemetry.Gauge
+	staleViewRejects    *telemetry.Counter
+	replicateWaves      *telemetry.Counter
+	replicateResends    *telemetry.Counter
+	replicaWavesApplied *telemetry.Counter
+	promotions          *telemetry.Counter
 }
 
 func newServerMetrics(r *telemetry.Registry) serverMetrics {
@@ -95,6 +110,13 @@ func newServerMetrics(r *telemetry.Registry) serverMetrics {
 		skew:          r.Gauge("server.progress_skew"),
 		dprDepth:      r.Gauge("server.dpr_depth"),
 		syncStaleness: r.Gauge("server.sync_staleness"),
+
+		viewEpoch:           r.Gauge("server.view_epoch"),
+		staleViewRejects:    r.Counter("server.stale_view_rejects"),
+		replicateWaves:      r.Counter("server.replicate_waves"),
+		replicateResends:    r.Counter("server.replicate_resends"),
+		replicaWavesApplied: r.Counter("server.replica_waves_applied"),
+		promotions:          r.Counter("server.promotions"),
 	}
 }
 
@@ -110,6 +132,9 @@ type workerMetrics struct {
 
 	pushRTT *telemetry.Histogram
 	pullRTT *telemetry.Histogram
+
+	viewAdoptions *telemetry.Counter
+	reissues      *telemetry.Counter
 }
 
 func newWorkerMetrics(r *telemetry.Registry) workerMetrics {
@@ -122,5 +147,8 @@ func newWorkerMetrics(r *telemetry.Registry) workerMetrics {
 		stale:    r.Counter("worker.stale_responses"),
 		pushRTT:  r.Histogram("worker.push_rtt_ns"),
 		pullRTT:  r.Histogram("worker.pull_rtt_ns"),
+
+		viewAdoptions: r.Counter("worker.view_adoptions"),
+		reissues:      r.Counter("worker.reissues"),
 	}
 }

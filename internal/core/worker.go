@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"github.com/fluentps/fluentps/internal/clusterview"
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/kvstore"
 	"github.com/fluentps/fluentps/internal/telemetry"
@@ -85,6 +86,13 @@ type WorkerConfig struct {
 	// (see core/telemetry.go). One registry per node; nil disables
 	// collection at zero hot-path cost beyond a predictable branch.
 	Telemetry *telemetry.Registry
+	// View is the epoch-versioned cluster membership the worker starts
+	// from. When set it overrides Assignment, every request is stamped
+	// with the view's epoch, and the worker adopts newer views pushed to
+	// it (or embedded in a stale-view rejection) — re-routing reissued
+	// requests to the keys' new owners. Nil keeps the static legacy mode:
+	// unstamped requests, assignment changes only via SetAssignment.
+	View *clusterview.View
 }
 
 // WorkerStats counts the worker's request-lifecycle events.
@@ -136,6 +144,15 @@ type Worker struct {
 
 	// keysPerServer caches each server's key list.
 	keysPerServer [][]keyrange.Key
+
+	// views tracks the adopted cluster view (nil in legacy static mode).
+	// The receive loop advances it; request paths read it, so access goes
+	// through the tracker's lock. viewDirty flags a newly adopted view
+	// whose assignment the owning goroutine has not switched to yet;
+	// adoptedEpoch (owner-goroutine only) remembers the last switch.
+	views        *clusterview.Tracker
+	viewDirty    atomic.Bool
+	adoptedEpoch uint64
 }
 
 // serverPipe is one shard's outbound pipeline: a bounded queue drained by
@@ -172,6 +189,12 @@ type pendingReq struct {
 // NewWorker builds a worker over the given endpoint, whose id must be
 // transport.Worker(cfg.Rank).
 func NewWorker(ep transport.Endpoint, cfg WorkerConfig) (*Worker, error) {
+	if cfg.View != nil {
+		if err := cfg.View.Validate(cfg.Layout); err != nil {
+			return nil, fmt.Errorf("core: worker %d: %w", cfg.Rank, err)
+		}
+		cfg.Assignment = cfg.View.Assignment
+	}
 	if cfg.Layout == nil || cfg.Assignment == nil {
 		return nil, fmt.Errorf("core: worker %d: WorkerConfig needs Layout and Assignment", cfg.Rank)
 	}
@@ -191,6 +214,10 @@ func NewWorker(ep transport.Endpoint, cfg WorkerConfig) (*Worker, error) {
 	w.keysPerServer = make([][]keyrange.Key, w.servers)
 	for m := 0; m < w.servers; m++ {
 		w.keysPerServer[m] = cfg.Assignment.KeysOf(m)
+	}
+	if cfg.View != nil {
+		w.views = clusterview.NewTracker(cfg.View)
+		w.adoptedEpoch = cfg.View.Epoch
 	}
 	w.metrics = newWorkerMetrics(cfg.Telemetry)
 	w.startPipes()
@@ -306,6 +333,21 @@ func (w *Worker) recvLoop() {
 			close(w.done)
 			return
 		}
+		switch msg.Type {
+		case transport.MsgView:
+			// The admin distributes a new cluster view. Adopt it, ack it,
+			// and keep receiving — no request is waiting on this.
+			w.adoptFromWire(msg.Vals)
+			ack := &transport.Message{Type: transport.MsgViewAck, To: msg.From, Seq: msg.Seq}
+			_ = w.ep.Send(ack)
+			transport.ReleaseReceived(msg)
+			continue
+		case transport.MsgStaleView:
+			// A server fenced one of our requests and embedded the view it
+			// is on. Adopt it here (the waiter may be blocked in await and
+			// could not), then deliver the rejection so Wait can reissue.
+			w.adoptFromWire(msg.Vals)
+		}
 		if !w.deliver(msg) {
 			// A late answer to an abandoned (timed-out) request, or the
 			// second copy of a duplicated response: drop it — nobody is
@@ -383,6 +425,7 @@ func (w *Worker) newRequest(typ transport.MsgType, m int, progress int, delta []
 	msg.To = transport.Server(m)
 	msg.Seq = seq
 	msg.Progress = int32(progress)
+	msg.View = w.viewStamp()
 	msg.Keys = append(msg.Keys[:0], w.keysPerServer[m]...)
 	if delta != nil {
 		if n := w.cfg.PayloadCapacity; n > 0 && cap(msg.Vals) < n {
@@ -455,6 +498,58 @@ func (w *Worker) finishRequest(p *pendingReq) {
 	transport.Release(p.msg)
 	p.msg = nil
 	w.reqPool.Put(p)
+}
+
+// viewStamp returns the epoch every outgoing request carries — zero (the
+// unfenced sentinel) in legacy static mode.
+func (w *Worker) viewStamp() uint32 {
+	if w.views == nil {
+		return 0
+	}
+	return w.views.View().EpochStamp()
+}
+
+// adoptFromWire decodes and (epoch permitting) installs a view carried in
+// a MsgView broadcast or embedded in a MsgStaleView rejection. Runs on the
+// receive loop; the assignment switch is deferred to the owning goroutine
+// (maybeAdoptAssignment) because it rebuilds the sender pipelines.
+func (w *Worker) adoptFromWire(vals []float64) {
+	if w.views == nil || len(vals) == 0 {
+		return
+	}
+	v, _, err := clusterview.Decode(vals)
+	if err != nil || !w.views.Advance(v) {
+		return
+	}
+	w.metrics.viewAdoptions.Inc()
+	// Redial: rebind every server identity to the address now serving it
+	// (a promotion moves a dead rank's address onto its backup's process).
+	for m := range v.Servers {
+		if v.Servers[m].Addr != "" {
+			transport.SetPeerAddr(w.ep, v.Servers[m].ID, v.Servers[m].Addr)
+		}
+	}
+	w.viewDirty.Store(true)
+}
+
+// maybeAdoptAssignment switches the owning goroutine onto a newly adopted
+// view's key assignment. Only safe at a quiet point — SetAssignment tears
+// down and rebuilds the per-server pipelines — so with requests still in
+// flight the switch waits for the next operation boundary; until then
+// fenced requests are repaired one by one through the reissue path.
+func (w *Worker) maybeAdoptAssignment() {
+	if w.views == nil || !w.viewDirty.Load() || w.Outstanding() != 0 {
+		return
+	}
+	// Clear the flag before reading the view: an adoption racing in after
+	// the clear re-raises it, so the newest view is never stranded.
+	w.viewDirty.Store(false)
+	v := w.views.View()
+	if v.Epoch == w.adoptedEpoch {
+		return
+	}
+	w.adoptedEpoch = v.Epoch
+	w.SetAssignment(v.Assignment)
 }
 
 func (w *Worker) lostErr(err error) error {
@@ -559,6 +654,23 @@ func (h *Handle) Wait(ctx context.Context) error {
 			}
 			return err
 		}
+		if resp.Type == transport.MsgStaleView {
+			// The server fenced this request: a newer view (adopted by the
+			// receive loop before delivery) moved its keys. Reissue them,
+			// split across the owners the current view names.
+			typ, progress := p.msg.Type, p.msg.Progress
+			keys := append([]keyrange.Key(nil), p.msg.Keys...)
+			vals := append([]float64(nil), p.msg.Vals...)
+			transport.ReleaseReceived(resp)
+			h.worker.finishRequest(p)
+			if err := h.worker.reissueKeys(ctx, typ, progress, keys, vals, h.params, 0); err != nil {
+				for _, q := range reqs[i+1:] {
+					h.worker.forget(q)
+				}
+				return err
+			}
+			continue
+		}
 		if h.params != nil {
 			if err := kvstore.Scatter(h.worker.cfg.Layout, h.params, resp.Keys, resp.Vals); err != nil {
 				transport.ReleaseReceived(resp)
@@ -602,6 +714,106 @@ func (h *Handle) Discard() {
 	}
 }
 
+// maxReissueDepth bounds chained stale-view rejections within one
+// operation: a worker racing a burst of back-to-back view changes
+// re-splits its keys at most this many times before surfacing an error.
+const maxReissueDepth = 4
+
+// reissueKeys re-sends part of an operation after a stale-view rejection:
+// the given keys, regrouped by the owner the *current* view assigns them.
+// For pushes, vals holds the original gathered segments in keys order
+// (layout KeySize offsets), so the same update lands on the new owners;
+// pulls pass an empty payload and scatter responses into params. Each
+// reissued request gets a fresh sequence number — safe because the fenced
+// original was never applied (the server rejects before dedup-recording a
+// fenced request's effect) — and is sent directly, bypassing the pipes: a
+// reissue is already on the slow path and must not queue behind healthy
+// traffic or race a pipeline rebuild when the assignment switches.
+func (w *Worker) reissueKeys(ctx context.Context, typ transport.MsgType, progress int32, keys []keyrange.Key, vals []float64, params []float64, depth int) error {
+	if w.views == nil {
+		return fmt.Errorf("core: worker %d: stale-view rejection without a view tracker", w.cfg.Rank)
+	}
+	if depth >= maxReissueDepth {
+		return fmt.Errorf("core: worker %d: view changed %d+ times during one operation", w.cfg.Rank, depth)
+	}
+	w.metrics.reissues.Inc()
+	v := w.views.View()
+	type group struct {
+		keys []keyrange.Key
+		vals []float64
+	}
+	groups := make(map[int]*group)
+	off := 0
+	for _, k := range keys {
+		size := w.cfg.Layout.KeySize(k)
+		m := v.Assignment.ServerOf(k)
+		g := groups[m]
+		if g == nil {
+			g = &group{}
+			groups[m] = g
+		}
+		g.keys = append(g.keys, k)
+		if len(vals) > 0 {
+			g.vals = append(g.vals, vals[off:off+size]...)
+		}
+		off += size
+	}
+	for m, g := range groups {
+		msg := transport.NewMessage()
+		msg.Type = typ
+		msg.To = transport.Server(m)
+		msg.Seq = w.seq.Add(1)
+		msg.Progress = progress
+		msg.View = v.EpochStamp()
+		msg.Keys = append(msg.Keys[:0], g.keys...)
+		msg.Vals = append(msg.Vals[:0], g.vals...)
+		p, _ := w.reqPool.Get().(*pendingReq)
+		if p == nil {
+			p = &pendingReq{ch: make(chan response, 1)}
+		}
+		p.seq = msg.Seq
+		p.msg = msg
+		p.sent.Store(false)
+		p.discarded = false
+		p.start = time.Time{}
+		if err := w.expect(p); err != nil {
+			transport.Release(msg)
+			return fmt.Errorf("core: worker %d reissue to server %d: %w", w.cfg.Rank, m, err)
+		}
+		if err := transport.SendRetained(w.ep, msg); err != nil {
+			w.forget(p)
+			transport.Release(msg)
+			return fmt.Errorf("core: worker %d reissue to server %d: %w", w.cfg.Rank, m, err)
+		}
+		p.sent.Store(true)
+		resp, err := w.await(ctx, p)
+		if err != nil {
+			return err
+		}
+		if resp.Type == transport.MsgStaleView {
+			// Fenced again — the view moved while we were reissuing. Only
+			// this group's keys re-split; g's slices are fresh copies, so
+			// they are safe to pass down directly.
+			transport.ReleaseReceived(resp)
+			w.finishRequest(p)
+			if err := w.reissueKeys(ctx, typ, progress, g.keys, g.vals, params, depth+1); err != nil {
+				return err
+			}
+			continue
+		}
+		if params != nil {
+			if err := kvstore.Scatter(w.cfg.Layout, params, resp.Keys, resp.Vals); err != nil {
+				transport.ReleaseReceived(resp)
+				w.finishRequest(p)
+				return fmt.Errorf("core: worker %d scatter reissued response: %w", w.cfg.Rank, err)
+			}
+		}
+		transport.ReleaseReceived(resp)
+		w.finishRequest(p)
+	}
+	return nil
+}
+
 // abandon unregisters every request of a partially-sent operation, so a
 // failed SPushAsync/SPullAsync does not leave orphan waiting entries.
 func (h *Handle) abandon() {
@@ -621,6 +833,7 @@ func (w *Worker) SPushAsync(ctx context.Context, progress int, delta []float64) 
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	w.maybeAdoptAssignment()
 	w.metrics.pushes.Inc()
 	h := &Handle{worker: w}
 	h.reqs = h.reqsBuf[:0]
@@ -664,6 +877,7 @@ func (w *Worker) SPullAsync(ctx context.Context, progress int, params []float64)
 	if ctx == nil {
 		ctx = context.Background()
 	}
+	w.maybeAdoptAssignment()
 	w.metrics.pulls.Inc()
 	h := &Handle{worker: w, params: params}
 	h.reqs = h.reqsBuf[:0]

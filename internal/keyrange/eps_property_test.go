@@ -162,3 +162,45 @@ func TestRebalanceMoveMinimalityProperty(t *testing.T) {
 		}
 	}
 }
+
+// TestBackupNeverColocatesProperty: for random eligibility masks with at
+// least one eligible rank besides the primary, BackupOf returns an
+// eligible rank distinct from the primary — a key and its replica never
+// share a server. With nobody else eligible it reports -1 rather than
+// falling back onto the primary.
+func TestBackupNeverColocatesProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 1 + rng.Intn(8)
+		eligible := make([]bool, n)
+		others := 0
+		for j := range eligible {
+			eligible[j] = rng.Intn(3) > 0
+		}
+		m := rng.Intn(n)
+		for j := range eligible {
+			if j != m && eligible[j] {
+				others++
+			}
+		}
+		b := BackupOf(m, eligible)
+		if others == 0 {
+			if b != -1 {
+				t.Fatalf("trial %d: no eligible peer but backup %d", trial, b)
+			}
+			continue
+		}
+		if b == m {
+			t.Fatalf("trial %d: primary %d backs up onto itself", trial, m)
+		}
+		if b < 0 || b >= n || !eligible[b] {
+			t.Fatalf("trial %d: backup %d not eligible (mask %v)", trial, b, eligible)
+		}
+		// Ring determinism: the successor is the NEAREST eligible rank.
+		for d := 1; (m+d)%n != b; d++ {
+			if j := (m + d) % n; eligible[j] && j != m {
+				t.Fatalf("trial %d: backup %d skipped nearer eligible rank %d", trial, b, j)
+			}
+		}
+	}
+}

@@ -339,3 +339,21 @@ func Moved(a, b *Assignment) int {
 	}
 	return n
 }
+
+// BackupOf returns the ring-successor backup for primary m: the first
+// eligible rank after m in cyclic rank order, or -1 when no other rank is
+// eligible. Eligibility is the caller's policy (alive, not colocated with
+// m, …); m itself never backs up its own shard even if marked eligible.
+// Replicating a primary's whole key set onto one ring successor keeps a
+// single V_train clock per shard across a failover — per-key backup
+// spreading would force merging replica clocks from several donors.
+func BackupOf(m int, eligible []bool) int {
+	n := len(eligible)
+	for d := 1; d < n; d++ {
+		j := (m + d) % n
+		if eligible[j] && j != m {
+			return j
+		}
+	}
+	return -1
+}

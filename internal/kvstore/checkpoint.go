@@ -30,6 +30,16 @@ const (
 
 // Save writes the shard snapshot to w.
 func (s *Shard) Save(w io.Writer) error {
+	return s.SaveKeys(w, s.keys)
+}
+
+// SaveKeys writes a checkpoint stream holding only the given keys (all of
+// which the shard must own). It is the same self-describing format Save
+// emits, which makes it the single serialization for every way key state
+// leaves a server: full checkpoints, live key transfer during an elastic
+// rebalance, and replica snapshots — one format, one validator, and the
+// per-key update counters always travel with the values.
+func (s *Shard) SaveKeys(w io.Writer, keys []keyrange.Key) error {
 	bw := bufio.NewWriter(w)
 	var scratch [8]byte
 	writeU32 := func(v uint32) error {
@@ -48,18 +58,21 @@ func (s *Shard) Save(w io.Writer) error {
 	if err := writeU32(checkpointVersion); err != nil {
 		return err
 	}
-	if err := writeU32(uint32(len(s.keys))); err != nil {
+	if err := writeU32(uint32(len(keys))); err != nil {
 		return err
 	}
-	for _, k := range s.keys {
+	for _, k := range keys {
 		if err := writeU32(uint32(k)); err != nil {
 			return err
 		}
 		sp := s.stripeFor(k)
+		seg, ok := sp.data[k]
+		if !ok {
+			return unknownKey("save-keys", k)
+		}
 		if err := writeU64(sp.updates[k]); err != nil {
 			return err
 		}
-		seg := sp.data[k]
 		if err := writeU32(uint32(len(seg))); err != nil {
 			return err
 		}
@@ -159,4 +172,88 @@ func LoadStripedShard(r io.Reader, layout *keyrange.Layout, stripes int) (*Shard
 	}
 	sortKeys(s.keys)
 	return s, nil
+}
+
+// Absorb merges a checkpoint stream (Save/SaveKeys output) into a live
+// shard, taking ownership of every key in the stream — the arrival side
+// of live key transfer during an elastic rebalance. Values AND update
+// counters are adopted (a raw-segment hand-off used to silently zero the
+// counters of migrated keys). Keys already owned or outside the layout
+// fail the merge; earlier keys of the stream stay absorbed, so callers
+// treat any error as fatal for the transfer. Structural: requires
+// quiescence, like AddKey. Returns the absorbed keys in stream order.
+func (s *Shard) Absorb(r io.Reader) ([]keyrange.Key, error) {
+	br := bufio.NewReader(r)
+	var scratch [8]byte
+	readU32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	readU64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	magic, err := readU32()
+	if err != nil {
+		return nil, fmt.Errorf("kvstore: absorb header: %w", err)
+	}
+	if magic != checkpointMagic {
+		return nil, fmt.Errorf("kvstore: absorb: bad magic %#x", magic)
+	}
+	version, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if version != checkpointVersion {
+		return nil, fmt.Errorf("kvstore: absorb: unsupported version %d", version)
+	}
+	numKeys, err := readU32()
+	if err != nil {
+		return nil, err
+	}
+	if int(numKeys) > s.layout.NumKeys() {
+		return nil, fmt.Errorf("kvstore: absorb: stream has %d keys, layout only %d", numKeys, s.layout.NumKeys())
+	}
+	absorbed := make([]keyrange.Key, 0, numKeys)
+	seg := []float64(nil)
+	for i := uint32(0); i < numKeys; i++ {
+		rawKey, err := readU32()
+		if err != nil {
+			return absorbed, fmt.Errorf("kvstore: absorb key %d: %w", i, err)
+		}
+		k := keyrange.Key(rawKey)
+		if int(rawKey) >= s.layout.NumKeys() {
+			return absorbed, fmt.Errorf("kvstore: absorb: key %d outside layout", rawKey)
+		}
+		updates, err := readU64()
+		if err != nil {
+			return absorbed, err
+		}
+		size, err := readU32()
+		if err != nil {
+			return absorbed, err
+		}
+		if int(size) != s.layout.KeySize(k) {
+			return absorbed, fmt.Errorf("kvstore: absorb: key %d has size %d, layout says %d",
+				rawKey, size, s.layout.KeySize(k))
+		}
+		seg = seg[:0]
+		for j := uint32(0); j < size; j++ {
+			bits, err := readU64()
+			if err != nil {
+				return absorbed, fmt.Errorf("kvstore: absorb key %d values: %w", rawKey, err)
+			}
+			seg = append(seg, math.Float64frombits(bits))
+		}
+		if err := s.AddKey(k, seg); err != nil {
+			return absorbed, err
+		}
+		s.stripeFor(k).updates[k] = updates
+		absorbed = append(absorbed, k)
+	}
+	return absorbed, nil
 }

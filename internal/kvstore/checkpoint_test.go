@@ -133,3 +133,149 @@ func TestCheckpointRestoredShardIsUsable(t *testing.T) {
 		t.Errorf("updates = %d, want 2 (1 before + 1 after restore)", restored.Updates(0))
 	}
 }
+
+// TestSaveKeysAbsorbTransfer covers the live key-transfer path: a subset
+// stream from a donor absorbed into a differently-striped recipient, with
+// values AND update counters preserved (the raw-segment migration this
+// replaces dropped the counters).
+func TestSaveKeysAbsorbTransfer(t *testing.T) {
+	layout := keyrange.MustLayout([]int{3, 5, 2, 7, 4})
+	donor := NewStripedShard(layout, []keyrange.Key{0, 1, 2}, func(k keyrange.Key, seg []float64) {
+		for i := range seg {
+			seg[i] = float64(k) + float64(i)/10
+		}
+	}, 8)
+	for i := 0; i < 5; i++ {
+		if err := donor.ApplyGrad(1, []float64{1, 1, 1, 1, 1}, 0.5); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recipient := NewStripedShard(layout, []keyrange.Key{3, 4}, func(k keyrange.Key, seg []float64) {}, 1)
+
+	var buf bytes.Buffer
+	if err := donor.SaveKeys(&buf, []keyrange.Key{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+	absorbed, err := recipient.Absorb(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(absorbed) != 2 || absorbed[0] != 1 || absorbed[1] != 2 {
+		t.Fatalf("absorbed %v", absorbed)
+	}
+	if recipient.Updates(1) != 5 {
+		t.Fatalf("update counter lost in transfer: %d", recipient.Updates(1))
+	}
+	want, _ := donor.Segment(1)
+	got, err := recipient.Segment(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("scalar %d: %v != %v", i, got[i], want[i])
+		}
+	}
+
+	// Absorbing a key the shard already owns fails; absorbing an
+	// unowned-key stream into the donor still works (subset semantics).
+	buf.Reset()
+	if err := donor.SaveKeys(&buf, []keyrange.Key{2}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := recipient.Absorb(&buf); err == nil {
+		t.Fatal("absorbing an already-owned key should fail")
+	}
+	// SaveKeys on a key the shard does not own fails loudly.
+	if err := donor.SaveKeys(&buf, []keyrange.Key{4}); err == nil {
+		t.Fatal("SaveKeys of unowned key should succeed? no — must fail")
+	}
+}
+
+// TestCheckpointRestripeRoundTrip: a snapshot taken from one striping
+// restores bit-exactly into any other (the stream is stripe-agnostic),
+// including update counters — the regression the unified transfer format
+// must hold across server restarts with different -applyStripes.
+func TestCheckpointRestripeRoundTrip(t *testing.T) {
+	layout, err := keyrange.EPSLayout(257, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	keys := make([]keyrange.Key, layout.NumKeys())
+	for i := range keys {
+		keys[i] = keyrange.Key(i)
+	}
+	for _, fromStripes := range []int{1, 8} {
+		for _, toStripes := range []int{1, 4, 64} {
+			src := NewStripedShard(layout, keys, func(k keyrange.Key, seg []float64) {
+				for i := range seg {
+					seg[i] = float64(k)*1000 + float64(i)
+				}
+			}, fromStripes)
+			grad := make([]float64, layout.KeySize(5))
+			for i := range grad {
+				grad[i] = 0.25
+			}
+			for n := 0; n < 3; n++ {
+				if err := src.ApplyGrad(5, grad, 2); err != nil {
+					t.Fatal(err)
+				}
+			}
+			var buf bytes.Buffer
+			if err := src.Save(&buf); err != nil {
+				t.Fatal(err)
+			}
+			dst, err := LoadStripedShard(&buf, layout, toStripes)
+			if err != nil {
+				t.Fatalf("%d→%d stripes: %v", fromStripes, toStripes, err)
+			}
+			for _, k := range keys {
+				want, _ := src.Segment(k)
+				got, err := dst.Segment(k)
+				if err != nil {
+					t.Fatalf("%d→%d stripes key %d: %v", fromStripes, toStripes, k, err)
+				}
+				for i := range want {
+					if math.Float64bits(got[i]) != math.Float64bits(want[i]) {
+						t.Fatalf("%d→%d stripes key %d scalar %d differs", fromStripes, toStripes, k, i)
+					}
+				}
+				if dst.Updates(k) != src.Updates(k) {
+					t.Fatalf("%d→%d stripes key %d updates %d != %d",
+						fromStripes, toStripes, k, dst.Updates(k), src.Updates(k))
+				}
+			}
+		}
+	}
+}
+
+func TestApplyDeltaAndSetWithUpdates(t *testing.T) {
+	layout := keyrange.MustLayout([]int{2, 3})
+	s := NewShard(layout, []keyrange.Key{0, 1}, func(k keyrange.Key, seg []float64) {})
+	if err := s.ApplyDelta(0, []float64{1, 2}, 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ApplyDelta(0, []float64{0.5, 0.5}, 2); err != nil {
+		t.Fatal(err)
+	}
+	seg, _ := s.Segment(0)
+	if seg[0] != 1.5 || seg[1] != 2.5 || s.Updates(0) != 5 {
+		t.Fatalf("delta apply wrong: %v updates=%d", seg, s.Updates(0))
+	}
+	if err := s.SetWithUpdates(1, []float64{7, 8, 9}, 42); err != nil {
+		t.Fatal(err)
+	}
+	seg, _ = s.Segment(1)
+	if seg[0] != 7 || s.Updates(1) != 42 {
+		t.Fatalf("set-with-updates wrong: %v updates=%d", seg, s.Updates(1))
+	}
+	if err := s.ApplyDelta(9, []float64{1}, 1); err == nil {
+		t.Fatal("unknown key should fail")
+	}
+	if err := s.ApplyDelta(0, []float64{1}, 1); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+	if err := s.SetWithUpdates(0, []float64{1}, 1); err == nil {
+		t.Fatal("dim mismatch should fail")
+	}
+}

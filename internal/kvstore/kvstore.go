@@ -403,3 +403,40 @@ func (s *Shard) ApplyGradPayload(keys []keyrange.Key, vals []float64, scale floa
 	}
 	return nil
 }
+
+// ApplyDelta adds a precomputed delta to key k's segment and advances its
+// update counter by n — the backup-side apply of a replicated wave, where
+// the primary already coalesced n gradients (pre-scaled) into one delta.
+func (s *Shard) ApplyDelta(k keyrange.Key, delta []float64, n uint64) error {
+	sp := s.stripeFor(k)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	seg, ok := sp.data[k]
+	if !ok {
+		return unknownKey("apply-delta", k)
+	}
+	if len(delta) != len(seg) {
+		return &DimError{Op: "apply-delta", Key: k, Got: len(delta), Want: len(seg)}
+	}
+	mathx.Axpy(1, delta, seg)
+	sp.updates[k] += n
+	return nil
+}
+
+// SetWithUpdates overwrites key k's segment and its update counter — the
+// backup-side apply of a replica snapshot.
+func (s *Shard) SetWithUpdates(k keyrange.Key, vals []float64, updates uint64) error {
+	sp := s.stripeFor(k)
+	sp.mu.Lock()
+	defer sp.mu.Unlock()
+	seg, ok := sp.data[k]
+	if !ok {
+		return unknownKey("set-with-updates", k)
+	}
+	if len(vals) != len(seg) {
+		return &DimError{Op: "set-with-updates", Key: k, Got: len(vals), Want: len(seg)}
+	}
+	copy(seg, vals)
+	sp.updates[k] = updates
+	return nil
+}

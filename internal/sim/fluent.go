@@ -80,10 +80,19 @@ type fluentServer struct {
 	// dprFree is the server's DPR-handling work queue availability (per
 	// Config.DPRCost).
 	dprFree float64
+	// waiting marks a joiner whose key transfer has not landed yet;
+	// requests routed to it meanwhile are held and replayed (the sim twin
+	// of the real server's hold-for-migration path).
+	waiting bool
+	held    []func()
 }
 
 func runFluentPS(cfg Config) (*Result, error) {
-	c, err := newCluster(cfg, cfg.UseEPS, 0)
+	extraNodes := 0
+	if cfg.JoinAt > 0 {
+		extraNodes = 1 // network node for the joining server
+	}
+	c, err := newCluster(cfg, cfg.UseEPS, extraNodes)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +168,7 @@ func runFluentPS(cfg Config) (*Result, error) {
 	}
 
 	respond = func(s *fluentServer, worker int) {
-		if drivers != nil {
+		if drivers != nil && s.rank < len(drivers) {
 			drivers[s.rank].ObservePullAnswer(worker, c.eng.Now())
 		}
 		vals, err := s.shard.GatherShard(nil, s.keys)
@@ -176,6 +185,9 @@ func runFluentPS(cfg Config) (*Result, error) {
 				return
 			}
 			w.commTotal += c.eng.Now() - w.computeEnd
+			if w.rank == 0 {
+				res.StepTimes = append(res.StepTimes, c.eng.Now()-w.computeStart)
+			}
 			if cfg.Trace != nil {
 				cfg.Trace.Add(trace.Span{
 					Worker: w.rank, Iter: w.iter,
@@ -191,8 +203,14 @@ func runFluentPS(cfg Config) (*Result, error) {
 		})
 	}
 
-	onPush := func(s *fluentServer, worker, iter int, keys []keyrange.Key, payload []float64) {
-		if drivers != nil {
+	var onPush func(s *fluentServer, worker, iter int, keys []keyrange.Key, payload []float64)
+	onPush = func(s *fluentServer, worker, iter int, keys []keyrange.Key, payload []float64) {
+		if s.waiting {
+			// A joiner without its keys yet holds the request for replay.
+			s.held = append(s.held, func() { onPush(s, worker, iter, keys, payload) })
+			return
+		}
+		if drivers != nil && s.rank < len(drivers) {
 			drivers[s.rank].ObservePush(worker, c.eng.Now())
 		}
 		apply, released := s.ctrl.OnPush(worker, iter)
@@ -208,7 +226,12 @@ func runFluentPS(cfg Config) (*Result, error) {
 		}
 	}
 
-	onPull := func(s *fluentServer, worker, iter int) {
+	var onPull func(s *fluentServer, worker, iter int)
+	onPull = func(s *fluentServer, worker, iter int) {
+		if s.waiting {
+			s.held = append(s.held, func() { onPull(s, worker, iter) })
+			return
+		}
 		if s.ctrl.OnPull(worker, iter, worker) {
 			respond(s, worker)
 		}
@@ -269,23 +292,26 @@ func runFluentPS(cfg Config) (*Result, error) {
 			// after the budget is spent are simply never answered.
 			last := cfg.TotalBudget == 0 && iter == cfg.Iters-1
 			w.pendingPulls = 0
-			for m := 0; m < cfg.Servers; m++ {
-				s := servers[m]
+			// Ranging over the live server slice routes by the current
+			// membership: after a join, segments scatter to the joiner too.
+			for _, s := range servers {
 				if len(s.keys) == 0 {
 					continue
 				}
+				s := s
+				keys := s.keys
 				var payload []float64
 				bytes := ctrlBytes
 				if sendVals != nil {
-					payload = kvstore.GatherInto(nil, c.layout, sendVals, s.keys)
+					payload = kvstore.GatherInto(nil, c.layout, sendVals, keys)
 					bytes = msgBytes(len(payload))
 				}
-				c.net.send(c.workerNode(w.rank), c.serverNode(m), bytes, func() {
-					onPush(s, w.rank, iter, s.keys, payload)
+				c.net.send(c.workerNode(w.rank), c.serverNode(s.rank), bytes, func() {
+					onPush(s, w.rank, iter, keys, payload)
 				})
 				if !last {
 					w.pendingPulls++
-					c.net.send(c.workerNode(w.rank), c.serverNode(m), ctrlBytes, func() {
+					c.net.send(c.workerNode(w.rank), c.serverNode(s.rank), ctrlBytes, func() {
 						onPull(s, w.rank, iter)
 					})
 				}
@@ -332,7 +358,8 @@ func runFluentPS(cfg Config) (*Result, error) {
 			}
 			busy := pushes != lastPushes
 			lastPushes = pushes
-			for m, s := range servers {
+			for m := range drivers {
+				s := servers[m]
 				released, switched := drivers[m].ReEvaluate(s.ctrl, c.eng.Now())
 				if switched {
 					res.Switches++
@@ -352,6 +379,86 @@ func runFluentPS(cfg Config) (*Result, error) {
 		c.eng.After(cfg.AdaptEvery, tickAdaptive)
 	}
 
+	// Live join: at cfg.JoinAt a new empty server enters. Keys move to it
+	// move-minimally; each donor streams its departing segment while
+	// training continues — requests reaching the joiner first are held
+	// (see onPush/onPull) and replayed when the transfer lands.
+	if cfg.JoinAt > 0 {
+		c.eng.At(cfg.JoinAt, func() {
+			newRank := len(servers)
+			nextAssign, err := keyrange.ScaleUp(c.assign, c.layout, newRank+1)
+			if err != nil {
+				panic(err)
+			}
+			joiner := &fluentServer{
+				rank:    newRank,
+				ctrl:    syncmodel.New(cfg.Workers, cfg.Sync, cfg.Drain, rngFor(cfg.Seed, fmt.Sprintf("sim.pssp.%d", newRank))),
+				shard:   kvstore.NewShard(c.layout, nil, nil),
+				keys:    nextAssign.KeysOf(newRank),
+				waiting: true,
+			}
+			// The joiner's rounds continue from the cluster's V_train: it
+			// inherits a donor's controller image — the sim twin of the
+			// replica image the real failover/join path restores.
+			img := servers[0].ctrl.Image()
+			transfers := 0
+			for _, donor := range servers {
+				donor := donor
+				var moved []keyrange.Key
+				for _, k := range donor.keys {
+					if nextAssign.ServerOf(k) == newRank {
+						moved = append(moved, k)
+					}
+				}
+				// Donors stop being routed the moved keys immediately; the
+				// orphaned copies stay in their shards (in-flight pushes may
+				// still touch them) but are never read again.
+				donor.keys = nextAssign.KeysOf(donor.rank)
+				if len(moved) == 0 {
+					continue
+				}
+				res.JoinMoved += len(moved)
+				vals, err := donor.shard.GatherShard(nil, moved)
+				if err != nil {
+					panic(err)
+				}
+				transfers++
+				c.net.send(c.serverNode(donor.rank), c.serverNode(newRank), msgBytes(len(vals)), func() {
+					off := 0
+					for _, k := range moved {
+						size := c.layout.KeySize(k)
+						if err := joiner.shard.AddKey(k, vals[off:off+size]); err != nil {
+							panic(err)
+						}
+						off += size
+					}
+					if transfers--; transfers > 0 {
+						return
+					}
+					// All segments landed: restore rounds, answer what was
+					// held, and fold the joiner into the evaluation view.
+					if err := joiner.ctrl.Restore(img); err != nil {
+						panic(err)
+					}
+					joiner.waiting = false
+					res.JoinDoneAt = c.eng.Now()
+					c.assign = nextAssign
+					c.shards = append(c.shards, joiner.shard)
+					held := joiner.held
+					joiner.held = nil
+					for _, replay := range held {
+						replay()
+					}
+				})
+			}
+			if transfers == 0 {
+				joiner.waiting = false
+				res.JoinDoneAt = c.eng.Now()
+			}
+			servers = append(servers, joiner)
+		})
+	}
+
 	for _, w := range workers {
 		startCompute(w)
 	}
@@ -361,11 +468,11 @@ func runFluentPS(cfg Config) (*Result, error) {
 		res.TotalTime = end
 	}
 
-	res.ServerStats = make([]syncmodel.Stats, cfg.Servers)
+	res.ServerStats = make([]syncmodel.Stats, len(servers))
 	res.DPRsPerRound = make([]int, cfg.Iters)
 	for m, s := range servers {
 		st := s.ctrl.Stats()
-		res.MeanAnswerGap += s.ctrl.MeanAnswerGap() / float64(cfg.Servers)
+		res.MeanAnswerGap += s.ctrl.MeanAnswerGap() / float64(len(servers))
 		res.ServerStats[m] = st
 		res.DPRs += st.DPRs
 		for r, v := range s.ctrl.DPRsPerRound(cfg.Iters) {

@@ -1,0 +1,76 @@
+package sim
+
+import (
+	"sort"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+// TestSimLiveJoinBoundedBlip runs a FluentPS job whose cluster gains a
+// server mid-training and checks the membership change is genuinely live:
+// training never stops, keys move move-minimally to the joiner, and the
+// step-time disturbance around the transfer stays bounded.
+func TestSimLiveJoinBoundedBlip(t *testing.T) {
+	cfg := simBase(t)
+	cfg.Sync = syncmodel.SSP(3)
+	cfg.Iters = 200
+	cfg.JoinAt = 4.0 // mid-training (a run is ~20 simulated seconds)
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.JoinMoved == 0 {
+		t.Fatal("join moved no keys")
+	}
+	if res.JoinDoneAt <= cfg.JoinAt {
+		t.Fatalf("join transfer finished at %v, before it started at %v", res.JoinDoneAt, cfg.JoinAt)
+	}
+	// Move-minimality: scaling 2→3 servers must move about a third of the
+	// key space, not re-deal everything. Allow headroom for size skew.
+	numKeys := cfg.Model.Layout().NumKeys()
+	if cfg.UseEPS {
+		numKeys = 4 * cfg.Servers // EPSLayout(total, 4*servers)
+	}
+	if res.JoinMoved > numKeys/2 {
+		t.Errorf("join moved %d of %d keys; a move-minimal scale-up moves about a third", res.JoinMoved, numKeys)
+	}
+	// Liveness: the run must still train to the same quality.
+	if res.FinalAcc < 0.5 {
+		t.Errorf("accuracy %.3f after live join, want ≥ 0.5", res.FinalAcc)
+	}
+	if len(res.StepTimes) < 50 {
+		t.Fatalf("only %d step samples recorded", len(res.StepTimes))
+	}
+	// Bounded blip: the worst step overlapping the join window must stay
+	// within a small multiple of the steady-state median. The transfer
+	// itself takes time, so some disturbance is expected — unbounded
+	// stalls (a paused cluster) are not.
+	steady := append([]float64(nil), res.StepTimes...)
+	sort.Float64s(steady)
+	median := steady[len(steady)/2]
+	var worst float64
+	for _, d := range res.StepTimes {
+		if d > worst {
+			worst = d
+		}
+	}
+	if worst > 10*median {
+		t.Errorf("worst step %.4fs vs median %.4fs: join blip exceeds 10× steady state", worst, median)
+	}
+
+	// The same job without the join must not report join artifacts.
+	cfg.JoinAt = 0
+	base, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base.JoinMoved != 0 || base.JoinDoneAt != 0 {
+		t.Errorf("join artifacts %d/%v reported without a join", base.JoinMoved, base.JoinDoneAt)
+	}
+	// The joined run ends with three shards sharing the load; it must not
+	// be dramatically slower than the static two-server baseline.
+	if res.TotalTime > 2*base.TotalTime {
+		t.Errorf("joined run took %.2fs vs baseline %.2fs: join stalled training", res.TotalTime, base.TotalTime)
+	}
+}

@@ -77,6 +77,15 @@ type Config struct {
 	// Adaptive is the driver's policy configuration (hysteresis, spread
 	// thresholds, AllowDrop); zero fields take defaults.
 	Adaptive syncmodel.AdaptiveConfig
+	// JoinAt, when positive, makes one new empty server join the FluentPS
+	// cluster at that simulated time while training continues: keys move
+	// to it move-minimally (keyrange.ScaleUp), each donor streams its
+	// departing segment over the network, and requests the workers route
+	// to the joiner before its state lands are held and replayed —
+	// mirroring the real server's hold-for-migration path. The joiner
+	// runs cfg.Sync and inherits a donor's controller image so its rounds
+	// continue from the cluster's V_train instead of zero.
+	JoinAt float64
 	// DPRCost is the server-side processing cost of handling one delayed
 	// pull request (buffer insertion, wakeup, response scheduling),
 	// charged serially per server when the DPR is released. The soft
@@ -140,6 +149,12 @@ func (c *Config) validate() error {
 		return fmt.Errorf("sim: significance threshold must be non-negative, got %v", c.SignificanceThreshold)
 	case c.AdaptEvery < 0:
 		return fmt.Errorf("sim: adaptive tick period must be non-negative, got %v", c.AdaptEvery)
+	case c.JoinAt < 0:
+		return fmt.Errorf("sim: join time must be non-negative, got %v", c.JoinAt)
+	case c.JoinAt > 0 && c.Arch != ArchFluentPS:
+		return fmt.Errorf("sim: live join is only simulated for the FluentPS architecture")
+	case c.JoinAt > 0 && c.Sync.Pull == nil:
+		return fmt.Errorf("sim: live join needs Config.Sync (the joiner's model)")
 	}
 	if err := c.Compute.Validate(); err != nil {
 		return err
@@ -201,6 +216,15 @@ type Result struct {
 	// Switches counts sync-model switches performed by adaptive drivers
 	// across all servers (0 unless Config.AdaptEvery > 0).
 	Switches int
+
+	// StepTimes is worker 0's per-iteration wall time (compute start to
+	// sync end), for step-time blip analysis around membership changes.
+	StepTimes []float64
+	// JoinMoved counts keys transferred to the joiner (JoinAt > 0);
+	// JoinDoneAt is when the last transfer landed and held requests
+	// replayed.
+	JoinMoved  int
+	JoinDoneAt float64
 }
 
 // DPRsPer100Iters returns the paper's Fig 9 metric: average delayed pull

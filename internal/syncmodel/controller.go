@@ -356,3 +356,50 @@ func (c *Controller) advanceRound() (released []Pull) {
 func (c *Controller) ForceAdvance() (released []Pull) {
 	return c.advanceRound()
 }
+
+// ControllerImage is the portable core of a controller's synchronization
+// state: everything a backup replica needs so a promoted server resumes
+// the shard's clock exactly where the primary left it. The DPR buffer is
+// deliberately absent — buffered pulls die with the primary's process, and
+// their workers retransmit into the promoted server, which re-buffers them
+// under the restored V_train.
+type ControllerImage struct {
+	VTrain   int
+	Counts   map[int]int
+	Progress []int
+}
+
+// Image snapshots the controller's replicable state. The maps and slices
+// are copies, safe to encode or retain.
+func (c *Controller) Image() ControllerImage {
+	img := ControllerImage{
+		VTrain:   c.vtrain,
+		Counts:   make(map[int]int, len(c.count)),
+		Progress: append([]int(nil), c.progress...),
+	}
+	for r, n := range c.count {
+		img.Counts[r] = n
+	}
+	return img
+}
+
+// Restore overwrites the controller's clock with a replicated image:
+// V_train, open-round push counts, and per-worker progress. Worker count
+// must match; the DPR buffer must be empty (restore happens before a
+// promoted server answers its first request). Statistics are not
+// restored — they count THIS controller's activity.
+func (c *Controller) Restore(img ControllerImage) error {
+	if len(img.Progress) != c.n {
+		return fmt.Errorf("syncmodel: restore image for %d workers into controller with %d", len(img.Progress), c.n)
+	}
+	if c.Buffered() != 0 {
+		return fmt.Errorf("syncmodel: restore into controller with %d buffered pulls", c.Buffered())
+	}
+	c.vtrain = img.VTrain
+	c.count = make(map[int]int, len(img.Counts))
+	for r, n := range img.Counts {
+		c.count[r] = n
+	}
+	copy(c.progress, img.Progress)
+	return nil
+}

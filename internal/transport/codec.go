@@ -18,6 +18,7 @@ import (
 //	toRank   uint16
 //	seq      uint64
 //	progress int32
+//	view     uint32
 //	numKeys  uint32
 //	numVals  uint32
 //	keys     numKeys × uint32
@@ -25,7 +26,7 @@ import (
 //
 // Framing on stream transports prefixes each encoded message with a uint32
 // length.
-const headerBytes = 1 + 1 + 2 + 1 + 2 + 8 + 4 + 4 + 4
+const headerBytes = 1 + 1 + 2 + 1 + 2 + 8 + 4 + 4 + 4 + 4
 
 // maxFrameBytes bounds a single message (64 MiB) so a corrupt length prefix
 // cannot make a reader allocate unbounded memory. WriteFrame enforces the
@@ -56,6 +57,7 @@ func Encode(buf []byte, m *Message) []byte {
 	buf = binary.LittleEndian.AppendUint16(buf, m.To.Rank)
 	buf = binary.LittleEndian.AppendUint64(buf, m.Seq)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(m.Progress))
+	buf = binary.LittleEndian.AppendUint32(buf, m.View)
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Keys)))
 	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(m.Vals)))
 	for _, k := range m.Keys {
@@ -90,8 +92,9 @@ func DecodeInto(m *Message, data []byte) error {
 	m.To = NodeID{Role: Role(data[4]), Rank: binary.LittleEndian.Uint16(data[5:])}
 	m.Seq = binary.LittleEndian.Uint64(data[7:])
 	m.Progress = int32(binary.LittleEndian.Uint32(data[15:]))
-	numKeys := binary.LittleEndian.Uint32(data[19:])
-	numVals := binary.LittleEndian.Uint32(data[23:])
+	m.View = binary.LittleEndian.Uint32(data[19:])
+	numKeys := binary.LittleEndian.Uint32(data[23:])
+	numVals := binary.LittleEndian.Uint32(data[27:])
 	want := headerBytes + 4*int(numKeys) + 8*int(numVals)
 	if len(data) != want {
 		return fmt.Errorf("transport: message length %d, want %d (keys=%d vals=%d)",

@@ -1,0 +1,214 @@
+package transport
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Demux multiplexes several node identities onto one host endpoint.
+//
+// A TCP process owns a single listener, but failover rebinds a dead
+// server's identity to the host that held its backup replica: after
+// promotion the same process serves its own rank AND the dead rank. Demux
+// makes that possible without a second listener — it drains the host
+// endpoint's Recv and routes each message by destination id to a virtual
+// endpoint. Messages addressed to ids nobody opened go to Main, the
+// virtual endpoint carrying the host's own identity.
+//
+// Sends from every virtual endpoint go straight out through the host (the
+// peer address book already routes by destination), so a virtual endpoint
+// behaves exactly like a first-class endpoint of its id: Send stamps the
+// virtual id as From, Recv yields only traffic addressed to it.
+type Demux struct {
+	host Endpoint
+
+	mu   sync.Mutex
+	eps  map[NodeID]*demuxEndpoint
+	main *demuxEndpoint
+	err  error
+}
+
+// demuxInboxDepth bounds each virtual endpoint's receive queue. The pump
+// blocks when a queue is full (both consumers are server loops that drain
+// continuously), so nothing is dropped.
+const demuxInboxDepth = 256
+
+// NewDemux wraps host and starts the routing pump. The caller must stop
+// using host directly: all receives flow through Main and Open.
+func NewDemux(host Endpoint) *Demux {
+	d := &Demux{host: host, eps: make(map[NodeID]*demuxEndpoint)}
+	d.main = d.newEndpoint(host.ID())
+	go d.pump()
+	return d
+}
+
+// Main returns the virtual endpoint carrying the host's own identity. It
+// also receives traffic addressed to ids nobody opened.
+func (d *Demux) Main() Endpoint { return d.main }
+
+// Open creates a virtual endpoint for an additional identity (a promoted
+// rank). Traffic addressed to id is routed to it from the moment Open
+// returns.
+func (d *Demux) Open(id NodeID) (Endpoint, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if d.err != nil {
+		return nil, d.err
+	}
+	if _, ok := d.eps[id]; ok {
+		return nil, fmt.Errorf("transport: demux: id %s already open", id)
+	}
+	ep := &demuxEndpoint{d: d, id: id, inbox: make(chan *Message, demuxInboxDepth), done: make(chan struct{})}
+	d.eps[id] = ep
+	return ep, nil
+}
+
+func (d *Demux) newEndpoint(id NodeID) *demuxEndpoint {
+	ep := &demuxEndpoint{d: d, id: id, inbox: make(chan *Message, demuxInboxDepth), done: make(chan struct{})}
+	d.eps[id] = ep
+	return ep
+}
+
+func (d *Demux) pump() {
+	for {
+		m, err := d.host.Recv()
+		if err != nil {
+			d.fail(err)
+			return
+		}
+		d.route(m)
+	}
+}
+
+func (d *Demux) route(m *Message) {
+	d.mu.Lock()
+	ep := d.eps[m.To]
+	if ep == nil {
+		ep = d.main
+	}
+	d.mu.Unlock()
+	select {
+	case ep.inbox <- m:
+	case <-ep.done:
+		ReleaseReceived(m)
+	}
+}
+
+// fail closes every virtual endpoint with the host error.
+func (d *Demux) fail(err error) {
+	d.mu.Lock()
+	if d.err == nil {
+		d.err = err
+	}
+	eps := make([]*demuxEndpoint, 0, len(d.eps))
+	for _, ep := range d.eps {
+		eps = append(eps, ep)
+	}
+	d.mu.Unlock()
+	for _, ep := range eps {
+		ep.closeLocal()
+	}
+}
+
+// demuxEndpoint is one virtual identity over the shared host endpoint.
+type demuxEndpoint struct {
+	d     *Demux
+	id    NodeID
+	inbox chan *Message
+
+	closeOnce sync.Once
+	done      chan struct{}
+}
+
+// ID implements Endpoint.
+func (e *demuxEndpoint) ID() NodeID { return e.id }
+
+// Send implements Endpoint: it stamps the virtual identity as sender and
+// forwards through the host, whose address book routes by destination.
+func (e *demuxEndpoint) Send(m *Message) error {
+	select {
+	case <-e.done:
+		return ErrClosed
+	default:
+	}
+	if (m.From == NodeID{}) {
+		m.From = e.id
+	}
+	return e.d.host.Send(m)
+}
+
+// Recv implements Endpoint.
+func (e *demuxEndpoint) Recv() (*Message, error) {
+	select {
+	case m := <-e.inbox:
+		return m, nil
+	case <-e.done:
+		// Drain anything routed before close so pooled messages recycle.
+		select {
+		case m := <-e.inbox:
+			return m, nil
+		default:
+		}
+		e.d.mu.Lock()
+		err := e.d.err
+		e.d.mu.Unlock()
+		if err == nil {
+			err = ErrClosed
+		}
+		return nil, err
+	}
+}
+
+// Close implements Endpoint. Closing Main closes the host (and with it
+// every other virtual endpoint, once the pump observes the host error);
+// closing a secondary endpoint only detaches that identity.
+func (e *demuxEndpoint) Close() error {
+	e.d.mu.Lock()
+	if e.d.eps[e.id] == e {
+		delete(e.d.eps, e.id)
+	}
+	isMain := e.d.main == e
+	e.d.mu.Unlock()
+	e.closeLocal()
+	if isMain {
+		return e.d.host.Close()
+	}
+	return nil
+}
+
+func (e *demuxEndpoint) closeLocal() {
+	e.closeOnce.Do(func() { close(e.done) })
+}
+
+// SendCopies implements Copier by forwarding the host's semantics.
+func (e *demuxEndpoint) SendCopies() bool { return SendCopies(e.d.host) }
+
+// SetPeer forwards an address-book update to the host when it supports
+// one (TCP), so promoted sub-servers can rebind peers like any node.
+func (e *demuxEndpoint) SetPeer(id NodeID, addr string) {
+	SetPeerAddr(e.d.host, id, addr)
+}
+
+// PeerSetter is implemented by endpoints that can rebind a peer id to a
+// new address at runtime (TCP address books, demux virtual endpoints).
+type PeerSetter interface {
+	SetPeer(id NodeID, addr string)
+}
+
+// SetPeerAddr rebinds peer id to addr on ep when the endpoint (or the
+// endpoint it wraps) supports runtime address updates; it reports whether
+// the update was applied. In-process transports route by id and need no
+// rebinding, so false is not an error.
+func SetPeerAddr(ep Endpoint, id NodeID, addr string) bool {
+	for {
+		if ps, ok := ep.(PeerSetter); ok {
+			ps.SetPeer(id, addr)
+			return true
+		}
+		u, ok := ep.(interface{ Unwrap() Endpoint })
+		if !ok {
+			return false
+		}
+		ep = u.Unwrap()
+	}
+}

@@ -1,0 +1,178 @@
+package transport
+
+import (
+	"bytes"
+	"sync"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+func TestViewFieldRoundtrip(t *testing.T) {
+	m := &Message{Type: MsgPush, From: Worker(2), To: Server(1), Seq: 77, Progress: 5, View: 42,
+		Keys: []keyrange.Key{3, 9}, Vals: []float64{1.5, -2.5, 3}}
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseReceived(got)
+	if got.View != 42 {
+		t.Fatalf("View = %d after roundtrip, want 42", got.View)
+	}
+	c := m.Clone()
+	if c.View != 42 {
+		t.Fatalf("Clone dropped View: %d", c.View)
+	}
+}
+
+func TestPackBytesRoundtrip(t *testing.T) {
+	cases := [][]byte{
+		nil,
+		{},
+		[]byte("x"),
+		[]byte("exactly8"),
+		[]byte("a slightly longer byte string with odd length!"),
+		bytes.Repeat([]byte{0x00, 0xff, 0x7f, 0x80}, 100),
+	}
+	var vals []float64
+	for _, b := range cases {
+		vals = PackBytes(vals, b)
+	}
+	// Survive a wire trip: packed bytes ride in Vals bit-exactly.
+	var buf bytes.Buffer
+	if err := WriteFrame(&buf, &Message{Type: MsgView, Vals: vals}); err != nil {
+		t.Fatal(err)
+	}
+	m, err := ReadFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ReleaseReceived(m)
+	rest := m.Vals
+	for i, want := range cases {
+		var got []byte
+		got, rest, err = UnpackBytes(rest)
+		if err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("case %d: got %q want %q", i, got, want)
+		}
+	}
+	if len(rest) != 0 {
+		t.Fatalf("%d words left over", len(rest))
+	}
+	if _, _, err := UnpackBytes(nil); err == nil {
+		t.Fatal("UnpackBytes(nil) should fail")
+	}
+	if _, _, err := UnpackBytes([]float64{100}); err == nil {
+		t.Fatal("truncated packed bytes should fail")
+	}
+	if _, _, err := UnpackBytes([]float64{-1}); err == nil {
+		t.Fatal("negative length should fail")
+	}
+}
+
+// fakeHost is a minimal endpoint for demux tests: inject inbound frames
+// through in, observe outbound ones on sent. A real multi-identity host is
+// a TCP listener whose address book routes every virtual id here.
+type fakeHost struct {
+	id        NodeID
+	in        chan *Message
+	sent      chan *Message
+	closeOnce sync.Once
+}
+
+func newFakeHost(id NodeID) *fakeHost {
+	return &fakeHost{id: id, in: make(chan *Message, 16), sent: make(chan *Message, 16)}
+}
+
+func (f *fakeHost) ID() NodeID { return f.id }
+
+func (f *fakeHost) Send(m *Message) error { f.sent <- m; return nil }
+
+func (f *fakeHost) Recv() (*Message, error) {
+	m, ok := <-f.in
+	if !ok {
+		return nil, ErrClosed
+	}
+	return m, nil
+}
+
+func (f *fakeHost) Close() error {
+	f.closeOnce.Do(func() { close(f.in) })
+	return nil
+}
+
+func TestDemuxRoutesByDestination(t *testing.T) {
+	host := newFakeHost(Server(0))
+
+	d := NewDemux(host)
+	main := d.Main()
+	if main.ID() != Server(0) {
+		t.Fatalf("main id = %v", main.ID())
+	}
+	promoted, err := d.Open(Server(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Open(Server(7)); err == nil {
+		t.Fatal("double Open should fail")
+	}
+
+	// Traffic to the host id lands on Main, traffic to the opened id on
+	// its endpoint — over the SAME underlying host endpoint.
+	host.in <- &Message{Type: MsgPush, To: Server(0), Seq: 1}
+	host.in <- &Message{Type: MsgPush, To: Server(7), Seq: 2}
+	m, err := main.Recv()
+	if err != nil || m.Seq != 1 {
+		t.Fatalf("main recv = %v, %v", m, err)
+	}
+	m, err = promoted.Recv()
+	if err != nil || m.Seq != 2 {
+		t.Fatalf("promoted recv = %v, %v", m, err)
+	}
+
+	// Sends from the virtual endpoint carry its identity.
+	if err := promoted.Send(&Message{Type: MsgPushAck, To: Worker(0), Seq: 3}); err != nil {
+		t.Fatal(err)
+	}
+	if m = <-host.sent; m.From != Server(7) {
+		t.Fatalf("From = %v, want server/7", m.From)
+	}
+
+	// Closing a secondary endpoint detaches only that identity; its
+	// traffic falls back to Main instead of being lost.
+	if err := promoted.Close(); err != nil {
+		t.Fatal(err)
+	}
+	host.in <- &Message{Type: MsgPush, To: Server(7), Seq: 4}
+	m, err = main.Recv()
+	if err != nil || m.Seq != 4 {
+		t.Fatalf("fallback recv = %v, %v", m, err)
+	}
+
+	// Closing Main closes the host: further receives fail everywhere.
+	if err := main.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := main.Recv(); err == nil {
+		t.Fatal("recv after close should fail")
+	}
+}
+
+func TestSetPeerAddrUnwrapsFlaky(t *testing.T) {
+	net := NewChanNetwork(1)
+	ep := net.Endpoint(Worker(0))
+	if SetPeerAddr(ep, Server(0), "x") {
+		t.Fatal("chan endpoints have no address book")
+	}
+	// Flaky over chan still has none, but the probe must unwrap cleanly.
+	if SetPeerAddr(NewFlaky(ep, FlakyConfig{}), Server(0), "x") {
+		t.Fatal("flaky-over-chan should report false")
+	}
+}

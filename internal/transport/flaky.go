@@ -197,3 +197,8 @@ func (f *Flaky) Close() error {
 }
 
 var _ Endpoint = (*Flaky)(nil)
+
+// Unwrap exposes the wrapped endpoint so capability probes (e.g.
+// SetPeerAddr) can reach transport-specific features through the fault
+// injector.
+func (f *Flaky) Unwrap() Endpoint { return f.inner }

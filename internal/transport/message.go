@@ -107,6 +107,36 @@ const (
 	// MsgStatsResp answers MsgStats; Vals carries the encoded state (see
 	// core.ShardState).
 	MsgStatsResp
+	// MsgView installs a new cluster view; Vals carries the encoded
+	// clusterview.View. Servers migrate departing keys before acking,
+	// workers adopt the routing and ack immediately.
+	MsgView
+	// MsgViewAck confirms a view installation (servers ack only after all
+	// expected key arrivals landed).
+	MsgViewAck
+	// MsgViewReq asks a node for its current cluster view; the answer is a
+	// MsgView carrying the encoded view with the requester's Seq.
+	MsgViewReq
+	// MsgReplicate forwards one applied wave from a shard primary to its
+	// backup: controller state (V_train, round counts, progress), dedup
+	// pairs, and per-key deltas (or a full snapshot when Progress says so).
+	// Seq is the monotone wave number.
+	MsgReplicate
+	// MsgReplicateAck acknowledges replicated waves cumulatively: Seq is
+	// the highest wave applied in order. Progress < 0 asks the primary for
+	// a fresh snapshot (the backup has no replica state for it).
+	MsgReplicateAck
+	// MsgPromote asks the host of a shard's backup replica to take over a
+	// dead primary: Seq is the dead server's rank, Vals the encoded view
+	// that rebinds the rank's address. Answered with MsgPromoteAck.
+	MsgPromote
+	// MsgPromoteAck reports promotion success (Progress ≥ 0) or failure
+	// (Progress < 0).
+	MsgPromoteAck
+	// MsgStaleView rejects a request fenced by view-epoch mismatch; Seq
+	// echoes the rejected request and Vals carries the server's current
+	// encoded view so the sender can adopt it and re-issue.
+	MsgStaleView
 )
 
 // String returns a short message-type name.
@@ -146,6 +176,22 @@ func (t MsgType) String() string {
 		return "stats"
 	case MsgStatsResp:
 		return "stats_resp"
+	case MsgView:
+		return "view"
+	case MsgViewAck:
+		return "view_ack"
+	case MsgViewReq:
+		return "view_req"
+	case MsgReplicate:
+		return "replicate"
+	case MsgReplicateAck:
+		return "replicate_ack"
+	case MsgPromote:
+		return "promote"
+	case MsgPromoteAck:
+		return "promote_ack"
+	case MsgStaleView:
+		return "stale_view"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}
@@ -160,6 +206,11 @@ type Message struct {
 	Seq uint64
 	// Progress is the sender's training iteration (sPush/sPull report it).
 	Progress int32
+	// View is the cluster-view epoch the sender routed by. Servers fence
+	// requests carrying an older epoch than their installed view
+	// (MsgStaleView). Zero means unfenced: control traffic and nodes
+	// predating the view protocol.
+	View uint32
 	// Keys lists the parameter keys this message touches, in ascending
 	// order. Vals concatenates the per-key segments in the same order;
 	// segment lengths come from the model layout shared by both ends.

@@ -1,0 +1,59 @@
+package transport
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Byte payloads over the float64 wire.
+//
+// Control-plane frames (cluster views, checkpoint-stream key transfers)
+// carry structured byte blobs, but the codec's only variable-length field
+// is Vals []float64. PackBytes embeds a byte string into float64 words
+// losslessly: the first word is the byte length, followed by ⌈n/8⌉ words
+// holding the raw bytes little-endian. Float bits travel bit-exactly
+// through Encode/Decode (the codec moves raw IEEE-754 bits, never
+// arithmetic), so the packing is stable across the wire.
+
+// PackBytes appends the packed representation of b to vals and returns the
+// extended slice.
+func PackBytes(vals []float64, b []byte) []float64 {
+	vals = append(vals, float64(len(b)))
+	var word [8]byte
+	for off := 0; off < len(b); off += 8 {
+		copy(word[:], b[off:])
+		if rem := len(b) - off; rem < 8 {
+			for i := rem; i < 8; i++ {
+				word[i] = 0
+			}
+		}
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(word[:])))
+	}
+	return vals
+}
+
+// PackedLen returns how many float64 words PackBytes produces for n bytes.
+func PackedLen(n int) int { return 1 + (n+7)/8 }
+
+// UnpackBytes decodes one packed byte string from the front of vals and
+// returns it together with the remaining words.
+func UnpackBytes(vals []float64) ([]byte, []float64, error) {
+	if len(vals) == 0 {
+		return nil, nil, fmt.Errorf("transport: unpack bytes: empty payload")
+	}
+	n := int(vals[0])
+	if n < 0 || float64(n) != vals[0] {
+		return nil, nil, fmt.Errorf("transport: unpack bytes: invalid length %v", vals[0])
+	}
+	words := (n + 7) / 8
+	if len(vals)-1 < words {
+		return nil, nil, fmt.Errorf("transport: unpack bytes: need %d words for %d bytes, have %d",
+			words, n, len(vals)-1)
+	}
+	b := make([]byte, words*8)
+	for i := 0; i < words; i++ {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(vals[1+i]))
+	}
+	return b[:n], vals[1+words:], nil
+}

@@ -105,6 +105,7 @@ func recycle(m *Message) {
 	m.To = NodeID{}
 	m.Seq = 0
 	m.Progress = 0
+	m.View = 0
 	m.Keys = m.Keys[:0]
 	m.Vals = m.Vals[:0]
 	m.owner = ownerNone
@@ -122,7 +123,7 @@ func (m *Message) ReceiverOwned() bool { return m.owner == ownerReceiver }
 // original may be recycled by its owner as soon as the first delivery is
 // processed.
 func (m *Message) Clone() *Message {
-	c := &Message{Type: m.Type, From: m.From, To: m.To, Seq: m.Seq, Progress: m.Progress}
+	c := &Message{Type: m.Type, From: m.From, To: m.To, Seq: m.Seq, Progress: m.Progress, View: m.View}
 	if len(m.Keys) > 0 {
 		c.Keys = append(make([]keyrange.Key, 0, len(m.Keys)), m.Keys...)
 	}
@@ -184,7 +185,7 @@ func SendRetained(ep Endpoint, m *Message) error {
 		return ep.Send(m)
 	}
 	c := NewMessage()
-	c.Type, c.From, c.To, c.Seq, c.Progress = m.Type, m.From, m.To, m.Seq, m.Progress
+	c.Type, c.From, c.To, c.Seq, c.Progress, c.View = m.Type, m.From, m.To, m.Seq, m.Progress, m.View
 	c.Keys = append(c.Keys[:0], m.Keys...)
 	c.Vals = append(c.Vals[:0], m.Vals...)
 	c.owner = ownerReceiver
