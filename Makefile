@@ -8,7 +8,7 @@ GO ?= go
 # catches a PR that lands untested request-lifecycle code.
 COVER_FLOOR ?= 80.0
 
-.PHONY: verify build vet lint test race race-debug race-stress race-failover fuzz fuzz-smoke cover ci bench bench-paper
+.PHONY: verify build vet lint test race race-debug race-stress race-failover fuzz fuzz-smoke determinism scenarios scenarios-smoke cover ci bench bench-paper
 
 ## verify: the tier-1 gate — vet, build, full test suite.
 verify: vet build test
@@ -64,17 +64,49 @@ race-failover:
 		-run 'TestFailoverKillServer|TestViewFencingRejectsStaleEpoch|TestLiveJoinServesDuringTransfer|TestDrainMovesKeysWithoutStopping' \
 		./internal/core/
 
-## fuzz: a short codec fuzz pass over the wire format (seeds include
-## negative Progress and boundary-length frames).
+## fuzz: a short codec fuzz pass over every wire format — the message
+## codec and framer, the cluster-view codec, the replication-wave frame,
+## and the stats/spec payloads (seed corpora cover v1/v2 ShardState and
+## legacy 3-value Spec frames).
 fuzz:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime 30s
+	$(GO) test ./internal/clusterview/ -run '^$$' -fuzz FuzzViewDecode -fuzztime 30s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeWave -fuzztime 30s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeShardState -fuzztime 30s
+	$(GO) test ./internal/syncmodel/ -run '^$$' -fuzz FuzzDecodeSpec -fuzztime 30s
 
 ## fuzz-smoke: the CI-sized fuzz pass — 10s per codec target, enough to
 ## replay the seed corpus and shake the boundary cases.
 fuzz-smoke:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s
+	$(GO) test ./internal/clusterview/ -run '^$$' -fuzz FuzzViewDecode -fuzztime 10s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeWave -fuzztime 10s
+	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeShardState -fuzztime 10s
+	$(GO) test ./internal/syncmodel/ -run '^$$' -fuzz FuzzDecodeSpec -fuzztime 10s
+
+## determinism: the bit-identical replay properties, repeated under the
+## race detector — the scenario simulator (same spec + seed ⇒ identical
+## Result, whatever hazards fire) and the apply engine (same workload ⇒
+## identical parameters whatever ApplyWorkers is set to).
+determinism:
+	$(GO) test -race -count=5 -run 'TestScenarioDeterminism' ./internal/sim/
+	$(GO) test -race -count=5 -run 'TestApplyWorkersDeterminism' ./internal/core/
+
+## scenarios: the full-scale scenario matrix — every sync policy ×
+## topology × fault plan at up to 1024 simulated workers, 5 seed
+## replicates per cell (~30s). The JSON scorecard lands in
+## BENCH_scenarios.json; the per-group adaptive-vs-best-fixed digest
+## prints to stderr.
+scenarios:
+	$(GO) run ./cmd/fluentbench -scenarios > BENCH_scenarios.json
+
+## scenarios-smoke: the CI tier of the matrix — the same grid at pruned
+## scale with the golden-score regression gate and the ≥80% adaptive
+## dominance gate (see internal/experiments/scenarios_test.go).
+scenarios-smoke:
+	$(GO) test -count=1 -run 'TestScenario' ./internal/experiments/
 
 ## cover: statement coverage for the request-lifecycle packages, failing
 ## below COVER_FLOOR percent.
@@ -90,15 +122,19 @@ cover:
 	done
 
 ## ci: the full pre-merge gate — vet + build + tests, fluentvet, the race
-## detector over everything (plus a fluentdebug assertion pass), a codec
-## fuzz smoke, the adaptive-regret acceptance gate, and the coverage floor.
+## detector over everything (plus a fluentdebug assertion pass), the
+## determinism replay properties, the scenario-matrix smoke tier with its
+## golden and dominance gates, a codec fuzz smoke, the adaptive-regret
+## acceptance gate, and the coverage floor.
 ci: verify
 	$(MAKE) lint
 	$(GO) test -count=1 -run 'TestAdaptiveSweep' ./internal/experiments/
+	$(MAKE) scenarios-smoke
 	$(GO) test -race ./...
 	$(MAKE) race-debug
 	$(MAKE) race-stress
 	$(MAKE) race-failover
+	$(MAKE) determinism
 	$(MAKE) fuzz-smoke
 	$(MAKE) cover
 
@@ -114,6 +150,8 @@ ci: verify
 ## BENCH_adaptive.json records the adaptive-vs-fixed regret sweep: for each
 ## heterogeneous trace, the timed regret and throughput of Adaptive against
 ## every fixed preset (BSP, ASP, SSP(s) swept) plus the hindsight-best ratio.
+## BENCH_scenarios.json is the full-scale scenario-matrix scorecard (see
+## `make scenarios`).
 bench:
 	$(GO) test -run '^$$' -bench 'PushPullHotPath$$|FrameRoundTrip|WriteFrame|DecodeInto' \
 		-benchmem -json ./internal/core/ ./internal/transport/ > BENCH_hotpath.json
@@ -122,6 +160,7 @@ bench:
 	$(GO) test -run '^$$' -bench 'ApplyThroughput|AxpyBatch' -benchtime 2s \
 		-benchmem -json ./internal/core/ ./internal/mathx/ > BENCH_apply.json
 	$(GO) run ./cmd/fluentbench -adaptive > BENCH_adaptive.json
+	$(GO) run ./cmd/fluentbench -scenarios > BENCH_scenarios.json
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_hotpath.json BENCH_telemetry.json BENCH_apply.json | tr -d '\n' | \
 		sed 's/\\n/\n/g; s/\\t/\t/g' | grep 'allocs/op'
 

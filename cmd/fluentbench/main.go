@@ -31,6 +31,7 @@ func main() {
 		hotpath = flag.Bool("hotpath", false, "benchmark the push/pull hot path (ns, bytes, allocs per step) and exit")
 		apply   = flag.Bool("apply", false, "benchmark push-apply throughput, serial vs wave-batched engine, and exit")
 		adapt   = flag.Bool("adaptive", false, "run the adaptive-vs-fixed regret sweep over heterogeneous traces, emit JSON on stdout, and exit")
+		scen    = flag.Bool("scenarios", false, "run the scenario matrix (policy × topology × fault), emit the JSON scorecard on stdout, and exit")
 	)
 	flag.Parse()
 
@@ -63,6 +64,28 @@ func main() {
 			fmt.Fprintf(os.Stderr, "%-12s adaptive %.4f vs best fixed %s %.4f (ratio %.3f)\n",
 				r.Trace, r.AdaptiveRegret, r.BestFixed, r.BestFixedRegret, r.Ratio)
 		}
+		return
+	}
+	if *scen {
+		// Stdout carries only the JSON scorecard (BENCH_scenarios.json);
+		// the per-group digest goes to stderr.
+		res, err := experiments.ScenarioSweep(experiments.Options{Quick: *quick, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fluentbench: scenarios: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "fluentbench: scenarios: %v\n", err)
+			os.Exit(1)
+		}
+		for _, g := range res.Groups {
+			fmt.Fprintf(os.Stderr, "%-8s %-13s adaptive %.4f vs best fixed %-11s %.4f (ratio %.3f, win=%v)\n",
+				g.Topology, g.Fault, g.AdaptiveRegret, g.BestFixed, g.BestFixedRegret, g.Ratio, g.Win)
+		}
+		fmt.Fprintf(os.Stderr, "adaptive dominance: %d/%d hazard groups (%.0f%%)\n",
+			res.HazardWins, res.HazardGroups, 100*res.DominanceRate)
 		return
 	}
 

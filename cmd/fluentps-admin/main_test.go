@@ -1,0 +1,143 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// The exit-code contract (0 = done, 1 = operation failed, 2 = usage) is
+// what scripts and runbooks branch on, so it is tested end to end: each
+// case re-execs this test binary as the admin (the env var below routes
+// the child straight into main) and asserts on the real process exit.
+
+const (
+	adminRunEnv  = "FLUENTPS_ADMIN_RUN_MAIN"
+	adminArgsEnv = "FLUENTPS_ADMIN_ARGS"
+	adminArgsSep = "\x1f"
+)
+
+func TestMain(m *testing.M) {
+	if os.Getenv(adminRunEnv) == "1" {
+		// Child mode: become fluentps-admin. A fresh FlagSet drops the
+		// test binary's -test.* flags before main registers its own.
+		flag.CommandLine = flag.NewFlagSet("fluentps-admin", flag.ExitOnError)
+		os.Args = append([]string{"fluentps-admin"},
+			strings.FieldsFunc(os.Getenv(adminArgsEnv), func(r rune) bool { return r == '\x1f' })...)
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// runAdmin re-execs the test binary as fluentps-admin with args and
+// returns the exit code and combined output.
+func runAdmin(t *testing.T, args ...string) (int, string) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0])
+	cmd.Env = append(os.Environ(),
+		adminRunEnv+"=1",
+		adminArgsEnv+"="+strings.Join(args, adminArgsSep))
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	err := cmd.Run()
+	if err == nil {
+		return 0, out.String()
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode(), out.String()
+	}
+	t.Fatalf("re-exec failed before the admin ran: %v", err)
+	return -1, ""
+}
+
+func TestAdminUsageExitsTwo(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"no command", nil},
+		{"unknown command", []string{"frobnicate"}},
+		{"empty servers", []string{"-servers", "", "view"}},
+		{"bad sync model", []string{"-sync", "sgd", "set-cond"}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			code, out := runAdmin(t, tc.args...)
+			if code != 2 {
+				t.Fatalf("exit %d, want 2; output:\n%s", code, out)
+			}
+		})
+	}
+}
+
+func TestAdminFailureExitsOne(t *testing.T) {
+	// Port 1 on loopback refuses connections: every in-band command must
+	// report the dead cluster as an operation failure, not a usage error.
+	for _, cmd := range []string{"view", "stats", "promote"} {
+		t.Run(cmd, func(t *testing.T) {
+			code, out := runAdmin(t,
+				"-servers", "127.0.0.1:1", "-workerAddrs", "127.0.0.1:2",
+				"-timeout", "2s", cmd)
+			if code != 1 {
+				t.Fatalf("exit %d, want 1; output:\n%s", code, out)
+			}
+		})
+	}
+}
+
+// TestAdminStatsExitsZero runs `stats` against a live in-process server
+// over real TCP: the happy path must print every shard's state and exit 0.
+func TestAdminStatsExitsZero(t *testing.T) {
+	layout := keyrange.MustLayout([]int{4, 4})
+	assign, err := keyrange.EPS(layout, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep, err := transport.ListenTCP(transport.Server(0), "127.0.0.1:0", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := core.NewServer(ep, core.ServerConfig{
+		Rank: 0, NumWorkers: 2, Layout: layout, Assignment: assign,
+		Model: syncmodel.SSP(3), Drain: syncmodel.Lazy,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Run(); close(done) }()
+	t.Cleanup(func() {
+		down, err := transport.ListenTCP(transport.Worker(90), "127.0.0.1:0", map[transport.NodeID]string{
+			transport.Server(0): ep.Addr(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer down.Close()
+		_ = down.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(0)})
+		<-done
+		ep.Close()
+	})
+
+	code, out := runAdmin(t,
+		"-servers", ep.Addr(), "-workerAddrs", "127.0.0.1:2,127.0.0.1:3",
+		"-timeout", "10s", "stats")
+	if code != 0 {
+		t.Fatalf("exit %d, want 0; output:\n%s", code, out)
+	}
+	want := fmt.Sprintf("model=%s", syncmodel.SSP(3).Name)
+	if !strings.Contains(out, "server 0:") || !strings.Contains(out, want) {
+		t.Fatalf("stats output missing server line or %q:\n%s", want, out)
+	}
+}

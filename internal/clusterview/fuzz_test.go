@@ -1,0 +1,121 @@
+package clusterview
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// viewFloats reinterprets fuzz bytes as the float64 words a view frame
+// travels in (the codec never does arithmetic on them, so raw bit
+// patterns — NaNs, infinities, denormals — are all fair input).
+func viewFloats(data []byte) []float64 {
+	vals := make([]float64, 0, len(data)/8)
+	for off := 0; off+8 <= len(data); off += 8 {
+		vals = append(vals, math.Float64frombits(binary.LittleEndian.Uint64(data[off:])))
+	}
+	return vals
+}
+
+func viewBytes(vals []float64) []byte {
+	b := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(b[8*i:], math.Float64bits(v))
+	}
+	return b
+}
+
+// sampleViews builds representative views for the seed corpus: the
+// bootstrap shape, a post-promotion shape (dead primary hosted by its
+// backup), and degenerate extremes.
+func sampleViews(t testing.TB) []*View {
+	layout := keyrange.MustLayout([]int{4, 4, 4, 4})
+	asn, err := keyrange.DefaultSlicing(layout, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := &View{
+		Epoch: 1, Replicas: 2, SchedulerAddr: "sched:7000",
+		Servers: []Member{
+			{State: Active, Host: 0, Addr: "s0:7001"},
+			{State: Active, Host: 1, Addr: "s1:7002"},
+		},
+		Workers: []Member{
+			{State: Active, Addr: "w0:7100"},
+			{State: Down, Addr: ""},
+		},
+		Assignment: asn,
+	}
+	v2 := &View{
+		Epoch: 9, Replicas: 2, SchedulerAddr: "sched:7000",
+		Servers: []Member{
+			{State: Down, Host: 1, Addr: "s1:7002"}, // promoted onto backup
+			{State: Active, Host: 1, Addr: "s1:7002"},
+		},
+		Workers:    []Member{{State: Active, Addr: "w0:7100"}},
+		Assignment: asn,
+	}
+	empty := &View{Epoch: 1, Replicas: 1, Assignment: keyrange.FromServerOf(nil, 0)}
+	return []*View{v1, v2, empty}
+}
+
+// FuzzViewDecode: arbitrary float words must never panic Decode; frames
+// that do decode must survive an encode/decode roundtrip with their
+// structure intact.
+func FuzzViewDecode(f *testing.F) {
+	f.Add([]byte{})
+	for _, v := range sampleViews(f) {
+		f.Add(viewBytes(v.Encode(nil)))
+	}
+	// A frame whose trailing assignment is truncated mid-key.
+	enc := sampleViews(f)[0].Encode(nil)
+	f.Add(viewBytes(enc[:len(enc)-2]))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		v, rest, err := Decode(viewFloats(data))
+		if err != nil {
+			return
+		}
+		if len(rest) > len(data)/8 {
+			t.Fatalf("decode returned %d leftover words from %d input words", len(rest), len(data)/8)
+		}
+		// Roundtrip: re-encoding a decoded view must produce a decodable
+		// frame describing the same cluster. (Scalar fields that went
+		// through an out-of-range float conversion are not bit-stable, so
+		// the comparison sticks to the structure the codec guarantees:
+		// member counts, addresses, and the key assignment.)
+		v2, rest2, err := Decode(v.Encode(nil))
+		if err != nil {
+			t.Fatalf("re-encoded view does not decode: %v", err)
+		}
+		if len(rest2) != 0 {
+			t.Fatalf("re-encoded view left %d words", len(rest2))
+		}
+		if len(v2.Servers) != len(v.Servers) || len(v2.Workers) != len(v.Workers) {
+			t.Fatalf("membership changed in roundtrip: %d/%d -> %d/%d",
+				len(v.Servers), len(v.Workers), len(v2.Servers), len(v2.Workers))
+		}
+		if v2.SchedulerAddr != v.SchedulerAddr {
+			t.Fatalf("scheduler addr changed: %q -> %q", v.SchedulerAddr, v2.SchedulerAddr)
+		}
+		for i := range v.Servers {
+			if v2.Servers[i].Addr != v.Servers[i].Addr {
+				t.Fatalf("server %d addr changed: %q -> %q", i, v.Servers[i].Addr, v2.Servers[i].Addr)
+			}
+		}
+		for i := range v.Workers {
+			if v2.Workers[i].Addr != v.Workers[i].Addr {
+				t.Fatalf("worker %d addr changed: %q -> %q", i, v.Workers[i].Addr, v2.Workers[i].Addr)
+			}
+		}
+		if v2.Assignment.NumKeys() != v.Assignment.NumKeys() {
+			t.Fatalf("assignment size changed: %d -> %d", v.Assignment.NumKeys(), v2.Assignment.NumKeys())
+		}
+		for k := 0; k < v.Assignment.NumKeys(); k++ {
+			if v2.Assignment.ServerOf(keyrange.Key(k)) != v.Assignment.ServerOf(keyrange.Key(k)) {
+				t.Fatalf("key %d moved in roundtrip", k)
+			}
+		}
+	})
+}

@@ -410,7 +410,9 @@ func decodeWave(layout *keyrange.Layout, msg *transport.Message) (*replWave, err
 	}
 	nCounts := int(vals[0])
 	vals = vals[1:]
-	if nCounts < 0 || len(vals) < 2*nCounts {
+	// Bound with a division: 2*nCounts could overflow for a hostile count
+	// and slip past a len comparison.
+	if nCounts < 0 || nCounts > len(vals)/2 {
 		return fail("rounds")
 	}
 	w.img.Counts = make(map[int]int, nCounts)
@@ -423,7 +425,7 @@ func decodeWave(layout *keyrange.Layout, msg *transport.Message) (*replWave, err
 	}
 	nPairs := int(vals[0])
 	vals = vals[1:]
-	if nPairs < 0 || len(vals) < 2*nPairs {
+	if nPairs < 0 || nPairs > len(vals)/2 {
 		return fail("pairs")
 	}
 	w.pairs = make([]dedupPair, nPairs)

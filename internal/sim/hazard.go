@@ -1,0 +1,132 @@
+package sim
+
+import "fmt"
+
+// This file is the scenario harness's hazard model: the declarative
+// description of everything that can go wrong during a simulated run.
+// Hazards are data — a scenario YAML-shaped literal, not code — so a new
+// fault case is a new table entry, and the same schedule replays
+// identically under every sync policy being compared.
+
+// ChurnEvent removes one worker from the job at LeaveAt and, when RejoinAt
+// is positive, brings it back at RejoinAt. A leave is abrupt (no goodbye
+// message): servers notice via the membership schedule the scenario feeds
+// them, mirroring a failure detector with a fixed detection delay.
+type ChurnEvent struct {
+	Worker   int     `json:"worker"`
+	LeaveAt  float64 `json:"leaveAt"`
+	RejoinAt float64 `json:"rejoinAt,omitempty"` // 0 = gone for good
+}
+
+// ServerFailure kills one server at KillAt. A transient failure is a
+// process blackout — the server drops every message in [KillAt, RecoverAt)
+// and resumes with its state intact (kernel pause, GC stall, network
+// partition). A permanent failure never comes back: the scenario must run
+// with Replicas ≥ 2 so the backup can be promoted.
+type ServerFailure struct {
+	Server    int     `json:"server"`
+	KillAt    float64 `json:"killAt"`
+	Transient bool    `json:"transient,omitempty"`
+	RecoverAt float64 `json:"recoverAt,omitempty"` // transient only
+}
+
+// StragglePhase slows a subset of workers by Factor during [From, Until).
+// With Rotate > 0 the afflicted set shifts every Rotate seconds (the
+// paper's "randomly slower" nodes as a moving target — the worst case for
+// a policy that locks onto a fixed straggler set); with Rotate = 0 the
+// first Count ranks straggle for the whole phase.
+type StragglePhase struct {
+	From   float64 `json:"from"`
+	Until  float64 `json:"until,omitempty"` // 0 = rest of the run
+	Count  int     `json:"count"`
+	Factor float64 `json:"factor"`
+	Rotate float64 `json:"rotate,omitempty"`
+}
+
+// Hazards is a scenario's complete fault plan.
+type Hazards struct {
+	Churn    []ChurnEvent    `json:"churn,omitempty"`
+	Failures []ServerFailure `json:"failures,omitempty"`
+	Straggle []StragglePhase `json:"straggle,omitempty"`
+}
+
+// Empty reports whether the plan injects anything at all.
+func (h *Hazards) Empty() bool {
+	return len(h.Churn) == 0 && len(h.Failures) == 0 && len(h.Straggle) == 0
+}
+
+// Validate checks schedule sanity against the cluster shape: ranks in
+// range, no duplicate ranks, rejoin strictly after leave, recovery
+// strictly after kill, and permanent kills only when a replica exists to
+// promote.
+func (h *Hazards) Validate(workers, servers, replicas int) error {
+	seenW := make(map[int]bool, len(h.Churn))
+	for _, c := range h.Churn {
+		switch {
+		case c.Worker < 0 || c.Worker >= workers:
+			return fmt.Errorf("sim: churn worker %d out of range [0,%d)", c.Worker, workers)
+		case seenW[c.Worker]:
+			return fmt.Errorf("sim: duplicate churn schedule for worker %d", c.Worker)
+		case c.LeaveAt <= 0:
+			return fmt.Errorf("sim: worker %d leave time must be positive, got %v", c.Worker, c.LeaveAt)
+		case c.RejoinAt < 0:
+			return fmt.Errorf("sim: worker %d rejoin time must be non-negative, got %v", c.Worker, c.RejoinAt)
+		case c.RejoinAt > 0 && c.RejoinAt <= c.LeaveAt:
+			return fmt.Errorf("sim: worker %d rejoins at %v, not after its leave at %v", c.Worker, c.RejoinAt, c.LeaveAt)
+		}
+		seenW[c.Worker] = true
+	}
+	seenS := make(map[int]bool, len(h.Failures))
+	for _, f := range h.Failures {
+		switch {
+		case f.Server < 0 || f.Server >= servers:
+			return fmt.Errorf("sim: failure server %d out of range [0,%d)", f.Server, servers)
+		case seenS[f.Server]:
+			return fmt.Errorf("sim: duplicate failure schedule for server %d", f.Server)
+		case f.KillAt <= 0:
+			return fmt.Errorf("sim: server %d kill time must be positive, got %v", f.Server, f.KillAt)
+		case f.Transient && f.RecoverAt <= f.KillAt:
+			return fmt.Errorf("sim: server %d recovers at %v, not after its kill at %v", f.Server, f.RecoverAt, f.KillAt)
+		case !f.Transient && f.RecoverAt != 0:
+			return fmt.Errorf("sim: server %d is killed permanently but has a recover time %v", f.Server, f.RecoverAt)
+		case !f.Transient && replicas < 2:
+			return fmt.Errorf("sim: server %d is killed permanently with no replica to promote (replicas=%d)", f.Server, replicas)
+		}
+		seenS[f.Server] = true
+	}
+	for i, p := range h.Straggle {
+		switch {
+		case p.Count < 0 || p.Count > workers:
+			return fmt.Errorf("sim: straggle phase %d afflicts %d of %d workers", i, p.Count, workers)
+		case p.Count > 0 && p.Factor < 1:
+			return fmt.Errorf("sim: straggle phase %d factor must be ≥ 1, got %v", i, p.Factor)
+		case p.From < 0 || p.Rotate < 0:
+			return fmt.Errorf("sim: straggle phase %d has negative times (from=%v rotate=%v)", i, p.From, p.Rotate)
+		case p.Until != 0 && p.Until <= p.From:
+			return fmt.Errorf("sim: straggle phase %d ends at %v, not after it starts at %v", i, p.Until, p.From)
+		}
+	}
+	return nil
+}
+
+// slowFactor returns the compute slowdown hazard phases impose on a worker
+// at simulated time now (1 = full speed). Phases multiply.
+func (h *Hazards) slowFactor(worker, workers int, now float64) float64 {
+	f := 1.0
+	for _, p := range h.Straggle {
+		if p.Count == 0 || now < p.From || (p.Until != 0 && now >= p.Until) {
+			continue
+		}
+		start := 0
+		if p.Rotate > 0 {
+			// The afflicted window [start, start+Count) slides by Count
+			// ranks every Rotate seconds, so over time slowness visits the
+			// whole cluster.
+			start = (int((now - p.From) / p.Rotate) * p.Count) % workers
+		}
+		if d := (worker - start + workers) % workers; d < p.Count {
+			f *= p.Factor
+		}
+	}
+	return f
+}

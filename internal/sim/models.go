@@ -85,7 +85,28 @@ func (n NetworkModel) Validate() error {
 	return nil
 }
 
-// network tracks NIC queue availability per simulated node.
+// LinkClass describes one directed link of a heterogeneous fabric:
+// propagation latency, bandwidth, and an independent per-message loss
+// probability. The zero value means "use the fabric's uniform model".
+type LinkClass struct {
+	Latency   float64
+	Bandwidth float64
+	Loss      float64
+}
+
+// Validate reports whether the class is usable as an override.
+func (l LinkClass) Validate() error {
+	if l.Latency < 0 || l.Bandwidth < 0 || l.Loss < 0 || l.Loss >= 1 {
+		return fmt.Errorf("sim: invalid link class (latency=%v bandwidth=%v loss=%v)", l.Latency, l.Bandwidth, l.Loss)
+	}
+	return nil
+}
+
+// network tracks NIC queue availability per simulated node. An optional
+// link function makes the fabric heterogeneous: it maps a directed (u,v)
+// pair to a LinkClass whose non-zero fields override the uniform model,
+// including a loss probability under which a message occupies the sender's
+// NIC but never arrives.
 type network struct {
 	model   NetworkModel
 	eng     *Engine
@@ -93,6 +114,10 @@ type network struct {
 	rxFree  []float64
 	txBytes []int64
 	rxBytes []int64
+
+	link    func(u, v int) LinkClass
+	lossRNG *rand.Rand
+	drops   int64
 }
 
 func newNetwork(model NetworkModel, eng *Engine, nodes int) *network {
@@ -106,14 +131,39 @@ func newNetwork(model NetworkModel, eng *Engine, nodes int) *network {
 	}
 }
 
+// setLinks installs a per-link override function and the RNG driving loss
+// draws. rng may be nil when no class carries a loss probability.
+func (n *network) setLinks(link func(u, v int) LinkClass, rng *rand.Rand) {
+	n.link = link
+	n.lossRNG = rng
+}
+
 // send schedules delivery of a message of the given size from node u to
-// node v; onArrive runs when the receiver has fully read it.
+// node v; onArrive runs when the receiver has fully read it. On a lossy
+// link a dropped message still occupies the transmit queue (the sender
+// paid to put it on the wire) but never reaches v.
 func (n *network) send(u, v int, bytes int, onArrive func()) {
-	occ := float64(bytes) / n.model.Bandwidth
+	lat, bw := n.model.Latency, n.model.Bandwidth
+	loss := 0.0
+	if n.link != nil {
+		cl := n.link(u, v)
+		if cl.Latency > 0 {
+			lat = cl.Latency
+		}
+		if cl.Bandwidth > 0 {
+			bw = cl.Bandwidth
+		}
+		loss = cl.Loss
+	}
+	occ := float64(bytes) / bw
 	depart := maxf(n.eng.Now(), n.txFree[u]) + occ
 	n.txFree[u] = depart
 	n.txBytes[u] += int64(bytes)
-	arriveStart := maxf(depart+n.model.Latency, n.rxFree[v])
+	if loss > 0 && n.lossRNG.Float64() < loss {
+		n.drops++
+		return
+	}
+	arriveStart := maxf(depart+lat, n.rxFree[v])
 	arrive := arriveStart + occ
 	n.rxFree[v] = arrive
 	n.rxBytes[v] += int64(bytes)

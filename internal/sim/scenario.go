@@ -1,0 +1,260 @@
+package sim
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"github.com/fluentps/fluentps/internal/syncmodel"
+)
+
+// A Scenario is one cell of the regression matrix, declared as data: a
+// sync policy, a cluster topology, a fault plan, and a simulated-time
+// budget. RunScenario turns it into a deterministic discrete-event run and
+// a scorecard; sweeps build grids of these literals instead of bespoke
+// harness code.
+type Scenario struct {
+	Name string `json:"name"`
+
+	// Policy names the sync model under test:
+	//   "bsp" | "asp" | "ssp:<s>" | "pssp:<s>:<c>" | "drop:<quorum>" |
+	//   "dsps:<s0>:<min>:<max>" | "adaptive"
+	// ("adaptive" takes its staleness bounds and policy knobs from
+	// Adaptive below; zero fields mean defaults).
+	Policy string `json:"policy"`
+
+	// Topology shapes the fabric:
+	//   "uniform"  — every node identical, flat network;
+	//   "hetero"   — per-worker compute spread (Compute.SpeedSpread) plus
+	//                per-node NIC speed spread drawn from HeteroNetSpread;
+	//   "geo2"     — nodes split across two data centers, intra-DC links
+	//                run the base Net model, cross-DC links run WAN.
+	Topology string `json:"topology"`
+
+	Workers int `json:"workers"`
+	Servers int `json:"servers"`
+	// Replicas: 1 = no replication, 2 = every server has a hot backup
+	// receiving waves (acked ⇒ replicated) that a permanent kill promotes.
+	Replicas int `json:"replicas"`
+
+	// Budget is the simulated training time per cell; workers start no new
+	// iteration after it. Scores are normalized by it, so a policy that
+	// parks workers at barriers simply applies fewer updates.
+	Budget float64 `json:"budget"`
+	// IterCap bounds per-worker iterations (sanity stop, not a target).
+	IterCap int `json:"iterCap,omitempty"`
+
+	Compute ComputeModel `json:"compute"`
+	Net     NetworkModel `json:"net"`
+	// WAN overrides cross-DC links under the geo2 topology (zero fields
+	// default to 15× base latency, ¼ base bandwidth).
+	WAN LinkClass `json:"wan,omitempty"`
+	// HeteroNetSpread is the lognormal CV of per-node NIC multipliers
+	// under the hetero topology (0 = default 0.5).
+	HeteroNetSpread float64 `json:"heteroNetSpread,omitempty"`
+	// LinkLoss drops each message independently with this probability —
+	// on cross-DC links under geo2, on every link otherwise.
+	LinkLoss float64 `json:"linkLoss,omitempty"`
+
+	Hazards Hazards `json:"hazards,omitempty"`
+
+	// Workload: linear regression with Dim features, label noise Noise,
+	// constant learning rate Eta — small enough to run thousands of
+	// workers, real enough that regret reflects staleness.
+	Dim   int     `json:"dim,omitempty"`
+	Noise float64 `json:"noise,omitempty"`
+	Eta   float64 `json:"eta,omitempty"`
+
+	// AdaptEvery > 0 attaches an AdaptiveDriver to every server, ticking
+	// at that period (required for Policy "adaptive" to switch regimes).
+	AdaptEvery float64                  `json:"adaptEvery,omitempty"`
+	Adaptive   syncmodel.AdaptiveConfig `json:"adaptive,omitempty"`
+
+	// RTO is the worker/replication retransmission timeout; only used in
+	// cells that can lose messages (loss or server failures).
+	RTO float64 `json:"rto,omitempty"`
+	// DetectDelay models failure/membership detection lag: a server learns
+	// of a worker's departure, and the cluster reacts to a server kill
+	// (promote), this long after the event.
+	DetectDelay float64 `json:"detectDelay,omitempty"`
+
+	Seed int64 `json:"seed"`
+}
+
+// Scenario topology names.
+const (
+	TopoUniform = "uniform"
+	TopoHetero  = "hetero"
+	TopoGeo2    = "geo2"
+)
+
+// withDefaults resolves zero fields so a literal needs only the knobs it
+// cares about.
+func (sc Scenario) withDefaults() Scenario {
+	if sc.Servers == 0 {
+		sc.Servers = 2
+	}
+	if sc.Replicas == 0 {
+		sc.Replicas = 1
+	}
+	if sc.Budget == 0 {
+		sc.Budget = 60
+	}
+	if sc.Compute.Mean == 0 {
+		sc.Compute = ComputeModel{Mean: 0.5, CV: 0.2}
+	}
+	if sc.Net.Bandwidth == 0 {
+		sc.Net = NetworkModel{Latency: 0.002, Bandwidth: 1e8}
+	}
+	if sc.Topology == TopoGeo2 {
+		if sc.WAN.Latency == 0 {
+			sc.WAN.Latency = 15 * maxf(sc.Net.Latency, 0.002)
+		}
+		if sc.WAN.Bandwidth == 0 {
+			sc.WAN.Bandwidth = sc.Net.Bandwidth / 4
+		}
+	}
+	if sc.Topology == TopoHetero && sc.HeteroNetSpread == 0 {
+		sc.HeteroNetSpread = 0.5
+	}
+	if sc.Dim == 0 {
+		sc.Dim = 16
+	}
+	if sc.Noise == 0 {
+		sc.Noise = 0.3
+	}
+	if sc.Eta == 0 {
+		sc.Eta = 0.05
+	}
+	if sc.RTO == 0 {
+		sc.RTO = 1.0
+	}
+	if sc.DetectDelay == 0 {
+		sc.DetectDelay = 1.0
+	}
+	if sc.IterCap == 0 {
+		// Generous headroom over what the budget allows the fastest worker.
+		sc.IterCap = int(sc.Budget/sc.Compute.Mean)*8 + 64
+	}
+	return sc
+}
+
+// Validate checks the resolved scenario, including its hazard plan.
+func (sc Scenario) Validate() error {
+	sc = sc.withDefaults()
+	switch {
+	case sc.Workers < 1 || sc.Servers < 1:
+		return fmt.Errorf("sim: scenario needs ≥1 worker and ≥1 server, got %d/%d", sc.Workers, sc.Servers)
+	case sc.Replicas < 1 || sc.Replicas > 2:
+		return fmt.Errorf("sim: scenario replicas must be 1 or 2, got %d", sc.Replicas)
+	case sc.Budget <= 0:
+		return fmt.Errorf("sim: scenario budget must be positive, got %v", sc.Budget)
+	case sc.LinkLoss < 0 || sc.LinkLoss >= 1:
+		return fmt.Errorf("sim: link loss must be in [0,1), got %v", sc.LinkLoss)
+	case sc.HeteroNetSpread < 0:
+		return fmt.Errorf("sim: hetero net spread must be non-negative, got %v", sc.HeteroNetSpread)
+	case sc.Eta <= 0 || sc.Dim < 1 || sc.Noise < 0:
+		return fmt.Errorf("sim: invalid workload (eta=%v dim=%d noise=%v)", sc.Eta, sc.Dim, sc.Noise)
+	case sc.RTO <= 0 || sc.DetectDelay < 0:
+		return fmt.Errorf("sim: invalid timers (rto=%v detectDelay=%v)", sc.RTO, sc.DetectDelay)
+	case sc.AdaptEvery < 0:
+		return fmt.Errorf("sim: adaptive tick period must be non-negative, got %v", sc.AdaptEvery)
+	}
+	switch sc.Topology {
+	case TopoUniform, TopoHetero, TopoGeo2:
+	default:
+		return fmt.Errorf("sim: unknown topology %q", sc.Topology)
+	}
+	if err := sc.Compute.Validate(); err != nil {
+		return err
+	}
+	if err := sc.Net.Validate(); err != nil {
+		return err
+	}
+	if err := sc.WAN.Validate(); err != nil {
+		return err
+	}
+	if _, _, err := sc.buildModel(); err != nil {
+		return err
+	}
+	if err := sc.Hazards.Validate(sc.Workers, sc.Servers, sc.Replicas); err != nil {
+		return err
+	}
+	return nil
+}
+
+// buildModel parses the Policy string into a sync model; adaptive reports
+// whether the cell runs the regime-switching driver.
+func (sc Scenario) buildModel() (m syncmodel.Model, adaptive bool, err error) {
+	parts := strings.Split(sc.Policy, ":")
+	argInt := func(i int) (int, error) {
+		if i >= len(parts) {
+			return 0, fmt.Errorf("sim: policy %q is missing argument %d", sc.Policy, i)
+		}
+		return strconv.Atoi(parts[i])
+	}
+	bad := func(n int) error {
+		if len(parts) != n {
+			return fmt.Errorf("sim: policy %q wants %d parts", sc.Policy, n)
+		}
+		return nil
+	}
+	switch parts[0] {
+	case "bsp":
+		return syncmodel.BSP(), false, bad(1)
+	case "asp":
+		return syncmodel.ASP(), false, bad(1)
+	case "ssp":
+		s, err := argInt(1)
+		if err != nil || s < 0 {
+			return m, false, fmt.Errorf("sim: policy %q needs a staleness ≥ 0", sc.Policy)
+		}
+		return syncmodel.SSP(s), false, bad(2)
+	case "pssp":
+		s, err := argInt(1)
+		if err != nil || s < 0 || len(parts) != 3 {
+			return m, false, fmt.Errorf("sim: policy %q wants pssp:<s>:<c>", sc.Policy)
+		}
+		c, err := strconv.ParseFloat(parts[2], 64)
+		if err != nil || c < 0 || c > 1 {
+			return m, false, fmt.Errorf("sim: policy %q needs a probability in [0,1]", sc.Policy)
+		}
+		return syncmodel.PSSPConst(s, c), false, nil
+	case "drop":
+		q, err := argInt(1)
+		if err != nil || q < 1 || q > sc.Workers {
+			return m, false, fmt.Errorf("sim: policy %q needs a quorum in [1,%d]", sc.Policy, sc.Workers)
+		}
+		return syncmodel.DropStragglers(q), false, bad(2)
+	case "dsps":
+		s0, e1 := argInt(1)
+		lo, e2 := argInt(2)
+		hi, e3 := argInt(3)
+		if e1 != nil || e2 != nil || e3 != nil || len(parts) != 4 {
+			return m, false, fmt.Errorf("sim: policy %q wants dsps:<s0>:<min>:<max>", sc.Policy)
+		}
+		m, err = safeModel(func() syncmodel.Model {
+			return syncmodel.DSPS(syncmodel.DSPSConfig{Initial: s0, Min: lo, Max: hi})
+		})
+		return m, false, err
+	case "adaptive":
+		if err := bad(1); err != nil {
+			return m, false, err
+		}
+		m, err = safeModel(func() syncmodel.Model { return syncmodel.Adaptive(sc.Adaptive) })
+		return m, true, err
+	default:
+		return m, false, fmt.Errorf("sim: unknown policy %q", sc.Policy)
+	}
+}
+
+// safeModel converts a model constructor's config panic into an error, so
+// Scenario.Validate rejects a bad literal instead of crashing the sweep.
+func safeModel(build func() syncmodel.Model) (m syncmodel.Model, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("%v", r)
+		}
+	}()
+	return build(), nil
+}

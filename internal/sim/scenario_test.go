@@ -1,0 +1,311 @@
+package sim
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"github.com/fluentps/fluentps/internal/dataset"
+	"github.com/fluentps/fluentps/internal/mlmodel"
+)
+
+// scnBase is a small, fast baseline cell tests mutate.
+func scnBase() Scenario {
+	return Scenario{
+		Name:     "test-cell",
+		Policy:   "ssp:3",
+		Topology: TopoUniform,
+		Workers:  16,
+		Servers:  2,
+		Budget:   10,
+		Compute:  ComputeModel{Mean: 0.3, CV: 0.2},
+		Net:      NetworkModel{Latency: 0.002, Bandwidth: 1e8},
+		Seed:     7,
+	}
+}
+
+// TestScenarioValidation is the table-driven error-path coverage for the
+// scenario spec and its hazard schedules: every broken literal must be
+// rejected with a message naming the problem.
+func TestScenarioValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		mut  func(*Scenario)
+		want string
+	}{
+		{"no workers", func(s *Scenario) { s.Workers = 0 }, "≥1 worker"},
+		{"bad replicas", func(s *Scenario) { s.Replicas = 3 }, "replicas"},
+		{"negative budget", func(s *Scenario) { s.Budget = -1 }, "budget"},
+		{"loss ≥ 1", func(s *Scenario) { s.LinkLoss = 1 }, "link loss"},
+		{"unknown topology", func(s *Scenario) { s.Topology = "ring" }, "topology"},
+		{"unknown policy", func(s *Scenario) { s.Policy = "sgd" }, "unknown policy"},
+		{"ssp missing arg", func(s *Scenario) { s.Policy = "ssp" }, "staleness"},
+		{"ssp negative", func(s *Scenario) { s.Policy = "ssp:-1" }, "staleness"},
+		{"drop quorum high", func(s *Scenario) { s.Policy = "drop:99" }, "quorum"},
+		{"dsps inverted", func(s *Scenario) { s.Policy = "dsps:5:6:2" }, "DSPS"},
+		{"bad compute", func(s *Scenario) { s.Compute.Mean = -1 }, "compute mean"},
+		{"churn rank range", func(s *Scenario) {
+			s.Hazards.Churn = []ChurnEvent{{Worker: 16, LeaveAt: 1}}
+		}, "out of range"},
+		{"churn duplicate rank", func(s *Scenario) {
+			s.Hazards.Churn = []ChurnEvent{{Worker: 3, LeaveAt: 1}, {Worker: 3, LeaveAt: 2}}
+		}, "duplicate churn"},
+		{"churn rejoin before leave", func(s *Scenario) {
+			s.Hazards.Churn = []ChurnEvent{{Worker: 3, LeaveAt: 5, RejoinAt: 2}}
+		}, "not after its leave"},
+		{"churn leave at zero", func(s *Scenario) {
+			s.Hazards.Churn = []ChurnEvent{{Worker: 3}}
+		}, "leave time"},
+		{"failure rank range", func(s *Scenario) {
+			s.Hazards.Failures = []ServerFailure{{Server: 2, KillAt: 1, Transient: true, RecoverAt: 2}}
+		}, "out of range"},
+		{"failure duplicate rank", func(s *Scenario) {
+			s.Replicas = 2
+			s.Hazards.Failures = []ServerFailure{{Server: 0, KillAt: 1}, {Server: 0, KillAt: 3}}
+		}, "duplicate failure"},
+		{"recover before kill", func(s *Scenario) {
+			s.Hazards.Failures = []ServerFailure{{Server: 0, KillAt: 5, Transient: true, RecoverAt: 5}}
+		}, "not after its kill"},
+		{"permanent kill with recover time", func(s *Scenario) {
+			s.Replicas = 2
+			s.Hazards.Failures = []ServerFailure{{Server: 0, KillAt: 5, RecoverAt: 7}}
+		}, "recover time"},
+		{"kill without replica", func(s *Scenario) {
+			s.Hazards.Failures = []ServerFailure{{Server: 0, KillAt: 5}}
+		}, "no replica"},
+		{"straggle factor", func(s *Scenario) {
+			s.Hazards.Straggle = []StragglePhase{{Count: 4, Factor: 0.5}}
+		}, "factor"},
+		{"straggle too many", func(s *Scenario) {
+			s.Hazards.Straggle = []StragglePhase{{Count: 17, Factor: 3}}
+		}, "afflicts"},
+		{"straggle ends early", func(s *Scenario) {
+			s.Hazards.Straggle = []StragglePhase{{From: 4, Until: 3, Count: 2, Factor: 3}}
+		}, "not after it starts"},
+	}
+	if err := scnBase().Validate(); err != nil {
+		t.Fatalf("baseline scenario invalid: %v", err)
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			sc := scnBase()
+			tc.mut(&sc)
+			err := sc.Validate()
+			if err == nil {
+				t.Fatalf("invalid scenario accepted")
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+}
+
+// TestScenarioBaselineScores: a healthy uniform cell trains — updates
+// accrue, loss drops below the zero-weight loss, the ledger is exact, and
+// V_train moves monotonically.
+func TestScenarioBaselineScores(t *testing.T) {
+	res, err := RunScenario(scnBase())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates < 100 {
+		t.Fatalf("only %d updates in a 10s budget", res.Updates)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("exactly-once audit failed: %s", res.ExactlyOnceErr)
+	}
+	if !res.VTrainMonotone {
+		t.Fatal("V_train regressed in a healthy run")
+	}
+	zero := zeroModelLoss(scnBase())
+	if res.FinalLoss >= zero {
+		t.Fatalf("final loss %.4f did not improve on the zero model's %.4f", res.FinalLoss, zero)
+	}
+	if len(res.VTrainTrace) == 0 || res.VTrainTrace[len(res.VTrainTrace)-1].V < 5 {
+		t.Fatalf("V_train trace too short: %v", res.VTrainTrace)
+	}
+	if res.Retransmits != 0 || res.LostMsgs != 0 || res.Promotions != 0 {
+		t.Fatalf("fault artifacts in a no-fault cell: %+v", res)
+	}
+}
+
+// zeroModelLoss returns the dataset loss of the all-zero model for a
+// cell's workload — the bar any trained cell must beat.
+func zeroModelLoss(sc Scenario) float64 {
+	sc = sc.withDefaults()
+	d := dataset.LinReg(2048, sc.Dim, sc.Noise, sc.Seed)
+	return mlmodel.LinReg{Dim: sc.Dim}.MeanLoss(make([]float64, sc.Dim), d)
+}
+
+// TestScenarioChurnExactlyOnce: workers leave and rejoin mid-run. Rounds
+// keep closing (the quorum shrinks), the rejoiner resumes without
+// double-counting, and the audit stays exact.
+func TestScenarioChurnExactlyOnce(t *testing.T) {
+	sc := scnBase()
+	sc.Policy = "bsp"
+	sc.Hazards.Churn = []ChurnEvent{
+		{Worker: 2, LeaveAt: 2, RejoinAt: 6},
+		{Worker: 9, LeaveAt: 3}, // gone for good
+	}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Departed != 2 || res.Rejoined != 1 {
+		t.Fatalf("departed/rejoined = %d/%d, want 2/1", res.Departed, res.Rejoined)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("exactly-once audit failed under churn: %s", res.ExactlyOnceErr)
+	}
+	if !res.VTrainMonotone {
+		t.Fatal("V_train regressed under churn")
+	}
+	// BSP must keep closing rounds after the permanent leave at t=3.
+	last := res.VTrainTrace[len(res.VTrainTrace)-1]
+	if last.T < 5 {
+		t.Fatalf("last V_train advance at t=%.2f: clock wedged after churn", last.T)
+	}
+	if res.Updates < 50 {
+		t.Fatalf("only %d updates under churn", res.Updates)
+	}
+}
+
+// TestScenarioKillPrimaryExactlyOnce is the harness's failover cell: the
+// rank-0 primary dies mid-run, its backup is promoted from replicated
+// waves, and the bit-exact audit proves no update was lost or
+// double-applied across the failover while V_train never rolled back past
+// an acknowledged round.
+func TestScenarioKillPrimaryExactlyOnce(t *testing.T) {
+	sc := scnBase()
+	sc.Replicas = 2
+	sc.DetectDelay = 0.5
+	sc.Hazards.Failures = []ServerFailure{{Server: 0, KillAt: 4}}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Promotions != 1 {
+		t.Fatalf("promotions = %d, want 1", res.Promotions)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("exactly-once audit failed across failover: %s", res.ExactlyOnceErr)
+	}
+	if !res.VTrainMonotone {
+		t.Fatal("V_train regressed past an acknowledged round at promotion")
+	}
+	if res.Retransmits == 0 {
+		t.Fatal("no retransmits while the primary was dark")
+	}
+	// Training must continue on the promoted lineage.
+	last := res.VTrainTrace[len(res.VTrainTrace)-1]
+	if last.T < 6 {
+		t.Fatalf("last rank-0 advance at t=%.2f: promoted server wedged", last.T)
+	}
+}
+
+// TestScenarioTransientAndLoss: a transient blackout plus a lossy fabric.
+// Retransmission and dedup absorb both; the ledger stays exact.
+func TestScenarioTransientAndLoss(t *testing.T) {
+	sc := scnBase()
+	sc.LinkLoss = 0.05
+	sc.RTO = 0.5
+	sc.Hazards.Failures = []ServerFailure{{Server: 1, KillAt: 3, Transient: true, RecoverAt: 5}}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries != 1 {
+		t.Fatalf("recoveries = %d, want 1", res.Recoveries)
+	}
+	if res.LostMsgs == 0 || res.Retransmits == 0 || res.DedupHits == 0 {
+		t.Fatalf("loss machinery idle: lost=%d retrans=%d dedup=%d", res.LostMsgs, res.Retransmits, res.DedupHits)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("exactly-once audit failed under loss: %s", res.ExactlyOnceErr)
+	}
+	if !res.VTrainMonotone {
+		t.Fatal("V_train regressed under loss")
+	}
+}
+
+// TestScenarioStragglerPhases: a rotating straggler phase slows different
+// workers over time; the run still completes with a sane score.
+func TestScenarioStragglerPhases(t *testing.T) {
+	sc := scnBase()
+	sc.Policy = "adaptive"
+	sc.AdaptEvery = 1
+	sc.Hazards.Straggle = []StragglePhase{{From: 1, Count: 3, Factor: 6, Rotate: 2}}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates < 50 {
+		t.Fatalf("only %d updates under rotating stragglers", res.Updates)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("audit failed: %s", res.ExactlyOnceErr)
+	}
+}
+
+// TestScenarioDeterminism is the bit-identical replay property: the same
+// scenario and seed produce the same Result — parameters, V_train trace,
+// switch log, every counter — across 5 runs. The cell deliberately stacks
+// the nondeterminism-prone machinery: adaptive switching, churn, a
+// transient failure, loss, retransmission, and rotating stragglers.
+func TestScenarioDeterminism(t *testing.T) {
+	sc := scnBase()
+	sc.Policy = "adaptive"
+	sc.AdaptEvery = 1
+	sc.Topology = TopoHetero
+	sc.LinkLoss = 0.03
+	sc.RTO = 0.5
+	sc.Hazards = Hazards{
+		Churn:    []ChurnEvent{{Worker: 1, LeaveAt: 2, RejoinAt: 5}},
+		Failures: []ServerFailure{{Server: 1, KillAt: 3, Transient: true, RecoverAt: 4.5}},
+		Straggle: []StragglePhase{{From: 1, Count: 2, Factor: 5, Rotate: 2}},
+	}
+	var first *ScenarioResult
+	for run := 0; run < 5; run++ {
+		res, err := RunScenario(sc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if first == nil {
+			first = res
+			continue
+		}
+		if !reflect.DeepEqual(first, res) {
+			t.Fatalf("run %d diverged from run 0:\n run0: %+v\n run%d: %+v", run, first, run, res)
+		}
+	}
+	// Bit-identical parameters, not just equal counters.
+	for i, v := range first.FinalParams {
+		if v != v {
+			t.Fatalf("NaN parameter at %d", i)
+		}
+	}
+}
+
+// TestScenarioScale: thousands of workers stay tractable — the event count
+// is linear in (workers × iterations), not quadratic in workers.
+func TestScenarioScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("scale cell skipped in -short")
+	}
+	sc := scnBase()
+	sc.Workers = 2000
+	sc.Servers = 4
+	sc.Budget = 4
+	sc.Policy = "ssp:3"
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Updates < 2000 {
+		t.Fatalf("only %d updates from 2000 workers", res.Updates)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("audit failed at scale: %s", res.ExactlyOnceErr)
+	}
+}

@@ -350,6 +350,25 @@ func (d *AdaptiveDriver) ObservePush(worker int, now float64) {
 	d.computing[worker] = false
 }
 
+// Depart clears worker w's forecast state when it leaves the job. Without
+// this, the silent-worker floor in Forecasts grows without bound for a
+// worker that will never push again, and the ever-worsening "straggler"
+// drags every future spread evaluation toward the bimodal regime.
+func (d *AdaptiveDriver) Depart(worker int) {
+	if worker < 0 || worker >= len(d.ewma) {
+		return
+	}
+	d.lastAnswer[worker] = -1
+	d.lastPush[worker] = -1
+	d.computing[worker] = false
+	d.ewma[worker] = 0
+}
+
+// Rejoin resets worker w's forecast state when it comes back: whatever
+// speed it had before leaving is stale, so it re-enters as "unknown" and
+// rebuilds a forecast from fresh observations.
+func (d *AdaptiveDriver) Rejoin(worker int) { d.Depart(worker) }
+
 // Forecasts returns the effective per-worker iteration-time forecasts at
 // time now. A worker that was answered but has stayed silent longer than
 // its forecast is floored at its elapsed silence, so a stalled or

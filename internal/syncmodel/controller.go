@@ -27,6 +27,7 @@ package syncmodel
 import (
 	"fmt"
 	"math/rand"
+	"sort"
 )
 
 // State is the synchronization state a condition may inspect. It mirrors
@@ -124,6 +125,13 @@ type Controller struct {
 	progress []int
 	buffer   map[int][]Pull // index: progress (Lazy) or V_train (SoftBarrier)
 
+	// Membership: a worker that leaves the job (churn, crash) is marked
+	// inactive so push conditions quorum over the workers actually present
+	// instead of waiting forever on a ghost. Departed workers keep their
+	// progress entry — their past pushes still count toward closed rounds.
+	active  []bool
+	activeN int
+
 	rng   *rand.Rand
 	stats Stats
 
@@ -152,6 +160,10 @@ func New(n int, model Model, drain DrainPolicy, rng *rand.Rand) *Controller {
 	for i := range prog {
 		prog[i] = -1
 	}
+	act := make([]bool, n)
+	for i := range act {
+		act[i] = true
+	}
 	return &Controller{
 		model:       model.Instantiate(),
 		drain:       drain,
@@ -159,6 +171,8 @@ func New(n int, model Model, drain DrainPolicy, rng *rand.Rand) *Controller {
 		count:       make(map[int]int),
 		progress:    prog,
 		buffer:      make(map[int][]Pull),
+		active:      act,
+		activeN:     n,
 		rng:         rng,
 		dprPerRound: make(map[int]int),
 		answerGap:   make(map[int]int),
@@ -173,8 +187,18 @@ func (c *Controller) Drain() DrainPolicy { return c.drain }
 
 // State accessors (Controller implements State).
 
-// NumWorkers implements State.
-func (c *Controller) NumWorkers() int { return c.n }
+// NumWorkers implements State. It returns the number of *active* workers:
+// conditions like BSP's "all pushed" or drop-stragglers' quorum must not
+// wait on workers that have left the job.
+func (c *Controller) NumWorkers() int { return c.activeN }
+
+// TotalWorkers returns the controller's rank-space size n, including
+// departed workers. Progress/CountAt indices stay in [0,n) for a worker's
+// whole lifetime regardless of membership changes.
+func (c *Controller) TotalWorkers() int { return c.n }
+
+// Active reports whether worker n is currently a member.
+func (c *Controller) Active(n int) bool { return c.active[n] }
 
 // VTrain implements State.
 func (c *Controller) VTrain() int { return c.vtrain }
@@ -185,22 +209,27 @@ func (c *Controller) CountAt(i int) int { return c.count[i] }
 // Progress implements State.
 func (c *Controller) Progress(n int) int { return c.progress[n] }
 
-// MinProgress implements State.
+// MinProgress implements State. Departed workers are excluded — a model
+// bounding staleness by the slowest worker must not wedge on a ghost's
+// frozen progress. Returns -1 when no worker is active.
 func (c *Controller) MinProgress() int {
-	minP := c.progress[0]
-	for _, p := range c.progress[1:] {
-		if p < minP {
-			minP = p
+	minP, seen := -1, false
+	for i, p := range c.progress {
+		if !c.active[i] {
+			continue
+		}
+		if !seen || p < minP {
+			minP, seen = p, true
 		}
 	}
 	return minP
 }
 
-// MaxProgress implements State.
+// MaxProgress implements State (-1 when no worker is active).
 func (c *Controller) MaxProgress() int {
-	maxP := c.progress[0]
-	for _, p := range c.progress[1:] {
-		if p > maxP {
+	maxP := -1
+	for i, p := range c.progress {
+		if c.active[i] && p > maxP {
 			maxP = p
 		}
 	}
@@ -212,6 +241,20 @@ func (c *Controller) Rand() float64 { return c.rng.Float64() }
 
 // Delayed implements State; it is an alias of Buffered.
 func (c *Controller) Delayed() int { return c.Buffered() }
+
+// bufferRounds returns the buffer's round indices in ascending order.
+// Every path that walks the whole buffer and releases or drops pulls must
+// iterate through this, not the map directly: release order is observable
+// (it is the order answers hit the network), and map order would make
+// reruns of the same schedule diverge.
+func (c *Controller) bufferRounds() []int {
+	rounds := make([]int, 0, len(c.buffer))
+	for idx := range c.buffer {
+		rounds = append(rounds, idx)
+	}
+	sort.Ints(rounds)
+	return rounds
+}
 
 // Stats returns a copy of the controller's counters.
 func (c *Controller) Stats() Stats { return c.stats }
@@ -355,6 +398,74 @@ func (c *Controller) advanceRound() (released []Pull) {
 // model's Adjust hook runs just as on a condition-triggered advance.
 func (c *Controller) ForceAdvance() (released []Pull) {
 	return c.advanceRound()
+}
+
+// Depart removes worker n from the active membership. Its buffered pulls
+// are returned as dropped (the caller discards their tokens — the worker is
+// gone and must not be answered), and any pulls released because the
+// remaining quorum now satisfies the push condition are returned as
+// released (the caller answers those normally, exactly like an OnPush
+// release). Departing an already-inactive worker is a no-op.
+//
+// The worker's progress entry and its contributions to open-round counts
+// are retained: gradients it pushed before leaving were applied and still
+// count toward closing those rounds.
+func (c *Controller) Depart(worker int) (dropped, released []Pull) {
+	if worker < 0 || worker >= c.n {
+		panic(fmt.Sprintf("syncmodel: worker %d out of range [0,%d)", worker, c.n))
+	}
+	if !c.active[worker] {
+		return nil, nil
+	}
+	c.active[worker] = false
+	c.activeN--
+	for _, idx := range c.bufferRounds() {
+		ps := c.buffer[idx]
+		kept := ps[:0]
+		for _, p := range ps {
+			if p.Worker == worker {
+				dropped = append(dropped, p)
+			} else {
+				kept = append(kept, p)
+			}
+		}
+		if len(kept) == 0 {
+			delete(c.buffer, idx)
+		} else {
+			c.buffer[idx] = kept
+		}
+	}
+	// The quorum just shrank: a round that was one push short of closing
+	// may now satisfy the push condition. Never advance on an empty
+	// membership — "0 of 0 pushed" must not spin the clock forever.
+	if c.activeN > 0 {
+		for c.model.Push(c) {
+			released = append(released, c.advanceRound()...)
+		}
+	}
+	return dropped, released
+}
+
+// Rejoin re-admits worker n to the active membership and returns the
+// iteration the worker must resume computing from. The resume point is
+// max(V_train, progress[n]+1): never below the current clock (a BSP round
+// cannot close without the rejoiner's push, and rounds before V_train are
+// already closed), and never a round the worker already pushed before it
+// left (re-pushing would double-count it). Rejoining an active worker just
+// returns the resume point.
+func (c *Controller) Rejoin(worker int) (resume int) {
+	if worker < 0 || worker >= c.n {
+		panic(fmt.Sprintf("syncmodel: worker %d out of range [0,%d)", worker, c.n))
+	}
+	if !c.active[worker] {
+		c.active[worker] = true
+		c.activeN++
+	}
+	resume = c.vtrain
+	if p := c.progress[worker] + 1; p > resume {
+		resume = p
+	}
+	return resume
 }
 
 // ControllerImage is the portable core of a controller's synchronization

@@ -1,0 +1,163 @@
+package syncmodel
+
+import "testing"
+
+// TestDepartClosesWedgedRound: a BSP round blocked on one worker's missing
+// push must close when that worker departs — the remaining quorum has fully
+// pushed, so V_train advances and the buffered DPRs drain.
+func TestDepartClosesWedgedRound(t *testing.T) {
+	c := New(3, BSP(), Lazy, nil)
+	// Workers 0 and 1 push round 0 and pull at progress 0 (buffered: BSP
+	// answers a pull only after the round closes, progress < V_train).
+	for _, w := range []int{0, 1} {
+		if apply, _ := c.OnPush(w, 0); !apply {
+			t.Fatalf("push by %d rejected", w)
+		}
+		if ready := c.OnPull(w, 0, w); ready {
+			t.Fatalf("BSP answered worker %d's pull before the round closed", w)
+		}
+	}
+	if c.VTrain() != 0 {
+		t.Fatalf("V_train advanced to %d with worker 2 missing", c.VTrain())
+	}
+	dropped, released := c.Depart(2)
+	if len(dropped) != 0 {
+		t.Fatalf("departed worker had %d buffered pulls, want 0", len(dropped))
+	}
+	if c.VTrain() != 1 {
+		t.Fatalf("V_train = %d after depart, want 1 (round closed by quorum shrink)", c.VTrain())
+	}
+	if len(released) != 2 {
+		t.Fatalf("depart released %d pulls, want 2", len(released))
+	}
+	if c.NumWorkers() != 2 || c.TotalWorkers() != 3 {
+		t.Fatalf("NumWorkers=%d TotalWorkers=%d, want 2/3", c.NumWorkers(), c.TotalWorkers())
+	}
+}
+
+// TestDepartDropsOwnBufferedPulls: the departing worker's own DPRs are
+// returned as dropped, not answered — nobody is listening anymore.
+func TestDepartDropsOwnBufferedPulls(t *testing.T) {
+	c := New(2, BSP(), Lazy, nil)
+	if ready := c.OnPull(1, 1, "tok"); ready {
+		t.Fatal("pull ahead of V_train answered under BSP")
+	}
+	dropped, released := c.Depart(1)
+	if len(dropped) != 1 || dropped[0].Worker != 1 || dropped[0].Token != "tok" {
+		t.Fatalf("dropped = %+v, want worker 1's pull", dropped)
+	}
+	if len(released) != 0 {
+		t.Fatalf("released %d pulls from an empty quorum round, want 0", len(released))
+	}
+	if c.Buffered() != 0 {
+		t.Fatalf("%d pulls still buffered after depart", c.Buffered())
+	}
+}
+
+// TestDepartLastWorkerDoesNotSpin: departing the only active worker must
+// not advance V_train — "0 of 0 pushed" would otherwise satisfy pushAll
+// forever.
+func TestDepartLastWorkerDoesNotSpin(t *testing.T) {
+	c := New(1, BSP(), Lazy, nil)
+	c.Depart(0)
+	if c.NumWorkers() != 0 {
+		t.Fatalf("NumWorkers = %d, want 0", c.NumWorkers())
+	}
+	if c.VTrain() != 0 {
+		t.Fatalf("V_train = %d after last depart, want 0", c.VTrain())
+	}
+	if c.MinProgress() != -1 || c.MaxProgress() != -1 {
+		t.Fatalf("progress extrema %d/%d over empty membership, want -1/-1", c.MinProgress(), c.MaxProgress())
+	}
+}
+
+// TestRejoinResumePoint: a rejoining worker resumes at
+// max(V_train, its own progress+1) so it neither wedges a closed round nor
+// re-pushes rounds it already contributed to.
+func TestRejoinResumePoint(t *testing.T) {
+	c := New(3, SSP(4), Lazy, nil)
+	// Worker 1 races ahead to progress 2, then leaves; the quorum of the
+	// two remaining workers has pushed nothing, so the clock stays put.
+	for i := 0; i < 3; i++ {
+		c.OnPush(1, i)
+	}
+	c.Depart(1)
+	if got := c.VTrain(); got != 0 {
+		t.Fatalf("V_train = %d with workers 0/2 owing round 0, want 0", got)
+	}
+	if got := c.Rejoin(1); got != 3 {
+		t.Fatalf("fast worker resumes at %d, want 3 (own progress+1)", got)
+	}
+	c.Depart(1)
+	// Workers 0 and 2 grind through rounds 0..4, lapping worker 1.
+	for i := 0; i <= 4; i++ {
+		c.OnPush(0, i)
+		c.OnPush(2, i)
+	}
+	if c.VTrain() != 5 {
+		t.Fatalf("V_train = %d, want 5", c.VTrain())
+	}
+	if got := c.Rejoin(1); got != 5 {
+		t.Fatalf("lapped worker resumes at %d, want 5 (V_train)", got)
+	}
+	if c.NumWorkers() != 3 {
+		t.Fatalf("NumWorkers = %d after rejoin, want 3", c.NumWorkers())
+	}
+}
+
+// TestRejoinedWorkerCountsOnce: after a depart/rejoin cycle the clock is
+// exact — a BSP round closes with exactly one push from each active worker
+// and the rejoiner cannot close a round by re-pushing an old iteration.
+func TestRejoinedWorkerCountsOnce(t *testing.T) {
+	c := New(2, BSP(), Lazy, nil)
+	c.OnPush(0, 0)
+	c.OnPush(1, 0)
+	if c.VTrain() != 1 {
+		t.Fatalf("V_train = %d, want 1", c.VTrain())
+	}
+	c.Depart(1)
+	resume := c.Rejoin(1)
+	if resume != 1 {
+		t.Fatalf("resume = %d, want 1", resume)
+	}
+	// A duplicate push for the closed round 0 must not close round 1.
+	c.OnPush(1, 0)
+	if c.VTrain() != 1 {
+		t.Fatalf("V_train = %d after stale re-push, want 1", c.VTrain())
+	}
+	c.OnPush(1, resume)
+	if c.VTrain() != 1 {
+		t.Fatalf("V_train = %d with worker 0 still owing round 1, want 1", c.VTrain())
+	}
+	c.OnPush(0, 1)
+	if c.VTrain() != 2 {
+		t.Fatalf("V_train = %d, want 2", c.VTrain())
+	}
+}
+
+// TestDriverDepartClearsForecast: a departed worker must drop out of the
+// forecast vector entirely — otherwise the silent-worker floor makes it an
+// ever-worsening phantom straggler.
+func TestDriverDepartClearsForecast(t *testing.T) {
+	d := NewAdaptiveDriver(2, AdaptiveConfig{})
+	d.ObservePullAnswer(1, 10)
+	d.ObservePush(1, 12)
+	d.ObservePullAnswer(1, 12.5)
+	if f := d.Forecasts(100)[1]; f <= 80 {
+		t.Fatalf("silent-worker floor inactive: forecast %v at t=100", f)
+	}
+	d.Depart(1)
+	if f := d.Forecasts(200)[1]; f != 0 {
+		t.Fatalf("departed worker still forecast at %v, want 0 (unknown)", f)
+	}
+	d.Rejoin(1)
+	if f := d.Forecasts(300)[1]; f != 0 {
+		t.Fatalf("rejoined worker inherited stale forecast %v, want 0", f)
+	}
+	// Fresh observations rebuild the forecast from scratch.
+	d.ObservePullAnswer(1, 300)
+	d.ObservePush(1, 301)
+	if f := d.Forecasts(301)[1]; f != 1 {
+		t.Fatalf("rebuilt forecast = %v, want 1 (single gap)", f)
+	}
+}

@@ -48,8 +48,13 @@ func (m Model) Instantiate() Model {
 func (m Model) String() string { return m.Name }
 
 // pushAll is the Table III push condition shared by BSP/ASP/SSP/DSPS/PSSP:
-// a round closes once all N workers have pushed its gradients.
-func pushAll(st State) bool { return st.CountAt(st.VTrain()) >= st.NumWorkers() }
+// a round closes once all N workers have pushed its gradients. An empty
+// membership (every worker departed) never closes rounds — "0 of 0" must
+// not spin the clock.
+func pushAll(st State) bool {
+	n := st.NumWorkers()
+	return n > 0 && st.CountAt(st.VTrain()) >= n
+}
 
 // BSP returns the Bulk Synchronous Parallel model: a pull for iteration
 // i+1 is served only after round i fully closed (progress < V_train).

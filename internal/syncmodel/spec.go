@@ -190,7 +190,8 @@ func (c *Controller) SetModel(m Model) (released []Pull) {
 	// Re-check buffered pulls against the new pull condition. A release
 	// here is an immediate answer, so it is gap-accounted like OnPull's
 	// ready path.
-	for idx, pulls := range c.buffer {
+	for _, idx := range c.bufferRounds() {
+		pulls := c.buffer[idx]
 		kept := pulls[:0]
 		for _, p := range pulls {
 			if c.model.Pull(c, p.Worker, p.Progress) {
