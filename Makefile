@@ -8,17 +8,37 @@ GO ?= go
 # catches a PR that lands untested request-lifecycle code.
 COVER_FLOOR ?= 80.0
 
-.PHONY: verify build vet lint test race race-debug race-stress race-failover fuzz fuzz-smoke determinism scenarios scenarios-smoke cover ci bench bench-paper
+# Wall-clock ceiling for the fluentvet run: the lint step must stay fast
+# enough to run on every build, and the budget catches an analyzer whose
+# interprocedural pass goes quadratic (the suite currently finishes in
+# ~1s; the ceiling leaves room for cold build caches).
+LINT_BUDGET ?= 60s
+
+.PHONY: verify build vet lint lint-baseline lint-self test race race-debug race-stress race-failover fuzz fuzz-smoke determinism scenarios scenarios-smoke cover ci bench bench-paper
 
 ## verify: the tier-1 gate — vet, build, full test suite.
 verify: vet build test
 
-## lint: fluentvet, the project's own static-analysis suite (poolcheck,
-## lockorder, ctxcheck, telcheck, atomiccheck). Exits non-zero on any
-## unsuppressed fail-severity finding; suppressions (//lint:ignore) are
-## reported in a summary table.
+## lint: fluentvet, the project's own nine-analyzer static-analysis suite
+## (poolcheck, lockorder, ctxcheck, telcheck, atomiccheck, codeccheck,
+## handlercheck, fencecheck, leakcheck). Diff mode against the committed
+## lint_baseline.json: only findings absent from the baseline fail.
+## Exits non-zero on any new unsuppressed fail-severity finding or when
+## analysis exceeds LINT_BUDGET; suppressions (//lint:ignore) are
+## reported in a summary table and fail when unused.
 lint:
-	$(GO) run ./cmd/fluentvet ./...
+	$(GO) run ./cmd/fluentvet -budget $(LINT_BUDGET) -baseline lint_baseline.json ./...
+
+## lint-baseline: regenerate the committed finding baseline (review the
+## diff — every new entry is accepted debt).
+lint-baseline:
+	$(GO) run ./cmd/fluentvet -write-baseline lint_baseline.json ./...
+
+## lint-self: fluentvet pointed at its own engine and driver — the
+## analyzers must satisfy the disciplines they enforce, with no baseline
+## to hide behind.
+lint-self:
+	$(GO) run ./cmd/fluentvet -budget $(LINT_BUDGET) ./internal/lint/... ./cmd/fluentvet/...
 
 build:
 	$(GO) build ./...
@@ -121,13 +141,15 @@ cover:
 		fi; \
 	done
 
-## ci: the full pre-merge gate — vet + build + tests, fluentvet, the race
-## detector over everything (plus a fluentdebug assertion pass), the
-## determinism replay properties, the scenario-matrix smoke tier with its
-## golden and dominance gates, a codec fuzz smoke, the adaptive-regret
-## acceptance gate, and the coverage floor.
+## ci: the full pre-merge gate — vet + build + tests, fluentvet in
+## baseline-diff mode plus its self-analysis pass, the race detector over
+## everything (plus a fluentdebug assertion pass), the determinism replay
+## properties, the scenario-matrix smoke tier with its golden and
+## dominance gates, a codec fuzz smoke, the adaptive-regret acceptance
+## gate, and the coverage floor.
 ci: verify
 	$(MAKE) lint
+	$(MAKE) lint-self
 	$(GO) test -count=1 -run 'TestAdaptiveSweep' ./internal/experiments/
 	$(MAKE) scenarios-smoke
 	$(GO) test -race ./...

@@ -1,12 +1,17 @@
-// Command fluentvet runs the project's static-analysis suite: five
+// Command fluentvet runs the project's static-analysis suite: nine
 // analyzers that mechanically enforce the message-pool ownership,
-// locking, context, telemetry, and atomicity disciplines documented in
-// DESIGN.md §11. Stdlib-only: packages are discovered with `go list`,
-// type-checked with go/types, no x/tools dependency.
+// locking, context, telemetry, atomicity, codec-symmetry,
+// dispatch-exhaustiveness, epoch-fencing, and goroutine-lifecycle
+// disciplines documented in DESIGN.md §11 and §16. Stdlib-only: packages
+// are discovered with `go list`, type-checked with go/types, no x/tools
+// dependency. Analysis is interprocedural — a whole-program call graph
+// with per-function summaries lets the analyzers see through helpers —
+// and runs one goroutine per package after the summary index is built.
 //
 // Usage:
 //
-//	fluentvet [-json] [-notests] [-C dir] [packages]
+//	fluentvet [-json] [-notests] [-C dir] [-budget dur]
+//	          [-baseline file] [-write-baseline file] [packages]
 //
 // Packages default to ./... . Exit status 1 when any unsuppressed
 // finding of severity "fail" remains; warnings and suppressed findings
@@ -14,21 +19,35 @@
 // explanatory comment on the offending line or the line above it:
 //
 //	//lint:ignore <analyzer> <reason>
+//
+// Unused directives are themselves failures: delete ignores the
+// analyzers have outgrown.
+//
+// -budget fails the run when analysis wall-clock exceeds the duration —
+// the lint step must stay fast enough to run on every build.
+// -write-baseline snapshots the run's findings to a JSON file;
+// -baseline subtracts such a snapshot so only new findings fail (keys
+// are line-insensitive: analyzer + file + message).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
+	"time"
 
 	"github.com/fluentps/fluentps/internal/lint"
 )
 
 func main() {
 	var (
-		jsonOut = flag.Bool("json", false, "emit findings as JSON")
-		noTests = flag.Bool("notests", false, "skip _test.go files and external test packages")
-		dir     = flag.String("C", ".", "directory to run in (module root or below)")
+		jsonOut       = flag.Bool("json", false, "emit findings as JSON")
+		noTests       = flag.Bool("notests", false, "skip _test.go files and external test packages")
+		dir           = flag.String("C", ".", "directory to run in (module root or below)")
+		budget        = flag.Duration("budget", 0, "fail if analysis wall-clock exceeds this duration (0 = unlimited)")
+		baselinePath  = flag.String("baseline", "", "diff mode: findings recorded in this baseline file do not fail the run")
+		writeBaseline = flag.String("write-baseline", "", "write the run's findings to this baseline file and exit 0")
 	)
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: fluentvet [flags] [packages]\n\nAnalyzers:\n")
@@ -44,11 +63,45 @@ func main() {
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "fluentvet:", err)
+		os.Exit(2)
+	}
+	start := time.Now()
 	res, err := lint.Run(*dir, patterns, !*noTests)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "fluentvet:", err)
 		os.Exit(2)
 	}
+	elapsed := time.Since(start)
+
+	if *writeBaseline != "" {
+		b := lint.NewBaseline(res, root)
+		if err := b.WriteFile(*writeBaseline); err != nil {
+			fmt.Fprintln(os.Stderr, "fluentvet:", err)
+			os.Exit(2)
+		}
+		n := 0
+		for _, c := range b.Entries {
+			n += c
+		}
+		fmt.Printf("fluentvet: wrote baseline with %d finding(s) to %s\n", n, *writeBaseline)
+		return
+	}
+	if *baselinePath != "" {
+		b, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "fluentvet:", err)
+			os.Exit(2)
+		}
+		_, stale := res.ApplyBaseline(b, root)
+		if stale > 0 {
+			fmt.Fprintf(os.Stderr, "fluentvet: %d baseline entry(ies) match no current finding — regenerate with -write-baseline %s\n",
+				stale, *baselinePath)
+		}
+	}
+
 	if *jsonOut {
 		if err := res.WriteJSON(os.Stdout); err != nil {
 			fmt.Fprintln(os.Stderr, "fluentvet:", err)
@@ -56,6 +109,11 @@ func main() {
 		}
 	} else {
 		res.WriteText(os.Stdout)
+	}
+	if *budget > 0 && elapsed > *budget {
+		fmt.Fprintf(os.Stderr, "fluentvet: analysis took %s, over the %s budget\n",
+			elapsed.Round(time.Millisecond), *budget)
+		os.Exit(1)
 	}
 	if res.Failed() {
 		os.Exit(1)

@@ -5,6 +5,7 @@ import (
 
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/transport"
+	"github.com/fluentps/fluentps/internal/wire"
 )
 
 // Wire form: views travel in Message.Vals. Scalars ride as float64
@@ -87,12 +88,8 @@ func Decode(vals []float64) (*View, []float64, error) {
 		}
 		v.Workers[n].Addr = string(addr)
 	}
-	if len(vals) < 1 {
-		return fail("assignment")
-	}
-	nKeys := int(vals[0])
-	vals = vals[1:]
-	if nKeys < 0 || len(vals) < nKeys {
+	nKeys, vals, ok := wire.ReadLen(vals, 1)
+	if !ok {
 		return fail("assignment keys")
 	}
 	serverOf := make([]int, nKeys)

@@ -10,6 +10,7 @@ import (
 	"github.com/fluentps/fluentps/internal/mathx"
 	"github.com/fluentps/fluentps/internal/syncmodel"
 	"github.com/fluentps/fluentps/internal/transport"
+	"github.com/fluentps/fluentps/internal/wire"
 )
 
 // Primary/backup shard replication.
@@ -392,12 +393,8 @@ func decodeWave(layout *keyrange.Layout, msg *transport.Message) (*replWave, err
 		}
 	}
 	vals = vals[7:]
-	if len(vals) < 1 {
-		return fail("progress count")
-	}
-	nProgress := int(vals[0])
-	vals = vals[1:]
-	if nProgress < 0 || len(vals) < nProgress {
+	nProgress, vals, ok := wire.ReadLen(vals, 1)
+	if !ok {
 		return fail("progress")
 	}
 	w.img.Progress = make([]int, nProgress)
@@ -405,14 +402,8 @@ func decodeWave(layout *keyrange.Layout, msg *transport.Message) (*replWave, err
 		w.img.Progress[i] = int(vals[i])
 	}
 	vals = vals[nProgress:]
-	if len(vals) < 1 {
-		return fail("round count")
-	}
-	nCounts := int(vals[0])
-	vals = vals[1:]
-	// Bound with a division: 2*nCounts could overflow for a hostile count
-	// and slip past a len comparison.
-	if nCounts < 0 || nCounts > len(vals)/2 {
+	nCounts, vals, ok := wire.ReadLen(vals, 2)
+	if !ok {
 		return fail("rounds")
 	}
 	w.img.Counts = make(map[int]int, nCounts)
@@ -420,12 +411,8 @@ func decodeWave(layout *keyrange.Layout, msg *transport.Message) (*replWave, err
 		w.img.Counts[int(vals[2*i])] = int(vals[2*i+1])
 	}
 	vals = vals[2*nCounts:]
-	if len(vals) < 1 {
-		return fail("pair count")
-	}
-	nPairs := int(vals[0])
-	vals = vals[1:]
-	if nPairs < 0 || nPairs > len(vals)/2 {
+	nPairs, vals, ok := wire.ReadLen(vals, 2)
+	if !ok {
 		return fail("pairs")
 	}
 	w.pairs = make([]dedupPair, nPairs)

@@ -76,6 +76,14 @@ func FuzzDecodeWave(f *testing.F) {
 	f.Add([]byte{}, false, waveSeed(nil, []float64{0, 0, 0, 0, 0}, nil, nil, nil, 0))
 	// Truncated header.
 	f.Add([]byte{1}, false, fuzzBytes([]float64{1, 0, 0}))
+	// wire.ReadLen boundary: the (round, count) words are exactly the
+	// last words of the frame, so nCounts == len(rest)/2 — the largest
+	// count ReadLen may accept.
+	boundary := waveSeed(nil, specVals, nil, []float64{5, 1}, nil, 0)
+	f.Add([]byte{}, false, boundary[:len(boundary)-8])
+	// …and a hostile count whose 2*n product would overflow int must be
+	// rejected by the division-based bound, not slip past it.
+	f.Add([]byte{}, false, fuzzBytes([]float64{5, 0, 0, 0, 0, 0, 0, 0, float64(1 << 62), 0, 0}))
 	f.Fuzz(func(t *testing.T, keysRaw []byte, snapshot bool, payload []byte) {
 		if len(keysRaw) > 64 {
 			keysRaw = keysRaw[:64]

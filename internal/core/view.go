@@ -10,6 +10,7 @@ import (
 	"github.com/fluentps/fluentps/internal/syncmodel"
 	"github.com/fluentps/fluentps/internal/telemetry"
 	"github.com/fluentps/fluentps/internal/transport"
+	"github.com/fluentps/fluentps/internal/wire"
 )
 
 // Versioned membership on the server side.
@@ -308,23 +309,20 @@ func encodeCtrlImage(dst []float64, img syncmodel.ControllerImage) []float64 {
 // decodeCtrlImage parses an appended controller image; ok is false for
 // legacy transfers that carry none.
 func decodeCtrlImage(vals []float64) (img syncmodel.ControllerImage, ok bool) {
-	if len(vals) < 2 {
+	if len(vals) < 1 {
 		return img, false
 	}
 	img.VTrain = int(vals[0])
-	nProgress := int(vals[1])
-	vals = vals[2:]
-	if nProgress < 0 || len(vals) < nProgress+1 {
+	nProgress, vals, ok := wire.ReadLen(vals[1:], 1)
+	if !ok {
 		return img, false
 	}
 	img.Progress = make([]int, nProgress)
 	for i := range img.Progress {
 		img.Progress[i] = int(vals[i])
 	}
-	vals = vals[nProgress:]
-	nCounts := int(vals[0])
-	vals = vals[1:]
-	if nCounts < 0 || len(vals) < 2*nCounts {
+	nCounts, vals, ok := wire.ReadLen(vals[nProgress:], 2)
+	if !ok {
 		return img, false
 	}
 	img.Counts = make(map[int]int, nCounts)

@@ -1,0 +1,96 @@
+package lint
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+)
+
+// Baseline is the committed inventory of known findings (lint_baseline.json
+// at the repo root). In diff mode the driver subtracts the baseline from a
+// run: only findings absent from the baseline fail, so a new analyzer can
+// land with its pre-existing debt recorded instead of blocking every PR
+// until the tree is clean. Keys are deliberately line-insensitive —
+// analyzer, repo-relative file, message — so pure code motion does not
+// churn the file; a key occurring N times covers N findings.
+type Baseline struct {
+	Entries map[string]int `json:"entries"`
+}
+
+// baselineKey builds the line-insensitive identity of f. root anchors the
+// file path so the committed baseline is machine-independent.
+func baselineKey(f Finding, root string) string {
+	file := f.Pos.Filename
+	if root != "" {
+		if rel, err := filepath.Rel(root, file); err == nil {
+			file = filepath.ToSlash(rel)
+		}
+	}
+	return f.Analyzer + "\t" + file + "\t" + f.Message
+}
+
+// NewBaseline snapshots r's unsuppressed findings.
+func NewBaseline(r *Result, root string) *Baseline {
+	b := &Baseline{Entries: make(map[string]int)}
+	for _, f := range r.Findings {
+		if f.Suppressed {
+			continue
+		}
+		b.Entries[baselineKey(f, root)]++
+	}
+	return b
+}
+
+// LoadBaseline reads a baseline file written by WriteFile.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	b := &Baseline{}
+	if err := json.Unmarshal(data, b); err != nil {
+		return nil, err
+	}
+	if b.Entries == nil {
+		b.Entries = make(map[string]int)
+	}
+	return b, nil
+}
+
+// WriteFile persists the baseline; map marshalling sorts keys, so the
+// committed file is deterministic.
+func (b *Baseline) WriteFile(path string) error {
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ApplyBaseline marks findings recorded in b as Baselined — they are
+// reported in the tally but do not fail the run. Each baseline entry
+// covers at most its recorded count. Returns how many findings matched
+// and how many baseline entries are stale (match nothing — time to
+// regenerate the file).
+func (r *Result) ApplyBaseline(b *Baseline, root string) (matched, stale int) {
+	remaining := make(map[string]int, len(b.Entries))
+	for k, n := range b.Entries {
+		remaining[k] = n
+	}
+	for i := range r.Findings {
+		f := &r.Findings[i]
+		if f.Suppressed {
+			continue
+		}
+		k := baselineKey(*f, root)
+		if remaining[k] > 0 {
+			remaining[k]--
+			f.Baselined = true
+			matched++
+		}
+	}
+	for _, n := range remaining {
+		stale += n
+	}
+	return matched, stale
+}

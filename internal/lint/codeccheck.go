@@ -1,0 +1,491 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// codeccheck guards the hand-rolled wire codecs (the decodeWave bug
+// class — an attacker-controlled count multiplied before it was
+// bounds-checked):
+//
+//   - pairing: every encoder-named function (Encode*, encode*, Pack*,
+//     pack*) has a decoder-named counterpart in the same package —
+//     matching remainder (encodeWave/decodeWave) or receiver type
+//     (Spec.Encode/DecodeSpec). Names whose "prefix" is just the start
+//     of a longer word (EncodedSize, PackedLen) are exempt: the
+//     remainder must be empty or begin uppercase.
+//   - bounds before allocation: inside decoder-named functions, a count
+//     read off the wire (indexing the input slice, or an
+//     encoding/binary UintN read) must be bounds-checked — an if
+//     against len() or a constant — before it sizes a make, bounds a
+//     slice expression, or bounds a loop. Counts born from
+//     wire.ReadLen, or validated through a helper whose summary proves
+//     it compares the count against a buffer length (ValidatesLen), are
+//     guarded by construction.
+//   - no multiplication in bounds checks: `len(vals) < 2*n` overflows
+//     for hostile n; the division form `n > len(vals)/2` (what
+//     wire.ReadLen does) is the blessed pattern.
+//   - version symmetry: when a package declares a const pair xV1/x
+//     (shardStateLenV1/shardStateLen), a decoder referencing either
+//     must reference both (it has to accept both wire versions), and an
+//     encoder must not reference the V1 constant at all (new frames are
+//     always written in the current format).
+
+// CodecCheck returns the codeccheck analyzer.
+func CodecCheck() *Analyzer {
+	return &Analyzer{
+		Name: "codeccheck",
+		Doc:  "encoders pair with decoders; wire-read counts are bounds-checked before use; version-gated fields decode symmetrically",
+		Run:  runCodecCheck,
+	}
+}
+
+// codecRole classifies a function name as encoder / decoder / neither.
+// remainder is the name with the prefix stripped.
+func codecRole(name string) (role, remainder string) {
+	for _, p := range [...]struct{ prefix, role string }{
+		{"encode", "encoder"}, {"Encode", "encoder"},
+		{"pack", "encoder"}, {"Pack", "encoder"},
+		{"decode", "decoder"}, {"Decode", "decoder"},
+		{"unpack", "decoder"}, {"Unpack", "decoder"},
+	} {
+		if !strings.HasPrefix(name, p.prefix) {
+			continue
+		}
+		rest := name[len(p.prefix):]
+		// "EncodedSize", "PackedLen": the prefix is part of a longer
+		// word, not a codec verb.
+		if rest != "" && !(rest[0] >= 'A' && rest[0] <= 'Z') {
+			return "", ""
+		}
+		return p.role, rest
+	}
+	return "", ""
+}
+
+// recvTypeName returns the receiver's type name for methods, "" for
+// functions.
+func recvTypeName(info *types.Info, fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return ""
+	}
+	if tv, ok := info.Types[fd.Recv.List[0].Type]; ok {
+		_, name := namedTypePath(tv.Type)
+		return name
+	}
+	return ""
+}
+
+func runCodecCheck(pass *Pass) {
+	info := pass.Pkg.Info
+
+	// Inventory every function name in the unit (lowercased), for the
+	// pairing rule.
+	names := make(map[string]bool)
+	type encoder struct {
+		fd        *ast.FuncDecl
+		remainder string
+		recv      string
+	}
+	var encoders []encoder
+	for _, f := range pass.Pkg.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			names[strings.ToLower(fd.Name.Name)] = true
+			role, rest := codecRole(fd.Name.Name)
+			switch role {
+			case "encoder":
+				encoders = append(encoders, encoder{fd: fd, remainder: rest, recv: recvTypeName(info, fd)})
+			case "decoder":
+				runCodecBounds(pass, fd)
+			}
+			if role != "" {
+				runCodecVersionSymmetry(pass, fd, role)
+			}
+		}
+	}
+
+	for _, e := range encoders {
+		if pass.Pkg.IsTestPos(e.fd.Pos()) {
+			continue
+		}
+		want := []string{"decode" + strings.ToLower(e.remainder), "unpack" + strings.ToLower(e.remainder)}
+		if e.remainder == "" && e.recv != "" {
+			want = append(want, "decode"+strings.ToLower(e.recv))
+		}
+		found := false
+		for _, w := range want {
+			if names[w] {
+				found = true
+				break
+			}
+		}
+		if !found {
+			pass.Reportf("codeccheck", e.fd.Name.Pos(),
+				"encoder %s has no paired decoder in this package: hand-rolled wire formats must round-trip", e.fd.Name.Name)
+		}
+	}
+}
+
+// codecCount is one family of wire-read count variables (a count and
+// everything arithmetically derived from it share guards).
+type codecCount struct {
+	name     string
+	guardPos token.Pos // earliest qualifying bounds check (NoPos = none)
+}
+
+// codecBounds walks one decoder body tracking count families.
+type codecBounds struct {
+	pass   *Pass
+	info   *types.Info
+	family map[*types.Var]*codecCount
+}
+
+func runCodecBounds(pass *Pass, fd *ast.FuncDecl) {
+	if fd.Body == nil {
+		return
+	}
+	b := &codecBounds{pass: pass, info: pass.Pkg.Info, family: make(map[*types.Var]*codecCount)}
+
+	// Pass 1 (in source order): register counts, record guards, merge
+	// derivation families. Pass 2: flag dangerous uses that precede the
+	// family's first guard. Two passes keep `n := ...; if n > len(v) {}
+	// ; make(..., n)` and `n := ...; make(..., n)` distinguishable
+	// without real control-flow analysis.
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			b.assign(n)
+		case *ast.IfStmt:
+			// Loop conditions deliberately do NOT qualify as guards —
+			// `for i := 0; i < n; i++` bounded by an unguarded count
+			// usually indexes by it too.
+			b.guard(n)
+		}
+		return true
+	})
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "make" {
+				if _, isB := b.info.Uses[id].(*types.Builtin); isB {
+					for _, a := range n.Args[1:] {
+						b.use(a, "an allocation size")
+					}
+				}
+			}
+		case *ast.SliceExpr:
+			b.use(n.Low, "a slice bound")
+			b.use(n.High, "a slice bound")
+			b.use(n.Max, "a slice bound")
+		case *ast.IndexExpr:
+			b.use(n.Index, "an index")
+		case *ast.ForStmt:
+			if n.Cond != nil {
+				b.use(n.Cond, "a loop bound")
+			}
+		}
+		return true
+	})
+}
+
+// countOf resolves e to a tracked count family.
+func (b *codecBounds) countOf(e ast.Expr) *codecCount {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, ok := b.info.Uses[id].(*types.Var)
+	if !ok {
+		return nil
+	}
+	return b.family[v]
+}
+
+// famIn returns the first tracked family mentioned anywhere under e.
+func (b *codecBounds) famIn(e ast.Expr) *codecCount {
+	fams := b.famsIn(e)
+	if len(fams) == 0 {
+		return nil
+	}
+	return fams[0]
+}
+
+// famsIn returns every distinct tracked family mentioned under e.
+func (b *codecBounds) famsIn(e ast.Expr) []*codecCount {
+	if e == nil {
+		return nil
+	}
+	var found []*codecCount
+	seen := make(map[*codecCount]bool)
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if v, ok := b.info.Uses[id].(*types.Var); ok {
+				if c := b.family[v]; c != nil && !seen[c] {
+					seen[c] = true
+					found = append(found, c)
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// isWireRead reports whether e (conversions unwrapped) reads a count
+// from the input: indexing a slice, or an encoding/binary UintN call.
+func (b *codecBounds) isWireRead(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if call, ok := e.(*ast.CallExpr); ok {
+		// Unwrap type conversions: int(vals[0]), Kind(vals[0]).
+		if tv, ok := b.info.Types[call.Fun]; ok && tv.IsType() && len(call.Args) == 1 {
+			return b.isWireRead(call.Args[0])
+		}
+		obj := calleeObj(b.info, call)
+		if obj != nil && objPkgPath(obj) == "encoding/binary" {
+			switch obj.Name() {
+			case "Uint16", "Uint32", "Uint64":
+				return true
+			}
+		}
+		return false
+	}
+	if ix, ok := e.(*ast.IndexExpr); ok {
+		if tv, ok := b.info.Types[ix.X]; ok {
+			_, isSlice := tv.Type.Underlying().(*types.Slice)
+			return isSlice
+		}
+	}
+	return false
+}
+
+// lhsVar resolves an assignment target ident to its object.
+func (b *codecBounds) lhsVar(e ast.Expr) *types.Var {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if v, ok := b.info.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := b.info.Uses[id].(*types.Var)
+	return v
+}
+
+// isIntVar reports whether v has integer type (counts are ints; float
+// scratch vars are not tracked).
+func isIntVar(v *types.Var) bool {
+	basic, ok := v.Type().Underlying().(*types.Basic)
+	return ok && basic.Info()&types.IsInteger != 0
+}
+
+func (b *codecBounds) assign(as *ast.AssignStmt) {
+	// wire.ReadLen multi-assign: the count is guarded by construction.
+	if len(as.Rhs) == 1 {
+		if call, ok := ast.Unparen(as.Rhs[0]).(*ast.CallExpr); ok {
+			if isPkgCall(b.info, call, "internal/wire", "ReadLen") && len(as.Lhs) >= 1 {
+				if v := b.lhsVar(as.Lhs[0]); v != nil {
+					b.family[v] = &codecCount{name: nameOfVar(as.Lhs[0]), guardPos: as.Pos()}
+				}
+				return
+			}
+			// A helper whose summary proves it bounds-checks the count
+			// argument also guards it (the hoisted-length-check shape).
+			if pf := b.pass.Prog.CalleeFunc(b.info, call); pf != nil {
+				if sum := b.pass.Prog.Summary(pf); sum != nil {
+					for i, a := range call.Args {
+						if i < len(sum.ValidatesLen) && sum.ValidatesLen[i] {
+							if c := b.countOf(a); c != nil && c.guardPos == token.NoPos {
+								c.guardPos = as.Pos()
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	for i, r := range as.Rhs {
+		if len(as.Lhs) != len(as.Rhs) {
+			break
+		}
+		v := b.lhsVar(as.Lhs[i])
+		if v == nil || !isIntVar(v) {
+			continue
+		}
+		if b.isWireRead(r) {
+			if b.family[v] == nil {
+				b.family[v] = &codecCount{name: nameOfVar(as.Lhs[i])}
+			}
+			continue
+		}
+		// Derivation: w := 2*n joins n's family, sharing its guards.
+		if c := b.famIn(r); c != nil {
+			b.family[v] = c
+		}
+	}
+}
+
+// guard inspects an if condition: a comparison that mentions a tracked
+// count together with len() or a constant bound qualifies; one that
+// multiplies the count is the overflow-unsafe shape and is flagged.
+func (b *codecBounds) guard(ifs *ast.IfStmt) {
+	fams := b.famsIn(ifs.Cond)
+	if len(fams) == 0 {
+		return
+	}
+	c := fams[0]
+	// A helper whose summary proves it bounds-checks a count argument
+	// guards that count when called from the condition — the hoisted
+	// length-check shape: if !checkLen(n, rest) { return }.
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		pf := b.pass.Prog.CalleeFunc(b.info, call)
+		if pf == nil {
+			return true
+		}
+		sum := b.pass.Prog.Summary(pf)
+		if sum == nil {
+			return true
+		}
+		for i, a := range call.Args {
+			if i < len(sum.ValidatesLen) && sum.ValidatesLen[i] {
+				if cc := b.countOf(a); cc != nil && (cc.guardPos == token.NoPos || ifs.Pos() < cc.guardPos) {
+					cc.guardPos = ifs.Pos()
+				}
+			}
+		}
+		return true
+	})
+	hasLen, hasConst, mulPos := false, false, token.NoPos
+	ast.Inspect(ifs.Cond, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if id, ok := ast.Unparen(n.Fun).(*ast.Ident); ok && id.Name == "len" {
+				if _, isB := b.info.Uses[id].(*types.Builtin); isB {
+					hasLen = true
+				}
+			}
+		case *ast.BinaryExpr:
+			if n.Op == token.MUL && (b.famIn(n.X) != nil || b.famIn(n.Y) != nil) {
+				mulPos = n.Pos()
+			}
+		case *ast.BasicLit:
+			if n.Kind == token.INT {
+				hasConst = true
+			}
+		case *ast.Ident:
+			if _, isConst := b.info.Uses[n].(*types.Const); isConst {
+				hasConst = true
+			}
+		}
+		return true
+	})
+	if mulPos != token.NoPos {
+		b.pass.Reportf("codeccheck", mulPos,
+			"bounds check multiplies wire-read count %q: hostile counts overflow the product; divide the buffer length instead (wire.ReadLen)", c.name)
+	}
+	if hasLen || hasConst {
+		// A compound condition guards every count it mentions
+		// (if nServers < 0 || nWorkers < 0 || … checks both).
+		for _, f := range fams {
+			if f.guardPos == token.NoPos || ifs.Pos() < f.guardPos {
+				f.guardPos = ifs.Pos()
+			}
+		}
+	}
+}
+
+// use flags e if it mentions a count family before that family's first
+// guard.
+func (b *codecBounds) use(e ast.Expr, what string) {
+	c := b.famIn(e)
+	if c == nil {
+		return
+	}
+	if c.guardPos != token.NoPos && c.guardPos <= e.Pos() {
+		return
+	}
+	msg := "wire-read count %q sizes " + what + " before any bounds check against the remaining buffer"
+	if b.pass.Pkg.IsTestPos(e.Pos()) {
+		b.pass.Warnf("codeccheck", e.Pos(), msg, c.name)
+	} else {
+		b.pass.Reportf("codeccheck", e.Pos(), msg, c.name)
+	}
+}
+
+func nameOfVar(e ast.Expr) string {
+	if id, ok := ast.Unparen(e).(*ast.Ident); ok {
+		return id.Name
+	}
+	return "?"
+}
+
+// runCodecVersionSymmetry enforces the xV1/x const-pair rule on one
+// encoder- or decoder-named function.
+func runCodecVersionSymmetry(pass *Pass, fd *ast.FuncDecl, role string) {
+	if fd.Body == nil || pass.Pkg.IsTestPos(fd.Pos()) {
+		return
+	}
+	info := pass.Pkg.Info
+
+	// Version pairs declared in this package: base const + "V1" sibling.
+	scope := pass.Pkg.Types.Scope()
+	type pair struct{ base, v1 string }
+	var pairs []pair
+	for _, n := range scope.Names() {
+		if !strings.HasSuffix(n, "V1") {
+			continue
+		}
+		base := strings.TrimSuffix(n, "V1")
+		if _, isC := scope.Lookup(n).(*types.Const); !isC {
+			continue
+		}
+		if _, isC := scope.Lookup(base).(*types.Const); isC {
+			pairs = append(pairs, pair{base: base, v1: n})
+		}
+	}
+	if len(pairs) == 0 {
+		return
+	}
+
+	refs := make(map[string]bool)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if c, isC := info.Uses[id].(*types.Const); isC && c.Pkg() == pass.Pkg.Types {
+				refs[c.Name()] = true
+			}
+		}
+		return true
+	})
+	for _, p := range pairs {
+		switch role {
+		case "encoder":
+			if refs[p.v1] {
+				pass.Reportf("codeccheck", fd.Name.Pos(),
+					"encoder %s references legacy constant %s: new frames must be written in the current format only", fd.Name.Name, p.v1)
+			}
+		case "decoder":
+			if refs[p.base] != refs[p.v1] {
+				pass.Reportf("codeccheck", fd.Name.Pos(),
+					"decoder %s references %s but not its version sibling: version-gated decoding must accept both %s and %s frames",
+					fd.Name.Name, pick(refs[p.base], p.base, p.v1), p.base, p.v1)
+			}
+		}
+	}
+}
+
+func pick(cond bool, a, b string) string {
+	if cond {
+		return a
+	}
+	return b
+}

@@ -92,8 +92,10 @@ func TestAnalyzerGoldenFixtures(t *testing.T) {
 			if err != nil {
 				t.Fatalf("load fixture: %v", err)
 			}
+			prog := BuildProgram([]*Package{pkg})
+			prog.PrecomputeSummaries()
 			var findings []Finding
-			pass := &Pass{Pkg: pkg, report: func(f Finding) { findings = append(findings, f) }}
+			pass := &Pass{Pkg: pkg, Prog: prog, report: func(f Finding) { findings = append(findings, f) }}
 			a.Run(pass)
 			sortFindings(findings)
 			wants := collectWants(t, pkg)
@@ -129,7 +131,7 @@ func TestAnalyzerGoldenFixtures(t *testing.T) {
 
 // TestSuppressionMachinery drives the //lint:ignore pipeline through
 // RunPackages on the suppress fixture: a used directive silences its
-// finding, a reason-less directive fails, an unused one warns.
+// finding; reason-less and unused directives both fail.
 func TestSuppressionMachinery(t *testing.T) {
 	pkg, err := fixtureLoader(t).LoadDir(filepath.Join("testdata", "suppress"))
 	if err != nil {
@@ -156,8 +158,8 @@ func TestSuppressionMachinery(t *testing.T) {
 			}
 			missingReason = true
 		case f.Analyzer == "fluentvet" && strings.Contains(f.Message, "matches no finding"):
-			if f.Severity != SeverityWarn {
-				t.Errorf("unused directive severity = %s, want warn", f.Severity)
+			if f.Severity != SeverityFail {
+				t.Errorf("unused directive severity = %s, want fail", f.Severity)
 			}
 			unused = true
 		}

@@ -1,0 +1,113 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+)
+
+// leakcheck requires every goroutine started in library code to have a
+// reachable shutdown edge. The failure shape it hunts: a `go` statement
+// whose body spins in `for {}` with no return, no break, no select, and
+// no channel operation — a goroutine that survives Server.Close and
+// accumulates across elastic membership changes (PR 7's churn scenarios
+// run thousands of start/stop cycles in one process).
+//
+// The check resolves the goroutine's target through the program index —
+// `go s.feeder()` is analyzed at feeder's declaration — and walks every
+// infinite for loop (no condition) in the body: the loop must contain,
+// at any depth, a return, a break, a select, or a channel send/receive
+// (including range-over-channel, which exits on close). Calls the index
+// cannot resolve (stdlib, dynamic) pass — the analyzer only speaks to
+// code it can see. Test-file findings warn instead of fail.
+
+// LeakCheck returns the leakcheck analyzer.
+func LeakCheck() *Analyzer {
+	return &Analyzer{
+		Name: "leakcheck",
+		Doc:  "every goroutine in library code has a reachable shutdown edge (return, break, select, or channel op in its loops)",
+		Run:  runLeakCheck,
+	}
+}
+
+func runLeakCheck(pass *Pass) {
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			var body *ast.BlockStmt
+			var target string
+			if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+				body = lit.Body
+				target = "literal"
+			} else if pf := pass.Prog.CalleeFunc(info, gs.Call); pf != nil {
+				body = pf.Decl.Body
+				target = pf.Obj.Name()
+			} else {
+				return true
+			}
+			checkGoroutineBody(pass, gs.Pos(), target, body)
+			return true
+		})
+	}
+}
+
+// checkGoroutineBody flags infinite loops without exit edges in body.
+func checkGoroutineBody(pass *Pass, goPos token.Pos, target string, body *ast.BlockStmt) {
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		fs, ok := n.(*ast.ForStmt)
+		if !ok || fs.Cond != nil {
+			return true
+		}
+		if hasExitEdge(fs.Body) {
+			return true
+		}
+		msg := "goroutine %s loops forever with no shutdown edge: add a return, break, select arm, or channel op so Close can stop it"
+		if pass.Pkg.IsTestPos(goPos) {
+			pass.Warnf("leakcheck", goPos, msg, target)
+		} else {
+			pass.Reportf("leakcheck", goPos, msg, target)
+		}
+		// One finding per goroutine is enough.
+		return false
+	})
+}
+
+// hasExitEdge reports whether block contains, at any depth, a statement
+// that can end or unblock the enclosing infinite loop: return, break, a
+// select (its arms are the shutdown hooks), or any channel operation
+// (send, receive, or range over a channel — all release the goroutine
+// when the peer closes).
+func hasExitEdge(block *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(block, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // its control flow is its own
+		case *ast.ReturnStmt, *ast.SelectStmt, *ast.SendStmt:
+			found = true
+		case *ast.BranchStmt:
+			if n.Tok == token.BREAK || n.Tok == token.GOTO {
+				found = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				found = true
+			}
+		case *ast.RangeStmt:
+			// range over anything is fine only for channels; other
+			// ranges terminate on their own and do not unblock the
+			// outer infinite loop — keep walking into the body.
+		}
+		return !found
+	})
+	return found
+}

@@ -15,6 +15,20 @@
 //     match the DESIGN.md §10/§11 schema
 //   - atomiccheck: a field touched through sync/atomic is never read or
 //     written non-atomically elsewhere
+//   - codeccheck: encoders pair with decoders; wire-read counts are
+//     bounds-checked before allocation, without multiplying the count;
+//     version-gated fields decode symmetrically (DESIGN.md §16)
+//   - handlercheck: every MsgType reaches a dispatch switch; dispatches
+//     have default arms and every case touches the received message
+//   - fencecheck: data-plane handlers consult the view-epoch fence
+//     before touching shard state, dedup tables, or the controller
+//   - leakcheck: every goroutine in library code has a reachable
+//     shutdown edge
+//
+// The analyzers share an interprocedural layer (summary.go): a
+// whole-program function index with per-function summaries — message
+// ownership effects, constructor shapes, hoisted bounds checks — built
+// once before the per-package passes fan out in parallel.
 //
 // Findings can be suppressed with an explanatory comment the driver parses
 // and reports (see suppress.go):
@@ -64,6 +78,9 @@ type Finding struct {
 	Suppressed bool `json:"suppressed,omitempty"`
 	// SuppressReason is the ignore comment's reason text, when suppressed.
 	SuppressReason string `json:"suppressReason,omitempty"`
+	// Baselined is set in diff mode when the committed baseline records
+	// this finding; baselined findings never fail the run.
+	Baselined bool `json:"baselined,omitempty"`
 }
 
 // Analyzer is one checked invariant. Run inspects a type-checked package
@@ -75,9 +92,12 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// Pass hands an analyzer one package plus the reporting hook.
+// Pass hands an analyzer one package plus the reporting hook and the
+// whole-program index (nil only in narrowly-scoped tests; the driver
+// always sets it).
 type Pass struct {
 	Pkg    *Package
+	Prog   *Program
 	report func(Finding)
 }
 

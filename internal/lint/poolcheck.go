@@ -24,9 +24,18 @@ import (
 // (branches merge: a message counts as released only when every
 // fall-through branch released it) but deliberately loses track of
 // messages that escape — stored in a struct, captured by a closure, sent
-// on a channel, passed to an unknown call — because ownership then
-// legitimately belongs to someone else (queues, pipelines, fault paths
-// that lean on the GC are all documented owners).
+// on a channel, passed to a call it cannot see through — because
+// ownership then legitimately belongs to someone else (queues,
+// pipelines, fault paths that lean on the GC are all documented owners).
+//
+// Calls into module functions are seen through the interprocedural
+// summaries (summary.go): a helper that only reads its message parameter
+// no longer launders ownership (the caller still owes the release), a
+// helper that unconditionally releases counts as the release itself, and
+// a helper whose first result is always a pooled message registers its
+// caller's binding with the right origin. Pointer comparisons (== / !=)
+// against a tracked message are exempt from use-after-release: identity
+// tests never dereference.
 
 // PoolCheck returns the poolcheck analyzer.
 func PoolCheck() *Analyzer {
@@ -95,6 +104,7 @@ func (p poolPath) clone() poolPath {
 type poolWalker struct {
 	pass  *Pass
 	info  *types.Info
+	prog  *Program
 	vars  map[*types.Var]*poolFacts
 	order []*types.Var
 }
@@ -103,6 +113,7 @@ func poolAnalyzeFunc(pass *Pass, body *ast.BlockStmt) {
 	w := &poolWalker{
 		pass: pass,
 		info: pass.Pkg.Info,
+		prog: pass.Prog,
 		vars: make(map[*types.Var]*poolFacts),
 	}
 	w.walkStmts(body.List, make(poolPath))
@@ -166,22 +177,11 @@ func isMessagePtr(t types.Type) bool {
 	return name == "Message" && hasPathSuffix(path, "internal/transport")
 }
 
-// originOf classifies call as a message-producing call, returning the
-// origin and true, or false for everything else.
+// originOf classifies call as a message-producing call (the transport
+// producers plus any module helper whose summary proves a constant
+// origin), returning the origin and true, or false for everything else.
 func (w *poolWalker) originOf(call *ast.CallExpr) (poolOrigin, bool) {
-	if isPkgCall(w.info, call, "internal/transport", "NewMessage") {
-		return originNew, true
-	}
-	if isPkgCall(w.info, call, "internal/transport", "Decode") {
-		return originRecv, true
-	}
-	if fn := methodCall(w.info, call, "Recv"); fn != nil {
-		sig := fn.Type().(*types.Signature)
-		if sig.Results().Len() >= 1 && isMessagePtr(sig.Results().At(0).Type()) {
-			return originRecv, true
-		}
-	}
-	return 0, false
+	return msgOriginOfCall(w.info, w.prog, call)
 }
 
 // register begins tracking the variable bound by ident to a fresh pooled
@@ -211,38 +211,65 @@ func (w *poolWalker) register(path poolPath, ident ast.Expr, origin poolOrigin) 
 // calls, returning the tracked message argument (nil when the argument
 // is not a tracked local).
 func (w *poolWalker) releaseCall(call *ast.CallExpr) (kind string, arg ast.Expr) {
-	for _, c := range [...]struct {
-		name string
-		argN int
-	}{
-		{"Release", 0},
-		{"ReleaseReceived", 0},
-		{"SendOwned", 1},
-		{"SendRetained", 1},
-	} {
-		if isPkgCall(w.info, call, "internal/transport", c.name) && len(call.Args) > c.argN {
-			return c.name, call.Args[c.argN]
-		}
+	return transportReleaseCall(w.info, call)
+}
+
+// summaryOf resolves call to a module function's summary (nil for
+// dynamic calls, externals, and anything the program index cannot see)
+// plus a display name for diagnostics.
+func (w *poolWalker) summaryOf(call *ast.CallExpr) (*FuncSummary, string) {
+	pf := w.prog.CalleeFunc(w.info, call)
+	if pf == nil {
+		return nil, ""
 	}
-	return "", nil
+	return w.prog.Summary(pf), pf.Obj.Name()
+}
+
+// applyCallEffect applies a callee's summarized effect on the tracked
+// message argument at position i. With no summary (or an escape effect)
+// ownership conservatively transfers, exactly as the intra-procedural
+// tracker assumed for every call.
+func (w *poolWalker) applyCallEffect(path poolPath, sum *FuncSummary, calleeName string, i int, v *types.Var, pos token.Pos, deferred bool) {
+	eff := EffectEscape
+	if sum != nil && i < len(sum.MsgParams) {
+		eff = sum.MsgParams[i]
+	}
+	switch eff {
+	case EffectUses:
+		// The callee only reads it: ownership — and the release
+		// obligation — stay right here.
+		w.useCheck(path, v, pos)
+	case EffectReleases:
+		w.applyRelease(path, "Release", calleeName+" (which releases it)", v, pos, deferred)
+	case EffectReleasesReceived:
+		w.applyRelease(path, "ReleaseReceived", calleeName+" (which releases it)", v, pos, deferred)
+	case EffectSendsOwned:
+		w.applyRelease(path, "SendOwned", calleeName+" (which sends it owned)", v, pos, deferred)
+	default:
+		w.useCheck(path, v, pos)
+		w.escape(v)
+	}
 }
 
 // applyRelease handles Release/ReleaseReceived/SendOwned/SendRetained on
-// a tracked variable on the current path. deferred releases consume but
-// do not mark the path released (they run at function exit).
-func (w *poolWalker) applyRelease(path poolPath, kind string, v *types.Var, pos token.Pos, deferred bool) {
+// a tracked variable on the current path. via names what performed the
+// transfer in diagnostics — "transport.Release" for direct calls, the
+// helper's name when a summary proved the release happens inside a
+// callee. deferred releases consume but do not mark the path released
+// (they run at function exit).
+func (w *poolWalker) applyRelease(path poolPath, kind, via string, v *types.Var, pos token.Pos, deferred bool) {
 	f := w.vars[v]
 	switch kind {
 	case "Release":
 		if f.origin == originRecv {
 			w.pass.Reportf("poolcheck", pos,
-				"transport.Release is a no-op on received message %q; use transport.ReleaseReceived", f.name)
+				"%s is a no-op on received message %q; use transport.ReleaseReceived", via, f.name)
 			return
 		}
 	case "ReleaseReceived":
 		if f.origin == originNew {
 			w.pass.Reportf("poolcheck", pos,
-				"transport.ReleaseReceived is a no-op on creator-owned message %q; use transport.Release or transport.SendOwned", f.name)
+				"%s is a no-op on creator-owned message %q; use transport.Release or transport.SendOwned", via, f.name)
 			return
 		}
 	case "SendOwned":
@@ -259,12 +286,12 @@ func (w *poolWalker) applyRelease(path poolPath, kind string, v *types.Var, pos 
 	}
 	if rel, ok := path[v]; ok {
 		w.pass.Reportf("poolcheck", pos,
-			"message %q released twice: %s here, %s at line %d", f.name, "transport."+kind, rel.by, rel.line)
+			"message %q released twice: %s here, %s at line %d", f.name, via, rel.by, rel.line)
 		return
 	}
 	f.consumed = true
 	if !deferred {
-		path[v] = poolRel{by: "transport." + kind, line: w.line(pos)}
+		path[v] = poolRel{by: via, line: w.line(pos)}
 	}
 }
 
@@ -283,7 +310,7 @@ func (w *poolWalker) scan(path poolPath, n ast.Node) {
 	case *ast.CallExpr:
 		if kind, argExpr := w.releaseCall(n); kind != "" {
 			if v := w.trackedIdent(argExpr); v != nil {
-				w.applyRelease(path, kind, v, n.Pos(), false)
+				w.applyRelease(path, kind, "transport."+kind, v, n.Pos(), false)
 				for _, a := range n.Args {
 					if a != argExpr {
 						w.scan(path, a)
@@ -292,12 +319,11 @@ func (w *poolWalker) scan(path poolPath, n ast.Node) {
 				return
 			}
 		}
+		sum, calleeName := w.summaryOf(n)
 		w.scan(path, n.Fun)
-		for _, a := range n.Args {
+		for i, a := range n.Args {
 			if v := w.trackedIdent(a); v != nil {
-				// Passed to an arbitrary call: ownership may transfer.
-				w.useCheck(path, v, a.Pos())
-				w.escape(v)
+				w.applyCallEffect(path, sum, calleeName, i, v, a.Pos(), false)
 				continue
 			}
 			w.scan(path, a)
@@ -342,6 +368,18 @@ func (w *poolWalker) scan(path poolPath, n ast.Node) {
 			w.scan(path, e)
 		}
 	case *ast.BinaryExpr:
+		if n.Op == token.EQL || n.Op == token.NEQ {
+			// Pointer identity never dereferences: comparing a tracked
+			// message — even one already released or handed off — is
+			// legal (handoff tests assert exactly this).
+			if w.trackedIdent(n.X) == nil {
+				w.scan(path, n.X)
+			}
+			if w.trackedIdent(n.Y) == nil {
+				w.scan(path, n.Y)
+			}
+			return
+		}
 		w.scan(path, n.X)
 		w.scan(path, n.Y)
 	case *ast.ParenExpr:
@@ -601,26 +639,37 @@ func (w *poolWalker) walkAssign(path poolPath, lhs, rhs []ast.Expr) {
 	}
 }
 
-// walkAsync handles defer/go calls: deferred releases consume their
-// message; any other argument use hands ownership away.
+// walkAsync handles defer/go calls: deferred releases (direct or through
+// a summarized helper) consume their message; a goroutine's arguments
+// always hand ownership away — the goroutine runs on its own schedule,
+// so even a read-only callee could race a release here.
 func (w *poolWalker) walkAsync(path poolPath, call *ast.CallExpr, deferred bool) {
 	if deferred {
 		if kind, argExpr := w.releaseCall(call); kind != "" {
 			if v := w.trackedIdent(argExpr); v != nil {
-				w.applyRelease(path, kind, v, call.Pos(), true)
+				w.applyRelease(path, kind, "transport."+kind, v, call.Pos(), true)
 				return
 			}
 		}
+	}
+	var sum *FuncSummary
+	var calleeName string
+	if deferred {
+		sum, calleeName = w.summaryOf(call)
 	}
 	if lit, ok := call.Fun.(*ast.FuncLit); ok {
 		w.scan(path, lit)
 	} else {
 		w.scan(path, call.Fun)
 	}
-	for _, a := range call.Args {
+	for i, a := range call.Args {
 		if v := w.trackedIdent(a); v != nil {
-			w.useCheck(path, v, a.Pos())
-			w.escape(v)
+			if deferred {
+				w.applyCallEffect(path, sum, calleeName, i, v, a.Pos(), true)
+			} else {
+				w.useCheck(path, v, a.Pos())
+				w.escape(v)
+			}
 			continue
 		}
 		w.scan(path, a)

@@ -4,7 +4,9 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
+	"sync"
 	"text/tabwriter"
 )
 
@@ -16,6 +18,10 @@ func Analyzers() []*Analyzer {
 		CtxCheck(),
 		TelCheck(),
 		AtomicCheck(),
+		CodecCheck(),
+		HandlerCheck(),
+		FenceCheck(),
+		LeakCheck(),
 	}
 }
 
@@ -30,11 +36,11 @@ type Result struct {
 	Packages int `json:"packages"`
 }
 
-// Failed reports whether the run must exit non-zero: any unsuppressed
-// finding with SeverityFail.
+// Failed reports whether the run must exit non-zero: any unsuppressed,
+// unbaselined finding with SeverityFail.
 func (r *Result) Failed() bool {
 	for _, f := range r.Findings {
-		if f.Severity == SeverityFail && !f.Suppressed {
+		if f.Severity == SeverityFail && !f.Suppressed && !f.Baselined {
 			return true
 		}
 	}
@@ -42,11 +48,13 @@ func (r *Result) Failed() bool {
 }
 
 // counts tallies findings by disposition.
-func (r *Result) counts() (fail, warn, suppressed int) {
+func (r *Result) counts() (fail, warn, suppressed, baselined int) {
 	for _, f := range r.Findings {
 		switch {
 		case f.Suppressed:
 			suppressed++
+		case f.Baselined:
+			baselined++
 		case f.Severity == SeverityFail:
 			fail++
 		default:
@@ -57,20 +65,43 @@ func (r *Result) counts() (fail, warn, suppressed int) {
 }
 
 // RunPackages applies the analyzers to each package, resolves
-// suppressions, and aggregates findings.
+// suppressions, and aggregates findings. The whole-program index (call
+// graph + function summaries) is built once up front — with every
+// summary forced, so the per-package phase is read-only — and the
+// packages are then analyzed in parallel, one goroutine per unit up to
+// GOMAXPROCS. Output order stays deterministic: findings land in
+// per-package slots and are sorted at the end regardless of completion
+// order.
 func RunPackages(pkgs []*Package, analyzers []*Analyzer) *Result {
 	res := &Result{Packages: len(pkgs)}
-	for _, pkg := range pkgs {
-		var findings []Finding
-		pass := &Pass{Pkg: pkg, report: func(f Finding) { findings = append(findings, f) }}
-		for _, a := range analyzers {
-			a.Run(pass)
-		}
-		sups := collectSuppressions(pkg)
-		findings = applySuppressions(findings, sups)
-		findings = append(findings, directiveFindings(sups)...)
-		res.Findings = append(res.Findings, findings...)
-		res.Suppressions = append(res.Suppressions, sups...)
+	prog := BuildProgram(pkgs)
+	prog.PrecomputeSummaries()
+
+	perPkg := make([][]Finding, len(pkgs))
+	perSup := make([][]*Suppression, len(pkgs))
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, runtime.GOMAXPROCS(0))
+	for i, pkg := range pkgs {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int, pkg *Package) {
+			defer func() { <-sem; wg.Done() }()
+			var findings []Finding
+			pass := &Pass{Pkg: pkg, Prog: prog, report: func(f Finding) { findings = append(findings, f) }}
+			for _, a := range analyzers {
+				a.Run(pass)
+			}
+			sups := collectSuppressions(pkg)
+			findings = applySuppressions(findings, sups)
+			findings = append(findings, directiveFindings(sups)...)
+			perPkg[i] = findings
+			perSup[i] = sups
+		}(i, pkg)
+	}
+	wg.Wait()
+	for i := range pkgs {
+		res.Findings = append(res.Findings, perPkg[i]...)
+		res.Suppressions = append(res.Suppressions, perSup[i]...)
 	}
 	sortFindings(res.Findings)
 	sort.Slice(res.Suppressions, func(i, j int) bool {
@@ -101,7 +132,7 @@ func Run(dir string, patterns []string, includeTests bool) (*Result, error) {
 // suppression summary table, then one tally line.
 func (r *Result) WriteText(w io.Writer) {
 	for _, f := range r.Findings {
-		if f.Suppressed {
+		if f.Suppressed || f.Baselined {
 			continue
 		}
 		fmt.Fprintf(w, "%s: [%s/%s] %s\n", f.Pos, f.Analyzer, f.Severity, f.Message)
@@ -124,9 +155,9 @@ func (r *Result) WriteText(w io.Writer) {
 		}
 		tw.Flush()
 	}
-	fail, warn, suppressed := r.counts()
-	fmt.Fprintf(w, "\nfluentvet: %d package(s): %d failure(s), %d warning(s), %d suppressed\n",
-		r.Packages, fail, warn, suppressed)
+	fail, warn, suppressed, baselined := r.counts()
+	fmt.Fprintf(w, "\nfluentvet: %d package(s): %d failure(s), %d warning(s), %d suppressed, %d baselined\n",
+		r.Packages, fail, warn, suppressed, baselined)
 }
 
 // WriteJSON renders the machine-readable report.

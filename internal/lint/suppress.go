@@ -23,8 +23,9 @@ type Suppression struct {
 	Pos      token.Position `json:"pos"`
 	Reason   string         `json:"reason"`
 	// Used reports whether any finding matched the directive; unused
-	// directives are themselves reported as warn findings so stale
-	// ignores get cleaned up.
+	// directives are themselves reported as fail findings — an ignore
+	// whose finding the interprocedural layer retired must be deleted,
+	// not left to rot.
 	Used bool `json:"used"`
 }
 
@@ -90,7 +91,8 @@ func applySuppressions(findings []Finding, sups []*Suppression) []Finding {
 }
 
 // directiveFindings reports malformed (reason-less) and unused directives
-// as warn findings, keeping the ignore inventory honest.
+// as fail findings, keeping the ignore inventory honest: a directive that
+// no longer matches anything is dead weight the run must not carry.
 func directiveFindings(sups []*Suppression) []Finding {
 	var out []Finding
 	for _, s := range sups {
@@ -107,7 +109,7 @@ func directiveFindings(sups []*Suppression) []Finding {
 				Analyzer: "fluentvet",
 				Pos:      s.Pos,
 				Message:  "lint:ignore " + s.Analyzer + " matches no finding on this or the next line; delete it",
-				Severity: SeverityWarn,
+				Severity: SeverityFail,
 			})
 		}
 	}

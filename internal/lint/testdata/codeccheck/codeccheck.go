@@ -1,0 +1,114 @@
+// Package fixture seeds codeccheck's golden test: pairing, bounds-before-
+// allocation, multiplication-free guards, and version symmetry, each with
+// a flagged shape and a clean idiom the analyzer must not flag.
+package fixture
+
+import (
+	"github.com/fluentps/fluentps/internal/wire"
+)
+
+// An encoder with no decoder anywhere in the package: the wire format
+// cannot round-trip.
+func encodeThing(dst []float64, vals []float64) []float64 { // want "encoder encodeThing has no paired decoder"
+	dst = append(dst, float64(len(vals)))
+	return append(dst, vals...)
+}
+
+// The decodeWave bug class: the count sizes an allocation before any
+// check against the remaining buffer.
+func decodeBad(vals []float64) []float64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	n := int(vals[0])
+	out := make([]float64, n) // want "wire-read count "n" sizes an allocation size before any bounds check"
+	copy(out, vals[1:])
+	return out
+}
+
+// The overflow-unsafe guard: multiplying a hostile count wraps the
+// product past the comparison.
+func decodeMul(vals []float64) []float64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	n := int(vals[0])
+	if len(vals) < 1+2*n { // want "bounds check multiplies wire-read count "n""
+		return nil
+	}
+	return vals[1 : 1+2*n]
+}
+
+// Clean: wire.ReadLen validates the count at birth.
+func decodeBlessed(vals []float64) []float64 {
+	n, rest, ok := wire.ReadLen(vals, 1)
+	if !ok {
+		return nil
+	}
+	out := make([]float64, n)
+	copy(out, rest[:n])
+	return out
+}
+
+// checkLen is the hoisted length check: its summary proves it compares
+// the count parameter against the buffer.
+func checkLen(n int, rest []float64) bool {
+	return n >= 0 && n <= len(rest)
+}
+
+// Clean: the bounds check lives in a helper, seen through its summary.
+func decodeHoisted(vals []float64) []float64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	n := int(vals[0])
+	rest := vals[1:]
+	if !checkLen(n, rest) {
+		return nil
+	}
+	return rest[:n]
+}
+
+// Clean: method-form pairing — Blob.Encode pairs with DecodeBlob by
+// receiver type name.
+type Blob struct{ data []byte }
+
+func (b *Blob) Encode(dst []byte) []byte { return append(dst, b.data...) }
+
+func DecodeBlob(src []byte) *Blob { return &Blob{data: src} }
+
+// Clean: "Encoded" is a longer word, not the codec verb — exempt from
+// pairing.
+func (b *Blob) EncodedSize() int { return len(b.data) }
+
+// Version-gated frame widths: blobLenV1 is the legacy layout, blobLen
+// the current one.
+const (
+	blobLenV1 = 8
+	blobLen   = 12
+)
+
+// A decoder that only knows the current width silently rejects every
+// pre-upgrade frame.
+func decodeOnlyCurrent(src []byte) []byte { // want "decoder decodeOnlyCurrent references blobLen but not its version sibling"
+	if len(src) < blobLen {
+		return nil
+	}
+	return src[:blobLen]
+}
+
+// An encoder writing the legacy width reintroduces the old format.
+func encodeBlobState(dst []byte) []byte { // want "encoder encodeBlobState references legacy constant blobLenV1"
+	return append(dst, make([]byte, blobLenV1)...)
+}
+
+// Clean: the paired decoder accepts both widths.
+func decodeBlobState(src []byte) []byte {
+	if len(src) >= blobLen {
+		return src[:blobLen]
+	}
+	if len(src) >= blobLenV1 {
+		return src[:blobLenV1]
+	}
+	return nil
+}

@@ -1,0 +1,103 @@
+// Package fixture seeds fencecheck's golden test: a miniature server
+// with a view-epoch fence (staleFenced), a controller, a shard, and a
+// dedup table, exercised by data-plane dispatch handlers that fence
+// correctly, fence late, or never fence at all.
+package fixture
+
+import (
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+type controller struct{ pushes uint64 }
+
+func (c *controller) OnPush(seq uint64) { c.pushes = seq }
+
+type shardT struct{ vals map[uint64]float64 }
+
+func (s *shardT) Has(k uint64) bool { _, ok := s.vals[k]; return ok }
+func (s *shardT) Apply(k uint64)    { s.vals[k]++ }
+
+type srv struct {
+	ctrl  *controller
+	shard *shardT
+	epoch uint64
+	seen  map[uint64]bool
+}
+
+// staleFenced is the view-epoch fence: its presence puts this package in
+// fencecheck's scope.
+func (s *srv) staleFenced(epoch uint64) bool { return epoch < s.epoch }
+
+func (s *srv) dedupRecord(seq uint64) { s.seen[seq] = true }
+
+func (s *srv) dedupLookup(seq uint64) bool { return s.seen[seq] }
+
+// apply is the dispatch; its data-plane cases hand the message to
+// handlers one level down, which fencecheck follows through the call
+// graph.
+func (s *srv) apply(m *transport.Message) {
+	switch m.Type {
+	case transport.MsgPush:
+		s.handleGood(m)
+	case transport.MsgPull:
+		s.handleBad(m)
+	default:
+		transport.ReleaseReceived(m)
+	}
+}
+
+// Clean: dedup lookup first (duplicates must be re-acked even when
+// stale), then the fence, then the protected state.
+func (s *srv) handleGood(m *transport.Message) {
+	if s.dedupLookup(m.Seq) {
+		return
+	}
+	if s.staleFenced(m.Seq) {
+		return
+	}
+	s.dedupRecord(m.Seq)
+	s.shard.Apply(m.Seq)
+	s.ctrl.OnPush(m.Seq)
+}
+
+// A handler that mutates the shard before discovering the message is
+// stale has already corrupted the new epoch's state.
+func (s *srv) handleBad(m *transport.Message) {
+	s.shard.Apply(m.Seq) // want "handleBad touches shard state \(Apply\) before consulting the view-epoch fence"
+	if s.staleFenced(m.Seq) {
+		return
+	}
+	s.ctrl.OnPush(m.Seq)
+}
+
+// apply2 is a two-case filter — fencecheck covers every data-plane case,
+// dispatch-sized or not — with a touch directly in the case body.
+func (s *srv) apply2(m *transport.Message) {
+	switch m.Type {
+	case transport.MsgPush:
+		s.dedupRecord(m.Seq) // want "MsgPush/MsgPull case touches dedupRecord before consulting the view-epoch fence"
+		if s.staleFenced(m.Seq) {
+			return
+		}
+		s.holdCheck(m)
+	case transport.MsgPull:
+		s.neverFences(m)
+	}
+}
+
+// Clean: shard.Has is a read-only inspector — the migration hold path
+// checks it before fencing, by design.
+func (s *srv) holdCheck(m *transport.Message) {
+	if s.shard.Has(m.Seq) {
+		return
+	}
+	if s.staleFenced(m.Seq) {
+		return
+	}
+	s.shard.Apply(m.Seq)
+}
+
+// A handler that never fences at all: every protected touch is flagged.
+func (s *srv) neverFences(m *transport.Message) {
+	s.ctrl.OnPush(m.Seq) // want "neverFences touches the controller \(OnPush\) before consulting the view-epoch fence"
+}

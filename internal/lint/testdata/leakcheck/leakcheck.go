@@ -1,0 +1,85 @@
+// Package fixture seeds leakcheck's golden test: goroutines whose
+// infinite loops have no shutdown edge (flagged), and the library's
+// legitimate loop shapes — select arms, channel ops, range-over-channel,
+// condition loops — that must stay clean.
+package fixture
+
+type spinner struct {
+	n    int
+	stop chan struct{}
+	work chan int
+	done *bool
+}
+
+// spin has no way out: Close cannot stop it.
+func (s *spinner) spin() {
+	for {
+		s.n++
+	}
+}
+
+func (s *spinner) startSpin() {
+	go s.spin() // want "goroutine spin loops forever with no shutdown edge"
+}
+
+func (s *spinner) startLit() {
+	go func() { // want "goroutine literal loops forever with no shutdown edge"
+		for {
+			s.n++
+		}
+	}()
+}
+
+// Clean: a select arm is the shutdown hook.
+func (s *spinner) startSelect() {
+	go func() {
+		for {
+			select {
+			case <-s.stop:
+				return
+			case v := <-s.work:
+				s.n += v
+			}
+		}
+	}()
+}
+
+// Clean: range over a channel exits when the sender closes it.
+func (s *spinner) worker() {
+	for v := range s.work {
+		s.n += v
+	}
+}
+
+func (s *spinner) startWorker() {
+	go s.worker()
+}
+
+// Clean: a blocking receive releases the goroutine when the peer closes.
+func (s *spinner) pump() {
+	for {
+		v := <-s.work
+		s.n += v
+	}
+}
+
+func (s *spinner) startPump() {
+	go s.pump()
+}
+
+// Clean: a conditioned loop terminates on its own.
+func (s *spinner) poll() {
+	for !*s.done {
+		s.n++
+	}
+}
+
+func (s *spinner) startPoll() {
+	go s.poll()
+}
+
+// Clean: a function value the program index cannot resolve — the
+// analyzer only speaks to code it can see.
+func startFn(fn func()) {
+	go fn()
+}

@@ -110,9 +110,90 @@ func escapeToReturn() *transport.Message {
 	return m
 }
 
-func escapeToUnknownCall() {
+// escapeToFuncValue: calls through function values have no summary, so
+// ownership conservatively transfers. No diagnostic.
+var consumeFn func(*transport.Message)
+
+func escapeToFuncValue() {
 	m := transport.NewMessage()
-	consume(m)
+	consumeFn(m)
 }
 
-func consume(*transport.Message) {}
+// The interprocedural summaries see through module-local calls: helpers
+// that only read, helpers that release, and helpers that construct.
+
+// leakThroughReadOnlyHelper: inspect only reads its parameter, so the
+// caller still owes the release — passing to it no longer launders
+// ownership.
+func leakThroughReadOnlyHelper() {
+	m := transport.NewMessage() // want "pooled message "m" from transport.NewMessage is never released"
+	inspect(m)
+}
+
+func inspect(m *transport.Message) { _ = m.Seq }
+
+// releaseViaHelper: finish releases unconditionally, which counts as the
+// caller's release. No diagnostic.
+func releaseViaHelper() {
+	m := transport.NewMessage()
+	finish(m)
+}
+
+func finish(m *transport.Message) { transport.Release(m) }
+
+// doubleReleaseViaHelper: the helper's release plus the caller's own is
+// one too many.
+func doubleReleaseViaHelper() {
+	m := transport.NewMessage()
+	finish(m)
+	transport.Release(m) // want "message "m" released twice"
+}
+
+// wrongHelperOnReceived: a creator-release helper applied to a received
+// message is a silent runtime no-op — and the message still leaks.
+func wrongHelperOnReceived() {
+	m, _ := ep.Recv() // want "received message "m" is never released"
+	finish(m)         // want "finish \(which releases it\) is a no-op on received message "m""
+}
+
+// condReleaseHelperEscapes: maybeFinish releases on only one branch, so
+// the summary refuses to certify either way and ownership conservatively
+// transfers. No diagnostic at the caller.
+func condReleaseHelperEscapes(cond bool) {
+	m := transport.NewMessage()
+	maybeFinish(m, cond)
+}
+
+func maybeFinish(m *transport.Message, cond bool) {
+	if cond {
+		transport.Release(m)
+	}
+}
+
+// buildReply always returns a fresh creator-owned message; callers
+// inherit the release obligation through the summary.
+func buildReply() *transport.Message {
+	m := transport.NewMessage()
+	m.Seq = 1
+	return m
+}
+
+func leakFromConstructorHelper() {
+	m := buildReply() // want "pooled message "m" from transport.NewMessage is never released"
+	_ = m.Seq
+}
+
+// releaseFromConstructorHelper pairs the helper with a release. No
+// diagnostic.
+func releaseFromConstructorHelper() {
+	m := buildReply()
+	transport.Release(m)
+}
+
+// pointerCompareAfterHandoff: identity tests never dereference, so
+// comparing a handed-off message is legal. No diagnostic.
+func pointerCompareAfterHandoff(other *transport.Message) bool {
+	m := transport.NewMessage()
+	_ = transport.SendOwned(ep, m)
+	return m == other
+}

@@ -158,7 +158,9 @@ func TestCodecRoundTripProperty(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return reflect.DeepEqual(normalize(m), normalize(got))
+		same := reflect.DeepEqual(normalize(m), normalize(got))
+		ReleaseReceived(got)
+		return same
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
 		t.Error(err)
@@ -286,6 +288,7 @@ func TestWriteFrameRejectsOversized(t *testing.T) {
 	if len(got.Vals) != len(boundary.Vals) {
 		t.Fatalf("boundary round trip lost payload: %d vals, want %d", len(got.Vals), len(boundary.Vals))
 	}
+	ReleaseReceived(got)
 }
 
 // TestNegativeProgressRoundTrip: Progress is signed on the wire (workers

@@ -82,8 +82,9 @@ func (f *Flaky) faultable(t MsgType) bool {
 	switch t {
 	case MsgPush, MsgPushAck, MsgPull, MsgPullResp:
 		return true
+	default:
+		return false
 	}
-	return false
 }
 
 // Send applies the fault rolls to m and forwards the surviving copies.

@@ -22,6 +22,7 @@ func FuzzDecode(f *testing.F) {
 			return
 		}
 		round := Encode(nil, m)
+		ReleaseReceived(m)
 		if !bytes.Equal(round, data) {
 			t.Fatalf("decode/encode not idempotent:\n in  %x\n out %x", data, round)
 		}

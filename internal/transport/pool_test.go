@@ -175,7 +175,6 @@ func TestSendOwnedHandsOffOverChan(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	//lint:ignore poolcheck pointer-identity assertion is the point of this test; m is only compared, not dereferenced
 	if got != m {
 		t.Fatal("chan transport did not deliver the sender's pointer")
 	}

@@ -1,0 +1,31 @@
+// Package wire holds the shared primitives for the repo's hand-rolled
+// float64-word wire formats. Every count read off the wire must be
+// bounds-checked against the remaining buffer before anything is
+// allocated or sliced with it — and the check must divide the buffer,
+// never multiply the count, because a hostile count times a per-item
+// width can overflow int and slip past a plain length comparison (the
+// decodeWave bug fuzzing caught in PR 8). ReadLen is that check, done
+// once, correctly; codeccheck blesses values it returns as guarded.
+package wire
+
+// ReadLen pops a count from the front of a float64 word stream and
+// validates it against the words that remain: the count must be an exact
+// non-negative integer with count*per ≤ len(rest), checked as
+// count ≤ len(rest)/per so the multiplication can never overflow. per is
+// the minimum number of words each counted item occupies (1 for scalar
+// lists, 2 for pairs; variable-size items pass their floor). On success
+// the count and the stream after the count word are returned; ok=false
+// means the stream is truncated or the count is hostile, and the caller
+// must reject the frame without allocating.
+func ReadLen(vals []float64, per int) (n int, rest []float64, ok bool) {
+	if per <= 0 || len(vals) == 0 {
+		return 0, nil, false
+	}
+	f := vals[0]
+	n = int(f)
+	rest = vals[1:]
+	if float64(n) != f || n < 0 || n > len(rest)/per {
+		return 0, nil, false
+	}
+	return n, rest, true
+}

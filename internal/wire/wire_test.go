@@ -1,0 +1,49 @@
+package wire
+
+import (
+	"math"
+	"testing"
+)
+
+func TestReadLenValid(t *testing.T) {
+	vals := []float64{3, 10, 20, 30, 99}
+	n, rest, ok := ReadLen(vals, 1)
+	if !ok || n != 3 {
+		t.Fatalf("ReadLen = %d, %v; want 3, ok", n, ok)
+	}
+	if len(rest) != 4 || rest[0] != 10 {
+		t.Fatalf("rest = %v; want the stream after the count word", rest)
+	}
+}
+
+func TestReadLenBoundary(t *testing.T) {
+	// Exactly n*per words remaining: the largest valid count.
+	n, _, ok := ReadLen([]float64{2, 1, 2, 3, 4}, 2)
+	if !ok || n != 2 {
+		t.Fatalf("boundary count rejected: n=%d ok=%v", n, ok)
+	}
+	// One word short: must reject.
+	if _, _, ok := ReadLen([]float64{2, 1, 2, 3}, 2); ok {
+		t.Fatal("accepted a count one word past the buffer")
+	}
+}
+
+func TestReadLenHostile(t *testing.T) {
+	cases := []struct {
+		name string
+		vals []float64
+		per  int
+	}{
+		{"empty", nil, 1},
+		{"negative", []float64{-1, 0}, 1},
+		{"fractional", []float64{1.5, 0, 0}, 1},
+		{"nan", []float64{math.NaN(), 0}, 1},
+		{"overflowing product", []float64{float64(1 << 60), 0, 0}, 2},
+		{"bad per", []float64{1, 0}, 0},
+	}
+	for _, c := range cases {
+		if _, _, ok := ReadLen(c.vals, c.per); ok {
+			t.Errorf("%s: ReadLen accepted %v (per=%d)", c.name, c.vals, c.per)
+		}
+	}
+}
