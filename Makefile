@@ -14,12 +14,12 @@ COVER_FLOOR ?= 80.0
 # ~1s; the ceiling leaves room for cold build caches).
 LINT_BUDGET ?= 60s
 
-.PHONY: verify build vet lint lint-baseline lint-self test race race-debug race-stress race-failover fuzz fuzz-smoke determinism scenarios scenarios-smoke cover ci bench bench-paper
+.PHONY: verify build vet lint lint-baseline lint-self test race race-debug race-stress race-failover fuzz fuzz-smoke determinism scenarios scenarios-smoke fanout-smoke cover ci bench bench-paper
 
 ## verify: the tier-1 gate — vet, build, full test suite.
 verify: vet build test
 
-## lint: fluentvet, the project's own nine-analyzer static-analysis suite
+## lint: fluentvet, the project's own ten-analyzer static-analysis suite
 ## (poolcheck, lockorder, ctxcheck, telcheck, atomiccheck, codeccheck,
 ## handlercheck, fencecheck, leakcheck). Diff mode against the committed
 ## lint_baseline.json: only findings absent from the baseline fail.
@@ -62,14 +62,16 @@ race:
 race-debug:
 	$(GO) test -race -tags fluentdebug ./internal/core/... ./internal/transport/...
 
-## race-stress: the striped-store and batched-apply-engine stress tests,
-## repeated under the race detector with the fluentdebug assertion layer
-## (V_train monotonicity, SSP staleness bound) compiled in. These are the
-## only paths where multiple goroutines touch shard state concurrently,
-## so they get more repetitions than the general race pass.
+## race-stress: the striped-store, batched-apply-engine, and RO-snapshot
+## stress tests, repeated under the race detector with the fluentdebug
+## assertion layer (V_train monotonicity, SSP staleness bound) compiled
+## in. These are the only paths where multiple goroutines touch shard
+## state concurrently — including readers pulling published snapshots
+## while stripes are applied and republished — so they get more
+## repetitions than the general race pass.
 race-stress:
 	$(GO) test -race -tags fluentdebug -count=5 \
-		-run 'TestStripedShardConcurrentApply|TestBatchedApplyStress|TestBatchedApplyMatchesExpected' \
+		-run 'TestStripedShardConcurrentApply|TestBatchedApplyStress|TestBatchedApplyMatchesExpected|TestSnapshotROStress|TestHandleROOverMux' \
 		./internal/kvstore/ ./internal/core/
 
 ## race-failover: the elastic-membership and failover integration tests,
@@ -85,12 +87,13 @@ race-failover:
 		./internal/core/
 
 ## fuzz: a short codec fuzz pass over every wire format — the message
-## codec and framer, the cluster-view codec, the replication-wave frame,
-## and the stats/spec payloads (seed corpora cover v1/v2 ShardState and
-## legacy 3-value Spec frames).
+## codec and framer, the mux stream-frame layer, the cluster-view codec,
+## the replication-wave frame, and the stats/spec payloads (seed corpora
+## cover v1/v2 ShardState and legacy 3-value Spec frames).
 fuzz:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzDecode -fuzztime 30s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime 30s
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzMuxFrame -fuzztime 30s
 	$(GO) test ./internal/clusterview/ -run '^$$' -fuzz FuzzViewDecode -fuzztime 30s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeWave -fuzztime 30s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeShardState -fuzztime 30s
@@ -101,6 +104,7 @@ fuzz:
 fuzz-smoke:
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzDecode -fuzztime 10s
 	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzReadFrame -fuzztime 10s
+	$(GO) test ./internal/transport/ -run '^$$' -fuzz FuzzMuxFrame -fuzztime 10s
 	$(GO) test ./internal/clusterview/ -run '^$$' -fuzz FuzzViewDecode -fuzztime 10s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeWave -fuzztime 10s
 	$(GO) test ./internal/core/ -run '^$$' -fuzz FuzzDecodeShardState -fuzztime 10s
@@ -128,6 +132,14 @@ scenarios:
 scenarios-smoke:
 	$(GO) test -count=1 -run 'TestScenario' ./internal/experiments/
 
+## fanout-smoke: the read-tier acceptance gates at CI scale — the quick
+## fan-out matrix (RO snapshot pulls vs locked data-plane pulls against
+## one pushing trainer) must show RO throughput scaling ≥4× from 1 to 64
+## readers with the trainer's push p99 within 1.25× of the reader-free
+## baseline.
+fanout-smoke:
+	FLUENTPS_FANOUT_STRICT=1 $(GO) test -count=1 -run 'TestFanoutSmoke' ./internal/experiments/
+
 ## cover: statement coverage for the request-lifecycle packages, failing
 ## below COVER_FLOOR percent.
 cover:
@@ -152,6 +164,7 @@ ci: verify
 	$(MAKE) lint-self
 	$(GO) test -count=1 -run 'TestAdaptiveSweep' ./internal/experiments/
 	$(MAKE) scenarios-smoke
+	$(MAKE) fanout-smoke
 	$(GO) test -race ./...
 	$(MAKE) race-debug
 	$(MAKE) race-stress
@@ -174,6 +187,9 @@ ci: verify
 ## every fixed preset (BSP, ASP, SSP(s) swept) plus the hindsight-best ratio.
 ## BENCH_scenarios.json is the full-scale scenario-matrix scorecard (see
 ## `make scenarios`).
+## BENCH_fanout.json is the read-tier fan-out sweep: RO snapshot pulls vs
+## locked data-plane pulls at 1..64 readers, with the scaling and push-p99
+## acceptance gates.
 bench:
 	$(GO) test -run '^$$' -bench 'PushPullHotPath$$|FrameRoundTrip|WriteFrame|DecodeInto' \
 		-benchmem -json ./internal/core/ ./internal/transport/ > BENCH_hotpath.json
@@ -183,6 +199,7 @@ bench:
 		-benchmem -json ./internal/core/ ./internal/mathx/ > BENCH_apply.json
 	$(GO) run ./cmd/fluentbench -adaptive > BENCH_adaptive.json
 	$(GO) run ./cmd/fluentbench -scenarios > BENCH_scenarios.json
+	$(GO) run ./cmd/fluentbench -fanout > BENCH_fanout.json
 	@sed -n 's/.*"Output":"\(.*\)".*/\1/p' BENCH_hotpath.json BENCH_telemetry.json BENCH_apply.json | tr -d '\n' | \
 		sed 's/\\n/\n/g; s/\\t/\t/g' | grep 'allocs/op'
 

@@ -32,6 +32,7 @@ func main() {
 		apply   = flag.Bool("apply", false, "benchmark push-apply throughput, serial vs wave-batched engine, and exit")
 		adapt   = flag.Bool("adaptive", false, "run the adaptive-vs-fixed regret sweep over heterogeneous traces, emit JSON on stdout, and exit")
 		scen    = flag.Bool("scenarios", false, "run the scenario matrix (policy × topology × fault), emit the JSON scorecard on stdout, and exit")
+		fanout  = flag.Bool("fanout", false, "run the read-tier fan-out sweep (RO snapshots vs locked pulls at 1..64 readers), emit JSON on stdout, and exit")
 	)
 	flag.Parse()
 
@@ -86,6 +87,28 @@ func main() {
 		}
 		fmt.Fprintf(os.Stderr, "adaptive dominance: %d/%d hazard groups (%.0f%%)\n",
 			res.HazardWins, res.HazardGroups, 100*res.DominanceRate)
+		return
+	}
+
+	if *fanout {
+		// Stdout carries only the JSON document (BENCH_fanout.json); the
+		// per-cell digest and gate verdicts go to stderr.
+		res, err := experiments.FanoutSweep(context.Background(), experiments.Options{Quick: *quick, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fluentbench: fanout: %v\n", err)
+			os.Exit(1)
+		}
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fmt.Fprintf(os.Stderr, "fluentbench: fanout: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Fprint(os.Stderr, res.Digest())
+		if !res.ScaleGate || !res.P99Gate {
+			fmt.Fprintln(os.Stderr, "fluentbench: fanout: acceptance gates FAILED")
+			os.Exit(1)
+		}
 		return
 	}
 

@@ -122,9 +122,10 @@ func main() {
 			if err != nil {
 				fail("server %d: %v", m, err)
 			}
-			fmt.Printf("server %d: keys=%d model=%s switches=%d V_train=%d progress=[%d,%d] count@round=%d buffered=%d pulls=%d pushes=%d DPRs=%d dropped=%d dedup=%d\n",
+			fmt.Printf("server %d: keys=%d model=%s switches=%d V_train=%d progress=[%d,%d] count@round=%d buffered=%d pulls=%d pushes=%d DPRs=%d dropped=%d dedup=%d snapshot_epoch=%d ro_pulls=%d\n",
 				m, st.Keys, st.Model(), st.Switches, st.VTrain, st.MinProgress, st.MaxProgress,
-				st.CountAtRound, st.Buffered, st.Pulls, st.Pushes, st.DPRs, st.Dropped, st.DedupHits)
+				st.CountAtRound, st.Buffered, st.Pulls, st.Pushes, st.DPRs, st.Dropped, st.DedupHits,
+				st.SnapshotEpoch, st.ROPulls)
 		}
 
 	case "set-cond":

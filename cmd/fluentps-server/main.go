@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 
 	"github.com/fluentps/fluentps/internal/clustercfg"
 	"github.com/fluentps/fluentps/internal/core"
@@ -27,6 +28,10 @@ func main() {
 	var flags clustercfg.Flags
 	rank := flag.Int("rank", 0, "this server's rank")
 	joining := flag.Bool("joining", false, "this server joins a live cluster: start empty and wait for fluentps-admin join to stream keys in")
+	roAddr := flag.String("roaddr", "", "listen address for the read-optimized serving tier (mux sessions of MsgPullRO streams); empty disables it")
+	snapshotEvery := flag.Int("snapshotEvery", 0, "publish an RO snapshot every N V_train ticks (0 = every tick, <0 = never)")
+	readerPool := flag.Int("readerPool", 0, "RO reader-pool goroutines (0 = default, <0 = serve inline on the apply loop)")
+	maxStreams := flag.Int("maxStreams", 0, "per-session cap on concurrently open RO streams (0 = transport default)")
 	flags.Register(flag.CommandLine)
 	flag.Parse()
 
@@ -108,19 +113,56 @@ func main() {
 		Init: func(k keyrange.Key, seg []float64) {
 			copy(seg, layout.Slice(w0, k))
 		},
-		Seed:         work.Seed,
-		DedupWindow:  flags.DedupWindow,
-		ApplyWorkers: flags.ApplyWorkers,
-		ApplyStripes: flags.ApplyStripes,
-		Telemetry:    reg,
-		AdaptEvery:   sync.AdaptEvery,
-		Adaptive:     sync.Adaptive,
+		Seed:          work.Seed,
+		SnapshotEvery: *snapshotEvery,
+		ReaderPool:    *readerPool,
+		DedupWindow:   flags.DedupWindow,
+		ApplyWorkers:  flags.ApplyWorkers,
+		ApplyStripes:  flags.ApplyStripes,
+		Telemetry:     reg,
+		AdaptEvery:    sync.AdaptEvery,
+		Adaptive:      sync.Adaptive,
 		OpenEndpoint: func(id transport.NodeID) (transport.Endpoint, error) {
 			return demux.Open(id)
 		},
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	// The read tier listens on its own port: each inbound TCP connection
+	// becomes one mux session, each accepted stream one HandleRO loop
+	// answering MsgPullRO from published snapshots. The process exits with
+	// Run; readers are best-effort and need no drain ceremony.
+	if *roAddr != "" {
+		ln, err := net.Listen("tcp", *roAddr)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer ln.Close()
+		log.Printf("fluentps-server[%d]: read tier on %s (pool=%d, every=%d, maxStreams=%d)",
+			*rank, ln.Addr(), *readerPool, *snapshotEvery, *maxStreams)
+		go func() {
+			for {
+				conn, err := ln.Accept()
+				if err != nil {
+					return
+				}
+				sess := transport.NewMuxServer(conn, transport.MuxConfig{
+					MaxStreams: *maxStreams,
+					Telemetry:  reg,
+				})
+				go func() {
+					defer sess.Close()
+					for {
+						stream, err := sess.AcceptStream()
+						if err != nil {
+							return
+						}
+						go func() { _ = srv.HandleRO(stream) }()
+					}
+				}()
+			}
+		}()
 	}
 	log.Printf("fluentps-server[%d]: %d keys, model %s, drain %s, listening on %s",
 		*rank, len(srv.Keys()), sync.Model, sync.Drain, tcpEP.Addr())

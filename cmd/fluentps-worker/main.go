@@ -27,12 +27,17 @@ import (
 func main() {
 	var flags clustercfg.Flags
 	rank := flag.Int("rank", 0, "this worker's rank")
+	readonly := flag.String("readonly", "", "run as a read-only client of the given server read-tier address (-roaddr on fluentps-server) instead of training")
 	flags.Register(flag.CommandLine)
 	flag.Parse()
 
 	cluster, err := flags.Cluster()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *readonly != "" {
+		runReadonly(&flags, *rank, *readonly)
+		return
 	}
 	if *rank < 0 || *rank >= cluster.Workers() {
 		log.Fatalf("rank %d out of range for %d workers", *rank, cluster.Workers())
@@ -142,4 +147,45 @@ func main() {
 		log.Printf("fluentps-worker[%d]: lifecycle — retries=%d timeouts=%d stale=%d",
 			*rank, st.Retries, st.Timeouts, st.Stale)
 	}
+}
+
+// runReadonly is the -readonly mode: the worker never trains or touches
+// the data plane — it dials a server's read tier, opens one mux stream,
+// and issues -iters RO pulls through a core.ROClient, reporting the
+// epochs and V_train cuts it observed. This is the deployment shape for
+// evaluators, checkpointers, and dashboards that must not perturb
+// synchronization.
+func runReadonly(flags *clustercfg.Flags, rank int, addr string) {
+	sess, err := transport.DialMux(addr, transport.MuxConfig{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sess.Close()
+	stream, err := sess.OpenStream()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer stream.Close()
+
+	ctx := context.Background()
+	if flags.Timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, flags.Timeout)
+		defer cancel()
+	}
+	ro := core.NewROClient(stream, 0)
+	firstEpoch, lastEpoch := uint32(0), uint32(0)
+	lastVT := 0
+	for i := 0; i < flags.Iters; i++ {
+		epoch, vtrain, err := ro.Pull(ctx, nil)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i == 0 {
+			firstEpoch = epoch
+		}
+		lastEpoch, lastVT = epoch, vtrain
+	}
+	log.Printf("fluentps-worker[%d]: readonly — %d pulls from %s, epochs %d→%d, final V_train=%d",
+		rank, flags.Iters, addr, firstEpoch, lastEpoch, lastVT)
 }

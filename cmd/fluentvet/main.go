@@ -1,8 +1,8 @@
-// Command fluentvet runs the project's static-analysis suite: nine
+// Command fluentvet runs the project's static-analysis suite: ten
 // analyzers that mechanically enforce the message-pool ownership,
 // locking, context, telemetry, atomicity, codec-symmetry,
-// dispatch-exhaustiveness, epoch-fencing, and goroutine-lifecycle
-// disciplines documented in DESIGN.md §11 and §16. Stdlib-only: packages
+// dispatch-exhaustiveness, epoch-fencing, goroutine-lifecycle, and
+// live-slice-escape disciplines documented in DESIGN.md §11 and §16. Stdlib-only: packages
 // are discovered with `go list`, type-checked with go/types, no x/tools
 // dependency. Analysis is interprocedural — a whole-program call graph
 // with per-function summaries lets the analyzers see through helpers —

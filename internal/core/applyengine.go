@@ -234,11 +234,15 @@ func (s *Server) runBatched(queue chan queuedMsg, workers int) (shutdown bool, e
 			return false, err
 		}
 		s.snapshotStats()
+		// flush's completion barrier left the shard quiescent: the wave
+		// boundary is where RO snapshot epochs are cut.
+		s.maybePublishSnapshot()
 		if barrier != nil {
 			shutdown, err := s.apply(barrier)
 			if err != nil || shutdown {
 				return shutdown, err
 			}
+			s.maybePublishSnapshot()
 		}
 		if !open {
 			return false, nil

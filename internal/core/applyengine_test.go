@@ -353,7 +353,7 @@ func TestBatchedApplyStress(t *testing.T) {
 		if got := srv.shard.Updates(k); got != want {
 			t.Fatalf("key %d: %d updates, want %d", k, got, want)
 		}
-		seg, err := srv.shard.Segment(k)
+		seg, err := srv.shard.GatherShard(nil, []keyrange.Key{k})
 		if err != nil {
 			t.Fatal(err)
 		}

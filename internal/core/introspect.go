@@ -38,6 +38,11 @@ type ShardState struct {
 	// Switches counts sync-model kind changes since the server started
 	// (admin set-cond or the adaptive controller).
 	Switches int
+
+	// Read-optimized serving tier (v3 fields): the published snapshot
+	// epoch and how many read-only pulls have been served from snapshots.
+	SnapshotEpoch int
+	ROPulls       int
 }
 
 // Model renders the live synchronization model for operators, e.g.
@@ -56,10 +61,12 @@ func (st ShardState) Model() string {
 	return spec.Kind.String()
 }
 
-// Payload lengths of the stats response: v1 predates the model fields.
+// Payload lengths of the stats response: v1 predates the model fields,
+// v2 the read-tier fields.
 const (
 	shardStateLenV1 = 11
-	shardStateLen   = 17
+	shardStateLenV2 = 17
+	shardStateLen   = 19
 )
 
 // encode packs the state for the wire, appending to dst (pass a pooled
@@ -72,15 +79,16 @@ func (st ShardState) encode(dst []float64) []float64 {
 		float64(st.Dropped), float64(st.DedupHits), float64(st.Keys),
 		float64(st.ModelKind), float64(st.ModelS), float64(st.ModelMin),
 		float64(st.ModelMax), st.ModelC, float64(st.Switches),
+		float64(st.SnapshotEpoch), float64(st.ROPulls),
 	)
 }
 
 func decodeShardState(vals []float64) (ShardState, error) {
-	// v1 (11-value) payloads from older servers still decode; their model
-	// fields stay zero ("custom"/unknown).
-	if len(vals) != shardStateLen && len(vals) != shardStateLenV1 {
-		return ShardState{}, fmt.Errorf("core: stats payload has %d values, want %d (or legacy %d)",
-			len(vals), shardStateLen, shardStateLenV1)
+	// v1 (11-value) and v2 (17-value) payloads from older servers still
+	// decode; the fields they predate stay zero.
+	if len(vals) != shardStateLen && len(vals) != shardStateLenV2 && len(vals) != shardStateLenV1 {
+		return ShardState{}, fmt.Errorf("core: stats payload has %d values, want %d (or legacy %d/%d)",
+			len(vals), shardStateLen, shardStateLenV2, shardStateLenV1)
 	}
 	st := ShardState{
 		VTrain:       int(vals[0]),
@@ -95,13 +103,17 @@ func decodeShardState(vals []float64) (ShardState, error) {
 		DedupHits:    int(vals[9]),
 		Keys:         int(vals[10]),
 	}
-	if len(vals) == shardStateLen {
+	if len(vals) >= shardStateLenV2 {
 		st.ModelKind = int(vals[11])
 		st.ModelS = int(vals[12])
 		st.ModelMin = int(vals[13])
 		st.ModelMax = int(vals[14])
 		st.ModelC = vals[15]
 		st.Switches = int(vals[16])
+	}
+	if len(vals) >= shardStateLen {
+		st.SnapshotEpoch = int(vals[17])
+		st.ROPulls = int(vals[18])
 	}
 	return st, nil
 }
@@ -123,6 +135,10 @@ func (s *Server) handleStats(msg *transport.Message) error {
 		DedupHits:    s.dedupHits,
 		Keys:         len(s.keys),
 		Switches:     s.switches,
+		ROPulls:      int(s.roServed.Load()),
+	}
+	if snap := s.shard.ROSnapshot(); snap != nil {
+		state.SnapshotEpoch = int(snap.Epoch)
 	}
 	if spec, ok := s.ctrl.Spec(); ok {
 		state.ModelKind = int(spec.Kind)

@@ -128,7 +128,8 @@ func FuzzDecodeWave(f *testing.F) {
 
 // FuzzDecodeShardState: arbitrary stats payloads must never panic, and
 // payloads that decode must re-encode to a stable frame. The corpus seeds
-// both wire versions: legacy v1 (11 values, no model fields) and v2 (17).
+// all three wire versions: legacy v1 (11 values, no model fields), v2
+// (17, no read-tier fields), and v3 (19).
 func FuzzDecodeShardState(f *testing.F) {
 	full := ShardState{
 		VTrain: 12, MinProgress: 11, MaxProgress: 14, CountAtRound: 3,
@@ -136,10 +137,12 @@ func FuzzDecodeShardState(f *testing.F) {
 		DedupHits: 5, Keys: 4,
 		ModelKind: int(syncmodel.KindDSPS), ModelS: 3, ModelMin: 1, ModelMax: 8,
 		ModelC: 0.25, Switches: 2,
+		SnapshotEpoch: 42, ROPulls: 900,
 	}
-	v2 := full.encode(nil)
-	f.Add(fuzzBytes(v2))
-	f.Add(fuzzBytes(v2[:shardStateLenV1])) // the v1 prefix is a valid v1 frame
+	v3 := full.encode(nil)
+	f.Add(fuzzBytes(v3))
+	f.Add(fuzzBytes(v3[:shardStateLenV2])) // the v2 prefix is a valid v2 frame
+	f.Add(fuzzBytes(v3[:shardStateLenV1])) // the v1 prefix is a valid v1 frame
 	f.Add(fuzzBytes([]float64{1, 2, 3}))   // wrong length: must error, not panic
 	f.Add([]byte{})
 	f.Fuzz(func(t *testing.T, data []byte) {

@@ -24,6 +24,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"github.com/fluentps/fluentps/internal/clusterview"
@@ -106,6 +107,18 @@ type ServerConfig struct {
 	// Nil disables hosting promotions (this server can still be a backup
 	// donor for key transfer and serve fenced traffic).
 	OpenEndpoint func(id transport.NodeID) (transport.Endpoint, error)
+	// SnapshotEvery is the read-tier publish cadence in V_train ticks: a
+	// new immutable parameter snapshot (kvstore.Snapshot) is published at
+	// the first apply-wave boundary after V_train has advanced this much.
+	// Zero selects 1 (every wave); negative freezes the epoch-1 boot
+	// snapshot (RO pulls still work, at unbounded staleness).
+	SnapshotEvery int
+	// ReaderPool sizes the goroutine pool serving read-only pulls
+	// (MsgPullRO) from the current snapshot, off the apply path. Zero
+	// selects DefaultReaderPool; negative disables the pool — RO pulls
+	// are then served inline by the apply loop (still lock-free, but
+	// serialized behind training traffic).
+	ReaderPool int
 }
 
 // DefaultAdaptEvery is the adaptive re-evaluation period used when
@@ -204,6 +217,16 @@ type Server struct {
 	// subs are endpoints of shards promoted into this process; closed when
 	// Run returns.
 	subs []transport.Endpoint
+
+	// Read-optimized serving tier (roserver.go): roQueue feeds the reader
+	// pool, roStop ends it, lastPub is the V_train tick of the last
+	// published snapshot (owned by the apply goroutine), roServed backs
+	// ShardState.ROPulls from whichever goroutine served the pull.
+	roQueue  chan roReq
+	roStop   chan struct{}
+	roWG     sync.WaitGroup
+	lastPub  int
+	roServed atomic.Uint64
 
 	// debugLastVTrain backs the fluentdebug V_train monotonicity
 	// assertion (assert.go); unused in release builds.
@@ -330,6 +353,9 @@ func NewServerFromCheckpoint(ep transport.Endpoint, cfg ServerConfig, r io.Reade
 		}
 	}
 	srv.shard = shard
+	// The boot snapshot published by NewServer belongs to the discarded
+	// shard; the restored one needs its own epoch 1.
+	srv.metrics.snapshotEpoch.Set(int64(shard.PublishSnapshot(0).Epoch))
 	return srv, nil
 }
 
@@ -386,6 +412,15 @@ func NewServer(ep transport.Endpoint, cfg ServerConfig) (*Server, error) {
 	s.metrics.viewEpoch.Set(int64(view.Epoch))
 	s.repl = &replState{backup: view.BackupOf(cfg.Rank), needSnapshot: true}
 	s.replicas = make(map[int]*replicaState)
+	// The boot snapshot (epoch 1, V_train 0) exists before Run: the RO
+	// path never has to fall back to the live shard, and HandleRO streams
+	// attached before Run still get answers.
+	boot := s.shard.PublishSnapshot(0)
+	s.metrics.snapshotEpoch.Set(int64(boot.Epoch))
+	if cfg.ReaderPool >= 0 {
+		s.roQueue = make(chan roReq, roQueueDepth(cfg.readerPool()))
+		s.roStop = make(chan struct{})
+	}
 	return s, nil
 }
 
@@ -445,6 +480,19 @@ func (s *Server) Run() error {
 			return int64(len(queue))
 		})
 	}
+	// The reader pool serves MsgPullRO from published snapshots, fully off
+	// the apply path; it drains nothing the apply stage needs, so it stops
+	// last (after the receive goroutine can no longer submit to it).
+	if s.roQueue != nil {
+		for i := 0; i < s.cfg.readerPool(); i++ {
+			s.roWG.Add(1)
+			go s.roWorker()
+		}
+		defer func() {
+			close(s.roStop)
+			s.roWG.Wait()
+		}()
+	}
 	recvErr := make(chan error, 1)
 	applyDone := make(chan struct{})
 	go func() {
@@ -454,6 +502,14 @@ func (s *Server) Run() error {
 				recvErr <- err
 				close(queue)
 				return
+			}
+			if msg.Type == transport.MsgPullRO && s.roQueue != nil {
+				// Read-only pulls bypass the apply queue entirely: the
+				// reader pool answers them from the current snapshot, and
+				// a full pool queue sheds them right here with a
+				// retry-after instead of growing anything.
+				s.submitRO(msg, s.ep)
+				continue
 			}
 			q := queuedMsg{msg: msg}
 			if s.metrics.on {
@@ -528,6 +584,7 @@ func (s *Server) runSerial(queue chan queuedMsg) (shutdown bool, err error) {
 			if err != nil || shutdown {
 				return shutdown, err
 			}
+			s.maybePublishSnapshot()
 		case <-tick.C:
 			if err := s.reevaluate(); err != nil {
 				return false, err
@@ -605,6 +662,12 @@ func (s *Server) apply(msg *transport.Message) (shutdown bool, err error) {
 		transport.ReleaseReceived(msg)
 	case transport.MsgStats:
 		err = s.handleStats(msg)
+		transport.ReleaseReceived(msg)
+	case transport.MsgPullRO:
+		// Reached only when the reader pool is disabled (the receive
+		// stage intercepts MsgPullRO otherwise): served inline from the
+		// current snapshot — lock-free, but serialized with training.
+		err = s.handlePullRO(msg, s.ep)
 		transport.ReleaseReceived(msg)
 	case transport.MsgShutdown:
 		transport.ReleaseReceived(msg)

@@ -43,6 +43,10 @@ import (
 //	server.replicate_resends counter  unacked waves retransmitted on tick
 //	server.replica_waves_applied counter waves folded into hosted replicas
 //	server.promotions        counter  dead primaries promoted into this process
+//	server.snapshot_epoch    gauge    epoch of the published RO parameter snapshot
+//	server.snapshot_publish_ns histogram time to publish one snapshot epoch
+//	server.ro_pulls          counter  read-only pulls served from snapshots
+//	server.ro_rejects        counter  read-only pulls shed by admission control
 //
 //	worker.pushes            counter  sPush operations started
 //	worker.pulls             counter  sPull operations started
@@ -88,6 +92,11 @@ type serverMetrics struct {
 	replicateResends    *telemetry.Counter
 	replicaWavesApplied *telemetry.Counter
 	promotions          *telemetry.Counter
+
+	snapshotEpoch   *telemetry.Gauge
+	snapshotPublish *telemetry.Histogram
+	roPulls         *telemetry.Counter
+	roRejects       *telemetry.Counter
 }
 
 func newServerMetrics(r *telemetry.Registry) serverMetrics {
@@ -117,6 +126,11 @@ func newServerMetrics(r *telemetry.Registry) serverMetrics {
 		replicateResends:    r.Counter("server.replicate_resends"),
 		replicaWavesApplied: r.Counter("server.replica_waves_applied"),
 		promotions:          r.Counter("server.promotions"),
+
+		snapshotEpoch:   r.Gauge("server.snapshot_epoch"),
+		snapshotPublish: r.Histogram("server.snapshot_publish_ns"),
+		roPulls:         r.Counter("server.ro_pulls"),
+		roRejects:       r.Counter("server.ro_rejects"),
 	}
 }
 

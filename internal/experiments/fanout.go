@@ -1,0 +1,287 @@
+// The fan-out benchmark for the read-optimized serving tier (PR 10): one
+// trainer keeps pushing while N read-only clients pull the full model as
+// fast as they can over a latency-shaped in-process network. Two serving
+// paths are contrasted:
+//
+//   - ro: MsgPullRO answered from published RCU snapshots by the reader
+//     pool — lock-free, zero-copy, entirely off the apply path.
+//   - locked: the data-plane MsgPull, which rides the apply queue and
+//     gathers the shard under its stripe locks, serialized with training.
+//
+// The acceptance gates (wired into `make ci` via fanout-smoke) are the
+// issue's: RO pull throughput scales ≥4× from 1 to 64 readers, and the
+// trainer's push p99 at 64 RO readers stays within 1.25× of the
+// reader-free baseline.
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/core"
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/syncmodel"
+	"github.com/fluentps/fluentps/internal/transport"
+)
+
+// Fan-out workload shape: 64 keys × 32 scalars, a 2048-parameter model —
+// big enough that a locked gather moves real bytes, small enough that a
+// full sweep stays inside a CI budget.
+const (
+	fanoutKeys   = 64
+	fanoutKeyDim = 32
+	// fanoutLatency shapes the network: every message is delayed this
+	// much, so a pull round-trip costs ~2× this plus serving time. The
+	// RTT dominating each op keeps the gates robust on loaded machines:
+	// throughput scaling then measures latency hiding across streams,
+	// which is exactly the multiplexing story.
+	fanoutLatency = 1500 * time.Microsecond
+)
+
+// FanoutRow is one (mode, readers) cell of the sweep.
+type FanoutRow struct {
+	// Mode is "baseline" (no readers), "ro", or "locked".
+	Mode string
+	// Readers is the number of concurrent pull clients.
+	Readers int
+	// Pulls is the total completed reader pulls; PullsPerSec the rate.
+	Pulls       int64
+	PullsPerSec float64
+	// Pushes and the push percentiles describe the trainer during the
+	// same window (SPush round-trip, which includes the apply).
+	Pushes    int
+	PushP50Ns int64
+	PushP99Ns int64
+}
+
+// FanoutResult is the full sweep plus its acceptance gates
+// (BENCH_fanout.json).
+type FanoutResult struct {
+	Keys      int
+	KeyDim    int
+	LatencyNs int64
+	RunNs     int64
+
+	BaselineP50Ns int64
+	BaselineP99Ns int64
+	Rows          []FanoutRow
+
+	// ROScale is pulls/s at the largest RO fan-out over pulls/s at one
+	// reader; ROP99Ratio is the trainer's push p99 at that fan-out over
+	// the reader-free baseline.
+	ROScale    float64
+	ROP99Ratio float64
+	ScaleGate  bool // ROScale ≥ 4
+	P99Gate    bool // ROP99Ratio ≤ 1.25
+}
+
+func fanoutLayout() *keyrange.Layout {
+	sizes := make([]int, fanoutKeys)
+	for i := range sizes {
+		sizes[i] = fanoutKeyDim
+	}
+	return keyrange.MustLayout(sizes)
+}
+
+// fanoutRun measures one cell: a server, one trainer pushing for dur,
+// and `readers` concurrent pull clients in the given mode.
+func fanoutRun(ctx context.Context, mode string, readers int, dur time.Duration) (FanoutRow, error) {
+	row := FanoutRow{Mode: mode, Readers: readers}
+	layout := fanoutLayout()
+	assign, err := keyrange.EPS(layout, 1)
+	if err != nil {
+		return row, err
+	}
+	lnet := transport.NewLatencyNetwork(4096, fanoutLatency, 0)
+
+	numWorkers := 1
+	if mode == "locked" {
+		// Locked readers are data-plane workers: they need controller
+		// ranks of their own.
+		numWorkers = 1 + readers
+	}
+	srv, err := core.NewServer(lnet.Endpoint(transport.Server(0)), core.ServerConfig{
+		Rank: 0, NumWorkers: numWorkers, Layout: layout, Assignment: assign,
+		Model: syncmodel.ASP(), Drain: syncmodel.Lazy,
+		// A pool of 8 keeps the RO queue (8×8) ahead of 64 closed-loop
+		// readers, so the sweep measures serving, not admission shedding.
+		ReaderPool: 8,
+		Init: func(k keyrange.Key, seg []float64) {
+			for i := range seg {
+				seg[i] = 1
+			}
+		},
+	})
+	if err != nil {
+		return row, err
+	}
+	srvDone := make(chan error, 1)
+	go func() { srvDone <- srv.Run() }()
+
+	rctx, stopReaders := context.WithCancel(ctx)
+	defer stopReaders()
+	var pulls atomic.Int64
+	var wg sync.WaitGroup
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			switch mode {
+			case "ro":
+				ep := lnet.Endpoint(transport.Worker(100 + r))
+				defer ep.Close()
+				ro := core.NewROClient(ep, 0)
+				for rctx.Err() == nil {
+					if _, _, err := ro.Pull(rctx, nil); err != nil {
+						return
+					}
+					pulls.Add(1)
+				}
+			case "locked":
+				ep := lnet.Endpoint(transport.Worker(1 + r))
+				w, err := core.NewWorker(ep, core.WorkerConfig{Rank: 1 + r, Layout: layout, Assignment: assign})
+				if err != nil {
+					return
+				}
+				defer w.Close()
+				dst := make([]float64, layout.TotalDim())
+				for rctx.Err() == nil {
+					if err := w.SPull(rctx, 0, dst); err != nil {
+						return
+					}
+					pulls.Add(1)
+				}
+			}
+		}(r)
+	}
+
+	trainer, err := core.NewWorker(lnet.Endpoint(transport.Worker(0)),
+		core.WorkerConfig{Rank: 0, Layout: layout, Assignment: assign})
+	if err != nil {
+		return row, err
+	}
+	delta := make([]float64, layout.TotalDim())
+	for i := range delta {
+		delta[i] = 1e-6
+	}
+	pushLat := make([]time.Duration, 0, 4096)
+	start := time.Now()
+	for iter := 0; time.Since(start) < dur; iter++ {
+		t0 := time.Now()
+		if err := trainer.SPush(ctx, iter, delta); err != nil {
+			return row, err
+		}
+		pushLat = append(pushLat, time.Since(t0))
+	}
+	elapsed := time.Since(start)
+
+	stopReaders()
+	wg.Wait()
+	trainer.Close()
+	sd := lnet.Endpoint(transport.Worker(99))
+	_ = sd.Send(&transport.Message{Type: transport.MsgShutdown, To: transport.Server(0)})
+	// Closing sd before the server exits would cancel the delivery timer
+	// holding the shutdown message.
+	<-srvDone
+	sd.Close()
+
+	row.Pulls = pulls.Load()
+	row.PullsPerSec = float64(row.Pulls) / elapsed.Seconds()
+	row.Pushes = len(pushLat)
+	row.PushP50Ns = durPercentile(pushLat, 50).Nanoseconds()
+	row.PushP99Ns = durPercentile(pushLat, 99).Nanoseconds()
+	return row, nil
+}
+
+// durPercentile returns the p-th percentile of latencies (nearest-rank).
+func durPercentile(lat []time.Duration, p int) time.Duration {
+	if len(lat) == 0 {
+		return 0
+	}
+	s := append([]time.Duration(nil), lat...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	idx := (len(s)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return s[idx]
+}
+
+// FanoutSweep runs the full fan-out matrix and computes the gates.
+func FanoutSweep(ctx context.Context, opts Options) (*FanoutResult, error) {
+	dur := time.Second
+	roReaders := []int{1, 4, 16, 64}
+	lockedReaders := []int{1, 4, 16, 64}
+	if opts.Quick {
+		dur = 300 * time.Millisecond
+		roReaders = []int{1, 64}
+		lockedReaders = []int{64}
+	}
+
+	res := &FanoutResult{
+		Keys:      fanoutKeys,
+		KeyDim:    fanoutKeyDim,
+		LatencyNs: fanoutLatency.Nanoseconds(),
+		RunNs:     dur.Nanoseconds(),
+	}
+	base, err := fanoutRun(ctx, "baseline", 0, dur)
+	if err != nil {
+		return nil, err
+	}
+	res.BaselineP50Ns, res.BaselineP99Ns = base.PushP50Ns, base.PushP99Ns
+	res.Rows = append(res.Rows, base)
+
+	var roFirst, roLast FanoutRow
+	for i, n := range roReaders {
+		r, err := fanoutRun(ctx, "ro", n, dur)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, r)
+		if i == 0 {
+			roFirst = r
+		}
+		roLast = r
+	}
+	for _, n := range lockedReaders {
+		r, err := fanoutRun(ctx, "locked", n, dur)
+		if err != nil {
+			return nil, err
+		}
+		res.Rows = append(res.Rows, r)
+	}
+
+	if roFirst.PullsPerSec > 0 {
+		res.ROScale = roLast.PullsPerSec / roFirst.PullsPerSec
+	}
+	if res.BaselineP99Ns > 0 {
+		res.ROP99Ratio = float64(roLast.PushP99Ns) / float64(res.BaselineP99Ns)
+	}
+	res.ScaleGate = res.ROScale >= 4
+	res.P99Gate = res.ROP99Ratio <= 1.25
+	return res, nil
+}
+
+// Digest renders the human-readable summary (stderr next to the JSON).
+func (r *FanoutResult) Digest() string {
+	out := fmt.Sprintf("fanout: %d keys × %d, latency %v, %v per cell\n",
+		r.Keys, r.KeyDim, time.Duration(r.LatencyNs), time.Duration(r.RunNs))
+	for _, row := range r.Rows {
+		out += fmt.Sprintf("  %-8s readers=%-3d pulls/s=%-9.0f push p50=%-9v p99=%v\n",
+			row.Mode, row.Readers, row.PullsPerSec,
+			time.Duration(row.PushP50Ns), time.Duration(row.PushP99Ns))
+	}
+	maxRO := 0
+	for _, row := range r.Rows {
+		if row.Mode == "ro" && row.Readers > maxRO {
+			maxRO = row.Readers
+		}
+	}
+	out += fmt.Sprintf("  RO scale 1→%d readers: %.1f× (gate ≥4: %v); push p99 ratio %.2f (gate ≤1.25: %v)\n",
+		maxRO, r.ROScale, r.ScaleGate, r.ROP99Ratio, r.P99Gate)
+	return out
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"context"
+	"os"
+	"testing"
+)
+
+// TestFanoutSmoke is the CI tier of the fan-out sweep (make ci →
+// fanout-smoke): the quick matrix must clear the issue's acceptance
+// gates — RO pull throughput scales ≥4× from 1 to 64 readers, and the
+// trainer's push p99 under 64 RO readers stays within 1.25× of the
+// reader-free baseline.
+//
+// The scale gate is a ratio of two equally-loaded cells, so it holds
+// even when the whole test suite runs in parallel around this one. The
+// p99 gate is not: a co-scheduled package's compile or test burst can
+// inflate one cell's tail past 1.25× with the read tier blameless. It
+// is therefore enforced (with one retry) only when the sweep runs alone
+// — make fanout-smoke sets FLUENTPS_FANOUT_STRICT=1 — and logged
+// otherwise, keeping plain `go test ./...` reliable.
+func TestFanoutSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-based sweep")
+	}
+	strict := os.Getenv("FLUENTPS_FANOUT_STRICT") != ""
+	attempts := 1
+	if strict {
+		attempts = 2
+	}
+	var res *FanoutResult
+	for i := 0; i < attempts; i++ {
+		var err error
+		res, err = FanoutSweep(context.Background(), Options{Quick: true, Seed: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.ScaleGate && res.P99Gate {
+			break
+		}
+	}
+	t.Log("\n" + res.Digest())
+	if res.BaselineP99Ns <= 0 {
+		t.Fatal("baseline recorded no pushes")
+	}
+	for _, row := range res.Rows {
+		if row.Mode != "baseline" && row.Pulls == 0 {
+			t.Errorf("%s/%d readers completed no pulls", row.Mode, row.Readers)
+		}
+	}
+	if !res.ScaleGate {
+		t.Errorf("RO throughput scaled %.1f× from 1 to 64 readers, want ≥4×", res.ROScale)
+	}
+	if !res.P99Gate {
+		if strict {
+			t.Errorf("push p99 under 64 RO readers is %.2f× the baseline, want ≤1.25×", res.ROP99Ratio)
+		} else {
+			t.Logf("push p99 ratio %.2f exceeds the 1.25 gate; enforced in make fanout-smoke, where the sweep runs without parallel test load", res.ROP99Ratio)
+		}
+	}
+}

@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"math/bits"
 	"sync"
+	"sync/atomic"
 
 	"github.com/fluentps/fluentps/internal/keyrange"
 	"github.com/fluentps/fluentps/internal/mathx"
@@ -48,6 +49,10 @@ type Shard struct {
 	// top hash bits pick the stripe (a one-stripe shard shifts by 32,
 	// which Go defines as zero).
 	shift uint
+
+	// snap is the current published read-only snapshot (see snapshot.go);
+	// nil until the first PublishSnapshot.
+	snap atomic.Pointer[Snapshot]
 }
 
 // shardStripe is one lock domain: a subset of the shard's keys with their
@@ -56,6 +61,10 @@ type shardStripe struct {
 	mu      sync.Mutex
 	data    map[keyrange.Key][]float64
 	updates map[keyrange.Key]uint64
+	// dirty marks the stripe as mutated since the last PublishSnapshot;
+	// set under mu by every mutator, read and cleared at quiescence by
+	// PublishSnapshot so copy-on-write republish touches only this stripe.
+	dirty bool
 }
 
 // stripeHash spreads dense keys across stripes (Fibonacci hashing: the
@@ -190,6 +199,7 @@ func (s *Shard) ApplyGrad(k keyrange.Key, grad []float64, scale float64) error {
 	}
 	mathx.Axpy(scale, grad, seg)
 	sp.updates[k]++
+	sp.dirty = true
 	return nil
 }
 
@@ -225,6 +235,7 @@ func (s *Shard) ApplyBatch(stripe int, scale float64, items []BatchItem) error {
 		}
 		mathx.AxpyBatch(scale, it.Grads, seg)
 		sp.updates[it.Key] += uint64(len(it.Grads))
+		sp.dirty = true
 	}
 	return nil
 }
@@ -244,6 +255,7 @@ func (s *Shard) Set(k keyrange.Key, vals []float64) error {
 		return &DimError{Op: "set", Key: k, Got: len(vals), Want: len(seg)}
 	}
 	copy(seg, vals)
+	sp.dirty = true
 	return nil
 }
 
@@ -269,6 +281,7 @@ func (s *Shard) AddKey(k keyrange.Key, vals []float64) error {
 		return &DimError{Op: "add-key", Key: k, Got: len(vals), Want: s.layout.KeySize(k)}
 	}
 	sp.data[k] = append([]float64(nil), vals...)
+	sp.dirty = true
 	s.keys = append(s.keys, k)
 	sortKeys(s.keys)
 	return nil
@@ -285,6 +298,7 @@ func (s *Shard) RemoveKey(k keyrange.Key) ([]float64, error) {
 	}
 	delete(sp.data, k)
 	delete(sp.updates, k)
+	sp.dirty = true
 	for i, key := range s.keys {
 		if key == k {
 			s.keys = append(s.keys[:i], s.keys[i+1:]...)
@@ -420,6 +434,7 @@ func (s *Shard) ApplyDelta(k keyrange.Key, delta []float64, n uint64) error {
 	}
 	mathx.Axpy(1, delta, seg)
 	sp.updates[k] += n
+	sp.dirty = true
 	return nil
 }
 
@@ -438,5 +453,6 @@ func (s *Shard) SetWithUpdates(k keyrange.Key, vals []float64, updates uint64) e
 	}
 	copy(seg, vals)
 	sp.updates[k] = updates
+	sp.dirty = true
 	return nil
 }

@@ -1,0 +1,145 @@
+// Epoch-based immutable parameter snapshots — the RCU read tier of the
+// shard.
+//
+// A Snapshot is a frozen view of the shard at one V_train cut: every
+// segment observed atomically at the same moment, published by a single
+// atomic pointer swap, and never mutated afterwards. Read-only pulls
+// (MsgPullRO) are served from the current snapshot without touching any
+// stripe lock, so a fan-out of read-mostly clients costs the apply path
+// nothing.
+//
+// Storage is copy-on-write at stripe granularity: each stripe carries a
+// dirty flag set (under the stripe lock) by every mutator, and
+// PublishSnapshot re-materializes only the stripes dirtied since the
+// last publish, sharing the frozen maps of clean stripes with the
+// previous snapshot. Publish cost therefore scales with the write rate
+// between publishes, not with model size.
+//
+// The full-shard payload (the concatenation of all segments in key
+// order — what a whole-model pull response carries) is materialized
+// lazily by the first reader that needs it and cached on the snapshot,
+// so the publish path stays cheap and every subsequent full pull is a
+// zero-copy alias of the cached slice.
+//
+// Concurrency contract: PublishSnapshot has the same quiescence
+// requirement as GatherShard (no concurrent appliers — the server
+// publishes from its apply goroutine at wave barriers). ROSnapshot and
+// every Snapshot method are safe from any goroutine at any time.
+package kvstore
+
+import (
+	"sync"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+)
+
+// Snapshot is one immutable epoch of the shard. All fields and all
+// reachable slices are frozen at publish time; readers may alias them
+// freely (including across the wire on in-process transports).
+type Snapshot struct {
+	// Epoch numbers publishes monotonically from 1. The wire carries its
+	// low 32 bits (Message.View) as the staleness stamp; epochs within
+	// one server lifetime do not wrap.
+	Epoch uint64
+	// VTrain is the shard's training clock at the cut — every segment in
+	// the snapshot reflects exactly the waves applied up to this tick.
+	VTrain int
+
+	layout  *keyrange.Layout
+	keys    []keyrange.Key
+	stripes []map[keyrange.Key][]float64
+	shift   uint
+
+	flatOnce sync.Once
+	flat     []float64
+}
+
+// Keys returns the snapshot's owned keys in ascending order. The slice
+// is frozen; callers must not mutate it.
+func (sn *Snapshot) Keys() []keyrange.Key { return sn.keys }
+
+// Dim returns the total number of scalars in the snapshot.
+func (sn *Snapshot) Dim() int {
+	d := 0
+	for _, k := range sn.keys {
+		d += sn.layout.KeySize(k)
+	}
+	return d
+}
+
+// Get returns key k's frozen segment. The slice is immutable; callers
+// may alias it but must not write through it.
+func (sn *Snapshot) Get(k keyrange.Key) ([]float64, bool) {
+	seg, ok := sn.stripes[int(stripeHash(k)>>sn.shift)][k]
+	return seg, ok
+}
+
+// Gather appends the snapshot's segments for keys (in the given order)
+// to dst — the snapshot-side counterpart of Shard.GatherShard, callable
+// lock-free from any goroutine.
+func (sn *Snapshot) Gather(dst []float64, keys []keyrange.Key) ([]float64, error) {
+	for _, k := range keys {
+		seg, ok := sn.Get(k)
+		if !ok {
+			return nil, unknownKey("snapshot-gather", k)
+		}
+		dst = append(dst, seg...)
+	}
+	return dst, nil
+}
+
+// Flat returns the full-shard payload: every segment concatenated in
+// key order. It is materialized once per snapshot by the first caller
+// (off the apply path) and shared by all subsequent ones; the returned
+// slice is immutable.
+func (sn *Snapshot) Flat() []float64 {
+	sn.flatOnce.Do(func() {
+		flat := make([]float64, 0, sn.Dim())
+		for _, k := range sn.keys {
+			seg, _ := sn.Get(k)
+			flat = append(flat, seg...)
+		}
+		sn.flat = flat
+	})
+	return sn.flat
+}
+
+// ROSnapshot returns the current published snapshot, or nil if none has
+// been published yet. Lock-free; safe from any goroutine.
+func (s *Shard) ROSnapshot() *Snapshot { return s.snap.Load() }
+
+// PublishSnapshot freezes the shard's current state as the next epoch
+// and installs it with one atomic pointer swap. Only stripes dirtied
+// since the previous publish are re-materialized; clean stripes share
+// the previous snapshot's frozen maps. Requires quiescence (no
+// concurrent appliers), like GatherShard.
+func (s *Shard) PublishSnapshot(vtrain int) *Snapshot {
+	prev := s.snap.Load()
+	sn := &Snapshot{
+		VTrain:  vtrain,
+		layout:  s.layout,
+		keys:    append([]keyrange.Key(nil), s.keys...),
+		stripes: make([]map[keyrange.Key][]float64, len(s.stripes)),
+		shift:   s.shift,
+	}
+	if prev == nil {
+		sn.Epoch = 1
+	} else {
+		sn.Epoch = prev.Epoch + 1
+	}
+	for i := range s.stripes {
+		sp := &s.stripes[i]
+		if prev != nil && !sp.dirty {
+			sn.stripes[i] = prev.stripes[i]
+			continue
+		}
+		frozen := make(map[keyrange.Key][]float64, len(sp.data))
+		for k, seg := range sp.data {
+			frozen[k] = append([]float64(nil), seg...)
+		}
+		sn.stripes[i] = frozen
+		sp.dirty = false
+	}
+	s.snap.Store(sn)
+	return sn
+}

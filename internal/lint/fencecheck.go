@@ -28,6 +28,12 @@ import (
 //
 // dedupLookup is allowed anywhere: the documented order is dedup-first
 // (a duplicate must be re-acked even when stale).
+//
+// PR 10 adds a second region kind: MsgPullRO case bodies are *read-only*
+// regions. The read tier serves from published snapshots and must never
+// touch the controller, the dedup table, or a mutating shard method at
+// all — there is no fence that makes such a touch legal, so every
+// protected touch is flagged regardless of staleFenced ordering.
 
 // FenceCheck returns the fencecheck analyzer.
 func FenceCheck() *Analyzer {
@@ -41,6 +47,7 @@ func FenceCheck() *Analyzer {
 // shardReadOnly are shard methods that never mutate: safe pre-fence.
 var shardReadOnly = map[string]bool{
 	"Has": true, "Keys": true, "NumStripes": true, "StripeOf": true, "KeySize": true,
+	"ROSnapshot": true,
 }
 
 func runFenceCheck(pass *Pass) {
@@ -54,9 +61,10 @@ func runFenceCheck(pass *Pass) {
 	// Collect handler regions: MsgPush/MsgPull case bodies, plus the
 	// declarations of same-package functions called with the message.
 	type region struct {
-		body []ast.Stmt
-		pos  token.Pos
-		name string
+		body     []ast.Stmt
+		pos      token.Pos
+		name     string
+		readOnly bool // MsgPullRO region: no fence can legalize a touch
 	}
 	var regions []region
 	seenFunc := make(map[*ast.FuncDecl]bool)
@@ -78,18 +86,25 @@ func runFenceCheck(pass *Pass) {
 			if !ok || cc.List == nil {
 				continue
 			}
-			dataPlane := false
+			dataPlane, readOnly := false, false
 			for _, e := range cc.List {
 				if mc := msgTypeConst(info, e); mc != nil {
-					if mc.Name() == "MsgPush" || mc.Name() == "MsgPull" {
+					switch mc.Name() {
+					case "MsgPush", "MsgPull":
 						dataPlane = true
+					case "MsgPullRO":
+						readOnly = true
 					}
 				}
 			}
-			if !dataPlane {
+			if !dataPlane && !readOnly {
 				continue
 			}
-			regions = append(regions, region{body: cc.Body, pos: cc.Pos(), name: "MsgPush/MsgPull case"})
+			name := "MsgPush/MsgPull case"
+			if readOnly {
+				name = "MsgPullRO case"
+			}
+			regions = append(regions, region{body: cc.Body, pos: cc.Pos(), name: name, readOnly: readOnly})
 			// One level deep: functions the case hands the message to.
 			for _, s := range cc.Body {
 				ast.Inspect(s, func(n ast.Node) bool {
@@ -108,7 +123,7 @@ func runFenceCheck(pass *Pass) {
 					}
 					if fd := declOf(call); fd != nil && !seenFunc[fd] {
 						seenFunc[fd] = true
-						regions = append(regions, region{body: fd.Body.List, pos: fd.Pos(), name: fd.Name.Name})
+						regions = append(regions, region{body: fd.Body.List, pos: fd.Pos(), name: fd.Name.Name, readOnly: readOnly})
 					}
 					return true
 				})
@@ -117,7 +132,7 @@ func runFenceCheck(pass *Pass) {
 	}
 
 	for _, r := range regions {
-		checkFenceRegion(pass, r.body, r.name)
+		checkFenceRegion(pass, r.body, r.name, r.readOnly)
 	}
 }
 
@@ -136,8 +151,9 @@ func declaresStaleFenced(pkg *Package) bool {
 
 // checkFenceRegion flags protected touches that precede the region's
 // first staleFenced call (or any protected touch when the region never
-// fences).
-func checkFenceRegion(pass *Pass, body []ast.Stmt, name string) {
+// fences). In a readOnly region (MsgPullRO) no fence can legalize a
+// touch: every protected touch is flagged.
+func checkFenceRegion(pass *Pass, body []ast.Stmt, name string, readOnly bool) {
 	fencePos := token.NoPos
 	type touch struct {
 		pos  token.Pos
@@ -181,10 +197,12 @@ func checkFenceRegion(pass *Pass, body []ast.Stmt, name string) {
 		})
 	}
 	for _, t := range touches {
-		if fencePos != token.NoPos && fencePos <= t.pos {
+		msg := "%s touches %s before consulting the view-epoch fence (staleFenced): stale data-plane messages must be rejected first"
+		if readOnly {
+			msg = "%s touches %s inside a read-only (MsgPullRO) region: the read tier must serve from published snapshots only"
+		} else if fencePos != token.NoPos && fencePos <= t.pos {
 			continue
 		}
-		msg := "%s touches %s before consulting the view-epoch fence (staleFenced): stale data-plane messages must be rejected first"
 		if pass.Pkg.IsTestPos(t.pos) {
 			pass.Warnf("fencecheck", t.pos, msg, name, t.what)
 		} else {

@@ -22,6 +22,7 @@ func Analyzers() []*Analyzer {
 		HandlerCheck(),
 		FenceCheck(),
 		LeakCheck(),
+		SegCheck(),
 	}
 }
 

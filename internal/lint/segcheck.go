@@ -1,0 +1,67 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// segcheck guards the kvstore live-slice boundary (PR 10 read tier).
+// Shard.Segment returns the segment slice *itself* — storage that the
+// apply path keeps mutating under stripe locks. Inside package kvstore
+// that aliasing is deliberate (the snapshot publisher and checkpoint
+// writer read it under the stripe lock); anywhere else it is a data
+// race waiting for a concurrent ApplyGrad: the caller holds no lock,
+// and the read tier's whole design is that readers never take one.
+//
+// Out-of-package readers have race-free alternatives: ReadInto and
+// GatherShard copy under the stripe lock, and Snapshot.Get/Gather/Flat
+// read immutable published epochs. segcheck flags every Segment call on
+// a kvstore.Shard outside its declaring package — as a failure in
+// production code, a warning in tests (single-goroutine test inspection
+// is benign but still sets a bad example next to the copying APIs).
+
+// SegCheck returns the segcheck analyzer.
+func SegCheck() *Analyzer {
+	return &Analyzer{
+		Name: "segcheck",
+		Doc:  "kvstore.Shard.Segment escapes a live mutable slice: callers outside kvstore must copy (ReadInto/GatherShard) or read a published snapshot",
+		Run:  runSegCheck,
+	}
+}
+
+// isShardType reports whether t is kvstore.Shard (by value or pointer).
+func isShardType(t types.Type) bool {
+	path, name := namedTypePath(t)
+	return name == "Shard" && hasPathSuffix(path, "internal/kvstore")
+}
+
+func runSegCheck(pass *Pass) {
+	// The declaring package aliases by design.
+	if hasPathSuffix(pass.Pkg.Path, "internal/kvstore") || hasPathSuffix(pass.Pkg.Path, "internal/kvstore_test") {
+		return
+	}
+	info := pass.Pkg.Info
+	for _, f := range pass.Pkg.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Segment" {
+				return true
+			}
+			tv, ok := info.Types[sel.X]
+			if !ok || !isShardType(tv.Type) {
+				return true
+			}
+			msg := "Segment aliases live stripe storage outside kvstore: copy with ReadInto/GatherShard or serve from ROSnapshot"
+			if pass.Pkg.IsTestPos(call.Pos()) {
+				pass.Warnf("segcheck", call.Pos(), msg)
+			} else {
+				pass.Reportf("segcheck", call.Pos(), msg)
+			}
+			return true
+		})
+	}
+}

@@ -14,8 +14,13 @@ func (c *controller) OnPush(seq uint64) { c.pushes = seq }
 
 type shardT struct{ vals map[uint64]float64 }
 
-func (s *shardT) Has(k uint64) bool { _, ok := s.vals[k]; return ok }
-func (s *shardT) Apply(k uint64)    { s.vals[k]++ }
+func (s *shardT) Has(k uint64) bool      { _, ok := s.vals[k]; return ok }
+func (s *shardT) Apply(k uint64)         { s.vals[k]++ }
+func (s *shardT) ROSnapshot() *snapshotT { return &snapshotT{} }
+
+type snapshotT struct{ Epoch uint64 }
+
+func (sn *snapshotT) Flat() []float64 { return nil }
 
 type srv struct {
 	ctrl  *controller
@@ -100,4 +105,50 @@ func (s *srv) holdCheck(m *transport.Message) {
 // A handler that never fences at all: every protected touch is flagged.
 func (s *srv) neverFences(m *transport.Message) {
 	s.ctrl.OnPush(m.Seq) // want "neverFences touches the controller \(OnPush\) before consulting the view-epoch fence"
+}
+
+// apply3 dispatches the read tier: MsgPullRO case bodies (and their
+// one-level callees) are read-only regions where no fence legalizes a
+// protected touch.
+func (s *srv) apply3(m *transport.Message) {
+	switch m.Type {
+	case transport.MsgPullRO:
+		s.handleRO(m)
+	case transport.MsgStats:
+		s.handleROBadInline(m)
+	}
+}
+
+// Clean: an RO handler reads the published snapshot only. ROSnapshot is
+// a read-only inspector like Has.
+func (s *srv) handleRO(m *transport.Message) {
+	sn := s.shard.ROSnapshot()
+	_ = sn.Flat()
+}
+
+// apply4's MsgPullRO case touches protected state directly in the case
+// body — flagged even though it fences first, because no fence makes a
+// controller touch legal on the read tier.
+func (s *srv) apply4(m *transport.Message) {
+	switch m.Type {
+	case transport.MsgPullRO:
+		if s.staleFenced(m.Seq) {
+			return
+		}
+		s.ctrl.OnPush(m.Seq) // want "MsgPullRO case touches the controller \(OnPush\) inside a read-only \(MsgPullRO\) region"
+		s.handleROBad(m)
+	}
+}
+
+// A callee reached from an RO case: its shard mutation is flagged under
+// the read-only rule.
+func (s *srv) handleROBad(m *transport.Message) {
+	s.shard.Apply(m.Seq) // want "handleROBad touches shard state \(Apply\) inside a read-only \(MsgPullRO\) region"
+}
+
+// Reached only from a non-RO case (apply3's MsgStats): MsgStats is not a
+// data-plane case, so this stays unflagged — the read-only rule follows
+// the RO dispatch edge, not every caller.
+func (s *srv) handleROBadInline(m *transport.Message) {
+	s.dedupRecord(m.Seq)
 }

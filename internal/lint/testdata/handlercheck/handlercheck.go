@@ -75,3 +75,19 @@ func handle(m *transport.Message) {
 		transport.ReleaseReceived(m)
 	}
 }
+
+// The read-tier family (PR 10): MsgPullRO dispatches like any data-plane
+// type; a resp/retry case that never touches the message is flagged the
+// same way.
+func handleRO(m *transport.Message) {
+	switch m.Type {
+	case transport.MsgPullRO:
+		transport.ReleaseReceived(m)
+	case transport.MsgPullROResp:
+		transport.ReleaseReceived(m)
+	case transport.MsgPullRORetry: // want "dispatch case MsgPullRORetry never touches the received message"
+		viewEpoch++
+	default:
+		transport.ReleaseReceived(m)
+	}
+}

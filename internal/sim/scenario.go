@@ -70,6 +70,18 @@ type Scenario struct {
 	AdaptEvery float64                  `json:"adaptEvery,omitempty"`
 	Adaptive   syncmodel.AdaptiveConfig `json:"adaptive,omitempty"`
 
+	// Readers adds a read-only serving tier to the cell: this many
+	// open-loop clients pull epoch snapshots (the MsgPullRO path) from the
+	// servers round-robin, each waiting ~ReadEvery (exponential) between
+	// pulls. Snapshots are copies of a rank's parameters published when its
+	// V_train has advanced SnapshotEvery ticks since the last publish
+	// (0 = every tick, <0 = never; readers then only see the boot
+	// snapshot). Readers never touch the sync path, so a cell's training
+	// trajectory is bit-identical with readers on or off.
+	Readers       int     `json:"readers,omitempty"`
+	ReadEvery     float64 `json:"readEvery,omitempty"`
+	SnapshotEvery int     `json:"snapshotEvery,omitempty"`
+
 	// RTO is the worker/replication retransmission timeout; only used in
 	// cells that can lose messages (loss or server failures).
 	RTO float64 `json:"rto,omitempty"`
@@ -126,6 +138,12 @@ func (sc Scenario) withDefaults() Scenario {
 	if sc.Eta == 0 {
 		sc.Eta = 0.05
 	}
+	if sc.Readers > 0 && sc.ReadEvery == 0 {
+		sc.ReadEvery = 0.25
+	}
+	if sc.Readers > 0 && sc.SnapshotEvery == 0 {
+		sc.SnapshotEvery = 1
+	}
 	if sc.RTO == 0 {
 		sc.RTO = 1.0
 	}
@@ -157,6 +175,10 @@ func (sc Scenario) Validate() error {
 		return fmt.Errorf("sim: invalid workload (eta=%v dim=%d noise=%v)", sc.Eta, sc.Dim, sc.Noise)
 	case sc.RTO <= 0 || sc.DetectDelay < 0:
 		return fmt.Errorf("sim: invalid timers (rto=%v detectDelay=%v)", sc.RTO, sc.DetectDelay)
+	case sc.Readers < 0:
+		return fmt.Errorf("sim: readers must be non-negative, got %d", sc.Readers)
+	case sc.Readers > 0 && sc.ReadEvery <= 0:
+		return fmt.Errorf("sim: readEvery must be positive with readers, got %v", sc.ReadEvery)
 	case sc.AdaptEvery < 0:
 		return fmt.Errorf("sim: adaptive tick period must be non-negative, got %v", sc.AdaptEvery)
 	}

@@ -44,6 +44,8 @@ func TestScenarioValidation(t *testing.T) {
 		{"drop quorum high", func(s *Scenario) { s.Policy = "drop:99" }, "quorum"},
 		{"dsps inverted", func(s *Scenario) { s.Policy = "dsps:5:6:2" }, "DSPS"},
 		{"bad compute", func(s *Scenario) { s.Compute.Mean = -1 }, "compute mean"},
+		{"negative readers", func(s *Scenario) { s.Readers = -1 }, "readers"},
+		{"bad readEvery", func(s *Scenario) { s.Readers = 2; s.ReadEvery = -1 }, "readEvery"},
 		{"churn rank range", func(s *Scenario) {
 			s.Hazards.Churn = []ChurnEvent{{Worker: 16, LeaveAt: 1}}
 		}, "out of range"},

@@ -63,6 +63,15 @@ type ScenarioResult struct {
 	// wall-clock score the adaptive controller competes on.
 	TimeLoss float64 `json:"timeLoss"`
 
+	// Read-tier counters (cells with Readers > 0): answered RO pulls,
+	// snapshots published across all lineages, and the worst V_train lag
+	// any served snapshot had behind its rank's live clock — the observed
+	// staleness bound of the read tier.
+	Readers     int `json:"readers,omitempty"`
+	ROPulls     int `json:"roPulls,omitempty"`
+	ROSnapshots int `json:"roSnapshots,omitempty"`
+	ROMaxLagV   int `json:"roMaxLagV,omitempty"`
+
 	DPRs          int `json:"dprs"`
 	DroppedPushes int `json:"droppedPushes"`
 	Switches      int `json:"switches"`
@@ -88,9 +97,9 @@ type ScenarioResult struct {
 	VTrainMonotone bool `json:"vtrainMonotone"`
 
 	// Determinism witnesses (large; omitted from JSON scorecards).
-	FinalParams []float64      `json:"-"`
-	VTrainTrace []VTrainPoint  `json:"-"`
-	SwitchLog   []SwitchPoint  `json:"-"`
+	FinalParams []float64     `json:"-"`
+	VTrainTrace []VTrainPoint `json:"-"`
+	SwitchLog   []SwitchPoint `json:"-"`
 }
 
 // auditContrib is the integer-valued audit weight of worker w's push for
@@ -166,6 +175,23 @@ type scnServer struct {
 	pending    []*scnWave
 	retrying   bool
 	mir        *scnMirror
+
+	// Read-tier snapshot: an immutable copy of params published when the
+	// rank's V_train has advanced SnapshotEvery ticks since snapPubV. RO
+	// pulls are answered from it without touching the sync path.
+	snapParams []float64
+	snapEpoch  int
+	snapVTrain int
+	snapPubV   int
+}
+
+// scnReader is one read-only client: an open-loop snapshot puller that
+// never participates in synchronization.
+type scnReader struct {
+	rank int
+	node int
+	rng  *rand.Rand
+	next int // round-robin server cursor
 }
 
 // scnWorker is one training worker.
@@ -206,21 +232,26 @@ type scnRun struct {
 
 	workers []*scnWorker
 	servers []*scnServer
+	readers []*scnReader
 
 	departedNow map[int]bool
 	needRetry   bool
 	grace       float64
 	adaptEvery  float64
 
-	updates   int
-	regretSum float64
-	lossCurve []float64 // dataset loss of the assembled model, per checkpoint
-	vtrainHi   []int // per rank: max V_train exposed via acked pushes
+	updates    int
+	regretSum  float64
+	lossCurve  []float64 // dataset loss of the assembled model, per checkpoint
+	vtrainHi   []int     // per rank: max V_train exposed via acked pushes
 	lastV0     int
 	trace      []VTrainPoint
 	switchLog  []SwitchPoint
 	retransmit int
 	dedup      int
+
+	roPulls  int
+	roSnaps  int
+	roMaxLag int
 
 	monotone  bool
 	onceOK    bool
@@ -266,6 +297,9 @@ func RunScenario(sc Scenario) (*ScenarioResult, error) {
 	for _, w := range r.workers {
 		r.startIter(w)
 	}
+	for _, rd := range r.readers {
+		r.scheduleRead(rd)
+	}
 	if r.adapt {
 		r.eng.After(r.adaptEvery, r.adaptTick)
 	}
@@ -282,7 +316,8 @@ func RunScenario(sc Scenario) (*ScenarioResult, error) {
 	return r.finish(total), nil
 }
 
-// node-id layout: workers [0,W), primaries [W,W+S), backups [W+S,W+2S).
+// node-id layout: workers [0,W), primaries [W,W+S), backups [W+S,W+2S),
+// readers after every replica.
 func (r *scnRun) workerNode(w int) int { return w }
 func (r *scnRun) primaryNode(m int) int {
 	return r.sc.Workers + m
@@ -290,10 +325,13 @@ func (r *scnRun) primaryNode(m int) int {
 func (r *scnRun) backupNode(m int) int {
 	return r.sc.Workers + r.sc.Servers + m
 }
+func (r *scnRun) readerNode(k int) int {
+	return r.sc.Workers + r.sc.Servers*r.sc.Replicas + k
+}
 
 func (r *scnRun) setup() {
 	sc := r.sc
-	nodes := sc.Workers + sc.Servers*sc.Replicas
+	nodes := sc.Workers + sc.Servers*sc.Replicas + sc.Readers
 	r.net = newNetwork(sc.Net, r.eng, nodes)
 	r.installTopology(nodes)
 
@@ -339,7 +377,20 @@ func (r *scnRun) setup() {
 				ackedSeq:    -1,
 			}
 		}
+		if sc.Readers > 0 {
+			r.publishSnapshot(s) // boot snapshot: epoch 1 at V_train 0
+		}
 		r.servers[m] = s
+	}
+
+	r.readers = make([]*scnReader, sc.Readers)
+	for k := range r.readers {
+		r.readers[k] = &scnReader{
+			rank: k,
+			node: r.readerNode(k),
+			rng:  rngFor(sc.Seed, fmt.Sprintf("scn.reader.%d", k)),
+			next: k % sc.Servers, // spread first pulls across ranks
+		}
 	}
 
 	r.workers = make([]*scnWorker, sc.Workers)
@@ -400,6 +451,9 @@ func (r *scnRun) installTopology(nodes int) {
 		}
 		for m := 0; m < sc.Servers*(sc.Replicas-1); m++ {
 			dc[sc.Workers+sc.Servers+m] = (sc.Workers + m) % 2
+		}
+		for k := 0; k < sc.Readers; k++ {
+			dc[r.readerNode(k)] = k % 2
 		}
 		r.net.setLinks(func(u, v int) LinkClass {
 			if dc[u] == dc[v] {
@@ -571,6 +625,12 @@ func (r *scnRun) promote(m int) {
 	s.pending = nil
 	s.alive = true
 	s.dead = false
+	if r.sc.Readers > 0 {
+		// Fresh boot snapshot from the adopted state: the restored clock may
+		// sit below the dead primary's last publish, so the every-N rule
+		// alone would never fire again.
+		r.publishSnapshot(s)
+	}
 	r.noteVTrain(s)
 }
 
@@ -928,6 +988,62 @@ func (r *scnRun) onWaveAck(s *scnServer, dst, seq int) {
 	s.pending = s.pending[k:]
 }
 
+// ---- read tier ----
+
+// publishSnapshot re-materializes rank s's snapshot from its current
+// parameters — the sim-scale analogue of the server's atomic pointer swap.
+func (r *scnRun) publishSnapshot(s *scnServer) {
+	s.snapParams = append([]float64(nil), s.params...)
+	s.snapEpoch++
+	s.snapVTrain = s.ctrl.VTrain()
+	s.snapPubV = s.snapVTrain
+	r.roSnaps++
+}
+
+// maybeSnapshot publishes when the rank's clock has advanced SnapshotEvery
+// ticks since the last publish. Called from noteVTrain, which every
+// V_train-advancing path already goes through.
+func (r *scnRun) maybeSnapshot(s *scnServer) {
+	if r.sc.Readers == 0 || r.sc.SnapshotEvery < 0 {
+		return
+	}
+	if s.ctrl.VTrain()-s.snapPubV >= r.sc.SnapshotEvery {
+		r.publishSnapshot(s)
+	}
+}
+
+// scheduleRead is the open-loop reader cadence: a pull every ~ReadEvery
+// (exponential), regardless of whether earlier answers arrived. Readers
+// are best-effort — a pull landing on a dead or moved rank is simply lost.
+func (r *scnRun) scheduleRead(rd *scnReader) {
+	think := rd.rng.ExpFloat64() * r.sc.ReadEvery
+	r.eng.After(think, func() {
+		if r.eng.Now() >= r.sc.Budget {
+			return
+		}
+		s := r.servers[rd.next%r.sc.Servers]
+		rd.next++
+		dst := s.node
+		r.net.send(rd.node, dst, ctrlBytes, func() { r.handleROPull(s, dst, rd) })
+		r.scheduleRead(rd)
+	})
+}
+
+// handleROPull answers a read-only pull from the rank's published
+// snapshot: no controller, no pending-pull bookkeeping, no effect on the
+// training trajectory.
+func (r *scnRun) handleROPull(s *scnServer, dst int, rd *scnReader) {
+	if stale(s, dst) {
+		return
+	}
+	if lag := s.ctrl.VTrain() - s.snapVTrain; lag > r.roMaxLag {
+		r.roMaxLag = lag
+	}
+	r.net.send(s.node, rd.node, msgBytes(len(s.snapParams)), func() {
+		r.roPulls++
+	})
+}
+
 // ---- adaptive loop ----
 
 func (r *scnRun) adaptTick() {
@@ -954,8 +1070,11 @@ func (r *scnRun) adaptTick() {
 // ---- bookkeeping ----
 
 // noteVTrain records server 0's V_train advances for the determinism
-// witness trace. Within a lineage the clock must never step back.
+// witness trace. Within a lineage the clock must never step back. Every
+// clock-advancing path runs through here, so it doubles as the read
+// tier's publish point.
 func (r *scnRun) noteVTrain(s *scnServer) {
+	r.maybeSnapshot(s)
 	if s.rank != 0 {
 		return
 	}
@@ -1030,11 +1149,15 @@ func (r *scnRun) finish(total float64) *ScenarioResult {
 	res := &ScenarioResult{
 		Name: sc.Name, Policy: sc.Policy, Topology: sc.Topology,
 		Workers: sc.Workers, Servers: sc.Servers, Replicas: sc.Replicas,
-		TotalTime:  total,
-		Updates:    r.updates,
-		Throughput: float64(r.updates) / sc.Budget,
-		FinalLoss:  r.lin.MeanLoss(final, r.data),
-		Switches:   r.switches,
+		TotalTime:   total,
+		Updates:     r.updates,
+		Throughput:  float64(r.updates) / sc.Budget,
+		FinalLoss:   r.lin.MeanLoss(final, r.data),
+		Switches:    r.switches,
+		Readers:     sc.Readers,
+		ROPulls:     r.roPulls,
+		ROSnapshots: r.roSnaps,
+		ROMaxLagV:   r.roMaxLag,
 		Retransmits: r.retransmit,
 		DedupHits:   r.dedup,
 		LostMsgs:    int(r.net.drops),

@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+)
+
+// scnReadCell is a small fan-out cell: 8 trainers plus a read tier.
+func scnReadCell(readers int) Scenario {
+	sc := scnBase()
+	sc.Name = "read-cell"
+	sc.Workers = 8
+	sc.Readers = readers
+	sc.ReadEvery = 0.1
+	return sc
+}
+
+// TestScenarioReadTier runs a cell with read-only clients and checks the
+// tier's scorecard: pulls were answered from published snapshots, every
+// rank published at least its boot snapshot, and the training invariants
+// still hold with readers attached.
+func TestScenarioReadTier(t *testing.T) {
+	res, err := RunScenario(scnReadCell(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("exactly-once violated: %s", res.ExactlyOnceErr)
+	}
+	if !res.VTrainMonotone {
+		t.Fatal("V_train monotonicity violated")
+	}
+	if res.Readers != 6 {
+		t.Fatalf("Readers = %d, want 6", res.Readers)
+	}
+	// 6 open-loop readers at ~10 pulls/s over a 10s budget: hundreds of
+	// pulls even after in-flight losses at the budget edge.
+	if res.ROPulls < 100 {
+		t.Fatalf("ROPulls = %d, want ≥ 100", res.ROPulls)
+	}
+	// Boot snapshots alone give one per rank; training advances V_train,
+	// so the every-tick default must republish many times.
+	if res.ROSnapshots <= res.Servers {
+		t.Fatalf("ROSnapshots = %d, want > %d boot snapshots", res.ROSnapshots, res.Servers)
+	}
+	if res.ROMaxLagV < 0 {
+		t.Fatalf("ROMaxLagV = %d, want ≥ 0", res.ROMaxLagV)
+	}
+}
+
+// TestScenarioReadTierDeterministic: the same read cell twice is
+// bit-identical, counters included.
+func TestScenarioReadTierDeterministic(t *testing.T) {
+	a, err := RunScenario(scnReadCell(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunScenario(scnReadCell(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ROPulls != b.ROPulls || a.ROSnapshots != b.ROSnapshots || a.ROMaxLagV != b.ROMaxLagV {
+		t.Fatalf("read-tier counters differ across identical runs: %d/%d/%d vs %d/%d/%d",
+			a.ROPulls, a.ROSnapshots, a.ROMaxLagV, b.ROPulls, b.ROSnapshots, b.ROMaxLagV)
+	}
+	if !reflect.DeepEqual(a.FinalParams, b.FinalParams) {
+		t.Fatal("final parameters differ across identical runs")
+	}
+}
+
+// TestScenarioReadTierIsolation is the load-bearing property of the RO
+// path: readers never touch the sync machinery, so attaching them must
+// leave the training trajectory bit-identical — same updates, same
+// V_train trace, same final parameters.
+func TestScenarioReadTierIsolation(t *testing.T) {
+	with, err := RunScenario(scnReadCell(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := RunScenario(scnReadCell(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if with.Updates != without.Updates {
+		t.Fatalf("readers changed the update count: %d vs %d", with.Updates, without.Updates)
+	}
+	if !reflect.DeepEqual(with.VTrainTrace, without.VTrainTrace) {
+		t.Fatal("readers changed the V_train trace")
+	}
+	if !reflect.DeepEqual(with.FinalParams, without.FinalParams) {
+		t.Fatal("readers changed the final parameters")
+	}
+	if without.ROPulls != 0 || without.ROSnapshots != 0 {
+		t.Fatalf("reader-free cell recorded read-tier activity: %d pulls, %d snapshots",
+			without.ROPulls, without.ROSnapshots)
+	}
+}
+
+// TestScenarioReadTierFrozen: SnapshotEvery < 0 never republishes, so
+// readers only ever see the per-rank boot snapshot — and pulls still
+// succeed, because serving is decoupled from publishing.
+func TestScenarioReadTierFrozen(t *testing.T) {
+	sc := scnReadCell(3)
+	sc.SnapshotEvery = -1
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ROSnapshots != res.Servers {
+		t.Fatalf("ROSnapshots = %d, want exactly %d boot snapshots", res.ROSnapshots, res.Servers)
+	}
+	if res.ROPulls < 50 {
+		t.Fatalf("ROPulls = %d, want ≥ 50", res.ROPulls)
+	}
+	// The frozen snapshot's staleness grows with every clock tick, so the
+	// observed lag must be substantial by the end of the budget.
+	if res.ROMaxLagV < 1 {
+		t.Fatalf("ROMaxLagV = %d, want ≥ 1 with a frozen snapshot", res.ROMaxLagV)
+	}
+}
+
+// TestScenarioReadTierFailover: a permanent kill with readers attached —
+// the promoted incarnation publishes a fresh boot snapshot and keeps
+// serving, and the training invariants survive.
+func TestScenarioReadTierFailover(t *testing.T) {
+	sc := scnReadCell(4)
+	sc.Replicas = 2
+	sc.Hazards.Failures = []ServerFailure{{Server: 0, KillAt: 4}}
+	res, err := RunScenario(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ExactlyOnce {
+		t.Fatalf("exactly-once violated: %s", res.ExactlyOnceErr)
+	}
+	if !res.VTrainMonotone {
+		t.Fatal("V_train monotonicity violated")
+	}
+	if res.Promotions != 1 {
+		t.Fatalf("Promotions = %d, want 1", res.Promotions)
+	}
+	if res.ROPulls < 50 {
+		t.Fatalf("ROPulls = %d, want ≥ 50 across the failover", res.ROPulls)
+	}
+}

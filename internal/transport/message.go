@@ -137,6 +137,23 @@ const (
 	// echoes the rejected request and Vals carries the server's current
 	// encoded view so the sender can adopt it and re-issue.
 	MsgStaleView
+	// MsgPullRO requests a lock-free read-only pull served from the
+	// server's current epoch snapshot, never the live shard. For RO
+	// messages the View field is reinterpreted as a snapshot-epoch stamp
+	// (the low 32 bits of kvstore.Snapshot.Epoch), not a cluster-view
+	// epoch: the request's View is the client's minimum-epoch bound (0 =
+	// any epoch). Empty Keys means the whole shard.
+	MsgPullRO
+	// MsgPullROResp answers MsgPullRO: Vals carries the snapshot
+	// segments, View the served snapshot's epoch stamp, and Progress the
+	// snapshot's V_train cut — the client's bounded-staleness evidence.
+	//lint:dispatch response type, consumed inline by the RO client's await loop
+	MsgPullROResp
+	// MsgPullRORetry rejects a MsgPullRO under admission control (reader
+	// pool saturated) or when no snapshot satisfies the epoch bound yet;
+	// Progress carries a retry-after hint in milliseconds.
+	//lint:dispatch response type, consumed inline by the RO client's await loop
+	MsgPullRORetry
 )
 
 // String returns a short message-type name.
@@ -192,6 +209,12 @@ func (t MsgType) String() string {
 		return "promote_ack"
 	case MsgStaleView:
 		return "stale_view"
+	case MsgPullRO:
+		return "pull_ro"
+	case MsgPullROResp:
+		return "pull_ro_resp"
+	case MsgPullRORetry:
+		return "pull_ro_retry"
 	default:
 		return fmt.Sprintf("msgtype(%d)", uint8(t))
 	}

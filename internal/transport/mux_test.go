@@ -1,0 +1,521 @@
+package transport
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/fluentps/fluentps/internal/keyrange"
+	"github.com/fluentps/fluentps/internal/telemetry"
+)
+
+// muxPair wires a client and server session over an in-memory pipe and
+// tears both down with the test.
+func muxPair(t *testing.T, cfg MuxConfig) (*MuxSession, *MuxSession) {
+	t.Helper()
+	cc, sc := net.Pipe()
+	client := NewMuxClient(cc, cfg)
+	server := NewMuxServer(sc, cfg)
+	t.Cleanup(func() {
+		_ = client.Close()
+		_ = server.Close()
+	})
+	return client, server
+}
+
+func muxMsg(seq uint64) *Message {
+	return &Message{
+		Type: MsgPullRO,
+		From: Worker(3),
+		To:   Server(0),
+		Seq:  seq,
+		View: 7,
+		Keys: []keyrange.Key{1, 4},
+		Vals: []float64{0.5, -2, 42},
+	}
+}
+
+func TestMuxRoundTrip(t *testing.T) {
+	client, server := muxPair(t, MuxConfig{})
+
+	st, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(muxMsg(11)); err != nil {
+		t.Fatal(err)
+	}
+
+	acc, err := server.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acc.ID() != st.ID() {
+		t.Fatalf("accepted stream id %d, opened %d", acc.ID(), st.ID())
+	}
+	got, err := acc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := muxMsg(11)
+	if got.Type != want.Type || got.Seq != want.Seq || got.View != want.View ||
+		len(got.Keys) != 2 || got.Keys[1] != 4 || len(got.Vals) != 3 || got.Vals[2] != 42 {
+		t.Fatalf("round-trip mangled the message: %+v", got)
+	}
+	ReleaseReceived(got)
+
+	// And the response direction (uncredited).
+	resp := &Message{Type: MsgPullROResp, To: Worker(3), Seq: 11, Vals: []float64{1}}
+	if err := acc.Send(resp); err != nil {
+		t.Fatal(err)
+	}
+	back, err := st.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Type != MsgPullROResp || back.Seq != 11 {
+		t.Fatalf("response mangled: %+v", back)
+	}
+	ReleaseReceived(back)
+}
+
+// Many concurrent streams on one session: every message arrives on the
+// stream that sent it, in order.
+func TestMuxConcurrentStreams(t *testing.T) {
+	const streams, msgs = 8, 25
+	client, server := muxPair(t, MuxConfig{})
+
+	// Server: echo every message back on its own stream.
+	go func() {
+		for {
+			st, err := server.AcceptStream()
+			if err != nil {
+				return
+			}
+			go func(st *MuxStream) {
+				for {
+					m, err := st.Recv()
+					if err != nil {
+						return
+					}
+					resp := &Message{Type: MsgPullROResp, Seq: m.Seq, Vals: append([]float64(nil), m.Vals...)}
+					ReleaseReceived(m)
+					if st.Send(resp) != nil {
+						return
+					}
+				}
+			}(st)
+		}
+	}()
+
+	var wg sync.WaitGroup
+	errs := make(chan error, streams)
+	for i := 0; i < streams; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st, err := client.OpenStream()
+			if err != nil {
+				errs <- err
+				return
+			}
+			for seq := uint64(1); seq <= msgs; seq++ {
+				m := muxMsg(seq)
+				m.Vals = []float64{float64(i), float64(seq)}
+				if err := st.Send(m); err != nil {
+					errs <- err
+					return
+				}
+				r, err := st.Recv()
+				if err != nil {
+					errs <- err
+					return
+				}
+				if r.Seq != seq || len(r.Vals) != 2 || r.Vals[0] != float64(i) || r.Vals[1] != float64(seq) {
+					errs <- fmt.Errorf("stream %d: echo mismatch %+v at seq %d", i, r, seq)
+					ReleaseReceived(r)
+					return
+				}
+				ReleaseReceived(r)
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// With a one-credit window, a second Send must block until the acceptor
+// consumes the first message (returning the credit), and the wait must
+// land in the stall histogram.
+func TestMuxCreditBlocking(t *testing.T) {
+	reg := telemetry.New()
+	client, server := muxPair(t, MuxConfig{Window: 1, Telemetry: reg})
+
+	st, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(muxMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := server.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sent2 := make(chan error, 1)
+	go func() { sent2 <- st.Send(muxMsg(2)) }()
+	select {
+	case err := <-sent2:
+		t.Fatalf("second send completed with the window empty (err=%v)", err)
+	case <-time.After(30 * time.Millisecond):
+	}
+
+	m, err := acc.Recv() // consumes message 1, returns one credit
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleaseReceived(m)
+	if err := <-sent2; err != nil {
+		t.Fatalf("second send after credit return: %v", err)
+	}
+	m, err = acc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Seq != 2 {
+		t.Fatalf("got seq %d, want 2", m.Seq)
+	}
+	ReleaseReceived(m)
+	if reg.Histogram("transport.stream_stall_ns").Count() == 0 {
+		t.Error("blocked send recorded no stall sample")
+	}
+}
+
+// At MaxStreams the acceptor answers new streams with muxReject; the
+// initiator surfaces it as *MuxRejectedError carrying the backoff hint.
+func TestMuxAdmissionReject(t *testing.T) {
+	client, server := muxPair(t, MuxConfig{MaxStreams: 1, RetryAfter: 5 * time.Millisecond})
+
+	st1, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st1.Send(muxMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := server.AcceptStream(); err != nil {
+		t.Fatal(err)
+	}
+
+	st2, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Send(muxMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	_, err = st2.Recv()
+	var rej *MuxRejectedError
+	if !errors.As(err, &rej) {
+		t.Fatalf("Recv on rejected stream: %v, want *MuxRejectedError", err)
+	}
+	if rej.RetryAfter != 5*time.Millisecond {
+		t.Fatalf("retry-after hint %v, want 5ms", rej.RetryAfter)
+	}
+	// The surviving stream still works.
+	if err := st1.Send(muxMsg(3)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Closing a stream reaches the peer, releases the admission slot, and
+// returns the streams_active gauge to zero on both sides.
+func TestMuxStreamClose(t *testing.T) {
+	creg, sreg := telemetry.New(), telemetry.New()
+	cc, sc := net.Pipe()
+	client := NewMuxClient(cc, MuxConfig{MaxStreams: 1, Telemetry: creg})
+	server := NewMuxServer(sc, MuxConfig{MaxStreams: 1, Telemetry: sreg})
+	t.Cleanup(func() { _ = client.Close(); _ = server.Close() })
+
+	st, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(muxMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := server.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := acc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleaseReceived(m)
+
+	_ = st.Close()
+	if _, err := acc.Recv(); !errors.Is(err, ErrClosed) {
+		t.Fatalf("peer Recv after close: %v, want ErrClosed", err)
+	}
+	// The slot freed: a new stream fits under MaxStreams=1 again.
+	st2, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Send(muxMsg(2)); err != nil {
+		t.Fatal(err)
+	}
+	acc2, err := server.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err = acc2.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleaseReceived(m)
+	_ = st2.Close()
+
+	deadline := time.Now().Add(time.Second)
+	for {
+		if creg.Gauge("transport.streams_active").Value() == 0 &&
+			sreg.Gauge("transport.streams_active").Value() <= 1 {
+			// The server side drops its stream when the muxClose frame
+			// arrives; allow it a moment.
+			if sreg.Gauge("transport.streams_active").Value() == 0 {
+				break
+			}
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("streams_active did not drain: client=%d server=%d",
+				creg.Gauge("transport.streams_active").Value(),
+				sreg.Gauge("transport.streams_active").Value())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// gatedConn blocks every Write until the gate opens, recording the
+// stream ID of each frame written — the deterministic harness for the
+// round-robin drain order.
+type gatedConn struct {
+	gate    chan struct{}
+	entered chan struct{}
+	done    chan struct{}
+	once    sync.Once
+
+	mu  sync.Mutex
+	ids []uint32
+}
+
+func newGatedConn() *gatedConn {
+	return &gatedConn{
+		gate:    make(chan struct{}),
+		entered: make(chan struct{}, 1),
+		done:    make(chan struct{}),
+	}
+}
+
+func (c *gatedConn) Write(p []byte) (int, error) {
+	select {
+	case c.entered <- struct{}{}:
+	default:
+	}
+	select {
+	case <-c.gate:
+	case <-c.done:
+		return 0, io.ErrClosedPipe
+	}
+	c.mu.Lock()
+	c.ids = append(c.ids, binary.LittleEndian.Uint32(p[4:8]))
+	c.mu.Unlock()
+	return len(p), nil
+}
+
+func (c *gatedConn) Read(p []byte) (int, error) {
+	<-c.done
+	return 0, io.EOF
+}
+
+func (c *gatedConn) Close() error {
+	c.once.Do(func() { close(c.done) })
+	return nil
+}
+
+// The writer drains ready streams round-robin: with the writer parked on
+// a dummy frame, three frames queued on stream A and three on stream B
+// must hit the wire interleaved A,B,A,B,A,B — one chatty stream cannot
+// monopolize the connection.
+func TestMuxRoundRobinDrain(t *testing.T) {
+	conn := newGatedConn()
+	sess := NewMuxClient(conn, MuxConfig{})
+	t.Cleanup(func() { _ = sess.Close() })
+
+	dummy, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := dummy.Send(muxMsg(0)); err != nil {
+		t.Fatal(err)
+	}
+	<-conn.entered // writer is now parked inside Write with an empty ring
+
+	a, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sess.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := a.Send(muxMsg(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for seq := uint64(1); seq <= 3; seq++ {
+		if err := b.Send(muxMsg(seq)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	close(conn.gate)
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		conn.mu.Lock()
+		n := len(conn.ids)
+		conn.mu.Unlock()
+		if n >= 7 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("only %d frames drained", n)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	conn.mu.Lock()
+	got := append([]uint32(nil), conn.ids...)
+	conn.mu.Unlock()
+	want := []uint32{dummy.ID(), a.ID(), b.ID(), a.ID(), b.ID(), a.ID(), b.ID()}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("drain order %v, want %v (round-robin)", got, want)
+		}
+	}
+}
+
+// Session shutdown must unblock every waiter and leave no goroutines
+// behind: the leakcheck discipline, asserted dynamically.
+func TestMuxShutdownLeakFree(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	for i := 0; i < 5; i++ {
+		client, server := muxPair(t, MuxConfig{Window: 1})
+		var wg sync.WaitGroup
+		st, err := client.OpenStream()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Send(muxMsg(1)); err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(3)
+		go func() { // blocked Recv on the client side
+			defer wg.Done()
+			for {
+				m, err := st.Recv()
+				if err != nil {
+					return
+				}
+				ReleaseReceived(m)
+			}
+		}()
+		go func() { // blocked Send (window exhausted, never credited)
+			defer wg.Done()
+			_ = st.Send(muxMsg(2))
+		}()
+		go func() { // blocked AcceptStream after the first
+			defer wg.Done()
+			for {
+				if _, err := server.AcceptStream(); err != nil {
+					return
+				}
+			}
+		}()
+		_ = client.Close()
+		_ = server.Close()
+		wg.Wait()
+	}
+
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= before {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after session shutdown",
+				before, runtime.NumGoroutine())
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+// A dead peer surfaces as an error on every API, not a hang.
+func TestMuxPeerDisconnect(t *testing.T) {
+	cc, sc := net.Pipe()
+	client := NewMuxClient(cc, MuxConfig{})
+	server := NewMuxServer(sc, MuxConfig{})
+	t.Cleanup(func() { _ = client.Close() })
+
+	st, err := client.OpenStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Send(muxMsg(1)); err != nil {
+		t.Fatal(err)
+	}
+	acc, err := server.AcceptStream()
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := acc.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ReleaseReceived(m)
+
+	_ = server.Close()
+	if _, err := st.Recv(); err == nil {
+		t.Fatal("Recv on a disconnected session returned a message")
+	}
+	if _, err := client.OpenStream(); err == nil {
+		// OpenStream may still succeed before the failure propagates; a
+		// Send on it must then fail once the session notices.
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			st2, err := client.OpenStream()
+			if err != nil {
+				break
+			}
+			if err := st2.Send(muxMsg(9)); err != nil {
+				break
+			}
+			if time.Now().After(deadline) {
+				t.Fatal("session never observed the peer disconnect")
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+}
